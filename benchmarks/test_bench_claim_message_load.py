@@ -1,0 +1,81 @@
+"""CLAIM-P2P-MSG — coordination load spreads across peers.
+
+Paper §1: centralised execution "suffers of the scalability ... problems
+of centralised coordination".  We run the same N-task pipeline on both
+architectures and measure where messages land.  Expected shape: load
+concentration at the busiest host approaches 1.0 under the central
+engine and falls with N under P2P; the gap widens as composites grow.
+"""
+
+from repro.workload.generator import make_chain_workload
+from repro.workload.harness import (
+    build_sim_environment,
+    composite_for_workload,
+    deploy_workload_services,
+    run_central,
+    run_p2p,
+)
+
+from _utils import write_result
+
+SIZES = (4, 8, 16, 32)
+EXECUTIONS = 10
+
+
+def run_pair(tasks, seed=0):
+    workload = make_chain_workload(tasks=tasks, seed=seed,
+                                   service_latency_ms=10.0)
+    env = build_sim_environment(seed=seed)
+    deploy_workload_services(env, workload)
+    composite = composite_for_workload(workload)
+    args = [dict(workload.request_args) for _ in range(EXECUTIONS)]
+    return run_p2p(env, composite, args), run_central(env, composite, args)
+
+
+def test_bench_claim_message_load(benchmark):
+    rows = []
+    results = {}
+    for tasks in SIZES:
+        p2p, central = run_pair(tasks)
+        assert p2p.successes == central.successes == EXECUTIONS
+        results[tasks] = (p2p, central)
+        rows.append((
+            tasks,
+            round(p2p.messages_per_execution, 1),
+            round(central.messages_per_execution, 1),
+            round(p2p.load_concentration, 3),
+            round(central.load_concentration, 3),
+            p2p.peak_node_load,
+            central.peak_node_load,
+        ))
+
+    # Shape assertions (the paper's qualitative claim):
+    for tasks in SIZES:
+        p2p, central = results[tasks]
+        # 1. central concentrates: the orchestrator host touches ~every
+        #    message; P2P spreads it.
+        assert central.load_concentration > 0.4
+        assert p2p.load_concentration < central.load_concentration
+        # 2. the busiest host under central is the central host itself.
+        assert central.peak_node == "central-host"
+    # 3. concentration *falls* with composite size under P2P …
+    assert (results[SIZES[-1]][0].load_concentration
+            < results[SIZES[0]][0].load_concentration)
+    # … but stays put under central.
+    assert (results[SIZES[-1]][1].load_concentration
+            > 0.9 * results[SIZES[0]][1].load_concentration)
+
+    write_result(
+        "CLAIM-P2P-MSG", "message load distribution, central vs P2P",
+        ["tasks", "p2p msgs/exec", "central msgs/exec",
+         "p2p concentration", "central concentration",
+         "p2p peak-host msgs", "central peak-host msgs"],
+        rows,
+        notes="Shape: central concentration stays ~constant near 0.5 "
+              "(orchestrator touches every message) while P2P "
+              "concentration falls as composites grow; the central "
+              "host's absolute message count grows linearly with "
+              "composite size × executions.",
+    )
+
+    benchmark.pedantic(run_pair, args=(8,), rounds=3, iterations=1)

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""ECA events: a human-in-the-loop approval workflow.
+
+SELF-SERV operations carry "consumed and produced events"; a
+transition's ECA rule may wait for an event.  This example composes a
+purchasing workflow where the execution *pauses* after quoting until a
+manager signals ``approve`` or ``reject`` — the E part of
+Event-Condition-Action — and shows the monitoring tracer watching the
+execution while it waits.
+
+Run:  python examples/approval_workflow.py
+"""
+
+from repro import ServiceManager, SimTransport, StatechartBuilder
+from repro.monitoring import ExecutionTracer
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+)
+from repro.services.elementary import ElementaryService, operation_handler
+
+
+def make_quoting_service() -> ElementaryService:
+    description = ServiceDescription("QuoteDesk", provider="SupplyCo")
+    description.add_operation(OperationSpec(
+        "quote",
+        inputs=(Parameter("item", ParameterType.STRING),
+                Parameter("quantity", ParameterType.INT)),
+        outputs=(Parameter("quote_ref", ParameterType.STRING),
+                 Parameter("total", ParameterType.FLOAT)),
+    ))
+    service = ElementaryService(description)
+
+    @operation_handler
+    def quote(item, quantity):
+        unit_prices = {"laptop": 1400.0, "chair": 230.0, "desk": 610.0}
+        total = unit_prices.get(item, 99.0) * quantity
+        return {"quote_ref": f"Q-{abs(hash((item, quantity))) % 10_000}",
+                "total": total}
+
+    service.bind("quote", quote)
+    return service
+
+
+def make_ordering_service() -> ElementaryService:
+    description = ServiceDescription("OrderDesk", provider="SupplyCo")
+    description.add_operation(OperationSpec(
+        "place",
+        inputs=(Parameter("quote_ref", ParameterType.STRING),),
+        outputs=(Parameter("order_ref", ParameterType.STRING),),
+    ))
+    service = ElementaryService(description)
+
+    @operation_handler
+    def place(quote_ref):
+        return {"order_ref": quote_ref.replace("Q-", "ORD-")}
+
+    service.bind("place", place)
+    return service
+
+
+def build_workflow() -> CompositeService:
+    """quote -> wait for manager event -> order (approved & cheap enough)
+    or finish (rejected / too expensive even when approved)."""
+    chart = (
+        StatechartBuilder("purchase")
+        .initial()
+        .task("quote", "QuoteDesk", "quote",
+              inputs={"item": "item", "quantity": "quantity"},
+              outputs={"quote_ref": "quote_ref", "total": "total"})
+        .task("order", "OrderDesk", "place",
+              inputs={"quote_ref": "quote_ref"},
+              outputs={"order_ref": "order_ref"})
+        .final()
+        .chain("initial", "quote")
+        .arc("quote", "order", event="approve",
+             condition="total <= budget")
+        .arc("quote", "final", event="approve",
+             condition="total > budget")
+        .arc("quote", "final", event="reject")
+        .arc("order", "final")
+        .build()
+    )
+    composite = CompositeService(
+        ServiceDescription("Purchasing", provider="DemoCorp")
+    )
+    composite.define_operation(
+        OperationSpec(
+            "purchase",
+            inputs=(Parameter("item", ParameterType.STRING),
+                    Parameter("quantity", ParameterType.INT)),
+            outputs=(Parameter("quote_ref", ParameterType.STRING),
+                     Parameter("total", ParameterType.FLOAT),
+                     Parameter("order_ref", ParameterType.STRING,
+                               required=False)),
+        ),
+        chart,
+    )
+    return composite
+
+
+def run_case(manager, deployment, client, label, item, quantity,
+             event, payload):
+    node, endpoint = deployment.address
+    request_key = client.submit(node, endpoint, "purchase",
+                                {"item": item, "quantity": quantity})
+    execution_id = client.execution_id_for(request_key)
+    manager.transport.run_until_idle()     # quote runs, then waits
+    print(f"{label}: quoted, execution parked awaiting the manager...")
+    client.signal(node, endpoint, execution_id, event, payload)
+    manager.transport.run_until_idle()
+    result = client.take_results()[execution_id]
+    order = result.outputs.get("order_ref") or "(no order placed)"
+    print(f"  manager said {event!r} {payload} -> {result.status}; "
+          f"total={result.outputs['total']}, order={order}")
+    print()
+    return result
+
+
+def main() -> None:
+    transport = SimTransport()
+    manager = ServiceManager(transport)
+    manager.register_elementary(make_quoting_service(), "supplyco-quotes")
+    manager.register_elementary(make_ordering_service(), "supplyco-orders")
+    deployment = manager.deploy_composite(build_workflow(), "demo-host")
+    client = manager.client("requester", "laptop")
+    tracer = ExecutionTracer(transport).attach()
+
+    approved = run_case(manager, deployment, client,
+                        "case 1 (approved, within budget)",
+                        "chair", 4, "approve", {"budget": 2000.0})
+    assert approved.outputs["order_ref"]
+
+    too_dear = run_case(manager, deployment, client,
+                        "case 2 (approved, but over budget)",
+                        "laptop", 10, "approve", {"budget": 2000.0})
+    assert too_dear.outputs["order_ref"] is None
+
+    rejected = run_case(manager, deployment, client,
+                        "case 3 (rejected outright)",
+                        "desk", 2, "reject", {})
+    assert rejected.outputs["order_ref"] is None
+
+    print("monitoring view of case 1 (note the gap at the event wait):")
+    print(tracer.timelines()[0].render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""A tour of the SELF-SERV architecture (paper Figure 1).
+
+Walks every box of the architecture diagram: the Service Manager's three
+modules (discovery engine, editor, deployer), the UDDI registry, and the
+pool of services (elementary services, a community, and a composite) —
+showing the artefact each step produces.
+
+Run:  python examples/architecture_tour.py
+"""
+
+from repro import ServiceManager, SimTransport
+from repro.demo.providers import (
+    make_attractions_search,
+    make_car_rental,
+)
+from repro.services.description import ParameterType
+from repro.xmlio import pretty_xml
+
+
+def main() -> None:
+    transport = SimTransport()
+    manager = ServiceManager(transport)
+
+    print("┌─ SELF-SERV Service Manager ──────────────────────────────┐")
+    print("│  service discovery engine · service editor · deployer   │")
+    print("└──────────────────────────────────────────────────────────┘")
+    print()
+
+    # --- Pool of services: providers register elementary services -----
+    print("[pool] providers deploy + publish elementary services")
+    attractions = make_attractions_search()
+    cars = make_car_rental()
+    manager.register_elementary(attractions, "host-sightseer",
+                                category="travel")
+    manager.register_elementary(cars, "host-roadrunner",
+                                category="travel")
+    for name in ("AttractionsSearch", "CarRental"):
+        listing = manager.discovery.service_detail(name)
+        print(f"  {listing.name:<18} provider={listing.provider:<11} "
+              f"access={listing.access_point}")
+    print()
+
+    # --- Service editor: a composer defines a composite ----------------
+    print("[editor] composer draws a 'day trip' composite")
+    draft = manager.new_draft("DayTrip", provider="MicroTours",
+                              documentation="attractions then a car")
+    canvas = draft.operation(
+        "plan",
+        inputs=["customer", "destination"],
+        outputs=["major_attraction", ("car_ref", ParameterType.STRING)],
+    )
+    (canvas.initial()
+           .task("AS", "AttractionsSearch", "searchAttractions",
+                 inputs={"destination": "destination"},
+                 outputs={"major_attraction": "major_attraction"})
+           .task("CR", "CarRental", "rentCar",
+                 inputs={"customer": "customer",
+                         "destination": "destination"},
+                 outputs={"car_ref": "car_ref"})
+           .final()
+           .chain("initial", "AS", "CR", "final"))
+    errors, warnings = draft.check()
+    print(f"  editor validation: {len(errors)} errors, "
+          f"{len(warnings)} warnings")
+    print("  statechart:")
+    for line in draft.render("plan").splitlines():
+        print(f"    {line}")
+    print()
+
+    # --- Service deployer: routing tables + coordinators ---------------
+    print("[deployer] generating routing tables, installing coordinators")
+    deployment = manager.deploy_composite(draft, host="host-microtours")
+    for line in deployment.describe().splitlines():
+        print(f"  {line}")
+    print()
+    print("  routing-table XML uploaded to each host (excerpt):")
+    xml_text = pretty_xml(deployment.tables_xml("plan"))
+    for line in xml_text.splitlines()[:12]:
+        print(f"    {line}")
+    print("    ...")
+    print()
+
+    # --- UDDI registry ----------------------------------------------------
+    stats = manager.discovery.registry.statistics()
+    print(f"[registry] UDDI now holds {stats['businesses']} businesses, "
+          f"{stats['services']} services, {stats['bindings']} bindings")
+    print()
+
+    # --- End user ---------------------------------------------------------
+    print("[end user] locate and execute the composite")
+    result = manager.locate_and_execute(
+        "tourist", "tourist-phone", "DayTrip", "plan",
+        {"customer": "Tim", "destination": "cairns"},
+    )
+    print(f"  status : {result.status}")
+    print(f"  outputs: {result.outputs}")
+    assert result.ok
+
+
+if __name__ == "__main__":
+    main()

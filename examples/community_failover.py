@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Service communities: dynamic membership, selection and failover.
+
+A community delegates each request to one member using "the parameters
+of the request, the characteristics of the members, the history of past
+executions and the status of ongoing executions" (paper §2).  This
+example books accommodation through the demo's community while members
+degrade, fail and recover — and shows the selection policy reacting.
+
+Run:  python examples/community_failover.py
+"""
+
+from repro import ServiceManager, SimTransport
+from repro.demo.travel import deploy_travel_scenario
+
+
+ARGS = {"customer": "Dana", "destination": "melbourne",
+        "departure_date": "2026-08-01", "return_date": "2026-08-05"}
+
+
+def book(client, deployed, label):
+    result = client.execute(*deployed.address, "arrangeTrip", dict(ARGS),
+                            timeout_ms=600_000)
+    picked = (result.outputs.get("accommodation_ref") or "?").split("-")[0]
+    print(f"  {label:<36} -> {result.status:<8} via {picked}")
+    return result
+
+
+def main() -> None:
+    transport = SimTransport()
+    manager = ServiceManager(transport)
+    deployed = deploy_travel_scenario(
+        manager.deployer, community_policy="multi-attribute",
+    )
+    client = manager.client("dana", "dana-laptop")
+    community = deployed.scenario.community
+    wrapper = deployed.community_wrapper
+
+    print("accommodation community members:")
+    for member in community.members():
+        profile = member.profile
+        print(f"  {member.service_name:<20} latency≈"
+              f"{profile.latency_mean_ms:>5.0f}ms cost={profile.cost} "
+              f"reliability={profile.reliability}")
+    print()
+
+    print("1) normal operation (multi-attribute selection):")
+    for attempt in range(3):
+        book(client, deployed, f"booking #{attempt + 1}")
+    print()
+
+    print("2) the fast member's host dies — timeout-driven failover:")
+    transport.fail_node("host-globalstay")
+    book(client, deployed, "booking with GlobalStay down")
+    print(f"  failovers so far: {wrapper.failovers}")
+    print()
+
+    print("3) a second host dies — only BudgetBeds remains:")
+    transport.fail_node("host-sunlodge")
+    book(client, deployed, "booking with two members down")
+    print()
+
+    print("4) membership is dynamic — suspend the last member:")
+    community.suspend("BudgetBedsBooking")
+    result = book(client, deployed, "booking with no active members")
+    assert result.status == "fault"
+    print()
+
+    print("5) hosts recover, membership restored:")
+    community.resume("BudgetBedsBooking")
+    transport.recover_node("host-globalstay")
+    transport.recover_node("host-sunlodge")
+    result = book(client, deployed, "booking after recovery")
+    assert result.ok
+    print()
+
+    print("community execution history (feeds future selections):")
+    for name, stats in sorted(wrapper.history.snapshot().items()):
+        print(f"  {name:<20} ok={stats['successes']:<3.0f} "
+              f"fail={stats['failures']:<3.0f} "
+              f"mean={stats['mean_duration_ms']:.0f}ms")
+
+
+if __name__ == "__main__":
+    main()

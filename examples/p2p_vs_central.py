@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Peer-to-peer orchestration vs. a centralised engine, measured.
+
+The paper's §1 motivates decentralised execution with the scalability
+and availability problems of centralised coordination.  This example
+runs the same synthetic composite on both architectures over the same
+simulated provider pool and prints message load, load concentration and
+latency side by side.
+
+Run:  python examples/p2p_vs_central.py
+"""
+
+from repro.workload.generator import make_chain_workload
+from repro.workload.harness import (
+    build_sim_environment,
+    composite_for_workload,
+    deploy_workload_services,
+    run_central,
+    run_p2p,
+)
+
+
+def main() -> None:
+    workload = make_chain_workload(tasks=10, seed=42,
+                                   service_latency_ms=20.0)
+    env = build_sim_environment(seed=42)
+    deploy_workload_services(env, workload)
+    composite = composite_for_workload(workload)
+    requests = [dict(workload.request_args) for _ in range(20)]
+
+    p2p = run_p2p(env, composite, requests)
+    central = run_central(env, composite, requests)
+
+    print(f"workload: {workload.task_count}-task pipeline, "
+          f"{len(requests)} concurrent executions, one host per provider")
+    print()
+    header = (f"{'metric':<28} {'P2P (SELF-SERV)':>18} "
+              f"{'centralised':>14}")
+    print(header)
+    print("-" * len(header))
+    rows = [
+        ("successful executions",
+         p2p.successes, central.successes),
+        ("messages total",
+         p2p.messages_total, central.messages_total),
+        ("messages crossing hosts",
+         p2p.messages_remote, central.messages_remote),
+        ("mean latency (ms)",
+         round(p2p.mean_latency_ms, 1), round(central.mean_latency_ms, 1)),
+        ("peak host load (msgs)",
+         p2p.peak_node_load, central.peak_node_load),
+        ("load concentration",
+         round(p2p.load_concentration, 3),
+         round(central.load_concentration, 3)),
+    ]
+    for label, a, b in rows:
+        print(f"{label:<28} {a!s:>18} {b!s:>14}")
+
+    print()
+    print(f"busiest host under P2P       : {p2p.peak_node}")
+    print(f"busiest host under central   : {central.peak_node}")
+    print()
+    print("Reading: the centralised engine touches every message "
+          "(concentration → 1.0), while P2P spreads coordination across "
+          "provider hosts and completes each execution with fewer "
+          "cross-host hops.")
+    assert central.load_concentration > p2p.load_concentration
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Quickstart: compose two services and execute the composite, P2P-style.
+
+Covers the minimal SELF-SERV loop:
+
+1. implement two elementary services,
+2. deploy them on their provider hosts,
+3. draw a statechart wiring them into a composite service,
+4. deploy the composite (routing tables generated + coordinators placed),
+5. execute it from a client and read the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ServiceManager, SimTransport, StatechartBuilder
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+)
+from repro.services.elementary import ElementaryService, operation_handler
+
+
+def make_quote_service() -> ElementaryService:
+    """A currency-quote provider."""
+    description = ServiceDescription("QuoteService", provider="FxCo")
+    description.add_operation(OperationSpec(
+        "quote",
+        inputs=(Parameter("currency", ParameterType.STRING),),
+        outputs=(Parameter("rate", ParameterType.FLOAT),),
+    ))
+    service = ElementaryService(description)
+
+    @operation_handler
+    def quote(currency):
+        rates = {"EUR": 0.61, "USD": 0.66, "JPY": 97.1}
+        return {"rate": rates.get(currency.upper(), 1.0)}
+
+    service.bind("quote", quote)
+    return service
+
+
+def make_converter_service() -> ElementaryService:
+    """A conversion provider that uses a rate someone else quoted."""
+    description = ServiceDescription("ConverterService", provider="CalcCo")
+    description.add_operation(OperationSpec(
+        "convert",
+        inputs=(Parameter("amount", ParameterType.FLOAT),
+                Parameter("rate", ParameterType.FLOAT)),
+        outputs=(Parameter("converted", ParameterType.FLOAT),),
+    ))
+    service = ElementaryService(description)
+
+    @operation_handler
+    def convert(amount, rate):
+        return {"converted": round(amount * rate, 2)}
+
+    service.bind("convert", convert)
+    return service
+
+
+def main() -> None:
+    transport = SimTransport()
+    manager = ServiceManager(transport)
+
+    # 1-2. Providers register (deploy + publish) their services.
+    manager.register_elementary(make_quote_service(), host="fxco-host")
+    manager.register_elementary(make_converter_service(),
+                                host="calcco-host")
+
+    # 3. A composer draws the statechart: quote, then convert.
+    chart = (
+        StatechartBuilder("convertMoney")
+        .initial()
+        .task("Q", "QuoteService", "quote",
+              inputs={"currency": "currency"},
+              outputs={"rate": "rate"})
+        .task("X", "ConverterService", "convert",
+              inputs={"amount": "amount", "rate": "rate"},
+              outputs={"converted": "converted"})
+        .final()
+        .chain("initial", "Q", "X", "final")
+        .build()
+    )
+    composite = CompositeService(
+        ServiceDescription("MoneyConverter", provider="DemoCorp")
+    )
+    composite.define_operation(
+        OperationSpec(
+            "convertMoney",
+            inputs=(Parameter("currency", ParameterType.STRING),
+                    Parameter("amount", ParameterType.FLOAT)),
+            outputs=(Parameter("converted", ParameterType.FLOAT),
+                     Parameter("rate", ParameterType.FLOAT)),
+        ),
+        chart,
+    )
+
+    # 4. Deploy: routing tables are generated from the statechart and one
+    #    coordinator per state is installed on the provider hosts.
+    deployment = manager.deploy_composite(composite, host="demo-host")
+    print(deployment.describe())
+    print()
+
+    # 5. Execute from an end-user client.
+    client = manager.client("quickstart-user", "laptop")
+    result = client.execute(
+        *deployment.address, "convertMoney",
+        {"currency": "EUR", "amount": 250.0},
+    )
+    print(f"status    : {result.status}")
+    print(f"outputs   : {result.outputs}")
+    print(f"messages  : {transport.stats.sent_total} total, "
+          f"{transport.stats.remote_total} across hosts")
+    assert result.ok and result.outputs["converted"] == 152.5
+
+
+if __name__ == "__main__":
+    main()

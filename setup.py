@@ -1,0 +1,9 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so the package installs in offline
+environments lacking the ``wheel`` package (``pip install -e .`` falls
+back to ``setup.py develop`` there).
+"""
+from setuptools import setup
+
+setup()

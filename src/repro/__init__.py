@@ -1,0 +1,54 @@
+"""SELF-SERV reproduction: declarative composition and peer-to-peer
+execution of web services.
+
+This library reproduces *SELF-SERV: A Platform for Rapid Composition of
+Web Services in a Peer-to-Peer Environment* (Sheng, Benatallah, Dumas,
+Mak; VLDB 2002): statechart-based composite services, service
+communities with policy-driven member selection, statically generated
+routing tables, and fully decentralised peer-to-peer orchestration —
+plus the centralised baseline the paper argues against and a simulated
+network testbed to measure both.
+
+Quickstart::
+
+    from repro import ServiceManager, SimTransport
+    from repro.demo import deploy_travel_scenario
+
+    transport = SimTransport()
+    manager = ServiceManager(transport)
+    deployed = deploy_travel_scenario(manager.deployer)
+    client = manager.client("alice", "alice-laptop")
+    result = client.execute(
+        *deployed.address, "arrangeTrip",
+        {"customer": "Alice", "destination": "cairns",
+         "departure_date": "2026-07-01", "return_date": "2026-07-10"},
+    )
+    assert result.ok and result.outputs["car_ref"]  # Cairns reef is far!
+"""
+
+from repro.exceptions import SelfServError
+from repro.manager import ServiceManager
+from repro.monitoring import ExecutionTracer
+from repro.net.inproc import InProcTransport
+from repro.net.simnet import SimTransport
+from repro.runtime.client import RuntimeClient
+from repro.services.community import ServiceCommunity
+from repro.services.composite import CompositeService
+from repro.services.elementary import ElementaryService
+from repro.statecharts.builder import StatechartBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompositeService",
+    "ElementaryService",
+    "ExecutionTracer",
+    "InProcTransport",
+    "RuntimeClient",
+    "SelfServError",
+    "ServiceCommunity",
+    "ServiceManager",
+    "SimTransport",
+    "StatechartBuilder",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Baselines the paper argues against.
+
+* :class:`CentralOrchestrator` — a single scheduler that interprets the
+  composite's statechart on one host, invoking every component remotely.
+  This is the "centralised coordination" architecture whose scalability
+  and availability problems motivate SELF-SERV's P2P model (paper §1);
+  benchmarks CLAIM-P2P-MSG / CLAIM-SCALE / CLAIM-AVAIL compare it against
+  the coordinator runtime.
+* :class:`NaiveCoordinator` support (ablation): a coordinator variant that
+  re-derives its firing decisions from the whole statechart at runtime
+  instead of a precomputed routing table (CLAIM-TABLES ablation).
+"""
+
+from repro.baselines.central import CentralDeployment, CentralOrchestrator
+from repro.baselines.naive import NaiveTableCache, naive_decision_cost
+
+__all__ = [
+    "CentralDeployment",
+    "CentralOrchestrator",
+    "NaiveTableCache",
+    "naive_decision_cost",
+]

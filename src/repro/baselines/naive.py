@@ -1,0 +1,94 @@
+"""Ablation of the precomputed routing tables.
+
+The paper's claim: because routing tables are statically extracted,
+"the coordinators do not need to implement any complex scheduling
+algorithm".  The ablation quantifies what a coordinator *would* do
+without the tables: on every notification it would have to re-derive its
+firing decision from the raw statechart — re-flattening (or at least
+re-walking) the chart to find its incoming edges, synchronisation
+obligations and successor guards.
+
+:func:`naive_decision_cost` performs exactly that derivation for one
+node and returns the work done (nodes visited), so the CLAIM-TABLES
+benchmark can plot per-event work: table lookup (O(row count), flat) vs
+naive re-derivation (grows with chart size).
+
+:class:`NaiveTableCache` is the honest middle ground — re-derive once,
+memoise — used to show that memoisation merely re-creates the routing
+table at runtime, i.e. the paper's static extraction is the same work
+shifted to deployment time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.routing.generation import generate_routing_tables
+from repro.routing.tables import RoutingTable
+from repro.statecharts.flatten import FlatGraph, flatten
+from repro.statecharts.model import Statechart
+
+
+@dataclass
+class DecisionCost:
+    """Work accounting for one naive firing decision."""
+
+    nodes_visited: int
+    edges_examined: int
+
+    @property
+    def total(self) -> int:
+        return self.nodes_visited + self.edges_examined
+
+
+def naive_decision_cost(chart: Statechart, node_id: str) -> DecisionCost:
+    """Derive one coordinator's firing knowledge from scratch.
+
+    Mirrors what a table-less coordinator must do per notification:
+
+    1. flatten the hierarchical chart (it only holds the raw XML),
+    2. walk the flat graph to find its own node,
+    3. collect incoming edges (precondition) and outgoing edges with
+       guards (postprocessing).
+
+    Returns the work performed.  Raises ``StatechartError`` if ``node_id``
+    does not exist in the flattened chart (via ``graph.node``).
+    """
+    graph = flatten(chart)
+    graph.node(node_id)  # validate existence, as the naive walk would
+    nodes_visited = len(graph.nodes)
+    edges_examined = len(graph.incoming(node_id)) + len(
+        graph.outgoing(node_id)
+    )
+    # The flattening itself visits every node and edge once.
+    edges_examined += len(graph.edges)
+    return DecisionCost(nodes_visited=nodes_visited,
+                        edges_examined=edges_examined)
+
+
+class NaiveTableCache:
+    """Re-derive-then-memoise: the runtime equivalent of static tables."""
+
+    def __init__(self, chart: Statechart) -> None:
+        self._chart = chart
+        self._graph: "FlatGraph | None" = None
+        self._tables: "Dict[str, RoutingTable] | None" = None
+        self.derivations = 0
+
+    def table_for(self, node_id: str) -> RoutingTable:
+        """First call pays the full derivation; later calls are lookups."""
+        if self._tables is None:
+            self._graph = flatten(self._chart)
+            self._tables = generate_routing_tables(self._graph)
+            self.derivations += 1
+        return self._tables[node_id]
+
+    def lookup_cost(self, node_id: str) -> "Tuple[int, int]":
+        """(precondition entries, postprocessing rows) — the table-driven
+        per-event work, for the benchmark's flat line."""
+        table = self.table_for(node_id)
+        return (
+            len(table.precondition.entries),
+            len(table.postprocessing.rows),
+        )

@@ -1,0 +1,37 @@
+"""The travel demo scenario (paper §4).
+
+Builds the exact composite service of Figure 2: domestic vs international
+flight booking chosen on ``domestic(destination)``, accommodation booking
+through a community, attractions search in parallel, and a car rental iff
+the major attraction is far from the booked accommodation.
+"""
+
+from repro.demo.providers import (
+    CITIES,
+    make_accommodation_member,
+    make_attractions_search,
+    make_car_rental,
+    make_domestic_flight_booking,
+    make_international_flight_booking,
+    make_travel_insurance,
+)
+from repro.demo.travel import (
+    TravelScenario,
+    build_travel_composite,
+    build_travel_scenario,
+    deploy_travel_scenario,
+)
+
+__all__ = [
+    "CITIES",
+    "TravelScenario",
+    "build_travel_composite",
+    "build_travel_scenario",
+    "deploy_travel_scenario",
+    "make_accommodation_member",
+    "make_attractions_search",
+    "make_car_rental",
+    "make_domestic_flight_booking",
+    "make_international_flight_booking",
+    "make_travel_insurance",
+]

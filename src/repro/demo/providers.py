@@ -1,0 +1,382 @@
+"""Provider implementations for the travel scenario.
+
+Each factory returns a ready-to-deploy :class:`ElementaryService` with
+handlers backed by the static city/hotel/attraction tables below.  The
+data is arranged so the demo's conditional branches genuinely vary:
+
+* ``sydney``/``melbourne`` are domestic (DFB path) with near attractions
+  (no car rental),
+* ``cairns`` is domestic but its major attraction is ~60 km away (car
+  rental fires),
+* ``paris`` is international (ITA path, includes travel insurance) and
+  near,
+* ``tokyo`` is international and far (ITA + car rental).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.exceptions import InvocationError
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+)
+from repro.services.elementary import ElementaryService, operation_handler
+from repro.services.profile import ServiceProfile
+
+# City database: coordinates, country, hotels and attractions ------------------
+
+CITIES: "Dict[str, Dict[str, Any]]" = {
+    "sydney": {
+        "country": "australia",
+        "hotels": [
+            {"name": "Harbourview Hotel", "lat": -33.861, "lon": 151.210,
+             "rate": 180.0},
+            {"name": "Rocks Boutique Stay", "lat": -33.859, "lon": 151.208,
+             "rate": 230.0},
+        ],
+        "attractions": [
+            {"name": "Sydney Opera House", "lat": -33.857, "lon": 151.215},
+            {"name": "Taronga Zoo", "lat": -33.843, "lon": 151.241},
+        ],
+    },
+    "melbourne": {
+        "country": "australia",
+        "hotels": [
+            {"name": "Yarra Grand", "lat": -37.818, "lon": 144.965,
+             "rate": 160.0},
+        ],
+        "attractions": [
+            {"name": "Federation Square", "lat": -37.818, "lon": 144.969},
+        ],
+    },
+    "cairns": {
+        "country": "australia",
+        "hotels": [
+            {"name": "Reef Esplanade Resort", "lat": -16.918, "lon": 145.778,
+             "rate": 140.0},
+        ],
+        "attractions": [
+            {"name": "Great Barrier Reef Pontoon", "lat": -16.760,
+             "lon": 146.250},
+            {"name": "Kuranda Rainforest", "lat": -16.820, "lon": 145.640},
+        ],
+    },
+    "paris": {
+        "country": "france",
+        "hotels": [
+            {"name": "Hôtel du Marais", "lat": 48.858, "lon": 2.360,
+             "rate": 210.0},
+        ],
+        "attractions": [
+            {"name": "Louvre Museum", "lat": 48.861, "lon": 2.336},
+            {"name": "Eiffel Tower", "lat": 48.858, "lon": 2.294},
+        ],
+    },
+    "tokyo": {
+        "country": "japan",
+        "hotels": [
+            {"name": "Shinjuku Sky Hotel", "lat": 35.690, "lon": 139.700,
+             "rate": 190.0},
+        ],
+        "attractions": [
+            {"name": "Mount Fuji Viewpoint", "lat": 35.360, "lon": 138.727},
+            {"name": "Senso-ji Temple", "lat": 35.714, "lon": 139.796},
+        ],
+    },
+}
+
+#: Flight base prices (one way, abstract currency units).
+_FLIGHT_BASE = {
+    "sydney": 180.0,
+    "melbourne": 150.0,
+    "cairns": 260.0,
+    "paris": 1350.0,
+    "tokyo": 980.0,
+}
+
+
+def _city(destination: str) -> "Dict[str, Any]":
+    city = CITIES.get(str(destination).lower())
+    if city is None:
+        raise InvocationError(
+            f"unknown destination {destination!r}; known: "
+            f"{sorted(CITIES)}"
+        )
+    return city
+
+
+def _booking_ref(prefix: str, customer: str, destination: str) -> str:
+    token = abs(hash((prefix, customer, destination))) % 1_000_000
+    return f"{prefix}-{token:06d}"
+
+
+# Flight booking -----------------------------------------------------------------
+
+def make_domestic_flight_booking(
+    provider: str = "AusAir",
+    profile: Optional[ServiceProfile] = None,
+) -> ElementaryService:
+    """Domestic Flight Booking (DFB): Australian destinations only."""
+    description = ServiceDescription(
+        name="DomesticFlightBooking",
+        provider=provider,
+        description="Books flights within Australia",
+    )
+    description.add_operation(OperationSpec(
+        name="bookFlight",
+        inputs=(
+            Parameter("customer", ParameterType.STRING),
+            Parameter("destination", ParameterType.STRING),
+            Parameter("departure_date", ParameterType.STRING),
+            Parameter("return_date", ParameterType.STRING, required=False),
+        ),
+        outputs=(
+            Parameter("flight_ref", ParameterType.STRING),
+            Parameter("price", ParameterType.FLOAT),
+            Parameter("airline", ParameterType.STRING),
+        ),
+        description="Book a return domestic flight",
+    ))
+    service = ElementaryService(description, profile or ServiceProfile(
+        latency_mean_ms=40.0, latency_jitter_ms=10.0, cost=2.0,
+    ))
+
+    @operation_handler
+    def book_flight(customer, destination, departure_date, return_date=None):
+        city = _city(destination)
+        if city["country"] != "australia":
+            raise InvocationError(
+                f"DomesticFlightBooking only serves Australian "
+                f"destinations, not {destination!r}"
+            )
+        return {
+            "flight_ref": _booking_ref("DFB", customer, destination),
+            "price": _FLIGHT_BASE[str(destination).lower()],
+            "airline": provider,
+        }
+
+    service.bind("bookFlight", book_flight)
+    return service
+
+
+def make_international_flight_booking(
+    provider: str = "GlobalWings",
+    profile: Optional[ServiceProfile] = None,
+) -> ElementaryService:
+    """International Flight Booking (IFB), used inside the ITA compound."""
+    description = ServiceDescription(
+        name="InternationalFlightBooking",
+        provider=provider,
+        description="Books international flights",
+    )
+    description.add_operation(OperationSpec(
+        name="bookFlight",
+        inputs=(
+            Parameter("customer", ParameterType.STRING),
+            Parameter("destination", ParameterType.STRING),
+            Parameter("departure_date", ParameterType.STRING),
+            Parameter("return_date", ParameterType.STRING, required=False),
+        ),
+        outputs=(
+            Parameter("flight_ref", ParameterType.STRING),
+            Parameter("price", ParameterType.FLOAT),
+            Parameter("airline", ParameterType.STRING),
+        ),
+    ))
+    service = ElementaryService(description, profile or ServiceProfile(
+        latency_mean_ms=70.0, latency_jitter_ms=20.0, cost=3.0,
+    ))
+
+    @operation_handler
+    def book_flight(customer, destination, departure_date, return_date=None):
+        city = _city(destination)
+        if city["country"] == "australia":
+            raise InvocationError(
+                f"InternationalFlightBooking does not serve domestic "
+                f"destination {destination!r}"
+            )
+        return {
+            "flight_ref": _booking_ref("IFB", customer, destination),
+            "price": _FLIGHT_BASE[str(destination).lower()],
+            "airline": provider,
+        }
+
+    service.bind("bookFlight", book_flight)
+    return service
+
+
+def make_travel_insurance(
+    provider: str = "SureTravel",
+    profile: Optional[ServiceProfile] = None,
+) -> ElementaryService:
+    """Travel Insurance (TI), the second step of the ITA compound."""
+    description = ServiceDescription(
+        name="TravelInsurance",
+        provider=provider,
+        description="Issues travel insurance for international trips",
+    )
+    description.add_operation(OperationSpec(
+        name="insure",
+        inputs=(
+            Parameter("customer", ParameterType.STRING),
+            Parameter("destination", ParameterType.STRING),
+            Parameter("trip_price", ParameterType.FLOAT, required=False),
+        ),
+        outputs=(
+            Parameter("insurance_ref", ParameterType.STRING),
+            Parameter("premium", ParameterType.FLOAT),
+        ),
+    ))
+    service = ElementaryService(description, profile or ServiceProfile(
+        latency_mean_ms=25.0, latency_jitter_ms=5.0, cost=1.0,
+    ))
+
+    @operation_handler
+    def insure(customer, destination, trip_price=None):
+        base = 45.0
+        if trip_price:
+            base += 0.03 * float(trip_price)
+        return {
+            "insurance_ref": _booking_ref("TI", customer, destination),
+            "premium": round(base, 2),
+        }
+
+    service.bind("insure", insure)
+    return service
+
+
+# Accommodation ---------------------------------------------------------------------
+
+def make_accommodation_member(
+    name: str,
+    provider: str,
+    rate_multiplier: float = 1.0,
+    hotel_index: int = 0,
+    profile: Optional[ServiceProfile] = None,
+) -> ElementaryService:
+    """One member of the Accommodation Booking community.
+
+    Members differ in price (``rate_multiplier``), hotel inventory
+    (``hotel_index`` selects which hotel of the city they offer, clamped)
+    and QoS profile — raw material for the selection-policy benchmarks.
+    """
+    description = ServiceDescription(
+        name=name,
+        provider=provider,
+        description=f"Accommodation booking by {provider}",
+    )
+    description.add_operation(OperationSpec(
+        name="bookAccommodation",
+        inputs=(
+            Parameter("customer", ParameterType.STRING),
+            Parameter("destination", ParameterType.STRING),
+            Parameter("checkin", ParameterType.STRING, required=False),
+            Parameter("checkout", ParameterType.STRING, required=False),
+        ),
+        outputs=(
+            Parameter("booking_ref", ParameterType.STRING),
+            Parameter("accommodation", ParameterType.RECORD),
+            Parameter("nightly_rate", ParameterType.FLOAT),
+        ),
+    ))
+    service = ElementaryService(description, profile or ServiceProfile())
+
+    @operation_handler
+    def book_accommodation(customer, destination, checkin=None,
+                           checkout=None):
+        city = _city(destination)
+        hotels = city["hotels"]
+        hotel = hotels[min(hotel_index, len(hotels) - 1)]
+        return {
+            "booking_ref": _booking_ref(name, customer, destination),
+            "accommodation": {
+                "name": hotel["name"],
+                "lat": hotel["lat"],
+                "lon": hotel["lon"],
+            },
+            "nightly_rate": round(hotel["rate"] * rate_multiplier, 2),
+        }
+
+    service.bind("bookAccommodation", book_accommodation)
+    return service
+
+
+# Attractions & car rental ---------------------------------------------------------
+
+def make_attractions_search(
+    provider: str = "SightSeer",
+    profile: Optional[ServiceProfile] = None,
+) -> ElementaryService:
+    """Attractions Search (AS): runs in parallel with the bookings."""
+    description = ServiceDescription(
+        name="AttractionsSearch",
+        provider=provider,
+        description="Finds attractions at a destination",
+    )
+    description.add_operation(OperationSpec(
+        name="searchAttractions",
+        inputs=(Parameter("destination", ParameterType.STRING),),
+        outputs=(
+            Parameter("major_attraction", ParameterType.RECORD),
+            Parameter("attractions", ParameterType.LIST),
+        ),
+    ))
+    service = ElementaryService(description, profile or ServiceProfile(
+        latency_mean_ms=55.0, latency_jitter_ms=15.0, cost=0.5,
+    ))
+
+    @operation_handler
+    def search_attractions(destination):
+        city = _city(destination)
+        attractions: "List[Dict[str, Any]]" = city["attractions"]
+        return {
+            "major_attraction": dict(attractions[0]),
+            "attractions": [dict(a) for a in attractions],
+        }
+
+    service.bind("searchAttractions", search_attractions)
+    return service
+
+
+def make_car_rental(
+    provider: str = "RoadRunner",
+    profile: Optional[ServiceProfile] = None,
+) -> ElementaryService:
+    """Car Rental (CR): fires only when the attraction is far away."""
+    description = ServiceDescription(
+        name="CarRental",
+        provider=provider,
+        description="Rents cars at the destination",
+    )
+    description.add_operation(OperationSpec(
+        name="rentCar",
+        inputs=(
+            Parameter("customer", ParameterType.STRING),
+            Parameter("destination", ParameterType.STRING),
+            Parameter("pickup_date", ParameterType.STRING, required=False),
+        ),
+        outputs=(
+            Parameter("car_ref", ParameterType.STRING),
+            Parameter("daily_rate", ParameterType.FLOAT),
+            Parameter("agency", ParameterType.STRING),
+        ),
+    ))
+    service = ElementaryService(description, profile or ServiceProfile(
+        latency_mean_ms=30.0, latency_jitter_ms=10.0, cost=1.5,
+    ))
+
+    @operation_handler
+    def rent_car(customer, destination, pickup_date=None):
+        _city(destination)  # validates the destination
+        return {
+            "car_ref": _booking_ref("CR", customer, destination),
+            "daily_rate": 65.0,
+            "agency": provider,
+        }
+
+    service.bind("rentCar", rent_car)
+    return service

@@ -1,0 +1,337 @@
+"""Assembly of the travel scenario: services, community, composite, hosts.
+
+The statechart reproduces Figure 2:
+
+* an AND state runs two regions in parallel:
+
+  - region 0 — the booking pipeline: XOR choice on
+    ``domestic(destination)`` between Domestic Flight Booking (DFB) and
+    the International Travel Arrangements (ITA) compound state (which
+    chains International Flight Booking and Travel Insurance), followed
+    by Accommodation Booking (AB, a community),
+  - region 1 — Attractions Search (AS),
+
+* after the join, Car Rental (CR) fires iff
+  ``not near(major_attraction, accommodation)``; otherwise the chart
+  completes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.deployment.deployer import CompositeDeployment, Deployer
+from repro.demo.providers import (
+    make_accommodation_member,
+    make_attractions_search,
+    make_car_rental,
+    make_domestic_flight_booking,
+    make_international_flight_booking,
+    make_travel_insurance,
+)
+from repro.runtime.community_wrapper import CommunityWrapperRuntime
+from repro.runtime.service_wrapper import ServiceWrapperRuntime
+from repro.selection.policies import SelectionPolicy
+from repro.services.community import ServiceCommunity
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+)
+from repro.services.elementary import ElementaryService
+from repro.services.profile import ServiceProfile
+from repro.statecharts.builder import StatechartBuilder
+from repro.statecharts.model import Statechart
+
+
+#: Input mapping shared by both flight-booking states.
+_FLIGHT_INPUTS = {
+    "customer": "customer",
+    "destination": "destination",
+    "departure_date": "departure_date",
+    "return_date": "return_date",
+}
+
+
+def _booking_region() -> Statechart:
+    """Region 0: flight choice then accommodation booking."""
+    ita_inner = (
+        StatechartBuilder("ITA")
+        .initial()
+        .task(
+            "IFB", "InternationalFlightBooking", "bookFlight",
+            inputs=dict(_FLIGHT_INPUTS),
+            outputs={"flight_ref": "flight_ref", "flight_price": "price",
+                     "airline": "airline"},
+            name="International Flight Booking",
+        )
+        .task(
+            "TI", "TravelInsurance", "insure",
+            inputs={"customer": "customer", "destination": "destination",
+                    "trip_price": "flight_price"},
+            outputs={"insurance_ref": "insurance_ref",
+                     "insurance_premium": "premium"},
+            name="Travel Insurance",
+        )
+        .final()
+        .chain("initial", "IFB", "TI", "final")
+        .build()
+    )
+    return (
+        StatechartBuilder("bookings")
+        .initial()
+        .task(
+            "DFB", "DomesticFlightBooking", "bookFlight",
+            inputs=dict(_FLIGHT_INPUTS),
+            outputs={"flight_ref": "flight_ref", "flight_price": "price",
+                     "airline": "airline"},
+            name="Domestic Flight Booking",
+        )
+        .compound("ITA", ita_inner, name="International Travel Arrangements")
+        .task(
+            "AB", "AccommodationBooking", "bookAccommodation",
+            inputs={"customer": "customer", "destination": "destination",
+                    "checkin": "departure_date", "checkout": "return_date"},
+            outputs={"accommodation_ref": "booking_ref",
+                     "accommodation": "accommodation",
+                     "nightly_rate": "nightly_rate"},
+            name="Accommodation Booking",
+        )
+        .final()
+        .choice("initial", {
+            "DFB": "domestic(destination)",
+            "ITA": "not domestic(destination)",
+        })
+        .arc("DFB", "AB")
+        .arc("ITA", "AB")
+        .arc("AB", "final")
+        .build()
+    )
+
+
+def _search_region() -> Statechart:
+    """Region 1: attractions search."""
+    return (
+        StatechartBuilder("search")
+        .initial()
+        .task(
+            "AS", "AttractionsSearch", "searchAttractions",
+            inputs={"destination": "destination"},
+            outputs={"major_attraction": "major_attraction",
+                     "attractions": "attractions"},
+            name="Attractions Search",
+        )
+        .final()
+        .chain("initial", "AS", "final")
+        .build()
+    )
+
+
+def build_travel_chart() -> Statechart:
+    """The full Figure 2 statechart."""
+    return (
+        StatechartBuilder("arrangeTrip")
+        .initial()
+        .parallel("trip", [_booking_region(), _search_region()],
+                  name="Trip Arrangement")
+        .task(
+            "CR", "CarRental", "rentCar",
+            inputs={"customer": "customer", "destination": "destination",
+                    "pickup_date": "departure_date"},
+            outputs={"car_ref": "car_ref", "car_daily_rate": "daily_rate",
+                     "car_agency": "agency"},
+            name="Car Rental",
+        )
+        .final()
+        .arc("initial", "trip")
+        .choice("trip", {
+            "CR": "not near(major_attraction, accommodation)",
+            "final": "near(major_attraction, accommodation)",
+        })
+        .arc("CR", "final", transition_id="t_cr_done")
+        .build()
+    )
+
+
+def build_travel_composite(
+    name: str = "TravelArrangement",
+    provider: str = "EasyTrips",
+) -> CompositeService:
+    """The composite service of the demo, with its operation signature."""
+    description = ServiceDescription(
+        name=name,
+        provider=provider,
+        description="One-stop travel arrangement: flights, accommodation, "
+                    "attractions and car rental",
+    )
+    composite = CompositeService(description)
+    composite.define_operation(
+        OperationSpec(
+            name="arrangeTrip",
+            inputs=(
+                Parameter("customer", ParameterType.STRING),
+                Parameter("destination", ParameterType.STRING),
+                Parameter("departure_date", ParameterType.STRING),
+                Parameter("return_date", ParameterType.STRING,
+                          required=False),
+            ),
+            outputs=(
+                Parameter("flight_ref", ParameterType.STRING),
+                Parameter("accommodation_ref", ParameterType.STRING),
+                Parameter("accommodation", ParameterType.RECORD),
+                Parameter("major_attraction", ParameterType.RECORD),
+                Parameter("insurance_ref", ParameterType.STRING,
+                          required=False),
+                Parameter("car_ref", ParameterType.STRING, required=False),
+            ),
+            description="Arrange a complete trip",
+        ),
+        build_travel_chart(),
+    )
+    return composite
+
+
+#: Accommodation community members: (service name, provider, rate
+#: multiplier, hotel index, profile, request constraint).  Profiles
+#: differ so selection policies have something to choose on; BudgetBeds
+#: only covers Australian destinations, exercising the
+#: parameters-of-the-request input to delegation.
+DEFAULT_MEMBERS: "List[Tuple[str, str, float, int, ServiceProfile, str]]" = [
+    ("SunLodgeBooking", "SunLodge", 1.0, 0,
+     ServiceProfile(latency_mean_ms=45.0, latency_jitter_ms=10.0,
+                    reliability=0.99, cost=2.0, capacity=8),
+     ""),
+    ("GlobalStayBooking", "GlobalStay", 1.15, 1,
+     ServiceProfile(latency_mean_ms=30.0, latency_jitter_ms=5.0,
+                    reliability=0.97, cost=3.0, capacity=16),
+     ""),
+    ("BudgetBedsBooking", "BudgetBeds", 0.85, 0,
+     ServiceProfile(latency_mean_ms=90.0, latency_jitter_ms=40.0,
+                    reliability=0.90, cost=1.0, capacity=4),
+     "domestic(destination)"),
+]
+
+
+def build_accommodation_community(
+    members: "Optional[List[Tuple[str, str, float, int, ServiceProfile, str]]]"
+    = None,
+) -> "Tuple[ServiceCommunity, List[ElementaryService]]":
+    """The Accommodation Booking community plus its member services."""
+    description = ServiceDescription(
+        name="AccommodationBooking",
+        provider="AccommodationAlliance",
+        description="Community of accommodation booking providers",
+    )
+    description.add_operation(OperationSpec(
+        name="bookAccommodation",
+        inputs=(
+            Parameter("customer", ParameterType.STRING),
+            Parameter("destination", ParameterType.STRING),
+            Parameter("checkin", ParameterType.STRING, required=False),
+            Parameter("checkout", ParameterType.STRING, required=False),
+        ),
+        outputs=(
+            Parameter("booking_ref", ParameterType.STRING),
+            Parameter("accommodation", ParameterType.RECORD),
+            Parameter("nightly_rate", ParameterType.FLOAT),
+        ),
+    ))
+    community = ServiceCommunity(description)
+    services: "List[ElementaryService]" = []
+    for name, provider, multiplier, hotel_index, profile, constraint in (
+        members if members is not None else DEFAULT_MEMBERS
+    ):
+        service = make_accommodation_member(
+            name, provider, rate_multiplier=multiplier,
+            hotel_index=hotel_index, profile=profile,
+        )
+        services.append(service)
+        community.join(name, profile=profile, constraint=constraint)
+    return community, services
+
+
+@dataclass
+class TravelScenario:
+    """All the pieces of the demo, before deployment."""
+
+    composite: CompositeService
+    elementary: List[ElementaryService]
+    community: ServiceCommunity
+    community_members: List[ElementaryService]
+    hosts: Dict[str, str] = field(default_factory=dict)
+
+    def all_services(self) -> "List[ElementaryService]":
+        return list(self.elementary) + list(self.community_members)
+
+
+def build_travel_scenario() -> TravelScenario:
+    """Construct every service of the demo with one host per provider."""
+    elementary = [
+        make_domestic_flight_booking(),
+        make_international_flight_booking(),
+        make_travel_insurance(),
+        make_attractions_search(),
+        make_car_rental(),
+    ]
+    community, members = build_accommodation_community()
+    scenario = TravelScenario(
+        composite=build_travel_composite(),
+        elementary=elementary,
+        community=community,
+        community_members=members,
+    )
+    for service in scenario.all_services():
+        scenario.hosts[service.name] = f"host-{service.provider.lower()}"
+    scenario.hosts[community.name] = "host-accommodation-alliance"
+    scenario.hosts[scenario.composite.name] = "host-easytrips"
+    return scenario
+
+
+@dataclass
+class DeployedScenario:
+    """Handles to everything the deployer installed."""
+
+    scenario: TravelScenario
+    deployment: CompositeDeployment
+    wrappers: Dict[str, ServiceWrapperRuntime]
+    community_wrapper: CommunityWrapperRuntime
+
+    @property
+    def address(self) -> "Tuple[str, str]":
+        return self.deployment.address
+
+
+def deploy_travel_scenario(
+    deployer: Deployer,
+    scenario: Optional[TravelScenario] = None,
+    community_policy: "Union[SelectionPolicy, str]" = "multi-attribute",
+    community_timeout_ms: float = 1000.0,
+    default_timeout_ms: Optional[float] = None,
+) -> DeployedScenario:
+    """Deploy the whole scenario onto the deployer's transport."""
+    scenario = scenario or build_travel_scenario()
+    wrappers: Dict[str, ServiceWrapperRuntime] = {}
+    for service in scenario.all_services():
+        wrappers[service.name] = deployer.deploy_elementary(
+            service, scenario.hosts[service.name]
+        )
+    community_wrapper = deployer.deploy_community(
+        scenario.community,
+        scenario.hosts[scenario.community.name],
+        policy=community_policy,
+        timeout_ms=community_timeout_ms,
+    )
+    deployment = deployer.deploy_composite(
+        scenario.composite,
+        scenario.hosts[scenario.composite.name],
+        default_timeout_ms=default_timeout_ms,
+    )
+    return DeployedScenario(
+        scenario=scenario,
+        deployment=deployment,
+        wrappers=wrappers,
+        community_wrapper=community_wrapper,
+    )

@@ -1,0 +1,122 @@
+"""Plain-file storage of routing tables.
+
+"By default, the XML documents containing the routing tables are stored
+in plain files, so that there is no need to have a DBMS in the site where
+the installation is performed." (paper §3)
+
+The store mirrors the upload step: one directory per provider host, one
+``<routing-tables>`` XML file per (composite, operation) holding exactly
+the tables installed on that host.  A coordinator restarting on a host
+can reload its knowledge from its own directory alone — no central
+storage required.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List
+
+from repro.exceptions import DeploymentError
+from repro.routing.serialization import (
+    routing_tables_from_xml,
+    routing_tables_to_xml,
+)
+from repro.routing.tables import RoutingTable
+from repro.xmlio import pretty_xml
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _safe_name(text: str) -> str:
+    """File-system-safe rendering of composite/operation/host names."""
+    return _SAFE.sub("_", text) or "_"
+
+
+class RoutingTableStore:
+    """Reads and writes per-host routing-table files under a root dir."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def _file_path(self, host: str, composite: str, operation: str) -> str:
+        return os.path.join(
+            self.root, _safe_name(host),
+            f"{_safe_name(composite)}.{_safe_name(operation)}.tables.xml",
+        )
+
+    # Writing ---------------------------------------------------------------
+
+    def save_tables(
+        self,
+        composite: str,
+        operation: str,
+        tables: "Dict[str, RoutingTable]",
+    ) -> "List[str]":
+        """Partition ``tables`` by host and write one file per host.
+
+        Returns the written file paths.  Tables must already be placed
+        (hosts assigned by the deployer); an unplaced table is an error —
+        a file without a location could never be uploaded anywhere.
+        """
+        by_host: Dict[str, Dict[str, RoutingTable]] = {}
+        for node_id, table in tables.items():
+            if not table.host:
+                raise DeploymentError(
+                    f"routing table for {node_id!r} has no host; deploy "
+                    f"before saving"
+                )
+            by_host.setdefault(table.host, {})[node_id] = table
+        written: List[str] = []
+        for host, host_tables in sorted(by_host.items()):
+            path = self._file_path(host, composite, operation)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            document = pretty_xml(routing_tables_to_xml(host_tables))
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(document)
+            written.append(path)
+        return written
+
+    def save_deployment(self, deployment) -> "List[str]":
+        """Persist every operation of a deployed composite."""
+        written: List[str] = []
+        for operation, tables in deployment.tables.items():
+            written.extend(self.save_tables(
+                deployment.composite.name, operation, tables,
+            ))
+        return written
+
+    # Reading ---------------------------------------------------------------
+
+    def load_tables(
+        self, host: str, composite: str, operation: str
+    ) -> "Dict[str, RoutingTable]":
+        """Load the tables installed on ``host`` for one operation."""
+        path = self._file_path(host, composite, operation)
+        if not os.path.exists(path):
+            raise DeploymentError(
+                f"no routing tables stored for host {host!r}, composite "
+                f"{composite!r}, operation {operation!r} under "
+                f"{self.root!r}"
+            )
+        with open(path, "r", encoding="utf-8") as handle:
+            return routing_tables_from_xml(handle.read())
+
+    def hosts(self) -> "List[str]":
+        """Host directories present in the store."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            entry for entry in os.listdir(self.root)
+            if os.path.isdir(os.path.join(self.root, entry))
+        )
+
+    def files_for_host(self, host: str) -> "List[str]":
+        host_dir = os.path.join(self.root, _safe_name(host))
+        if not os.path.isdir(host_dir):
+            return []
+        return sorted(
+            os.path.join(host_dir, name)
+            for name in os.listdir(host_dir)
+            if name.endswith(".tables.xml")
+        )

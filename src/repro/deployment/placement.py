@@ -1,0 +1,122 @@
+"""Coordinator placement policies.
+
+Task coordinators always live on the host of their component service —
+that is the paper's model ("the administrator of the registered service
+has to download and install [the] Coordinator [class]").  What is open is
+where the *control* coordinators (fork/join/route/initial/final) live;
+these policies decide, and the ablation benchmark compares them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.exceptions import DeploymentError
+from repro.runtime.directory import ServiceDirectory
+from repro.statecharts.flatten import FlatGraph, FlatNode, NodeKind
+
+
+class PlacementPolicy:
+    """Strategy: pick the host of every coordinator of a flat graph."""
+
+    name = "abstract"
+
+    def place(
+        self,
+        graph: FlatGraph,
+        composite_host: str,
+        directory: ServiceDirectory,
+    ) -> "Dict[str, str]":
+        """Return node_id -> host for *all* nodes of ``graph``."""
+        raise NotImplementedError
+
+    def _task_hosts(
+        self, graph: FlatGraph, directory: ServiceDirectory
+    ) -> "Dict[str, str]":
+        hosts: Dict[str, str] = {}
+        for node in graph.task_nodes():
+            assert node.binding is not None
+            if not directory.knows(node.binding.service):
+                raise DeploymentError(
+                    f"cannot place coordinator for {node.node_id!r}: "
+                    f"component service {node.binding.service!r} is not "
+                    f"deployed"
+                )
+            hosts[node.node_id] = directory.node_of(node.binding.service)
+        return hosts
+
+
+class CompositeHostPlacement(PlacementPolicy):
+    """Control coordinators live with the composite's wrapper (default).
+
+    Simple and always correct; the composite host becomes a mild hub for
+    control messages, but task-to-task data flow stays peer-to-peer.
+    """
+
+    name = "composite-host"
+
+    def place(
+        self,
+        graph: FlatGraph,
+        composite_host: str,
+        directory: ServiceDirectory,
+    ) -> "Dict[str, str]":
+        hosts = self._task_hosts(graph, directory)
+        for node in graph.control_nodes():
+            hosts[node.node_id] = composite_host
+        return hosts
+
+
+class AdjacentPlacement(PlacementPolicy):
+    """Control coordinators are co-located with an adjacent task.
+
+    Each control node moves to the host of the nearest *predecessor* task
+    (falling back to a successor task, then the composite host).  This
+    removes a network hop per control node on the common path, at the cost
+    of spreading control state across providers.
+    """
+
+    name = "adjacent"
+
+    def place(
+        self,
+        graph: FlatGraph,
+        composite_host: str,
+        directory: ServiceDirectory,
+    ) -> "Dict[str, str]":
+        hosts = self._task_hosts(graph, directory)
+        # Iterate until stable: a ROUTE chain can be several nodes away
+        # from the nearest task.
+        pending = [n for n in graph.control_nodes()]
+        max_rounds = len(graph.nodes) + 1
+        for _round in range(max_rounds):
+            unresolved = []
+            for node in pending:
+                host = self._adjacent_host(graph, node, hosts)
+                if host is None:
+                    unresolved.append(node)
+                else:
+                    hosts[node.node_id] = host
+            if not unresolved:
+                break
+            if len(unresolved) == len(pending):
+                # No progress: isolated control cluster; use composite host.
+                for node in unresolved:
+                    hosts[node.node_id] = composite_host
+                break
+            pending = unresolved
+        return hosts
+
+    @staticmethod
+    def _adjacent_host(
+        graph: FlatGraph, node: FlatNode, hosts: "Dict[str, str]"
+    ) -> "str | None":
+        for edge in graph.incoming(node.node_id):
+            placed = hosts.get(edge.source)
+            if placed is not None:
+                return placed
+        for edge in graph.outgoing(node.node_id):
+            placed = hosts.get(edge.target)
+            if placed is not None:
+                return placed
+        return None

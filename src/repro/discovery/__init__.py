@@ -1,0 +1,60 @@
+"""Service discovery: UDDI + WSDL + SOAP.
+
+"The service discovery engine facilitates the advertisement and location
+of services.  It is implemented using [UDDI], [WSDL], and [SOAP].  Service
+registration, discovery and invocation are implemented as SOAP calls."
+(paper §3)
+
+The original used IBM WSTK 2.4 against a UDDI registry; that toolkit is
+rebuilt here in miniature but with the same moving parts and the same
+on-the-wire artefacts:
+
+* :mod:`repro.discovery.soap` — SOAP 1.1-style envelopes, encoded to and
+  parsed from real XML text for every registry interaction,
+* :mod:`repro.discovery.wsdl` — WSDL documents generated from service
+  descriptions, published at URLs in an in-memory web,
+* :mod:`repro.discovery.registry` — the UDDI registry (businesses,
+  services, binding templates, tModels) with find/get/save/delete calls,
+* :mod:`repro.discovery.engine` — the Service Discovery Engine facade
+  providing the Publish and Search panels' functionality (Figure 3).
+"""
+
+from repro.discovery.soap import SoapClient, SoapEnvelope, SoapServer
+from repro.discovery.wsdl import (
+    UrlResolver,
+    WsdlDocument,
+    wsdl_from_description,
+    wsdl_from_xml,
+    wsdl_to_xml,
+)
+from repro.discovery.registry import (
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    TModel,
+    UddiRegistry,
+)
+from repro.discovery.engine import (
+    SearchResult,
+    ServiceDiscoveryEngine,
+    ServiceListing,
+)
+
+__all__ = [
+    "BindingTemplate",
+    "BusinessEntity",
+    "BusinessService",
+    "SearchResult",
+    "ServiceDiscoveryEngine",
+    "ServiceListing",
+    "SoapClient",
+    "SoapEnvelope",
+    "SoapServer",
+    "TModel",
+    "UddiRegistry",
+    "UrlResolver",
+    "WsdlDocument",
+    "wsdl_from_description",
+    "wsdl_from_xml",
+    "wsdl_to_xml",
+]

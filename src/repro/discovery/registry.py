@@ -1,0 +1,321 @@
+"""The UDDI registry.
+
+A faithful miniature of UDDI v2's data model — businessEntity,
+businessService, bindingTemplate, tModel — with the inquiry and publish
+API subset the demo uses: ``save_*``, ``find_business``, ``find_service``,
+``get_serviceDetail``, ``delete_service``.  All calls are exposed through
+a :class:`~repro.discovery.soap.SoapServer`, so every registration and
+query round-trips through XML exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import (
+    DuplicateRegistrationError,
+    NotRegisteredError,
+    SoapFault,
+)
+from repro.discovery.soap import SoapServer
+
+_key_counter = itertools.count(1)
+
+
+def _new_key(prefix: str) -> str:
+    return f"uddi:{prefix}:{next(_key_counter):06d}"
+
+
+@dataclass
+class BusinessEntity:
+    """A provider organisation."""
+
+    business_key: str
+    name: str
+    description: str = ""
+    contact: str = ""
+
+    def to_record(self) -> "Dict[str, Any]":
+        return {
+            "businessKey": self.business_key,
+            "name": self.name,
+            "description": self.description,
+            "contact": self.contact,
+        }
+
+
+@dataclass
+class BusinessService:
+    """A service advertised by a provider."""
+
+    service_key: str
+    business_key: str
+    name: str
+    description: str = ""
+    category: str = ""
+
+    def to_record(self) -> "Dict[str, Any]":
+        return {
+            "serviceKey": self.service_key,
+            "businessKey": self.business_key,
+            "name": self.name,
+            "description": self.description,
+            "category": self.category,
+        }
+
+
+@dataclass
+class BindingTemplate:
+    """Where and how a service is reached: access point + WSDL URL."""
+
+    binding_key: str
+    service_key: str
+    access_point: str
+    wsdl_url: str = ""
+
+    def to_record(self) -> "Dict[str, Any]":
+        return {
+            "bindingKey": self.binding_key,
+            "serviceKey": self.service_key,
+            "accessPoint": self.access_point,
+            "wsdlUrl": self.wsdl_url,
+        }
+
+
+@dataclass
+class TModel:
+    """A technical fingerprint (here: interface/category marker)."""
+
+    tmodel_key: str
+    name: str
+    overview_url: str = ""
+
+    def to_record(self) -> "Dict[str, Any]":
+        return {
+            "tModelKey": self.tmodel_key,
+            "name": self.name,
+            "overviewUrl": self.overview_url,
+        }
+
+
+class UddiRegistry:
+    """The registry proper: storage plus inquiry/publish operations."""
+
+    def __init__(self) -> None:
+        self._businesses: Dict[str, BusinessEntity] = {}
+        self._services: Dict[str, BusinessService] = {}
+        self._bindings: Dict[str, BindingTemplate] = {}
+        self._tmodels: Dict[str, TModel] = {}
+
+    # Publish API ------------------------------------------------------------
+
+    def save_business(
+        self, name: str, description: str = "", contact: str = ""
+    ) -> BusinessEntity:
+        """Register a provider; name must be unique (demo simplification)."""
+        if self.find_business_by_name(name) is not None:
+            raise DuplicateRegistrationError(
+                f"business {name!r} is already registered"
+            )
+        entity = BusinessEntity(
+            business_key=_new_key("business"),
+            name=name,
+            description=description,
+            contact=contact,
+        )
+        self._businesses[entity.business_key] = entity
+        return entity
+
+    def save_service(
+        self,
+        business_key: str,
+        name: str,
+        description: str = "",
+        category: str = "",
+    ) -> BusinessService:
+        if business_key not in self._businesses:
+            raise NotRegisteredError(f"unknown business {business_key!r}")
+        duplicate = any(
+            s.name == name and s.business_key == business_key
+            for s in self._services.values()
+        )
+        if duplicate:
+            raise DuplicateRegistrationError(
+                f"business {business_key!r} already advertises a service "
+                f"named {name!r}"
+            )
+        service = BusinessService(
+            service_key=_new_key("service"),
+            business_key=business_key,
+            name=name,
+            description=description,
+            category=category,
+        )
+        self._services[service.service_key] = service
+        return service
+
+    def save_binding(
+        self, service_key: str, access_point: str, wsdl_url: str = ""
+    ) -> BindingTemplate:
+        if service_key not in self._services:
+            raise NotRegisteredError(f"unknown service {service_key!r}")
+        binding = BindingTemplate(
+            binding_key=_new_key("binding"),
+            service_key=service_key,
+            access_point=access_point,
+            wsdl_url=wsdl_url,
+        )
+        self._bindings[binding.binding_key] = binding
+        return binding
+
+    def save_tmodel(self, name: str, overview_url: str = "") -> TModel:
+        tmodel = TModel(
+            tmodel_key=_new_key("tmodel"),
+            name=name,
+            overview_url=overview_url,
+        )
+        self._tmodels[tmodel.tmodel_key] = tmodel
+        return tmodel
+
+    def delete_service(self, service_key: str) -> None:
+        if service_key not in self._services:
+            raise NotRegisteredError(f"unknown service {service_key!r}")
+        del self._services[service_key]
+        for binding_key in [
+            k for k, b in self._bindings.items()
+            if b.service_key == service_key
+        ]:
+            del self._bindings[binding_key]
+
+    # Inquiry API -----------------------------------------------------------------
+
+    def find_business_by_name(self, name: str) -> Optional[BusinessEntity]:
+        for entity in self._businesses.values():
+            if entity.name == name:
+                return entity
+        return None
+
+    def find_businesses(self, name_pattern: str = "") -> "List[BusinessEntity]":
+        """Case-insensitive substring match, empty pattern matches all."""
+        pattern = name_pattern.lower()
+        return sorted(
+            (
+                e for e in self._businesses.values()
+                if pattern in e.name.lower()
+            ),
+            key=lambda e: e.name,
+        )
+
+    def find_services(
+        self,
+        name_pattern: str = "",
+        business_key: str = "",
+        category: str = "",
+    ) -> "List[BusinessService]":
+        pattern = name_pattern.lower()
+        found = []
+        for service in self._services.values():
+            if pattern and pattern not in service.name.lower():
+                continue
+            if business_key and service.business_key != business_key:
+                continue
+            if category and service.category != category:
+                continue
+            found.append(service)
+        return sorted(found, key=lambda s: s.name)
+
+    def get_business(self, business_key: str) -> BusinessEntity:
+        entity = self._businesses.get(business_key)
+        if entity is None:
+            raise NotRegisteredError(f"unknown business {business_key!r}")
+        return entity
+
+    def get_service(self, service_key: str) -> BusinessService:
+        service = self._services.get(service_key)
+        if service is None:
+            raise NotRegisteredError(f"unknown service {service_key!r}")
+        return service
+
+    def bindings_of(self, service_key: str) -> "List[BindingTemplate]":
+        self.get_service(service_key)
+        return sorted(
+            (
+                b for b in self._bindings.values()
+                if b.service_key == service_key
+            ),
+            key=lambda b: b.binding_key,
+        )
+
+    def services_of(self, business_key: str) -> "List[BusinessService]":
+        self.get_business(business_key)
+        return self.find_services(business_key=business_key)
+
+    def statistics(self) -> "Dict[str, int]":
+        return {
+            "businesses": len(self._businesses),
+            "services": len(self._services),
+            "bindings": len(self._bindings),
+            "tmodels": len(self._tmodels),
+        }
+
+    # SOAP exposure ---------------------------------------------------------------
+
+    def as_soap_server(self) -> SoapServer:
+        """Expose the registry API over SOAP (the UDDI 'wire')."""
+        server = SoapServer("uddi-registry")
+
+        def guard(func):
+            def handler(payload: "Dict[str, Any]") -> "Dict[str, Any]":
+                try:
+                    return func(payload)
+                except (NotRegisteredError,
+                        DuplicateRegistrationError) as exc:
+                    raise SoapFault("soapenv:Client", str(exc)) from exc
+            return handler
+
+        server.expose("save_business", guard(lambda p: self.save_business(
+            p["name"], p.get("description", ""), p.get("contact", ""),
+        ).to_record()))
+        server.expose("save_service", guard(lambda p: self.save_service(
+            p["businessKey"], p["name"], p.get("description", ""),
+            p.get("category", ""),
+        ).to_record()))
+        server.expose("save_binding", guard(lambda p: self.save_binding(
+            p["serviceKey"], p["accessPoint"], p.get("wsdlUrl", ""),
+        ).to_record()))
+        server.expose("save_tModel", guard(lambda p: self.save_tmodel(
+            p["name"], p.get("overviewUrl", ""),
+        ).to_record()))
+        server.expose("delete_service", guard(
+            lambda p: (self.delete_service(p["serviceKey"]), {})[1]
+        ))
+        server.expose("find_business", guard(lambda p: {
+            "businesses": [
+                e.to_record()
+                for e in self.find_businesses(p.get("name", ""))
+            ],
+        }))
+        server.expose("find_service", guard(lambda p: {
+            "services": [
+                s.to_record()
+                for s in self.find_services(
+                    p.get("name", ""), p.get("businessKey", ""),
+                    p.get("category", ""),
+                )
+            ],
+        }))
+        server.expose("get_serviceDetail", guard(lambda p: {
+            "service": self.get_service(p["serviceKey"]).to_record(),
+            "bindings": [
+                b.to_record() for b in self.bindings_of(p["serviceKey"])
+            ],
+        }))
+        server.expose("get_businessDetail", guard(lambda p: {
+            "business": self.get_business(p["businessKey"]).to_record(),
+            "services": [
+                s.to_record() for s in self.services_of(p["businessKey"])
+            ],
+        }))
+        return server

@@ -1,0 +1,221 @@
+"""WSDL documents: service interface descriptions published at URLs.
+
+"Before a service can be published, its WSDL descriptions should be
+created and deployed.  This essentially means placing the WSDL
+descriptions so that they can be retrieved using public URLs." (paper §4)
+
+The *public URLs* are modelled by :class:`UrlResolver`, an in-memory web:
+publishing stores the rendered XML text under a URL, and retrieval parses
+it back — the same store/parse round-trip as the original.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import DiscoveryError, XmlError
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+)
+from repro.xmlio import (
+    children,
+    element,
+    parse_document,
+    read_attr,
+    read_optional_attr,
+    subelement,
+    to_string,
+)
+
+
+@dataclass(frozen=True)
+class WsdlOperation:
+    """One operation: input and output message parts with wire types."""
+
+    name: str
+    inputs: Tuple[Tuple[str, str], ...]  # (part name, type)
+    outputs: Tuple[Tuple[str, str], ...]
+    documentation: str = ""
+
+
+@dataclass
+class WsdlDocument:
+    """A minimal WSDL 1.1-shaped document."""
+
+    service_name: str
+    provider: str = ""
+    documentation: str = ""
+    operations: List[WsdlOperation] = field(default_factory=list)
+    access_point: str = ""  # the service's invocation address
+
+    def operation_names(self) -> "List[str]":
+        return [op.name for op in self.operations]
+
+    def has_operation(self, name: str) -> bool:
+        return any(op.name == name for op in self.operations)
+
+
+def wsdl_from_description(
+    description: ServiceDescription, access_point: str = ""
+) -> WsdlDocument:
+    """Derive the WSDL document of a service description."""
+    operations = [
+        WsdlOperation(
+            name=spec.name,
+            inputs=tuple((p.name, p.type.value) for p in spec.inputs),
+            outputs=tuple((p.name, p.type.value) for p in spec.outputs),
+            documentation=spec.description,
+        )
+        for spec in description.operations.values()
+    ]
+    return WsdlDocument(
+        service_name=description.name,
+        provider=description.provider,
+        documentation=description.description,
+        operations=operations,
+        access_point=access_point,
+    )
+
+
+def description_from_wsdl(document: WsdlDocument) -> ServiceDescription:
+    """Reconstruct a service description from a WSDL document."""
+    description = ServiceDescription(
+        name=document.service_name,
+        provider=document.provider,
+        description=document.documentation,
+    )
+    for op in document.operations:
+        description.add_operation(OperationSpec(
+            name=op.name,
+            inputs=tuple(
+                Parameter(name, ParameterType(type_text))
+                for name, type_text in op.inputs
+            ),
+            outputs=tuple(
+                Parameter(name, ParameterType(type_text))
+                for name, type_text in op.outputs
+            ),
+            description=op.documentation,
+        ))
+    return description
+
+
+def wsdl_to_xml(document: WsdlDocument) -> ET.Element:
+    """Render as a ``<definitions>`` element (WSDL 1.1 shape)."""
+    root = element("definitions", {
+        "name": document.service_name,
+        "provider": document.provider,
+    })
+    if document.documentation:
+        subelement(root, "documentation", text=document.documentation)
+    port_type = subelement(root, "portType",
+                           {"name": f"{document.service_name}PortType"})
+    for op in document.operations:
+        op_node = subelement(port_type, "operation", {"name": op.name})
+        if op.documentation:
+            subelement(op_node, "documentation", text=op.documentation)
+        input_node = subelement(op_node, "input")
+        for part_name, part_type in op.inputs:
+            subelement(input_node, "part",
+                       {"name": part_name, "type": part_type})
+        output_node = subelement(op_node, "output")
+        for part_name, part_type in op.outputs:
+            subelement(output_node, "part",
+                       {"name": part_name, "type": part_type})
+    service_node = subelement(root, "service",
+                              {"name": document.service_name})
+    subelement(service_node, "port", {
+        "name": f"{document.service_name}Port",
+        "location": document.access_point,
+    })
+    return root
+
+
+def wsdl_from_xml(source: Union[str, bytes, ET.Element]) -> WsdlDocument:
+    """Parse a ``<definitions>`` document back into a :class:`WsdlDocument`."""
+    root = source if isinstance(source, ET.Element) else parse_document(source)
+    if root.tag != "definitions":
+        raise XmlError(f"expected <definitions>, found <{root.tag}>")
+    doc_node = root.find("documentation")
+    operations: List[WsdlOperation] = []
+    port_type = root.find("portType")
+    if port_type is not None:
+        for op_node in children(port_type, "operation"):
+            op_doc = op_node.find("documentation")
+            input_node = op_node.find("input")
+            output_node = op_node.find("output")
+            inputs = tuple(
+                (read_attr(p, "name"), read_optional_attr(p, "type", "any"))
+                for p in (children(input_node, "part")
+                          if input_node is not None else ())
+            )
+            outputs = tuple(
+                (read_attr(p, "name"), read_optional_attr(p, "type", "any"))
+                for p in (children(output_node, "part")
+                          if output_node is not None else ())
+            )
+            operations.append(WsdlOperation(
+                name=read_attr(op_node, "name"),
+                inputs=inputs,
+                outputs=outputs,
+                documentation=(op_doc.text or "").strip()
+                if op_doc is not None else "",
+            ))
+    access_point = ""
+    service_node = root.find("service")
+    if service_node is not None:
+        port = service_node.find("port")
+        if port is not None:
+            access_point = read_optional_attr(port, "location", "") or ""
+    return WsdlDocument(
+        service_name=read_attr(root, "name"),
+        provider=read_optional_attr(root, "provider", "") or "",
+        documentation=(doc_node.text or "").strip()
+        if doc_node is not None else "",
+        operations=operations,
+        access_point=access_point,
+    )
+
+
+class UrlResolver:
+    """The in-memory web where WSDL documents are published.
+
+    Stores rendered XML *text* (not objects) so retrieval really re-parses
+    — a malformed publish fails at fetch time, like a real web server
+    serving a broken file.
+    """
+
+    def __init__(self) -> None:
+        self._pages: Dict[str, str] = {}
+
+    def publish(self, url: str, document: WsdlDocument) -> str:
+        """Place ``document`` at ``url``; returns the URL."""
+        if not url.startswith(("http://", "https://")):
+            raise DiscoveryError(f"not a public URL: {url!r}")
+        self._pages[url] = to_string(wsdl_to_xml(document))
+        return url
+
+    def publish_text(self, url: str, text: str) -> str:
+        """Place raw XML text (used by tests to simulate corrupt pages)."""
+        if not url.startswith(("http://", "https://")):
+            raise DiscoveryError(f"not a public URL: {url!r}")
+        self._pages[url] = text
+        return url
+
+    def fetch(self, url: str) -> WsdlDocument:
+        """Retrieve and parse the document at ``url``."""
+        page = self._pages.get(url)
+        if page is None:
+            raise DiscoveryError(f"404: no document at {url!r}")
+        return wsdl_from_xml(page)
+
+    def exists(self, url: str) -> bool:
+        return url in self._pages
+
+    def urls(self) -> "List[str]":
+        return sorted(self._pages.keys())

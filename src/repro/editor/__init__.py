@@ -1,0 +1,29 @@
+"""Service editor: defining composite services.
+
+The original editor is a Swing GUI (Figure 2): a statechart canvas, a
+properties panel, and an XML view of the resulting document.  The GUI is
+presentation; the *artefact* it produces is the composite-service XML
+document the deployer consumes.  This package reproduces the artefact
+pipeline programmatically:
+
+* :class:`ServiceEditor` / :class:`CompositeDraft` — fluent definition of
+  a composite service (states, transitions, ECA rules, parameters),
+* ``composite_to_xml`` / ``composite_from_xml`` — the Figure 2 document,
+* :func:`render_statechart` — ASCII rendering of the canvas.
+"""
+
+from repro.editor.drafts import CompositeDraft, ServiceEditor
+from repro.editor.document import (
+    composite_from_xml,
+    composite_to_xml,
+)
+from repro.editor.rendering import render_flat_graph, render_statechart
+
+__all__ = [
+    "CompositeDraft",
+    "ServiceEditor",
+    "composite_from_xml",
+    "composite_to_xml",
+    "render_flat_graph",
+    "render_statechart",
+]

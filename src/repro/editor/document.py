@@ -1,0 +1,124 @@
+"""The composite-service XML document (Figure 2, bottom-right panel).
+
+Schema::
+
+    <composite-service name="..." provider="...">
+      <documentation>...</documentation>
+      <operation name="...">
+        <input name="..." type="..." required="..."/>
+        <output name="..." type="..." required="..."/>
+        <statechart .../>
+      </operation>
+    </composite-service>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Union
+
+from repro.exceptions import XmlError
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+)
+from repro.statecharts.serialization import (
+    statechart_from_xml,
+    statechart_to_xml,
+)
+from repro.xmlio import (
+    children,
+    element,
+    optional_child,
+    parse_document,
+    read_attr,
+    read_bool_attr,
+    read_optional_attr,
+    subelement,
+)
+
+
+def _parameter_to_xml(parent: ET.Element, tag: str, parameter: Parameter) -> None:
+    subelement(parent, tag, {
+        "name": parameter.name,
+        "type": parameter.type.value,
+        "required": parameter.required,
+    })
+
+
+def _parameter_from_xml(node: ET.Element) -> Parameter:
+    type_text = read_optional_attr(node, "type", "any") or "any"
+    try:
+        ptype = ParameterType(type_text)
+    except ValueError:
+        raise XmlError(f"unknown parameter type {type_text!r}") from None
+    return Parameter(
+        name=read_attr(node, "name"),
+        type=ptype,
+        required=read_bool_attr(node, "required", default=True),
+    )
+
+
+def composite_to_xml(composite: CompositeService) -> ET.Element:
+    """Render a composite service as its deployable XML document."""
+    root = element("composite-service", {
+        "name": composite.name,
+        "provider": composite.provider,
+    })
+    if composite.description.description:
+        subelement(root, "documentation",
+                   text=composite.description.description)
+    for operation in composite.operations():
+        spec = composite.description.operation(operation)
+        op_node = subelement(root, "operation", {"name": operation})
+        for parameter in spec.inputs:
+            _parameter_to_xml(op_node, "input", parameter)
+        for parameter in spec.outputs:
+            _parameter_to_xml(op_node, "output", parameter)
+        op_node.append(statechart_to_xml(composite.chart_for(operation)))
+    return root
+
+
+def composite_from_xml(
+    source: Union[str, bytes, ET.Element],
+    validate_charts: bool = True,
+) -> CompositeService:
+    """Parse a composite-service document (the deployer's input)."""
+    root = source if isinstance(source, ET.Element) else parse_document(source)
+    if root.tag != "composite-service":
+        raise XmlError(
+            f"expected <composite-service>, found <{root.tag}>"
+        )
+    doc_node = optional_child(root, "documentation")
+    description = ServiceDescription(
+        name=read_attr(root, "name"),
+        provider=read_optional_attr(root, "provider", "") or "",
+        description=(doc_node.text or "").strip()
+        if doc_node is not None else "",
+    )
+    composite = CompositeService(description)
+    for op_node in children(root, "operation"):
+        chart_node = optional_child(op_node, "statechart")
+        if chart_node is None:
+            raise XmlError(
+                f"operation {read_attr(op_node, 'name')!r} is missing its "
+                f"<statechart>"
+            )
+        spec = OperationSpec(
+            name=read_attr(op_node, "name"),
+            inputs=tuple(
+                _parameter_from_xml(p) for p in children(op_node, "input")
+            ),
+            outputs=tuple(
+                _parameter_from_xml(p) for p in children(op_node, "output")
+            ),
+        )
+        composite.define_operation(
+            spec,
+            statechart_from_xml(chart_node),
+            validate_chart=validate_charts,
+        )
+    return composite

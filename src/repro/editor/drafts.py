@@ -1,0 +1,181 @@
+"""Drafting composite services: the editor's interaction model.
+
+A :class:`CompositeDraft` mirrors the editor session of Figure 2: the
+composer declares the operation signature (bottom-left panel), draws the
+statechart (top panel), validates, and exports the XML document
+(bottom-right panel).  ``ServiceEditor`` manages drafts and can reopen a
+document for editing.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.editor.document import composite_from_xml, composite_to_xml
+from repro.editor.rendering import render_statechart
+from repro.exceptions import ServiceError
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+)
+from repro.statecharts.builder import StatechartBuilder
+from repro.statecharts.model import Statechart
+from repro.statecharts.validation import (
+    Problem,
+    find_overlapping_choice_guards,
+    validate,
+)
+from repro.xmlio import pretty_xml
+
+
+def _parameters(
+    specs: Sequence[Union[str, Tuple[str, ParameterType], Parameter]],
+) -> "Tuple[Parameter, ...]":
+    result: List[Parameter] = []
+    for spec in specs:
+        if isinstance(spec, Parameter):
+            result.append(spec)
+        elif isinstance(spec, tuple):
+            name, ptype = spec
+            result.append(Parameter(name, ptype))
+        else:
+            result.append(Parameter(spec))
+    return tuple(result)
+
+
+class CompositeDraft:
+    """One composite service being edited."""
+
+    def __init__(self, name: str, provider: str = "",
+                 documentation: str = "") -> None:
+        self.name = name
+        self.provider = provider
+        self.documentation = documentation
+        self._operations: Dict[str, OperationSpec] = {}
+        self._charts: Dict[str, Statechart] = {}
+
+    # Defining operations ---------------------------------------------------
+
+    def operation(
+        self,
+        name: str,
+        inputs: Sequence[Union[str, Tuple[str, ParameterType], Parameter]] = (),
+        outputs: Sequence[Union[str, Tuple[str, ParameterType], Parameter]] = (),
+        description: str = "",
+    ) -> StatechartBuilder:
+        """Declare an operation; returns the statechart builder (canvas)."""
+        if name in self._operations:
+            raise ServiceError(
+                f"draft {self.name!r} already has operation {name!r}"
+            )
+        self._operations[name] = OperationSpec(
+            name=name,
+            inputs=_parameters(inputs),
+            outputs=_parameters(outputs),
+            description=description,
+        )
+        builder = StatechartBuilder(f"{self.name}.{name}")
+        # The builder is handed out live; attach_chart finalises it.
+        self._charts[name] = builder.build()
+        return builder
+
+    def attach_chart(self, operation: str, chart: Union[Statechart,
+                                                        StatechartBuilder]) -> None:
+        """Attach (or replace) the statechart of a declared operation."""
+        if operation not in self._operations:
+            raise ServiceError(
+                f"draft {self.name!r} has no operation {operation!r}"
+            )
+        built = chart.build() if isinstance(chart, StatechartBuilder) else chart
+        self._charts[operation] = built
+
+    # Validation & export -------------------------------------------------------
+
+    def check(self) -> "Tuple[List[Problem], List[Problem]]":
+        """Return ``(errors, warnings)`` across all operation charts."""
+        errors: List[Problem] = []
+        warnings: List[Problem] = []
+        for operation, chart in self._charts.items():
+            errors.extend(validate(chart, raise_on_error=False))
+            warnings.extend(find_overlapping_choice_guards(chart))
+        return errors, warnings
+
+    def build(self, validate_charts: bool = True) -> CompositeService:
+        """Produce the composite service object."""
+        description = ServiceDescription(
+            name=self.name,
+            provider=self.provider,
+            description=self.documentation,
+        )
+        composite = CompositeService(description)
+        for operation, spec in self._operations.items():
+            composite.define_operation(
+                spec, self._charts[operation],
+                validate_chart=validate_charts,
+            )
+        return composite
+
+    def to_xml(self) -> ET.Element:
+        """The Figure 2 XML document for this draft."""
+        return composite_to_xml(self.build(validate_charts=True))
+
+    def to_xml_text(self) -> str:
+        """Pretty XML text, as shown in the editor's XML panel."""
+        return pretty_xml(self.to_xml())
+
+    def render(self, operation: str) -> str:
+        """ASCII view of one operation's statechart (the canvas)."""
+        if operation not in self._charts:
+            raise ServiceError(
+                f"draft {self.name!r} has no operation {operation!r}"
+            )
+        return render_statechart(self._charts[operation])
+
+
+class ServiceEditor:
+    """Manages composite-service drafts (the editor application)."""
+
+    def __init__(self) -> None:
+        self._drafts: Dict[str, CompositeDraft] = {}
+
+    def new_draft(
+        self, name: str, provider: str = "", documentation: str = ""
+    ) -> CompositeDraft:
+        if name in self._drafts:
+            raise ServiceError(f"a draft named {name!r} is already open")
+        draft = CompositeDraft(name, provider, documentation)
+        self._drafts[name] = draft
+        return draft
+
+    def open_document(
+        self, source: Union[str, bytes, ET.Element]
+    ) -> CompositeDraft:
+        """Reopen a composite-service XML document for editing."""
+        composite = composite_from_xml(source, validate_charts=False)
+        draft = CompositeDraft(
+            composite.name,
+            composite.provider,
+            composite.description.description,
+        )
+        for operation in composite.operations():
+            spec = composite.description.operation(operation)
+            draft._operations[operation] = spec
+            draft._charts[operation] = composite.chart_for(operation)
+        self._drafts[composite.name] = draft
+        return draft
+
+    def draft(self, name: str) -> CompositeDraft:
+        found = self._drafts.get(name)
+        if found is None:
+            raise ServiceError(f"no open draft named {name!r}")
+        return found
+
+    def close(self, name: str) -> None:
+        self._drafts.pop(name, None)
+
+    def open_drafts(self) -> "List[str]":
+        return sorted(self._drafts.keys())

@@ -1,0 +1,75 @@
+"""ASCII rendering of statecharts and flat graphs.
+
+The editor GUI drew the chart on a canvas; the closest faithful artefact
+in a library is a deterministic text rendering that a composer can read in
+a terminal and tests can assert on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.statecharts.flatten import FlatGraph
+from repro.statecharts.model import State, StateKind, Statechart
+
+_KIND_DECOR = {
+    StateKind.INITIAL: "(•)",
+    StateKind.FINAL: "(◎)",
+    StateKind.BASIC: "[ ]",
+    StateKind.COMPOUND: "[+]",
+    StateKind.AND: "[∥]",
+}
+
+
+def _state_line(state: State) -> str:
+    decor = _KIND_DECOR[state.kind]
+    if state.binding is not None:
+        return (
+            f"{decor} {state.state_id} -> "
+            f"{state.binding.service}.{state.binding.operation}"
+        )
+    if state.state_id == state.name:
+        return f"{decor} {state.state_id}"
+    return f"{decor} {state.state_id} ({state.name})"
+
+
+def render_statechart(chart: Statechart, indent: int = 0) -> str:
+    """Deterministic multi-line text rendering of a statechart."""
+    pad = "  " * indent
+    lines: List[str] = [f"{pad}statechart {chart.name}"]
+    for state in chart.states:
+        lines.append(f"{pad}  {_state_line(state)}")
+        if state.kind is StateKind.COMPOUND and state.chart is not None:
+            lines.append(render_statechart(state.chart, indent + 2))
+        elif state.kind is StateKind.AND:
+            for index, region in enumerate(state.regions):
+                lines.append(f"{pad}    region {index}:")
+                lines.append(render_statechart(region, indent + 3))
+    for transition in chart.transitions:
+        label = ""
+        if transition.event:
+            label += transition.event
+        if transition.condition.strip():
+            label += f" [{transition.condition.strip()}]"
+        if transition.actions:
+            rendered = "; ".join(a.render() for a in transition.actions)
+            label += f" / {rendered}"
+        label = label.strip() or "·"
+        lines.append(
+            f"{pad}  {transition.source} --{label}--> {transition.target}"
+        )
+    return "\n".join(lines)
+
+
+def render_flat_graph(graph: FlatGraph) -> str:
+    """Text rendering of the flattened task/fork/join graph."""
+    lines: List[str] = [f"flat graph {graph.name}"]
+    for node in graph.nodes:
+        suffix = ""
+        if node.binding is not None:
+            suffix = f" -> {node.binding.service}.{node.binding.operation}"
+        lines.append(f"  <{node.kind.value}> {node.node_id}{suffix}")
+    for edge in graph.edges:
+        guard = "" if edge.guard_text == "true" else f" [{edge.guard_text}]"
+        lines.append(f"  {edge.source} --{edge.edge_id}{guard}--> {edge.target}")
+    return "\n".join(lines)

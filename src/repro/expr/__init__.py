@@ -1,0 +1,64 @@
+"""Guard and ECA-rule expression language.
+
+SELF-SERV transitions carry ECA rules whose condition part is a boolean
+expression over operation parameters and helper predicates, e.g. the travel
+scenario's ``domestic(destination)`` and
+``not near(major_attraction, accommodation)``.  Routing-table preconditions
+reuse the same language.  This package provides:
+
+* :func:`tokenize` — the lexical analyser,
+* :func:`parse` — recursive-descent parser producing an AST,
+* :func:`evaluate` / :class:`Evaluator` — AST interpretation over a
+  variable environment and a :class:`FunctionRegistry`,
+* :func:`compile_expression` — parse once, evaluate many times.
+
+The grammar (lowest to highest precedence)::
+
+    expr        := or_expr
+    or_expr     := and_expr ( "or" and_expr )*
+    and_expr    := not_expr ( "and" not_expr )*
+    not_expr    := "not" not_expr | comparison
+    comparison  := additive ( ("=" | "!=" | "<" | "<=" | ">" | ">=" | "in") additive )?
+    additive    := term ( ("+" | "-") term )*
+    term        := factor ( ("*" | "/" | "%") factor )*
+    factor      := literal | variable | function call | "(" expr ")" | "-" factor
+"""
+
+from repro.expr.ast_nodes import (
+    BinaryOp,
+    Comparison,
+    FunctionCall,
+    Literal,
+    Node,
+    UnaryOp,
+    Variable,
+)
+from repro.expr.evaluator import (
+    CompiledExpression,
+    Evaluator,
+    compile_expression,
+    evaluate,
+)
+from repro.expr.functions import FunctionRegistry, default_registry
+from repro.expr.parser import parse
+from repro.expr.tokens import Token, TokenType, tokenize
+
+__all__ = [
+    "BinaryOp",
+    "Comparison",
+    "CompiledExpression",
+    "Evaluator",
+    "FunctionCall",
+    "FunctionRegistry",
+    "Literal",
+    "Node",
+    "Token",
+    "TokenType",
+    "UnaryOp",
+    "Variable",
+    "compile_expression",
+    "default_registry",
+    "evaluate",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,203 @@
+"""Abstract syntax tree for the guard expression language.
+
+Nodes are immutable dataclasses.  ``unparse`` on every node produces a
+canonical textual form that re-parses to an equal tree — the property-based
+tests rely on that round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+LiteralValue = Union[str, int, float, bool, None]
+
+
+class Node:
+    """Base class of all AST nodes."""
+
+    def unparse(self) -> str:
+        """Render the node back to canonical expression text."""
+        raise NotImplementedError
+
+    def variables(self) -> "frozenset[str]":
+        """Return the set of free variable names referenced by this tree."""
+        raise NotImplementedError
+
+    def functions(self) -> "frozenset[str]":
+        """Return the set of function names called by this tree."""
+        raise NotImplementedError
+
+
+def _quote(value: str) -> str:
+    escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{escaped}'"
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A constant: string, number, boolean or null."""
+
+    value: LiteralValue
+
+    def unparse(self) -> str:
+        if self.value is None:
+            return "null"
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            return _quote(self.value)
+        return repr(self.value)
+
+    def variables(self) -> "frozenset[str]":
+        return frozenset()
+
+    def functions(self) -> "frozenset[str]":
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Variable(Node):
+    """A reference to a variable in the evaluation environment.
+
+    ``path`` supports dotted access into mapping-valued variables, e.g.
+    ``booking.price`` is ``Variable("booking", ("price",))``.
+    """
+
+    name: str
+    path: Tuple[str, ...] = ()
+
+    def unparse(self) -> str:
+        return ".".join((self.name,) + self.path)
+
+    def variables(self) -> "frozenset[str]":
+        return frozenset({self.name})
+
+    def functions(self) -> "frozenset[str]":
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class FunctionCall(Node):
+    """A call to a registered helper predicate/function."""
+
+    name: str
+    args: Tuple[Node, ...]
+
+    def unparse(self) -> str:
+        rendered = ", ".join(arg.unparse() for arg in self.args)
+        return f"{self.name}({rendered})"
+
+    def variables(self) -> "frozenset[str]":
+        result: "frozenset[str]" = frozenset()
+        for arg in self.args:
+            result |= arg.variables()
+        return result
+
+    def functions(self) -> "frozenset[str]":
+        result = frozenset({self.name})
+        for arg in self.args:
+            result |= arg.functions()
+        return result
+
+
+@dataclass(frozen=True)
+class UnaryOp(Node):
+    """``not x`` or arithmetic negation ``-x``."""
+
+    op: str  # "not" | "-"
+    operand: Node
+
+    def unparse(self) -> str:
+        inner = self.operand.unparse()
+        if isinstance(self.operand, (BinaryOp, Comparison, UnaryOp)):
+            inner = f"({inner})"
+        if self.op == "not":
+            return f"not {inner}"
+        return f"-{inner}"
+
+    def variables(self) -> "frozenset[str]":
+        return self.operand.variables()
+
+    def functions(self) -> "frozenset[str]":
+        return self.operand.functions()
+
+
+#: Binary operator precedence, used by ``unparse`` to decide parenthesisation.
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "%": 5,
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Node):
+    """Logical (``and``/``or``) or arithmetic binary operation."""
+
+    op: str
+    left: Node
+    right: Node
+
+    def _render(self, child: Node, right_side: bool) -> str:
+        text = child.unparse()
+        if isinstance(child, BinaryOp):
+            mine = _PRECEDENCE[self.op]
+            theirs = _PRECEDENCE[child.op]
+            if theirs < mine or (theirs == mine and right_side):
+                return f"({text})"
+        elif isinstance(child, Comparison) and self.op in ("and", "or"):
+            # comparisons bind tighter than logic; no parens needed
+            return text
+        elif isinstance(child, Comparison):
+            return f"({text})"
+        elif isinstance(child, UnaryOp) and child.op == "not" and (
+            self.op not in ("and", "or")
+        ):
+            # "not" sits above arithmetic in the grammar: (not x) + y
+            # must keep its parentheses to survive re-parsing.
+            return f"({text})"
+        return text
+
+    def unparse(self) -> str:
+        left = self._render(self.left, right_side=False)
+        right = self._render(self.right, right_side=True)
+        return f"{left} {self.op} {right}"
+
+    def variables(self) -> "frozenset[str]":
+        return self.left.variables() | self.right.variables()
+
+    def functions(self) -> "frozenset[str]":
+        return self.left.functions() | self.right.functions()
+
+
+@dataclass(frozen=True)
+class Comparison(Node):
+    """A comparison: ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``, ``in``."""
+
+    op: str
+    left: Node
+    right: Node
+
+    def unparse(self) -> str:
+        def wrap(child: Node) -> str:
+            text = child.unparse()
+            if isinstance(child, Comparison):
+                return f"({text})"
+            if isinstance(child, BinaryOp) and child.op in ("and", "or"):
+                return f"({text})"
+            if isinstance(child, UnaryOp) and child.op == "not":
+                return f"({text})"
+            return text
+
+        return f"{wrap(self.left)} {self.op} {wrap(self.right)}"
+
+    def variables(self) -> "frozenset[str]":
+        return self.left.variables() | self.right.variables()
+
+    def functions(self) -> "frozenset[str]":
+        return self.left.functions() | self.right.functions()

@@ -1,0 +1,244 @@
+"""Evaluation of guard expression ASTs over variable environments."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.exceptions import EvaluationError, UnboundVariableError
+from repro.expr.ast_nodes import (
+    BinaryOp,
+    Comparison,
+    FunctionCall,
+    Literal,
+    Node,
+    UnaryOp,
+    Variable,
+)
+from repro.expr.functions import FunctionRegistry, default_registry
+from repro.expr.parser import parse
+
+
+class Evaluator:
+    """Interprets expression ASTs against an environment and registry.
+
+    Semantics follow the usual dynamically-typed comparison rules:
+
+    * ``and``/``or`` short-circuit and return booleans,
+    * ``=``/``!=`` compare any values (numbers compare numerically, so
+      ``1 = 1.0`` holds),
+    * ordering comparisons require two numbers or two strings,
+    * arithmetic requires numbers; ``+`` also concatenates two strings,
+    * dotted variable paths index into mapping values,
+    * unknown variables raise :class:`UnboundVariableError` (a missing
+      binding in a guard is a modelling bug we refuse to hide).
+    """
+
+    def __init__(self, registry: Optional[FunctionRegistry] = None) -> None:
+        self.registry = registry if registry is not None else default_registry()
+
+    def evaluate(self, node: Node, env: Mapping[str, Any]) -> Any:
+        """Evaluate ``node`` and return its value (any type)."""
+        method = getattr(self, f"_eval_{type(node).__name__.lower()}", None)
+        if method is None:
+            raise EvaluationError(f"cannot evaluate node {node!r}")
+        return method(node, env)
+
+    def evaluate_bool(self, node: Node, env: Mapping[str, Any]) -> bool:
+        """Evaluate ``node`` and coerce the result to a boolean.
+
+        Guards must yield booleans; other truthy/falsy values are accepted
+        with Python truthiness, matching the permissive ECA notation in the
+        paper's figures.
+        """
+        return bool(self.evaluate(node, env))
+
+    # Node handlers -------------------------------------------------------
+
+    def _eval_literal(self, node: Literal, env: Mapping[str, Any]) -> Any:
+        return node.value
+
+    def _eval_variable(self, node: Variable, env: Mapping[str, Any]) -> Any:
+        if node.name not in env:
+            raise UnboundVariableError(node.name)
+        value = env[node.name]
+        for attr in node.path:
+            if isinstance(value, Mapping) and attr in value:
+                value = value[attr]
+            elif hasattr(value, attr):
+                value = getattr(value, attr)
+            else:
+                raise EvaluationError(
+                    f"variable {node.unparse()!r}: {value!r} has no "
+                    f"attribute {attr!r}"
+                )
+        return value
+
+    def _eval_functioncall(
+        self, node: FunctionCall, env: Mapping[str, Any]
+    ) -> Any:
+        func = self.registry.lookup(node.name)
+        args = [self.evaluate(arg, env) for arg in node.args]
+        try:
+            return func(*args)
+        except EvaluationError:
+            raise
+        except TypeError as exc:
+            raise EvaluationError(
+                f"call {node.unparse()!r} failed: {exc}"
+            ) from exc
+
+    def _eval_unaryop(self, node: UnaryOp, env: Mapping[str, Any]) -> Any:
+        value = self.evaluate(node.operand, env)
+        if node.op == "not":
+            return not value
+        if node.op == "-":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise EvaluationError(f"cannot negate {value!r}")
+            return -value
+        raise EvaluationError(f"unknown unary operator {node.op!r}")
+
+    def _eval_binaryop(self, node: BinaryOp, env: Mapping[str, Any]) -> Any:
+        if node.op == "and":
+            return bool(
+                self.evaluate(node.left, env) and self.evaluate(node.right, env)
+            )
+        if node.op == "or":
+            return bool(
+                self.evaluate(node.left, env) or self.evaluate(node.right, env)
+            )
+        left = self.evaluate(node.left, env)
+        right = self.evaluate(node.right, env)
+        if node.op == "+":
+            if isinstance(left, str) and isinstance(right, str):
+                return left + right
+            return self._arith(node.op, left, right)
+        return self._arith(node.op, left, right)
+
+    @staticmethod
+    def _arith(op: str, left: Any, right: Any) -> Any:
+        for value in (left, right):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise EvaluationError(
+                    f"arithmetic {op!r} requires numbers, got {value!r}"
+                )
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise EvaluationError("division by zero")
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise EvaluationError("modulo by zero")
+            return left % right
+        raise EvaluationError(f"unknown operator {op!r}")
+
+    def _eval_comparison(self, node: Comparison, env: Mapping[str, Any]) -> bool:
+        left = self.evaluate(node.left, env)
+        right = self.evaluate(node.right, env)
+        op = node.op
+        if op == "=":
+            return self._equal(left, right)
+        if op == "!=":
+            return not self._equal(left, right)
+        if op == "in":
+            if right is None:
+                return False
+            if isinstance(right, str):
+                return str(left) in right
+            try:
+                return left in right
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"'in' cannot search {right!r}"
+                ) from exc
+        return self._ordered(op, left, right)
+
+    @staticmethod
+    def _equal(left: Any, right: Any) -> bool:
+        if isinstance(left, bool) or isinstance(right, bool):
+            return left is right if isinstance(left, bool) and isinstance(
+                right, bool
+            ) else False
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            return float(left) == float(right)
+        return left == right
+
+    @staticmethod
+    def _ordered(op: str, left: Any, right: Any) -> bool:
+        numbers = (
+            isinstance(left, (int, float))
+            and not isinstance(left, bool)
+            and isinstance(right, (int, float))
+            and not isinstance(right, bool)
+        )
+        strings = isinstance(left, str) and isinstance(right, str)
+        if not (numbers or strings):
+            raise EvaluationError(
+                f"cannot order {left!r} {op} {right!r}: need two numbers "
+                f"or two strings"
+            )
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise EvaluationError(f"unknown comparison {op!r}")
+
+
+class CompiledExpression:
+    """A parsed expression bound to an evaluator, cached for reuse.
+
+    Routing-table preconditions are evaluated once per notification per
+    state; compiling them at deployment time keeps the runtime hot path
+    free of parsing, mirroring the paper's "statically extracted" claim.
+    """
+
+    __slots__ = ("text", "ast", "_evaluator")
+
+    def __init__(
+        self,
+        text: str,
+        registry: Optional[FunctionRegistry] = None,
+    ) -> None:
+        self.text = text
+        self.ast = parse(text)
+        self._evaluator = Evaluator(registry)
+
+    def __call__(self, env: Mapping[str, Any]) -> bool:
+        return self._evaluator.evaluate_bool(self.ast, env)
+
+    def value(self, env: Mapping[str, Any]) -> Any:
+        """Evaluate and return the raw (non-coerced) value."""
+        return self._evaluator.evaluate(self.ast, env)
+
+    @property
+    def variables(self) -> "frozenset[str]":
+        return self.ast.variables()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CompiledExpression({self.text!r})"
+
+
+def compile_expression(
+    text: str, registry: Optional[FunctionRegistry] = None
+) -> CompiledExpression:
+    """Parse ``text`` once and return a reusable callable."""
+    return CompiledExpression(text, registry)
+
+
+def evaluate(
+    text: str,
+    env: Optional[Mapping[str, Any]] = None,
+    registry: Optional[FunctionRegistry] = None,
+) -> Any:
+    """One-shot convenience: parse and evaluate ``text`` against ``env``."""
+    evaluator = Evaluator(registry)
+    return evaluator.evaluate(parse(text), env or {})

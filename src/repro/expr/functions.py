@@ -1,0 +1,211 @@
+"""Registry of helper functions callable from guard expressions.
+
+The paper's travel scenario uses two domain predicates —
+``domestic(destination)`` and ``near(major_attraction, accommodation)`` —
+whose definitions live with the deployed platform, not with the statechart.
+:class:`FunctionRegistry` holds such bindings; :func:`default_registry`
+ships a set of generic helpers plus the travel-scenario predicates with
+documented default semantics that examples and tests can override.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Optional
+
+from repro.exceptions import EvaluationError, UnknownFunctionError
+
+ExprFunction = Callable[..., Any]
+
+
+class FunctionRegistry:
+    """A named collection of functions available to guard expressions.
+
+    Registries can be chained: lookups fall back to ``parent`` so a
+    deployment can shadow a generic helper with a domain-specific one
+    without copying the whole default set.
+    """
+
+    def __init__(self, parent: Optional["FunctionRegistry"] = None) -> None:
+        self._functions: Dict[str, ExprFunction] = {}
+        self._parent = parent
+
+    def register(self, name: str, func: ExprFunction) -> None:
+        """Bind ``name`` to ``func``, shadowing any parent binding."""
+        if not name or not (name[0].isalpha() or name[0] == "_"):
+            raise ValueError(f"invalid function name {name!r}")
+        self._functions[name] = func
+
+    def registered(self, name: str) -> Callable[[ExprFunction], ExprFunction]:
+        """Decorator form of :meth:`register`."""
+
+        def decorator(func: ExprFunction) -> ExprFunction:
+            self.register(name, func)
+            return func
+
+        return decorator
+
+    def lookup(self, name: str) -> ExprFunction:
+        """Return the function bound to ``name``.
+
+        Raises :class:`~repro.exceptions.UnknownFunctionError` when the
+        name is bound neither here nor in any parent registry.
+        """
+        registry: Optional[FunctionRegistry] = self
+        while registry is not None:
+            if name in registry._functions:
+                return registry._functions[name]
+            registry = registry._parent
+        raise UnknownFunctionError(name)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.lookup(name)
+        except UnknownFunctionError:
+            return False
+        return True
+
+    def names(self) -> Iterator[str]:
+        """Iterate all visible function names (own + inherited)."""
+        seen = set()
+        registry: Optional[FunctionRegistry] = self
+        while registry is not None:
+            for name in registry._functions:
+                if name not in seen:
+                    seen.add(name)
+                    yield name
+            registry = registry._parent
+
+    def child(self) -> "FunctionRegistry":
+        """Create an empty registry inheriting from this one."""
+        return FunctionRegistry(parent=self)
+
+
+def _as_number(value: Any, context: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise EvaluationError(f"{context} requires a number, got {value!r}")
+    return float(value)
+
+
+#: Countries treated as "domestic" by the default travel predicates.  The
+#: original demo ran in Australia; examples may override via a registry
+#: child.
+DOMESTIC_COUNTRY = "australia"
+
+#: Cities the default ``domestic`` predicate knows to be Australian.
+_AUSTRALIAN_CITIES = {
+    "sydney", "melbourne", "brisbane", "perth", "adelaide", "canberra",
+    "darwin", "hobart", "cairns", "gold coast", "alice springs",
+}
+
+#: Distance (km) under which two places count as "near" by default.
+NEAR_THRESHOLD_KM = 20.0
+
+
+def make_default_functions() -> Dict[str, ExprFunction]:
+    """Build the default helper-function set as a plain dict."""
+
+    def fn_domestic(destination: Any) -> bool:
+        """True when the destination is in the platform's home country."""
+        if isinstance(destination, Mapping):
+            country = str(destination.get("country", "")).lower()
+            return country == DOMESTIC_COUNTRY
+        if destination is None:
+            raise EvaluationError("domestic() got a null destination")
+        return str(destination).lower() in _AUSTRALIAN_CITIES
+
+    def fn_near(place_a: Any, place_b: Any) -> bool:
+        """True when two places are within :data:`NEAR_THRESHOLD_KM`.
+
+        Accepts mappings with ``lat``/``lon`` keys, ``(lat, lon)`` pairs,
+        or plain strings (equal strings are near, others are not).
+        """
+        coords_a = _coords(place_a)
+        coords_b = _coords(place_b)
+        if coords_a is None or coords_b is None:
+            return _place_name(place_a) == _place_name(place_b)
+        return haversine_km(coords_a, coords_b) <= NEAR_THRESHOLD_KM
+
+    def fn_distance(place_a: Any, place_b: Any) -> float:
+        coords_a = _coords(place_a)
+        coords_b = _coords(place_b)
+        if coords_a is None or coords_b is None:
+            raise EvaluationError("distance() requires coordinates")
+        return haversine_km(coords_a, coords_b)
+
+    return {
+        "domestic": fn_domestic,
+        "near": fn_near,
+        "distance": fn_distance,
+        "abs": lambda x: abs(_as_number(x, "abs()")),
+        "min": lambda *xs: min(_as_number(x, "min()") for x in xs),
+        "max": lambda *xs: max(_as_number(x, "max()") for x in xs),
+        "round": lambda x: round(_as_number(x, "round()")),
+        "floor": lambda x: math.floor(_as_number(x, "floor()")),
+        "ceil": lambda x: math.ceil(_as_number(x, "ceil()")),
+        "length": _fn_length,
+        "lower": lambda s: str(s).lower(),
+        "upper": lambda s: str(s).upper(),
+        "contains": _fn_contains,
+        "starts_with": lambda s, p: str(s).startswith(str(p)),
+        "ends_with": lambda s, p: str(s).endswith(str(p)),
+        "defined": lambda v: v is not None,
+        "empty": lambda v: _fn_length(v) == 0,
+    }
+
+
+def _fn_length(value: Any) -> int:
+    if value is None:
+        return 0
+    if isinstance(value, (str, list, tuple, dict, set)):
+        return len(value)
+    raise EvaluationError(f"length() cannot measure {value!r}")
+
+
+def _fn_contains(container: Any, item: Any) -> bool:
+    if container is None:
+        return False
+    if isinstance(container, str):
+        return str(item) in container
+    if isinstance(container, Iterable):
+        return item in container
+    raise EvaluationError(f"contains() cannot search {container!r}")
+
+
+def _place_name(place: Any) -> str:
+    if isinstance(place, Mapping):
+        return str(place.get("name", place)).lower()
+    return str(place).lower()
+
+
+def _coords(place: Any) -> "Optional[tuple[float, float]]":
+    if isinstance(place, Mapping) and "lat" in place and "lon" in place:
+        return float(place["lat"]), float(place["lon"])
+    if (
+        isinstance(place, (tuple, list))
+        and len(place) == 2
+        and all(isinstance(c, (int, float)) for c in place)
+    ):
+        return float(place[0]), float(place[1])
+    return None
+
+
+def haversine_km(a: "tuple[float, float]", b: "tuple[float, float]") -> float:
+    """Great-circle distance in kilometres between two (lat, lon) pairs."""
+    lat1, lon1 = (math.radians(c) for c in a)
+    lat2, lon2 = (math.radians(c) for c in b)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = (
+        math.sin(dlat / 2) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    )
+    return 2 * 6371.0 * math.asin(min(1.0, math.sqrt(h)))
+
+
+def default_registry() -> FunctionRegistry:
+    """Create a fresh registry holding the default helper set."""
+    registry = FunctionRegistry()
+    for name, func in make_default_functions().items():
+        registry.register(name, func)
+    return registry

@@ -1,0 +1,167 @@
+"""Recursive-descent parser for the guard expression language."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.exceptions import ParseError
+from repro.expr.ast_nodes import (
+    BinaryOp,
+    Comparison,
+    FunctionCall,
+    Literal,
+    Node,
+    UnaryOp,
+    Variable,
+)
+from repro.expr.tokens import Token, TokenType, tokenize
+
+_COMPARISON_TOKENS = {
+    TokenType.EQ: "=",
+    TokenType.NEQ: "!=",
+    TokenType.LT: "<",
+    TokenType.LTE: "<=",
+    TokenType.GT: ">",
+    TokenType.GTE: ">=",
+    TokenType.IN: "in",
+}
+
+
+class _Parser:
+    """Stateful cursor over the token list."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _expect(self, ttype: TokenType) -> Token:
+        token = self.current
+        if token.type is not ttype:
+            raise ParseError(
+                f"expected {ttype.value!r} but found {token.type.value!r}",
+                token.position,
+            )
+        return self._advance()
+
+    # Grammar rules, lowest precedence first -----------------------------
+
+    def parse_expression(self) -> Node:
+        return self._or_expr()
+
+    def _or_expr(self) -> Node:
+        node = self._and_expr()
+        while self.current.type is TokenType.OR:
+            self._advance()
+            node = BinaryOp("or", node, self._and_expr())
+        return node
+
+    def _and_expr(self) -> Node:
+        node = self._not_expr()
+        while self.current.type is TokenType.AND:
+            self._advance()
+            node = BinaryOp("and", node, self._not_expr())
+        return node
+
+    def _not_expr(self) -> Node:
+        if self.current.type is TokenType.NOT:
+            self._advance()
+            return UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Node:
+        node = self._additive()
+        ttype = self.current.type
+        if ttype in _COMPARISON_TOKENS:
+            op = _COMPARISON_TOKENS[ttype]
+            self._advance()
+            right = self._additive()
+            return Comparison(op, node, right)
+        return node
+
+    def _additive(self) -> Node:
+        node = self._term()
+        while self.current.type in (TokenType.PLUS, TokenType.MINUS):
+            op = "+" if self.current.type is TokenType.PLUS else "-"
+            self._advance()
+            node = BinaryOp(op, node, self._term())
+        return node
+
+    def _term(self) -> Node:
+        node = self._factor()
+        ops = {
+            TokenType.STAR: "*",
+            TokenType.SLASH: "/",
+            TokenType.PERCENT: "%",
+        }
+        while self.current.type in ops:
+            op = ops[self.current.type]
+            self._advance()
+            node = BinaryOp(op, node, self._factor())
+        return node
+
+    def _factor(self) -> Node:
+        token = self.current
+        if token.type is TokenType.MINUS:
+            self._advance()
+            return UnaryOp("-", self._factor())
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            node = self.parse_expression()
+            self._expect(TokenType.RPAREN)
+            return node
+        if token.type in (TokenType.NUMBER, TokenType.STRING,
+                          TokenType.BOOLEAN, TokenType.NULL):
+            self._advance()
+            return Literal(token.value)
+        if token.type is TokenType.IDENT:
+            return self._ident_factor()
+        raise ParseError(
+            f"unexpected token {token.type.value!r}", token.position
+        )
+
+    def _ident_factor(self) -> Node:
+        name_token = self._advance()
+        name = str(name_token.value)
+        if self.current.type is TokenType.LPAREN:
+            self._advance()
+            args: List[Node] = []
+            if self.current.type is not TokenType.RPAREN:
+                args.append(self.parse_expression())
+                while self.current.type is TokenType.COMMA:
+                    self._advance()
+                    args.append(self.parse_expression())
+            self._expect(TokenType.RPAREN)
+            return FunctionCall(name, tuple(args))
+        path: Tuple[str, ...] = ()
+        while self.current.type is TokenType.DOT:
+            self._advance()
+            attr = self._expect(TokenType.IDENT)
+            path = path + (str(attr.value),)
+        return Variable(name, path)
+
+
+def parse(text: str) -> Node:
+    """Parse ``text`` into an AST.
+
+    Raises :class:`~repro.exceptions.ParseError` if the text is not a
+    single complete expression.
+    """
+    parser = _Parser(tokenize(text))
+    node = parser.parse_expression()
+    trailing = parser.current
+    if trailing.type is not TokenType.EOF:
+        raise ParseError(
+            f"unexpected trailing token {trailing.type.value!r}",
+            trailing.position,
+        )
+    return node

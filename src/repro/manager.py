@@ -1,0 +1,145 @@
+"""The SELF-SERV Service Manager (Figure 1).
+
+The manager bundles the three architecture modules over one transport:
+
+* the **service discovery engine** (``manager.discovery``) — publish and
+  search services in the UDDI registry,
+* the **service editor** (``manager.editor``) — define composite services,
+* the **service deployer** (``manager.deployer``) — generate routing
+  tables and install coordinators/wrappers on provider hosts.
+
+It also offers the end-to-end convenience flows the demo walks through:
+register a provider's service (deploy + publish), define-and-deploy a
+composite, and locate-and-execute an operation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.deployment.deployer import CompositeDeployment, Deployer
+from repro.deployment.placement import PlacementPolicy
+from repro.discovery.engine import ServiceDiscoveryEngine
+from repro.editor.drafts import CompositeDraft, ServiceEditor
+from repro.expr import FunctionRegistry
+from repro.net.transport import Transport
+from repro.runtime.client import RuntimeClient
+from repro.runtime.community_wrapper import CommunityWrapperRuntime
+from repro.runtime.directory import ServiceDirectory
+from repro.runtime.protocol import ExecutionResult
+from repro.runtime.service_wrapper import ServiceWrapperRuntime
+from repro.selection.policies import SelectionPolicy
+from repro.services.community import ServiceCommunity
+from repro.services.composite import CompositeService
+from repro.services.elementary import ElementaryService
+
+
+class ServiceManager:
+    """Facade wiring editor, deployer and discovery over one transport."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        registry: Optional[FunctionRegistry] = None,
+        placement: Optional[PlacementPolicy] = None,
+    ) -> None:
+        self.transport = transport
+        self.directory = ServiceDirectory()
+        self.deployer = Deployer(
+            transport, self.directory, registry=registry,
+            placement=placement,
+        )
+        self.discovery = ServiceDiscoveryEngine(transport, self.directory)
+        self.editor = ServiceEditor()
+        self._clients: Dict[str, RuntimeClient] = {}
+
+    # Provider flows ---------------------------------------------------------
+
+    def register_elementary(
+        self,
+        service: ElementaryService,
+        host: str,
+        category: str = "",
+        publish: bool = True,
+        rng: Optional[random.Random] = None,
+    ) -> ServiceWrapperRuntime:
+        """Deploy an elementary service and (by default) publish it."""
+        wrapper = self.deployer.deploy_elementary(service, host, rng=rng)
+        if publish:
+            self.discovery.publish(service.description, category=category)
+        return wrapper
+
+    def register_community(
+        self,
+        community: ServiceCommunity,
+        host: str,
+        policy: "Union[SelectionPolicy, str]" = "multi-attribute",
+        category: str = "",
+        publish: bool = True,
+        timeout_ms: float = 1000.0,
+    ) -> CommunityWrapperRuntime:
+        """Deploy a community wrapper and (by default) publish it."""
+        wrapper = self.deployer.deploy_community(
+            community, host, policy=policy, timeout_ms=timeout_ms,
+        )
+        if publish:
+            self.discovery.publish(community.description, category=category)
+        return wrapper
+
+    # Composer flows --------------------------------------------------------------
+
+    def new_draft(
+        self, name: str, provider: str = "", documentation: str = ""
+    ) -> CompositeDraft:
+        """Open the editor on a new composite draft."""
+        return self.editor.new_draft(name, provider, documentation)
+
+    def deploy_composite(
+        self,
+        composite: "Union[CompositeService, CompositeDraft]",
+        host: str,
+        category: str = "composite",
+        publish: bool = True,
+        default_timeout_ms: Optional[float] = None,
+    ) -> CompositeDeployment:
+        """Deploy (and by default publish) a composite service."""
+        if isinstance(composite, CompositeDraft):
+            composite = composite.build()
+        deployment = self.deployer.deploy_composite(
+            composite, host, default_timeout_ms=default_timeout_ms,
+        )
+        if publish:
+            self.discovery.publish(
+                composite.description, category=category,
+            )
+        return deployment
+
+    # End-user flows ----------------------------------------------------------------
+
+    def client(self, name: str, host: str) -> RuntimeClient:
+        """Get (or create) a named end-user client on ``host``."""
+        client = self._clients.get(name)
+        if client is None:
+            if not self.transport.has_node(host):
+                self.transport.add_node(host)
+            client = RuntimeClient(name, host, self.transport)
+            client.install()
+            self._clients[name] = client
+        return client
+
+    def locate_and_execute(
+        self,
+        client_name: str,
+        client_host: str,
+        service_name: str,
+        operation: str,
+        arguments: Optional[Mapping[str, Any]] = None,
+        timeout_ms: Optional[float] = 60_000.0,
+    ) -> ExecutionResult:
+        """The full Figure 3 flow: search UDDI, resolve binding, execute."""
+        client = self.client(client_name, client_host)
+        return self.discovery.execute(
+            client, service_name, operation, arguments,
+            timeout_ms=timeout_ms,
+        )

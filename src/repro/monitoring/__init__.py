@@ -1,0 +1,17 @@
+"""Execution monitoring.
+
+"Coordinators ... are in charge of initiating, controlling, monitoring
+the associated state" (paper §2).  This package provides the platform's
+monitoring view: an :class:`ExecutionTracer` observes the transport and
+reconstructs, per execution, the timeline of coordination events — which
+states fired, which services were invoked where and for how long, which
+events were signalled — without touching the runtime's hot path.
+"""
+
+from repro.monitoring.tracer import (
+    ExecutionTracer,
+    ExecutionTimeline,
+    TraceEvent,
+)
+
+__all__ = ["ExecutionTimeline", "ExecutionTracer", "TraceEvent"]

@@ -1,0 +1,44 @@
+"""Messaging substrate.
+
+The original platform exchanged XML documents over Java sockets between
+provider hosts.  Here a *node* models one provider host; it exposes named
+*endpoints* (wrappers and coordinators register themselves as endpoints).
+A *transport* carries :class:`Message` objects between endpoints:
+
+* :class:`~repro.net.simnet.SimTransport` — runs on the discrete-event
+  simulator with configurable latency models, message loss and host
+  failure injection.  Deterministic; used by all benchmarks.
+* :class:`~repro.net.inproc.InProcTransport` — real threads and queues,
+  one dispatcher thread per node.  Exercises the same runtime code with
+  genuine concurrency; used by concurrency tests.
+
+Both collect :class:`TrafficStats`, the raw material of the paper's
+message-load claims.
+"""
+
+from repro.net.latency import (
+    FixedLatency,
+    LatencyModel,
+    UniformLatency,
+    ZoneLatency,
+)
+from repro.net.message import Message
+from repro.net.node import Endpoint, Node
+from repro.net.stats import TrafficStats
+from repro.net.transport import Transport
+from repro.net.simnet import SimTransport
+from repro.net.inproc import InProcTransport
+
+__all__ = [
+    "Endpoint",
+    "FixedLatency",
+    "InProcTransport",
+    "LatencyModel",
+    "Message",
+    "Node",
+    "SimTransport",
+    "TrafficStats",
+    "Transport",
+    "UniformLatency",
+    "ZoneLatency",
+]

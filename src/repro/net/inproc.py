@@ -1,0 +1,177 @@
+"""Threaded in-process transport: real concurrency, real clock.
+
+Each node gets a dispatcher thread draining a queue, mirroring the
+original platform's one-socket-listener-per-host design.  Latency can be
+emulated with real sleeps via ``latency_scale`` (disabled by default so
+the functional tests run fast); timers run on ``threading.Timer``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import TransportError
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.net.transport import Transport
+
+_SHUTDOWN = object()
+
+
+class InProcTransport(Transport):
+    """Transport backed by one dispatcher thread per node."""
+
+    def __init__(self, latency_scale: float = 0.0) -> None:
+        super().__init__()
+        if latency_scale < 0:
+            raise ValueError("latency_scale must be >= 0")
+        self.latency_scale = latency_scale
+        self._queues: Dict[str, "queue.Queue"] = {}
+        self._threads: Dict[str, threading.Thread] = {}
+        self._timers: "list[threading.Timer]" = []
+        self._lock = threading.Lock()
+        self._started = False
+        self._epoch = time.monotonic()
+
+    # Lifecycle ----------------------------------------------------------------
+
+    def add_node(self, node_id: str) -> Node:
+        node = super().add_node(node_id)
+        self._queues[node_id] = queue.Queue()
+        if self._started:
+            self._start_node(node_id)
+        return node
+
+    def start(self) -> None:
+        """Start dispatcher threads for all registered nodes."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for node_id in self.node_ids():
+                self._start_node(node_id)
+
+    def _start_node(self, node_id: str) -> None:
+        thread = threading.Thread(
+            target=self._dispatch_loop,
+            args=(node_id,),
+            name=f"node-{node_id}",
+            daemon=True,
+        )
+        self._threads[node_id] = thread
+        thread.start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Stop all dispatcher threads and cancel pending timers."""
+        with self._lock:
+            if not self._started:
+                return
+            self._started = False
+            for timer in self._timers:
+                timer.cancel()
+            self._timers.clear()
+            for node_id, q in self._queues.items():
+                q.put(_SHUTDOWN)
+        for thread in self._threads.values():
+            thread.join(timeout=timeout)
+        self._threads.clear()
+
+    def __enter__(self) -> "InProcTransport":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # Core operations ------------------------------------------------------------
+
+    def _dispatch_loop(self, node_id: str) -> None:
+        q = self._queues[node_id]
+        while True:
+            item = q.get()
+            if item is _SHUTDOWN:
+                return
+            message: Message = item
+            try:
+                self._deliver_now(message)
+            except Exception:  # noqa: BLE001 - a handler bug must not kill
+                # the dispatcher; errors surface as timeouts at the caller,
+                # as they would with a crashed socket handler.
+                self.stats.record_dropped(message)
+
+    def send(self, message: Message) -> None:
+        if not self._started:
+            raise TransportError(
+                "InProcTransport.send called before start(); use it as a "
+                "context manager or call start()"
+            )
+        if not self._precheck_send(message):
+            return
+        if self.latency_scale > 0 and not message.is_local:
+            delay = 0.001 * self.latency_scale
+            timer = threading.Timer(
+                delay, self._queues[message.target].put, args=(message,)
+            )
+            timer.daemon = True
+            with self._lock:
+                self._timers.append(timer)
+            timer.start()
+        else:
+            self._queues[message.target].put(message)
+
+    def schedule(
+        self, node_id: str, delay_ms: float, callback: Callable[[], None]
+    ) -> Callable[[], None]:
+        node = self.node(node_id)
+
+        def fire() -> None:
+            if node.up and self._started:
+                # Run on the node's dispatcher thread to keep the
+                # single-threaded-per-node execution model.
+                self._queues[node_id].put(_TimerMessage(node_id, callback))
+
+        timer = threading.Timer(max(0.0, delay_ms) / 1000.0, fire)
+        timer.daemon = True
+        with self._lock:
+            self._timers.append(timer)
+        timer.start()
+        return timer.cancel
+
+    def now_ms(self) -> float:
+        return (time.monotonic() - self._epoch) * 1000.0
+
+    def wait_for(
+        self, predicate: Callable[[], bool], timeout_ms: Optional[float] = None
+    ) -> bool:
+        deadline = (
+            None if timeout_ms is None
+            else time.monotonic() + timeout_ms / 1000.0
+        )
+        while not predicate():
+            if deadline is not None and time.monotonic() >= deadline:
+                return predicate()
+            time.sleep(0.001)
+        return True
+
+    def _deliver_now(self, message: Message) -> None:
+        if isinstance(message, _TimerMessage):
+            message.callback()
+            return
+        super()._deliver_now(message)
+
+
+class _TimerMessage(Message):
+    """Internal: a timer callback routed through the node's queue."""
+
+    def __init__(self, node_id: str, callback: Callable[[], None]) -> None:
+        super().__init__(
+            kind="__timer__",
+            source=node_id,
+            source_endpoint="__timer__",
+            target=node_id,
+            target_endpoint="__timer__",
+        )
+        self.callback = callback

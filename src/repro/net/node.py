@@ -1,0 +1,72 @@
+"""Nodes: provider hosts carrying named endpoints."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import TransportError
+from repro.net.message import Message
+
+EndpointHandler = Callable[[Message], None]
+
+
+class Endpoint:
+    """A named message sink on a node (a wrapper or a coordinator)."""
+
+    def __init__(self, name: str, handler: EndpointHandler) -> None:
+        self.name = name
+        self.handler = handler
+
+    def deliver(self, message: Message) -> None:
+        self.handler(message)
+
+
+class Node:
+    """One provider host.
+
+    A node is a passive addressing unit: the transport owns scheduling and
+    delivery; the node just maps endpoint names to handlers and tracks its
+    own up/down status (failure injection flips it).
+    """
+
+    def __init__(self, node_id: str) -> None:
+        if not node_id:
+            raise TransportError("node id must be non-empty")
+        self.node_id = node_id
+        self._endpoints: Dict[str, Endpoint] = {}
+        self.up = True
+
+    def register(self, name: str, handler: EndpointHandler) -> Endpoint:
+        """Register an endpoint; raises on duplicate names."""
+        if name in self._endpoints:
+            raise TransportError(
+                f"node {self.node_id!r} already has endpoint {name!r}"
+            )
+        endpoint = Endpoint(name, handler)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def unregister(self, name: str) -> None:
+        if name not in self._endpoints:
+            raise TransportError(
+                f"node {self.node_id!r} has no endpoint {name!r}"
+            )
+        del self._endpoints[name]
+
+    def endpoint(self, name: str) -> Endpoint:
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise TransportError(
+                f"node {self.node_id!r} has no endpoint {name!r}"
+            )
+        return endpoint
+
+    def has_endpoint(self, name: str) -> bool:
+        return name in self._endpoints
+
+    def endpoint_names(self) -> "List[str]":
+        return list(self._endpoints.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        status = "up" if self.up else "DOWN"
+        return f"Node({self.node_id!r}, {status}, endpoints={len(self._endpoints)})"

@@ -1,0 +1,108 @@
+"""Simulated transport: deterministic latency, loss, and failures."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.message import Message
+from repro.net.transport import Transport
+from repro.sim.simulator import Simulator
+
+
+class SimTransport(Transport):
+    """Transport running on a :class:`~repro.sim.simulator.Simulator`.
+
+    * message latency comes from a pluggable :class:`LatencyModel`,
+    * ``loss_rate`` drops that fraction of remote messages at random,
+    * node failure drops messages addressed to (or sent by) dead hosts,
+    * ``schedule`` maps to simulator events, so service work time and
+      timeouts share the same virtual clock as network delays,
+    * ``processing_ms`` models per-message handling cost at the receiving
+      host (socket handling + XML parsing): each node processes incoming
+      *network* messages serially, so a host that every message passes
+      through (a central orchestrator) becomes a queueing bottleneck
+      under load — the effect behind the paper's scalability argument.
+      Local (same-host) calls skip the network stack and pay nothing.
+      Default 0 disables the model.
+    """
+
+    def __init__(
+        self,
+        simulator: Optional[Simulator] = None,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+        processing_ms: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError("loss_rate must be in [0, 1)")
+        if processing_ms < 0:
+            raise ValueError("processing_ms must be >= 0")
+        self.simulator = simulator or Simulator()
+        self.latency = latency or FixedLatency()
+        self.loss_rate = loss_rate
+        self.rng = rng or random.Random(0)
+        self.processing_ms = processing_ms
+        self._busy_until: "dict[str, float]" = {}
+
+    def send(self, message: Message) -> None:
+        if not self._precheck_send(message):
+            return
+        if (
+            self.loss_rate > 0.0
+            and not message.is_local
+            and self.rng.random() < self.loss_rate
+        ):
+            self.stats.record_dropped(message)
+            return
+        delay = self.latency.sample_ms(message.source, message.target,
+                                       self.rng)
+        if self.processing_ms > 0 and not message.is_local:
+            # Serial handling at the target: the message is picked up when
+            # the host frees up, then occupies it for processing_ms.
+            arrival = self.simulator.now + delay
+            start = max(arrival, self._busy_until.get(message.target,
+                                                      0.0))
+            done = start + self.processing_ms
+            self._busy_until[message.target] = done
+            delay = done - self.simulator.now
+        self.simulator.schedule(delay, lambda: self._deliver_now(message))
+
+    def schedule(
+        self, node_id: str, delay_ms: float, callback: Callable[[], None]
+    ) -> Callable[[], None]:
+        node = self.node(node_id)
+
+        def fire() -> None:
+            if node.up:
+                callback()
+
+        event = self.simulator.schedule(delay_ms, fire)
+        return event.cancel
+
+    def now_ms(self) -> float:
+        return self.simulator.now
+
+    # Convenience for tests/benchmarks --------------------------------------
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Drain the event queue (the whole distributed system quiesces)."""
+        self.simulator.run(max_events=max_events)
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout_ms: Optional[float] = None,
+    ) -> bool:
+        """Run the simulation until ``predicate`` holds or timeout."""
+        return self.simulator.run_until(predicate, timeout_ms=timeout_ms)
+
+    def wait_for(
+        self,
+        predicate: Callable[[], bool],
+        timeout_ms: Optional[float] = None,
+    ) -> bool:
+        return self.run_until(predicate, timeout_ms=timeout_ms)

@@ -1,0 +1,101 @@
+"""Traffic statistics collected by transports.
+
+These counters are the measurement substrate for the paper's claims about
+decentralised execution: message counts and byte volumes per node show how
+coordination load concentrates on a central orchestrator versus spreading
+across peers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.net.message import Message
+
+
+@dataclass
+class TrafficStats:
+    """Counters over all messages a transport has carried."""
+
+    sent_total: int = 0
+    delivered_total: int = 0
+    dropped_total: int = 0
+    local_total: int = 0
+    remote_total: int = 0
+    bytes_total: int = 0
+    sent_by_node: Counter = field(default_factory=Counter)
+    received_by_node: Counter = field(default_factory=Counter)
+    by_kind: Counter = field(default_factory=Counter)
+    by_pair: Counter = field(default_factory=Counter)
+
+    def record_sent(self, message: Message) -> None:
+        self.sent_total += 1
+        self.bytes_total += message.size_bytes()
+        self.sent_by_node[message.source] += 1
+        self.by_kind[message.kind] += 1
+        self.by_pair[(message.source, message.target)] += 1
+        if message.is_local:
+            self.local_total += 1
+        else:
+            self.remote_total += 1
+
+    def record_delivered(self, message: Message) -> None:
+        self.delivered_total += 1
+        self.received_by_node[message.target] += 1
+
+    def record_dropped(self, message: Message) -> None:
+        self.dropped_total += 1
+
+    # Analysis helpers ------------------------------------------------------
+
+    def node_load(self, node_id: str) -> int:
+        """Messages touching ``node_id`` (sent + received)."""
+        return self.sent_by_node[node_id] + self.received_by_node[node_id]
+
+    def peak_node_load(self) -> "Tuple[str, int]":
+        """The busiest node and its message count.
+
+        This is the headline number of the scalability claim: centralised
+        orchestration concentrates nearly all traffic on one host.
+        """
+        nodes = set(self.sent_by_node) | set(self.received_by_node)
+        if not nodes:
+            return ("", 0)
+        busiest = max(nodes, key=self.node_load)
+        return busiest, self.node_load(busiest)
+
+    def load_by_node(self) -> "Dict[str, int]":
+        nodes = set(self.sent_by_node) | set(self.received_by_node)
+        return {n: self.node_load(n) for n in sorted(nodes)}
+
+    def load_concentration(self) -> float:
+        """Fraction of total message load carried by the busiest node.
+
+        1.0 means one node touches every message (perfectly centralised);
+        1/N means perfectly even spread over N nodes.
+        """
+        loads = self.load_by_node()
+        total = sum(loads.values())
+        if total == 0:
+            return 0.0
+        return max(loads.values()) / total
+
+    def top_nodes(self, count: int = 5) -> "List[Tuple[str, int]]":
+        loads = self.load_by_node()
+        ranked = sorted(loads.items(), key=lambda kv: kv[1], reverse=True)
+        return ranked[:count]
+
+    def reset(self) -> None:
+        """Zero every counter (between benchmark repetitions)."""
+        self.sent_total = 0
+        self.delivered_total = 0
+        self.dropped_total = 0
+        self.local_total = 0
+        self.remote_total = 0
+        self.bytes_total = 0
+        self.sent_by_node.clear()
+        self.received_by_node.clear()
+        self.by_kind.clear()
+        self.by_pair.clear()

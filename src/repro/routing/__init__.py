@@ -1,0 +1,49 @@
+"""Routing tables: statically precomputed coordination knowledge.
+
+Per the paper, "the knowledge required at runtime by each of the
+coordinators involved in a composite service (e.g., location, peers, and
+control flow routing policies) is statically extracted from the service's
+statechart and represented in a simple tabular form called routing tables.
+Routing tables contain preconditions and postprocessings."
+
+* :class:`Precondition` — when a coordinator's state should be executed:
+  a set of expected peer notifications plus a firing mode (``ANY`` for
+  ordinary states and XOR merges, ``ALL`` for AND-joins).
+* :class:`PostprocessingRow` — what to do after execution: one row per
+  outgoing edge, carrying the target coordinator, its host location, the
+  routing guard and the transition actions.
+* :func:`generate_routing_tables` — the static extraction algorithm over
+  the flattened statechart.
+* XML round-trip (:func:`routing_table_to_xml` and friends): tables are
+  stored as plain XML files on provider hosts, as in the original.
+"""
+
+from repro.routing.tables import (
+    FiringMode,
+    Postprocessing,
+    PostprocessingRow,
+    Precondition,
+    PreconditionEntry,
+    RoutingTable,
+)
+from repro.routing.generation import generate_routing_tables
+from repro.routing.serialization import (
+    routing_table_from_xml,
+    routing_table_to_xml,
+    routing_tables_from_xml,
+    routing_tables_to_xml,
+)
+
+__all__ = [
+    "FiringMode",
+    "Postprocessing",
+    "PostprocessingRow",
+    "Precondition",
+    "PreconditionEntry",
+    "RoutingTable",
+    "generate_routing_tables",
+    "routing_table_from_xml",
+    "routing_table_to_xml",
+    "routing_tables_from_xml",
+    "routing_tables_to_xml",
+]

@@ -1,0 +1,184 @@
+"""XML round-trip for routing tables.
+
+"By default, the XML documents containing the routing tables are stored in
+plain files" (paper §3).  The deployer writes one ``<routing-table>``
+element per coordinator, optionally bundled in a ``<routing-tables>``
+document per composite service.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, Union
+
+from repro.exceptions import XmlError
+from repro.routing.tables import (
+    FiringMode,
+    Postprocessing,
+    PostprocessingRow,
+    Precondition,
+    PreconditionEntry,
+    RoutingTable,
+)
+from repro.statecharts.flatten import NodeKind
+from repro.statecharts.model import Assignment, ServiceBinding
+from repro.xmlio import (
+    child,
+    children,
+    element,
+    optional_child,
+    parse_document,
+    read_attr,
+    read_bool_attr,
+    read_optional_attr,
+    subelement,
+    text_of,
+)
+
+
+def routing_table_to_xml(table: RoutingTable) -> ET.Element:
+    """Render one routing table as a ``<routing-table>`` element."""
+    root = element("routing-table", {
+        "node": table.node_id,
+        "kind": table.kind.value,
+        "host": table.host or None,
+    })
+    if table.binding is not None:
+        binding = subelement(root, "binding", {
+            "service": table.binding.service,
+            "operation": table.binding.operation,
+        })
+        for parameter, expression in table.binding.input_mapping.items():
+            subelement(binding, "input", {"parameter": parameter},
+                       text=expression)
+        for variable, parameter in table.binding.output_mapping.items():
+            subelement(binding, "output", {"variable": variable},
+                       text=parameter)
+    pre = subelement(root, "precondition",
+                     {"mode": table.precondition.mode.value})
+    for entry in table.precondition.entries:
+        subelement(pre, "expect", {
+            "edge": entry.edge_id,
+            "source": entry.source_node,
+        })
+    post = subelement(root, "postprocessing")
+    for row in table.postprocessing.rows:
+        row_node = subelement(post, "route", {
+            "edge": row.edge_id,
+            "target": row.target_node,
+            "host": row.target_host or None,
+            "always": row.fire_always,
+            "event": row.event or None,
+        })
+        subelement(row_node, "guard", text=row.guard)
+        for action in row.actions:
+            subelement(row_node, "action", {"variable": action.target},
+                       text=action.expression)
+        for emitted in row.emits:
+            subelement(row_node, "emit", {"event": emitted})
+    return root
+
+
+def routing_tables_to_xml(tables: "Dict[str, RoutingTable]") -> ET.Element:
+    """Bundle a composite service's tables in one document."""
+    root = element("routing-tables", {"count": len(tables)})
+    for node_id in sorted(tables):
+        root.append(routing_table_to_xml(tables[node_id]))
+    return root
+
+
+def routing_table_from_xml(
+    source: Union[str, bytes, ET.Element],
+) -> RoutingTable:
+    """Parse one ``<routing-table>`` element."""
+    root = source if isinstance(source, ET.Element) else parse_document(source)
+    if root.tag != "routing-table":
+        raise XmlError(
+            f"expected <routing-table> document, found <{root.tag}>"
+        )
+    kind_text = read_attr(root, "kind")
+    try:
+        kind = NodeKind(kind_text)
+    except ValueError:
+        raise XmlError(f"unknown coordinator kind {kind_text!r}") from None
+
+    binding = None
+    binding_node = optional_child(root, "binding")
+    if binding_node is not None:
+        binding = ServiceBinding(
+            service=read_attr(binding_node, "service"),
+            operation=read_attr(binding_node, "operation"),
+            input_mapping={
+                read_attr(i, "parameter"): text_of(i)
+                for i in children(binding_node, "input")
+            },
+            output_mapping={
+                read_attr(o, "variable"): text_of(o)
+                for o in children(binding_node, "output")
+            },
+        )
+
+    pre_node = child(root, "precondition")
+    mode_text = read_attr(pre_node, "mode")
+    try:
+        mode = FiringMode(mode_text)
+    except ValueError:
+        raise XmlError(f"unknown firing mode {mode_text!r}") from None
+    entries = tuple(
+        PreconditionEntry(
+            edge_id=read_attr(e, "edge"),
+            source_node=read_attr(e, "source"),
+        )
+        for e in children(pre_node, "expect")
+    )
+
+    post_node = child(root, "postprocessing")
+    rows = []
+    for row_node in children(post_node, "route"):
+        guard_node = optional_child(row_node, "guard")
+        actions = tuple(
+            Assignment(read_attr(a, "variable"), text_of(a))
+            for a in children(row_node, "action")
+        )
+        rows.append(PostprocessingRow(
+            edge_id=read_attr(row_node, "edge"),
+            target_node=read_attr(row_node, "target"),
+            guard=text_of(guard_node) if guard_node is not None else "true",
+            fire_always=read_bool_attr(row_node, "always", default=False),
+            actions=actions,
+            target_host=read_optional_attr(row_node, "host", "") or "",
+            event=read_optional_attr(row_node, "event", "") or "",
+            emits=tuple(
+                read_attr(e, "event")
+                for e in children(row_node, "emit")
+            ),
+        ))
+
+    return RoutingTable(
+        node_id=read_attr(root, "node"),
+        kind=kind,
+        precondition=Precondition(mode=mode, entries=entries),
+        postprocessing=Postprocessing(rows=tuple(rows)),
+        binding=binding,
+        host=read_optional_attr(root, "host", "") or "",
+    )
+
+
+def routing_tables_from_xml(
+    source: Union[str, bytes, ET.Element],
+) -> "Dict[str, RoutingTable]":
+    """Parse a ``<routing-tables>`` bundle."""
+    root = source if isinstance(source, ET.Element) else parse_document(source)
+    if root.tag != "routing-tables":
+        raise XmlError(
+            f"expected <routing-tables> document, found <{root.tag}>"
+        )
+    tables = {}
+    for table_node in children(root, "routing-table"):
+        table = routing_table_from_xml(table_node)
+        if table.node_id in tables:
+            raise XmlError(
+                f"duplicate routing table for node {table.node_id!r}"
+            )
+        tables[table.node_id] = table
+    return tables

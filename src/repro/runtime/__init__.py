@@ -1,0 +1,53 @@
+"""Peer-to-peer execution runtime.
+
+This package implements the paper's execution model: "the orchestration of
+the composite service execution is carried out through peer-to-peer
+message exchanges between the coordinators" (paper §4).  The pieces:
+
+* :class:`Coordinator` — one per state/flat-node, installed on a provider
+  host; matches notifications against its routing-table precondition,
+  invokes its service through the local wrapper, and notifies its peers
+  per the postprocessing rows,
+* :class:`ServiceWrapperRuntime` — the ``Wrapper`` class providers install
+  next to their elementary service,
+* :class:`CommunityWrapperRuntime` — the wrapper variant for communities:
+  selects a member by policy and fails over on fault/timeout,
+* :class:`CompositeWrapperRuntime` — the composite service's wrapper:
+  accepts execute requests, seeds the statechart's entry coordinator,
+  collects termination notifications, enforces deadlines,
+* :class:`RuntimeClient` — the end-user side of Figure 3's Execute button,
+* :class:`ServiceDirectory` — name-to-host resolution (the runtime slice
+  of the discovery engine's knowledge).
+"""
+
+from repro.runtime.protocol import (
+    ExecutionResult,
+    MessageKinds,
+    client_endpoint,
+    coordinator_endpoint,
+    wrapper_endpoint,
+)
+from repro.runtime.directory import ServiceDirectory
+from repro.runtime.coordinator import Coordinator
+from repro.runtime.service_wrapper import ServiceWrapperRuntime
+from repro.runtime.community_wrapper import CommunityWrapperRuntime
+from repro.runtime.composite_wrapper import (
+    CompositeWrapperRuntime,
+    ExecutionRecord,
+)
+from repro.runtime.client import RuntimeClient
+
+__all__ = [
+    "CommunityWrapperRuntime",
+    "CompositeWrapperRuntime",
+    "Coordinator",
+    "ExecutionRecord",
+    "ExecutionResult",
+    "MessageKinds",
+    "RuntimeClient",
+    "ServiceDirectory",
+    "ServiceWrapperRuntime",
+    "client_endpoint",
+    "coordinator_endpoint",
+    "wrapper_endpoint",
+]

@@ -1,0 +1,213 @@
+"""End-user client: the runtime behind Figure 3's Execute button.
+
+A client registers its own endpoint on a node (the end user's machine),
+sends ``execute`` to a composite wrapper, and waits for the
+``execute_result`` using the transport's blocking primitive — virtual time
+on the simulator, wall-clock polling on threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import ExecutionError, ExecutionTimeoutError
+from repro.net.message import Message
+from repro.net.transport import Transport
+from repro.runtime.protocol import (
+    ExecutionResult,
+    MessageKinds,
+    client_endpoint,
+)
+
+_request_ids = itertools.count(1)
+
+
+class RuntimeClient:
+    """A client able to execute composite (or any wrapped) services."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        transport: Transport,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.transport = transport
+        self._results: Dict[str, ExecutionResult] = {}
+        self._acks: Dict[str, str] = {}  # request_key -> execution_id
+        self._installed = False
+
+    @property
+    def endpoint_name(self) -> str:
+        return client_endpoint(self.name)
+
+    def install(self) -> None:
+        if not self._installed:
+            self.transport.node(self.host).register(
+                self.endpoint_name, self.on_message
+            )
+            self._installed = True
+
+    def on_message(self, message: Message) -> None:
+        body = message.body
+        if message.kind == MessageKinds.EXECUTE_ACK:
+            request_key = body.get("request_key", "")
+            if request_key:
+                self._acks[request_key] = body.get("execution_id", "")
+            return
+        if message.kind != MessageKinds.EXECUTE_RESULT:
+            return
+        execution_id = body.get("execution_id", "")
+        self._results[execution_id] = ExecutionResult(
+            execution_id=execution_id,
+            status=body.get("status", "fault"),
+            outputs=dict(body.get("outputs", {})),
+            fault=body.get("fault", ""),
+            finished_ms=self.transport.now_ms(),
+        )
+
+    # Asynchronous API -----------------------------------------------------
+
+    def submit(
+        self,
+        target_node: str,
+        target_endpoint: str,
+        operation: str,
+        arguments: Optional[Mapping[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> str:
+        """Fire an execute request; returns a request key for result().
+
+        ``deadline_ms`` is an *execution* deadline enforced by the
+        composite wrapper (when unset, the wrapper's deployment default
+        applies) — distinct from the client-side wait timeout of
+        :meth:`execute`.  The composite wrapper assigns the real execution
+        id, so the local key is provisional until the result arrives;
+        ``wait_all`` and ``execute`` hide this bookkeeping.
+        """
+        self.install()
+        request_key = f"{self.name}-req{next(_request_ids)}"
+        body: Dict[str, Any] = {
+            "operation": operation,
+            "arguments": dict(arguments or {}),
+            "request_key": request_key,
+        }
+        if deadline_ms is not None:
+            body["timeout_ms"] = deadline_ms
+        self.transport.send(Message(
+            kind=MessageKinds.EXECUTE,
+            source=self.host,
+            source_endpoint=self.endpoint_name,
+            target=target_node,
+            target_endpoint=target_endpoint,
+            body=body,
+        ))
+        return request_key
+
+    def execution_id_for(
+        self, request_key: str, timeout_ms: Optional[float] = 10_000.0
+    ) -> str:
+        """Wait for the wrapper's ack and return the execution id.
+
+        Needed before signalling ECA events at a running execution.
+        """
+        arrived = self.transport.wait_for(
+            lambda: request_key in self._acks, timeout_ms=timeout_ms
+        )
+        if not arrived:
+            raise ExecutionError(
+                f"no execute_ack for request {request_key!r}"
+            )
+        return self._acks[request_key]
+
+    def signal(
+        self,
+        target_node: str,
+        target_endpoint: str,
+        execution_id: str,
+        event: str,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Send an ECA event to a running execution.
+
+        ``payload`` values are merged into the waiting token's variable
+        environment before its guards are evaluated.
+        """
+        self.install()
+        self.transport.send(Message(
+            kind=MessageKinds.SIGNAL,
+            source=self.host,
+            source_endpoint=self.endpoint_name,
+            target=target_node,
+            target_endpoint=target_endpoint,
+            body={
+                "execution_id": execution_id,
+                "event": event,
+                "payload": dict(payload or {}),
+            },
+        ))
+
+    def results_received(self) -> int:
+        return len(self._results)
+
+    def take_results(self) -> "Dict[str, ExecutionResult]":
+        """Drain and return all results collected so far."""
+        drained = dict(self._results)
+        self._results.clear()
+        return drained
+
+    # Synchronous convenience ------------------------------------------------
+
+    def execute(
+        self,
+        target_node: str,
+        target_endpoint: str,
+        operation: str,
+        arguments: Optional[Mapping[str, Any]] = None,
+        timeout_ms: Optional[float] = 60_000.0,
+        deadline_ms: Optional[float] = None,
+    ) -> ExecutionResult:
+        """Execute one operation and block until its result arrives.
+
+        ``timeout_ms`` bounds the client-side wait; ``deadline_ms``
+        (optional) is forwarded to the composite wrapper as the execution
+        deadline.  Raises :class:`ExecutionTimeoutError` when no result
+        (not even a fault) arrives within ``timeout_ms`` — e.g. the
+        composite host is down.
+        """
+        before = len(self._results)
+        started = self.transport.now_ms()
+        self.submit(target_node, target_endpoint, operation, arguments,
+                    deadline_ms=deadline_ms)
+        arrived = self.transport.wait_for(
+            lambda: len(self._results) > before, timeout_ms=timeout_ms
+        )
+        if not arrived:
+            raise ExecutionTimeoutError(
+                f"no result for {operation!r} within {timeout_ms} ms "
+                f"(target {target_node!r} unreachable?)"
+            )
+        # The newest result is ours: this client is single-threaded per
+        # synchronous call.
+        execution_id = max(
+            self._results,
+            key=lambda eid: self._results[eid].finished_ms,
+        )
+        result = self._results.pop(execution_id)
+        result.started_ms = started
+        return result
+
+    def wait_all(
+        self, expected: int, timeout_ms: Optional[float] = None
+    ) -> "Dict[str, ExecutionResult]":
+        """Wait until ``expected`` results have arrived, then drain them."""
+        arrived = self.transport.wait_for(
+            lambda: len(self._results) >= expected, timeout_ms=timeout_ms
+        )
+        if not arrived:
+            raise ExecutionTimeoutError(
+                f"only {len(self._results)}/{expected} results arrived"
+            )
+        return self.take_results()

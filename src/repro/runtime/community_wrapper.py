@@ -1,0 +1,263 @@
+"""The wrapper variant for service communities.
+
+A community's wrapper intercepts ``invoke`` messages, ranks the current
+members with a selection policy, delegates to the best candidate, and on
+fault *or timeout* fails over to the next one.  It records every outcome
+in the community's execution history, closing the feedback loop the paper
+describes ("the history of past executions and the status of ongoing
+executions").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import NoMemberAvailableError
+from repro.net.message import Message
+from repro.net.transport import Transport
+from repro.runtime.directory import ServiceDirectory
+from repro.runtime.protocol import (
+    MessageKinds,
+    invoke_body,
+    invoke_result_body,
+    wrapper_endpoint,
+)
+from repro.selection.history import ExecutionHistory
+from repro.selection.policies import SelectionPolicy, SelectionRequest
+from repro.services.community import MemberRecord, ServiceCommunity
+
+_delegation_ids = itertools.count(1)
+
+
+@dataclass
+class _Delegation:
+    """State of one in-progress community invocation."""
+
+    invocation_id: str
+    execution_id: str
+    operation: str
+    arguments: Dict[str, Any]
+    reply_node: str
+    reply_endpoint: str
+    candidates: List[MemberRecord]
+    next_index: int = 0
+    attempts: int = 0
+    current_member: str = ""
+    started_ms: float = 0.0
+    cancel_timeout: Optional[Callable[[], None]] = None
+    settled: bool = False
+
+
+class CommunityWrapperRuntime:
+    """Runtime wrapper around one service community."""
+
+    def __init__(
+        self,
+        community: ServiceCommunity,
+        policy: SelectionPolicy,
+        host: str,
+        transport: Transport,
+        directory: ServiceDirectory,
+        history: Optional[ExecutionHistory] = None,
+        timeout_ms: float = 1000.0,
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        self.community = community
+        self.policy = policy
+        self.host = host
+        self.transport = transport
+        self.directory = directory
+        self.history = history or ExecutionHistory()
+        self.timeout_ms = timeout_ms
+        self.max_attempts = max_attempts
+        self._delegations: Dict[str, _Delegation] = {}
+        self._by_member_invocation: Dict[str, str] = {}
+        self.delegated = 0
+        self.failovers = 0
+
+    @property
+    def endpoint_name(self) -> str:
+        return wrapper_endpoint(self.community.name)
+
+    def install(self) -> None:
+        self.transport.node(self.host).register(
+            self.endpoint_name, self.on_message
+        )
+
+    def uninstall(self) -> None:
+        self.transport.node(self.host).unregister(self.endpoint_name)
+
+    # Message handling ------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == MessageKinds.INVOKE:
+            self._on_invoke(message)
+        elif message.kind == MessageKinds.INVOKE_RESULT:
+            self._on_member_result(message)
+
+    def _on_invoke(self, message: Message) -> None:
+        body = message.body
+        reply_node, reply_endpoint = message.reply_address()
+        operation = body.get("operation", "")
+        arguments = dict(body.get("arguments", {}))
+        try:
+            candidates = self.community.candidates(operation, arguments)
+        except NoMemberAvailableError as exc:
+            self._reply_fault(
+                reply_node, reply_endpoint,
+                body.get("invocation_id", ""), body.get("execution_id", ""),
+                str(exc),
+            )
+            return
+        ranked = self.policy.rank(
+            candidates,
+            SelectionRequest(operation=operation, arguments=arguments),
+            self.history,
+        )
+        delegation = _Delegation(
+            invocation_id=body.get("invocation_id", ""),
+            execution_id=body.get("execution_id", ""),
+            operation=operation,
+            arguments=arguments,
+            reply_node=reply_node,
+            reply_endpoint=reply_endpoint,
+            candidates=ranked,
+        )
+        key = f"d{next(_delegation_ids)}"
+        self._delegations[key] = delegation
+        self._try_next_member(key)
+
+    def _try_next_member(self, key: str) -> None:
+        delegation = self._delegations.get(key)
+        if delegation is None or delegation.settled:
+            return
+        budget = self.max_attempts or len(delegation.candidates)
+        if (
+            delegation.next_index >= len(delegation.candidates)
+            or delegation.attempts >= budget
+        ):
+            self._settle_fault(
+                key,
+                f"community {self.community.name!r}: all "
+                f"{delegation.attempts} attempted member(s) failed for "
+                f"operation {delegation.operation!r}",
+            )
+            return
+        member = delegation.candidates[delegation.next_index]
+        delegation.next_index += 1
+        delegation.attempts += 1
+        delegation.current_member = member.service_name
+        delegation.started_ms = self.transport.now_ms()
+
+        if not self.directory.knows(member.service_name):
+            # Member never deployed — treat as an instant failure and move on.
+            self.history.record_end(member.service_name, False, 0.0)
+            self._try_next_member(key)
+            return
+
+        member_node, member_endpoint = self.directory.resolve(
+            member.service_name
+        )
+        member_invocation = f"{key}a{delegation.attempts}"
+        self._by_member_invocation[member_invocation] = key
+        self.history.record_start(member.service_name)
+        self.delegated += 1
+        if delegation.attempts > 1:
+            self.failovers += 1
+
+        self.transport.send(Message(
+            kind=MessageKinds.INVOKE,
+            source=self.host,
+            source_endpoint=self.endpoint_name,
+            target=member_node,
+            target_endpoint=member_endpoint,
+            body=invoke_body(
+                member_invocation,
+                delegation.execution_id,
+                member.member_operation(delegation.operation),
+                delegation.arguments,
+            ),
+        ))
+
+        def on_timeout() -> None:
+            self._on_member_timeout(key, member_invocation)
+
+        delegation.cancel_timeout = self.transport.schedule(
+            self.host, self.timeout_ms, on_timeout
+        )
+
+    def _on_member_result(self, message: Message) -> None:
+        body = message.body
+        member_invocation = body.get("invocation_id", "")
+        key = self._by_member_invocation.pop(member_invocation, None)
+        if key is None:
+            return  # late reply after timeout-driven failover
+        delegation = self._delegations.get(key)
+        if delegation is None or delegation.settled:
+            return
+        if delegation.cancel_timeout is not None:
+            delegation.cancel_timeout()
+            delegation.cancel_timeout = None
+        duration = self.transport.now_ms() - delegation.started_ms
+        ok = body.get("status") == "success"
+        self.history.record_end(delegation.current_member, ok, duration)
+        if ok:
+            self._settle_success(key, body.get("outputs", {}))
+        else:
+            self._try_next_member(key)
+
+    def _on_member_timeout(self, key: str, member_invocation: str) -> None:
+        if self._by_member_invocation.pop(member_invocation, None) is None:
+            return  # result arrived first
+        delegation = self._delegations.get(key)
+        if delegation is None or delegation.settled:
+            return
+        duration = self.transport.now_ms() - delegation.started_ms
+        self.history.record_end(delegation.current_member, False, duration)
+        self._try_next_member(key)
+
+    # Settling ------------------------------------------------------------------
+
+    def _settle_success(self, key: str, outputs: "Dict[str, Any]") -> None:
+        delegation = self._delegations.pop(key)
+        delegation.settled = True
+        self.transport.send(Message(
+            kind=MessageKinds.INVOKE_RESULT,
+            source=self.host,
+            source_endpoint=self.endpoint_name,
+            target=delegation.reply_node,
+            target_endpoint=delegation.reply_endpoint,
+            body=invoke_result_body(
+                delegation.invocation_id, delegation.execution_id,
+                ok=True, outputs=outputs,
+            ),
+        ))
+
+    def _settle_fault(self, key: str, reason: str) -> None:
+        delegation = self._delegations.pop(key)
+        delegation.settled = True
+        self._reply_fault(
+            delegation.reply_node, delegation.reply_endpoint,
+            delegation.invocation_id, delegation.execution_id, reason,
+        )
+
+    def _reply_fault(
+        self,
+        node: str,
+        endpoint: str,
+        invocation_id: str,
+        execution_id: str,
+        reason: str,
+    ) -> None:
+        self.transport.send(Message(
+            kind=MessageKinds.INVOKE_RESULT,
+            source=self.host,
+            source_endpoint=self.endpoint_name,
+            target=node,
+            target_endpoint=endpoint,
+            body=invoke_result_body(
+                invocation_id, execution_id, ok=False, fault=reason,
+            ),
+        ))

@@ -1,0 +1,311 @@
+"""The composite service's own wrapper.
+
+"When the wrapper of the composite service receives the document, it sends
+a message to the coordinator of the state(s) in the statechart which
+need(s) to be entered in the first place. [...] Eventually, the
+coordinators of the states which are exited in the last place send their
+notification of termination back to the composite service wrapper."
+(paper §4)
+
+The composite wrapper therefore: accepts ``execute`` requests, seeds the
+entry coordinator with a start token, waits for ``complete`` (or
+``execution_fault``), enforces an optional execution deadline, and answers
+the client with ``execute_result``.  It also keeps an execution log that
+examples/benchmarks read.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.net.message import Message
+from repro.net.transport import Transport
+from repro.runtime.protocol import (
+    MessageKinds,
+    START_EDGE,
+    WRAPPER_NODE,
+    coordinator_endpoint,
+    notify_body,
+    wrapper_endpoint,
+)
+from repro.services.description import OperationSpec
+
+
+@dataclass
+class ExecutionRecord:
+    """One composite execution as tracked by the wrapper."""
+
+    execution_id: str
+    operation: str
+    arguments: Dict[str, Any]
+    client_node: str
+    client_endpoint: str
+    status: str = "running"  # running | success | fault | timeout
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    fault: str = ""
+    started_ms: float = 0.0
+    finished_ms: float = 0.0
+    cancel_deadline: Optional[Callable[[], None]] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status != "running"
+
+    @property
+    def duration_ms(self) -> float:
+        return self.finished_ms - self.started_ms
+
+
+class CompositeWrapperRuntime:
+    """Runtime wrapper of a deployed composite-service operation set.
+
+    ``entry_points`` maps each operation name to the ``(entry_node_id,
+    entry_host)`` of its statechart's initial coordinator, and
+    ``output_specs`` to the operation's declared outputs (used to project
+    the final environment into the result document).
+    """
+
+    def __init__(
+        self,
+        composite: str,
+        host: str,
+        transport: Transport,
+        entry_points: "Dict[str, Tuple[str, str]]",
+        output_specs: "Dict[str, OperationSpec]",
+        default_timeout_ms: Optional[float] = None,
+        event_targets: Optional[
+            "Dict[str, Dict[str, List[Tuple[str, str]]]]"
+        ] = None,
+        coordinator_locations: Optional[
+            "Dict[str, List[Tuple[str, str]]]"
+        ] = None,
+        gc_finished_executions: bool = False,
+    ) -> None:
+        self.composite = composite
+        self.host = host
+        self.transport = transport
+        self.entry_points = dict(entry_points)
+        self.output_specs = dict(output_specs)
+        self.default_timeout_ms = default_timeout_ms
+        # operation -> event name -> [(node_id, host)] of the coordinators
+        # whose routing tables consume that event; computed statically by
+        # the deployer, like all other coordination knowledge.
+        self.event_targets = dict(event_targets or {})
+        # operation -> [(node_id, host)] of every coordinator; used by
+        # the garbage-collection broadcast after an execution finishes.
+        self.coordinator_locations = dict(coordinator_locations or {})
+        self.gc_finished_executions = gc_finished_executions
+        self._executions: Dict[str, ExecutionRecord] = {}
+        self._counter = itertools.count(1)
+
+    @property
+    def endpoint_name(self) -> str:
+        return wrapper_endpoint(self.composite)
+
+    def install(self) -> None:
+        self.transport.node(self.host).register(
+            self.endpoint_name, self.on_message
+        )
+
+    def uninstall(self) -> None:
+        self.transport.node(self.host).unregister(self.endpoint_name)
+
+    # Message handling ---------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == MessageKinds.EXECUTE:
+            self._on_execute(message)
+        elif message.kind == MessageKinds.COMPLETE:
+            self._on_complete(message)
+        elif message.kind == MessageKinds.EXECUTION_FAULT:
+            self._on_fault(message)
+        elif message.kind == MessageKinds.SIGNAL:
+            self._on_signal(message)
+
+    def _on_execute(self, message: Message) -> None:
+        body = message.body
+        operation = body.get("operation", "")
+        arguments = dict(body.get("arguments", {}))
+        client_node, client_endpoint = message.reply_address()
+        execution_id = f"{self.composite}:{operation}:{next(self._counter)}"
+
+        record = ExecutionRecord(
+            execution_id=execution_id,
+            operation=operation,
+            arguments=arguments,
+            client_node=client_node,
+            client_endpoint=client_endpoint,
+            started_ms=self.transport.now_ms(),
+        )
+        self._executions[execution_id] = record
+
+        # Acknowledge immediately so the client learns the execution id
+        # and can signal ECA events while the execution runs.
+        self.transport.send(Message(
+            kind=MessageKinds.EXECUTE_ACK,
+            source=self.host,
+            source_endpoint=self.endpoint_name,
+            target=client_node,
+            target_endpoint=client_endpoint,
+            body={
+                "execution_id": execution_id,
+                "request_key": body.get("request_key", ""),
+            },
+        ))
+
+        entry = self.entry_points.get(operation)
+        if entry is None:
+            self._finish(record, "fault",
+                         fault=f"composite {self.composite!r} has no "
+                               f"operation {operation!r}")
+            return
+
+        timeout_ms = body.get("timeout_ms", self.default_timeout_ms)
+        if timeout_ms is not None:
+            def on_deadline() -> None:
+                self._on_deadline(execution_id)
+
+            record.cancel_deadline = self.transport.schedule(
+                self.host, float(timeout_ms), on_deadline
+            )
+
+        entry_node, entry_host = entry
+        # Seed the entry coordinator: the start token carries the request
+        # arguments as the initial variable environment.
+        self.transport.send(Message(
+            kind=MessageKinds.NOTIFY,
+            source=self.host,
+            source_endpoint=self.endpoint_name,
+            target=entry_host,
+            target_endpoint=coordinator_endpoint(
+                self.composite, operation, entry_node
+            ),
+            body=notify_body(execution_id, START_EDGE, WRAPPER_NODE,
+                             arguments),
+        ))
+
+    def _on_complete(self, message: Message) -> None:
+        body = message.body
+        record = self._executions.get(body.get("execution_id", ""))
+        if record is None or record.finished:
+            return
+        env = body.get("env", {})
+        spec = self.output_specs.get(record.operation)
+        if spec is not None and spec.outputs:
+            outputs = {p.name: env.get(p.name) for p in spec.outputs}
+        else:
+            outputs = dict(env)
+        self._finish(record, "success", outputs=outputs)
+
+    def _on_fault(self, message: Message) -> None:
+        body = message.body
+        record = self._executions.get(body.get("execution_id", ""))
+        if record is None or record.finished:
+            return
+        self._finish(record, "fault",
+                     fault=body.get("reason", "unknown fault"))
+
+    def _on_signal(self, message: Message) -> None:
+        """Fan an ECA event out to the coordinators that consume it.
+
+        The fan-out set is static deployment knowledge (which routing
+        tables carry which event names), so an event touches only the
+        hosts that can react to it.
+        """
+        body = message.body
+        record = self._executions.get(body.get("execution_id", ""))
+        if record is None or record.finished:
+            return
+        event = body.get("event", "")
+        targets = self.event_targets.get(record.operation, {}).get(event, [])
+        for node_id, host in targets:
+            self.transport.send(Message(
+                kind=MessageKinds.SIGNAL,
+                source=self.host,
+                source_endpoint=self.endpoint_name,
+                target=host,
+                target_endpoint=coordinator_endpoint(
+                    self.composite, record.operation, node_id
+                ),
+                body={
+                    "execution_id": record.execution_id,
+                    "event": event,
+                    "payload": dict(body.get("payload", {})),
+                },
+            ))
+
+    def _on_deadline(self, execution_id: str) -> None:
+        record = self._executions.get(execution_id)
+        if record is None or record.finished:
+            return
+        self._finish(record, "timeout",
+                     fault=f"execution exceeded its deadline")
+
+    def _finish(
+        self,
+        record: ExecutionRecord,
+        status: str,
+        outputs: Optional[Dict[str, Any]] = None,
+        fault: str = "",
+    ) -> None:
+        record.status = status
+        record.outputs = outputs or {}
+        record.fault = fault
+        record.finished_ms = self.transport.now_ms()
+        if record.cancel_deadline is not None:
+            record.cancel_deadline()
+            record.cancel_deadline = None
+        self.transport.send(Message(
+            kind=MessageKinds.EXECUTE_RESULT,
+            source=self.host,
+            source_endpoint=self.endpoint_name,
+            target=record.client_node,
+            target_endpoint=record.client_endpoint,
+            body={
+                "execution_id": record.execution_id,
+                "status": record.status,
+                "outputs": record.outputs,
+                "fault": record.fault,
+            },
+        ))
+        if self.gc_finished_executions:
+            self._broadcast_discard(record)
+
+    def _broadcast_discard(self, record: ExecutionRecord) -> None:
+        """Tell every coordinator to drop the finished execution's state.
+
+        Long-running deployments would otherwise accumulate per-execution
+        bookkeeping at each coordinator forever; the broadcast is opt-in
+        because it adds one message per coordinator per execution.
+        """
+        for node_id, host in self.coordinator_locations.get(
+            record.operation, []
+        ):
+            self.transport.send(Message(
+                kind=MessageKinds.DISCARD,
+                source=self.host,
+                source_endpoint=self.endpoint_name,
+                target=host,
+                target_endpoint=coordinator_endpoint(
+                    self.composite, record.operation, node_id
+                ),
+                body={"execution_id": record.execution_id},
+            ))
+
+    # Introspection ---------------------------------------------------------------
+
+    def record(self, execution_id: str) -> Optional[ExecutionRecord]:
+        return self._executions.get(execution_id)
+
+    def records(self) -> "List[ExecutionRecord]":
+        return list(self._executions.values())
+
+    def running_count(self) -> int:
+        return sum(1 for r in self._executions.values() if not r.finished)
+
+    def success_count(self) -> int:
+        return sum(
+            1 for r in self._executions.values() if r.status == "success"
+        )

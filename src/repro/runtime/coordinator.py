@@ -1,0 +1,485 @@
+"""Coordinators: the peer components that orchestrate execution.
+
+"Coordinators are attached to each state of a composite service.  They are
+in charge of initiating, controlling, monitoring the associated state, and
+collaborating with their peers to manage the service execution."
+(paper §2)
+
+A coordinator's entire runtime logic is:
+
+1. **Precondition matching** — record each incoming ``notify`` and check
+   the routing table's precondition (``ANY``: every notification triggers
+   a firing; ``ALL``: a firing triggers when every expected edge has an
+   outstanding notification, consuming one from each — the AND-join).
+2. **Invocation** — for a TASK node, evaluate the input-mapping
+   expressions over the token's environment and ``invoke`` the component
+   service through its wrapper; control nodes skip straight to step 3.
+3. **Postprocessing** — evaluate each routing row's guard over the
+   (possibly output-enriched) environment, apply the row's ECA actions,
+   and ``notify`` the target coordinators.  FORK rows fire always; a
+   FINAL node reports ``complete`` to the composite wrapper instead.
+
+There is deliberately *no* scheduling algorithm here — everything the
+coordinator consults was precomputed into the routing table, which is the
+paper's central design claim.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import EvaluationError, ExpressionError
+from repro.expr import CompiledExpression, FunctionRegistry
+from repro.net.message import Message
+from repro.net.transport import Transport
+from repro.routing.tables import FiringMode, PostprocessingRow, RoutingTable
+from repro.runtime.directory import ServiceDirectory
+from repro.runtime.protocol import (
+    MessageKinds,
+    coordinator_endpoint,
+    invoke_body,
+    notify_body,
+)
+from repro.statecharts.flatten import NodeKind
+
+_invocation_ids = itertools.count(1)
+
+
+@dataclass
+class _ExecutionState:
+    """Per-execution bookkeeping at one coordinator."""
+
+    edge_counts: Dict[str, int] = field(default_factory=dict)
+    env: Dict[str, Any] = field(default_factory=dict)
+    firings: int = 0
+
+
+@dataclass
+class _WaitingToken:
+    """A completed firing parked until one of its ECA events arrives."""
+
+    execution_id: str
+    env: Dict[str, Any]
+    consumed: bool = False
+
+
+class Coordinator:
+    """The runtime agent of one flat-graph node."""
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        composite: str,
+        operation: str,
+        host: str,
+        transport: Transport,
+        directory: ServiceDirectory,
+        wrapper_address: "Tuple[str, str]",
+        registry: Optional[FunctionRegistry] = None,
+    ) -> None:
+        self.table = table
+        self.composite = composite
+        self.operation = operation
+        self.host = host
+        self.transport = transport
+        self.directory = directory
+        self.wrapper_address = wrapper_address
+        self._registry = registry
+        self._executions: Dict[str, _ExecutionState] = {}
+        self._waiting_tokens: "Dict[str, list]" = {}
+        # Signals that arrived before any token was parked to consume
+        # them: (event, payload) pairs per execution.  Distributed
+        # emission races make buffering necessary — a region may produce
+        # an event before its consumer's task completes.
+        self._buffered_signals: "Dict[str, list]" = {}
+        self._pending_invocations: Dict[str, "Tuple[str, Dict[str, Any]]"] = {}
+        self._compiled_guards: Dict[str, Optional[CompiledExpression]] = {}
+        self._compiled_actions: Dict[
+            str, "Tuple[Tuple[str, CompiledExpression], ...]"
+        ] = {}
+        self._compiled_inputs: "Dict[str, CompiledExpression]" = {}
+        self._compile_table()
+
+    # Static compilation (deployment-time work) ---------------------------
+
+    def _compile_table(self) -> None:
+        """Compile guards, actions and input mappings once, up front."""
+        for row in self.table.postprocessing.rows:
+            if row.fire_always or row.guard.strip() in ("", "true"):
+                self._compiled_guards[row.edge_id] = None
+            else:
+                self._compiled_guards[row.edge_id] = CompiledExpression(
+                    row.guard, self._registry
+                )
+            self._compiled_actions[row.edge_id] = tuple(
+                (action.target,
+                 CompiledExpression(action.expression, self._registry))
+                for action in row.actions
+            )
+        if self.table.binding is not None:
+            for parameter, expr in self.table.binding.input_mapping.items():
+                self._compiled_inputs[parameter] = CompiledExpression(
+                    expr, self._registry
+                )
+
+    # Wiring ------------------------------------------------------------------
+
+    @property
+    def endpoint_name(self) -> str:
+        return coordinator_endpoint(
+            self.composite, self.operation, self.table.node_id
+        )
+
+    def install(self) -> None:
+        """Register this coordinator's endpoint on its host node."""
+        self.transport.node(self.host).register(
+            self.endpoint_name, self.on_message
+        )
+
+    def uninstall(self) -> None:
+        self.transport.node(self.host).unregister(self.endpoint_name)
+
+    # Message handling -----------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == MessageKinds.NOTIFY:
+            self._on_notify(message)
+        elif message.kind == MessageKinds.INVOKE_RESULT:
+            self._on_invoke_result(message)
+        elif message.kind == MessageKinds.SIGNAL:
+            self._on_signal(message)
+        elif message.kind == MessageKinds.DISCARD:
+            self.discard_execution(message.body.get("execution_id", ""))
+        # Unknown kinds are dropped silently, as a socket server would.
+
+    def _on_notify(self, message: Message) -> None:
+        body = message.body
+        execution_id = body["execution_id"]
+        edge_id = body["edge_id"]
+        state = self._executions.setdefault(execution_id, _ExecutionState())
+        state.env.update(body.get("env", {}))
+        state.edge_counts[edge_id] = state.edge_counts.get(edge_id, 0) + 1
+
+        if self.table.precondition.mode is FiringMode.ANY:
+            # Each notification is one token: fire once per arrival.
+            self._fire(execution_id, dict(state.env))
+            state.firings += 1
+        else:
+            self._try_fire_join(execution_id, state)
+
+    def _try_fire_join(
+        self, execution_id: str, state: _ExecutionState
+    ) -> None:
+        expected = [e.edge_id for e in self.table.precondition.entries]
+        if not expected:
+            self._fire(execution_id, dict(state.env))
+            state.firings += 1
+            return
+        if all(state.edge_counts.get(edge, 0) >= 1 for edge in expected):
+            for edge in expected:
+                state.edge_counts[edge] -= 1
+            self._fire(execution_id, dict(state.env))
+            state.firings += 1
+
+    # Firing ------------------------------------------------------------------
+
+    def _fire(self, execution_id: str, env: "Dict[str, Any]") -> None:
+        if self.table.kind is NodeKind.TASK:
+            self._invoke_service(execution_id, env)
+        elif self.table.kind is NodeKind.FINAL:
+            self._report_complete(execution_id, env)
+        else:
+            self._postprocess(execution_id, env)
+
+    def _invoke_service(
+        self, execution_id: str, env: "Dict[str, Any]"
+    ) -> None:
+        binding = self.table.binding
+        assert binding is not None
+        try:
+            arguments = {
+                parameter: compiled.value(env)
+                for parameter, compiled in self._compiled_inputs.items()
+            }
+        except ExpressionError as exc:
+            self._report_fault(
+                execution_id,
+                f"input mapping of {self.table.node_id!r} failed: {exc}",
+            )
+            return
+        try:
+            target_node, target_endpoint = self.directory.resolve(
+                binding.service
+            )
+        except Exception as exc:  # DeploymentError
+            self._report_fault(execution_id, str(exc))
+            return
+        invocation_id = f"{self.table.node_id}-{next(_invocation_ids)}"
+        self._pending_invocations[invocation_id] = (execution_id, env)
+        self.transport.send(Message(
+            kind=MessageKinds.INVOKE,
+            source=self.host,
+            source_endpoint=self.endpoint_name,
+            target=target_node,
+            target_endpoint=target_endpoint,
+            body=invoke_body(
+                invocation_id, execution_id, binding.operation, arguments
+            ),
+        ))
+
+    def _on_invoke_result(self, message: Message) -> None:
+        body = message.body
+        invocation_id = body.get("invocation_id", "")
+        pending = self._pending_invocations.pop(invocation_id, None)
+        if pending is None:
+            return  # stale/duplicate result
+        execution_id, env = pending
+        if body.get("status") != "success":
+            binding = self.table.binding
+            service = binding.service if binding else "?"
+            self._report_fault(
+                execution_id,
+                f"invocation of {service!r} at {self.table.node_id!r} "
+                f"failed: {body.get('fault', 'unknown fault')}",
+            )
+            return
+        binding = self.table.binding
+        assert binding is not None
+        outputs = body.get("outputs", {})
+        for variable, parameter in binding.output_mapping.items():
+            env[variable] = outputs.get(parameter)
+        self._postprocess(execution_id, env)
+
+    def _postprocess(self, execution_id: str, env: "Dict[str, Any]") -> None:
+        """Route one completed firing.
+
+        Immediate rows (no ECA event) are evaluated now.  If none fires
+        and the table has event-consuming rows, the token parks until a
+        matching :meth:`signal <_on_signal>` arrives — the E part of the
+        ECA rule.  A completion transition that is enabled wins over
+        waiting for events, the usual statechart priority.
+        """
+        immediate = [
+            row for row in self.table.postprocessing.rows if not row.event
+        ]
+        event_rows = [
+            row for row in self.table.postprocessing.rows if row.event
+        ]
+        fired = 0
+        for row in immediate:
+            try:
+                if not self._row_matches(row, env):
+                    continue
+                out_env = self._apply_actions(row, env)
+            except ExpressionError as exc:
+                self._report_fault(
+                    execution_id,
+                    f"routing at {self.table.node_id!r} edge "
+                    f"{row.edge_id!r} failed: {exc}",
+                )
+                return
+            fired += 1
+            self._notify_peer(execution_id, row, out_env)
+            self._emit_events(execution_id, row)
+        if fired == 0 and event_rows:
+            self._waiting_tokens.setdefault(execution_id, []).append(
+                _WaitingToken(execution_id=execution_id, env=dict(env))
+            )
+            self._replay_buffered(execution_id)
+            return
+        if fired == 0 and self.table.postprocessing.rows:
+            self._report_fault(
+                execution_id,
+                f"no routing guard matched at {self.table.node_id!r}",
+            )
+
+    def _emit_events(self, execution_id: str, row) -> None:
+        """Produce the row's events (paper: 'produced events').
+
+        Emissions route through the composite wrapper, which holds the
+        static map of which coordinators consume which events and fans
+        the signal out precisely.
+        """
+        if not row.emits:
+            return
+        node, endpoint = self.wrapper_address
+        for event in row.emits:
+            self.transport.send(Message(
+                kind=MessageKinds.SIGNAL,
+                source=self.host,
+                source_endpoint=self.endpoint_name,
+                target=node,
+                target_endpoint=endpoint,
+                body={
+                    "execution_id": execution_id,
+                    "event": event,
+                    "payload": {},
+                },
+            ))
+
+    def _on_signal(self, message: Message) -> None:
+        """Consume an ECA event: wake matching parked tokens.
+
+        A signal that finds no parked token (yet) is buffered and
+        replayed when one parks — emissions and completions race freely
+        across the network.
+        """
+        body = message.body
+        execution_id = body.get("execution_id", "")
+        event = body.get("event", "")
+        payload = body.get("payload", {})
+        if not any(
+            row.event == event for row in self.table.postprocessing.rows
+        ):
+            return
+        if not self._try_consume(execution_id, event, payload):
+            self._buffered_signals.setdefault(execution_id, []).append(
+                (event, dict(payload))
+            )
+
+    def _try_consume(
+        self, execution_id: str, event: str, payload: "Dict[str, Any]"
+    ) -> bool:
+        """Wake parked tokens with ``event``; returns whether any fired."""
+        tokens = self._waiting_tokens.get(execution_id, [])
+        event_rows = [
+            row for row in self.table.postprocessing.rows
+            if row.event == event
+        ]
+        consumed_any = False
+        for token in tokens:
+            if token.consumed:
+                continue
+            token.env.update(payload)
+            fired = 0
+            for row in event_rows:
+                try:
+                    if not self._row_matches(row, token.env):
+                        continue
+                    out_env = self._apply_actions(row, token.env)
+                except ExpressionError as exc:
+                    token.consumed = True
+                    self._report_fault(
+                        execution_id,
+                        f"routing at {self.table.node_id!r} edge "
+                        f"{row.edge_id!r} failed: {exc}",
+                    )
+                    return True
+                fired += 1
+                self._notify_peer(execution_id, row, out_env)
+                self._emit_events(execution_id, row)
+            if fired:
+                token.consumed = True
+                consumed_any = True
+        self._waiting_tokens[execution_id] = [
+            t for t in tokens if not t.consumed
+        ]
+        return consumed_any
+
+    def _replay_buffered(self, execution_id: str) -> None:
+        """Offer buffered signals to a freshly parked token."""
+        buffered = self._buffered_signals.get(execution_id, [])
+        remaining = []
+        for event, payload in buffered:
+            if not self._try_consume(execution_id, event, payload):
+                remaining.append((event, payload))
+        if remaining:
+            self._buffered_signals[execution_id] = remaining
+        else:
+            self._buffered_signals.pop(execution_id, None)
+
+    def waiting_token_count(self, execution_id: str) -> int:
+        """Tokens parked on events for one execution (diagnostics)."""
+        return len(self._waiting_tokens.get(execution_id, []))
+
+    def _row_matches(
+        self, row: PostprocessingRow, env: "Dict[str, Any]"
+    ) -> bool:
+        compiled = self._compiled_guards[row.edge_id]
+        if row.fire_always or compiled is None:
+            return True
+        return compiled(env)
+
+    def _apply_actions(
+        self, row: PostprocessingRow, env: "Dict[str, Any]"
+    ) -> "Dict[str, Any]":
+        actions = self._compiled_actions[row.edge_id]
+        if not actions:
+            return env
+        out_env = dict(env)
+        for target, compiled in actions:
+            out_env[target] = compiled.value(env)
+        return out_env
+
+    def _notify_peer(
+        self,
+        execution_id: str,
+        row: PostprocessingRow,
+        env: "Dict[str, Any]",
+    ) -> None:
+        target_host = row.target_host or self.host
+        self.transport.send(Message(
+            kind=MessageKinds.NOTIFY,
+            source=self.host,
+            source_endpoint=self.endpoint_name,
+            target=target_host,
+            target_endpoint=coordinator_endpoint(
+                self.composite, self.operation, row.target_node
+            ),
+            body=notify_body(
+                execution_id, row.edge_id, self.table.node_id, env
+            ),
+        ))
+
+    # Reporting back to the composite wrapper ------------------------------------
+
+    def _report_complete(
+        self, execution_id: str, env: "Dict[str, Any]"
+    ) -> None:
+        node, endpoint = self.wrapper_address
+        self.transport.send(Message(
+            kind=MessageKinds.COMPLETE,
+            source=self.host,
+            source_endpoint=self.endpoint_name,
+            target=node,
+            target_endpoint=endpoint,
+            body={
+                "execution_id": execution_id,
+                "final_node": self.table.node_id,
+                "env": dict(env),
+            },
+        ))
+
+    def _report_fault(self, execution_id: str, reason: str) -> None:
+        node, endpoint = self.wrapper_address
+        self.transport.send(Message(
+            kind=MessageKinds.EXECUTION_FAULT,
+            source=self.host,
+            source_endpoint=self.endpoint_name,
+            target=node,
+            target_endpoint=endpoint,
+            body={
+                "execution_id": execution_id,
+                "node": self.table.node_id,
+                "reason": reason,
+            },
+        ))
+
+    # Diagnostics -----------------------------------------------------------------
+
+    def executions_seen(self) -> int:
+        return len(self._executions)
+
+    def discard_execution(self, execution_id: str) -> None:
+        """Drop per-execution state (wrapper-driven garbage collection)."""
+        self._executions.pop(execution_id, None)
+        self._waiting_tokens.pop(execution_id, None)
+        self._buffered_signals.pop(execution_id, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Coordinator({self.table.node_id!r} @ {self.host!r}, "
+            f"{self.composite}.{self.operation})"
+        )

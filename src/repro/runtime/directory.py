@@ -1,0 +1,60 @@
+"""Service directory: runtime name-to-location resolution.
+
+The UDDI registry knows *descriptions*; the runtime needs *locations*
+(which node hosts which service wrapper).  The deployer records locations
+here as it installs wrappers; coordinators and orchestrators resolve
+through it at invocation time, which is what lets a community re-point a
+logical service name at a different member between executions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import DeploymentError
+from repro.runtime.protocol import wrapper_endpoint
+
+
+class ServiceDirectory:
+    """Maps service names to ``(node_id, endpoint)`` addresses."""
+
+    def __init__(self) -> None:
+        self._locations: Dict[str, Tuple[str, str]] = {}
+
+    def register(
+        self, service: str, node_id: str, endpoint: str = ""
+    ) -> None:
+        """Record where ``service``'s wrapper lives.
+
+        Re-registration overwrites: a service may be redeployed to a new
+        host, and latest-wins matches UDDI's update semantics.
+        """
+        self._locations[service] = (
+            node_id, endpoint or wrapper_endpoint(service)
+        )
+
+    def unregister(self, service: str) -> None:
+        if service not in self._locations:
+            raise DeploymentError(
+                f"service {service!r} is not in the directory"
+            )
+        del self._locations[service]
+
+    def resolve(self, service: str) -> "Tuple[str, str]":
+        """Return ``(node_id, endpoint)`` for ``service``; raise if absent."""
+        location = self._locations.get(service)
+        if location is None:
+            raise DeploymentError(
+                f"service {service!r} has no registered location; was it "
+                f"deployed?"
+            )
+        return location
+
+    def knows(self, service: str) -> bool:
+        return service in self._locations
+
+    def services(self) -> "List[str]":
+        return sorted(self._locations.keys())
+
+    def node_of(self, service: str) -> str:
+        return self.resolve(service)[0]

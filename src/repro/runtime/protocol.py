@@ -1,0 +1,134 @@
+"""Wire protocol: message kinds, endpoint naming, result types.
+
+All runtime components speak this small vocabulary.  Keeping it in one
+module makes the protocol auditable: every message kind, every body field
+and every endpoint naming rule is defined here and nowhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+
+class MessageKinds:
+    """Protocol verbs.
+
+    ======================  ====================================================
+    kind                    meaning
+    ======================  ====================================================
+    ``execute``             client -> composite wrapper: start an execution
+    ``execute_result``      composite wrapper -> client: outcome
+    ``notify``              coordinator -> coordinator: control-flow token
+    ``invoke``              coordinator/orchestrator -> wrapper: call operation
+    ``invoke_result``       wrapper -> caller: operation outcome
+    ``complete``            final coordinator -> composite wrapper
+    ``execution_fault``     any coordinator -> composite wrapper: abort
+    ``execute_ack``         composite wrapper -> client: execution id
+    ``signal``              client -> wrapper -> coordinators: an ECA event
+    ======================  ====================================================
+    """
+
+    EXECUTE = "execute"
+    EXECUTE_RESULT = "execute_result"
+    NOTIFY = "notify"
+    INVOKE = "invoke"
+    INVOKE_RESULT = "invoke_result"
+    COMPLETE = "complete"
+    EXECUTION_FAULT = "execution_fault"
+    EXECUTE_ACK = "execute_ack"
+    SIGNAL = "signal"
+    DISCARD = "discard"
+
+
+#: Synthetic edge id used by the composite wrapper to seed the entry
+#: coordinator; never appears in routing tables.
+START_EDGE = "__start__"
+
+#: Synthetic source-node id for the seed notification.
+WRAPPER_NODE = "__wrapper__"
+
+
+def coordinator_endpoint(composite: str, operation: str, node_id: str) -> str:
+    """Endpoint name of the coordinator for one flat-graph node."""
+    return f"coord:{composite}:{operation}:{node_id}"
+
+
+def wrapper_endpoint(service: str) -> str:
+    """Endpoint name of a service's wrapper (elementary, community or
+    composite — one wrapper per service name, as in the original)."""
+    return f"wrapper:{service}"
+
+
+def client_endpoint(client_name: str) -> str:
+    """Endpoint name of an end-user client."""
+    return f"client:{client_name}"
+
+
+def central_endpoint(composite: str) -> str:
+    """Endpoint name of the centralised orchestrator (baseline)."""
+    return f"central:{composite}"
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one composite-service execution, as seen by a client."""
+
+    execution_id: str
+    status: str  # "success" | "fault" | "timeout"
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    fault: str = ""
+    started_ms: float = 0.0
+    finished_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "success"
+
+    @property
+    def duration_ms(self) -> float:
+        return self.finished_ms - self.started_ms
+
+
+def notify_body(
+    execution_id: str,
+    edge_id: str,
+    from_node: str,
+    env: Mapping[str, Any],
+) -> "Dict[str, Any]":
+    return {
+        "execution_id": execution_id,
+        "edge_id": edge_id,
+        "from_node": from_node,
+        "env": dict(env),
+    }
+
+
+def invoke_body(
+    invocation_id: str,
+    execution_id: str,
+    operation: str,
+    arguments: Mapping[str, Any],
+) -> "Dict[str, Any]":
+    return {
+        "invocation_id": invocation_id,
+        "execution_id": execution_id,
+        "operation": operation,
+        "arguments": dict(arguments),
+    }
+
+
+def invoke_result_body(
+    invocation_id: str,
+    execution_id: str,
+    ok: bool,
+    outputs: Optional[Mapping[str, Any]] = None,
+    fault: str = "",
+) -> "Dict[str, Any]":
+    return {
+        "invocation_id": invocation_id,
+        "execution_id": execution_id,
+        "status": "success" if ok else "fault",
+        "outputs": dict(outputs or {}),
+        "fault": fault,
+    }

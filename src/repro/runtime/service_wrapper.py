@@ -1,0 +1,120 @@
+"""The ``Wrapper`` providers install next to their elementary service.
+
+"The administrator is also required to build a wrapper for the service by
+downloading and configuring a class Wrapper provided by the SELF-SERV
+platform." (paper §3)
+
+The wrapper receives ``invoke`` messages, runs the operation against the
+local service implementation, and replies with ``invoke_result``.  Work
+time and reliability come from the service's QoS profile, sampled on the
+transport clock so the simulated testbed stays deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.exceptions import ServiceError
+from repro.net.message import Message
+from repro.net.transport import Transport
+from repro.runtime.protocol import (
+    MessageKinds,
+    invoke_result_body,
+    wrapper_endpoint,
+)
+from repro.services.elementary import ElementaryService
+
+
+class ServiceWrapperRuntime:
+    """Runtime wrapper around one elementary service."""
+
+    def __init__(
+        self,
+        service: ElementaryService,
+        host: str,
+        transport: Transport,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.transport = transport
+        self.rng = rng or random.Random(0)
+        self.in_flight = 0
+        self.completed = 0
+        self.faulted = 0
+
+    @property
+    def endpoint_name(self) -> str:
+        return wrapper_endpoint(self.service.name)
+
+    def install(self) -> None:
+        self.transport.node(self.host).register(
+            self.endpoint_name, self.on_message
+        )
+
+    def uninstall(self) -> None:
+        self.transport.node(self.host).unregister(self.endpoint_name)
+
+    def on_message(self, message: Message) -> None:
+        if message.kind != MessageKinds.INVOKE:
+            return
+        body = message.body
+        reply_node, reply_endpoint = message.reply_address()
+        invocation_id = body.get("invocation_id", "")
+        execution_id = body.get("execution_id", "")
+        operation = body.get("operation", "")
+        arguments = body.get("arguments", {})
+
+        work_ms = self.service.profile.sample_latency_ms(self.rng)
+        self.in_flight += 1
+
+        def do_work() -> None:
+            self.in_flight -= 1
+            ok = self.service.profile.sample_success(self.rng)
+            if not ok:
+                self.faulted += 1
+                self._reply(
+                    reply_node, reply_endpoint, invocation_id, execution_id,
+                    ok=False,
+                    fault=f"service {self.service.name!r} failed "
+                          f"(simulated unreliability)",
+                )
+                return
+            try:
+                outputs = self.service.invoke(operation, arguments)
+            except ServiceError as exc:
+                self.faulted += 1
+                self._reply(
+                    reply_node, reply_endpoint, invocation_id, execution_id,
+                    ok=False, fault=str(exc),
+                )
+                return
+            self.completed += 1
+            self._reply(
+                reply_node, reply_endpoint, invocation_id, execution_id,
+                ok=True, outputs=outputs,
+            )
+
+        self.transport.schedule(self.host, work_ms, do_work)
+
+    def _reply(
+        self,
+        node: str,
+        endpoint: str,
+        invocation_id: str,
+        execution_id: str,
+        ok: bool,
+        outputs: Optional[dict] = None,
+        fault: str = "",
+    ) -> None:
+        self.transport.send(Message(
+            kind=MessageKinds.INVOKE_RESULT,
+            source=self.host,
+            source_endpoint=self.endpoint_name,
+            target=node,
+            target_endpoint=endpoint,
+            body=invoke_result_body(
+                invocation_id, execution_id, ok, outputs, fault
+            ),
+        ))

@@ -1,0 +1,47 @@
+"""Community member selection.
+
+"At runtime, when a community receives a request for executing an
+operation, it delegates it to one of its current members.  The choice of
+the delegatee is based on the parameters of the request, the
+characteristics of the members, the history of past executions and the
+status of ongoing executions." (paper §2)
+
+The four information sources map to:
+
+* parameters of the request — :class:`SelectionRequest`,
+* member characteristics — :class:`~repro.services.ServiceProfile`,
+* history of past executions — :class:`ExecutionHistory`,
+* status of ongoing executions — :meth:`ExecutionHistory.current_load`.
+
+Policies return a *preference order* over candidates, not a single pick:
+the community wrapper walks the order on failure, which is what gives the
+platform its availability story (benchmark CLAIM-AVAIL).
+"""
+
+from repro.selection.history import ExecutionHistory, ServiceStats
+from repro.selection.policies import (
+    HistoryQualityPolicy,
+    LeastLoadedPolicy,
+    MultiAttributePolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SelectionPolicy,
+    SelectionRequest,
+    policy_by_name,
+)
+from repro.selection.scoring import AttributeWeights, score_member
+
+__all__ = [
+    "AttributeWeights",
+    "ExecutionHistory",
+    "HistoryQualityPolicy",
+    "LeastLoadedPolicy",
+    "MultiAttributePolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "SelectionPolicy",
+    "SelectionRequest",
+    "ServiceStats",
+    "policy_by_name",
+    "score_member",
+]

@@ -1,0 +1,172 @@
+"""Selection policies: ordering community members for delegation."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.exceptions import CommunityError
+from repro.selection.history import ExecutionHistory
+from repro.selection.scoring import AttributeWeights, score_candidates
+from repro.services.community import MemberRecord
+
+
+@dataclass(frozen=True)
+class SelectionRequest:
+    """Context of one delegation decision."""
+
+    operation: str
+    arguments: Mapping[str, Any] = field(default_factory=dict)
+
+
+class SelectionPolicy:
+    """Strategy interface: order candidates by preference.
+
+    ``rank`` must return a permutation of ``candidates``; the community
+    wrapper invokes the first member and fails over down the list.
+    """
+
+    name = "abstract"
+
+    def rank(
+        self,
+        candidates: "List[MemberRecord]",
+        request: SelectionRequest,
+        history: ExecutionHistory,
+    ) -> "List[MemberRecord]":
+        raise NotImplementedError
+
+
+class RandomPolicy(SelectionPolicy):
+    """Uniform random order — the no-information baseline."""
+
+    name = "random"
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng or random.Random(0)
+
+    def rank(
+        self,
+        candidates: "List[MemberRecord]",
+        request: SelectionRequest,
+        history: ExecutionHistory,
+    ) -> "List[MemberRecord]":
+        shuffled = list(candidates)
+        self.rng.shuffle(shuffled)
+        return shuffled
+
+
+class RoundRobinPolicy(SelectionPolicy):
+    """Rotate through members, spreading load evenly regardless of QoS."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next_index = 0
+
+    def rank(
+        self,
+        candidates: "List[MemberRecord]",
+        request: SelectionRequest,
+        history: ExecutionHistory,
+    ) -> "List[MemberRecord]":
+        ordered = sorted(candidates, key=lambda m: m.service_name)
+        if not ordered:
+            return []
+        start = self._next_index % len(ordered)
+        self._next_index += 1
+        return ordered[start:] + ordered[:start]
+
+
+class LeastLoadedPolicy(SelectionPolicy):
+    """Prefer the member with the fewest ongoing executions.
+
+    Ties break on advertised latency, then name (determinism)."""
+
+    name = "least-loaded"
+
+    def rank(
+        self,
+        candidates: "List[MemberRecord]",
+        request: SelectionRequest,
+        history: ExecutionHistory,
+    ) -> "List[MemberRecord]":
+        return sorted(
+            candidates,
+            key=lambda m: (
+                history.current_load(m.service_name) / m.profile.capacity,
+                m.profile.latency_mean_ms,
+                m.service_name,
+            ),
+        )
+
+
+class HistoryQualityPolicy(SelectionPolicy):
+    """Prefer members with the best observed success rate, then speed."""
+
+    name = "history-quality"
+
+    def rank(
+        self,
+        candidates: "List[MemberRecord]",
+        request: SelectionRequest,
+        history: ExecutionHistory,
+    ) -> "List[MemberRecord]":
+        def key(member: MemberRecord) -> "tuple[float, float, str]":
+            stats = history.stats(member.service_name)
+            rate = stats.success_rate(prior=member.profile.reliability)
+            duration = stats.mean_duration_ms(
+                default=member.profile.latency_mean_ms
+            )
+            return (-rate, duration, member.service_name)
+
+        return sorted(candidates, key=key)
+
+
+class MultiAttributePolicy(SelectionPolicy):
+    """Weighted additive utility over cost/latency/reliability/load."""
+
+    name = "multi-attribute"
+
+    def __init__(self, weights: Optional[AttributeWeights] = None) -> None:
+        self.weights = weights or AttributeWeights()
+
+    def rank(
+        self,
+        candidates: "List[MemberRecord]",
+        request: SelectionRequest,
+        history: ExecutionHistory,
+    ) -> "List[MemberRecord]":
+        scores = score_candidates(list(candidates), history, self.weights)
+        return sorted(
+            candidates,
+            key=lambda m: (-scores[m.service_name], m.service_name),
+        )
+
+
+_POLICIES = {
+    RandomPolicy.name: RandomPolicy,
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    HistoryQualityPolicy.name: HistoryQualityPolicy,
+    MultiAttributePolicy.name: MultiAttributePolicy,
+}
+
+
+def policy_by_name(name: str, **kwargs: Any) -> SelectionPolicy:
+    """Instantiate a policy from its registry name.
+
+    Used by deployment descriptors and the benchmark parameter sweeps.
+    """
+    cls = _POLICIES.get(name)
+    if cls is None:
+        raise CommunityError(
+            f"unknown selection policy {name!r}; available: "
+            f"{sorted(_POLICIES)}"
+        )
+    return cls(**kwargs)
+
+
+def available_policies() -> "Dict[str, type]":
+    return dict(_POLICIES)

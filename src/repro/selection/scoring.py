@@ -1,0 +1,102 @@
+"""Multi-attribute scoring of community members.
+
+A simple additive utility over normalised attributes, in the spirit of the
+quality-driven selection of the SELF-SERV line of work: each attribute is
+normalised to [0, 1] across the candidate set (higher is better), then
+combined with user-supplied weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.selection.history import ExecutionHistory
+from repro.services.community import MemberRecord
+
+
+@dataclass(frozen=True)
+class AttributeWeights:
+    """Relative importance of each selection attribute (>= 0 each).
+
+    Attributes cover the paper's four signals: ``cost`` and ``latency``
+    come from advertised member characteristics, ``reliability`` blends
+    the advertised value with observed history, and ``load`` reads the
+    status of ongoing executions.
+    """
+
+    cost: float = 1.0
+    latency: float = 1.0
+    reliability: float = 1.0
+    load: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("cost", "latency", "reliability", "load"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"weight {name!r} must be >= 0")
+
+    @property
+    def total(self) -> float:
+        return self.cost + self.latency + self.reliability + self.load
+
+
+def _normalise_lower_better(values: "List[float]") -> "List[float]":
+    """Map raw values to [0,1] where the smallest raw value scores 1."""
+    low, high = min(values), max(values)
+    if high == low:
+        return [1.0] * len(values)
+    return [(high - v) / (high - low) for v in values]
+
+
+def score_member(
+    member: MemberRecord,
+    candidates: Sequence[MemberRecord],
+    history: ExecutionHistory,
+    weights: AttributeWeights,
+) -> float:
+    """Score one member against the candidate set; higher is better."""
+    scores = score_candidates(list(candidates), history, weights)
+    return scores[member.service_name]
+
+
+def score_candidates(
+    candidates: "List[MemberRecord]",
+    history: ExecutionHistory,
+    weights: AttributeWeights,
+) -> "Dict[str, float]":
+    """Score every candidate; returns service name -> utility in [0, 1]."""
+    if not candidates:
+        return {}
+    costs = _normalise_lower_better([m.profile.cost for m in candidates])
+    latencies = _normalise_lower_better([
+        # Observed mean duration dominates once history exists; fall back
+        # to the advertised latency for fresh members.
+        history.mean_duration_ms(
+            m.service_name, default=m.profile.latency_mean_ms
+        )
+        for m in candidates
+    ])
+    loads = _normalise_lower_better([
+        history.current_load(m.service_name) / m.profile.capacity
+        for m in candidates
+    ])
+    reliabilities = [
+        # Blend: advertised reliability is the prior, history the evidence.
+        0.5 * m.profile.reliability
+        + 0.5 * history.stats(m.service_name).success_rate(
+            prior=m.profile.reliability
+        )
+        for m in candidates
+    ]
+
+    total_weight = weights.total or 1.0
+    result: Dict[str, float] = {}
+    for index, member in enumerate(candidates):
+        utility = (
+            weights.cost * costs[index]
+            + weights.latency * latencies[index]
+            + weights.reliability * reliabilities[index]
+            + weights.load * loads[index]
+        ) / total_weight
+        result[member.service_name] = utility
+    return result

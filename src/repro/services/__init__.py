@@ -1,0 +1,39 @@
+"""Service model: elementary services, composite services, communities.
+
+SELF-SERV distinguishes three service types (paper §2):
+
+* :class:`ElementaryService` — an individual web-accessible application
+  that does not rely on other web services,
+* :class:`CompositeService` — an aggregation of component services whose
+  operations are described by statecharts,
+* :class:`ServiceCommunity` — a container of alternative services that
+  delegates each request to one of its current members.
+
+All three share a WSDL-like :class:`ServiceDescription` (typed operations
+with input/output parameters) plus a QoS :class:`ServiceProfile` used by
+community selection and by the simulated testbed.
+"""
+
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+)
+from repro.services.profile import ServiceProfile
+from repro.services.elementary import ElementaryService, operation_handler
+from repro.services.composite import CompositeService
+from repro.services.community import MemberRecord, ServiceCommunity
+
+__all__ = [
+    "CompositeService",
+    "ElementaryService",
+    "MemberRecord",
+    "OperationSpec",
+    "Parameter",
+    "ParameterType",
+    "ServiceCommunity",
+    "ServiceDescription",
+    "ServiceProfile",
+    "operation_handler",
+]

@@ -1,0 +1,75 @@
+"""Composite services: statechart-described aggregations of components."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import OperationNotFoundError, ServiceError
+from repro.services.description import OperationSpec, ServiceDescription
+from repro.statecharts.model import Statechart
+from repro.statecharts.validation import validate
+
+
+class CompositeService:
+    """A composite service.
+
+    Per the paper, each *operation* of a composite service is glued
+    together by a statechart; most composites (including the travel demo)
+    expose a single operation, but the model allows several.
+    """
+
+    def __init__(self, description: ServiceDescription) -> None:
+        self.description = description
+        self._charts: Dict[str, Statechart] = {}
+
+    @property
+    def name(self) -> str:
+        return self.description.name
+
+    @property
+    def provider(self) -> str:
+        return self.description.provider
+
+    def define_operation(
+        self,
+        spec: OperationSpec,
+        chart: Statechart,
+        validate_chart: bool = True,
+    ) -> None:
+        """Declare an operation and attach its statechart."""
+        if spec.name in self._charts:
+            raise ServiceError(
+                f"composite {self.name!r} already defines operation "
+                f"{spec.name!r}"
+            )
+        if validate_chart:
+            validate(chart)
+        if not self.description.has_operation(spec.name):
+            self.description.add_operation(spec)
+        self._charts[spec.name] = chart
+
+    def chart_for(self, operation: str) -> Statechart:
+        chart = self._charts.get(operation)
+        if chart is None:
+            raise OperationNotFoundError(self.name, operation)
+        return chart
+
+    def operations(self) -> "List[str]":
+        return list(self._charts.keys())
+
+    def component_services(self) -> "List[str]":
+        """Names of every component service referenced by any operation."""
+        names: List[str] = []
+        seen = set()
+        for chart in self._charts.values():
+            for service in chart.service_names():
+                if service not in seen:
+                    seen.add(service)
+                    names.append(service)
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CompositeService({self.name!r}, "
+            f"operations={self.operations()!r})"
+        )

@@ -1,0 +1,174 @@
+"""WSDL-like typed service descriptions.
+
+A :class:`ServiceDescription` is the provider-independent interface of a
+service: its name, provider, documentation, and the set of operations with
+typed input/output parameters.  The discovery engine publishes these and
+the wrappers validate invocations against them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import OperationNotFoundError, ParameterError
+
+
+class ParameterType(enum.Enum):
+    """Wire types for operation parameters (XSD-flavoured subset)."""
+
+    STRING = "string"
+    INT = "int"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    RECORD = "record"  # nested mapping
+    LIST = "list"
+    ANY = "any"
+
+    def accepts(self, value: Any) -> bool:
+        """Check a Python value against this wire type."""
+        if value is None:
+            return True  # nullability is handled by Parameter.required
+        if self is ParameterType.STRING:
+            return isinstance(value, str)
+        if self is ParameterType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ParameterType.FLOAT:
+            return (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            )
+        if self is ParameterType.BOOLEAN:
+            return isinstance(value, bool)
+        if self is ParameterType.RECORD:
+            return isinstance(value, Mapping)
+        if self is ParameterType.LIST:
+            return isinstance(value, (list, tuple))
+        return True  # ANY
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One input or output parameter of an operation."""
+
+    name: str
+    type: ParameterType = ParameterType.ANY
+    required: bool = True
+    description: str = ""
+
+    def check(self, value: Any, operation: str, direction: str) -> None:
+        """Validate ``value``; raise :class:`ParameterError` on mismatch."""
+        if value is None:
+            if self.required:
+                raise ParameterError(
+                    f"operation {operation!r}: required {direction} "
+                    f"parameter {self.name!r} is missing"
+                )
+            return
+        if not self.type.accepts(value):
+            raise ParameterError(
+                f"operation {operation!r}: {direction} parameter "
+                f"{self.name!r} expects {self.type.value}, got "
+                f"{type(value).__name__} ({value!r})"
+            )
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """Signature of one service operation."""
+
+    name: str
+    inputs: Tuple[Parameter, ...] = ()
+    outputs: Tuple[Parameter, ...] = ()
+    description: str = ""
+
+    def input_names(self) -> "List[str]":
+        return [p.name for p in self.inputs]
+
+    def output_names(self) -> "List[str]":
+        return [p.name for p in self.outputs]
+
+    def validate_inputs(self, arguments: Mapping[str, Any]) -> "Dict[str, Any]":
+        """Validate and normalise call arguments.
+
+        Unknown argument names are rejected: silently dropping them hides
+        wiring bugs between the statechart's input mappings and the
+        operation signature.
+        """
+        known = {p.name for p in self.inputs}
+        unknown = set(arguments) - known
+        if unknown:
+            raise ParameterError(
+                f"operation {self.name!r}: unknown input parameter(s) "
+                f"{sorted(unknown)!r}"
+            )
+        for parameter in self.inputs:
+            parameter.check(arguments.get(parameter.name), self.name, "input")
+        return {name: arguments.get(name) for name in known}
+
+    def validate_outputs(self, results: Mapping[str, Any]) -> "Dict[str, Any]":
+        """Validate a handler's result mapping against the output spec."""
+        known = {p.name for p in self.outputs}
+        unknown = set(results) - known
+        if unknown:
+            raise ParameterError(
+                f"operation {self.name!r}: handler produced unknown "
+                f"output(s) {sorted(unknown)!r}"
+            )
+        for parameter in self.outputs:
+            parameter.check(results.get(parameter.name), self.name, "output")
+        return {name: results.get(name) for name in known}
+
+
+@dataclass
+class ServiceDescription:
+    """Provider-facing description of a service interface."""
+
+    name: str
+    provider: str = ""
+    description: str = ""
+    operations: Dict[str, OperationSpec] = field(default_factory=dict)
+
+    def add_operation(self, spec: OperationSpec) -> OperationSpec:
+        if spec.name in self.operations:
+            raise ParameterError(
+                f"service {self.name!r} already declares operation "
+                f"{spec.name!r}"
+            )
+        self.operations[spec.name] = spec
+        return spec
+
+    def operation(self, name: str) -> OperationSpec:
+        try:
+            return self.operations[name]
+        except KeyError:
+            raise OperationNotFoundError(self.name, name) from None
+
+    def has_operation(self, name: str) -> bool:
+        return name in self.operations
+
+    def operation_names(self) -> "List[str]":
+        return list(self.operations.keys())
+
+
+def simple_description(
+    name: str,
+    provider: str,
+    operations: Iterable[Tuple[str, Iterable[str], Iterable[str]]],
+    description: str = "",
+) -> ServiceDescription:
+    """Build a description with ANY-typed parameters from name tuples.
+
+    Each operation is ``(op_name, input_names, output_names)``.  Used by
+    tests and the synthetic workload generator where types don't matter.
+    """
+    desc = ServiceDescription(name=name, provider=provider,
+                              description=description)
+    for op_name, inputs, outputs in operations:
+        desc.add_operation(OperationSpec(
+            name=op_name,
+            inputs=tuple(Parameter(i) for i in inputs),
+            outputs=tuple(Parameter(o) for o in outputs),
+        ))
+    return desc

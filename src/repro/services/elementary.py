@@ -1,0 +1,117 @@
+"""Elementary services: individual web-accessible applications.
+
+An elementary service couples a :class:`ServiceDescription` with Python
+handlers, one per operation.  Handlers receive the validated input mapping
+and return an output mapping; the service validates both directions so a
+wiring mistake surfaces at the call site rather than three states later in
+a composite execution.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.exceptions import InvocationError, OperationNotFoundError
+from repro.services.description import OperationSpec, ServiceDescription
+from repro.services.profile import ServiceProfile
+
+OperationHandler = Callable[[Mapping[str, Any]], Mapping[str, Any]]
+
+
+def operation_handler(
+    func: Callable[..., Mapping[str, Any]]
+) -> OperationHandler:
+    """Adapt a keyword-argument function into an operation handler.
+
+    ``@operation_handler`` lets providers write natural signatures::
+
+        @operation_handler
+        def book(customer, departure_date, return_date):
+            return {"booking_ref": ...}
+    """
+
+    @functools.wraps(func)
+    def wrapper(inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        return func(**dict(inputs))
+
+    return wrapper
+
+
+class ElementaryService:
+    """A leaf service: description + handlers + QoS profile."""
+
+    def __init__(
+        self,
+        description: ServiceDescription,
+        profile: Optional[ServiceProfile] = None,
+    ) -> None:
+        self.description = description
+        self.profile = profile or ServiceProfile()
+        self._handlers: Dict[str, OperationHandler] = {}
+        self.invocation_count = 0
+
+    @property
+    def name(self) -> str:
+        return self.description.name
+
+    @property
+    def provider(self) -> str:
+        return self.description.provider
+
+    def bind(self, operation: str, handler: OperationHandler) -> None:
+        """Attach ``handler`` to the named operation.
+
+        The operation must exist in the description — binding an undeclared
+        operation would create an interface the registry never advertised.
+        """
+        self.description.operation(operation)  # raises if undeclared
+        self._handlers[operation] = handler
+
+    def handler_for(self, operation: str) -> OperationHandler:
+        spec = self.description.operation(operation)
+        handler = self._handlers.get(spec.name)
+        if handler is None:
+            raise InvocationError(
+                f"service {self.name!r}: operation {operation!r} is "
+                f"declared but has no handler bound"
+            )
+        return handler
+
+    def invoke(
+        self, operation: str, arguments: Mapping[str, Any]
+    ) -> "Dict[str, Any]":
+        """Invoke ``operation`` locally, validating inputs and outputs."""
+        spec: OperationSpec = self.description.operation(operation)
+        handler = self.handler_for(operation)
+        inputs = spec.validate_inputs(arguments)
+        self.invocation_count += 1
+        try:
+            results = handler(inputs)
+        except InvocationError:
+            raise
+        except Exception as exc:
+            raise InvocationError(
+                f"service {self.name!r} operation {operation!r} failed: "
+                f"{exc}"
+            ) from exc
+        if results is None:
+            results = {}
+        if not isinstance(results, Mapping):
+            raise InvocationError(
+                f"service {self.name!r} operation {operation!r} returned "
+                f"{type(results).__name__}, expected a mapping"
+            )
+        return spec.validate_outputs(results)
+
+    def supports(self, operation: str) -> bool:
+        """True when the operation is declared *and* has a handler."""
+        try:
+            self.handler_for(operation)
+        except (OperationNotFoundError, InvocationError):
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        ops = ", ".join(self.description.operation_names())
+        return f"ElementaryService({self.name!r}, operations=[{ops}])"

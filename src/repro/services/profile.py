@@ -1,0 +1,65 @@
+"""QoS profiles for services.
+
+Communities pick a delegatee based on "the parameters of the request, the
+characteristics of the members, the history of past executions and the
+status of ongoing executions" (paper §2).  The static *characteristics*
+live here; execution history and load are tracked by
+:mod:`repro.selection.history`.
+
+The same profile drives the simulated testbed: the network substrate uses
+``latency_mean_ms``/``latency_jitter_ms`` to model service work time and
+``reliability`` to inject failures deterministically from a seeded RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Advertised characteristics of a service instance.
+
+    * ``latency_mean_ms`` — mean execution time of an operation,
+    * ``latency_jitter_ms`` — half-width of the uniform jitter window,
+    * ``reliability`` — probability an invocation succeeds (0..1],
+    * ``cost`` — monetary cost per invocation (abstract units),
+    * ``capacity`` — max concurrent executions the provider handles before
+      response time degrades (used by load-aware selection).
+    """
+
+    latency_mean_ms: float = 10.0
+    latency_jitter_ms: float = 0.0
+    reliability: float = 1.0
+    cost: float = 1.0
+    capacity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.latency_mean_ms < 0:
+            raise ValueError("latency_mean_ms must be >= 0")
+        if self.latency_jitter_ms < 0:
+            raise ValueError("latency_jitter_ms must be >= 0")
+        if not (0.0 < self.reliability <= 1.0):
+            raise ValueError("reliability must be in (0, 1]")
+        if self.cost < 0:
+            raise ValueError("cost must be >= 0")
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+
+    def sample_latency_ms(self, rng: Optional[random.Random] = None) -> float:
+        """Draw one execution time from the profile's jitter window."""
+        if self.latency_jitter_ms == 0:
+            return self.latency_mean_ms
+        rng = rng or random
+        low = max(0.0, self.latency_mean_ms - self.latency_jitter_ms)
+        high = self.latency_mean_ms + self.latency_jitter_ms
+        return rng.uniform(low, high)
+
+    def sample_success(self, rng: Optional[random.Random] = None) -> bool:
+        """Draw one success/failure outcome from ``reliability``."""
+        if self.reliability >= 1.0:
+            return True
+        rng = rng or random
+        return rng.random() < self.reliability

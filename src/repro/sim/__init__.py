@@ -1,0 +1,13 @@
+"""Discrete-event simulation substrate.
+
+The original SELF-SERV ran on a LAN testbed of Java processes exchanging
+XML over sockets.  We reproduce that testbed two ways; this package is the
+deterministic one: a discrete-event simulator with a virtual millisecond
+clock, used by :class:`repro.net.simnet.SimTransport` to model message
+latency, service work time, timeouts and host failures reproducibly.
+"""
+
+from repro.sim.random_streams import RandomStreams
+from repro.sim.simulator import ScheduledEvent, Simulator
+
+__all__ = ["RandomStreams", "ScheduledEvent", "Simulator"]

@@ -1,0 +1,151 @@
+"""A minimal, fast discrete-event simulator.
+
+Events are ``(time, sequence, callback)`` triples in a binary heap.  The
+sequence number makes ordering total and deterministic: two events at the
+same virtual time fire in scheduling order, which is what makes simulated
+benchmark runs bit-for-bit reproducible across platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.exceptions import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """One pending event; orderable by (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event queue with a virtual clock in milliseconds."""
+
+    def __init__(self) -> None:
+        self._queue: List[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total events executed so far (diagnostic/bench metric)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return len(self._queue)
+
+    def schedule(self, delay_ms: float, callback: EventCallback) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay_ms`` after the current time."""
+        if delay_ms < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay_ms}")
+        event = ScheduledEvent(
+            time=self._now + delay_ms,
+            sequence=next(self._sequence),
+            callback=callback,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time_ms: float, callback: EventCallback) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute virtual time ``time_ms``."""
+        if time_ms < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ms} before now={self._now}"
+            )
+        return self.schedule(time_ms - self._now, callback)
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        ``until`` is an absolute virtual time; events scheduled at exactly
+        ``until`` still run (closed interval), which lets callers express
+        "run for the whole benchmark window".
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    return
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    return
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout_ms: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> bool:
+        """Run until ``predicate()`` holds; returns whether it did.
+
+        ``timeout_ms`` bounds *virtual* time relative to now; the event cap
+        guards against accidental infinite self-rescheduling loops.
+        """
+        deadline = None if timeout_ms is None else self._now + timeout_ms
+        executed = 0
+        while not predicate():
+            if deadline is not None and self._queue:
+                head_time = self._queue[0].time
+                if head_time > deadline:
+                    self._now = deadline
+                    return predicate()
+            if executed >= max_events:
+                raise SimulationError(
+                    f"run_until exceeded {max_events} events without the "
+                    f"predicate holding"
+                )
+            if not self.step():
+                return predicate()
+            executed += 1
+        return True

@@ -1,0 +1,53 @@
+"""Statechart model: SELF-SERV's declarative composition language.
+
+A composite service operation is described by a statechart whose states are
+bound to component-service operations and whose transitions carry ECA
+rules.  This package provides the object model, a fluent builder, XML
+(de)serialisation (the artefact shown in Figure 2 of the paper), structural
+validation, graph analysis, and flattening into the task/fork/join graph
+that routing-table generation consumes.
+"""
+
+from repro.statecharts.analysis import (
+    StatechartAnalysis,
+    analyze,
+)
+from repro.statecharts.builder import StatechartBuilder
+from repro.statecharts.flatten import (
+    FlatEdge,
+    FlatGraph,
+    FlatNode,
+    NodeKind,
+    flatten,
+)
+from repro.statecharts.model import (
+    ServiceBinding,
+    State,
+    StateKind,
+    Statechart,
+    Transition,
+)
+from repro.statecharts.serialization import (
+    statechart_from_xml,
+    statechart_to_xml,
+)
+from repro.statecharts.validation import validate
+
+__all__ = [
+    "FlatEdge",
+    "FlatGraph",
+    "FlatNode",
+    "NodeKind",
+    "ServiceBinding",
+    "State",
+    "StateKind",
+    "Statechart",
+    "StatechartAnalysis",
+    "StatechartBuilder",
+    "Transition",
+    "analyze",
+    "flatten",
+    "statechart_from_xml",
+    "statechart_to_xml",
+    "validate",
+]

@@ -1,0 +1,116 @@
+"""Graph analysis over statecharts.
+
+These helpers answer the structural questions routing-table generation and
+the editor need: which states can follow which, is the chart acyclic, what
+is the maximum parallel width, etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.statecharts.model import StateKind, Statechart
+
+
+@dataclass
+class StatechartAnalysis:
+    """Computed structural facts about one (non-nested) statechart level."""
+
+    chart_name: str
+    reachable: Set[str] = field(default_factory=set)
+    predecessors: Dict[str, Set[str]] = field(default_factory=dict)
+    successors: Dict[str, Set[str]] = field(default_factory=dict)
+    has_cycle: bool = False
+    topological_order: List[str] = field(default_factory=list)
+
+    def can_follow(self, earlier: str, later: str) -> bool:
+        """True when ``later`` is reachable from ``earlier`` via transitions."""
+        frontier = [earlier]
+        seen = {earlier}
+        while frontier:
+            current = frontier.pop()
+            for nxt in self.successors.get(current, ()):
+                if nxt == later:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+
+def analyze(chart: Statechart) -> StatechartAnalysis:
+    """Compute reachability, adjacency, cyclicity and a topological order.
+
+    When the chart is cyclic (loops are legal in statecharts, e.g. retry
+    arcs) ``topological_order`` lists only the acyclic prefix discovered by
+    Kahn's algorithm and ``has_cycle`` is set.
+    """
+    analysis = StatechartAnalysis(chart_name=chart.name)
+    for state in chart.states:
+        analysis.successors[state.state_id] = {
+            t.target for t in chart.outgoing(state.state_id)
+        }
+        analysis.predecessors[state.state_id] = {
+            t.source for t in chart.incoming(state.state_id)
+        }
+
+    initials = chart.initial_states()
+    if initials:
+        frontier = [initials[0].state_id]
+        analysis.reachable = {initials[0].state_id}
+        while frontier:
+            current = frontier.pop()
+            for nxt in analysis.successors[current]:
+                if nxt not in analysis.reachable:
+                    analysis.reachable.add(nxt)
+                    frontier.append(nxt)
+
+    # Kahn's algorithm for a topological order / cycle detection.
+    in_degree = {
+        sid: len(analysis.predecessors[sid]) for sid in chart.state_ids
+    }
+    queue = [sid for sid, deg in in_degree.items() if deg == 0]
+    order: List[str] = []
+    while queue:
+        current = queue.pop()
+        order.append(current)
+        for nxt in analysis.successors[current]:
+            in_degree[nxt] -= 1
+            if in_degree[nxt] == 0:
+                queue.append(nxt)
+    analysis.topological_order = order
+    analysis.has_cycle = len(order) != len(chart.state_ids)
+    return analysis
+
+
+def max_parallel_width(chart: Statechart) -> int:
+    """Upper bound on concurrently active basic states.
+
+    An AND state multiplies width by the sum of its regions' widths; a
+    compound state's width is its inner chart's width.  A flat chart has
+    width 1 (tokens move one state at a time at each level).
+    """
+    width = 1
+    best_state_width = 1
+    for state in chart.states:
+        if state.kind is StateKind.AND:
+            region_width = sum(max_parallel_width(r) for r in state.regions)
+            best_state_width = max(best_state_width, region_width)
+        elif state.kind is StateKind.COMPOUND and state.chart is not None:
+            best_state_width = max(
+                best_state_width, max_parallel_width(state.chart)
+            )
+    return max(width, best_state_width)
+
+
+def chart_depth(chart: Statechart) -> int:
+    """Maximum nesting depth (a flat chart has depth 1)."""
+    deepest = 1
+    for state in chart.states:
+        if state.kind is StateKind.COMPOUND and state.chart is not None:
+            deepest = max(deepest, 1 + chart_depth(state.chart))
+        elif state.kind is StateKind.AND:
+            for region in state.regions:
+                deepest = max(deepest, 1 + chart_depth(region))
+    return deepest

@@ -1,0 +1,176 @@
+"""Fluent builder for statecharts.
+
+The builder is the programmatic counterpart of the Service Editor's canvas:
+each method mirrors a drawing gesture (add a state, draw a transition).  It
+auto-generates ids where convenient and defers validation to
+:func:`repro.statecharts.validation.validate`, which the editor runs before
+export — the same order of operations as in the demo.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.statecharts.model import (
+    Assignment,
+    ServiceBinding,
+    State,
+    StateKind,
+    Statechart,
+    Transition,
+)
+
+
+class StatechartBuilder:
+    """Accumulates states and transitions, then yields a `Statechart`."""
+
+    def __init__(self, name: str) -> None:
+        self._chart = Statechart(name)
+        self._transition_counter = 0
+
+    # State-adding gestures ------------------------------------------------
+
+    def initial(self, state_id: str = "initial") -> "StatechartBuilder":
+        """Add the initial pseudo-state."""
+        self._chart.add_state(
+            State(state_id, state_id, StateKind.INITIAL)
+        )
+        return self
+
+    def final(self, state_id: str = "final") -> "StatechartBuilder":
+        """Add a final pseudo-state."""
+        self._chart.add_state(State(state_id, state_id, StateKind.FINAL))
+        return self
+
+    def task(
+        self,
+        state_id: str,
+        service: str,
+        operation: str,
+        inputs: Optional[Mapping[str, str]] = None,
+        outputs: Optional[Mapping[str, str]] = None,
+        name: Optional[str] = None,
+    ) -> "StatechartBuilder":
+        """Add a basic state bound to ``service.operation``.
+
+        ``inputs`` maps operation parameters to environment expressions;
+        ``outputs`` maps environment variables to operation outputs.
+        """
+        binding = ServiceBinding(
+            service=service,
+            operation=operation,
+            input_mapping=dict(inputs or {}),
+            output_mapping=dict(outputs or {}),
+        )
+        self._chart.add_state(
+            State(state_id, name or state_id, StateKind.BASIC, binding=binding)
+        )
+        return self
+
+    def compound(
+        self,
+        state_id: str,
+        chart: Union[Statechart, "StatechartBuilder"],
+        name: Optional[str] = None,
+    ) -> "StatechartBuilder":
+        """Add a compound (OR) state containing ``chart``."""
+        inner = chart.build() if isinstance(chart, StatechartBuilder) else chart
+        self._chart.add_state(
+            State(state_id, name or state_id, StateKind.COMPOUND, chart=inner)
+        )
+        return self
+
+    def parallel(
+        self,
+        state_id: str,
+        regions: Sequence[Union[Statechart, "StatechartBuilder"]],
+        name: Optional[str] = None,
+    ) -> "StatechartBuilder":
+        """Add an AND state with the given parallel regions."""
+        charts = [
+            r.build() if isinstance(r, StatechartBuilder) else r
+            for r in regions
+        ]
+        self._chart.add_state(
+            State(state_id, name or state_id, StateKind.AND, regions=charts)
+        )
+        return self
+
+    # Transition gestures ----------------------------------------------------
+
+    def arc(
+        self,
+        source: str,
+        target: str,
+        condition: str = "",
+        event: str = "",
+        actions: Optional[Sequence[Tuple[str, str]]] = None,
+        transition_id: Optional[str] = None,
+        emits: Sequence[str] = (),
+    ) -> "StatechartBuilder":
+        """Draw a transition from ``source`` to ``target``.
+
+        ``actions`` is a sequence of ``(variable, expression)`` pairs
+        forming the A-part of the ECA rule; ``emits`` lists events
+        produced when the transition fires.
+        """
+        if transition_id is None:
+            self._transition_counter += 1
+            transition_id = f"t{self._transition_counter}"
+        rendered_actions = tuple(
+            Assignment(var, expr) for var, expr in (actions or ())
+        )
+        self._chart.add_transition(
+            Transition(
+                transition_id=transition_id,
+                source=source,
+                target=target,
+                event=event,
+                condition=condition,
+                actions=rendered_actions,
+                emits=tuple(emits),
+            )
+        )
+        return self
+
+    def chain(self, *state_ids: str) -> "StatechartBuilder":
+        """Draw unguarded completion transitions along a path of states."""
+        for source, target in zip(state_ids, state_ids[1:]):
+            self.arc(source, target)
+        return self
+
+    def choice(
+        self,
+        source: str,
+        branches: Mapping[str, str],
+    ) -> "StatechartBuilder":
+        """Draw an XOR branching: ``branches`` maps target id to guard."""
+        for target, condition in branches.items():
+            self.arc(source, target, condition=condition)
+        return self
+
+    # Finishing ---------------------------------------------------------------
+
+    def build(self) -> Statechart:
+        """Return the accumulated statechart (no validation here)."""
+        return self._chart
+
+
+def linear_chart(
+    name: str,
+    tasks: Sequence[Tuple[str, str, str]],
+) -> Statechart:
+    """Build ``initial -> task1 -> ... -> taskN -> final``.
+
+    Each task is a ``(state_id, service, operation)`` triple.  Used heavily
+    by tests and the synthetic workload generator.
+    """
+    builder = StatechartBuilder(name).initial()
+    previous = "initial"
+    for state_id, service, operation in tasks:
+        builder.task(state_id, service, operation)
+        builder.arc(previous, state_id)
+        previous = state_id
+    builder.final()
+    builder.arc(previous, "final")
+    return builder.build()

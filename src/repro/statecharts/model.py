@@ -1,0 +1,300 @@
+"""Object model for SELF-SERV statecharts.
+
+The model follows the paper's description: an operation of a composite
+service has input parameters, output parameters, consumed and produced
+events, and a statechart glueing these elements together.  States come in
+five kinds:
+
+* ``INITIAL`` — pseudo-state marking where execution enters a chart,
+* ``FINAL`` — pseudo-state marking completion of a chart (or region),
+* ``BASIC`` — bound to one operation of a component service/community,
+* ``COMPOUND`` — an OR-state containing a nested statechart,
+* ``AND`` — a concurrent state containing two or more parallel regions.
+
+Transitions carry ECA rules: an optional triggering event, a guard
+condition over the execution's variable environment, and a list of
+assignment actions executed when the transition fires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.exceptions import StatechartError
+
+
+class StateKind(enum.Enum):
+    """The five state kinds of the composition language."""
+
+    INITIAL = "initial"
+    FINAL = "final"
+    BASIC = "basic"
+    COMPOUND = "compound"
+    AND = "and"
+
+
+@dataclass(frozen=True)
+class ServiceBinding:
+    """Binding of a basic state to a component-service operation.
+
+    ``input_mapping`` maps each operation input parameter to an expression
+    over the execution environment; ``output_mapping`` maps environment
+    variable names to operation output parameters so results flow back
+    into the environment for later guards and bindings.
+    """
+
+    service: str
+    operation: str
+    input_mapping: Mapping[str, str] = field(default_factory=dict)
+    output_mapping: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "input_mapping", dict(self.input_mapping))
+        object.__setattr__(self, "output_mapping", dict(self.output_mapping))
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """An ECA action ``target := expression`` run when a transition fires."""
+
+    target: str
+    expression: str
+
+    def render(self) -> str:
+        return f"{self.target} := {self.expression}"
+
+
+@dataclass
+class Transition:
+    """A guarded transition between two sibling states.
+
+    ``event`` names a *consumed* event (empty string means the transition
+    is taken on completion of the source state); ``condition`` is a guard
+    expression (empty string means ``true``); ``emits`` lists events
+    *produced* when the transition fires, delivered to the other
+    coordinators of the same execution.
+    """
+
+    transition_id: str
+    source: str
+    target: str
+    event: str = ""
+    condition: str = ""
+    actions: Tuple[Assignment, ...] = ()
+    emits: Tuple[str, ...] = ()
+
+    @property
+    def guard_text(self) -> str:
+        """The guard as written, or ``'true'`` when unguarded."""
+        return self.condition.strip() or "true"
+
+    def describe(self) -> str:
+        parts = []
+        if self.event:
+            parts.append(self.event)
+        if self.condition:
+            parts.append(f"[{self.condition}]")
+        if self.actions:
+            rendered = "; ".join(a.render() for a in self.actions)
+            parts.append(f"/ {rendered}")
+        if self.emits:
+            parts.append(f"^ {', '.join(self.emits)}")
+        label = " ".join(parts) if parts else "(completion)"
+        return f"{self.source} --{label}--> {self.target}"
+
+
+@dataclass
+class State:
+    """A state of a statechart.
+
+    * ``binding`` is set iff ``kind is StateKind.BASIC``.
+    * ``chart`` holds the nested statechart of a ``COMPOUND`` state.
+    * ``regions`` holds the parallel regions of an ``AND`` state.
+    """
+
+    state_id: str
+    name: str
+    kind: StateKind
+    binding: Optional[ServiceBinding] = None
+    chart: Optional["Statechart"] = None
+    regions: List["Statechart"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind is StateKind.BASIC and self.binding is None:
+            raise StatechartError(
+                f"basic state {self.state_id!r} requires a service binding"
+            )
+        if self.kind is not StateKind.BASIC and self.binding is not None:
+            raise StatechartError(
+                f"{self.kind.value} state {self.state_id!r} cannot carry a "
+                f"service binding"
+            )
+        if self.kind is StateKind.COMPOUND and self.chart is None:
+            raise StatechartError(
+                f"compound state {self.state_id!r} requires a nested chart"
+            )
+        if self.kind is StateKind.AND and len(self.regions) < 2:
+            raise StatechartError(
+                f"AND state {self.state_id!r} requires at least two regions"
+            )
+
+    @property
+    def is_pseudo(self) -> bool:
+        """True for initial/final pseudo-states (no work happens there)."""
+        return self.kind in (StateKind.INITIAL, StateKind.FINAL)
+
+
+class Statechart:
+    """A statechart: a set of states plus guarded transitions between them.
+
+    The class enforces referential integrity eagerly — adding a transition
+    whose endpoints do not exist raises immediately — because statecharts
+    are built either by the editor (interactive) or parsed from XML, and in
+    both cases early failure with a precise message beats a later crash in
+    the deployer.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise StatechartError("statechart name must be non-empty")
+        self.name = name
+        self._states: Dict[str, State] = {}
+        self._transitions: Dict[str, Transition] = {}
+        self._outgoing: Dict[str, List[Transition]] = {}
+        self._incoming: Dict[str, List[Transition]] = {}
+
+    # Construction --------------------------------------------------------
+
+    def add_state(self, state: State) -> State:
+        """Add ``state``; raises on duplicate ids."""
+        if state.state_id in self._states:
+            raise StatechartError(
+                f"duplicate state id {state.state_id!r} in chart "
+                f"{self.name!r}"
+            )
+        self._states[state.state_id] = state
+        self._outgoing[state.state_id] = []
+        self._incoming[state.state_id] = []
+        return state
+
+    def add_transition(self, transition: Transition) -> Transition:
+        """Add ``transition``; endpoints must already exist."""
+        if transition.transition_id in self._transitions:
+            raise StatechartError(
+                f"duplicate transition id {transition.transition_id!r}"
+            )
+        for endpoint in (transition.source, transition.target):
+            if endpoint not in self._states:
+                raise StatechartError(
+                    f"transition {transition.transition_id!r} references "
+                    f"unknown state {endpoint!r}"
+                )
+        self._transitions[transition.transition_id] = transition
+        self._outgoing[transition.source].append(transition)
+        self._incoming[transition.target].append(transition)
+        return transition
+
+    # Lookup --------------------------------------------------------------
+
+    def state(self, state_id: str) -> State:
+        """Return the state with id ``state_id``; raise if unknown."""
+        try:
+            return self._states[state_id]
+        except KeyError:
+            raise StatechartError(
+                f"chart {self.name!r} has no state {state_id!r}"
+            ) from None
+
+    def has_state(self, state_id: str) -> bool:
+        return state_id in self._states
+
+    def transition(self, transition_id: str) -> Transition:
+        try:
+            return self._transitions[transition_id]
+        except KeyError:
+            raise StatechartError(
+                f"chart {self.name!r} has no transition {transition_id!r}"
+            ) from None
+
+    @property
+    def states(self) -> "List[State]":
+        return list(self._states.values())
+
+    @property
+    def state_ids(self) -> "List[str]":
+        return list(self._states.keys())
+
+    @property
+    def transitions(self) -> "List[Transition]":
+        return list(self._transitions.values())
+
+    def outgoing(self, state_id: str) -> "List[Transition]":
+        """Transitions whose source is ``state_id``."""
+        self.state(state_id)
+        return list(self._outgoing[state_id])
+
+    def incoming(self, state_id: str) -> "List[Transition]":
+        """Transitions whose target is ``state_id``."""
+        self.state(state_id)
+        return list(self._incoming[state_id])
+
+    def initial_states(self) -> "List[State]":
+        return [s for s in self._states.values() if s.kind is StateKind.INITIAL]
+
+    def final_states(self) -> "List[State]":
+        return [s for s in self._states.values() if s.kind is StateKind.FINAL]
+
+    def initial_state(self) -> State:
+        """Return the unique initial state; raise if absent or ambiguous."""
+        initials = self.initial_states()
+        if len(initials) != 1:
+            raise StatechartError(
+                f"chart {self.name!r} must have exactly one initial state, "
+                f"found {len(initials)}"
+            )
+        return initials[0]
+
+    def iter_all_states(self) -> Iterator["Tuple[str, State]"]:
+        """Depth-first iteration over this chart and all nested charts.
+
+        Yields ``(qualified_id, state)`` pairs where the qualified id joins
+        nesting levels with ``/`` — e.g. ``ITA/IFB`` for a state inside the
+        compound International Travel Arrangements state.
+        """
+        yield from self._iter_states(prefix="")
+
+    def _iter_states(self, prefix: str) -> Iterator["Tuple[str, State]"]:
+        for state in self._states.values():
+            qualified = f"{prefix}{state.state_id}"
+            yield qualified, state
+            if state.kind is StateKind.COMPOUND and state.chart is not None:
+                yield from state.chart._iter_states(f"{qualified}/")
+            elif state.kind is StateKind.AND:
+                # Regions are namespaced by index (r0, r1, ...) so sibling
+                # regions may reuse state ids — same scheme as flattening.
+                for index, region in enumerate(state.regions):
+                    yield from region._iter_states(f"{qualified}/r{index}/")
+
+    def service_names(self) -> "List[str]":
+        """All component service names referenced anywhere in the chart."""
+        names: List[str] = []
+        seen = set()
+        for _qualified, state in self.iter_all_states():
+            if state.binding is not None and state.binding.service not in seen:
+                seen.add(state.binding.service)
+                names.append(state.binding.service)
+        return names
+
+    def basic_state_count(self) -> int:
+        """Number of service-bound states, including nested ones."""
+        return sum(
+            1 for _q, s in self.iter_all_states() if s.kind is StateKind.BASIC
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Statechart({self.name!r}, states={len(self._states)}, "
+            f"transitions={len(self._transitions)})"
+        )

@@ -1,0 +1,192 @@
+"""XML (de)serialisation of statecharts.
+
+This is the artefact format produced by the Service Editor and consumed by
+the Service Deployer (Figure 2, bottom-right panel).  The schema::
+
+    <statechart name="...">
+      <state id="..." name="..." kind="initial|final|basic|compound|and">
+        <binding service="..." operation="...">     <!-- basic only -->
+          <input parameter="...">expression</input>
+          <output variable="...">parameter</output>
+        </binding>
+        <statechart .../>                            <!-- compound: one -->
+        <region><statechart .../></region>           <!-- and: two+ -->
+      </state>
+      <transition id="..." source="..." target="..." event="...">
+        <condition>guard text</condition>
+        <action variable="...">expression</action>
+      </transition>
+    </statechart>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Union
+
+from repro.exceptions import XmlError
+from repro.statecharts.model import (
+    Assignment,
+    ServiceBinding,
+    State,
+    StateKind,
+    Statechart,
+    Transition,
+)
+from repro.xmlio import (
+    child,
+    children,
+    element,
+    optional_child,
+    parse_document,
+    read_attr,
+    read_optional_attr,
+    subelement,
+    text_of,
+)
+
+
+def statechart_to_xml(chart: Statechart) -> ET.Element:
+    """Render ``chart`` (recursively) as an XML element tree."""
+    root = element("statechart", {"name": chart.name})
+    for state in chart.states:
+        root.append(_state_to_xml(state))
+    for transition in chart.transitions:
+        root.append(_transition_to_xml(transition))
+    return root
+
+
+def _state_to_xml(state: State) -> ET.Element:
+    node = element("state", {
+        "id": state.state_id,
+        "name": state.name,
+        "kind": state.kind.value,
+    })
+    if state.binding is not None:
+        binding = subelement(node, "binding", {
+            "service": state.binding.service,
+            "operation": state.binding.operation,
+        })
+        for parameter, expression in state.binding.input_mapping.items():
+            subelement(binding, "input", {"parameter": parameter},
+                       text=expression)
+        for variable, parameter in state.binding.output_mapping.items():
+            subelement(binding, "output", {"variable": variable},
+                       text=parameter)
+    if state.kind is StateKind.COMPOUND and state.chart is not None:
+        node.append(statechart_to_xml(state.chart))
+    elif state.kind is StateKind.AND:
+        for region in state.regions:
+            region_node = subelement(node, "region")
+            region_node.append(statechart_to_xml(region))
+    return node
+
+
+def _transition_to_xml(transition: Transition) -> ET.Element:
+    node = element("transition", {
+        "id": transition.transition_id,
+        "source": transition.source,
+        "target": transition.target,
+    })
+    if transition.event:
+        node.set("event", transition.event)
+    if transition.condition.strip():
+        subelement(node, "condition", text=transition.condition.strip())
+    for action in transition.actions:
+        subelement(node, "action", {"variable": action.target},
+                   text=action.expression)
+    for emitted in transition.emits:
+        subelement(node, "emit", {"event": emitted})
+    return node
+
+
+def statechart_from_xml(source: Union[str, bytes, ET.Element]) -> Statechart:
+    """Parse a statechart from XML text, bytes, or an element tree."""
+    root = source if isinstance(source, ET.Element) else parse_document(source)
+    if root.tag != "statechart":
+        raise XmlError(
+            f"expected <statechart> document, found <{root.tag}>"
+        )
+    return _chart_from_element(root)
+
+
+def _chart_from_element(root: ET.Element) -> Statechart:
+    chart = Statechart(read_attr(root, "name"))
+    for state_node in children(root, "state"):
+        chart.add_state(_state_from_element(state_node))
+    for transition_node in children(root, "transition"):
+        chart.add_transition(_transition_from_element(transition_node))
+    return chart
+
+
+def _state_from_element(node: ET.Element) -> State:
+    state_id = read_attr(node, "id")
+    name = read_optional_attr(node, "name", state_id) or state_id
+    kind_text = read_attr(node, "kind")
+    try:
+        kind = StateKind(kind_text)
+    except ValueError:
+        raise XmlError(
+            f"state {state_id!r} has unknown kind {kind_text!r}"
+        ) from None
+
+    binding = None
+    binding_node = optional_child(node, "binding")
+    if binding_node is not None:
+        inputs = {
+            read_attr(i, "parameter"): text_of(i)
+            for i in children(binding_node, "input")
+        }
+        outputs = {
+            read_attr(o, "variable"): text_of(o)
+            for o in children(binding_node, "output")
+        }
+        binding = ServiceBinding(
+            service=read_attr(binding_node, "service"),
+            operation=read_attr(binding_node, "operation"),
+            input_mapping=inputs,
+            output_mapping=outputs,
+        )
+
+    chart = None
+    regions = []
+    if kind is StateKind.COMPOUND:
+        inner = optional_child(node, "statechart")
+        if inner is None:
+            raise XmlError(
+                f"compound state {state_id!r} is missing its nested "
+                f"<statechart>"
+            )
+        chart = _chart_from_element(inner)
+    elif kind is StateKind.AND:
+        for region_node in children(node, "region"):
+            inner = child(region_node, "statechart")
+            regions.append(_chart_from_element(inner))
+
+    return State(
+        state_id=state_id,
+        name=name,
+        kind=kind,
+        binding=binding,
+        chart=chart,
+        regions=regions,
+    )
+
+
+def _transition_from_element(node: ET.Element) -> Transition:
+    condition_node = optional_child(node, "condition")
+    actions = tuple(
+        Assignment(read_attr(a, "variable"), text_of(a))
+        for a in children(node, "action")
+    )
+    return Transition(
+        transition_id=read_attr(node, "id"),
+        source=read_attr(node, "source"),
+        target=read_attr(node, "target"),
+        event=read_optional_attr(node, "event", "") or "",
+        condition=text_of(condition_node) if condition_node is not None else "",
+        actions=actions,
+        emits=tuple(
+            read_attr(e, "event") for e in children(node, "emit")
+        ),
+    )

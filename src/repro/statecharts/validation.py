@@ -1,0 +1,226 @@
+"""Structural validation of statecharts.
+
+The Service Editor validates a chart before translating it to XML; the
+Service Deployer re-validates before generating routing tables.  Problems
+are collected exhaustively (not fail-fast) so a composer sees every issue
+in one pass, then raised together as a single
+:class:`~repro.exceptions.ValidationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import ExpressionError, ValidationError
+from repro.expr import parse
+from repro.statecharts.model import State, StateKind, Statechart
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One validation finding: where it is and what is wrong."""
+
+    chart: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.chart}] {self.subject}: {self.message}"
+
+
+def validate(chart: Statechart, raise_on_error: bool = True) -> List[Problem]:
+    """Validate ``chart`` recursively.
+
+    Returns the list of problems found; raises
+    :class:`~repro.exceptions.ValidationError` carrying the same list when
+    ``raise_on_error`` is true and the list is non-empty.
+    """
+    problems: List[Problem] = []
+    _validate_chart(chart, problems)
+    if problems and raise_on_error:
+        raise ValidationError(problems)
+    return problems
+
+
+def _validate_chart(chart: Statechart, problems: List[Problem]) -> None:
+    _check_initial_final(chart, problems)
+    for state in chart.states:
+        _check_state(chart, state, problems)
+    for transition in chart.transitions:
+        _check_transition_guards(chart, transition.transition_id,
+                                 transition.condition, problems)
+        for action in transition.actions:
+            _check_expression(
+                chart,
+                f"action of transition {transition.transition_id!r}",
+                action.expression,
+                problems,
+            )
+            if not action.target.isidentifier():
+                problems.append(Problem(
+                    chart.name,
+                    f"transition {transition.transition_id!r}",
+                    f"action target {action.target!r} is not a valid "
+                    f"variable name",
+                ))
+    _check_reachability(chart, problems)
+
+
+def _check_initial_final(chart: Statechart, problems: List[Problem]) -> None:
+    initials = chart.initial_states()
+    if len(initials) != 1:
+        problems.append(Problem(
+            chart.name, "chart",
+            f"must have exactly one initial state, found {len(initials)}",
+        ))
+    if not chart.final_states():
+        problems.append(Problem(
+            chart.name, "chart", "must have at least one final state",
+        ))
+    for initial in initials:
+        if chart.incoming(initial.state_id):
+            problems.append(Problem(
+                chart.name, f"state {initial.state_id!r}",
+                "initial state cannot have incoming transitions",
+            ))
+        if not chart.outgoing(initial.state_id):
+            problems.append(Problem(
+                chart.name, f"state {initial.state_id!r}",
+                "initial state must have at least one outgoing transition",
+            ))
+    for final in chart.final_states():
+        if chart.outgoing(final.state_id):
+            problems.append(Problem(
+                chart.name, f"state {final.state_id!r}",
+                "final state cannot have outgoing transitions",
+            ))
+
+
+def _check_state(
+    chart: Statechart, state: State, problems: List[Problem]
+) -> None:
+    if state.kind is StateKind.BASIC:
+        binding = state.binding
+        assert binding is not None  # enforced by the State constructor
+        if not binding.service:
+            problems.append(Problem(
+                chart.name, f"state {state.state_id!r}",
+                "service binding has an empty service name",
+            ))
+        if not binding.operation:
+            problems.append(Problem(
+                chart.name, f"state {state.state_id!r}",
+                "service binding has an empty operation name",
+            ))
+        for param, expr in binding.input_mapping.items():
+            _check_expression(
+                chart,
+                f"input mapping {param!r} of state {state.state_id!r}",
+                expr,
+                problems,
+            )
+    if not state.is_pseudo:
+        if not chart.incoming(state.state_id):
+            problems.append(Problem(
+                chart.name, f"state {state.state_id!r}",
+                "unreachable: no incoming transitions",
+            ))
+        if not chart.outgoing(state.state_id):
+            problems.append(Problem(
+                chart.name, f"state {state.state_id!r}",
+                "dead end: no outgoing transitions",
+            ))
+    if state.kind is StateKind.COMPOUND and state.chart is not None:
+        _validate_chart(state.chart, problems)
+    elif state.kind is StateKind.AND:
+        for region in state.regions:
+            _validate_chart(region, problems)
+
+
+def _check_transition_guards(
+    chart: Statechart,
+    transition_id: str,
+    condition: str,
+    problems: List[Problem],
+) -> None:
+    if condition.strip():
+        _check_expression(
+            chart, f"guard of transition {transition_id!r}", condition,
+            problems,
+        )
+
+
+def _check_expression(
+    chart: Statechart,
+    subject: str,
+    expression: str,
+    problems: List[Problem],
+) -> None:
+    try:
+        parse(expression)
+    except ExpressionError as exc:
+        problems.append(Problem(chart.name, subject, f"bad expression: {exc}"))
+
+
+def _check_reachability(chart: Statechart, problems: List[Problem]) -> None:
+    initials = chart.initial_states()
+    if len(initials) != 1:
+        return  # already reported
+    reachable = {initials[0].state_id}
+    frontier = [initials[0].state_id]
+    while frontier:
+        current = frontier.pop()
+        for transition in chart.outgoing(current):
+            if transition.target not in reachable:
+                reachable.add(transition.target)
+                frontier.append(transition.target)
+    for state in chart.states:
+        if state.state_id not in reachable:
+            problems.append(Problem(
+                chart.name, f"state {state.state_id!r}",
+                "not reachable from the initial state",
+            ))
+    # Some final state must be reachable, otherwise no execution terminates.
+    if not any(f.state_id in reachable for f in chart.final_states()):
+        problems.append(Problem(
+            chart.name, "chart",
+            "no final state is reachable from the initial state",
+        ))
+
+
+def find_overlapping_choice_guards(chart: Statechart) -> List[Problem]:
+    """Heuristic editor warning: XOR branches with identical guards.
+
+    The execution semantics rely on mutually exclusive guards at XOR
+    branches.  True disjointness is undecidable for our language, but two
+    syntactically identical guards (or two unguarded branches) from one
+    source state are certainly overlapping; the editor surfaces these as
+    warnings, not errors.
+    """
+    warnings: List[Problem] = []
+    for state in chart.states:
+        outgoing = chart.outgoing(state.state_id)
+        if len(outgoing) < 2:
+            continue
+        seen: dict = {}
+        for transition in outgoing:
+            key = (transition.event, transition.guard_text)
+            other: Optional[str] = seen.get(key)
+            if other is not None:
+                warnings.append(Problem(
+                    chart.name,
+                    f"state {state.state_id!r}",
+                    f"transitions {other!r} and "
+                    f"{transition.transition_id!r} have identical "
+                    f"triggers — XOR choice is ambiguous",
+                ))
+            else:
+                seen[key] = transition.transition_id
+    for state in chart.states:
+        if state.kind is StateKind.COMPOUND and state.chart is not None:
+            warnings.extend(find_overlapping_choice_guards(state.chart))
+        elif state.kind is StateKind.AND:
+            for region in state.regions:
+                warnings.extend(find_overlapping_choice_guards(region))
+    return warnings

@@ -1,0 +1,36 @@
+"""Synthetic workloads and the benchmark experiment harness.
+
+The demo paper evaluates qualitatively; to measure its claims we need
+parameterised composite services.  :mod:`repro.workload.generator`
+produces random-but-seeded statecharts (sequences, XOR choices, AND
+parallelism, optional compound nesting) plus matching synthetic services;
+:mod:`repro.workload.harness` builds simulated environments, deploys
+either architecture, drives executions and reports latency/traffic
+metrics.
+"""
+
+from repro.workload.generator import (
+    SyntheticWorkload,
+    make_chain_workload,
+    make_parallel_workload,
+    make_workload,
+)
+from repro.workload.harness import (
+    RunReport,
+    SimEnvironment,
+    build_sim_environment,
+    run_central,
+    run_p2p,
+)
+
+__all__ = [
+    "RunReport",
+    "SimEnvironment",
+    "SyntheticWorkload",
+    "build_sim_environment",
+    "make_chain_workload",
+    "make_parallel_workload",
+    "make_workload",
+    "run_central",
+    "run_p2p",
+]

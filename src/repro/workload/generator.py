@@ -1,0 +1,277 @@
+"""Random (seeded) composite-service generator.
+
+The generator produces statecharts from a small structural grammar::
+
+    block    := task | xor(block, block) | and(block, block) | seq
+    seq      := block block
+
+with probabilities steered by :class:`GeneratorParams`.  Every generated
+chart is structurally valid by construction, every XOR guard routes on a
+dedicated boolean request argument (so executions are deterministic given
+the request), and every task is bound to its own synthetic service.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+)
+from repro.services.elementary import ElementaryService
+from repro.services.profile import ServiceProfile
+from repro.statecharts.builder import StatechartBuilder
+from repro.statecharts.model import Statechart
+
+
+@dataclass
+class SyntheticWorkload:
+    """A generated composite service and everything needed to run it."""
+
+    chart: Statechart
+    services: List[ElementaryService]
+    request_args: Dict[str, Any]
+    task_count: int
+    xor_count: int
+    and_count: int
+
+    def service_names(self) -> "List[str]":
+        return [s.name for s in self.services]
+
+
+@dataclass(frozen=True)
+class GeneratorParams:
+    """Steering knobs for the random generator."""
+
+    tasks: int = 8
+    p_xor: float = 0.2
+    p_and: float = 0.2
+    service_latency_ms: float = 20.0
+    service_jitter_ms: float = 5.0
+    service_reliability: float = 1.0
+    seed: int = 0
+
+
+def _make_service(
+    index: int,
+    params: GeneratorParams,
+) -> ElementaryService:
+    """One synthetic provider: operation ``work`` echoes a step marker."""
+    name = f"SynthService{index:03d}"
+    description = ServiceDescription(
+        name=name,
+        provider=f"SynthProvider{index:03d}",
+        description="synthetic benchmark service",
+    )
+    description.add_operation(OperationSpec(
+        name="work",
+        inputs=(Parameter("step", ParameterType.INT, required=False),),
+        outputs=(Parameter("result", ParameterType.INT),),
+    ))
+    service = ElementaryService(description, ServiceProfile(
+        latency_mean_ms=params.service_latency_ms,
+        latency_jitter_ms=params.service_jitter_ms,
+        reliability=params.service_reliability,
+    ))
+
+    def work(inputs: "Dict[str, Any]") -> "Dict[str, Any]":
+        step = inputs.get("step") or 0
+        return {"result": step + 1}
+
+    service.bind("work", work)
+    return service
+
+
+class _Generator:
+    """Stateful recursive builder for one workload."""
+
+    def __init__(self, params: GeneratorParams) -> None:
+        self.params = params
+        self.rng = random.Random(params.seed)
+        self.services: List[ElementaryService] = []
+        self.request_args: Dict[str, Any] = {}
+        self.xor_count = 0
+        self.and_count = 0
+        self._task_budget = params.tasks
+        self._branch_counter = 0
+
+    def fresh_task(self, builder: StatechartBuilder) -> str:
+        index = len(self.services)
+        service = _make_service(index, self.params)
+        self.services.append(service)
+        state_id = f"T{index:03d}"
+        builder.task(
+            state_id, service.name, "work",
+            inputs={"step": str(index)},
+            outputs={f"result_{index}": "result"},
+        )
+        return state_id
+
+    def build_chart(self, name: str) -> Statechart:
+        builder = StatechartBuilder(name)
+        builder.initial()
+        previous = "initial"
+        while self._task_budget > 0:
+            previous = self._emit_block(builder, previous)
+        builder.final()
+        builder.arc(previous, "final")
+        return builder.build()
+
+    def _emit_block(self, builder: StatechartBuilder, previous: str) -> str:
+        """Append one block after ``previous``; returns its last state id."""
+        roll = self.rng.random()
+        if roll < self.params.p_and and self._task_budget >= 2:
+            return self._emit_and(builder, previous)
+        if (
+            roll < self.params.p_and + self.params.p_xor
+            and self._task_budget >= 2
+        ):
+            return self._emit_xor(builder, previous)
+        return self._emit_task(builder, previous)
+
+    def _emit_task(self, builder: StatechartBuilder, previous: str) -> str:
+        self._task_budget -= 1
+        state_id = self.fresh_task(builder)
+        builder.arc(previous, state_id)
+        return state_id
+
+    def _emit_xor(self, builder: StatechartBuilder, previous: str) -> str:
+        """Two guarded branches rejoining at a shared successor task."""
+        self._branch_counter += 1
+        branch_var = f"branch_{self._branch_counter}"
+        self.request_args[branch_var] = self.rng.random() < 0.5
+
+        self._task_budget -= 2
+        left = self.fresh_task(builder)
+        right = self.fresh_task(builder)
+        builder.arc(previous, left, condition=f"{branch_var} = true")
+        builder.arc(previous, right, condition=f"{branch_var} != true")
+        if self._task_budget > 0:
+            self._task_budget -= 1
+            merge = self.fresh_task(builder)
+        else:
+            # Merge through a shared extra task is impossible; rejoin the
+            # two branches on one fresh task regardless of budget to keep
+            # the chart single-exit.
+            merge = self.fresh_task(builder)
+        builder.arc(left, merge)
+        builder.arc(right, merge)
+        self.xor_count += 1
+        return merge
+
+    def _emit_and(self, builder: StatechartBuilder, previous: str) -> str:
+        """An AND state with two single-task regions."""
+        self.and_count += 1
+        regions = []
+        for _region in range(2):
+            self._task_budget -= 1
+            index = len(self.services)
+            service = _make_service(index, self.params)
+            self.services.append(service)
+            region = (
+                StatechartBuilder(f"region{index}")
+                .initial()
+                .task(
+                    f"T{index:03d}", service.name, "work",
+                    inputs={"step": str(index)},
+                    outputs={f"result_{index}": "result"},
+                )
+                .final()
+                .chain("initial", f"T{index:03d}", "final")
+                .build()
+            )
+            regions.append(region)
+        and_id = f"AND{self.and_count:03d}"
+        builder.parallel(and_id, regions)
+        builder.arc(previous, and_id)
+        return and_id
+
+
+def make_workload(
+    params: Optional[GeneratorParams] = None, **overrides: Any
+) -> SyntheticWorkload:
+    """Generate one workload; keyword overrides tweak the params."""
+    if params is None:
+        params = GeneratorParams(**overrides)
+    elif overrides:
+        raise ValueError("pass either params or overrides, not both")
+    generator = _Generator(params)
+    chart = generator.build_chart(
+        f"synthetic-{params.tasks}t-s{params.seed}"
+    )
+    return SyntheticWorkload(
+        chart=chart,
+        services=generator.services,
+        request_args=dict(generator.request_args),
+        task_count=len(generator.services),
+        xor_count=generator.xor_count,
+        and_count=generator.and_count,
+    )
+
+
+def make_chain_workload(
+    tasks: int,
+    seed: int = 0,
+    service_latency_ms: float = 20.0,
+    service_reliability: float = 1.0,
+) -> SyntheticWorkload:
+    """A pure sequential pipeline of ``tasks`` services."""
+    return make_workload(GeneratorParams(
+        tasks=tasks, p_xor=0.0, p_and=0.0, seed=seed,
+        service_latency_ms=service_latency_ms,
+        service_jitter_ms=0.0,
+        service_reliability=service_reliability,
+    ))
+
+
+def make_parallel_workload(
+    branches: int,
+    seed: int = 0,
+    service_latency_ms: float = 20.0,
+) -> SyntheticWorkload:
+    """One wide AND state with ``branches`` single-task regions.
+
+    Built directly (not via the grammar) so width is exact.
+    """
+    params = GeneratorParams(
+        tasks=branches, seed=seed,
+        service_latency_ms=service_latency_ms, service_jitter_ms=0.0,
+    )
+    services: List[ElementaryService] = []
+    regions: List[Statechart] = []
+    for index in range(branches):
+        service = _make_service(index, params)
+        services.append(service)
+        regions.append(
+            StatechartBuilder(f"region{index}")
+            .initial()
+            .task(
+                f"T{index:03d}", service.name, "work",
+                inputs={"step": str(index)},
+                outputs={f"result_{index}": "result"},
+            )
+            .final()
+            .chain("initial", f"T{index:03d}", "final")
+            .build()
+        )
+    chart = (
+        StatechartBuilder(f"parallel-{branches}w-s{seed}")
+        .initial()
+        .parallel("AND001", regions)
+        .final()
+        .chain("initial", "AND001", "final")
+        .build()
+    )
+    return SyntheticWorkload(
+        chart=chart,
+        services=services,
+        request_args={},
+        task_count=branches,
+        xor_count=0,
+        and_count=1,
+    )

@@ -1,0 +1,46 @@
+"""XML infrastructure.
+
+Every SELF-SERV artefact — statecharts, routing tables, WSDL descriptions,
+SOAP envelopes, UDDI entries — is exchanged as an XML document, exactly as
+in the original Java implementation.  This package wraps
+:mod:`xml.etree.ElementTree` with small typed helpers so the rest of the
+code base reads and writes XML uniformly and with good error messages.
+"""
+
+from repro.xmlio.reader import (
+    child,
+    children,
+    optional_child,
+    parse_document,
+    read_attr,
+    read_bool_attr,
+    read_float_attr,
+    read_int_attr,
+    read_optional_attr,
+    text_of,
+)
+from repro.xmlio.writer import (
+    element,
+    pretty_xml,
+    subelement,
+    to_bytes,
+    to_string,
+)
+
+__all__ = [
+    "child",
+    "children",
+    "element",
+    "optional_child",
+    "parse_document",
+    "pretty_xml",
+    "read_attr",
+    "read_bool_attr",
+    "read_float_attr",
+    "read_int_attr",
+    "read_optional_attr",
+    "subelement",
+    "text_of",
+    "to_bytes",
+    "to_string",
+]

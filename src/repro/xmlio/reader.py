@@ -1,0 +1,119 @@
+"""Helpers for parsing XML documents with precise error reporting."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Iterator, Optional, Union
+
+from repro.exceptions import XmlError
+
+
+def parse_document(source: Union[str, bytes]) -> ET.Element:
+    """Parse an XML document from text or UTF-8 bytes.
+
+    Raises :class:`~repro.exceptions.XmlError` with the underlying parser
+    message when the document is malformed.
+    """
+    try:
+        if isinstance(source, bytes):
+            return ET.fromstring(source)
+        return ET.fromstring(source)
+    except ET.ParseError as exc:
+        raise XmlError(f"malformed XML document: {exc}") from exc
+
+
+def child(node: ET.Element, tag: str) -> ET.Element:
+    """Return the unique child named ``tag``; raise if absent."""
+    found = node.find(tag)
+    if found is None:
+        raise XmlError(f"<{node.tag}> is missing required child <{tag}>")
+    return found
+
+
+def optional_child(node: ET.Element, tag: str) -> Optional[ET.Element]:
+    """Return the child named ``tag`` or None."""
+    return node.find(tag)
+
+
+def children(node: ET.Element, tag: str) -> Iterator[ET.Element]:
+    """Iterate all direct children named ``tag``."""
+    yield from node.findall(tag)
+
+
+def read_attr(node: ET.Element, name: str) -> str:
+    """Return the required attribute ``name``; raise if absent."""
+    value = node.get(name)
+    if value is None:
+        raise XmlError(
+            f"<{node.tag}> is missing required attribute {name!r}"
+        )
+    return value
+
+
+def read_optional_attr(
+    node: ET.Element, name: str, default: Optional[str] = None
+) -> Optional[str]:
+    """Return attribute ``name`` or ``default`` when absent."""
+    return node.get(name, default)
+
+
+def read_int_attr(node: ET.Element, name: str, default: Optional[int] = None) -> int:
+    """Return attribute ``name`` parsed as an integer."""
+    raw = node.get(name)
+    if raw is None:
+        if default is None:
+            raise XmlError(
+                f"<{node.tag}> is missing required attribute {name!r}"
+            )
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise XmlError(
+            f"<{node.tag}> attribute {name!r}={raw!r} is not an integer"
+        ) from exc
+
+
+def read_float_attr(
+    node: ET.Element, name: str, default: Optional[float] = None
+) -> float:
+    """Return attribute ``name`` parsed as a float."""
+    raw = node.get(name)
+    if raw is None:
+        if default is None:
+            raise XmlError(
+                f"<{node.tag}> is missing required attribute {name!r}"
+            )
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise XmlError(
+            f"<{node.tag}> attribute {name!r}={raw!r} is not a number"
+        ) from exc
+
+
+def read_bool_attr(
+    node: ET.Element, name: str, default: Optional[bool] = None
+) -> bool:
+    """Return attribute ``name`` parsed as a boolean (``true``/``false``)."""
+    raw = node.get(name)
+    if raw is None:
+        if default is None:
+            raise XmlError(
+                f"<{node.tag}> is missing required attribute {name!r}"
+            )
+        return default
+    lowered = raw.strip().lower()
+    if lowered in ("true", "1", "yes"):
+        return True
+    if lowered in ("false", "0", "no"):
+        return False
+    raise XmlError(
+        f"<{node.tag}> attribute {name!r}={raw!r} is not a boolean"
+    )
+
+
+def text_of(node: ET.Element, default: str = "") -> str:
+    """Return the stripped text content of ``node``."""
+    return (node.text or default).strip()

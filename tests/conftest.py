@@ -1,0 +1,46 @@
+"""Shared fixtures: simulated environments and the deployed travel demo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.manager import ServiceManager
+from repro.net.latency import FixedLatency
+from repro.net.simnet import SimTransport
+from repro.demo.travel import deploy_travel_scenario
+from repro.workload.harness import build_sim_environment
+
+
+@pytest.fixture
+def env():
+    """A fresh deterministic simulated environment."""
+    return build_sim_environment(seed=7)
+
+
+@pytest.fixture
+def manager():
+    """A service manager over a fresh simulated transport."""
+    transport = SimTransport(latency=FixedLatency(remote_ms=5.0))
+    return ServiceManager(transport)
+
+
+@pytest.fixture
+def travel(manager):
+    """The fully deployed travel scenario plus a ready client."""
+    deployed = deploy_travel_scenario(manager.deployer)
+    client = manager.client("tester", "tester-host")
+    return manager, deployed, client
+
+
+TRAVEL_ARGS = {
+    "customer": "Alice",
+    "destination": "sydney",
+    "departure_date": "2026-07-01",
+    "return_date": "2026-07-10",
+}
+
+
+def travel_args(destination: str = "sydney") -> dict:
+    args = dict(TRAVEL_ARGS)
+    args["destination"] = destination
+    return args

@@ -1,0 +1,189 @@
+"""Central-orchestrator baseline and naive-coordinator ablation tests."""
+
+import pytest
+
+from repro.baselines.central import deploy_central
+from repro.baselines.naive import (
+    NaiveTableCache,
+    naive_decision_cost,
+)
+from repro.exceptions import DeploymentError, StatechartError
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    ServiceDescription,
+    simple_description,
+)
+from repro.services.elementary import ElementaryService
+from repro.services.profile import ServiceProfile
+from repro.statecharts.builder import StatechartBuilder, linear_chart
+from repro.workload.generator import make_chain_workload
+from repro.workload.harness import (
+    composite_for_workload,
+    deploy_workload_services,
+    run_central,
+    run_p2p,
+)
+
+
+def make_service(name, latency_ms=5.0):
+    desc = simple_description(name, f"{name}-co", [("op", [], ["r"])])
+    service = ElementaryService(
+        desc, ServiceProfile(latency_mean_ms=latency_ms)
+    )
+    service.bind("op", lambda i: {"r": f"{name}-out"})
+    return service
+
+
+def make_composite(chart, name="C"):
+    composite = CompositeService(ServiceDescription(name))
+    composite.define_operation(OperationSpec("run"), chart)
+    return composite
+
+
+class TestCentralOrchestrator:
+    def test_simple_chain_executes(self, env):
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        chart = linear_chart("c", [("a", "A", "op"), ("b", "B", "op")])
+        deployment = deploy_central(
+            make_composite(chart), "central", env.transport, env.directory
+        )
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok
+
+    def test_missing_component_rejected(self, env):
+        chart = linear_chart("c", [("a", "Ghost", "op")])
+        with pytest.raises(DeploymentError):
+            deploy_central(make_composite(chart), "central",
+                           env.transport, env.directory)
+
+    def test_xor_semantics_match_p2p(self, env):
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "A", "op", outputs={"via": "r"})
+            .task("b", "B", "op", outputs={"via": "r"})
+            .final()
+            .choice("initial", {"a": "pick = 'a'", "b": "pick != 'a'"})
+            .arc("a", "final").arc("b", "final")
+            .build()
+        )
+        central = deploy_central(make_composite(chart, "CC"), "central",
+                                 env.transport, env.directory)
+        p2p = env.deployer.deploy_composite(make_composite(chart, "CP"),
+                                            "c-host")
+        client = env.client()
+        for pick in ("a", "z"):
+            r_central = client.execute(*central.address, "run",
+                                       {"pick": pick})
+            r_p2p = client.execute(*p2p.address, "run", {"pick": pick})
+            assert r_central.outputs["via"] == r_p2p.outputs["via"]
+
+    def test_parallel_join_works(self, env):
+        env.deployer.deploy_elementary(make_service("A", 50.0), "ha")
+        env.deployer.deploy_elementary(make_service("B", 50.0), "hb")
+        region = lambda sid, svc, out: (
+            StatechartBuilder(f"r{sid}")
+            .initial()
+            .task(sid, svc, "op", outputs={out: "r"})
+            .final()
+            .chain("initial", sid, "final")
+            .build()
+        )
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .parallel("P", [region("a", "A", "ra"),
+                            region("b", "B", "rb")])
+            .final()
+            .chain("initial", "P", "final")
+            .build()
+        )
+        deployment = deploy_central(make_composite(chart), "central",
+                                    env.transport, env.directory)
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok
+        assert result.outputs["ra"] == "A-out"
+        assert result.outputs["rb"] == "B-out"
+
+    def test_timeout(self, env):
+        env.deployer.deploy_elementary(make_service("A", 10_000.0), "ha")
+        chart = linear_chart("c", [("a", "A", "op")])
+        deployment = deploy_central(
+            make_composite(chart), "central", env.transport,
+            env.directory, default_timeout_ms=100.0,
+        )
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.status == "timeout"
+
+    def test_fault_propagates(self, env):
+        desc = simple_description("BAD", "x", [("op", [], [])])
+        bad = ElementaryService(desc)
+        bad.bind("op", lambda i: 1 / 0)
+        env.deployer.deploy_elementary(bad, "hb")
+        chart = linear_chart("c", [("a", "BAD", "op")])
+        deployment = deploy_central(make_composite(chart), "central",
+                                    env.transport, env.directory)
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.status == "fault"
+
+
+class TestArchitectureComparison:
+    """The paper's headline claim, in miniature: message load concentrates
+    on the central host but spreads across peers in P2P."""
+
+    def test_central_concentrates_message_load(self):
+        workload = make_chain_workload(tasks=8, seed=1)
+        from repro.workload.harness import build_sim_environment
+
+        env = build_sim_environment(seed=1)
+        deploy_workload_services(env, workload)
+        composite = composite_for_workload(workload)
+        args = [dict(workload.request_args) for _ in range(10)]
+        central = run_central(env, composite, args)
+        p2p = run_p2p(env, composite, args)
+        assert central.successes == p2p.successes == 10
+        assert central.load_concentration > p2p.load_concentration
+
+    def test_central_peak_node_is_central_host(self):
+        workload = make_chain_workload(tasks=6, seed=2)
+        from repro.workload.harness import build_sim_environment
+
+        env = build_sim_environment(seed=2)
+        deploy_workload_services(env, workload)
+        composite = composite_for_workload(workload)
+        report = run_central(env, composite,
+                             [dict(workload.request_args)])
+        assert report.peak_node == "central-host"
+
+
+class TestNaiveAblation:
+    def test_naive_cost_grows_with_chart_size(self):
+        small = make_chain_workload(tasks=4, seed=0).chart
+        large = make_chain_workload(tasks=32, seed=0).chart
+        cost_small = naive_decision_cost(small, "T000")
+        cost_large = naive_decision_cost(large, "T000")
+        assert cost_large.total > cost_small.total
+
+    def test_naive_cost_unknown_node_raises(self):
+        chart = make_chain_workload(tasks=4, seed=0).chart
+        with pytest.raises(StatechartError):
+            naive_decision_cost(chart, "ghost")
+
+    def test_table_cache_derives_once(self):
+        chart = make_chain_workload(tasks=8, seed=0).chart
+        cache = NaiveTableCache(chart)
+        cache.table_for("T000")
+        cache.table_for("T001")
+        cache.table_for("T000")
+        assert cache.derivations == 1
+
+    def test_lookup_cost_is_table_row_counts(self):
+        chart = make_chain_workload(tasks=8, seed=0).chart
+        cache = NaiveTableCache(chart)
+        pre, post = cache.lookup_cost("T003")
+        assert pre == 1  # one incoming edge in a chain
+        assert post == 1

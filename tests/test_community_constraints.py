@@ -1,0 +1,154 @@
+"""Request-aware member selection: per-member constraint expressions."""
+
+import pytest
+
+from repro.exceptions import CommunityError, NoMemberAvailableError
+from repro.services.community import ServiceCommunity
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    ServiceDescription,
+    simple_description,
+)
+from repro.services.elementary import ElementaryService
+from repro.statecharts.builder import linear_chart
+
+
+def make_community():
+    desc = simple_description("Book", "alliance",
+                              [("op", ["destination"], ["r"])])
+    return ServiceCommunity(desc)
+
+
+class TestConstraintModel:
+    def test_unconstrained_member_serves_everything(self):
+        community = make_community()
+        record = community.join("AnyHotel")
+        assert record.serves({"destination": "paris"})
+
+    def test_constraint_filters_candidates(self):
+        community = make_community()
+        community.join("AusOnly", constraint="domestic(destination)")
+        community.join("World")
+        candidates = community.candidates(
+            "op", {"destination": "paris"}
+        )
+        assert [m.service_name for m in candidates] == ["World"]
+        candidates = community.candidates(
+            "op", {"destination": "sydney"}
+        )
+        assert sorted(m.service_name for m in candidates) == [
+            "AusOnly", "World",
+        ]
+
+    def test_no_arguments_skips_filtering(self):
+        community = make_community()
+        community.join("AusOnly", constraint="domestic(destination)")
+        # without arguments every active member is a candidate
+        assert len(community.candidates("op")) == 1
+
+    def test_all_members_filtered_raises(self):
+        community = make_community()
+        community.join("AusOnly", constraint="domestic(destination)")
+        with pytest.raises(NoMemberAvailableError):
+            community.candidates("op", {"destination": "tokyo"})
+
+    def test_bad_constraint_rejected_at_join(self):
+        community = make_community()
+        with pytest.raises(CommunityError, match="bad constraint"):
+            community.join("Broken", constraint="((")
+
+    def test_constraint_evaluation_error_means_not_serving(self):
+        """A constraint referencing a missing request variable excludes
+        the member instead of crashing delegation."""
+        community = make_community()
+        record = community.join("Picky",
+                                constraint="budget > 100")
+        assert not record.serves({"destination": "paris"})
+        assert record.serves({"destination": "paris", "budget": 500})
+
+    def test_comparison_constraints(self):
+        community = make_community()
+        community.join("Luxury", constraint="budget >= 300")
+        community.join("Budget", constraint="budget < 300")
+        rich = community.candidates("op", {"budget": 500})
+        poor = community.candidates("op", {"budget": 100})
+        assert [m.service_name for m in rich] == ["Luxury"]
+        assert [m.service_name for m in poor] == ["Budget"]
+
+
+class TestConstraintsEndToEnd:
+    def test_community_routes_by_destination(self, env):
+        """Domestic requests go to the domestic specialist, international
+        to the international one — driven purely by constraints."""
+        served = []
+
+        def make_member(name):
+            desc = simple_description(
+                name, f"{name}-co", [("op", ["destination"], ["r"])],
+            )
+            service = ElementaryService(desc)
+
+            def handler(inputs, _name=name):
+                served.append(_name)
+                return {"r": _name}
+
+            service.bind("op", handler)
+            return service
+
+        env.deployer.deploy_elementary(make_member("AusHotels"), "h-aus")
+        env.deployer.deploy_elementary(make_member("WorldHotels"),
+                                       "h-world")
+        desc = simple_description("Book", "alliance",
+                                  [("op", ["destination"], ["r"])])
+        community = ServiceCommunity(desc)
+        community.join("AusHotels", constraint="domestic(destination)")
+        community.join("WorldHotels",
+                       constraint="not domestic(destination)")
+        env.deployer.deploy_community(community, "comm-host")
+
+        composite = CompositeService(ServiceDescription("C"))
+        composite.define_operation(
+            OperationSpec("run"),
+            linear_chart("c", [("a", "Book", "op")]),
+        )
+        # route the request argument through to the community call
+        chart = composite.chart_for("run")
+        binding = chart.state("a").binding
+        binding.input_mapping["destination"] = "destination"
+        deployment = env.deployer.deploy_composite(composite, "c-host")
+        client = env.client()
+
+        r1 = client.execute(*deployment.address, "run",
+                            {"destination": "sydney"})
+        r2 = client.execute(*deployment.address, "run",
+                            {"destination": "paris"})
+        assert r1.ok and r2.ok
+        assert served == ["AusHotels", "WorldHotels"]
+
+    def test_unservable_request_faults_cleanly(self, env):
+        desc = simple_description("Book", "alliance",
+                                  [("op", ["destination"], ["r"])])
+        community = ServiceCommunity(desc)
+        member_desc = simple_description(
+            "AusHotels", "aus", [("op", ["destination"], ["r"])],
+        )
+        member = ElementaryService(member_desc)
+        member.bind("op", lambda i: {"r": "x"})
+        env.deployer.deploy_elementary(member, "h-aus")
+        community.join("AusHotels", constraint="domestic(destination)")
+        env.deployer.deploy_community(community, "comm-host")
+        composite = CompositeService(ServiceDescription("C"))
+        composite.define_operation(
+            OperationSpec("run"),
+            linear_chart("c", [("a", "Book", "op")]),
+        )
+        chart = composite.chart_for("run")
+        chart.state("a").binding.input_mapping["destination"] = (
+            "destination"
+        )
+        deployment = env.deployer.deploy_composite(composite, "c-host")
+        result = env.client().execute(*deployment.address, "run",
+                                      {"destination": "tokyo"})
+        assert result.status == "fault"
+        assert "no member" in result.fault

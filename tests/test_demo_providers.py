@@ -1,0 +1,142 @@
+"""Travel-demo provider services, invoked locally (no network)."""
+
+import pytest
+
+from repro.exceptions import InvocationError
+from repro.demo.providers import (
+    CITIES,
+    make_accommodation_member,
+    make_attractions_search,
+    make_car_rental,
+    make_domestic_flight_booking,
+    make_international_flight_booking,
+    make_travel_insurance,
+)
+from repro.expr.functions import NEAR_THRESHOLD_KM, haversine_km
+
+
+ARGS = {"customer": "Alice", "destination": "sydney",
+        "departure_date": "d1", "return_date": "d2"}
+
+
+class TestDomesticFlightBooking:
+    def test_books_australian_destination(self):
+        service = make_domestic_flight_booking()
+        result = service.invoke("bookFlight", ARGS)
+        assert result["flight_ref"].startswith("DFB-")
+        assert result["price"] > 0
+        assert result["airline"] == "AusAir"
+
+    def test_rejects_international_destination(self):
+        service = make_domestic_flight_booking()
+        with pytest.raises(InvocationError, match="Australian"):
+            service.invoke("bookFlight", dict(ARGS, destination="paris"))
+
+    def test_rejects_unknown_destination(self):
+        service = make_domestic_flight_booking()
+        with pytest.raises(InvocationError, match="unknown destination"):
+            service.invoke("bookFlight", dict(ARGS, destination="atlantis"))
+
+    def test_booking_ref_deterministic(self):
+        service = make_domestic_flight_booking()
+        a = service.invoke("bookFlight", ARGS)["flight_ref"]
+        b = service.invoke("bookFlight", ARGS)["flight_ref"]
+        assert a == b
+
+
+class TestInternationalFlightBooking:
+    def test_books_international(self):
+        service = make_international_flight_booking()
+        result = service.invoke("bookFlight",
+                                dict(ARGS, destination="tokyo"))
+        assert result["flight_ref"].startswith("IFB-")
+
+    def test_rejects_domestic(self):
+        service = make_international_flight_booking()
+        with pytest.raises(InvocationError, match="domestic"):
+            service.invoke("bookFlight", ARGS)
+
+
+class TestTravelInsurance:
+    def test_premium_scales_with_trip_price(self):
+        service = make_travel_insurance()
+        cheap = service.invoke("insure", {
+            "customer": "A", "destination": "paris", "trip_price": 100.0,
+        })
+        pricey = service.invoke("insure", {
+            "customer": "A", "destination": "paris", "trip_price": 5000.0,
+        })
+        assert pricey["premium"] > cheap["premium"]
+
+    def test_works_without_trip_price(self):
+        service = make_travel_insurance()
+        result = service.invoke("insure",
+                                {"customer": "A", "destination": "paris"})
+        assert result["premium"] == 45.0
+
+
+class TestAccommodation:
+    def test_member_books_hotel_with_coordinates(self):
+        member = make_accommodation_member("HotelNet", "HotelNetCo")
+        result = member.invoke("bookAccommodation", {
+            "customer": "A", "destination": "sydney",
+        })
+        hotel = result["accommodation"]
+        assert {"name", "lat", "lon"} <= set(hotel)
+        assert result["nightly_rate"] > 0
+
+    def test_rate_multiplier_applies(self):
+        base = make_accommodation_member("A", "a", rate_multiplier=1.0)
+        dear = make_accommodation_member("B", "b", rate_multiplier=2.0)
+        args = {"customer": "A", "destination": "melbourne"}
+        assert (dear.invoke("bookAccommodation", args)["nightly_rate"]
+                == 2 * base.invoke("bookAccommodation", args)["nightly_rate"])
+
+    def test_hotel_index_clamped(self):
+        member = make_accommodation_member("X", "x", hotel_index=99)
+        result = member.invoke("bookAccommodation", {
+            "customer": "A", "destination": "melbourne",
+        })
+        assert result["accommodation"]["name"] == "Yarra Grand"
+
+
+class TestAttractionsAndCar:
+    def test_attractions_search(self):
+        service = make_attractions_search()
+        result = service.invoke("searchAttractions",
+                                {"destination": "cairns"})
+        assert result["major_attraction"]["name"] == (
+            "Great Barrier Reef Pontoon"
+        )
+        assert len(result["attractions"]) == 2
+
+    def test_car_rental(self):
+        service = make_car_rental()
+        result = service.invoke("rentCar", {
+            "customer": "A", "destination": "sydney",
+        })
+        assert result["car_ref"].startswith("CR-")
+        assert result["agency"] == "RoadRunner"
+
+
+class TestCityData:
+    """The data must make the demo's branches actually vary."""
+
+    @pytest.mark.parametrize("city,expected_near", [
+        ("sydney", True), ("melbourne", True), ("paris", True),
+        ("cairns", False), ("tokyo", False),
+    ])
+    def test_near_far_split(self, city, expected_near):
+        data = CITIES[city]
+        hotel = data["hotels"][0]
+        attraction = data["attractions"][0]
+        distance = haversine_km(
+            (hotel["lat"], hotel["lon"]),
+            (attraction["lat"], attraction["lon"]),
+        )
+        assert (distance <= NEAR_THRESHOLD_KM) is expected_near
+
+    def test_domestic_split(self):
+        domestic = {c for c, d in CITIES.items()
+                    if d["country"] == "australia"}
+        assert domestic == {"sydney", "melbourne", "cairns"}

@@ -1,0 +1,235 @@
+"""Deployer and placement tests."""
+
+import pytest
+
+from repro.exceptions import DeploymentError
+from repro.deployment.placement import (
+    AdjacentPlacement,
+    CompositeHostPlacement,
+)
+from repro.routing.serialization import routing_tables_from_xml
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    ServiceDescription,
+    simple_description,
+)
+from repro.services.elementary import ElementaryService
+from repro.statecharts.builder import StatechartBuilder, linear_chart
+from repro.statecharts.flatten import flatten
+from repro.xmlio import to_string
+
+
+def make_service(name):
+    desc = simple_description(name, f"{name}-co", [("op", [], ["r"])])
+    service = ElementaryService(desc)
+    service.bind("op", lambda i: {"r": 1})
+    return service
+
+
+def make_composite(chart, name="C"):
+    composite = CompositeService(ServiceDescription(name))
+    composite.define_operation(OperationSpec("run"), chart)
+    return composite
+
+
+class TestElementaryDeployment:
+    def test_creates_node_installs_wrapper_registers(self, env):
+        wrapper = env.deployer.deploy_elementary(make_service("S"), "h1")
+        assert env.transport.has_node("h1")
+        assert env.transport.node("h1").has_endpoint("wrapper:S")
+        assert env.directory.resolve("S") == ("h1", "wrapper:S")
+        assert wrapper.service.name == "S"
+
+    def test_reuses_existing_node(self, env):
+        env.deployer.deploy_elementary(make_service("S1"), "h1")
+        env.deployer.deploy_elementary(make_service("S2"), "h1")
+        assert env.transport.node("h1").has_endpoint("wrapper:S1")
+        assert env.transport.node("h1").has_endpoint("wrapper:S2")
+
+
+class TestCompositeDeployment:
+    def chart(self):
+        return linear_chart("c", [("a", "A", "op"), ("b", "B", "op")])
+
+    def test_missing_component_rejected(self, env):
+        with pytest.raises(DeploymentError, match="not deployed"):
+            env.deployer.deploy_composite(make_composite(self.chart()),
+                                          "c-host")
+
+    def test_deploys_one_coordinator_per_node(self, env):
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        deployment = env.deployer.deploy_composite(
+            make_composite(self.chart()), "c-host"
+        )
+        graph = flatten(self.chart())
+        assert deployment.coordinator_count() == len(graph.node_ids)
+
+    def test_task_coordinators_on_service_hosts(self, env):
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        deployment = env.deployer.deploy_composite(
+            make_composite(self.chart()), "c-host"
+        )
+        coords = deployment.coordinators["run"]
+        assert coords["a"].host == "ha"
+        assert coords["b"].host == "hb"
+
+    def test_control_coordinators_on_composite_host_by_default(self, env):
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        deployment = env.deployer.deploy_composite(
+            make_composite(self.chart()), "c-host"
+        )
+        coords = deployment.coordinators["run"]
+        assert coords["initial"].host == "c-host"
+        assert coords["final"].host == "c-host"
+
+    def test_rows_carry_target_hosts(self, env):
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        deployment = env.deployer.deploy_composite(
+            make_composite(self.chart()), "c-host"
+        )
+        tables = deployment.tables["run"]
+        row = tables["a"].postprocessing.rows[0]
+        assert row.target_node == "b"
+        assert row.target_host == "hb"
+
+    def test_composite_registered_in_directory(self, env):
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        env.deployer.deploy_composite(make_composite(self.chart()),
+                                      "c-host")
+        assert env.directory.resolve("C") == ("c-host", "wrapper:C")
+
+    def test_tables_xml_artifact_parses(self, env):
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        deployment = env.deployer.deploy_composite(
+            make_composite(self.chart()), "c-host"
+        )
+        parsed = routing_tables_from_xml(
+            to_string(deployment.tables_xml("run"))
+        )
+        assert set(parsed) == set(deployment.tables["run"])
+        assert parsed["a"].host == "ha"
+
+    def test_undeploy_removes_endpoints(self, env):
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        deployment = env.deployer.deploy_composite(
+            make_composite(self.chart()), "c-host"
+        )
+        deployment.undeploy()
+        assert not env.transport.node("c-host").has_endpoint("wrapper:C")
+        # and execution now times out at the client
+        client = env.client()
+        from repro.exceptions import ExecutionTimeoutError
+
+        with pytest.raises(ExecutionTimeoutError):
+            client.execute("c-host", "wrapper:C", "run", {},
+                           timeout_ms=100.0)
+
+    def test_describe_lists_coordinators(self, env):
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        deployment = env.deployer.deploy_composite(
+            make_composite(self.chart()), "c-host"
+        )
+        text = deployment.describe()
+        assert "a @ ha" in text
+        assert "[run]" in text
+
+    def test_hosts_used(self, env):
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        deployment = env.deployer.deploy_composite(
+            make_composite(self.chart()), "c-host"
+        )
+        assert deployment.hosts_used() == ["c-host", "ha", "hb"]
+
+    def test_composite_referencing_community_deploys(self, env):
+        """A composite whose component is a community resolves fine."""
+        from repro.services.community import ServiceCommunity
+
+        member = make_service("M1")
+        env.deployer.deploy_elementary(member, "hm")
+        desc = simple_description("Comm", "alliance", [("op", [], ["r"])])
+        community = ServiceCommunity(desc)
+        community.join("M1")
+        env.deployer.deploy_community(community, "hc")
+        chart = linear_chart("c", [("a", "Comm", "op")])
+        deployment = env.deployer.deploy_composite(
+            make_composite(chart), "c-host"
+        )
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok
+
+
+class TestPlacementPolicies:
+    def graph_and_directory(self, env):
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        chart = linear_chart("c", [("a", "A", "op"), ("b", "B", "op")])
+        return flatten(chart), env.directory
+
+    def test_composite_host_placement(self, env):
+        graph, directory = self.graph_and_directory(env)
+        hosts = CompositeHostPlacement().place(graph, "c-host", directory)
+        assert hosts["a"] == "ha"
+        assert hosts["b"] == "hb"
+        assert hosts["initial"] == "c-host"
+        assert hosts["final"] == "c-host"
+
+    def test_adjacent_placement_pulls_controls_to_tasks(self, env):
+        graph, directory = self.graph_and_directory(env)
+        hosts = AdjacentPlacement().place(graph, "c-host", directory)
+        # initial has no predecessor task; falls to successor task a
+        assert hosts["initial"] == "ha"
+        # final follows task b
+        assert hosts["final"] == "hb"
+
+    def test_adjacent_placement_on_parallel_chart(self, env):
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        region = lambda sid, svc: (
+            StatechartBuilder(f"r{sid}")
+            .initial().task(sid, svc, "op").final()
+            .chain("initial", sid, "final")
+            .build()
+        )
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .parallel("P", [region("a", "A"), region("b", "B")])
+            .final()
+            .chain("initial", "P", "final")
+            .build()
+        )
+        graph = flatten(chart)
+        hosts = AdjacentPlacement().place(graph, "c-host", env.directory)
+        # every node must be placed
+        assert set(hosts) == set(graph.node_ids)
+
+    def test_placement_missing_service_raises(self, env):
+        chart = linear_chart("c", [("a", "Ghost", "op")])
+        with pytest.raises(DeploymentError, match="not\\s+deployed"):
+            CompositeHostPlacement().place(
+                flatten(chart), "c-host", env.directory
+            )
+
+    def test_adjacent_placement_end_to_end_execution(self, env):
+        """The alternative placement still executes correctly."""
+        from repro.deployment.deployer import Deployer
+
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        deployer = Deployer(env.transport, env.directory,
+                            placement=AdjacentPlacement())
+        chart = linear_chart("c", [("a", "A", "op"), ("b", "B", "op")])
+        deployment = deployer.deploy_composite(make_composite(chart),
+                                               "c-host")
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok

@@ -1,0 +1,171 @@
+"""Service Discovery Engine tests: the Fig. 3 publish/search/execute flows."""
+
+import pytest
+
+from repro.exceptions import DiscoveryError
+from repro.discovery.engine import (
+    make_access_point,
+    parse_access_point,
+)
+from repro.demo.travel import deploy_travel_scenario
+
+
+@pytest.fixture
+def published(manager):
+    """Travel scenario deployed AND published (register_* flows)."""
+    deployed = deploy_travel_scenario(manager.deployer)
+    # deploy_travel_scenario bypasses the manager's publish step, so
+    # publish through the engine here, as providers would.
+    for service in deployed.scenario.all_services():
+        manager.discovery.publish(service.description, category="travel")
+    manager.discovery.publish(deployed.scenario.community.description,
+                              category="travel")
+    manager.discovery.publish(deployed.scenario.composite.description,
+                              category="composite")
+    return manager, deployed
+
+
+class TestAccessPoints:
+    def test_roundtrip(self):
+        ap = make_access_point("host-1", "wrapper:S")
+        assert parse_access_point(ap) == ("host-1", "wrapper:S")
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(DiscoveryError, match="unsupported"):
+            parse_access_point("http://h/e")
+
+    def test_malformed_rejected(self):
+        with pytest.raises(DiscoveryError, match="malformed"):
+            parse_access_point("selfserv://only-node")
+
+
+class TestPublish:
+    def test_unknown_service_cannot_publish(self, manager):
+        from repro.services.description import ServiceDescription
+
+        with pytest.raises(DiscoveryError, match="must be deployed"):
+            manager.discovery.publish(ServiceDescription("Ghost"))
+
+    def test_publish_creates_uddi_and_wsdl(self, published):
+        manager, deployed = published
+        stats = manager.discovery.registry.statistics()
+        # 8 elementary + community + composite = 10 services
+        assert stats["services"] == 10
+        assert stats["bindings"] == 10
+        listing = manager.discovery.service_detail("DomesticFlightBooking")
+        assert listing.provider == "AusAir"
+        assert listing.operations == ["bookFlight"]
+        assert listing.access_point.startswith("selfserv://")
+
+    def test_provider_reused_across_publishes(self, manager):
+        """Two services from one provider share one businessEntity."""
+        from repro.services.description import (
+            OperationSpec, ServiceDescription,
+        )
+        from repro.services.elementary import ElementaryService
+
+        for name in ("S1", "S2"):
+            desc = ServiceDescription(name, provider="OneCo")
+            desc.add_operation(OperationSpec("op"))
+            service = ElementaryService(desc)
+            service.bind("op", lambda i: {})
+            manager.register_elementary(service, "h1")
+        assert manager.discovery.registry.statistics()["businesses"] == 1
+
+    def test_unpublish(self, published):
+        manager, _deployed = published
+        manager.discovery.unpublish("CarRental")
+        with pytest.raises(DiscoveryError, match="not published"):
+            manager.discovery.service_detail("CarRental")
+
+    def test_unpublish_unknown_raises(self, manager):
+        with pytest.raises(DiscoveryError):
+            manager.discovery.unpublish("Ghost")
+
+
+class TestSearch:
+    def test_search_by_provider(self, published):
+        manager, _ = published
+        result = manager.discovery.search(provider="AusAir")
+        assert result.providers == ["AusAir"]
+        assert [l.name for l in result.listings] == [
+            "DomesticFlightBooking"
+        ]
+
+    def test_search_by_service_name_substring(self, published):
+        manager, _ = published
+        result = manager.discovery.search(service_name="flight")
+        names = sorted(l.name for l in result.listings)
+        assert names == ["DomesticFlightBooking",
+                         "InternationalFlightBooking"]
+
+    def test_search_by_operation(self, published):
+        manager, _ = published
+        result = manager.discovery.search(operation="bookAccommodation")
+        names = sorted(l.name for l in result.listings)
+        # the community plus its three members advertise the operation
+        assert "AccommodationBooking" in names
+        assert len(names) == 4
+
+    def test_search_no_match(self, published):
+        manager, _ = published
+        result = manager.discovery.search(service_name="zzz")
+        assert result.listings == []
+        assert result.render() == "(no matches)"
+
+    def test_browse_tree_renders(self, published):
+        manager, _ = published
+        result = manager.discovery.search(service_name="flight")
+        rendered = result.render()
+        assert "AusAir" in rendered
+        assert "└─ DomesticFlightBooking" in rendered
+        assert "· bookFlight" in rendered
+
+    def test_result_find(self, published):
+        manager, _ = published
+        result = manager.discovery.search(service_name="flight")
+        assert result.find("DomesticFlightBooking").provider == "AusAir"
+        with pytest.raises(DiscoveryError):
+            result.find("CarRental")
+
+    def test_fetch_wsdl(self, published):
+        manager, _ = published
+        document = manager.discovery.fetch_wsdl("CarRental")
+        assert document.service_name == "CarRental"
+        assert document.has_operation("rentCar")
+
+
+class TestExecuteFlow:
+    def test_execute_composite_via_discovery(self, published):
+        manager, deployed = published
+        client = manager.client("enduser", "end-host")
+        result = manager.discovery.execute(
+            client, "TravelArrangement", "arrangeTrip",
+            {"customer": "Eve", "destination": "sydney",
+             "departure_date": "d1", "return_date": "d2"},
+        )
+        assert result.ok
+        assert result.outputs["flight_ref"].startswith("DFB")
+
+    def test_execute_unadvertised_operation_rejected(self, published):
+        manager, _ = published
+        client = manager.client("enduser", "end-host")
+        with pytest.raises(DiscoveryError, match="does not advertise"):
+            manager.discovery.execute(client, "CarRental", "fly", {})
+
+    def test_execute_unpublished_service_fails(self, published):
+        manager, _ = published
+        manager.discovery.unpublish("CarRental")
+        client = manager.client("enduser", "end-host")
+        with pytest.raises(DiscoveryError, match="not published"):
+            manager.discovery.execute(client, "CarRental", "rentCar", {})
+
+    def test_locate_and_execute_via_manager(self, published):
+        manager, _ = published
+        result = manager.locate_and_execute(
+            "alice", "alice-host", "TravelArrangement", "arrangeTrip",
+            {"customer": "Alice", "destination": "paris",
+             "departure_date": "d1", "return_date": "d2"},
+        )
+        assert result.ok
+        assert result.outputs["insurance_ref"]

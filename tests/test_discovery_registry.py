@@ -1,0 +1,159 @@
+"""UDDI registry tests (direct API and SOAP exposure)."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateRegistrationError,
+    NotRegisteredError,
+    SoapFault,
+)
+from repro.discovery.registry import UddiRegistry
+from repro.discovery.soap import SoapClient
+
+
+class TestPublishApi:
+    def test_save_business(self):
+        registry = UddiRegistry()
+        entity = registry.save_business("AusAir", contact="ops@ausair")
+        assert entity.business_key.startswith("uddi:business:")
+        assert registry.get_business(entity.business_key).name == "AusAir"
+
+    def test_duplicate_business_rejected(self):
+        registry = UddiRegistry()
+        registry.save_business("AusAir")
+        with pytest.raises(DuplicateRegistrationError):
+            registry.save_business("AusAir")
+
+    def test_save_service_requires_business(self):
+        registry = UddiRegistry()
+        with pytest.raises(NotRegisteredError):
+            registry.save_service("uddi:business:999999", "S")
+
+    def test_duplicate_service_per_business_rejected(self):
+        registry = UddiRegistry()
+        b = registry.save_business("AusAir")
+        registry.save_service(b.business_key, "Flights")
+        with pytest.raises(DuplicateRegistrationError):
+            registry.save_service(b.business_key, "Flights")
+
+    def test_same_service_name_different_business_ok(self):
+        registry = UddiRegistry()
+        b1 = registry.save_business("A")
+        b2 = registry.save_business("B")
+        registry.save_service(b1.business_key, "Flights")
+        registry.save_service(b2.business_key, "Flights")
+        assert len(registry.find_services("Flights")) == 2
+
+    def test_save_binding_requires_service(self):
+        registry = UddiRegistry()
+        with pytest.raises(NotRegisteredError):
+            registry.save_binding("uddi:service:999999", "selfserv://h/e")
+
+    def test_delete_service_removes_bindings(self):
+        registry = UddiRegistry()
+        b = registry.save_business("A")
+        s = registry.save_service(b.business_key, "S")
+        registry.save_binding(s.service_key, "selfserv://h/e")
+        registry.delete_service(s.service_key)
+        with pytest.raises(NotRegisteredError):
+            registry.get_service(s.service_key)
+        assert registry.statistics()["bindings"] == 0
+
+    def test_save_tmodel(self):
+        registry = UddiRegistry()
+        tmodel = registry.save_tmodel("flight-booking-interface")
+        assert tmodel.tmodel_key.startswith("uddi:tmodel:")
+
+
+class TestInquiryApi:
+    def populate(self):
+        registry = UddiRegistry()
+        ausair = registry.save_business("AusAir")
+        globalw = registry.save_business("GlobalWings")
+        registry.save_service(ausair.business_key, "DomesticFlights",
+                              category="travel")
+        registry.save_service(globalw.business_key,
+                              "InternationalFlights", category="travel")
+        registry.save_service(globalw.business_key, "CargoTracking",
+                              category="logistics")
+        return registry
+
+    def test_find_business_substring_case_insensitive(self):
+        registry = self.populate()
+        assert [b.name for b in registry.find_businesses("aus")] == [
+            "AusAir"
+        ]
+
+    def test_find_business_empty_pattern_matches_all(self):
+        assert len(self.populate().find_businesses()) == 2
+
+    def test_find_services_by_name(self):
+        registry = self.populate()
+        names = [s.name for s in registry.find_services("flights")]
+        assert names == ["DomesticFlights", "InternationalFlights"]
+
+    def test_find_services_by_category(self):
+        registry = self.populate()
+        names = [s.name
+                 for s in registry.find_services(category="logistics")]
+        assert names == ["CargoTracking"]
+
+    def test_find_services_by_business(self):
+        registry = self.populate()
+        globalw = registry.find_business_by_name("GlobalWings")
+        names = [s.name for s in registry.services_of(globalw.business_key)]
+        assert names == ["CargoTracking", "InternationalFlights"]
+
+    def test_statistics(self):
+        stats = self.populate().statistics()
+        assert stats == {"businesses": 2, "services": 3, "bindings": 0,
+                         "tmodels": 0}
+
+
+class TestSoapExposure:
+    def client(self):
+        return SoapClient(UddiRegistry().as_soap_server())
+
+    def test_full_publish_flow_over_soap(self):
+        client = self.client()
+        business = client.call("save_business", {"name": "AusAir"})
+        service = client.call("save_service", {
+            "businessKey": business["businessKey"], "name": "Flights",
+        })
+        binding = client.call("save_binding", {
+            "serviceKey": service["serviceKey"],
+            "accessPoint": "selfserv://h/wrapper:Flights",
+            "wsdlUrl": "http://h/f.wsdl",
+        })
+        detail = client.call("get_serviceDetail", {
+            "serviceKey": service["serviceKey"],
+        })
+        assert detail["service"]["name"] == "Flights"
+        assert detail["bindings"][0]["accessPoint"] == (
+            "selfserv://h/wrapper:Flights"
+        )
+        assert binding["bindingKey"].startswith("uddi:binding:")
+
+    def test_errors_become_client_faults(self):
+        client = self.client()
+        with pytest.raises(SoapFault) as err:
+            client.call("get_serviceDetail",
+                        {"serviceKey": "uddi:service:000000"})
+        assert err.value.faultcode == "soapenv:Client"
+
+    def test_find_business_over_soap(self):
+        client = self.client()
+        client.call("save_business", {"name": "AusAir"})
+        found = client.call("find_business", {"name": "aus"})
+        assert found["businesses"][0]["name"] == "AusAir"
+
+    def test_delete_service_over_soap(self):
+        client = self.client()
+        business = client.call("save_business", {"name": "A"})
+        service = client.call("save_service", {
+            "businessKey": business["businessKey"], "name": "S",
+        })
+        client.call("delete_service",
+                    {"serviceKey": service["serviceKey"]})
+        found = client.call("find_service", {"name": "S"})
+        assert found["services"] == []

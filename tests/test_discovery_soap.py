@@ -1,0 +1,108 @@
+"""SOAP envelope and dispatcher tests."""
+
+import pytest
+
+from repro.exceptions import SoapFault, XmlError
+from repro.discovery.soap import SoapClient, SoapEnvelope, SoapServer
+
+
+class TestEnvelopeRoundTrip:
+    def roundtrip(self, payload):
+        envelope = SoapEnvelope("op", payload)
+        return SoapEnvelope.from_bytes(envelope.to_bytes()).payload
+
+    def test_scalars(self):
+        payload = {"s": "text", "i": 42, "f": 2.5, "b": True, "n": None}
+        assert self.roundtrip(payload) == payload
+
+    def test_false_boolean(self):
+        assert self.roundtrip({"b": False}) == {"b": False}
+
+    def test_nested_records_and_lists(self):
+        payload = {
+            "rec": {"inner": {"x": 1}, "items": [1, "two", None]},
+            "empty_list": [],
+            "empty_rec": {},
+        }
+        assert self.roundtrip(payload) == payload
+
+    def test_unicode_strings(self):
+        assert self.roundtrip({"s": "héllo wörld ✈"}) == {
+            "s": "héllo wörld ✈"
+        }
+
+    def test_operation_preserved(self):
+        envelope = SoapEnvelope("find_business", {"name": "x"})
+        parsed = SoapEnvelope.from_bytes(envelope.to_bytes())
+        assert parsed.operation == "find_business"
+
+    def test_fault_roundtrip(self):
+        envelope = SoapEnvelope("", is_fault=True,
+                                faultcode="soapenv:Client",
+                                faultstring="bad request")
+        parsed = SoapEnvelope.from_bytes(envelope.to_bytes())
+        assert parsed.is_fault
+        assert parsed.faultcode == "soapenv:Client"
+        assert parsed.faultstring == "bad request"
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(XmlError, match="cannot SOAP-encode"):
+            SoapEnvelope("op", {"obj": object()}).to_bytes()
+
+    def test_not_an_envelope_raises(self):
+        with pytest.raises(XmlError, match="not a SOAP envelope"):
+            SoapEnvelope.from_bytes(b"<html/>")
+
+
+class TestServerDispatch:
+    def make(self):
+        server = SoapServer()
+        server.expose("echo", lambda p: {"echoed": p.get("msg", "")})
+
+        def failing(payload):
+            raise SoapFault("soapenv:Client", "you did a bad thing")
+
+        server.expose("fail", failing)
+
+        def crashing(payload):
+            raise RuntimeError("internal bug")
+
+        server.expose("crash", crashing)
+        return server
+
+    def test_successful_call(self):
+        client = SoapClient(self.make())
+        assert client.call("echo", {"msg": "hi"}) == {"echoed": "hi"}
+
+    def test_unknown_operation_is_client_fault(self):
+        client = SoapClient(self.make())
+        with pytest.raises(SoapFault) as err:
+            client.call("nonexistent")
+        assert err.value.faultcode == "soapenv:Client"
+
+    def test_handler_fault_propagates(self):
+        client = SoapClient(self.make())
+        with pytest.raises(SoapFault, match="bad thing"):
+            client.call("fail")
+
+    def test_handler_crash_is_server_fault(self):
+        client = SoapClient(self.make())
+        with pytest.raises(SoapFault) as err:
+            client.call("crash")
+        assert err.value.faultcode == "soapenv:Server"
+
+    def test_malformed_request_is_client_fault(self):
+        server = self.make()
+        response = SoapEnvelope.from_bytes(server.handle(b"garbage<<"))
+        assert response.is_fault
+
+    def test_call_counters(self):
+        server = self.make()
+        client = SoapClient(server)
+        client.call("echo", {})
+        assert client.calls_made == 1
+        assert server.calls_served == 1
+
+    def test_empty_payload_allowed(self):
+        client = SoapClient(self.make())
+        assert client.call("echo") == {"echoed": ""}

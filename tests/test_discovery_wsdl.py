@@ -1,0 +1,121 @@
+"""WSDL model, XML round-trip and URL resolver tests."""
+
+import pytest
+
+from repro.exceptions import DiscoveryError, XmlError
+from repro.discovery.wsdl import (
+    UrlResolver,
+    WsdlDocument,
+    WsdlOperation,
+    description_from_wsdl,
+    wsdl_from_description,
+    wsdl_from_xml,
+    wsdl_to_xml,
+)
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+)
+from repro.xmlio import to_string
+
+
+def sample_description():
+    desc = ServiceDescription("Flights", provider="AusAir",
+                              description="Flight booking")
+    desc.add_operation(OperationSpec(
+        "bookFlight",
+        inputs=(Parameter("customer", ParameterType.STRING),
+                Parameter("destination", ParameterType.STRING)),
+        outputs=(Parameter("ref", ParameterType.STRING),),
+        description="book a flight",
+    ))
+    desc.add_operation(OperationSpec("cancel"))
+    return desc
+
+
+class TestDerivation:
+    def test_wsdl_from_description(self):
+        document = wsdl_from_description(sample_description(),
+                                         "selfserv://h/wrapper:Flights")
+        assert document.service_name == "Flights"
+        assert document.provider == "AusAir"
+        assert document.operation_names() == ["bookFlight", "cancel"]
+        assert document.access_point == "selfserv://h/wrapper:Flights"
+
+    def test_description_from_wsdl_roundtrip(self):
+        document = wsdl_from_description(sample_description())
+        rebuilt = description_from_wsdl(document)
+        assert rebuilt.name == "Flights"
+        spec = rebuilt.operation("bookFlight")
+        assert spec.input_names() == ["customer", "destination"]
+        assert spec.inputs[0].type is ParameterType.STRING
+
+    def test_has_operation(self):
+        document = wsdl_from_description(sample_description())
+        assert document.has_operation("cancel")
+        assert not document.has_operation("fly")
+
+
+class TestXmlRoundTrip:
+    def test_full_roundtrip(self):
+        document = wsdl_from_description(sample_description(), "selfserv://h/e")
+        parsed = wsdl_from_xml(to_string(wsdl_to_xml(document)))
+        assert parsed == document
+
+    def test_minimal_document(self):
+        document = WsdlDocument(service_name="S")
+        parsed = wsdl_from_xml(to_string(wsdl_to_xml(document)))
+        assert parsed.service_name == "S"
+        assert parsed.operations == []
+
+    def test_documentation_preserved(self):
+        document = WsdlDocument(
+            service_name="S", documentation="does things",
+            operations=[WsdlOperation("op", (), (), "op docs")],
+        )
+        parsed = wsdl_from_xml(to_string(wsdl_to_xml(document)))
+        assert parsed.documentation == "does things"
+        assert parsed.operations[0].documentation == "op docs"
+
+    def test_wrong_root_raises(self):
+        with pytest.raises(XmlError, match="expected <definitions>"):
+            wsdl_from_xml("<other/>")
+
+
+class TestUrlResolver:
+    def test_publish_and_fetch(self):
+        resolver = UrlResolver()
+        document = wsdl_from_description(sample_description())
+        url = resolver.publish("http://h/wsdl/Flights.wsdl", document)
+        assert resolver.fetch(url) == document
+        assert resolver.exists(url)
+
+    def test_fetch_missing_is_404(self):
+        with pytest.raises(DiscoveryError, match="404"):
+            UrlResolver().fetch("http://nowhere/x.wsdl")
+
+    def test_non_http_url_rejected(self):
+        resolver = UrlResolver()
+        with pytest.raises(DiscoveryError, match="not a public URL"):
+            resolver.publish("ftp://h/x", WsdlDocument("S"))
+
+    def test_corrupt_page_fails_at_fetch_time(self):
+        resolver = UrlResolver()
+        resolver.publish_text("http://h/bad.wsdl", "<broken")
+        with pytest.raises(XmlError):
+            resolver.fetch("http://h/bad.wsdl")
+
+    def test_republish_overwrites(self):
+        resolver = UrlResolver()
+        url = "http://h/x.wsdl"
+        resolver.publish(url, WsdlDocument("Old"))
+        resolver.publish(url, WsdlDocument("New"))
+        assert resolver.fetch(url).service_name == "New"
+
+    def test_urls_sorted(self):
+        resolver = UrlResolver()
+        resolver.publish("http://h/b.wsdl", WsdlDocument("B"))
+        resolver.publish("http://h/a.wsdl", WsdlDocument("A"))
+        assert resolver.urls() == ["http://h/a.wsdl", "http://h/b.wsdl"]

@@ -1,0 +1,178 @@
+"""Service editor tests: drafts, documents, rendering."""
+
+import pytest
+
+from repro.editor.document import composite_from_xml, composite_to_xml
+from repro.editor.drafts import ServiceEditor
+from repro.editor.rendering import render_flat_graph, render_statechart
+from repro.exceptions import ServiceError, XmlError
+from repro.services.description import ParameterType
+from repro.statecharts.flatten import flatten
+from repro.xmlio import to_string
+from repro.demo.travel import build_travel_chart, build_travel_composite
+
+
+class TestDrafting:
+    def test_draft_to_composite(self):
+        editor = ServiceEditor()
+        draft = editor.new_draft("Trip", provider="EasyTrips")
+        canvas = draft.operation(
+            "run",
+            inputs=["destination", ("budget", ParameterType.FLOAT)],
+            outputs=["ref"],
+        )
+        (canvas.initial()
+               .task("a", "S", "op")
+               .final()
+               .chain("initial", "a", "final"))
+        draft.attach_chart("run", canvas)
+        composite = draft.build()
+        assert composite.name == "Trip"
+        spec = composite.description.operation("run")
+        assert spec.inputs[1].type is ParameterType.FLOAT
+        assert composite.chart_for("run").basic_state_count() == 1
+
+    def test_builder_is_live_without_attach(self):
+        """The canvas handed out by operation() is the live chart."""
+        editor = ServiceEditor()
+        draft = editor.new_draft("C")
+        canvas = draft.operation("run")
+        canvas.initial().task("a", "S", "op").final()
+        canvas.chain("initial", "a", "final")
+        composite = draft.build()
+        assert composite.chart_for("run").basic_state_count() == 1
+
+    def test_duplicate_operation_rejected(self):
+        draft = ServiceEditor().new_draft("C")
+        draft.operation("run")
+        with pytest.raises(ServiceError, match="already has operation"):
+            draft.operation("run")
+
+    def test_duplicate_draft_rejected(self):
+        editor = ServiceEditor()
+        editor.new_draft("C")
+        with pytest.raises(ServiceError, match="already open"):
+            editor.new_draft("C")
+
+    def test_check_reports_errors_and_warnings(self):
+        draft = ServiceEditor().new_draft("C")
+        canvas = draft.operation("run")
+        canvas.initial().task("a", "S", "op").task("b", "S", "op").final()
+        canvas.arc("initial", "a")
+        canvas.arc("initial", "b")  # ambiguous unguarded choice
+        canvas.arc("a", "final")
+        # b is a dead end -> error; initial double-unguarded -> warning
+        errors, warnings = draft.check()
+        assert any("dead end" in str(e) for e in errors)
+        assert any("ambiguous" in str(w) for w in warnings)
+
+    def test_editor_draft_registry(self):
+        editor = ServiceEditor()
+        editor.new_draft("A")
+        editor.new_draft("B")
+        assert editor.open_drafts() == ["A", "B"]
+        assert editor.draft("A").name == "A"
+        editor.close("A")
+        assert editor.open_drafts() == ["B"]
+        with pytest.raises(ServiceError):
+            editor.draft("A")
+
+    def test_render_unknown_operation_raises(self):
+        draft = ServiceEditor().new_draft("C")
+        with pytest.raises(ServiceError):
+            draft.render("ghost")
+
+
+class TestCompositeDocument:
+    def test_roundtrip_travel(self):
+        composite = build_travel_composite()
+        text = to_string(composite_to_xml(composite))
+        parsed = composite_from_xml(text)
+        assert parsed.name == composite.name
+        assert parsed.operations() == ["arrangeTrip"]
+        spec = parsed.description.operation("arrangeTrip")
+        assert spec.input_names() == [
+            "customer", "destination", "departure_date", "return_date",
+        ]
+        assert not spec.outputs[-1].required  # car_ref optional
+
+    def test_parsed_document_deploys_identically(self, env):
+        """The XML document is a complete deployment artefact."""
+        from repro.demo.travel import build_travel_scenario
+
+        scenario = build_travel_scenario()
+        for service in scenario.all_services():
+            env.deployer.deploy_elementary(
+                service, scenario.hosts[service.name]
+            )
+        env.deployer.deploy_community(
+            scenario.community,
+            scenario.hosts[scenario.community.name],
+        )
+        text = to_string(composite_to_xml(scenario.composite))
+        reparsed = composite_from_xml(text)
+        deployment = env.deployer.deploy_composite(reparsed, "c-host")
+        result = env.client().execute(
+            *deployment.address, "arrangeTrip",
+            {"customer": "X", "destination": "sydney",
+             "departure_date": "d1", "return_date": "d2"},
+        )
+        assert result.ok
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(XmlError, match="expected <composite-service>"):
+            composite_from_xml("<statechart name='x'/>")
+
+    def test_operation_without_chart_rejected(self):
+        text = (
+            "<composite-service name='C'>"
+            "<operation name='run'/>"
+            "</composite-service>"
+        )
+        with pytest.raises(XmlError, match="missing its"):
+            composite_from_xml(text)
+
+
+class TestEditorReopen:
+    def test_open_document_for_editing(self):
+        editor = ServiceEditor()
+        composite = build_travel_composite()
+        draft = editor.open_document(
+            to_string(composite_to_xml(composite))
+        )
+        assert draft.name == "TravelArrangement"
+        errors, _warnings = draft.check()
+        assert errors == []
+        rebuilt = draft.build()
+        assert rebuilt.operations() == ["arrangeTrip"]
+
+    def test_to_xml_text_matches_figure2_artifact(self):
+        editor = ServiceEditor()
+        composite = build_travel_composite()
+        draft = editor.open_document(
+            to_string(composite_to_xml(composite))
+        )
+        text = draft.to_xml_text()
+        assert "<composite-service" in text
+        assert "domestic(destination)" in text
+        assert "\n" in text  # pretty-printed
+
+
+class TestRendering:
+    def test_statechart_rendering_mentions_structure(self):
+        text = render_statechart(build_travel_chart())
+        assert "DFB -> DomesticFlightBooking.bookFlight" in text
+        assert "[∥] trip" in text
+        assert "region 0:" in text
+        assert "[domestic(destination)]" in text
+        assert "(•) initial" in text
+
+    def test_flat_graph_rendering(self):
+        text = render_flat_graph(flatten(build_travel_chart()))
+        assert "<fork> trip/__fork" in text
+        assert "<task> CR -> CarRental.rentCar" in text
+
+    def test_rendering_is_deterministic(self):
+        a = render_statechart(build_travel_chart())
+        b = render_statechart(build_travel_chart())
+        assert a == b

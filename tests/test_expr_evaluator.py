@@ -1,0 +1,215 @@
+"""Evaluator tests: semantics of the guard language."""
+
+import pytest
+
+from repro.exceptions import (
+    EvaluationError,
+    UnboundVariableError,
+    UnknownFunctionError,
+)
+from repro.expr import (
+    CompiledExpression,
+    FunctionRegistry,
+    compile_expression,
+    evaluate,
+)
+
+
+class TestLiteralsAndVariables:
+    def test_literal(self):
+        assert evaluate("42") == 42
+
+    def test_variable_lookup(self):
+        assert evaluate("x", {"x": 7}) == 7
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(UnboundVariableError):
+            evaluate("missing", {})
+
+    def test_dotted_path_into_mapping(self):
+        env = {"booking": {"price": 99.0}}
+        assert evaluate("booking.price", env) == 99.0
+
+    def test_dotted_path_into_object_attribute(self):
+        class Box:
+            size = 3
+
+        assert evaluate("box.size", {"box": Box()}) == 3
+
+    def test_missing_path_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("booking.missing", {"booking": {}})
+
+    def test_null_variable_value_allowed(self):
+        assert evaluate("x = null", {"x": None}) is True
+
+
+class TestLogic:
+    def test_and_truth_table(self):
+        assert evaluate("true and true") is True
+        assert evaluate("true and false") is False
+        assert evaluate("false and true") is False
+
+    def test_or_truth_table(self):
+        assert evaluate("false or true") is True
+        assert evaluate("false or false") is False
+
+    def test_not(self):
+        assert evaluate("not false") is True
+
+    def test_and_short_circuits(self):
+        # The unbound right side must never be evaluated
+        assert evaluate("false and missing", {}) is False
+
+    def test_or_short_circuits(self):
+        assert evaluate("true or missing", {}) is True
+
+    def test_logic_returns_bool_not_operand(self):
+        assert evaluate("1 and 2") is True
+
+
+class TestComparisons:
+    def test_numeric_equality_across_types(self):
+        assert evaluate("1 = 1.0") is True
+
+    def test_string_equality(self):
+        assert evaluate("x = 'sydney'", {"x": "sydney"}) is True
+
+    def test_inequality(self):
+        assert evaluate("1 != 2") is True
+
+    def test_bool_never_equals_number(self):
+        assert evaluate("x = 1", {"x": True}) is False
+
+    def test_ordering_numbers(self):
+        assert evaluate("2 < 3") is True
+        assert evaluate("3 <= 3") is True
+        assert evaluate("4 > 3") is True
+        assert evaluate("3 >= 4") is False
+
+    def test_ordering_strings(self):
+        assert evaluate("'apple' < 'banana'") is True
+
+    def test_ordering_mixed_types_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("'a' < 1")
+
+    def test_in_string(self):
+        assert evaluate("'yd' in 'sydney'") is True
+
+    def test_in_list(self):
+        assert evaluate("x in items", {"x": 2, "items": [1, 2, 3]}) is True
+
+    def test_in_null_is_false(self):
+        assert evaluate("1 in x", {"x": None}) is False
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert evaluate("2 + 3") == 5
+
+    def test_string_concatenation(self):
+        assert evaluate("'a' + 'b'") == "ab"
+
+    def test_mixed_add_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("'a' + 1")
+
+    def test_subtraction_multiplication(self):
+        assert evaluate("10 - 2 * 3") == 4
+
+    def test_division(self):
+        assert evaluate("7 / 2") == 3.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("1 / 0")
+
+    def test_modulo(self):
+        assert evaluate("7 % 3") == 1
+
+    def test_modulo_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("1 % 0")
+
+    def test_unary_minus(self):
+        assert evaluate("-x", {"x": 5}) == -5
+
+    def test_unary_minus_on_string_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("-'a'")
+
+    def test_arithmetic_on_bool_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("x + 1", {"x": True})
+
+
+class TestFunctions:
+    def test_builtin_function(self):
+        assert evaluate("abs(-3)") == 3
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(UnknownFunctionError):
+            evaluate("nosuch(1)")
+
+    def test_custom_registry(self):
+        registry = FunctionRegistry()
+        registry.register("double", lambda x: x * 2)
+        assert evaluate("double(21)", registry=registry) == 42
+
+    def test_wrong_arity_reported_as_evaluation_error(self):
+        with pytest.raises(EvaluationError):
+            evaluate("abs(1, 2, 3)")
+
+
+class TestCompiledExpression:
+    def test_compile_once_evaluate_many(self):
+        compiled = compile_expression("x > threshold")
+        assert compiled({"x": 5, "threshold": 3}) is True
+        assert compiled({"x": 1, "threshold": 3}) is False
+
+    def test_compiled_reports_variables(self):
+        compiled = compile_expression("near(a, b) and c > 1")
+        assert compiled.variables == frozenset({"a", "b", "c"})
+
+    def test_value_returns_raw_result(self):
+        compiled = compile_expression("x + 1")
+        assert compiled.value({"x": 2}) == 3
+
+    def test_call_coerces_to_bool(self):
+        compiled = compile_expression("x + 1")
+        assert compiled({"x": 2}) is True
+        assert compiled({"x": -1}) is False
+
+    def test_compiled_is_reusable_instance(self):
+        compiled = CompiledExpression("1 = 1")
+        assert compiled({}) is True
+        assert compiled({}) is True
+
+
+class TestPaperSemantics:
+    """End-to-end semantics of the travel-scenario guards."""
+
+    def test_domestic_sydney(self):
+        assert evaluate("domestic(destination)",
+                        {"destination": "sydney"}) is True
+
+    def test_not_domestic_paris(self):
+        assert evaluate("not domestic(destination)",
+                        {"destination": "paris"}) is True
+
+    def test_near_with_coordinates(self):
+        env = {
+            "major_attraction": {"lat": -33.857, "lon": 151.215},
+            "accommodation": {"lat": -33.861, "lon": 151.210},
+        }
+        assert evaluate("near(major_attraction, accommodation)", env) is True
+
+    def test_far_with_coordinates(self):
+        env = {
+            "major_attraction": {"lat": -16.760, "lon": 146.250},
+            "accommodation": {"lat": -16.918, "lon": 145.778},
+        }
+        assert evaluate(
+            "not near(major_attraction, accommodation)", env
+        ) is True

@@ -1,0 +1,178 @@
+"""Function registry and default helper tests."""
+
+import pytest
+
+from repro.exceptions import EvaluationError, UnknownFunctionError
+from repro.expr.functions import (
+    FunctionRegistry,
+    default_registry,
+    haversine_km,
+    make_default_functions,
+)
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = FunctionRegistry()
+        registry.register("f", lambda: 1)
+        assert registry.lookup("f")() == 1
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(UnknownFunctionError):
+            FunctionRegistry().lookup("nope")
+
+    def test_contains(self):
+        registry = default_registry()
+        assert "near" in registry
+        assert "no_such_fn" not in registry
+
+    def test_invalid_name_rejected(self):
+        registry = FunctionRegistry()
+        with pytest.raises(ValueError):
+            registry.register("1bad", lambda: None)
+        with pytest.raises(ValueError):
+            registry.register("", lambda: None)
+
+    def test_decorator_form(self):
+        registry = FunctionRegistry()
+
+        @registry.registered("triple")
+        def triple(x):
+            return 3 * x
+
+        assert registry.lookup("triple")(2) == 6
+
+    def test_child_inherits_parent(self):
+        parent = FunctionRegistry()
+        parent.register("f", lambda: "parent")
+        child = parent.child()
+        assert child.lookup("f")() == "parent"
+
+    def test_child_shadows_parent(self):
+        parent = FunctionRegistry()
+        parent.register("f", lambda: "parent")
+        child = parent.child()
+        child.register("f", lambda: "child")
+        assert child.lookup("f")() == "child"
+        assert parent.lookup("f")() == "parent"
+
+    def test_names_deduplicates_shadowed(self):
+        parent = FunctionRegistry()
+        parent.register("f", lambda: 1)
+        parent.register("g", lambda: 2)
+        child = parent.child()
+        child.register("f", lambda: 3)
+        assert sorted(child.names()) == ["f", "g"]
+
+
+class TestDomesticPredicate:
+    def setup_method(self):
+        self.fns = make_default_functions()
+
+    def test_australian_city_string(self):
+        assert self.fns["domestic"]("sydney") is True
+        assert self.fns["domestic"]("Sydney") is True
+
+    def test_foreign_city_string(self):
+        assert self.fns["domestic"]("paris") is False
+
+    def test_mapping_with_country(self):
+        assert self.fns["domestic"]({"country": "Australia"}) is True
+        assert self.fns["domestic"]({"country": "France"}) is False
+
+    def test_null_destination_raises(self):
+        with pytest.raises(EvaluationError):
+            self.fns["domestic"](None)
+
+
+class TestNearPredicate:
+    def setup_method(self):
+        self.fns = make_default_functions()
+
+    def test_near_by_coordinates(self):
+        a = {"lat": -33.857, "lon": 151.215}
+        b = {"lat": -33.861, "lon": 151.210}
+        assert self.fns["near"](a, b) is True
+
+    def test_far_by_coordinates(self):
+        a = {"lat": -16.760, "lon": 146.250}
+        b = {"lat": -16.918, "lon": 145.778}
+        assert self.fns["near"](a, b) is False
+
+    def test_tuple_coordinates(self):
+        assert self.fns["near"]((0.0, 0.0), (0.0, 0.1)) is True
+
+    def test_string_fallback_equal(self):
+        assert self.fns["near"]("cbd", "CBD") is True
+
+    def test_string_fallback_different(self):
+        assert self.fns["near"]("cbd", "airport") is False
+
+    def test_distance_requires_coordinates(self):
+        with pytest.raises(EvaluationError):
+            self.fns["distance"]("a", "b")
+
+    def test_distance_value(self):
+        d = self.fns["distance"]((0.0, 0.0), (1.0, 0.0))
+        assert d == pytest.approx(111.19, rel=0.01)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km((10.0, 20.0), (10.0, 20.0)) == 0.0
+
+    def test_symmetry(self):
+        a, b = (-33.86, 151.21), (48.85, 2.35)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    def test_sydney_to_paris_roughly(self):
+        d = haversine_km((-33.86, 151.21), (48.85, 2.35))
+        assert 16_500 < d < 17_500
+
+
+class TestGenericHelpers:
+    def setup_method(self):
+        self.fns = make_default_functions()
+
+    def test_min_max(self):
+        assert self.fns["min"](3, 1, 2) == 1
+        assert self.fns["max"](3, 1, 2) == 3
+
+    def test_round_floor_ceil(self):
+        assert self.fns["round"](2.5) == 2  # banker's rounding, documented
+        assert self.fns["floor"](2.9) == 2
+        assert self.fns["ceil"](2.1) == 3
+
+    def test_length(self):
+        assert self.fns["length"]("abc") == 3
+        assert self.fns["length"]([1, 2]) == 2
+        assert self.fns["length"](None) == 0
+
+    def test_length_of_number_raises(self):
+        with pytest.raises(EvaluationError):
+            self.fns["length"](42)
+
+    def test_string_helpers(self):
+        assert self.fns["lower"]("AbC") == "abc"
+        assert self.fns["upper"]("AbC") == "ABC"
+        assert self.fns["starts_with"]("sydney", "syd") is True
+        assert self.fns["ends_with"]("sydney", "ney") is True
+
+    def test_contains(self):
+        assert self.fns["contains"]("sydney", "dne") is True
+        assert self.fns["contains"]([1, 2, 3], 2) is True
+        assert self.fns["contains"](None, 1) is False
+
+    def test_contains_on_number_raises(self):
+        with pytest.raises(EvaluationError):
+            self.fns["contains"](42, 1)
+
+    def test_defined_and_empty(self):
+        assert self.fns["defined"](0) is True
+        assert self.fns["defined"](None) is False
+        assert self.fns["empty"]("") is True
+        assert self.fns["empty"]([1]) is False
+
+    def test_abs_rejects_strings(self):
+        with pytest.raises(EvaluationError):
+            self.fns["abs"]("x")

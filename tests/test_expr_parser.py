@@ -1,0 +1,186 @@
+"""Parser tests: grammar, precedence, error handling."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.expr import parse
+from repro.expr.ast_nodes import (
+    BinaryOp,
+    Comparison,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+    Variable,
+)
+
+
+class TestAtoms:
+    def test_number_literal(self):
+        assert parse("42") == Literal(42)
+
+    def test_float_literal(self):
+        assert parse("2.5") == Literal(2.5)
+
+    def test_string_literal(self):
+        assert parse("'sydney'") == Literal("sydney")
+
+    def test_boolean_literals(self):
+        assert parse("true") == Literal(True)
+        assert parse("false") == Literal(False)
+
+    def test_null_literal(self):
+        assert parse("null") == Literal(None)
+
+    def test_variable(self):
+        assert parse("destination") == Variable("destination")
+
+    def test_dotted_variable(self):
+        assert parse("booking.price") == Variable("booking", ("price",))
+
+    def test_deeply_dotted_variable(self):
+        assert parse("a.b.c.d") == Variable("a", ("b", "c", "d"))
+
+    def test_parenthesised_atom(self):
+        assert parse("(42)") == Literal(42)
+
+
+class TestFunctionCalls:
+    def test_no_args(self):
+        assert parse("now()") == FunctionCall("now", ())
+
+    def test_one_arg(self):
+        assert parse("domestic(destination)") == FunctionCall(
+            "domestic", (Variable("destination"),)
+        )
+
+    def test_two_args(self):
+        node = parse("near(major_attraction, accommodation)")
+        assert node == FunctionCall(
+            "near",
+            (Variable("major_attraction"), Variable("accommodation")),
+        )
+
+    def test_nested_calls(self):
+        node = parse("max(abs(x), 3)")
+        assert isinstance(node, FunctionCall)
+        assert isinstance(node.args[0], FunctionCall)
+
+    def test_expression_argument(self):
+        node = parse("abs(x - y)")
+        assert isinstance(node.args[0], BinaryOp)
+
+    def test_missing_close_paren_raises(self):
+        with pytest.raises(ParseError):
+            parse("near(a, b")
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        node = parse("a or b and c")
+        assert isinstance(node, BinaryOp) and node.op == "or"
+        assert isinstance(node.right, BinaryOp) and node.right.op == "and"
+
+    def test_not_binds_tighter_than_and(self):
+        node = parse("not a and b")
+        assert node.op == "and"
+        assert isinstance(node.left, UnaryOp)
+
+    def test_comparison_under_logic(self):
+        node = parse("x > 1 and y < 2")
+        assert node.op == "and"
+        assert isinstance(node.left, Comparison)
+        assert isinstance(node.right, Comparison)
+
+    def test_multiplication_over_addition(self):
+        node = parse("1 + 2 * 3")
+        assert node.op == "+"
+        assert isinstance(node.right, BinaryOp) and node.right.op == "*"
+
+    def test_parens_override(self):
+        node = parse("(1 + 2) * 3")
+        assert node.op == "*"
+        assert isinstance(node.left, BinaryOp) and node.left.op == "+"
+
+    def test_left_associativity_of_subtraction(self):
+        node = parse("10 - 3 - 2")
+        # Must parse as (10 - 3) - 2
+        assert node.op == "-"
+        assert isinstance(node.left, BinaryOp)
+        assert node.left.op == "-"
+
+    def test_unary_minus(self):
+        node = parse("-x")
+        assert isinstance(node, UnaryOp) and node.op == "-"
+
+    def test_double_negation(self):
+        node = parse("not not a")
+        assert isinstance(node, UnaryOp)
+        assert isinstance(node.operand, UnaryOp)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_each_comparison_operator(self, op):
+        node = parse(f"x {op} 1")
+        assert isinstance(node, Comparison)
+        assert node.op == op
+
+    def test_in_operator(self):
+        node = parse("'a' in names")
+        assert isinstance(node, Comparison) and node.op == "in"
+
+    def test_comparison_of_arithmetic(self):
+        node = parse("x + 1 > y * 2")
+        assert isinstance(node, Comparison)
+        assert isinstance(node.left, BinaryOp)
+        assert isinstance(node.right, BinaryOp)
+
+
+class TestErrors:
+    def test_empty_input_raises(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(ParseError):
+            parse("a b")
+
+    def test_dangling_operator_raises(self):
+        with pytest.raises(ParseError):
+            parse("a and")
+
+    def test_double_comparison_raises(self):
+        # Chained comparisons are not part of the grammar
+        with pytest.raises(ParseError):
+            parse("1 < x < 3")
+
+    def test_lone_operator_raises(self):
+        with pytest.raises(ParseError):
+            parse("*")
+
+    def test_dot_without_attribute_raises(self):
+        with pytest.raises(ParseError):
+            parse("a.")
+
+
+class TestPaperGuards:
+    """The guards that appear in Figure 2 must parse."""
+
+    def test_domestic_guard(self):
+        node = parse("domestic(destination)")
+        assert node.functions() == frozenset({"domestic"})
+        assert node.variables() == frozenset({"destination"})
+
+    def test_not_domestic_guard(self):
+        node = parse("not domestic(destination)")
+        assert isinstance(node, UnaryOp)
+
+    def test_near_guard(self):
+        node = parse("near(major_attraction, accommodation)")
+        assert node.variables() == frozenset(
+            {"major_attraction", "accommodation"}
+        )
+
+    def test_not_near_guard(self):
+        node = parse("not near(major_attraction, accommodation)")
+        assert node.functions() == frozenset({"near"})

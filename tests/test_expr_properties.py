@@ -1,0 +1,150 @@
+"""Property-based tests of the expression language (hypothesis).
+
+Core invariant: ``parse(node.unparse()) == node`` for every AST the
+grammar can produce — the canonical rendering round-trips.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import evaluate, parse
+from repro.expr.ast_nodes import (
+    BinaryOp,
+    Comparison,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+    Variable,
+)
+
+_identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s not in {"and", "or", "not", "in", "true", "false", "null"}
+)
+
+# Numeric literals are non-negative: the tokenizer never produces negative
+# numbers (negation is a UnaryOp), so the grammar's AST image contains only
+# non-negative Literal values — the round-trip property holds over that image.
+_literals = st.one_of(
+    st.integers(min_value=0, max_value=10**6).map(Literal),
+    st.floats(min_value=0, max_value=10**6,
+              allow_nan=False, allow_infinity=False).map(Literal),
+    st.booleans().map(Literal),
+    st.just(Literal(None)),
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x7F
+        ),
+        max_size=12,
+    ).map(Literal),
+)
+
+_variables = st.builds(
+    Variable,
+    _identifiers,
+    st.lists(_identifiers, max_size=2).map(tuple),
+)
+
+
+def _extend(children):
+    return st.one_of(
+        st.builds(UnaryOp, st.just("not"), children),
+        st.builds(UnaryOp, st.just("-"), children),
+        st.builds(
+            BinaryOp,
+            st.sampled_from(["and", "or", "+", "-", "*", "/", "%"]),
+            children,
+            children,
+        ),
+        st.builds(
+            Comparison,
+            st.sampled_from(["=", "!=", "<", "<=", ">", ">=", "in"]),
+            children,
+            children,
+        ),
+        st.builds(
+            FunctionCall,
+            _identifiers,
+            st.lists(children, max_size=3).map(tuple),
+        ),
+    )
+
+
+_expressions = st.recursive(
+    st.one_of(_literals, _variables), _extend, max_leaves=12
+)
+
+
+@given(_expressions)
+@settings(max_examples=200)
+def test_unparse_reparse_roundtrip(node):
+    """The canonical text of any AST parses back to an equal AST."""
+    assert parse(node.unparse()) == node
+
+
+@given(_expressions)
+@settings(max_examples=100)
+def test_unparse_is_deterministic(node):
+    assert node.unparse() == node.unparse()
+
+
+@given(_expressions)
+@settings(max_examples=100)
+def test_variables_closed_under_unparse(node):
+    """Free variables survive the round trip."""
+    assert parse(node.unparse()).variables() == node.variables()
+
+
+_simple_envs = st.dictionaries(
+    _identifiers,
+    st.one_of(
+        st.integers(min_value=-100, max_value=100),
+        st.text(max_size=5),
+        st.booleans(),
+        st.none(),
+    ),
+    max_size=5,
+)
+
+
+@given(
+    st.sampled_from([
+        "x and y", "x or y", "not x", "x = y", "x != y",
+    ]),
+    _simple_envs,
+)
+@settings(max_examples=100)
+def test_logic_never_crashes_on_bound_env(text, env):
+    """Boolean connectives and (in)equality accept any value types."""
+    env = dict(env)
+    env.setdefault("x", 1)
+    env.setdefault("y", 2)
+    result = evaluate(text, env)
+    assert isinstance(result, bool)
+
+
+@given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+@settings(max_examples=100)
+def test_equality_matches_python_ints(a, b):
+    assert evaluate("a = b", {"a": a, "b": b}) == (a == b)
+    assert evaluate("a < b", {"a": a, "b": b}) == (a < b)
+
+
+@given(st.integers(-10**3, 10**3), st.integers(-10**3, 10**3),
+       st.integers(-10**3, 10**3))
+@settings(max_examples=100)
+def test_arithmetic_matches_python(a, b, c):
+    env = {"a": a, "b": b, "c": c}
+    assert evaluate("a + b * c", env) == a + b * c
+    assert evaluate("(a + b) - c", env) == (a + b) - c
+
+
+@given(st.text(max_size=30))
+@settings(max_examples=200)
+def test_parser_total_on_arbitrary_text(text):
+    """parse() either returns a node or raises an ExpressionError —
+    it never raises anything else or hangs."""
+    from repro.exceptions import ExpressionError
+
+    try:
+        parse(text)
+    except ExpressionError:
+        pass

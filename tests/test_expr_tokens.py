@@ -1,0 +1,156 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.exceptions import TokenizeError
+from repro.expr.tokens import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only_yields_eof(self):
+        assert kinds("   \t\n ") == [TokenType.EOF]
+
+    def test_identifier(self):
+        tokens = tokenize("destination")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "destination"
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert values("major_attraction_2") == ["major_attraction_2"]
+
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == 42
+        assert isinstance(token.value, int)
+
+    def test_float(self):
+        token = tokenize("3.25")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == pytest.approx(3.25)
+        assert isinstance(token.value, float)
+
+    def test_number_followed_by_dot_attribute(self):
+        # "1.x" must not absorb the dot into the number
+        tokens = tokenize("x.y")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.IDENT, TokenType.DOT, TokenType.IDENT,
+        ]
+
+    def test_single_quoted_string(self):
+        token = tokenize("'sydney'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "sydney"
+
+    def test_double_quoted_string(self):
+        assert tokenize('"hello"')[0].value == "hello"
+
+    def test_string_with_escapes(self):
+        assert tokenize(r"'it\'s'")[0].value == "it's"
+        assert tokenize(r"'a\nb'")[0].value == "a\nb"
+        assert tokenize(r"'a\tb'")[0].value == "a\tb"
+        assert tokenize(r"'a\\b'")[0].value == "a\\b"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("'oops")
+
+    def test_invalid_escape_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize(r"'bad\qescape'")
+
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(TokenizeError) as err:
+            tokenize("a @ b")
+        assert err.value.position == 2
+
+
+class TestKeywords:
+    def test_boolean_literals(self):
+        assert tokenize("true")[0].value is True
+        assert tokenize("false")[0].value is False
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("TRUE")[0].value is True
+        assert tokenize("NOT")[0].type is TokenType.NOT
+        assert tokenize("And")[0].type is TokenType.AND
+
+    def test_null_literal(self):
+        token = tokenize("null")[0]
+        assert token.type is TokenType.NULL
+        assert token.value is None
+
+    def test_and_or_not_in(self):
+        assert kinds("a and b or not c in d")[:-1] == [
+            TokenType.IDENT, TokenType.AND, TokenType.IDENT,
+            TokenType.OR, TokenType.NOT, TokenType.IDENT,
+            TokenType.IN, TokenType.IDENT,
+        ]
+
+    def test_identifier_containing_keyword_prefix(self):
+        # "android" starts with "and" but is one identifier
+        token = tokenize("android")[0]
+        assert token.type is TokenType.IDENT
+        assert token.value == "android"
+
+
+class TestOperators:
+    def test_comparison_operators(self):
+        assert kinds("= != < <= > >=")[:-1] == [
+            TokenType.EQ, TokenType.NEQ, TokenType.LT, TokenType.LTE,
+            TokenType.GT, TokenType.GTE,
+        ]
+
+    def test_double_equals_is_eq(self):
+        assert kinds("a == b")[1] is TokenType.EQ
+
+    def test_sql_style_not_equals(self):
+        assert kinds("a <> b")[1] is TokenType.NEQ
+
+    def test_c_style_logic(self):
+        assert kinds("a && b || c")[1] is TokenType.AND
+        assert kinds("a && b || c")[3] is TokenType.OR
+
+    def test_arithmetic_operators(self):
+        assert kinds("+ - * / %")[:-1] == [
+            TokenType.PLUS, TokenType.MINUS, TokenType.STAR,
+            TokenType.SLASH, TokenType.PERCENT,
+        ]
+
+    def test_parens_and_comma(self):
+        assert kinds("(a, b)")[:-1] == [
+            TokenType.LPAREN, TokenType.IDENT, TokenType.COMMA,
+            TokenType.IDENT, TokenType.RPAREN,
+        ]
+
+
+class TestPositions:
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_token_is_frozen(self):
+        token = tokenize("x")[0]
+        with pytest.raises(AttributeError):
+            token.value = "y"
+
+    def test_paper_guard_tokenizes(self):
+        text = "not near(major_attraction, accommodation)"
+        types = kinds(text)[:-1]
+        assert types[0] is TokenType.NOT
+        assert types[1] is TokenType.IDENT
+        assert TokenType.COMMA in types

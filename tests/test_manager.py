@@ -1,0 +1,93 @@
+"""ServiceManager facade tests."""
+
+import pytest
+
+from repro.demo.providers import make_attractions_search, make_car_rental
+from repro.exceptions import DiscoveryError
+from repro.services.description import ParameterType
+
+
+class TestProviderFlows:
+    def test_register_elementary_deploys_and_publishes(self, manager):
+        manager.register_elementary(make_car_rental(), "h-cars")
+        assert manager.directory.knows("CarRental")
+        listing = manager.discovery.service_detail("CarRental")
+        assert listing.provider == "RoadRunner"
+
+    def test_register_without_publish(self, manager):
+        manager.register_elementary(make_car_rental(), "h-cars",
+                                    publish=False)
+        assert manager.directory.knows("CarRental")
+        with pytest.raises(DiscoveryError):
+            manager.discovery.service_detail("CarRental")
+
+    def test_register_community(self, manager):
+        from repro.demo.travel import build_accommodation_community
+
+        community, members = build_accommodation_community()
+        for member in members:
+            manager.register_elementary(member,
+                                        f"h-{member.name.lower()}")
+        manager.register_community(community, "h-alliance")
+        listing = manager.discovery.service_detail("AccommodationBooking")
+        assert listing.operations == ["bookAccommodation"]
+
+
+class TestComposerFlow:
+    def test_draft_deploy_execute(self, manager):
+        manager.register_elementary(make_attractions_search(),
+                                    "h-sights")
+        draft = manager.new_draft("SightTrip", provider="Tours")
+        canvas = draft.operation(
+            "plan",
+            inputs=["destination"],
+            outputs=[("major_attraction", ParameterType.RECORD)],
+        )
+        (canvas.initial()
+               .task("AS", "AttractionsSearch", "searchAttractions",
+                     inputs={"destination": "destination"},
+                     outputs={"major_attraction": "major_attraction"})
+               .final()
+               .chain("initial", "AS", "final"))
+        deployment = manager.deploy_composite(draft, "h-tours")
+        result = manager.locate_and_execute(
+            "u", "u-host", "SightTrip", "plan",
+            {"destination": "paris"},
+        )
+        assert result.ok
+        assert result.outputs["major_attraction"]["name"] == (
+            "Louvre Museum"
+        )
+        assert deployment.coordinator_count() == 3
+
+    def test_deploy_composite_without_publish(self, manager):
+        manager.register_elementary(make_attractions_search(),
+                                    "h-sights")
+        draft = manager.new_draft("Quiet", provider="Tours")
+        canvas = draft.operation("plan", inputs=["destination"])
+        (canvas.initial()
+               .task("AS", "AttractionsSearch", "searchAttractions",
+                     inputs={"destination": "destination"})
+               .final()
+               .chain("initial", "AS", "final"))
+        manager.deploy_composite(draft, "h-tours", publish=False)
+        assert manager.directory.knows("Quiet")
+        with pytest.raises(DiscoveryError):
+            manager.discovery.service_detail("Quiet")
+
+
+class TestClients:
+    def test_client_cached_by_name(self, manager):
+        a = manager.client("alice", "h1")
+        b = manager.client("alice", "h1")
+        assert a is b
+
+    def test_clients_distinct_by_name(self, manager):
+        a = manager.client("alice", "h1")
+        b = manager.client("bob", "h1")
+        assert a is not b
+        assert a.endpoint_name != b.endpoint_name
+
+    def test_client_node_created_on_demand(self, manager):
+        manager.client("carol", "brand-new-host")
+        assert manager.transport.has_node("brand-new-host")

@@ -1,0 +1,177 @@
+"""Message, node, latency-model and traffic-stats tests."""
+
+import random
+
+import pytest
+
+from repro.exceptions import TransportError
+from repro.net.latency import FixedLatency, UniformLatency, ZoneLatency
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.net.stats import TrafficStats
+
+
+def msg(source="n1", target="n2", kind="notify", body=None):
+    return Message(
+        kind=kind,
+        source=source, source_endpoint="ep1",
+        target=target, target_endpoint="ep2",
+        body=body or {},
+    )
+
+
+class TestMessage:
+    def test_ids_unique_and_increasing(self):
+        a, b = msg(), msg()
+        assert b.message_id > a.message_id
+
+    def test_is_local(self):
+        assert msg("n1", "n1").is_local
+        assert not msg("n1", "n2").is_local
+
+    def test_reply_address(self):
+        assert msg().reply_address() == ("n1", "ep1")
+
+    def test_size_grows_with_body(self):
+        small = msg(body={"a": 1})
+        large = msg(body={"a": "x" * 500})
+        assert large.size_bytes() > small.size_bytes()
+
+    def test_size_handles_nested_structures(self):
+        nested = msg(body={"env": {"list": [1, 2.5, None, True],
+                                   "rec": {"k": "v"}}})
+        assert nested.size_bytes() > 96
+
+
+class TestNode:
+    def test_register_and_deliver(self):
+        node = Node("n1")
+        received = []
+        node.register("ep", received.append)
+        node.endpoint("ep").deliver(msg())
+        assert len(received) == 1
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(TransportError):
+            Node("")
+
+    def test_duplicate_endpoint_rejected(self):
+        node = Node("n1")
+        node.register("ep", lambda m: None)
+        with pytest.raises(TransportError, match="already has endpoint"):
+            node.register("ep", lambda m: None)
+
+    def test_unregister(self):
+        node = Node("n1")
+        node.register("ep", lambda m: None)
+        node.unregister("ep")
+        assert not node.has_endpoint("ep")
+        with pytest.raises(TransportError):
+            node.unregister("ep")
+
+    def test_unknown_endpoint_raises(self):
+        with pytest.raises(TransportError, match="no endpoint"):
+            Node("n1").endpoint("ghost")
+
+    def test_endpoint_names(self):
+        node = Node("n1")
+        node.register("a", lambda m: None)
+        node.register("b", lambda m: None)
+        assert node.endpoint_names() == ["a", "b"]
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        model = FixedLatency(remote_ms=7.0, local_ms=0.1)
+        rng = random.Random(0)
+        assert model.sample_ms("a", "b", rng) == 7.0
+        assert model.sample_ms("a", "a", rng) == 0.1
+
+    def test_uniform_within_bounds(self):
+        model = UniformLatency(low_ms=2.0, high_ms=4.0)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert 2.0 <= model.sample_ms("a", "b", rng) <= 4.0
+        assert model.sample_ms("a", "a", rng) == model.local_ms
+
+    def test_zone_latency(self):
+        model = ZoneLatency(intra_zone_ms=1.0, inter_zone_ms=50.0)
+        model.assign("a", "eu")
+        model.assign("b", "eu")
+        model.assign("c", "ap")
+        rng = random.Random(0)
+        assert model.sample_ms("a", "b", rng) == 1.0
+        assert model.sample_ms("a", "c", rng) == 50.0
+        assert model.sample_ms("a", "a", rng) == model.local_ms
+
+    def test_zone_latency_unassigned_is_inter(self):
+        model = ZoneLatency(intra_zone_ms=1.0, inter_zone_ms=50.0)
+        rng = random.Random(0)
+        assert model.sample_ms("x", "y", rng) == 50.0
+
+    def test_zone_jitter_bounds(self):
+        model = ZoneLatency(intra_zone_ms=10.0, inter_zone_ms=10.0,
+                            jitter_fraction=0.5)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert 5.0 <= model.sample_ms("x", "y", rng) <= 15.0
+
+
+class TestTrafficStats:
+    def test_record_sent_updates_counters(self):
+        stats = TrafficStats()
+        stats.record_sent(msg("a", "b", kind="invoke"))
+        stats.record_sent(msg("a", "a", kind="notify"))
+        assert stats.sent_total == 2
+        assert stats.remote_total == 1
+        assert stats.local_total == 1
+        assert stats.by_kind["invoke"] == 1
+        assert stats.by_pair[("a", "b")] == 1
+
+    def test_node_load_counts_both_directions(self):
+        stats = TrafficStats()
+        message = msg("a", "b")
+        stats.record_sent(message)
+        stats.record_delivered(message)
+        assert stats.node_load("a") == 1
+        assert stats.node_load("b") == 1
+
+    def test_peak_node(self):
+        stats = TrafficStats()
+        for target in ("x", "y", "z"):
+            m = msg("hub", target)
+            stats.record_sent(m)
+            stats.record_delivered(m)
+        peak_node, load = stats.peak_node_load()
+        assert peak_node == "hub"
+        assert load == 3
+
+    def test_peak_node_empty(self):
+        assert TrafficStats().peak_node_load() == ("", 0)
+
+    def test_concentration_centralised(self):
+        stats = TrafficStats()
+        for target in ("a", "b", "c"):
+            m = msg("hub", target)
+            stats.record_sent(m)
+            stats.record_delivered(m)
+        # hub touches all 3 messages of 6 total endpoint-touches
+        assert stats.load_concentration() == pytest.approx(0.5)
+
+    def test_concentration_empty_is_zero(self):
+        assert TrafficStats().load_concentration() == 0.0
+
+    def test_top_nodes_sorted(self):
+        stats = TrafficStats()
+        for _ in range(2):
+            stats.record_sent(msg("a", "b"))
+        stats.record_sent(msg("c", "d"))
+        top = stats.top_nodes(2)
+        assert top[0][0] == "a"
+
+    def test_reset(self):
+        stats = TrafficStats()
+        stats.record_sent(msg())
+        stats.reset()
+        assert stats.sent_total == 0
+        assert stats.load_by_node() == {}

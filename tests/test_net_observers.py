@@ -1,0 +1,73 @@
+"""Transport-observer hook tests."""
+
+from repro.net.latency import FixedLatency
+from repro.net.message import Message
+from repro.net.simnet import SimTransport
+
+
+def send(transport, source, target, kind="ping"):
+    transport.send(Message(
+        kind=kind, source=source, source_endpoint="out",
+        target=target, target_endpoint="ep", body={},
+    ))
+
+
+def build():
+    transport = SimTransport(latency=FixedLatency(remote_ms=3.0))
+    transport.add_node("a")
+    transport.add_node("b").register("ep", lambda m: None)
+    return transport
+
+
+class TestObservers:
+    def test_observer_sees_delivered_messages(self):
+        transport = build()
+        seen = []
+        transport.add_observer(lambda m, t: seen.append((m.kind, t)))
+        send(transport, "a", "b")
+        transport.run_until_idle()
+        assert seen == [("ping", 3.0)]
+
+    def test_observer_not_called_for_drops(self):
+        transport = build()
+        seen = []
+        transport.add_observer(lambda m, t: seen.append(m))
+        transport.fail_node("b")
+        send(transport, "a", "b")
+        transport.run_until_idle()
+        assert seen == []
+
+    def test_multiple_observers_all_called(self):
+        transport = build()
+        one, two = [], []
+        transport.add_observer(lambda m, t: one.append(m))
+        transport.add_observer(lambda m, t: two.append(m))
+        send(transport, "a", "b")
+        transport.run_until_idle()
+        assert len(one) == len(two) == 1
+
+    def test_remove_observer(self):
+        transport = build()
+        seen = []
+        observer = lambda m, t: seen.append(m)
+        transport.add_observer(observer)
+        transport.remove_observer(observer)
+        send(transport, "a", "b")
+        transport.run_until_idle()
+        assert seen == []
+
+    def test_observer_runs_before_handler(self):
+        """Observer order: observation happens at delivery, before the
+        endpoint handler, so a handler exception still leaves a trace."""
+        transport = SimTransport()
+        transport.add_node("a")
+        order = []
+
+        def handler(message):
+            order.append("handler")
+
+        transport.add_node("b").register("ep", handler)
+        transport.add_observer(lambda m, t: order.append("observer"))
+        send(transport, "a", "b")
+        transport.run_until_idle()
+        assert order == ["observer", "handler"]

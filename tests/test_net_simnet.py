@@ -1,0 +1,196 @@
+"""Simulated transport tests."""
+
+import pytest
+
+from repro.exceptions import TransportError
+from repro.net.latency import FixedLatency
+from repro.net.message import Message
+from repro.net.simnet import SimTransport
+
+
+def wire(transport, node_id, endpoint="ep"):
+    """Register a recording endpoint; returns its inbox list."""
+    inbox = []
+    if not transport.has_node(node_id):
+        transport.add_node(node_id)
+    transport.node(node_id).register(endpoint, inbox.append)
+    return inbox
+
+
+def send(transport, source, target, kind="ping", body=None,
+         endpoint="ep"):
+    transport.send(Message(
+        kind=kind, source=source, source_endpoint="out",
+        target=target, target_endpoint=endpoint, body=body or {},
+    ))
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self):
+        transport = SimTransport(latency=FixedLatency(remote_ms=8.0))
+        transport.add_node("a")
+        inbox = wire(transport, "b")
+        send(transport, "a", "b")
+        assert inbox == []  # not yet delivered
+        transport.run_until_idle()
+        assert len(inbox) == 1
+        assert transport.simulator.now == 8.0
+
+    def test_local_messages_faster_than_remote(self):
+        transport = SimTransport(
+            latency=FixedLatency(remote_ms=10.0, local_ms=0.1)
+        )
+        inbox = wire(transport, "a")
+        send(transport, "a", "a")
+        transport.run_until_idle()
+        assert transport.simulator.now == pytest.approx(0.1)
+
+    def test_unknown_target_raises(self):
+        transport = SimTransport()
+        transport.add_node("a")
+        with pytest.raises(TransportError, match="unknown target"):
+            send(transport, "a", "ghost")
+
+    def test_missing_endpoint_drops(self):
+        transport = SimTransport()
+        transport.add_node("a")
+        transport.add_node("b")  # no endpoint registered
+        send(transport, "a", "b")
+        transport.run_until_idle()
+        assert transport.stats.dropped_total == 1
+
+    def test_duplicate_node_rejected(self):
+        transport = SimTransport()
+        transport.add_node("a")
+        with pytest.raises(TransportError, match="already registered"):
+            transport.add_node("a")
+
+
+class TestFailureInjection:
+    def test_message_to_failed_node_dropped(self):
+        transport = SimTransport()
+        transport.add_node("a")
+        inbox = wire(transport, "b")
+        transport.fail_node("b")
+        send(transport, "a", "b")
+        transport.run_until_idle()
+        assert inbox == []
+        assert transport.stats.dropped_total == 1
+
+    def test_failed_node_sends_nothing(self):
+        transport = SimTransport()
+        transport.add_node("a")
+        inbox = wire(transport, "b")
+        transport.fail_node("a")
+        send(transport, "a", "b")
+        transport.run_until_idle()
+        assert inbox == []
+        assert transport.stats.sent_total == 0
+
+    def test_recovery(self):
+        transport = SimTransport()
+        transport.add_node("a")
+        inbox = wire(transport, "b")
+        transport.fail_node("b")
+        transport.recover_node("b")
+        send(transport, "a", "b")
+        transport.run_until_idle()
+        assert len(inbox) == 1
+
+    def test_node_failure_mid_flight_drops(self):
+        """A message already in the air is lost when the target dies."""
+        transport = SimTransport(latency=FixedLatency(remote_ms=10.0))
+        transport.add_node("a")
+        inbox = wire(transport, "b")
+        send(transport, "a", "b")
+        transport.simulator.schedule(5.0,
+                                     lambda: transport.fail_node("b"))
+        transport.run_until_idle()
+        assert inbox == []
+
+    def test_timer_on_failed_node_does_not_fire(self):
+        transport = SimTransport()
+        transport.add_node("a")
+        fired = []
+        transport.schedule("a", 10.0, lambda: fired.append(1))
+        transport.fail_node("a")
+        transport.run_until_idle()
+        assert fired == []
+
+    def test_is_up(self):
+        transport = SimTransport()
+        transport.add_node("a")
+        assert transport.is_up("a")
+        transport.fail_node("a")
+        assert not transport.is_up("a")
+
+
+class TestLoss:
+    def test_invalid_loss_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SimTransport(loss_rate=1.0)
+
+    def test_loss_drops_roughly_nominal_fraction(self):
+        transport = SimTransport(loss_rate=0.3)
+        transport.add_node("a")
+        inbox = wire(transport, "b")
+        for _ in range(1000):
+            send(transport, "a", "b")
+        transport.run_until_idle()
+        assert 600 < len(inbox) < 800
+
+    def test_local_messages_never_lost(self):
+        transport = SimTransport(loss_rate=0.9)
+        inbox = wire(transport, "a")
+        for _ in range(100):
+            send(transport, "a", "a")
+        transport.run_until_idle()
+        assert len(inbox) == 100
+
+
+class TestTimers:
+    def test_schedule_fires_with_delay(self):
+        transport = SimTransport()
+        transport.add_node("a")
+        seen = []
+        transport.schedule("a", 25.0,
+                           lambda: seen.append(transport.now_ms()))
+        transport.run_until_idle()
+        assert seen == [25.0]
+
+    def test_cancel_prevents_firing(self):
+        transport = SimTransport()
+        transport.add_node("a")
+        seen = []
+        cancel = transport.schedule("a", 10.0, lambda: seen.append(1))
+        cancel()
+        transport.run_until_idle()
+        assert seen == []
+
+    def test_wait_for_runs_simulation(self):
+        transport = SimTransport()
+        transport.add_node("a")
+        box = []
+        transport.schedule("a", 30.0, lambda: box.append(1))
+        assert transport.wait_for(lambda: bool(box), timeout_ms=100) is True
+
+    def test_wait_for_timeout(self):
+        transport = SimTransport()
+        transport.add_node("a")
+        box = []
+        transport.schedule("a", 300.0, lambda: box.append(1))
+        assert transport.wait_for(lambda: bool(box), timeout_ms=100) is False
+
+
+class TestDeterminism:
+    def build_and_run(self):
+        transport = SimTransport(latency=FixedLatency(remote_ms=3.0))
+        transport.add_node("a")
+        inbox = wire(transport, "b")
+        for i in range(10):
+            send(transport, "a", "b", body={"i": i})
+        transport.run_until_idle()
+        return [m.body["i"] for m in inbox], transport.simulator.now
+
+    def test_same_run_twice(self):
+        assert self.build_and_run() == self.build_and_run()

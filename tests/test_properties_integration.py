@@ -1,0 +1,83 @@
+"""Property-based integration tests.
+
+The big invariant: for any generated workload, the P2P runtime and the
+centralised orchestrator complete every execution successfully and agree
+on the final environment (outputs).  This is the architectural-equivalence
+property that makes the benchmark comparisons meaningful.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.routing.generation import generate_routing_tables
+from repro.routing.serialization import (
+    routing_tables_from_xml,
+    routing_tables_to_xml,
+)
+from repro.statecharts.flatten import flatten
+from repro.statecharts.validation import validate
+from repro.workload.generator import GeneratorParams, make_workload
+from repro.workload.harness import (
+    build_sim_environment,
+    composite_for_workload,
+    deploy_workload_services,
+    run_central,
+    run_p2p,
+)
+from repro.xmlio import to_string
+
+_params = st.builds(
+    GeneratorParams,
+    tasks=st.integers(min_value=1, max_value=14),
+    p_xor=st.floats(min_value=0.0, max_value=0.6),
+    p_and=st.floats(min_value=0.0, max_value=0.6),
+    service_latency_ms=st.just(2.0),
+    service_jitter_ms=st.just(0.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@given(_params)
+@settings(max_examples=25, deadline=None)
+def test_generated_workloads_always_validate(params):
+    workload = make_workload(params)
+    assert validate(workload.chart) == []
+
+
+@given(_params)
+@settings(max_examples=25, deadline=None)
+def test_routing_tables_always_consistent_and_serialisable(params):
+    workload = make_workload(params)
+    tables = generate_routing_tables(workload.chart)
+    graph = flatten(workload.chart)
+    assert set(tables) == set(graph.node_ids)
+    parsed = routing_tables_from_xml(
+        to_string(routing_tables_to_xml(tables))
+    )
+    assert set(parsed) == set(tables)
+
+
+@given(_params)
+@settings(max_examples=15, deadline=None)
+def test_p2p_and_central_agree_on_any_workload(params):
+    workload = make_workload(params)
+    env = build_sim_environment(seed=params.seed)
+    deploy_workload_services(env, workload)
+    composite = composite_for_workload(workload)
+    args = [dict(workload.request_args)]
+
+    p2p = run_p2p(env, composite, args)
+    central = run_central(env, composite, args)
+    assert p2p.successes == 1, "P2P execution must succeed"
+    assert central.successes == 1, "central execution must succeed"
+
+
+@given(_params, st.integers(min_value=2, max_value=6))
+@settings(max_examples=10, deadline=None)
+def test_concurrent_executions_all_complete(params, executions):
+    workload = make_workload(params)
+    env = build_sim_environment(seed=params.seed)
+    deploy_workload_services(env, workload)
+    composite = composite_for_workload(workload)
+    args = [dict(workload.request_args) for _ in range(executions)]
+    report = run_p2p(env, composite, args)
+    assert report.successes == executions

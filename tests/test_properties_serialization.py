@@ -1,0 +1,72 @@
+"""Property-based XML round-trip tests over generated statecharts.
+
+Uses the workload generator as a statechart fuzzer: for arbitrary
+generator parameters, the statechart document and the generated routing
+tables must survive serialise→parse→serialise byte-identically.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.editor.document import composite_from_xml, composite_to_xml
+from repro.routing.generation import generate_routing_tables
+from repro.routing.serialization import (
+    routing_tables_from_xml,
+    routing_tables_to_xml,
+)
+from repro.statecharts.serialization import (
+    statechart_from_xml,
+    statechart_to_xml,
+)
+from repro.workload.generator import GeneratorParams, make_workload
+from repro.workload.harness import composite_for_workload
+from repro.xmlio import to_string
+
+_params = st.builds(
+    GeneratorParams,
+    tasks=st.integers(min_value=1, max_value=20),
+    p_xor=st.floats(min_value=0.0, max_value=0.7),
+    p_and=st.floats(min_value=0.0, max_value=0.7),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+
+
+@given(_params)
+@settings(max_examples=40, deadline=None)
+def test_statechart_xml_roundtrip_is_stable(params):
+    chart = make_workload(params).chart
+    once = to_string(statechart_to_xml(chart))
+    twice = to_string(statechart_to_xml(statechart_from_xml(once)))
+    assert once == twice
+
+
+@given(_params)
+@settings(max_examples=40, deadline=None)
+def test_routing_tables_xml_roundtrip_is_stable(params):
+    tables = generate_routing_tables(make_workload(params).chart)
+    once = to_string(routing_tables_to_xml(tables))
+    parsed = routing_tables_from_xml(once)
+    twice = to_string(routing_tables_to_xml(parsed))
+    assert once == twice
+
+
+@given(_params)
+@settings(max_examples=40, deadline=None)
+def test_composite_document_roundtrip_is_stable(params):
+    composite = composite_for_workload(make_workload(params))
+    once = to_string(composite_to_xml(composite))
+    twice = to_string(composite_to_xml(composite_from_xml(once)))
+    assert once == twice
+
+
+@given(_params)
+@settings(max_examples=30, deadline=None)
+def test_flatten_is_deterministic(params):
+    from repro.statecharts.flatten import flatten
+
+    chart = make_workload(params).chart
+    g1, g2 = flatten(chart), flatten(chart)
+    assert g1.node_ids == g2.node_ids
+    assert [e.edge_id for e in g1.edges] == [e.edge_id for e in g2.edges]
+    assert [(e.source, e.target) for e in g1.edges] == [
+        (e.source, e.target) for e in g2.edges
+    ]

@@ -1,0 +1,223 @@
+"""Routing-table generation tests: the deployer's core algorithm."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing.generation import generate_routing_tables, table_statistics
+from repro.routing.tables import (
+    FiringMode,
+    Postprocessing,
+    PostprocessingRow,
+    Precondition,
+    PreconditionEntry,
+    RoutingTable,
+    check_consistency,
+)
+from repro.statecharts.builder import StatechartBuilder, linear_chart
+from repro.statecharts.flatten import NodeKind, flatten
+from repro.demo.travel import build_travel_chart
+
+
+class TestLinearGeneration:
+    def test_one_table_per_node(self):
+        chart = linear_chart("c", [("a", "S", "op"), ("b", "T", "op")])
+        tables = generate_routing_tables(chart)
+        assert set(tables) == {"initial", "a", "b", "final"}
+
+    def test_sequential_preconditions_any_mode(self):
+        tables = generate_routing_tables(
+            linear_chart("c", [("a", "S", "op")])
+        )
+        assert tables["a"].precondition.mode is FiringMode.ANY
+        assert [e.source_node
+                for e in tables["a"].precondition.entries] == ["initial"]
+
+    def test_initial_has_empty_precondition(self):
+        tables = generate_routing_tables(
+            linear_chart("c", [("a", "S", "op")])
+        )
+        assert tables["initial"].precondition.entries == ()
+
+    def test_final_has_no_postprocessing(self):
+        tables = generate_routing_tables(
+            linear_chart("c", [("a", "S", "op")])
+        )
+        assert len(tables["final"].postprocessing) == 0
+
+    def test_task_tables_carry_bindings(self):
+        tables = generate_routing_tables(
+            linear_chart("c", [("a", "SvcA", "doit")])
+        )
+        assert tables["a"].binding.service == "SvcA"
+        assert tables["initial"].binding is None
+
+    def test_accepts_pre_flattened_graph(self):
+        graph = flatten(linear_chart("c", [("a", "S", "op")]))
+        tables = generate_routing_tables(graph)
+        assert set(tables) == set(graph.node_ids)
+
+
+class TestGuardsInRows:
+    def test_xor_guards_copied_to_rows(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "S", "op").task("b", "S", "op")
+            .final()
+            .choice("initial", {"a": "x = 1", "b": "x != 1"})
+            .arc("a", "final").arc("b", "final")
+            .build()
+        )
+        tables = generate_routing_tables(chart)
+        guards = sorted(
+            row.guard for row in tables["initial"].postprocessing
+        )
+        assert guards == ["x != 1", "x = 1"]
+        assert all(
+            not row.fire_always for row in tables["initial"].postprocessing
+        )
+
+    def test_actions_copied_to_rows(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial().final()
+            .arc("initial", "final", actions=[("y", "1 + 2")])
+            .build()
+        )
+        tables = generate_routing_tables(chart)
+        row = tables["initial"].postprocessing.rows[0]
+        assert row.actions[0].target == "y"
+
+
+class TestParallelGeneration:
+    def make_tables(self):
+        region = lambda i: linear_chart(f"r{i}", [(f"t{i}", f"S{i}", "op")])
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .parallel("P", [region(0), region(1)])
+            .final()
+            .chain("initial", "P", "final")
+            .build()
+        )
+        return generate_routing_tables(chart)
+
+    def test_fork_rows_fire_always(self):
+        tables = self.make_tables()
+        fork = tables["P/__fork"]
+        assert fork.kind is NodeKind.FORK
+        assert all(row.fire_always for row in fork.postprocessing)
+        assert len(fork.postprocessing) == 2
+
+    def test_join_requires_all(self):
+        tables = self.make_tables()
+        join = tables["P/__join"]
+        assert join.precondition.mode is FiringMode.ALL
+        assert len(join.precondition.entries) == 2
+
+    def test_everything_else_any(self):
+        tables = self.make_tables()
+        for node_id, table in tables.items():
+            if node_id != "P/__join":
+                assert table.precondition.mode is FiringMode.ANY, node_id
+
+
+class TestTravelGeneration:
+    def test_tables_generated_for_every_node(self):
+        chart = build_travel_chart()
+        tables = generate_routing_tables(chart)
+        graph = flatten(chart)
+        assert set(tables) == set(graph.node_ids)
+
+    def test_join_synchronises_both_regions(self):
+        tables = generate_routing_tables(build_travel_chart())
+        join = tables["trip/__join"]
+        assert join.precondition.mode is FiringMode.ALL
+        sources = {e.source_node for e in join.precondition.entries}
+        assert sources == {"trip/r0/final", "trip/r1/final"}
+
+    def test_statistics(self):
+        tables = generate_routing_tables(build_travel_chart())
+        stats = table_statistics(tables)
+        assert stats["task_coordinators"] == 6
+        assert stats["coordinators"] == len(tables)
+        assert stats["max_precondition_entries"] >= 2
+
+    def test_statistics_empty(self):
+        assert table_statistics({})["coordinators"] == 0
+
+
+class TestConsistency:
+    def test_generated_tables_are_consistent(self):
+        tables = generate_routing_tables(build_travel_chart())
+        assert check_consistency(tables) == []
+
+    def test_dangling_target_detected(self):
+        tables = {
+            "a": RoutingTable(
+                node_id="a", kind=NodeKind.INITIAL,
+                precondition=Precondition(FiringMode.ANY),
+                postprocessing=Postprocessing((
+                    PostprocessingRow("e1", "ghost"),
+                )),
+            ),
+        }
+        problems = check_consistency(tables)
+        assert any("unknown coordinator 'ghost'" in p for p in problems)
+
+    def test_unexpected_edge_detected(self):
+        tables = {
+            "a": RoutingTable(
+                node_id="a", kind=NodeKind.INITIAL,
+                precondition=Precondition(FiringMode.ANY),
+                postprocessing=Postprocessing((
+                    PostprocessingRow("e1", "b"),
+                )),
+            ),
+            "b": RoutingTable(
+                node_id="b", kind=NodeKind.FINAL,
+                precondition=Precondition(
+                    FiringMode.ANY,
+                    (PreconditionEntry("OTHER_EDGE", "a"),),
+                ),
+                postprocessing=Postprocessing(()),
+            ),
+        }
+        problems = check_consistency(tables)
+        assert problems  # both directions complain
+
+    def test_task_table_requires_binding(self):
+        with pytest.raises(RoutingError, match="requires a service"):
+            RoutingTable(
+                node_id="t", kind=NodeKind.TASK,
+                precondition=Precondition(FiringMode.ANY),
+                postprocessing=Postprocessing(()),
+            )
+
+    def test_control_table_rejects_binding(self):
+        from repro.statecharts.model import ServiceBinding
+
+        with pytest.raises(RoutingError, match="cannot carry"):
+            RoutingTable(
+                node_id="r", kind=NodeKind.ROUTE,
+                precondition=Precondition(FiringMode.ANY),
+                postprocessing=Postprocessing(()),
+                binding=ServiceBinding("S", "op"),
+            )
+
+
+class TestDescribe:
+    def test_describe_mentions_key_facts(self):
+        tables = generate_routing_tables(
+            linear_chart("c", [("a", "SvcA", "doit")])
+        )
+        text = tables["a"].describe()
+        assert "SvcA.doit" in text
+        assert "precondition" in text
+        assert "postprocessing" in text
+
+    def test_peer_count(self):
+        tables = generate_routing_tables(
+            linear_chart("c", [("a", "S", "op"), ("b", "T", "op")])
+        )
+        assert tables["a"].peer_count == 2  # initial + b

@@ -1,0 +1,133 @@
+"""Routing-table XML round-trip tests."""
+
+import pytest
+
+from repro.exceptions import XmlError
+from repro.routing.generation import generate_routing_tables
+from repro.routing.serialization import (
+    routing_table_from_xml,
+    routing_table_to_xml,
+    routing_tables_from_xml,
+    routing_tables_to_xml,
+)
+from repro.statecharts.builder import StatechartBuilder, linear_chart
+from repro.xmlio import to_string
+from repro.demo.travel import build_travel_chart
+
+
+def tables_equal(a, b):
+    return (
+        a.node_id == b.node_id
+        and a.kind is b.kind
+        and a.host == b.host
+        and a.precondition == b.precondition
+        and a.postprocessing == b.postprocessing
+        and (
+            (a.binding is None and b.binding is None)
+            or (
+                a.binding is not None and b.binding is not None
+                and a.binding.service == b.binding.service
+                and a.binding.operation == b.binding.operation
+                and dict(a.binding.input_mapping)
+                == dict(b.binding.input_mapping)
+                and dict(a.binding.output_mapping)
+                == dict(b.binding.output_mapping)
+            )
+        )
+    )
+
+
+class TestSingleTableRoundTrip:
+    def test_task_table(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "S", "op", inputs={"p": "x"}, outputs={"v": "r"})
+            .final()
+            .arc("initial", "a", condition="x > 1",
+                 actions=[("y", "x * 2")])
+            .arc("a", "final")
+            .build()
+        )
+        tables = generate_routing_tables(chart)
+        for table in tables.values():
+            parsed = routing_table_from_xml(
+                to_string(routing_table_to_xml(table))
+            )
+            assert tables_equal(table, parsed)
+
+    def test_host_attributes_roundtrip(self):
+        tables = generate_routing_tables(
+            linear_chart("c", [("a", "S", "op")])
+        )
+        table = tables["a"]
+        placed = type(table)(
+            node_id=table.node_id, kind=table.kind,
+            precondition=table.precondition,
+            postprocessing=type(table.postprocessing)(tuple(
+                row.with_host("host-x")
+                for row in table.postprocessing.rows
+            )),
+            binding=table.binding, host="host-a",
+        )
+        parsed = routing_table_from_xml(
+            to_string(routing_table_to_xml(placed))
+        )
+        assert parsed.host == "host-a"
+        assert parsed.postprocessing.rows[0].target_host == "host-x"
+
+
+class TestBundleRoundTrip:
+    def test_travel_bundle(self):
+        tables = generate_routing_tables(build_travel_chart())
+        document = to_string(routing_tables_to_xml(tables))
+        parsed = routing_tables_from_xml(document)
+        assert set(parsed) == set(tables)
+        for node_id in tables:
+            assert tables_equal(tables[node_id], parsed[node_id])
+
+    def test_bundle_count_attribute(self):
+        tables = generate_routing_tables(
+            linear_chart("c", [("a", "S", "op")])
+        )
+        node = routing_tables_to_xml(tables)
+        assert node.get("count") == str(len(tables))
+
+
+class TestParseErrors:
+    def test_wrong_root(self):
+        with pytest.raises(XmlError, match="expected <routing-table>"):
+            routing_table_from_xml("<other/>")
+
+    def test_wrong_bundle_root(self):
+        with pytest.raises(XmlError, match="expected <routing-tables>"):
+            routing_tables_from_xml("<other/>")
+
+    def test_unknown_kind(self):
+        text = (
+            "<routing-table node='x' kind='weird'>"
+            "<precondition mode='any'/><postprocessing/>"
+            "</routing-table>"
+        )
+        with pytest.raises(XmlError, match="unknown coordinator kind"):
+            routing_table_from_xml(text)
+
+    def test_unknown_mode(self):
+        text = (
+            "<routing-table node='x' kind='route'>"
+            "<precondition mode='sometimes'/><postprocessing/>"
+            "</routing-table>"
+        )
+        with pytest.raises(XmlError, match="unknown firing mode"):
+            routing_table_from_xml(text)
+
+    def test_duplicate_node_in_bundle(self):
+        inner = (
+            "<routing-table node='x' kind='route'>"
+            "<precondition mode='any'/><postprocessing/>"
+            "</routing-table>"
+        )
+        with pytest.raises(XmlError, match="duplicate routing table"):
+            routing_tables_from_xml(
+                f"<routing-tables>{inner}{inner}</routing-tables>"
+            )

@@ -1,0 +1,270 @@
+"""ECA event tests: consumed events park tokens until signalled.
+
+The paper's composition model gives operations "consumed and produced
+events"; a transition's ECA rule may name a triggering event.  The
+runtime semantics: when a state completes and only event-carrying
+transitions are enabled, the token waits at the coordinator until the
+client (or another party) signals the event to the execution; the guard
+is then evaluated over the environment merged with the signal payload.
+"""
+
+import pytest
+
+from repro.baselines.central import deploy_central
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    ServiceDescription,
+    simple_description,
+)
+from repro.services.elementary import ElementaryService
+from repro.services.profile import ServiceProfile
+from repro.statecharts.builder import StatechartBuilder
+from repro.workload.harness import build_sim_environment
+
+
+def make_service(name):
+    desc = simple_description(name, f"{name}-co", [("op", [], ["r"])])
+    service = ElementaryService(desc, ServiceProfile(latency_mean_ms=5.0))
+    service.bind("op", lambda i: {"r": f"{name}-out"})
+    return service
+
+
+def approval_chart():
+    """quote -> (wait for 'approve' or 'reject' event) -> book/final."""
+    return (
+        StatechartBuilder("approval")
+        .initial()
+        .task("quote", "Quoter", "op", outputs={"quote_ref": "r"})
+        .task("book", "Booker", "op", outputs={"booking_ref": "r"})
+        .final()
+        .chain("initial", "quote")
+        .arc("quote", "book", event="approve")
+        .arc("quote", "final", event="reject")
+        .arc("book", "final")
+        .build()
+    )
+
+
+def deploy_approval(env, central=False):
+    for name in ("Quoter", "Booker"):
+        env.deployer.deploy_elementary(make_service(name),
+                                       f"h-{name.lower()}")
+    composite = CompositeService(ServiceDescription("Approval"))
+    composite.define_operation(OperationSpec("run"), approval_chart())
+    if central:
+        return deploy_central(composite, "central-host", env.transport,
+                              env.directory)
+    return env.deployer.deploy_composite(composite, "c-host")
+
+
+class TestEventRouting:
+    def start(self, env, deployment):
+        client = env.client()
+        node, endpoint = deployment.address
+        request_key = client.submit(node, endpoint, "run", {})
+        execution_id = client.execution_id_for(request_key)
+        return client, node, endpoint, execution_id
+
+    def test_execution_waits_for_event(self, env):
+        deployment = deploy_approval(env)
+        client, _n, _e, _eid = self.start(env, deployment)
+        env.transport.run_until_idle()
+        # quote ran, but nothing completed: token parked on the event
+        assert client.results_received() == 0
+        record = deployment.wrapper.records()[0]
+        assert record.status == "running"
+
+    def test_approve_event_routes_to_book(self, env):
+        deployment = deploy_approval(env)
+        client, node, endpoint, execution_id = self.start(env, deployment)
+        env.transport.run_until_idle()
+        client.signal(node, endpoint, execution_id, "approve")
+        env.transport.run_until_idle()
+        results = client.take_results()
+        assert len(results) == 1
+        result = next(iter(results.values()))
+        assert result.ok
+        assert result.outputs["booking_ref"] == "Booker-out"
+
+    def test_reject_event_skips_book(self, env):
+        deployment = deploy_approval(env)
+        client, node, endpoint, execution_id = self.start(env, deployment)
+        env.transport.run_until_idle()
+        client.signal(node, endpoint, execution_id, "reject")
+        env.transport.run_until_idle()
+        result = next(iter(client.take_results().values()))
+        assert result.ok
+        assert result.outputs.get("booking_ref") is None
+        assert result.outputs["quote_ref"] == "Quoter-out"
+
+    def test_unknown_event_is_ignored(self, env):
+        deployment = deploy_approval(env)
+        client, node, endpoint, execution_id = self.start(env, deployment)
+        env.transport.run_until_idle()
+        client.signal(node, endpoint, execution_id, "nonsense")
+        env.transport.run_until_idle()
+        assert client.results_received() == 0  # still waiting
+        client.signal(node, endpoint, execution_id, "approve")
+        env.transport.run_until_idle()
+        assert client.results_received() == 1
+
+    def test_signal_payload_visible_to_guards(self, env):
+        """Event payload merges into the environment before guards run."""
+        for name in ("Quoter", "BookerA", "BookerB"):
+            env.deployer.deploy_elementary(make_service(name),
+                                           f"h-{name.lower()}")
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("quote", "Quoter", "op")
+            .task("a", "BookerA", "op", outputs={"via": "r"})
+            .task("b", "BookerB", "op", outputs={"via": "r"})
+            .final()
+            .chain("initial", "quote")
+            .arc("quote", "a", event="go", condition="tier = 'gold'")
+            .arc("quote", "b", event="go", condition="tier != 'gold'")
+            .arc("a", "final").arc("b", "final")
+            .build()
+        )
+        composite = CompositeService(ServiceDescription("C"))
+        composite.define_operation(OperationSpec("run"), chart)
+        deployment = env.deployer.deploy_composite(composite, "c-host")
+        client = env.client()
+        node, endpoint = deployment.address
+        request_key = client.submit(node, endpoint, "run", {})
+        execution_id = client.execution_id_for(request_key)
+        env.transport.run_until_idle()
+        client.signal(node, endpoint, execution_id, "go",
+                      {"tier": "gold"})
+        env.transport.run_until_idle()
+        result = next(iter(client.take_results().values()))
+        assert result.outputs["via"] == "BookerA-out"
+
+    def test_event_guard_false_keeps_waiting(self, env):
+        for name in ("Quoter", "Booker"):
+            env.deployer.deploy_elementary(make_service(name),
+                                           f"h-{name.lower()}")
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("quote", "Quoter", "op")
+            .task("book", "Booker", "op")
+            .final()
+            .chain("initial", "quote")
+            .arc("quote", "book", event="go", condition="amount > 100")
+            .arc("book", "final")
+            .build()
+        )
+        composite = CompositeService(ServiceDescription("C"))
+        composite.define_operation(OperationSpec("run"), chart)
+        deployment = env.deployer.deploy_composite(composite, "c-host")
+        client = env.client()
+        node, endpoint = deployment.address
+        request_key = client.submit(node, endpoint, "run", {})
+        execution_id = client.execution_id_for(request_key)
+        env.transport.run_until_idle()
+        client.signal(node, endpoint, execution_id, "go", {"amount": 50})
+        env.transport.run_until_idle()
+        assert client.results_received() == 0  # guard false: still parked
+        client.signal(node, endpoint, execution_id, "go", {"amount": 500})
+        env.transport.run_until_idle()
+        assert client.results_received() == 1
+
+    def test_enabled_completion_transition_beats_event(self, env):
+        """If an unguarded immediate transition is enabled, the token
+        does not wait for events (statechart priority)."""
+        for name in ("Quoter", "Booker"):
+            env.deployer.deploy_elementary(make_service(name),
+                                           f"h-{name.lower()}")
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("quote", "Quoter", "op")
+            .task("book", "Booker", "op")
+            .final()
+            .chain("initial", "quote")
+            .arc("quote", "final")                    # immediate
+            .arc("quote", "book", event="approve")   # would wait
+            .arc("book", "final")
+            .build()
+        )
+        composite = CompositeService(ServiceDescription("C"))
+        composite.define_operation(OperationSpec("run"), chart)
+        deployment = env.deployer.deploy_composite(composite, "c-host")
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok  # completed without any signal
+
+
+class TestEventsOnCentralBaseline:
+    def test_central_approve_flow_matches(self, env):
+        deployment = deploy_approval(env, central=True)
+        client = env.client()
+        node, endpoint = deployment.address
+        request_key = client.submit(node, endpoint, "run", {})
+        execution_id = client.execution_id_for(request_key)
+        env.transport.run_until_idle()
+        assert client.results_received() == 0
+        client.signal(node, endpoint, execution_id, "approve")
+        env.transport.run_until_idle()
+        result = next(iter(client.take_results().values()))
+        assert result.ok
+        assert result.outputs["booking_ref"] == "Booker-out"
+
+    def test_central_reject_flow_matches(self, env):
+        deployment = deploy_approval(env, central=True)
+        client = env.client()
+        node, endpoint = deployment.address
+        request_key = client.submit(node, endpoint, "run", {})
+        execution_id = client.execution_id_for(request_key)
+        env.transport.run_until_idle()
+        client.signal(node, endpoint, execution_id, "reject")
+        env.transport.run_until_idle()
+        result = next(iter(client.take_results().values()))
+        assert result.ok
+        assert result.outputs.get("booking_ref") is None
+
+
+class TestEventTables:
+    def test_routing_rows_carry_events(self):
+        from repro.routing.generation import generate_routing_tables
+
+        tables = generate_routing_tables(approval_chart())
+        events = tables["quote"].consumed_events()
+        assert events == {"approve", "reject"}
+
+    def test_event_rows_roundtrip_xml(self):
+        from repro.routing.generation import generate_routing_tables
+        from repro.routing.serialization import (
+            routing_table_from_xml,
+            routing_table_to_xml,
+        )
+        from repro.xmlio import to_string
+
+        tables = generate_routing_tables(approval_chart())
+        parsed = routing_table_from_xml(
+            to_string(routing_table_to_xml(tables["quote"]))
+        )
+        assert parsed.consumed_events() == {"approve", "reject"}
+
+    def test_deployer_computes_event_targets(self, env):
+        deployment = deploy_approval(env)
+        targets = deployment.wrapper.event_targets["run"]
+        assert set(targets) == {"approve", "reject"}
+        # the waiting coordinator is the quote task, on the Quoter host
+        assert targets["approve"] == [("quote", "h-quoter")]
+
+    def test_signal_after_completion_is_ignored(self, env):
+        deployment = deploy_approval(env)
+        client = env.client()
+        node, endpoint = deployment.address
+        request_key = client.submit(node, endpoint, "run", {})
+        execution_id = client.execution_id_for(request_key)
+        env.transport.run_until_idle()
+        client.signal(node, endpoint, execution_id, "reject")
+        env.transport.run_until_idle()
+        assert client.results_received() == 1
+        # a late duplicate signal must not blow up or double-complete
+        client.signal(node, endpoint, execution_id, "approve")
+        env.transport.run_until_idle()
+        assert client.results_received() == 1

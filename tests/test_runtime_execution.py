@@ -1,0 +1,378 @@
+"""Runtime execution tests over small purpose-built charts.
+
+These test the coordinator/wrapper protocol semantics directly: XOR
+routing, AND-join synchronisation, output flow, ECA actions, loops, and
+fault reporting.
+"""
+
+import pytest
+
+from repro.exceptions import ExecutionTimeoutError
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+)
+from repro.services.composite import CompositeService
+from repro.services.elementary import ElementaryService
+from repro.services.profile import ServiceProfile
+from repro.statecharts.builder import StatechartBuilder
+from repro.workload.harness import build_sim_environment
+
+
+def echo_service(name, outputs=("r",), latency_ms=5.0, fail=False):
+    """A service whose op returns fixed recognisable outputs."""
+    desc = ServiceDescription(name, provider=f"{name}-co")
+    desc.add_operation(OperationSpec(
+        "op",
+        inputs=(Parameter("x", ParameterType.ANY, required=False),),
+        outputs=tuple(Parameter(o) for o in outputs),
+    ))
+    service = ElementaryService(desc, ServiceProfile(
+        latency_mean_ms=latency_ms,
+    ))
+
+    def handler(inputs):
+        if fail:
+            raise RuntimeError(f"{name} exploded")
+        return {o: f"{name}-value" for o in outputs}
+
+    service.bind("op", handler)
+    return service
+
+
+def deploy(env, chart, services, op_spec=None, timeout_ms=None):
+    """Deploy services + a composite around ``chart``; returns address."""
+    for index, service in enumerate(services):
+        env.deployer.deploy_elementary(service, f"h{index}")
+    description = ServiceDescription("C", provider="TestCo")
+    composite = CompositeService(description)
+    composite.define_operation(op_spec or OperationSpec("run"), chart)
+    deployment = env.deployer.deploy_composite(
+        composite, "c-host", default_timeout_ms=timeout_ms,
+    )
+    return deployment
+
+
+class TestSequentialFlow:
+    def test_two_step_chain_collects_outputs(self, env):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "A", "op", outputs={"a_out": "r"})
+            .task("b", "B", "op", outputs={"b_out": "r"})
+            .final()
+            .chain("initial", "a", "b", "final")
+            .build()
+        )
+        deployment = deploy(env, chart,
+                            [echo_service("A"), echo_service("B")])
+        client = env.client()
+        result = client.execute(*deployment.address, "run", {})
+        assert result.ok
+        assert result.outputs["a_out"] == "A-value"
+        assert result.outputs["b_out"] == "B-value"
+
+    def test_latency_accumulates_along_chain(self, env):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "A", "op")
+            .task("b", "B", "op")
+            .final()
+            .chain("initial", "a", "b", "final")
+            .build()
+        )
+        deployment = deploy(env, chart, [
+            echo_service("A", latency_ms=50.0),
+            echo_service("B", latency_ms=50.0),
+        ])
+        client = env.client()
+        result = client.execute(*deployment.address, "run", {})
+        record = deployment.wrapper.records()[0]
+        assert result.ok
+        assert record.duration_ms >= 100.0  # both services ran serially
+
+    def test_input_mapping_expressions(self, env):
+        """Input mappings are evaluated over the environment."""
+        desc = ServiceDescription("Adder")
+        desc.add_operation(OperationSpec(
+            "op",
+            inputs=(Parameter("x", ParameterType.FLOAT),),
+            outputs=(Parameter("r", ParameterType.FLOAT),),
+        ))
+        adder = ElementaryService(desc)
+        adder.bind("op", lambda i: {"r": i["x"] * 10})
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "Adder", "op",
+                  inputs={"x": "base + 2"}, outputs={"result": "r"})
+            .final()
+            .chain("initial", "a", "final")
+            .build()
+        )
+        deployment = deploy(env, chart, [adder])
+        result = env.client().execute(*deployment.address, "run",
+                                      {"base": 3})
+        assert result.outputs["result"] == 50
+
+
+class TestXorRouting:
+    def make(self, env):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "A", "op", outputs={"via": "r"})
+            .task("b", "B", "op", outputs={"via": "r"})
+            .final()
+            .choice("initial", {"a": "pick = 'a'", "b": "pick != 'a'"})
+            .arc("a", "final").arc("b", "final")
+            .build()
+        )
+        return deploy(env, chart, [echo_service("A"), echo_service("B")])
+
+    def test_true_branch_taken(self, env):
+        deployment = self.make(env)
+        result = env.client().execute(*deployment.address, "run",
+                                      {"pick": "a"})
+        assert result.outputs["via"] == "A-value"
+
+    def test_false_branch_taken(self, env):
+        deployment = self.make(env)
+        result = env.client().execute(*deployment.address, "run",
+                                      {"pick": "z"})
+        assert result.outputs["via"] == "B-value"
+
+    def test_only_one_branch_service_invoked(self, env):
+        services = [echo_service("A"), echo_service("B")]
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "A", "op").task("b", "B", "op")
+            .final()
+            .choice("initial", {"a": "pick = 'a'", "b": "pick != 'a'"})
+            .arc("a", "final").arc("b", "final")
+            .build()
+        )
+        deployment = deploy(env, chart, services)
+        env.client().execute(*deployment.address, "run", {"pick": "a"})
+        assert services[0].invocation_count == 1
+        assert services[1].invocation_count == 0
+
+
+class TestParallelJoin:
+    def test_join_waits_for_both_regions(self, env):
+        slow = echo_service("SLOW", outputs=("s",), latency_ms=200.0)
+        fast = echo_service("FAST", outputs=("f",), latency_ms=5.0)
+        region = lambda sid, svc, out: (
+            StatechartBuilder(f"r-{sid}")
+            .initial()
+            .task(sid, svc, "op", outputs={out: out[0]})
+            .final()
+            .chain("initial", sid, "final")
+            .build()
+        )
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .parallel("P", [
+                region("s1", "SLOW", "slow_out"),
+                region("f1", "FAST", "fast_out"),
+            ])
+            .final()
+            .chain("initial", "P", "final")
+            .build()
+        )
+        deployment = deploy(env, chart, [slow, fast])
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok
+        # outputs of both branches present after the join
+        assert result.outputs["slow_out"] == "SLOW-value"
+        assert result.outputs["fast_out"] == "FAST-value"
+        record = deployment.wrapper.records()[0]
+        # makespan governed by the slow branch, not the sum
+        assert 200.0 <= record.duration_ms < 300.0
+
+    def test_parallel_faster_than_serial(self, env):
+        """AND regions genuinely overlap in time."""
+        a = echo_service("A", latency_ms=100.0)
+        b = echo_service("B", latency_ms=100.0)
+        region = lambda sid, svc: (
+            StatechartBuilder(f"r-{sid}")
+            .initial().task(sid, svc, "op").final()
+            .chain("initial", sid, "final")
+            .build()
+        )
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .parallel("P", [region("a1", "A"), region("b1", "B")])
+            .final()
+            .chain("initial", "P", "final")
+            .build()
+        )
+        deployment = deploy(env, chart, [a, b])
+        env.client().execute(*deployment.address, "run", {})
+        record = deployment.wrapper.records()[0]
+        assert record.duration_ms < 180.0  # ≪ 200 serial
+
+
+class TestActions:
+    def test_transition_actions_update_env(self, env):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "A", "op")
+            .final()
+            .arc("initial", "a")
+            .arc("a", "final", actions=[("total", "x * 2 + 1")])
+            .build()
+        )
+        deployment = deploy(env, chart, [echo_service("A")])
+        result = env.client().execute(*deployment.address, "run", {"x": 4})
+        assert result.outputs["total"] == 9
+
+
+class TestLoops:
+    def test_retry_loop_runs_service_multiple_times(self, env):
+        """A guarded self-loop re-executes a task until the guard flips.
+
+        The loop counter is maintained with ECA actions."""
+        service = echo_service("A")
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "A", "op")
+            .final()
+            .arc("initial", "a", actions=[("n", "0")])
+            .arc("a", "a", condition="n < 2",
+                 actions=[("n", "n + 1")])
+            .arc("a", "final", condition="n >= 2")
+            .build()
+        )
+        deployment = deploy(env, chart, [service])
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok
+        assert service.invocation_count == 3  # n = 0, 1, 2
+
+
+class TestFaults:
+    def test_service_error_faults_execution(self, env):
+        deployment = deploy(env, (
+            StatechartBuilder("c")
+            .initial().task("a", "BAD", "op").final()
+            .chain("initial", "a", "final")
+            .build()
+        ), [echo_service("BAD", fail=True)])
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.status == "fault"
+        assert "BAD" in result.fault
+
+    def test_no_matching_guard_faults(self, env):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "A", "op").task("b", "B", "op")
+            .final()
+            .choice("initial", {"a": "x = 1", "b": "x = 2"})
+            .arc("a", "final").arc("b", "final")
+            .build()
+        )
+        deployment = deploy(env, chart,
+                            [echo_service("A"), echo_service("B")])
+        result = env.client().execute(*deployment.address, "run", {"x": 99})
+        assert result.status == "fault"
+        assert "no routing guard matched" in result.fault
+
+    def test_unbound_guard_variable_faults(self, env):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "A", "op")
+            .final()
+            .arc("initial", "a")
+            .arc("a", "final", condition="ghost = 1")
+            .build()
+        )
+        deployment = deploy(env, chart, [echo_service("A")])
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.status == "fault"
+
+    def test_unknown_operation_faults(self, env):
+        deployment = deploy(env, (
+            StatechartBuilder("c")
+            .initial().task("a", "A", "op").final()
+            .chain("initial", "a", "final")
+            .build()
+        ), [echo_service("A")])
+        result = env.client().execute(*deployment.address, "noSuchOp", {})
+        assert result.status == "fault"
+        assert "no" in result.fault and "operation" in result.fault
+
+
+class TestDeadlines:
+    def test_execution_timeout_returns_timeout_status(self, env):
+        slow = echo_service("SLOW", latency_ms=10_000.0)
+        deployment = deploy(env, (
+            StatechartBuilder("c")
+            .initial().task("a", "SLOW", "op").final()
+            .chain("initial", "a", "final")
+            .build()
+        ), [slow], timeout_ms=100.0)
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.status == "timeout"
+
+    def test_client_timeout_when_composite_host_dead(self, env):
+        deployment = deploy(env, (
+            StatechartBuilder("c")
+            .initial().task("a", "A", "op").final()
+            .chain("initial", "a", "final")
+            .build()
+        ), [echo_service("A")])
+        env.transport.fail_node("c-host")
+        with pytest.raises(ExecutionTimeoutError):
+            env.client().execute(*deployment.address, "run", {},
+                                 timeout_ms=200.0)
+
+
+class TestConcurrentExecutions:
+    def test_many_executions_interleave_correctly(self, env):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "A", "op", outputs={"a_out": "r"})
+            .final()
+            .chain("initial", "a", "final")
+            .build()
+        )
+        deployment = deploy(env, chart,
+                            [echo_service("A", latency_ms=20.0)])
+        client = env.client()
+        node, endpoint = deployment.address
+        for i in range(25):
+            client.submit(node, endpoint, "run", {"i": i})
+        results = client.wait_all(25, timeout_ms=60_000)
+        assert len(results) == 25
+        assert all(r.ok for r in results.values())
+
+    def test_output_projection_respects_spec(self, env):
+        spec = OperationSpec(
+            "run",
+            outputs=(Parameter("a_out"),),
+        )
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "A", "op", outputs={"a_out": "r"})
+            .final()
+            .chain("initial", "a", "final")
+            .build()
+        )
+        deployment = deploy(env, chart, [echo_service("A")],
+                            op_spec=spec)
+        result = env.client().execute(*deployment.address, "run",
+                                      {"noise": 1})
+        # projection keeps only declared outputs
+        assert set(result.outputs) == {"a_out"}

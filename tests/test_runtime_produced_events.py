@@ -1,0 +1,195 @@
+"""Produced events: transitions emitting events consumed elsewhere.
+
+Completes the paper's "consumed and produced events": one region of a
+parallel composition produces an event that releases a token parked in
+the sibling region, with no client involvement.
+"""
+
+import pytest
+
+from repro.baselines.central import deploy_central
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    ServiceDescription,
+    simple_description,
+)
+from repro.services.elementary import ElementaryService
+from repro.services.profile import ServiceProfile
+from repro.statecharts.builder import StatechartBuilder
+from repro.statecharts.serialization import (
+    statechart_from_xml,
+    statechart_to_xml,
+)
+from repro.xmlio import to_string
+
+
+def make_service(name, latency_ms=5.0):
+    desc = simple_description(name, f"{name}-co", [("op", [], ["r"])])
+    service = ElementaryService(desc, ServiceProfile(
+        latency_mean_ms=latency_ms,
+    ))
+    service.bind("op", lambda i: {"r": f"{name}-out"})
+    return service
+
+
+def producer_consumer_chart(producer_latency=5.0):
+    """Two parallel regions: region P produces 'go' when its task ends;
+    region C's task completes, then waits for 'go' before reaching its
+    final state."""
+    producer = (
+        StatechartBuilder("producer")
+        .initial()
+        .task("P", "Prod", "op", outputs={"produced": "r"})
+        .final()
+        .arc("initial", "P")
+        .arc("P", "final", emits=["go"])
+        .build()
+    )
+    consumer = (
+        StatechartBuilder("consumer")
+        .initial()
+        .task("C", "Cons", "op", outputs={"consumed": "r"})
+        .final()
+        .arc("initial", "C")
+        .arc("C", "final", event="go")
+        .build()
+    )
+    return (
+        StatechartBuilder("pc")
+        .initial()
+        .parallel("AND", [producer, consumer])
+        .final()
+        .chain("initial", "AND", "final")
+        .build()
+    )
+
+
+def deploy(env, chart, services, central=False):
+    for index, service in enumerate(services):
+        env.deployer.deploy_elementary(service, f"h{index}")
+    composite = CompositeService(ServiceDescription("C"))
+    composite.define_operation(OperationSpec("run"), chart)
+    if central:
+        return deploy_central(composite, "central-host", env.transport,
+                              env.directory)
+    return env.deployer.deploy_composite(composite, "c-host")
+
+
+class TestProducedEvents:
+    def test_producer_releases_consumer(self, env):
+        deployment = deploy(env, producer_consumer_chart(),
+                            [make_service("Prod"), make_service("Cons")])
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok
+        assert result.outputs["produced"] == "Prod-out"
+        assert result.outputs["consumed"] == "Cons-out"
+
+    def test_early_emission_is_buffered(self, env):
+        """Producer finishes long before the consumer's task does: the
+        'go' signal must wait for the consumer token, not get lost."""
+        deployment = deploy(
+            env, producer_consumer_chart(),
+            [make_service("Prod", latency_ms=1.0),
+             make_service("Cons", latency_ms=500.0)],
+        )
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok
+
+    def test_late_emission_also_works(self, env):
+        deployment = deploy(
+            env, producer_consumer_chart(),
+            [make_service("Prod", latency_ms=500.0),
+             make_service("Cons", latency_ms=1.0)],
+        )
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok
+
+    def test_central_baseline_agrees(self, env):
+        deployment = deploy(
+            env, producer_consumer_chart(),
+            [make_service("Prod"), make_service("Cons")],
+            central=True,
+        )
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok
+        assert result.outputs["consumed"] == "Cons-out"
+
+    def test_central_buffering(self, env):
+        deployment = deploy(
+            env, producer_consumer_chart(),
+            [make_service("Prod", latency_ms=1.0),
+             make_service("Cons", latency_ms=500.0)],
+            central=True,
+        )
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok
+
+    def test_event_chain(self, env):
+        """A -> emits e1 -> releases B -> emits e2 -> releases C."""
+        services = [make_service(n) for n in ("A", "B", "Z")]
+        region = lambda name, svc, consumes, produces: (
+            StatechartBuilder(f"r-{name}")
+            .initial()
+            .task(name, svc, "op", outputs={f"out_{name}": "r"})
+            .final()
+            .arc("initial", name)
+            .arc(name, "final",
+                 event=consumes or "",
+                 emits=[produces] if produces else [])
+            .build()
+        )
+        chart = (
+            StatechartBuilder("chain")
+            .initial()
+            .parallel("AND", [
+                region("A", "A", None, "e1"),
+                region("B", "B", "e1", "e2"),
+                region("Z", "Z", "e2", None),
+            ])
+            .final()
+            .chain("initial", "AND", "final")
+            .build()
+        )
+        deployment = deploy(env, chart, services)
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok
+        assert result.outputs["out_Z"] == "Z-out"
+
+
+class TestProducedEventArtifacts:
+    def test_emits_roundtrip_statechart_xml(self):
+        chart = producer_consumer_chart()
+        parsed = statechart_from_xml(to_string(statechart_to_xml(chart)))
+        producer_region = parsed.state("AND").regions[0]
+        emit_arcs = [
+            t for t in producer_region.transitions if t.emits
+        ]
+        assert len(emit_arcs) == 1
+        assert emit_arcs[0].emits == ("go",)
+
+    def test_emits_in_routing_tables(self):
+        from repro.routing.generation import generate_routing_tables
+
+        tables = generate_routing_tables(producer_consumer_chart())
+        assert tables["AND/r0/P"].produced_events() == {"go"}
+        assert tables["AND/r1/C"].consumed_events() == {"go"}
+
+    def test_emits_roundtrip_routing_xml(self):
+        from repro.routing.generation import generate_routing_tables
+        from repro.routing.serialization import (
+            routing_table_from_xml,
+            routing_table_to_xml,
+        )
+
+        tables = generate_routing_tables(producer_consumer_chart())
+        parsed = routing_table_from_xml(
+            to_string(routing_table_to_xml(tables["AND/r0/P"]))
+        )
+        assert parsed.produced_events() == {"go"}
+
+    def test_describe_shows_emits(self):
+        chart = producer_consumer_chart()
+        producer_region = chart.state("AND").regions[0]
+        arc = [t for t in producer_region.transitions if t.emits][0]
+        assert "^ go" in arc.describe()

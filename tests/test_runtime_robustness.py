@@ -1,0 +1,172 @@
+"""Runtime robustness: stale, duplicate and malformed messages.
+
+A distributed protocol must tolerate the network re-delivering, delaying
+or mis-addressing messages without corrupting executions.
+"""
+
+import pytest
+
+from repro.net.message import Message
+from repro.net.latency import ZoneLatency
+from repro.runtime.protocol import MessageKinds
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    ServiceDescription,
+    simple_description,
+)
+from repro.services.elementary import ElementaryService
+from repro.services.profile import ServiceProfile
+from repro.statecharts.builder import linear_chart
+from repro.workload.harness import build_sim_environment
+
+
+def make_service(name, latency_ms=5.0):
+    desc = simple_description(name, f"{name}-co", [("op", [], ["r"])])
+    service = ElementaryService(desc, ServiceProfile(
+        latency_mean_ms=latency_ms,
+    ))
+    service.bind("op", lambda i: {"r": f"{name}-out"})
+    return service
+
+
+def deploy_chain(env):
+    env.deployer.deploy_elementary(make_service("A"), "ha")
+    composite = CompositeService(ServiceDescription("C"))
+    composite.define_operation(
+        OperationSpec("run"), linear_chart("c", [("a", "A", "op")]),
+    )
+    return env.deployer.deploy_composite(composite, "c-host")
+
+
+class TestStaleAndDuplicateMessages:
+    def test_duplicate_invoke_result_ignored(self, env):
+        """A re-delivered invoke_result must not double-fire routing."""
+        deployment = deploy_chain(env)
+        client = env.client()
+        result = client.execute(*deployment.address, "run", {})
+        assert result.ok
+        coordinator = deployment.coordinators["run"]["a"]
+        env.transport.send(Message(
+            kind=MessageKinds.INVOKE_RESULT,
+            source="ha", source_endpoint="wrapper:A",
+            target="ha", target_endpoint=coordinator.endpoint_name,
+            body={"invocation_id": "a-1", "execution_id": "C:run:1",
+                  "status": "success", "outputs": {"r": "dup"},
+                  "fault": ""},
+        ))
+        env.transport.run_until_idle()
+        # exactly one result at the client, none extra
+        assert client.results_received() == 0  # already consumed above
+
+    def test_unknown_kind_to_coordinator_dropped(self, env):
+        deployment = deploy_chain(env)
+        coordinator = deployment.coordinators["run"]["a"]
+        env.transport.send(Message(
+            kind="mystery",
+            source="c-host", source_endpoint="x",
+            target="ha", target_endpoint=coordinator.endpoint_name,
+            body={},
+        ))
+        env.transport.run_until_idle()  # no exception
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok
+
+    def test_unknown_kind_to_wrapper_dropped(self, env):
+        deployment = deploy_chain(env)
+        env.transport.send(Message(
+            kind="mystery",
+            source="x", source_endpoint="x",
+            target="c-host", target_endpoint="wrapper:C",
+            body={},
+        ))
+        env.transport.run_until_idle()
+        assert env.client().execute(*deployment.address, "run", {}).ok
+
+    def test_complete_for_unknown_execution_ignored(self, env):
+        deployment = deploy_chain(env)
+        env.transport.send(Message(
+            kind=MessageKinds.COMPLETE,
+            source="x", source_endpoint="x",
+            target="c-host", target_endpoint="wrapper:C",
+            body={"execution_id": "C:run:999", "env": {},
+                  "final_node": "final"},
+        ))
+        env.transport.run_until_idle()
+        assert deployment.wrapper.records() == []
+
+    def test_late_fault_after_success_ignored(self, env):
+        deployment = deploy_chain(env)
+        client = env.client()
+        result = client.execute(*deployment.address, "run", {})
+        assert result.ok
+        record = deployment.wrapper.records()[0]
+        env.transport.send(Message(
+            kind=MessageKinds.EXECUTION_FAULT,
+            source="x", source_endpoint="x",
+            target="c-host", target_endpoint="wrapper:C",
+            body={"execution_id": record.execution_id,
+                  "node": "a", "reason": "too late"},
+        ))
+        env.transport.run_until_idle()
+        assert record.status == "success"  # not flipped
+        assert client.results_received() == 0  # no second result
+
+    def test_notify_to_unknown_execution_creates_isolated_state(self, env):
+        """A bogus notify fires the coordinator but cannot complete an
+        execution the wrapper never started — the system stays sane."""
+        deployment = deploy_chain(env)
+        coordinator = deployment.coordinators["run"]["final"]
+        env.transport.send(Message(
+            kind=MessageKinds.NOTIFY,
+            source="x", source_endpoint="x",
+            target=coordinator.host,
+            target_endpoint=coordinator.endpoint_name,
+            body={"execution_id": "forged", "edge_id": "e99",
+                  "from_node": "x", "env": {}},
+        ))
+        env.transport.run_until_idle()
+        # wrapper ignores the completion of an unknown execution
+        assert deployment.wrapper.records() == []
+        # and real traffic still flows
+        assert env.client().execute(*deployment.address, "run", {}).ok
+
+
+class TestZoneTopology:
+    """P2P coordination under a wide-area (zoned) network."""
+
+    def build(self, intra_ms=2.0, inter_ms=40.0):
+        latency = ZoneLatency(intra_zone_ms=intra_ms,
+                              inter_zone_ms=inter_ms)
+        env = build_sim_environment(latency=latency, seed=3)
+        env.deployer.deploy_elementary(make_service("A"), "ha")
+        env.deployer.deploy_elementary(make_service("B"), "hb")
+        latency.assign("ha", "eu")
+        latency.assign("hb", "eu")
+        latency.assign("c-host", "us")
+        latency.assign("client-host", "us")
+        composite = CompositeService(ServiceDescription("C"))
+        composite.define_operation(
+            OperationSpec("run"),
+            linear_chart("c", [("a", "A", "op"), ("b", "B", "op")]),
+        )
+        deployment = env.deployer.deploy_composite(composite, "c-host")
+        return env, deployment
+
+    def test_intra_zone_peer_hop_is_cheap(self):
+        """The A->B peer notification stays inside the EU zone, so total
+        latency is dominated by the two unavoidable trans-zone legs."""
+        env, deployment = self.build()
+        result = env.client().execute(*deployment.address, "run", {})
+        assert result.ok
+        record = deployment.wrapper.records()[0]
+        # legs: client->wrapper(us, local-ish), wrapper->initial(us),
+        # initial->A (us->eu 40), A->B (eu 2), B->final (eu->us 40),
+        # wrapper->client (us). Plus 2x 5ms service work.
+        assert record.duration_ms < 40 * 3 + 30  # far below 4+ crossings
+
+    def test_widening_zone_gap_does_not_break_execution(self):
+        env, deployment = self.build(inter_ms=500.0)
+        result = env.client().execute(*deployment.address, "run", {},
+                                      timeout_ms=600_000)
+        assert result.ok

@@ -1,0 +1,248 @@
+"""Selection tests: history, scoring, policies."""
+
+import pytest
+
+from repro.exceptions import CommunityError
+from repro.selection.history import ExecutionHistory
+from repro.selection.policies import (
+    HistoryQualityPolicy,
+    LeastLoadedPolicy,
+    MultiAttributePolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SelectionRequest,
+    available_policies,
+    policy_by_name,
+)
+from repro.selection.scoring import AttributeWeights, score_candidates
+from repro.services.community import MemberRecord
+from repro.services.profile import ServiceProfile
+
+
+def member(name, **profile_kwargs):
+    return MemberRecord(name, profile=ServiceProfile(**profile_kwargs))
+
+
+REQUEST = SelectionRequest(operation="book")
+
+
+class TestHistory:
+    def test_record_outcomes(self):
+        history = ExecutionHistory()
+        history.record_start("a")
+        assert history.current_load("a") == 1
+        history.record_end("a", True, 10.0)
+        assert history.current_load("a") == 0
+        assert history.stats("a").successes == 1
+
+    def test_success_rate_smoothing(self):
+        history = ExecutionHistory()
+        # no data: prior of 1.0 → rate 1.0
+        assert history.success_rate("new") == 1.0
+        history.record_end("new", False, 5.0)
+        assert history.success_rate("new") == pytest.approx(0.5)
+
+    def test_mean_duration(self):
+        history = ExecutionHistory()
+        history.record_end("a", True, 10.0)
+        history.record_end("a", True, 30.0)
+        assert history.mean_duration_ms("a") == 20.0
+        assert history.mean_duration_ms("unknown", default=99.0) == 99.0
+
+    def test_duration_window_bounded(self):
+        history = ExecutionHistory()
+        for i in range(500):
+            history.record_end("a", True, float(i))
+        assert len(history.stats("a").durations_ms) == 256
+
+    def test_end_without_start_does_not_go_negative(self):
+        history = ExecutionHistory()
+        history.record_end("a", True, 1.0)
+        assert history.current_load("a") == 0
+
+    def test_snapshot(self):
+        history = ExecutionHistory()
+        history.record_start("a")
+        snap = history.snapshot()
+        assert snap["a"]["ongoing"] == 1
+
+
+class TestScoring:
+    def test_cheaper_scores_higher_on_cost(self):
+        cheap, pricey = member("cheap", cost=1.0), member("pricey", cost=9.0)
+        scores = score_candidates(
+            [cheap, pricey], ExecutionHistory(),
+            AttributeWeights(cost=1, latency=0, reliability=0, load=0),
+        )
+        assert scores["cheap"] > scores["pricey"]
+
+    def test_faster_scores_higher_on_latency(self):
+        fast = member("fast", latency_mean_ms=10.0)
+        slow = member("slow", latency_mean_ms=100.0)
+        scores = score_candidates(
+            [fast, slow], ExecutionHistory(),
+            AttributeWeights(cost=0, latency=1, reliability=0, load=0),
+        )
+        assert scores["fast"] > scores["slow"]
+
+    def test_observed_latency_dominates_advertised(self):
+        liar = member("liar", latency_mean_ms=1.0)
+        honest = member("honest", latency_mean_ms=50.0)
+        history = ExecutionHistory()
+        for _ in range(10):
+            history.record_end("liar", True, 500.0)
+            history.record_end("honest", True, 50.0)
+        scores = score_candidates(
+            [liar, honest], history,
+            AttributeWeights(cost=0, latency=1, reliability=0, load=0),
+        )
+        assert scores["honest"] > scores["liar"]
+
+    def test_loaded_member_scores_lower(self):
+        a, b = member("a"), member("b")
+        history = ExecutionHistory()
+        for _ in range(5):
+            history.record_start("a")
+        scores = score_candidates(
+            [a, b], history,
+            AttributeWeights(cost=0, latency=0, reliability=0, load=1),
+        )
+        assert scores["b"] > scores["a"]
+
+    def test_equal_members_equal_scores(self):
+        a, b = member("a"), member("b")
+        scores = score_candidates([a, b], ExecutionHistory(),
+                                  AttributeWeights())
+        assert scores["a"] == pytest.approx(scores["b"])
+
+    def test_empty_candidates(self):
+        assert score_candidates([], ExecutionHistory(),
+                                AttributeWeights()) == {}
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeWeights(cost=-1)
+
+
+class TestRandomPolicy:
+    def test_returns_permutation(self):
+        members = [member(f"m{i}") for i in range(5)]
+        ranked = RandomPolicy().rank(members, REQUEST, ExecutionHistory())
+        assert sorted(m.service_name for m in ranked) == sorted(
+            m.service_name for m in members
+        )
+
+    def test_seeded_determinism(self):
+        import random
+
+        members = [member(f"m{i}") for i in range(5)]
+        a = RandomPolicy(random.Random(1)).rank(
+            list(members), REQUEST, ExecutionHistory()
+        )
+        b = RandomPolicy(random.Random(1)).rank(
+            list(members), REQUEST, ExecutionHistory()
+        )
+        assert [m.service_name for m in a] == [m.service_name for m in b]
+
+
+class TestRoundRobinPolicy:
+    def test_rotates(self):
+        members = [member("a"), member("b"), member("c")]
+        policy = RoundRobinPolicy()
+        firsts = [
+            policy.rank(members, REQUEST, ExecutionHistory())[0].service_name
+            for _ in range(6)
+        ]
+        assert firsts == ["a", "b", "c", "a", "b", "c"]
+
+    def test_full_order_is_rotation(self):
+        members = [member("a"), member("b"), member("c")]
+        policy = RoundRobinPolicy()
+        policy.rank(members, REQUEST, ExecutionHistory())
+        second = policy.rank(members, REQUEST, ExecutionHistory())
+        assert [m.service_name for m in second] == ["b", "c", "a"]
+
+    def test_empty_candidates(self):
+        assert RoundRobinPolicy().rank([], REQUEST,
+                                       ExecutionHistory()) == []
+
+
+class TestLeastLoadedPolicy:
+    def test_prefers_idle_member(self):
+        a, b = member("a"), member("b")
+        history = ExecutionHistory()
+        history.record_start("a")
+        ranked = LeastLoadedPolicy().rank([a, b], REQUEST, history)
+        assert ranked[0].service_name == "b"
+
+    def test_capacity_normalisation(self):
+        small = member("small", capacity=2)
+        big = member("big", capacity=100)
+        history = ExecutionHistory()
+        history.record_start("small")
+        history.record_start("big")
+        ranked = LeastLoadedPolicy().rank([small, big], REQUEST, history)
+        # 1/2 load vs 1/100 load -> big wins
+        assert ranked[0].service_name == "big"
+
+    def test_tie_breaks_on_latency_then_name(self):
+        fast = member("zfast", latency_mean_ms=5.0)
+        slow = member("aslow", latency_mean_ms=50.0)
+        ranked = LeastLoadedPolicy().rank(
+            [slow, fast], REQUEST, ExecutionHistory()
+        )
+        assert ranked[0].service_name == "zfast"
+
+
+class TestHistoryQualityPolicy:
+    def test_prefers_reliable_member(self):
+        good, bad = member("good"), member("bad")
+        history = ExecutionHistory()
+        for _ in range(5):
+            history.record_end("good", True, 10.0)
+            history.record_end("bad", False, 10.0)
+        ranked = HistoryQualityPolicy().rank(
+            [bad, good], REQUEST, history
+        )
+        assert ranked[0].service_name == "good"
+
+    def test_fresh_members_fall_back_to_advertised(self):
+        advertised_good = member("good", reliability=0.99)
+        advertised_bad = member("bad", reliability=0.5)
+        ranked = HistoryQualityPolicy().rank(
+            [advertised_bad, advertised_good], REQUEST, ExecutionHistory()
+        )
+        assert ranked[0].service_name == "good"
+
+
+class TestMultiAttributePolicy:
+    def test_ranks_by_utility(self):
+        best = member("best", cost=1.0, latency_mean_ms=10.0)
+        worst = member("worst", cost=9.0, latency_mean_ms=100.0)
+        ranked = MultiAttributePolicy().rank(
+            [worst, best], REQUEST, ExecutionHistory()
+        )
+        assert ranked[0].service_name == "best"
+
+    def test_weights_change_ranking(self):
+        cheap_slow = member("cheap", cost=1.0, latency_mean_ms=100.0)
+        pricey_fast = member("fast", cost=9.0, latency_mean_ms=5.0)
+        history = ExecutionHistory()
+        cost_first = MultiAttributePolicy(AttributeWeights(
+            cost=10, latency=0.1, reliability=0, load=0,
+        )).rank([cheap_slow, pricey_fast], REQUEST, history)
+        speed_first = MultiAttributePolicy(AttributeWeights(
+            cost=0.1, latency=10, reliability=0, load=0,
+        )).rank([cheap_slow, pricey_fast], REQUEST, history)
+        assert cost_first[0].service_name == "cheap"
+        assert speed_first[0].service_name == "fast"
+
+
+class TestPolicyRegistry:
+    def test_all_policies_constructible_by_name(self):
+        for name in available_policies():
+            assert policy_by_name(name).name == name
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(CommunityError, match="unknown selection"):
+            policy_by_name("psychic")

@@ -1,0 +1,100 @@
+"""Service community membership tests."""
+
+import pytest
+
+from repro.exceptions import CommunityError, NoMemberAvailableError
+from repro.services.community import ServiceCommunity
+from repro.services.description import OperationSpec, ServiceDescription
+from repro.services.profile import ServiceProfile
+
+
+def make_community():
+    desc = ServiceDescription("AccommodationBooking",
+                              provider="Alliance")
+    desc.add_operation(OperationSpec("bookAccommodation"))
+    return ServiceCommunity(desc)
+
+
+class TestMembership:
+    def test_join_and_members(self):
+        community = make_community()
+        community.join("HotelA")
+        community.join("HotelB")
+        assert sorted(m.service_name for m in community.members()) == [
+            "HotelA", "HotelB",
+        ]
+
+    def test_duplicate_join_rejected(self):
+        community = make_community()
+        community.join("HotelA")
+        with pytest.raises(CommunityError, match="already a member"):
+            community.join("HotelA")
+
+    def test_leave(self):
+        community = make_community()
+        community.join("HotelA")
+        community.leave("HotelA")
+        assert community.members() == []
+        assert not community.is_member("HotelA")
+
+    def test_leave_non_member_raises(self):
+        with pytest.raises(CommunityError, match="not a member"):
+            make_community().leave("Ghost")
+
+    def test_suspend_resume(self):
+        community = make_community()
+        community.join("HotelA")
+        community.suspend("HotelA")
+        assert community.members() == []
+        assert len(community.members(include_inactive=True)) == 1
+        community.resume("HotelA")
+        assert len(community.members()) == 1
+
+    def test_member_lookup(self):
+        community = make_community()
+        record = community.join("HotelA",
+                                profile=ServiceProfile(cost=9.0))
+        assert community.member("HotelA") is record
+        assert record.profile.cost == 9.0
+
+    def test_join_with_unknown_mapped_operation_rejected(self):
+        community = make_community()
+        with pytest.raises(CommunityError, match="does not declare"):
+            community.join("HotelA",
+                           operation_mapping={"noSuchOp": "reserve"})
+
+    def test_operation_mapping(self):
+        community = make_community()
+        record = community.join(
+            "HotelA", operation_mapping={"bookAccommodation": "reserve"},
+        )
+        assert record.member_operation("bookAccommodation") == "reserve"
+        assert record.member_operation("other") == "other"
+
+
+class TestCandidates:
+    def test_candidates_returns_active_members(self):
+        community = make_community()
+        community.join("HotelA")
+        community.join("HotelB")
+        community.suspend("HotelB")
+        names = [m.service_name
+                 for m in community.candidates("bookAccommodation")]
+        assert names == ["HotelA"]
+
+    def test_no_active_member_raises(self):
+        community = make_community()
+        community.join("HotelA")
+        community.suspend("HotelA")
+        with pytest.raises(NoMemberAvailableError):
+            community.candidates("bookAccommodation")
+
+    def test_empty_community_raises(self):
+        with pytest.raises(NoMemberAvailableError):
+            make_community().candidates("bookAccommodation")
+
+    def test_unknown_operation_raises(self):
+        community = make_community()
+        community.join("HotelA")
+        with pytest.raises(CommunityError, match="does not declare"):
+            community.candidates("fly")

@@ -1,0 +1,121 @@
+"""Service description and parameter typing tests."""
+
+import pytest
+
+from repro.exceptions import OperationNotFoundError, ParameterError
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+    simple_description,
+)
+
+
+class TestParameterType:
+    def test_string(self):
+        assert ParameterType.STRING.accepts("x")
+        assert not ParameterType.STRING.accepts(1)
+
+    def test_int_rejects_bool(self):
+        assert ParameterType.INT.accepts(3)
+        assert not ParameterType.INT.accepts(True)
+
+    def test_float_accepts_int(self):
+        assert ParameterType.FLOAT.accepts(3)
+        assert ParameterType.FLOAT.accepts(3.5)
+        assert not ParameterType.FLOAT.accepts(True)
+
+    def test_boolean(self):
+        assert ParameterType.BOOLEAN.accepts(False)
+        assert not ParameterType.BOOLEAN.accepts(0)
+
+    def test_record_and_list(self):
+        assert ParameterType.RECORD.accepts({"a": 1})
+        assert not ParameterType.RECORD.accepts([1])
+        assert ParameterType.LIST.accepts([1])
+        assert ParameterType.LIST.accepts((1,))
+        assert not ParameterType.LIST.accepts({"a": 1})
+
+    def test_any_accepts_everything(self):
+        for value in (1, "x", True, None, [], {}):
+            assert ParameterType.ANY.accepts(value)
+
+    def test_none_accepted_by_all_types(self):
+        # Nullability is the Parameter.required concern, not the type's
+        assert ParameterType.INT.accepts(None)
+
+
+class TestParameterCheck:
+    def test_required_missing_raises(self):
+        parameter = Parameter("p", ParameterType.STRING)
+        with pytest.raises(ParameterError, match="is missing"):
+            parameter.check(None, "op", "input")
+
+    def test_optional_missing_ok(self):
+        Parameter("p", required=False).check(None, "op", "input")
+
+    def test_type_mismatch_raises(self):
+        parameter = Parameter("p", ParameterType.INT)
+        with pytest.raises(ParameterError, match="expects int"):
+            parameter.check("not-an-int", "op", "input")
+
+
+class TestOperationSpec:
+    def spec(self):
+        return OperationSpec(
+            name="op",
+            inputs=(Parameter("a", ParameterType.INT),
+                    Parameter("b", ParameterType.STRING, required=False)),
+            outputs=(Parameter("r", ParameterType.INT),),
+        )
+
+    def test_validate_inputs_normalises(self):
+        assert self.spec().validate_inputs({"a": 1}) == {"a": 1, "b": None}
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(ParameterError, match="unknown input"):
+            self.spec().validate_inputs({"a": 1, "zzz": 2})
+
+    def test_missing_required_input_rejected(self):
+        with pytest.raises(ParameterError):
+            self.spec().validate_inputs({"b": "x"})
+
+    def test_validate_outputs(self):
+        assert self.spec().validate_outputs({"r": 5}) == {"r": 5}
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(ParameterError, match="unknown output"):
+            self.spec().validate_outputs({"r": 1, "extra": 2})
+
+    def test_names(self):
+        assert self.spec().input_names() == ["a", "b"]
+        assert self.spec().output_names() == ["r"]
+
+
+class TestServiceDescription:
+    def test_add_and_get_operation(self):
+        desc = ServiceDescription("S")
+        desc.add_operation(OperationSpec("op"))
+        assert desc.operation("op").name == "op"
+        assert desc.has_operation("op")
+
+    def test_duplicate_operation_rejected(self):
+        desc = ServiceDescription("S")
+        desc.add_operation(OperationSpec("op"))
+        with pytest.raises(ParameterError, match="already declares"):
+            desc.add_operation(OperationSpec("op"))
+
+    def test_missing_operation_raises(self):
+        desc = ServiceDescription("S")
+        with pytest.raises(OperationNotFoundError):
+            desc.operation("nope")
+
+    def test_simple_description_helper(self):
+        desc = simple_description(
+            "S", "P",
+            [("op1", ["a"], ["r"]), ("op2", [], [])],
+        )
+        assert desc.operation_names() == ["op1", "op2"]
+        assert desc.operation("op1").input_names() == ["a"]
+        assert desc.provider == "P"

@@ -1,0 +1,121 @@
+"""Elementary service tests."""
+
+import pytest
+
+from repro.exceptions import (
+    InvocationError,
+    OperationNotFoundError,
+    ParameterError,
+)
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+)
+from repro.services.elementary import ElementaryService, operation_handler
+
+
+def make_service():
+    desc = ServiceDescription("Calc", provider="MathCo")
+    desc.add_operation(OperationSpec(
+        "add",
+        inputs=(Parameter("a", ParameterType.INT),
+                Parameter("b", ParameterType.INT)),
+        outputs=(Parameter("sum", ParameterType.INT),),
+    ))
+    service = ElementaryService(desc)
+    service.bind("add", lambda inputs: {"sum": inputs["a"] + inputs["b"]})
+    return service
+
+
+class TestBinding:
+    def test_bind_undeclared_operation_raises(self):
+        service = make_service()
+        with pytest.raises(OperationNotFoundError):
+            service.bind("nope", lambda i: {})
+
+    def test_declared_but_unbound_raises(self):
+        desc = ServiceDescription("S")
+        desc.add_operation(OperationSpec("op"))
+        service = ElementaryService(desc)
+        with pytest.raises(InvocationError, match="no handler bound"):
+            service.invoke("op", {})
+
+    def test_supports(self):
+        service = make_service()
+        assert service.supports("add")
+        assert not service.supports("nope")
+
+    def test_operation_handler_decorator(self):
+        desc = ServiceDescription("S")
+        desc.add_operation(OperationSpec(
+            "greet",
+            inputs=(Parameter("name", ParameterType.STRING),),
+            outputs=(Parameter("msg", ParameterType.STRING),),
+        ))
+        service = ElementaryService(desc)
+
+        @operation_handler
+        def greet(name):
+            return {"msg": f"hi {name}"}
+
+        service.bind("greet", greet)
+        assert service.invoke("greet", {"name": "Bob"}) == {"msg": "hi Bob"}
+
+
+class TestInvocation:
+    def test_success(self):
+        assert make_service().invoke("add", {"a": 2, "b": 3}) == {"sum": 5}
+
+    def test_invocation_count_increments(self):
+        service = make_service()
+        service.invoke("add", {"a": 1, "b": 1})
+        service.invoke("add", {"a": 1, "b": 1})
+        assert service.invocation_count == 2
+
+    def test_input_validation(self):
+        with pytest.raises(ParameterError):
+            make_service().invoke("add", {"a": "x", "b": 1})
+
+    def test_unknown_argument_rejected(self):
+        with pytest.raises(ParameterError, match="unknown input"):
+            make_service().invoke("add", {"a": 1, "b": 2, "c": 3})
+
+    def test_handler_exception_wrapped(self):
+        desc = ServiceDescription("S")
+        desc.add_operation(OperationSpec("boom"))
+        service = ElementaryService(desc)
+        service.bind("boom", lambda i: 1 / 0)
+        with pytest.raises(InvocationError, match="failed"):
+            service.invoke("boom", {})
+
+    def test_non_mapping_result_rejected(self):
+        desc = ServiceDescription("S")
+        desc.add_operation(OperationSpec("bad"))
+        service = ElementaryService(desc)
+        service.bind("bad", lambda i: 42)
+        with pytest.raises(InvocationError, match="expected a mapping"):
+            service.invoke("bad", {})
+
+    def test_none_result_treated_as_empty(self):
+        desc = ServiceDescription("S")
+        desc.add_operation(OperationSpec("noop"))
+        service = ElementaryService(desc)
+        service.bind("noop", lambda i: None)
+        assert service.invoke("noop", {}) == {}
+
+    def test_output_validation(self):
+        desc = ServiceDescription("S")
+        desc.add_operation(OperationSpec(
+            "op", outputs=(Parameter("r", ParameterType.INT),),
+        ))
+        service = ElementaryService(desc)
+        service.bind("op", lambda i: {"r": "wrong type"})
+        with pytest.raises(ParameterError):
+            service.invoke("op", {})
+
+    def test_properties(self):
+        service = make_service()
+        assert service.name == "Calc"
+        assert service.provider == "MathCo"

@@ -1,0 +1,65 @@
+"""QoS profile tests."""
+
+import random
+
+import pytest
+
+from repro.services.profile import ServiceProfile
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        profile = ServiceProfile()
+        assert profile.reliability == 1.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"latency_mean_ms": -1},
+        {"latency_jitter_ms": -1},
+        {"reliability": 0.0},
+        {"reliability": 1.5},
+        {"cost": -0.1},
+        {"capacity": 0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceProfile(**kwargs)
+
+
+class TestSampling:
+    def test_no_jitter_is_constant(self):
+        profile = ServiceProfile(latency_mean_ms=25.0)
+        assert profile.sample_latency_ms() == 25.0
+
+    def test_jitter_within_window(self):
+        profile = ServiceProfile(latency_mean_ms=50.0,
+                                 latency_jitter_ms=10.0)
+        rng = random.Random(1)
+        for _ in range(100):
+            sample = profile.sample_latency_ms(rng)
+            assert 40.0 <= sample <= 60.0
+
+    def test_jitter_never_negative(self):
+        profile = ServiceProfile(latency_mean_ms=1.0,
+                                 latency_jitter_ms=10.0)
+        rng = random.Random(2)
+        assert all(
+            profile.sample_latency_ms(rng) >= 0.0 for _ in range(100)
+        )
+
+    def test_perfect_reliability_always_succeeds(self):
+        profile = ServiceProfile(reliability=1.0)
+        rng = random.Random(3)
+        assert all(profile.sample_success(rng) for _ in range(50))
+
+    def test_reliability_rate_close_to_nominal(self):
+        profile = ServiceProfile(reliability=0.7)
+        rng = random.Random(4)
+        successes = sum(profile.sample_success(rng) for _ in range(5000))
+        assert 0.65 < successes / 5000 < 0.75
+
+    def test_deterministic_given_seeded_rng(self):
+        profile = ServiceProfile(latency_mean_ms=10.0,
+                                 latency_jitter_ms=5.0, reliability=0.5)
+        a = [profile.sample_latency_ms(random.Random(7)) for _ in range(3)]
+        b = [profile.sample_latency_ms(random.Random(7)) for _ in range(3)]
+        assert a == b

@@ -1,0 +1,163 @@
+"""Discrete-event simulator tests."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(30, lambda: log.append("c"))
+        sim.schedule(10, lambda: log.append("a"))
+        sim.schedule(20, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5, lambda: log.append(1))
+        sim.schedule(5, lambda: log.append(2))
+        sim.schedule(5, lambda: log.append(3))
+        sim.run()
+        assert log == [1, 2, 3]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(12.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.5]
+        assert sim.now == 12.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(40, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [40]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(5, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(10, first)
+        sim.run()
+        assert log == [("first", 10), ("second", 15)]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(10, lambda: log.append("x"))
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_cancel_after_run_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1, lambda: None)
+        sim.run()
+        event.cancel()  # must not raise
+
+
+class TestRunBounds:
+    def test_run_until_time(self):
+        sim = Simulator()
+        log = []
+        for t in (10, 20, 30):
+            sim.schedule(t, lambda t=t: log.append(t))
+        sim.run(until=20)
+        assert log == [10, 20]
+        assert sim.now == 20
+
+    def test_run_resumes_after_until(self):
+        sim = Simulator()
+        log = []
+        for t in (10, 30):
+            sim.schedule(t, lambda t=t: log.append(t))
+        sim.run(until=15)
+        sim.run()
+        assert log == [10, 30]
+
+    def test_max_events(self):
+        sim = Simulator()
+        log = []
+        for t in range(5):
+            sim.schedule(t, lambda t=t: log.append(t))
+        sim.run(max_events=3)
+        assert log == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_processed_count(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        sim.run()
+        assert sim.processed_events == 2
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def recurse():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1, recurse)
+        sim.run()
+        assert len(errors) == 1
+
+
+class TestRunUntil:
+    def test_predicate_satisfied(self):
+        sim = Simulator()
+        box = []
+        sim.schedule(10, lambda: box.append(1))
+        assert sim.run_until(lambda: len(box) == 1) is True
+
+    def test_predicate_never_satisfied_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        assert sim.run_until(lambda: False) is False
+
+    def test_virtual_timeout(self):
+        sim = Simulator()
+        box = []
+        sim.schedule(100, lambda: box.append(1))
+        satisfied = sim.run_until(lambda: bool(box), timeout_ms=50)
+        assert satisfied is False
+        assert sim.now == 50
+
+    def test_event_cap_raises(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1, reschedule)
+
+        sim.schedule(1, reschedule)
+        with pytest.raises(SimulationError, match="exceeded"):
+            sim.run_until(lambda: False, max_events=100)

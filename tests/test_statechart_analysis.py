@@ -1,0 +1,92 @@
+"""Graph-analysis tests."""
+
+from repro.statecharts.analysis import analyze, chart_depth, max_parallel_width
+from repro.statecharts.builder import StatechartBuilder, linear_chart
+from repro.demo.travel import build_travel_chart
+
+
+def xor_chart():
+    return (
+        StatechartBuilder("xor")
+        .initial()
+        .task("a", "S", "op").task("b", "S", "op").task("m", "S", "op")
+        .final()
+        .choice("initial", {"a": "x = 1", "b": "x != 1"})
+        .arc("a", "m").arc("b", "m").arc("m", "final")
+        .build()
+    )
+
+
+class TestReachability:
+    def test_linear_all_reachable(self):
+        chart = linear_chart("c", [("a", "S", "op"), ("b", "S", "op")])
+        analysis = analyze(chart)
+        assert analysis.reachable == {"initial", "a", "b", "final"}
+
+    def test_adjacency_maps(self):
+        analysis = analyze(xor_chart())
+        assert analysis.successors["initial"] == {"a", "b"}
+        assert analysis.predecessors["m"] == {"a", "b"}
+
+    def test_can_follow(self):
+        analysis = analyze(xor_chart())
+        assert analysis.can_follow("initial", "final")
+        assert analysis.can_follow("a", "m")
+        assert not analysis.can_follow("final", "initial")
+        assert not analysis.can_follow("a", "b")
+
+
+class TestTopology:
+    def test_acyclic_chart_topological_order(self):
+        analysis = analyze(xor_chart())
+        assert not analysis.has_cycle
+        order = analysis.topological_order
+        assert order.index("initial") < order.index("a")
+        assert order.index("m") < order.index("final")
+        assert len(order) == 5
+
+    def test_cycle_detected(self):
+        chart = (
+            StatechartBuilder("loop")
+            .initial()
+            .task("a", "S", "op")
+            .final()
+            .chain("initial", "a")
+            .arc("a", "a", condition="retry = true")
+            .arc("a", "final", condition="retry != true")
+            .build()
+        )
+        assert analyze(chart).has_cycle
+
+
+class TestWidthAndDepth:
+    def test_flat_chart_width_one(self):
+        chart = linear_chart("c", [("a", "S", "op")])
+        assert max_parallel_width(chart) == 1
+        assert chart_depth(chart) == 1
+
+    def test_and_state_width(self):
+        region = lambda name: (
+            StatechartBuilder(name)
+            .initial().task(f"{name}_t", "S", "op").final()
+            .chain("initial", f"{name}_t", "final")
+            .build()
+        )
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .parallel("P", [region("r1"), region("r2"), region("r3")])
+            .final()
+            .chain("initial", "P", "final")
+            .build()
+        )
+        assert max_parallel_width(chart) == 3
+        assert chart_depth(chart) == 2
+
+    def test_travel_chart_facts(self):
+        chart = build_travel_chart()
+        assert max_parallel_width(chart) == 2  # bookings ∥ search
+        assert chart_depth(chart) == 3  # top / AND regions / ITA compound
+        analysis = analyze(chart)
+        assert not analysis.has_cycle
+        assert analysis.reachable == set(chart.state_ids) | set()

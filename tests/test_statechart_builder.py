@@ -1,0 +1,154 @@
+"""Fluent builder tests."""
+
+import pytest
+
+from repro.exceptions import StatechartError
+from repro.statecharts.builder import StatechartBuilder, linear_chart
+from repro.statecharts.model import StateKind
+from repro.statecharts.validation import validate
+
+
+class TestBasicGestures:
+    def test_linear_chain(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "SvcA", "op")
+            .task("b", "SvcB", "op")
+            .final()
+            .chain("initial", "a", "b", "final")
+            .build()
+        )
+        assert validate(chart) == []
+        assert [t.source for t in chart.transitions] == [
+            "initial", "a", "b",
+        ]
+
+    def test_task_carries_mappings(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "S", "op", inputs={"x": "y"}, outputs={"r": "out"})
+            .final()
+            .chain("initial", "a", "final")
+            .build()
+        )
+        binding = chart.state("a").binding
+        assert binding.input_mapping == {"x": "y"}
+        assert binding.output_mapping == {"r": "out"}
+
+    def test_choice_gesture(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "S", "op")
+            .task("b", "S", "op")
+            .final()
+            .choice("initial", {"a": "x = 1", "b": "x != 1"})
+            .arc("a", "final")
+            .arc("b", "final")
+            .build()
+        )
+        guards = sorted(t.condition for t in chart.outgoing("initial"))
+        assert guards == ["x != 1", "x = 1"]
+
+    def test_arc_with_actions(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .final()
+            .arc("initial", "final", actions=[("total", "a + b")])
+            .build()
+        )
+        action = chart.transitions[0].actions[0]
+        assert action.target == "total"
+        assert action.expression == "a + b"
+
+    def test_explicit_transition_id(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial().final()
+            .arc("initial", "final", transition_id="my_arc")
+            .build()
+        )
+        assert chart.transition("my_arc").target == "final"
+
+    def test_auto_ids_are_sequential(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "S", "op")
+            .final()
+            .chain("initial", "a", "final")
+            .build()
+        )
+        ids = [t.transition_id for t in chart.transitions]
+        assert ids == ["t1", "t2"]
+
+    def test_arc_to_missing_state_raises(self):
+        builder = StatechartBuilder("c").initial()
+        with pytest.raises(StatechartError):
+            builder.arc("initial", "ghost")
+
+
+class TestHierarchyGestures:
+    def test_compound_accepts_builder(self):
+        inner = (
+            StatechartBuilder("inner")
+            .initial().task("x", "S", "op").final()
+            .chain("initial", "x", "final")
+        )
+        chart = (
+            StatechartBuilder("outer")
+            .initial()
+            .compound("C", inner)
+            .final()
+            .chain("initial", "C", "final")
+            .build()
+        )
+        assert chart.state("C").kind is StateKind.COMPOUND
+        assert chart.state("C").chart.name == "inner"
+
+    def test_parallel_accepts_mixed(self):
+        region1 = (
+            StatechartBuilder("r1")
+            .initial().task("x", "S", "op").final()
+            .chain("initial", "x", "final")
+        )
+        region2 = (
+            StatechartBuilder("r2")
+            .initial().task("y", "T", "op").final()
+            .chain("initial", "y", "final")
+            .build()
+        )
+        chart = (
+            StatechartBuilder("outer")
+            .initial()
+            .parallel("P", [region1, region2])
+            .final()
+            .chain("initial", "P", "final")
+            .build()
+        )
+        assert chart.state("P").kind is StateKind.AND
+        assert len(chart.state("P").regions) == 2
+        assert validate(chart) == []
+
+
+class TestLinearChartHelper:
+    def test_linear_chart_valid(self):
+        chart = linear_chart("lc", [
+            ("s1", "A", "op"), ("s2", "B", "op"), ("s3", "C", "op"),
+        ])
+        assert validate(chart) == []
+        assert chart.basic_state_count() == 3
+
+    def test_linear_chart_empty_tasks(self):
+        chart = linear_chart("lc", [])
+        # initial -> final directly
+        assert validate(chart) == []
+        assert chart.basic_state_count() == 0
+
+    def test_linear_chart_order(self):
+        chart = linear_chart("lc", [("s1", "A", "op"), ("s2", "B", "op")])
+        sources = [t.source for t in chart.transitions]
+        assert sources == ["initial", "s1", "s2"]

@@ -1,0 +1,181 @@
+"""Flattening tests: hierarchy compiles to task/fork/join graphs."""
+
+import pytest
+
+from repro.exceptions import StatechartError
+from repro.statecharts.builder import StatechartBuilder, linear_chart
+from repro.statecharts.flatten import NodeKind, flatten
+from repro.demo.travel import build_travel_chart
+
+
+class TestFlatStructure:
+    def test_linear_chart_flattens_one_to_one(self):
+        chart = linear_chart("c", [("a", "S", "op"), ("b", "T", "op")])
+        graph = flatten(chart)
+        kinds = {n.node_id: n.kind for n in graph.nodes}
+        assert kinds == {
+            "initial": NodeKind.INITIAL,
+            "a": NodeKind.TASK,
+            "b": NodeKind.TASK,
+            "final": NodeKind.FINAL,
+        }
+        assert len(graph.edges) == 3
+
+    def test_task_nodes_carry_bindings(self):
+        chart = linear_chart("c", [("a", "SvcA", "doit")])
+        graph = flatten(chart)
+        node = graph.node("a")
+        assert node.binding.service == "SvcA"
+        assert node.binding.operation == "doit"
+
+    def test_edges_carry_guards(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "S", "op").task("b", "S", "op")
+            .final()
+            .choice("initial", {"a": "x = 1", "b": "x != 1"})
+            .arc("a", "final").arc("b", "final")
+            .build()
+        )
+        graph = flatten(chart)
+        guards = sorted(e.guard_text for e in graph.outgoing("initial"))
+        assert guards == ["x != 1", "x = 1"]
+
+    def test_unguarded_edge_guard_text_is_true(self):
+        graph = flatten(linear_chart("c", [("a", "S", "op")]))
+        assert all(
+            e.guard_text == "true" for e in graph.edges
+        )
+
+    def test_initial_node_unique(self):
+        graph = flatten(linear_chart("c", [("a", "S", "op")]))
+        assert graph.initial_node().node_id == "initial"
+
+    def test_node_lookup_error(self):
+        graph = flatten(linear_chart("c", [("a", "S", "op")]))
+        with pytest.raises(StatechartError):
+            graph.node("ghost")
+
+
+class TestCompoundFlattening:
+    def make(self):
+        inner = linear_chart("inner", [("x", "X", "op"), ("y", "Y", "op")])
+        return (
+            StatechartBuilder("outer")
+            .initial()
+            .compound("C", inner)
+            .final()
+            .chain("initial", "C", "final")
+            .build()
+        )
+
+    def test_inner_states_qualified(self):
+        graph = flatten(self.make())
+        ids = set(graph.node_ids)
+        assert "C/x" in ids and "C/y" in ids
+
+    def test_inner_pseudo_states_become_routes(self):
+        graph = flatten(self.make())
+        assert graph.node("C/initial").kind is NodeKind.ROUTE
+        assert graph.node("C/final").kind is NodeKind.ROUTE
+        assert graph.node("C/__exit").kind is NodeKind.ROUTE
+
+    def test_edge_into_compound_targets_inner_initial(self):
+        graph = flatten(self.make())
+        targets = [e.target for e in graph.outgoing("initial")]
+        assert targets == ["C/initial"]
+
+    def test_edge_out_of_compound_leaves_from_exit(self):
+        graph = flatten(self.make())
+        sources = [e.source for e in graph.incoming("final")]
+        assert sources == ["C/__exit"]
+
+    def test_multiple_inner_finals_gathered(self):
+        inner = (
+            StatechartBuilder("inner")
+            .initial()
+            .task("x", "X", "op")
+            .final("f1").final("f2")
+            .choice("x", {"f1": "ok = true", "f2": "ok != true"})
+            .arc("initial", "x")
+            .build()
+        )
+        chart = (
+            StatechartBuilder("outer")
+            .initial().compound("C", inner).final()
+            .chain("initial", "C", "final")
+            .build()
+        )
+        graph = flatten(chart)
+        exit_sources = {e.source for e in graph.incoming("C/__exit")}
+        assert exit_sources == {"C/f1", "C/f2"}
+
+
+class TestAndFlattening:
+    def make(self, regions=2):
+        region = lambda i: linear_chart(f"r{i}", [(f"t{i}", f"S{i}", "op")])
+        return (
+            StatechartBuilder("outer")
+            .initial()
+            .parallel("P", [region(i) for i in range(regions)])
+            .final()
+            .chain("initial", "P", "final")
+            .build()
+        )
+
+    def test_fork_and_join_created(self):
+        graph = flatten(self.make())
+        assert graph.node("P/__fork").kind is NodeKind.FORK
+        assert graph.node("P/__join").kind is NodeKind.JOIN
+
+    def test_fork_fans_out_to_all_regions(self):
+        graph = flatten(self.make(3))
+        assert len(graph.outgoing("P/__fork")) == 3
+
+    def test_join_collects_all_regions(self):
+        graph = flatten(self.make(3))
+        assert len(graph.incoming("P/__join")) == 3
+
+    def test_region_nodes_qualified_per_region(self):
+        graph = flatten(self.make())
+        ids = set(graph.node_ids)
+        assert "P/r0/t0" in ids
+        assert "P/r1/t1" in ids
+
+    def test_control_vs_task_partition(self):
+        graph = flatten(self.make())
+        task_ids = {n.node_id for n in graph.task_nodes()}
+        control_ids = {n.node_id for n in graph.control_nodes()}
+        assert task_ids == {"P/r0/t0", "P/r1/t1"}
+        assert task_ids.isdisjoint(control_ids)
+        assert task_ids | control_ids == set(graph.node_ids)
+
+
+class TestTravelChartFlattening:
+    def test_travel_graph_shape(self):
+        graph = flatten(build_travel_chart())
+        kinds = {n.node_id: n.kind for n in graph.nodes}
+        # the six service tasks of the paper's figure
+        assert kinds["trip/r0/DFB"] is NodeKind.TASK
+        assert kinds["trip/r0/ITA/IFB"] is NodeKind.TASK
+        assert kinds["trip/r0/ITA/TI"] is NodeKind.TASK
+        assert kinds["trip/r0/AB"] is NodeKind.TASK
+        assert kinds["trip/r1/AS"] is NodeKind.TASK
+        assert kinds["CR"] is NodeKind.TASK
+        # parallel structure
+        assert kinds["trip/__fork"] is NodeKind.FORK
+        assert kinds["trip/__join"] is NodeKind.JOIN
+
+    def test_travel_join_guards_route_to_cr_or_final(self):
+        graph = flatten(build_travel_chart())
+        guards = {e.target: e.guard_text
+                  for e in graph.outgoing("trip/__join")}
+        assert guards["CR"].startswith("not near")
+        assert guards["final"].startswith("near")
+
+    def test_deterministic_edge_ids(self):
+        g1 = flatten(build_travel_chart())
+        g2 = flatten(build_travel_chart())
+        assert [e.edge_id for e in g1.edges] == [e.edge_id for e in g2.edges]
+        assert g1.node_ids == g2.node_ids

@@ -1,0 +1,184 @@
+"""Statechart object-model tests."""
+
+import pytest
+
+from repro.exceptions import StatechartError
+from repro.statecharts.model import (
+    Assignment,
+    ServiceBinding,
+    State,
+    StateKind,
+    Statechart,
+    Transition,
+)
+
+
+def make_binding(service="S", operation="op"):
+    return ServiceBinding(service=service, operation=operation)
+
+
+def simple_chart():
+    chart = Statechart("c")
+    chart.add_state(State("i", "i", StateKind.INITIAL))
+    chart.add_state(State("t", "t", StateKind.BASIC, binding=make_binding()))
+    chart.add_state(State("f", "f", StateKind.FINAL))
+    chart.add_transition(Transition("t1", "i", "t"))
+    chart.add_transition(Transition("t2", "t", "f"))
+    return chart
+
+
+class TestStateConstruction:
+    def test_basic_state_requires_binding(self):
+        with pytest.raises(StatechartError, match="requires a service"):
+            State("s", "s", StateKind.BASIC)
+
+    def test_pseudo_state_rejects_binding(self):
+        with pytest.raises(StatechartError, match="cannot carry"):
+            State("s", "s", StateKind.INITIAL, binding=make_binding())
+
+    def test_compound_requires_chart(self):
+        with pytest.raises(StatechartError, match="nested chart"):
+            State("s", "s", StateKind.COMPOUND)
+
+    def test_and_requires_two_regions(self):
+        with pytest.raises(StatechartError, match="two regions"):
+            State("s", "s", StateKind.AND, regions=[Statechart("r")])
+
+    def test_is_pseudo(self):
+        assert State("i", "i", StateKind.INITIAL).is_pseudo
+        assert State("f", "f", StateKind.FINAL).is_pseudo
+        assert not State(
+            "b", "b", StateKind.BASIC, binding=make_binding()
+        ).is_pseudo
+
+
+class TestServiceBinding:
+    def test_mappings_are_copied(self):
+        inputs = {"a": "x"}
+        binding = ServiceBinding("S", "op", input_mapping=inputs)
+        inputs["b"] = "y"
+        assert "b" not in binding.input_mapping
+
+
+class TestChartConstruction:
+    def test_empty_name_rejected(self):
+        with pytest.raises(StatechartError):
+            Statechart("")
+
+    def test_duplicate_state_id_rejected(self):
+        chart = Statechart("c")
+        chart.add_state(State("s", "s", StateKind.INITIAL))
+        with pytest.raises(StatechartError, match="duplicate state"):
+            chart.add_state(State("s", "s2", StateKind.FINAL))
+
+    def test_duplicate_transition_id_rejected(self):
+        chart = simple_chart()
+        with pytest.raises(StatechartError, match="duplicate transition"):
+            chart.add_transition(Transition("t1", "i", "f"))
+
+    def test_transition_to_unknown_state_rejected(self):
+        chart = Statechart("c")
+        chart.add_state(State("i", "i", StateKind.INITIAL))
+        with pytest.raises(StatechartError, match="unknown state"):
+            chart.add_transition(Transition("t1", "i", "ghost"))
+
+    def test_state_lookup(self):
+        chart = simple_chart()
+        assert chart.state("t").kind is StateKind.BASIC
+        with pytest.raises(StatechartError):
+            chart.state("nope")
+        assert chart.has_state("t")
+        assert not chart.has_state("nope")
+
+    def test_transition_lookup(self):
+        chart = simple_chart()
+        assert chart.transition("t1").target == "t"
+        with pytest.raises(StatechartError):
+            chart.transition("ghost")
+
+
+class TestAdjacency:
+    def test_outgoing_incoming(self):
+        chart = simple_chart()
+        assert [t.transition_id for t in chart.outgoing("i")] == ["t1"]
+        assert [t.transition_id for t in chart.incoming("f")] == ["t2"]
+
+    def test_outgoing_of_unknown_state_raises(self):
+        with pytest.raises(StatechartError):
+            simple_chart().outgoing("ghost")
+
+    def test_initial_final_queries(self):
+        chart = simple_chart()
+        assert chart.initial_state().state_id == "i"
+        assert [s.state_id for s in chart.final_states()] == ["f"]
+
+    def test_initial_state_ambiguous_raises(self):
+        chart = Statechart("c")
+        chart.add_state(State("i1", "i1", StateKind.INITIAL))
+        chart.add_state(State("i2", "i2", StateKind.INITIAL))
+        with pytest.raises(StatechartError, match="exactly one"):
+            chart.initial_state()
+
+
+class TestHierarchyIteration:
+    def make_nested(self):
+        inner = simple_chart()
+        outer = Statechart("outer")
+        outer.add_state(State("i", "i", StateKind.INITIAL))
+        outer.add_state(State("C", "C", StateKind.COMPOUND, chart=inner))
+        region_a = simple_chart()
+        region_b = Statechart("rb")
+        region_b.add_state(State("i", "i", StateKind.INITIAL))
+        region_b.add_state(State(
+            "u", "u", StateKind.BASIC,
+            binding=make_binding("U", "go"),
+        ))
+        region_b.add_state(State("f", "f", StateKind.FINAL))
+        region_b.add_transition(Transition("t1", "i", "u"))
+        region_b.add_transition(Transition("t2", "u", "f"))
+        outer.add_state(State("P", "P", StateKind.AND,
+                              regions=[region_a, region_b]))
+        outer.add_state(State("f", "f", StateKind.FINAL))
+        outer.add_transition(Transition("t1", "i", "C"))
+        outer.add_transition(Transition("t2", "C", "P"))
+        outer.add_transition(Transition("t3", "P", "f"))
+        return outer
+
+    def test_iter_all_states_includes_nested(self):
+        outer = self.make_nested()
+        qualified = [q for q, _s in outer.iter_all_states()]
+        assert "C/t" in qualified
+        assert "P/r1/u" in qualified
+
+    def test_qualified_ids_are_unique(self):
+        outer = self.make_nested()
+        qualified = [q for q, _s in outer.iter_all_states()]
+        assert len(qualified) == len(set(qualified))
+
+    def test_service_names_deduplicated(self):
+        outer = self.make_nested()
+        names = outer.service_names()
+        assert names.count("S") == 1
+        assert "U" in names
+
+    def test_basic_state_count(self):
+        assert self.make_nested().basic_state_count() == 3
+
+
+class TestTransitionDescribe:
+    def test_guard_text_default(self):
+        assert Transition("t", "a", "b").guard_text == "true"
+        assert Transition("t", "a", "b", condition=" x ").guard_text == "x"
+
+    def test_describe_with_all_parts(self):
+        transition = Transition(
+            "t", "a", "b", event="go", condition="x > 1",
+            actions=(Assignment("y", "x + 1"),),
+        )
+        text = transition.describe()
+        assert "go" in text
+        assert "[x > 1]" in text
+        assert "y := x + 1" in text
+
+    def test_describe_completion_transition(self):
+        assert "(completion)" in Transition("t", "a", "b").describe()

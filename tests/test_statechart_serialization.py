@@ -1,0 +1,152 @@
+"""Statechart XML round-trip tests."""
+
+import pytest
+
+from repro.exceptions import XmlError
+from repro.statecharts.builder import StatechartBuilder, linear_chart
+from repro.statecharts.model import StateKind
+from repro.statecharts.serialization import (
+    statechart_from_xml,
+    statechart_to_xml,
+)
+from repro.xmlio import pretty_xml, to_string
+from repro.demo.travel import build_travel_chart
+
+
+def roundtrip(chart):
+    return statechart_from_xml(to_string(statechart_to_xml(chart)))
+
+
+def charts_equal(a, b):
+    """Structural equality check used by the round-trip tests."""
+    if a.name != b.name:
+        return False
+    if sorted(a.state_ids) != sorted(b.state_ids):
+        return False
+    for state in a.states:
+        other = b.state(state.state_id)
+        if state.kind is not other.kind or state.name != other.name:
+            return False
+        if (state.binding is None) != (other.binding is None):
+            return False
+        if state.binding is not None:
+            if (state.binding.service != other.binding.service
+                    or state.binding.operation != other.binding.operation
+                    or dict(state.binding.input_mapping)
+                    != dict(other.binding.input_mapping)
+                    or dict(state.binding.output_mapping)
+                    != dict(other.binding.output_mapping)):
+                return False
+        if state.kind is StateKind.COMPOUND:
+            if not charts_equal(state.chart, other.chart):
+                return False
+        if state.kind is StateKind.AND:
+            if len(state.regions) != len(other.regions):
+                return False
+            for ra, rb in zip(state.regions, other.regions):
+                if not charts_equal(ra, rb):
+                    return False
+    ta = {t.transition_id: t for t in a.transitions}
+    tb = {t.transition_id: t for t in b.transitions}
+    if set(ta) != set(tb):
+        return False
+    for tid, t in ta.items():
+        o = tb[tid]
+        if (t.source, t.target, t.event, t.condition.strip()) != (
+            o.source, o.target, o.event, o.condition.strip()
+        ):
+            return False
+        if tuple(t.actions) != tuple(o.actions):
+            return False
+    return True
+
+
+class TestRoundTrip:
+    def test_linear_chart(self):
+        chart = linear_chart("c", [("a", "S", "op"), ("b", "T", "op")])
+        assert charts_equal(chart, roundtrip(chart))
+
+    def test_chart_with_mappings_guards_actions(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "S", "op",
+                  inputs={"p": "x + 1"}, outputs={"r": "out"})
+            .final()
+            .arc("initial", "a", condition="x > 0", event="go",
+                 actions=[("y", "x * 2")])
+            .arc("a", "final")
+            .build()
+        )
+        assert charts_equal(chart, roundtrip(chart))
+
+    def test_travel_chart_full_roundtrip(self):
+        chart = build_travel_chart()
+        assert charts_equal(chart, roundtrip(chart))
+
+    def test_roundtrip_is_stable(self):
+        """Serialise(parse(serialise(x))) == serialise(x)."""
+        chart = build_travel_chart()
+        once = to_string(statechart_to_xml(chart))
+        twice = to_string(statechart_to_xml(statechart_from_xml(once)))
+        assert once == twice
+
+    def test_pretty_form_also_parses(self):
+        chart = build_travel_chart()
+        text = pretty_xml(statechart_to_xml(chart))
+        assert charts_equal(chart, statechart_from_xml(text))
+
+
+class TestXmlShape:
+    def test_document_tag(self):
+        node = statechart_to_xml(linear_chart("c", [("a", "S", "op")]))
+        assert node.tag == "statechart"
+        assert node.get("name") == "c"
+
+    def test_binding_rendered(self):
+        node = statechart_to_xml(linear_chart("c", [("a", "SvcA", "doit")]))
+        binding = node.find("state[@id='a']/binding")
+        assert binding.get("service") == "SvcA"
+        assert binding.get("operation") == "doit"
+
+    def test_condition_as_child_element(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial().final()
+            .arc("initial", "final", condition="x = 1")
+            .build()
+        )
+        node = statechart_to_xml(chart)
+        assert node.find("transition/condition").text == "x = 1"
+
+
+class TestParseErrors:
+    def test_wrong_root_tag(self):
+        with pytest.raises(XmlError, match="expected <statechart>"):
+            statechart_from_xml("<other/>")
+
+    def test_unknown_state_kind(self):
+        text = (
+            "<statechart name='c'>"
+            "<state id='x' kind='weird'/>"
+            "</statechart>"
+        )
+        with pytest.raises(XmlError, match="unknown kind"):
+            statechart_from_xml(text)
+
+    def test_compound_missing_inner_chart(self):
+        text = (
+            "<statechart name='c'>"
+            "<state id='x' kind='compound'/>"
+            "</statechart>"
+        )
+        with pytest.raises(XmlError, match="missing its nested"):
+            statechart_from_xml(text)
+
+    def test_malformed_xml(self):
+        with pytest.raises(XmlError):
+            statechart_from_xml("<statechart name='c'>")
+
+    def test_missing_required_attribute(self):
+        with pytest.raises(XmlError):
+            statechart_from_xml("<statechart name='c'><state kind='final'/></statechart>")

@@ -1,0 +1,263 @@
+"""Structural validation tests."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.statecharts.builder import StatechartBuilder
+from repro.statecharts.model import State, StateKind, Statechart, Transition, ServiceBinding
+from repro.statecharts.validation import (
+    find_overlapping_choice_guards,
+    validate,
+)
+
+
+def valid_chart():
+    return (
+        StatechartBuilder("ok")
+        .initial()
+        .task("a", "S", "op")
+        .final()
+        .chain("initial", "a", "final")
+        .build()
+    )
+
+
+def problems_of(chart):
+    return [str(p) for p in validate(chart, raise_on_error=False)]
+
+
+class TestValidCharts:
+    def test_simple_chart_is_valid(self):
+        assert validate(valid_chart()) == []
+
+    def test_xor_chart_is_valid(self):
+        chart = (
+            StatechartBuilder("xor")
+            .initial()
+            .task("a", "S", "op").task("b", "S", "op")
+            .final()
+            .choice("initial", {"a": "x = 1", "b": "x != 1"})
+            .arc("a", "final").arc("b", "final")
+            .build()
+        )
+        assert validate(chart) == []
+
+    def test_loop_is_valid(self):
+        chart = (
+            StatechartBuilder("loop")
+            .initial()
+            .task("a", "S", "op")
+            .final()
+            .chain("initial", "a")
+            .arc("a", "a", condition="retry = true")
+            .arc("a", "final", condition="retry != true")
+            .build()
+        )
+        assert validate(chart) == []
+
+
+class TestStructuralProblems:
+    def test_missing_initial(self):
+        chart = Statechart("c")
+        chart.add_state(State("f", "f", StateKind.FINAL))
+        assert any("exactly one initial" in p for p in problems_of(chart))
+
+    def test_two_initials(self):
+        chart = Statechart("c")
+        chart.add_state(State("i1", "i1", StateKind.INITIAL))
+        chart.add_state(State("i2", "i2", StateKind.INITIAL))
+        chart.add_state(State("f", "f", StateKind.FINAL))
+        chart.add_transition(Transition("t1", "i1", "f"))
+        chart.add_transition(Transition("t2", "i2", "f"))
+        assert any("exactly one initial" in p for p in problems_of(chart))
+
+    def test_missing_final(self):
+        chart = Statechart("c")
+        chart.add_state(State("i", "i", StateKind.INITIAL))
+        chart.add_state(State(
+            "a", "a", StateKind.BASIC,
+            binding=ServiceBinding("S", "op"),
+        ))
+        chart.add_transition(Transition("t1", "i", "a"))
+        chart.add_transition(Transition("t2", "a", "a"))
+        assert any("at least one final" in p for p in problems_of(chart))
+
+    def test_initial_with_incoming_rejected(self):
+        chart = valid_chart()
+        chart.add_transition(Transition("bad", "a", "initial"))
+        assert any("incoming" in p for p in problems_of(chart))
+
+    def test_final_with_outgoing_rejected(self):
+        chart = valid_chart()
+        chart.add_transition(Transition("bad", "final", "a"))
+        assert any(
+            "final state cannot have outgoing" in p
+            for p in problems_of(chart)
+        )
+
+    def test_unreachable_state_detected(self):
+        chart = valid_chart()
+        chart.add_state(State(
+            "orphan", "orphan", StateKind.BASIC,
+            binding=ServiceBinding("S", "op"),
+        ))
+        chart.add_transition(Transition("t9", "orphan", "final"))
+        found = problems_of(chart)
+        assert any("orphan" in p and "no incoming" in p for p in found)
+        assert any("not reachable" in p for p in found)
+
+    def test_dead_end_state_detected(self):
+        chart = valid_chart()
+        chart.add_state(State(
+            "sink", "sink", StateKind.BASIC,
+            binding=ServiceBinding("S", "op"),
+        ))
+        chart.add_transition(Transition("t9", "a", "sink"))
+        assert any("dead end" in p for p in problems_of(chart))
+
+    def test_no_reachable_final_detected(self):
+        chart = Statechart("c")
+        chart.add_state(State("i", "i", StateKind.INITIAL))
+        chart.add_state(State(
+            "a", "a", StateKind.BASIC,
+            binding=ServiceBinding("S", "op"),
+        ))
+        chart.add_state(State("f", "f", StateKind.FINAL))
+        chart.add_transition(Transition("t1", "i", "a"))
+        chart.add_transition(Transition("t2", "a", "a"))
+        assert any(
+            "no final state is reachable" in p for p in problems_of(chart)
+        )
+
+    def test_raises_collected_problems(self):
+        chart = Statechart("c")
+        chart.add_state(State("f", "f", StateKind.FINAL))
+        with pytest.raises(ValidationError) as err:
+            validate(chart)
+        assert len(err.value.problems) >= 1
+
+
+class TestExpressionProblems:
+    def test_bad_guard_reported(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial().final()
+            .arc("initial", "final", condition="x >")
+            .build()
+        )
+        assert any("bad expression" in p for p in problems_of(chart))
+
+    def test_bad_action_reported(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial().final()
+            .arc("initial", "final", actions=[("y", "((")])
+            .build()
+        )
+        assert any("bad expression" in p for p in problems_of(chart))
+
+    def test_bad_action_target_reported(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial().final()
+            .arc("initial", "final", actions=[("not-a-name", "1")])
+            .build()
+        )
+        assert any("not a valid" in p for p in problems_of(chart))
+
+    def test_bad_input_mapping_reported(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "S", "op", inputs={"p": "1 +"})
+            .final()
+            .chain("initial", "a", "final")
+            .build()
+        )
+        assert any("input mapping" in p for p in problems_of(chart))
+
+    def test_empty_service_name_reported(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "", "op")
+            .final()
+            .chain("initial", "a", "final")
+            .build()
+        )
+        assert any("empty service name" in p for p in problems_of(chart))
+
+
+class TestNestedValidation:
+    def test_problems_in_compound_surface(self):
+        bad_inner = Statechart("inner")
+        bad_inner.add_state(State("f", "f", StateKind.FINAL))
+        chart = (
+            StatechartBuilder("outer")
+            .initial()
+            .compound("C", bad_inner)
+            .final()
+            .chain("initial", "C", "final")
+            .build()
+        )
+        assert any("[inner]" in p for p in problems_of(chart))
+
+    def test_problems_in_and_region_surface(self):
+        bad_region = Statechart("region")
+        bad_region.add_state(State("f", "f", StateKind.FINAL))
+        good_region = (
+            StatechartBuilder("good")
+            .initial().final().arc("initial", "final")
+            .build()
+        )
+        chart = (
+            StatechartBuilder("outer")
+            .initial()
+            .parallel("P", [bad_region, good_region])
+            .final()
+            .chain("initial", "P", "final")
+            .build()
+        )
+        assert any("[region]" in p for p in problems_of(chart))
+
+
+class TestOverlapWarnings:
+    def test_identical_guards_warned(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "S", "op").task("b", "S", "op")
+            .final()
+            .arc("initial", "a", condition="x = 1")
+            .arc("initial", "b", condition="x = 1")
+            .arc("a", "final").arc("b", "final")
+            .build()
+        )
+        warnings = find_overlapping_choice_guards(chart)
+        assert len(warnings) == 1
+        assert "ambiguous" in str(warnings[0])
+
+    def test_two_unguarded_branches_warned(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "S", "op").task("b", "S", "op")
+            .final()
+            .arc("initial", "a")
+            .arc("initial", "b")
+            .arc("a", "final").arc("b", "final")
+            .build()
+        )
+        assert len(find_overlapping_choice_guards(chart)) == 1
+
+    def test_distinct_guards_not_warned(self):
+        chart = (
+            StatechartBuilder("c")
+            .initial()
+            .task("a", "S", "op").task("b", "S", "op")
+            .final()
+            .choice("initial", {"a": "x = 1", "b": "x != 1"})
+            .arc("a", "final").arc("b", "final")
+            .build()
+        )
+        assert find_overlapping_choice_guards(chart) == []

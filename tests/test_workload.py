@@ -1,0 +1,140 @@
+"""Synthetic workload generator and harness tests."""
+
+import pytest
+
+from repro.statecharts.analysis import analyze
+from repro.statecharts.validation import validate
+from repro.workload.generator import (
+    GeneratorParams,
+    make_chain_workload,
+    make_parallel_workload,
+    make_workload,
+)
+from repro.workload.harness import (
+    build_sim_environment,
+    composite_for_workload,
+    deploy_workload_services,
+    run_central,
+    run_p2p,
+)
+
+
+class TestGenerator:
+    def test_chain_workload_shape(self):
+        workload = make_chain_workload(tasks=5)
+        assert workload.task_count == 5
+        assert workload.xor_count == 0
+        assert workload.and_count == 0
+        assert validate(workload.chart) == []
+        assert not analyze(workload.chart).has_cycle
+
+    def test_parallel_workload_shape(self):
+        workload = make_parallel_workload(branches=4)
+        assert workload.task_count == 4
+        assert workload.and_count == 1
+        assert validate(workload.chart) == []
+
+    def test_mixed_workload_valid(self):
+        workload = make_workload(tasks=20, p_xor=0.3, p_and=0.3, seed=3)
+        assert validate(workload.chart) == []
+        assert workload.task_count == len(workload.services)
+
+    def test_workloads_deterministic_per_seed(self):
+        a = make_workload(tasks=12, p_xor=0.4, seed=9)
+        b = make_workload(tasks=12, p_xor=0.4, seed=9)
+        assert a.chart.state_ids == b.chart.state_ids
+        assert a.request_args == b.request_args
+
+    def test_different_seeds_differ(self):
+        a = make_workload(tasks=12, p_xor=0.5, p_and=0.3, seed=1)
+        b = make_workload(tasks=12, p_xor=0.5, p_and=0.3, seed=2)
+        assert (a.chart.state_ids != b.chart.state_ids
+                or a.request_args != b.request_args)
+
+    def test_xor_branch_vars_in_request_args(self):
+        workload = make_workload(tasks=10, p_xor=0.9, p_and=0.0, seed=4)
+        assert workload.xor_count > 0
+        assert all(k.startswith("branch_") for k in workload.request_args)
+
+    def test_params_and_overrides_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            make_workload(GeneratorParams(), tasks=5)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_many_seeds_produce_valid_charts(self, seed):
+        workload = make_workload(tasks=15, p_xor=0.35, p_and=0.35,
+                                 seed=seed)
+        assert validate(workload.chart) == []
+
+
+class TestHarness:
+    def test_chain_runs_on_both_architectures(self):
+        workload = make_chain_workload(tasks=4, seed=0)
+        env = build_sim_environment(seed=0)
+        deploy_workload_services(env, workload)
+        composite = composite_for_workload(workload)
+        args = [dict(workload.request_args) for _ in range(5)]
+        p2p = run_p2p(env, composite, args)
+        central = run_central(env, composite, args)
+        assert p2p.successes == 5
+        assert central.successes == 5
+        assert p2p.mean_latency_ms > 0
+        assert central.mean_latency_ms > 0
+
+    def test_xor_workload_succeeds(self):
+        workload = make_workload(tasks=12, p_xor=0.5, p_and=0.0, seed=5)
+        env = build_sim_environment(seed=5)
+        deploy_workload_services(env, workload)
+        composite = composite_for_workload(workload)
+        report = run_p2p(env, composite, [dict(workload.request_args)])
+        assert report.successes == 1
+
+    def test_and_workload_succeeds(self):
+        workload = make_workload(tasks=12, p_xor=0.0, p_and=0.7, seed=6)
+        env = build_sim_environment(seed=6)
+        deploy_workload_services(env, workload)
+        composite = composite_for_workload(workload)
+        report = run_p2p(env, composite, [dict(workload.request_args)])
+        assert report.successes == 1
+
+    def test_report_row_fields(self):
+        workload = make_chain_workload(tasks=3, seed=0)
+        env = build_sim_environment(seed=0)
+        deploy_workload_services(env, workload)
+        report = run_p2p(env, composite_for_workload(workload),
+                         [dict(workload.request_args)])
+        row = report.row()
+        assert row["arch"] == "p2p"
+        assert row["execs"] == 1
+        assert row["msgs"] > 0
+        assert 0.0 < row["concentration"] <= 1.0
+
+    def test_interarrival_staggers_makespan(self):
+        workload = make_chain_workload(tasks=3, seed=0,
+                                       service_latency_ms=1.0)
+        env = build_sim_environment(seed=0)
+        deploy_workload_services(env, workload)
+        composite = composite_for_workload(workload)
+        args = [dict(workload.request_args) for _ in range(10)]
+        burst = run_p2p(env, composite, args)
+        spaced = run_p2p(env, composite, args, interarrival_ms=100.0)
+        assert spaced.makespan_ms > burst.makespan_ms + 500
+
+    def test_harness_cleans_up_between_runs(self):
+        """run_p2p must undeploy so a second run can redeploy."""
+        workload = make_chain_workload(tasks=3, seed=0)
+        env = build_sim_environment(seed=0)
+        deploy_workload_services(env, workload)
+        composite = composite_for_workload(workload)
+        run_p2p(env, composite, [dict(workload.request_args)])
+        report = run_p2p(env, composite, [dict(workload.request_args)])
+        assert report.successes == 1
+
+    def test_stats_reset_between_runs(self):
+        workload = make_chain_workload(tasks=3, seed=0)
+        env = build_sim_environment(seed=0)
+        deploy_workload_services(env, workload)
+        composite = composite_for_workload(workload)
+        one = run_p2p(env, composite, [dict(workload.request_args)])
+        two = run_p2p(env, composite, [dict(workload.request_args)])
+        assert abs(one.messages_total - two.messages_total) <= 2
