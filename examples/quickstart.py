@@ -1,19 +1,19 @@
 #!/usr/bin/env python
 """Quickstart: compose two services and execute the composite, P2P-style.
 
-Covers the minimal SELF-SERV loop:
+Covers the minimal SELF-SERV loop on the v2 ``Platform`` API:
 
 1. implement two elementary services,
-2. deploy them on their provider hosts,
-3. draw a statechart wiring them into a composite service,
+2. register them fluently on their provider hosts,
+3. draw a statechart on a composition canvas wiring them together,
 4. deploy the composite (routing tables generated + coordinators placed),
-5. execute it from a client and read the result.
+5. submit an execution from a session, hold the handle, read the result,
+6. fan a batch of executions out concurrently with submit_many/gather.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import ServiceManager, SimTransport, StatechartBuilder
-from repro.services.composite import CompositeService
+from repro import Platform
 from repro.services.description import (
     OperationSpec,
     Parameter,
@@ -62,59 +62,64 @@ def make_converter_service() -> ElementaryService:
 
 
 def main() -> None:
-    transport = SimTransport()
-    manager = ServiceManager(transport)
+    platform = Platform()  # deterministic simulated network
 
     # 1-2. Providers register (deploy + publish) their services.
-    manager.register_elementary(make_quote_service(), host="fxco-host")
-    manager.register_elementary(make_converter_service(),
-                                host="calcco-host")
+    platform.provider("fxco-host").elementary(make_quote_service())
+    platform.provider("calcco-host").elementary(make_converter_service())
 
-    # 3. A composer draws the statechart: quote, then convert.
-    chart = (
-        StatechartBuilder("convertMoney")
-        .initial()
-        .task("Q", "QuoteService", "quote",
-              inputs={"currency": "currency"},
-              outputs={"rate": "rate"})
-        .task("X", "ConverterService", "convert",
-              inputs={"amount": "amount", "rate": "rate"},
-              outputs={"converted": "converted"})
-        .final()
-        .chain("initial", "Q", "X", "final")
-        .build()
+    # 3. A composer opens a composition and draws the statechart on its
+    #    canvas: quote, then convert.
+    converter = platform.compose("MoneyConverter", provider="DemoCorp")
+    canvas = converter.operation(
+        "convertMoney",
+        inputs=[("currency", ParameterType.STRING),
+                ("amount", ParameterType.FLOAT)],
+        outputs=[("converted", ParameterType.FLOAT),
+                 ("rate", ParameterType.FLOAT)],
     )
-    composite = CompositeService(
-        ServiceDescription("MoneyConverter", provider="DemoCorp")
-    )
-    composite.define_operation(
-        OperationSpec(
-            "convertMoney",
-            inputs=(Parameter("currency", ParameterType.STRING),
-                    Parameter("amount", ParameterType.FLOAT)),
-            outputs=(Parameter("converted", ParameterType.FLOAT),
-                     Parameter("rate", ParameterType.FLOAT)),
-        ),
-        chart,
-    )
+    (canvas.initial()
+           .task("Q", "QuoteService", "quote",
+                 inputs={"currency": "currency"},
+                 outputs={"rate": "rate"})
+           .task("X", "ConverterService", "convert",
+                 inputs={"amount": "amount", "rate": "rate"},
+                 outputs={"converted": "converted"})
+           .final()
+           .chain("initial", "Q", "X", "final"))
 
     # 4. Deploy: routing tables are generated from the statechart and one
     #    coordinator per state is installed on the provider hosts.
-    deployment = manager.deploy_composite(composite, host="demo-host")
+    deployment = converter.deploy(host="demo-host")
     print(deployment.describe())
     print()
 
-    # 5. Execute from an end-user client.
-    client = manager.client("quickstart-user", "laptop")
-    result = client.execute(
-        *deployment.address, "convertMoney",
-        {"currency": "EUR", "amount": 250.0},
-    )
+    # 5. Execute from an end-user session: submit returns a handle
+    #    immediately; result() blocks only when you ask for the outcome.
+    session = platform.session("quickstart-user", "laptop")
+    handle = session.submit("MoneyConverter", "convertMoney",
+                            {"currency": "EUR", "amount": 250.0})
+    result = handle.result()
     print(f"status    : {result.status}")
     print(f"outputs   : {result.outputs}")
-    print(f"messages  : {transport.stats.sent_total} total, "
-          f"{transport.stats.remote_total} across hosts")
+    print(f"hops      : {len(handle.trace().events)} traced messages "
+          f"across {len(handle.trace().hosts_touched())} hosts")
     assert result.ok and result.outputs["converted"] == 152.5
+
+    # 6. Batch fan-out: all three conversions overlap on the network —
+    #    gather blocks once and returns results in submission order.
+    binding = platform.locate("MoneyConverter")
+    handles = session.submit_many([
+        (binding, "convertMoney", {"currency": code, "amount": 100.0})
+        for code in ("EUR", "USD", "JPY")
+    ])
+    batch = session.gather(handles)
+    for code, res in zip(("EUR", "USD", "JPY"), batch):
+        print(f"100.0 -> {res.outputs['converted']:>8} {code}")
+    assert all(res.ok for res in batch)
+
+    print(f"messages  : {platform.transport.stats.sent_total} total, "
+          f"{platform.transport.stats.remote_total} across hosts")
 
 
 if __name__ == "__main__":

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""The paper's demo scenario (§4, Figure 2), end to end.
+"""The paper's demo scenario (§4, Figure 2), end to end on the v2 API.
 
 Reproduces the demo walkthrough: defining the travel composite in the
 editor (statechart + generated XML document), deploying it (routing
@@ -11,10 +11,14 @@ that exercise all four control-flow paths:
 * paris   — international arrangements incl. insurance, near (no car)
 * tokyo   — international arrangements incl. insurance, far (car!)
 
+The executions are submitted as one batch: all four trips travel the
+peer-to-peer network concurrently and ``gather`` collects the results in
+submission order.
+
 Run:  python examples/travel_scenario.py
 """
 
-from repro import ServiceManager, SimTransport
+from repro import Platform
 from repro.editor.rendering import render_statechart
 from repro.demo.travel import (
     build_travel_chart,
@@ -23,10 +27,11 @@ from repro.demo.travel import (
 from repro.editor.document import composite_to_xml
 from repro.xmlio import pretty_xml
 
+DESTINATIONS = ("sydney", "cairns", "paris", "tokyo")
+
 
 def main() -> None:
-    transport = SimTransport()
-    manager = ServiceManager(transport)
+    platform = Platform()
 
     print("=" * 72)
     print("FIGURE 2 — the travel composite's statechart (editor canvas)")
@@ -34,7 +39,7 @@ def main() -> None:
     print(render_statechart(build_travel_chart()))
     print()
 
-    deployed = deploy_travel_scenario(manager.deployer)
+    deployed = deploy_travel_scenario(platform.deployer)
 
     print("=" * 72)
     print("FIGURE 2 — the generated XML document (editor XML panel, head)")
@@ -58,19 +63,22 @@ def main() -> None:
     print()
 
     print("=" * 72)
-    print("EXECUTION — all four control-flow paths")
+    print("EXECUTION — all four control-flow paths, one concurrent batch")
     print("=" * 72)
-    client = manager.client("traveller", "traveller-laptop")
+    session = platform.session("traveller", "traveller-laptop")
+    handles = session.submit_many([
+        (deployed.address, "arrangeTrip",
+         {"customer": "Alice", "destination": destination,
+          "departure_date": "2026-07-01", "return_date": "2026-07-10"})
+        for destination in DESTINATIONS
+    ])
+    results = session.gather(handles)
+
     header = (f"{'destination':<12} {'status':<8} {'flight':<12} "
               f"{'insurance':<11} {'car rental':<11} {'hotel'}")
     print(header)
     print("-" * len(header))
-    for destination in ("sydney", "cairns", "paris", "tokyo"):
-        result = client.execute(
-            *deployed.address, "arrangeTrip",
-            {"customer": "Alice", "destination": destination,
-             "departure_date": "2026-07-01", "return_date": "2026-07-10"},
-        )
+    for destination, result in zip(DESTINATIONS, results):
         outputs = result.outputs
         print(f"{destination:<12} {result.status:<8} "
               f"{(outputs.get('flight_ref') or '-'):<12} "
@@ -80,7 +88,12 @@ def main() -> None:
         assert result.ok
 
     print()
-    stats = transport.stats
+    print("one execution under the monitoring tap (first trip):")
+    timeline = handles[0].trace()
+    print(f"  services invoked: {', '.join(timeline.services_invoked())}")
+    print(f"  hosts touched   : {len(timeline.hosts_touched())}")
+    print()
+    stats = platform.transport.stats
     print(f"messages exchanged: {stats.sent_total} "
           f"({stats.remote_total} crossing hosts); peak host load: "
           f"{stats.peak_node_load()[0]} with "

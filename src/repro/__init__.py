@@ -9,23 +9,42 @@ routing tables, and fully decentralised peer-to-peer orchestration —
 plus the centralised baseline the paper argues against and a simulated
 network testbed to measure both.
 
+The public face is the v2 :class:`Platform` API — a declarative facade
+with fluent provider/composer flows and **handle-based execution**:
+``session.submit`` returns an :class:`ExecutionHandle` immediately, and
+``submit_many``/``gather`` fan batches of invocations out concurrently
+over the peer-to-peer network.
+
 Quickstart::
 
-    from repro import ServiceManager, SimTransport
+    from repro import Platform
     from repro.demo import deploy_travel_scenario
 
-    transport = SimTransport()
-    manager = ServiceManager(transport)
-    deployed = deploy_travel_scenario(manager.deployer)
-    client = manager.client("alice", "alice-laptop")
-    result = client.execute(
-        *deployed.address, "arrangeTrip",
+    platform = Platform()                     # deterministic sim network
+    deployed = deploy_travel_scenario(platform.deployer)
+    session = platform.session("alice", "alice-laptop")
+    handle = session.submit(
+        deployed.address, "arrangeTrip",
         {"customer": "Alice", "destination": "cairns",
          "departure_date": "2026-07-01", "return_date": "2026-07-10"},
     )
+    result = handle.result()
     assert result.ok and result.outputs["car_ref"]  # Cairns reef is far!
+
+The v1 :class:`ServiceManager` facade and blocking
+:class:`RuntimeClient` calls keep working as a compatibility layer.
 """
 
+from repro.api import (
+    Composition,
+    ExecutionHandle,
+    ExecutionResult,
+    Platform,
+    PlatformConfig,
+    ProviderSite,
+    ResolvedBinding,
+    Session,
+)
 from repro.exceptions import SelfServError
 from repro.manager import ServiceManager
 from repro.monitoring import ExecutionTracer
@@ -37,18 +56,29 @@ from repro.services.composite import CompositeService
 from repro.services.elementary import ElementaryService
 from repro.statecharts.builder import StatechartBuilder
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    # v2 API
+    "Platform",
+    "PlatformConfig",
+    "Session",
+    "ExecutionHandle",
+    "ExecutionResult",
+    "ResolvedBinding",
+    "Composition",
+    "ProviderSite",
+    # building blocks
     "CompositeService",
     "ElementaryService",
     "ExecutionTracer",
     "InProcTransport",
-    "RuntimeClient",
     "SelfServError",
     "ServiceCommunity",
-    "ServiceManager",
     "SimTransport",
     "StatechartBuilder",
+    # v1 compatibility layer
+    "RuntimeClient",
+    "ServiceManager",
     "__version__",
 ]

@@ -1,0 +1,176 @@
+"""Fluent registration and composition flows of the v2 API.
+
+``platform.provider("host")`` opens a :class:`ProviderSite` — a chainable
+registration surface for everything one provider hosts::
+
+    platform.provider("fxco-host").elementary(quote).community(pool)
+
+``platform.compose("TravelPlanner")`` opens a :class:`Composition` — the
+editor flow from draft to deployment::
+
+    trip = platform.compose("TravelPlanner", provider="Tours")
+    canvas = trip.operation("arrangeTrip", inputs=[...], outputs=[...])
+    ...  # draw the statechart on the canvas
+    deployment = trip.deploy(host="tours-host")
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.deployment.deployer import CompositeDeployment
+from repro.editor.drafts import CompositeDraft
+from repro.selection.policies import SelectionPolicy
+from repro.services.community import ServiceCommunity
+from repro.services.composite import CompositeService
+from repro.services.elementary import ElementaryService
+from repro.statecharts.builder import StatechartBuilder
+from repro.statecharts.model import Statechart
+from repro.statecharts.validation import Problem
+
+
+class ProviderSite:
+    """Chainable registration of services on one provider host."""
+
+    def __init__(self, platform: Any, host: str) -> None:
+        self.platform = platform
+        self.host = host
+        #: Wrapper runtimes installed through this site, by service name.
+        self.wrappers: "Dict[str, Any]" = {}
+        #: Composite deployments made through this site, by name.
+        self.deployments: "Dict[str, CompositeDeployment]" = {}
+
+    def elementary(
+        self,
+        service: ElementaryService,
+        category: str = "",
+        publish: bool = True,
+        rng: Optional[random.Random] = None,
+    ) -> "ProviderSite":
+        """Deploy (and by default publish) an elementary service here."""
+        wrapper = self.platform.register_elementary(
+            service, self.host, category=category, publish=publish, rng=rng,
+        )
+        self.wrappers[service.name] = wrapper
+        return self
+
+    def community(
+        self,
+        community: ServiceCommunity,
+        policy: "Union[SelectionPolicy, str, None]" = None,
+        category: str = "",
+        publish: bool = True,
+        timeout_ms: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+    ) -> "ProviderSite":
+        """Deploy (and by default publish) a service community here.
+
+        ``policy``/``timeout_ms`` default to the platform config's
+        ``default_selection_policy``/``community_timeout_ms``.
+        """
+        wrapper = self.platform.register_community(
+            community, self.host, policy=policy, category=category,
+            publish=publish, timeout_ms=timeout_ms,
+            max_attempts=max_attempts,
+        )
+        self.wrappers[community.name] = wrapper
+        return self
+
+    def composite(
+        self,
+        composite: "Union[CompositeService, CompositeDraft, Composition]",
+        category: str = "composite",
+        publish: bool = True,
+        default_timeout_ms: Optional[float] = None,
+    ) -> "ProviderSite":
+        """Deploy (and by default publish) a composite service here."""
+        deployment = self.platform.deploy_composite(
+            composite, self.host, category=category, publish=publish,
+            default_timeout_ms=default_timeout_ms,
+        )
+        self.deployments[deployment.composite.name] = deployment
+        return self
+
+    def wrapper(self, service_name: str) -> "Any":
+        """The wrapper runtime installed here for ``service_name``."""
+        return self.wrappers[service_name]
+
+    def deployment(self, composite_name: str) -> CompositeDeployment:
+        """The deployment made here for ``composite_name``."""
+        return self.deployments[composite_name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProviderSite {self.host!r} ({len(self.wrappers)} services)>"
+
+
+class Composition:
+    """The editor flow for one composite: draft, validate, deploy.
+
+    Thin fluent shell over :class:`CompositeDraft` — the draft stays
+    available through :meth:`draft` for direct editor work, and
+    :meth:`deploy` closes the loop through the platform's deployer.
+    """
+
+    def __init__(
+        self,
+        platform: Any,
+        name: str,
+        provider: str = "",
+        documentation: str = "",
+    ) -> None:
+        self.platform = platform
+        self._draft: CompositeDraft = platform.editor.new_draft(
+            name, provider, documentation
+        )
+
+    @property
+    def name(self) -> str:
+        return self._draft.name
+
+    def draft(self) -> CompositeDraft:
+        """The underlying editor draft (Figure 2's editing session)."""
+        return self._draft
+
+    def operation(
+        self,
+        name: str,
+        inputs: Sequence[Any] = (),
+        outputs: Sequence[Any] = (),
+        description: str = "",
+    ) -> StatechartBuilder:
+        """Declare an operation; returns its statechart canvas."""
+        return self._draft.operation(name, inputs, outputs, description)
+
+    def attach_chart(
+        self,
+        operation: str,
+        chart: "Union[Statechart, StatechartBuilder]",
+    ) -> "Composition":
+        """Attach (or replace) the statechart of a declared operation."""
+        self._draft.attach_chart(operation, chart)
+        return self
+
+    def check(self) -> "Tuple[List[Problem], List[Problem]]":
+        """Validate all charts; returns ``(errors, warnings)``."""
+        return self._draft.check()
+
+    def build(self) -> CompositeService:
+        """Build the composite service object without deploying it."""
+        return self._draft.build()
+
+    def deploy(
+        self,
+        host: str,
+        category: str = "composite",
+        publish: bool = True,
+        default_timeout_ms: Optional[float] = None,
+    ) -> CompositeDeployment:
+        """Deploy (and by default publish) the drafted composite."""
+        return self.platform.deploy_composite(
+            self._draft, host, category=category, publish=publish,
+            default_timeout_ms=default_timeout_ms,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Composition {self.name!r}>"

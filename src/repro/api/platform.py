@@ -1,0 +1,211 @@
+"""The :class:`Platform` facade — the public face of the library.
+
+One object wires the three SELF-SERV architecture modules (editor,
+deployer, discovery engine) over one transport, built declaratively from
+a :class:`~repro.api.config.PlatformConfig`::
+
+    platform = Platform()                         # deterministic sim net
+    platform.provider("fxco-host").elementary(make_quote_service())
+    deployment = (platform.compose("Converter", provider="DemoCorp")
+                  ... )                           # draft, then .deploy()
+
+    session = platform.session("alice", "alice-laptop")
+    handle = session.submit("Converter", "convertMoney", {...})
+    result = handle.result()                      # or batch: submit_many
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Union
+
+from repro.api.config import PlatformConfig
+from repro.api.fluent import Composition, ProviderSite
+from repro.api.handles import Session
+from repro.deployment.deployer import CompositeDeployment, Deployer
+from repro.discovery.engine import ServiceDiscoveryEngine
+from repro.editor.drafts import CompositeDraft, ServiceEditor
+from repro.exceptions import SelfServError
+from repro.monitoring.tracer import ExecutionTracer
+from repro.net.node import Node
+from repro.net.transport import Transport
+from repro.runtime.community_wrapper import CommunityWrapperRuntime
+from repro.runtime.directory import ServiceDirectory
+from repro.runtime.protocol import ResolvedBinding
+from repro.runtime.service_wrapper import ServiceWrapperRuntime
+from repro.selection.policies import SelectionPolicy
+from repro.services.community import ServiceCommunity
+from repro.services.composite import CompositeService
+from repro.services.elementary import ElementaryService
+
+
+class Platform:
+    """Facade over editor, deployer, discovery and handle-based execution.
+
+    Construct from a :class:`PlatformConfig` (or keyword overrides via
+    :meth:`simulated`); pass ``transport=`` to run on a pre-built
+    transport, e.g. one shared with a workload harness.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PlatformConfig] = None,
+        transport: Optional[Transport] = None,
+    ) -> None:
+        self.config = config or PlatformConfig()
+        self.transport = (
+            transport if transport is not None
+            else self.config.build_transport()
+        )
+        self.directory = ServiceDirectory()
+        self.deployer = Deployer(
+            self.transport,
+            self.directory,
+            registry=self.config.registry,
+            placement=self.config.build_placement(),
+        )
+        self.discovery = ServiceDiscoveryEngine(self.transport,
+                                                self.directory)
+        self.editor = ServiceEditor()
+        self.tracer: Optional[ExecutionTracer] = (
+            ExecutionTracer(self.transport).attach()
+            if self.config.trace else None
+        )
+        self._sessions: Dict[str, Session] = {}
+
+    @classmethod
+    def simulated(cls, **overrides: object) -> "Platform":
+        """A platform on the deterministic simulated network.
+
+        Keyword arguments override :class:`PlatformConfig` fields, e.g.
+        ``Platform.simulated(seed=7, processing_ms=2.0)``.
+        """
+        if overrides.get("transport", "sim") != "sim":
+            raise SelfServError(
+                "Platform.simulated() always runs on the simulated "
+                "transport; use Platform(PlatformConfig(...)) to pick one"
+            )
+        overrides["transport"] = "sim"
+        return cls(PlatformConfig(**overrides))  # type: ignore[arg-type]
+
+    # Plumbing --------------------------------------------------------------
+
+    def ensure_node(self, host: str) -> Node:
+        """Get ``host``'s node, creating it on first use."""
+        if not self.transport.has_node(host):
+            return self.transport.add_node(host)
+        return self.transport.node(host)
+
+    # Provider flows --------------------------------------------------------
+
+    def provider(self, host: str) -> ProviderSite:
+        """Open the fluent registration surface for one provider host."""
+        return ProviderSite(self, host)
+
+    def register_elementary(
+        self,
+        service: ElementaryService,
+        host: str,
+        category: str = "",
+        publish: bool = True,
+        rng: Optional[random.Random] = None,
+    ) -> ServiceWrapperRuntime:
+        """Deploy an elementary service and (by default) publish it."""
+        wrapper = self.deployer.deploy_elementary(service, host, rng=rng)
+        if publish:
+            self.discovery.publish(service.description, category=category)
+        return wrapper
+
+    def register_community(
+        self,
+        community: ServiceCommunity,
+        host: str,
+        policy: "Union[SelectionPolicy, str, None]" = None,
+        category: str = "",
+        publish: bool = True,
+        timeout_ms: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+    ) -> CommunityWrapperRuntime:
+        """Deploy a community wrapper and (by default) publish it.
+
+        ``policy`` and ``timeout_ms`` fall back to the config's
+        ``default_selection_policy`` and ``community_timeout_ms``.
+        """
+        wrapper = self.deployer.deploy_community(
+            community,
+            host,
+            policy=(policy if policy is not None
+                    else self.config.default_selection_policy),
+            timeout_ms=(timeout_ms if timeout_ms is not None
+                        else self.config.community_timeout_ms),
+            max_attempts=max_attempts,
+        )
+        if publish:
+            self.discovery.publish(community.description, category=category)
+        return wrapper
+
+    # Composer flows --------------------------------------------------------
+
+    def compose(
+        self, name: str, provider: str = "", documentation: str = ""
+    ) -> Composition:
+        """Open the editor on a new composition (draft -> deploy flow)."""
+        return Composition(self, name, provider, documentation)
+
+    def deploy_composite(
+        self,
+        composite: "Union[CompositeService, CompositeDraft, Composition]",
+        host: str,
+        category: str = "composite",
+        publish: bool = True,
+        default_timeout_ms: Optional[float] = None,
+    ) -> CompositeDeployment:
+        """Deploy (and by default publish) a composite service."""
+        if isinstance(composite, Composition):
+            composite = composite.draft()
+        if isinstance(composite, CompositeDraft):
+            composite = composite.build()
+        deployment = self.deployer.deploy_composite(
+            composite, host, default_timeout_ms=default_timeout_ms,
+        )
+        if publish:
+            self.discovery.publish(composite.description, category=category)
+        return deployment
+
+    # End-user flows --------------------------------------------------------
+
+    def locate(self, service_name: str) -> ResolvedBinding:
+        """Resolve a published service to the binding ``submit`` accepts."""
+        return self.discovery.locate(service_name)
+
+    def session(self, name: str, host: str) -> Session:
+        """Get (or create) the named end-user session on ``host``.
+
+        Sessions are cached by name; asking for an existing name on a
+        *different* host is almost certainly a bug (the endpoint lives on
+        the original host), so it raises instead of silently returning
+        the old session.
+        """
+        session = self._sessions.get(name)
+        if session is not None:
+            if session.host != host:
+                raise SelfServError(
+                    f"session {name!r} already exists on host "
+                    f"{session.host!r}; cannot reopen it on {host!r} — "
+                    f"use a different session name per host"
+                )
+            return session
+        session = Session(self, name, host)
+        self._sessions[name] = session
+        return session
+
+    def sessions(self) -> "List[Session]":
+        """Every session opened on this platform."""
+        return list(self._sessions.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Platform {type(self.transport).__name__} "
+            f"{len(self.directory.services())} services, "
+            f"{len(self._sessions)} sessions>"
+        )

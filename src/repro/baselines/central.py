@@ -55,6 +55,7 @@ class _CentralExecution:
     started_ms: float = 0.0
     finished_ms: float = 0.0
     cancel_deadline: Optional[Callable[[], None]] = None
+    request_key: str = ""
 
 
 class CentralOrchestrator:
@@ -171,6 +172,7 @@ class CentralOrchestrator:
             client_node=client_node,
             client_endpoint=client_endpoint,
             started_ms=self.transport.now_ms(),
+            request_key=body.get("request_key", ""),
         )
         self._executions[execution_id] = execution
         self.transport.send(Message(
@@ -458,6 +460,7 @@ class CentralOrchestrator:
                 "status": status,
                 "outputs": projected,
                 "fault": fault,
+                "request_key": execution.request_key,
             },
         ))
 

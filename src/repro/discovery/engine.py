@@ -27,7 +27,11 @@ from repro.discovery.wsdl import (
 from repro.net.transport import Transport
 from repro.runtime.client import RuntimeClient
 from repro.runtime.directory import ServiceDirectory
-from repro.runtime.protocol import ExecutionResult, wrapper_endpoint
+from repro.runtime.protocol import (
+    ExecutionResult,
+    ResolvedBinding,
+    wrapper_endpoint,
+)
 from repro.services.description import ServiceDescription
 
 ACCESS_SCHEME = "selfserv://"
@@ -271,6 +275,30 @@ class ServiceDiscoveryEngine:
 
     # Execute flow ------------------------------------------------------------------
 
+    def locate(self, service_name: str) -> ResolvedBinding:
+        """Resolve a published service to a typed runtime binding.
+
+        This is the "locate" half of locate-and-execute: the access point
+        comes from the UDDI binding, so an unpublished service raises
+        :class:`DiscoveryError` exactly as the Execute button would fail.
+        The returned binding is what :meth:`repro.api.Session.submit`
+        accepts as a target.
+        """
+        listing = self.service_detail(service_name)
+        if not listing.access_point:
+            raise DiscoveryError(
+                f"service {service_name!r} has no access point binding"
+            )
+        node, endpoint = parse_access_point(listing.access_point)
+        return ResolvedBinding(
+            service=listing.name,
+            node=node,
+            endpoint=endpoint,
+            operations=tuple(listing.operations),
+            access_point=listing.access_point,
+            wsdl_url=listing.wsdl_url,
+        )
+
     def execute(
         self,
         client: RuntimeClient,
@@ -285,16 +313,11 @@ class ServiceDiscoveryEngine:
         binding (not from the runtime directory), so executing an
         unpublished service fails exactly as it would for a real end user.
         """
-        listing = self.service_detail(service_name)
-        if not listing.access_point:
-            raise DiscoveryError(
-                f"service {service_name!r} has no access point binding"
-            )
-        node, endpoint = parse_access_point(listing.access_point)
-        if listing.operations and operation not in listing.operations:
+        binding = self.locate(service_name)
+        if not binding.supports(operation):
             raise DiscoveryError(
                 f"service {service_name!r} does not advertise operation "
-                f"{operation!r}; advertised: {listing.operations}"
+                f"{operation!r}; advertised: {list(binding.operations)}"
             )
-        return client.execute(node, endpoint, operation, arguments,
-                              timeout_ms=timeout_ms)
+        return client.execute(binding.node, binding.endpoint, operation,
+                              arguments, timeout_ms=timeout_ms)

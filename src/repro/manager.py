@@ -1,23 +1,31 @@
-"""The SELF-SERV Service Manager (Figure 1).
+"""The v1 ``ServiceManager`` facade — now a shim over :class:`Platform`.
 
-The manager bundles the three architecture modules over one transport:
+.. deprecated:: 2.0
+   ``ServiceManager`` is kept for compatibility with v1 call sites and
+   delegates everything to :class:`repro.api.Platform`.  New code should
+   construct a ``Platform`` (declaratively, from a
+   :class:`~repro.api.PlatformConfig`) and use handle-based sessions::
 
-* the **service discovery engine** (``manager.discovery``) — publish and
-  search services in the UDDI registry,
-* the **service editor** (``manager.editor``) — define composite services,
-* the **service deployer** (``manager.deployer``) — generate routing
-  tables and install coordinators/wrappers on provider hosts.
+       platform = Platform()
+       platform.provider("host").elementary(service)
+       session = platform.session("alice", "alice-laptop")
+       handle = session.submit("ServiceName", "operation", {...})
+       result = handle.result()
 
-It also offers the end-to-end convenience flows the demo walks through:
-register a provider's service (deploy + publish), define-and-deploy a
-composite, and locate-and-execute an operation.
+The blocking one-call-per-execution semantics of ``locate_and_execute``
+are preserved exactly (it runs on the same correlation path the handles
+use); the three architecture modules remain reachable as
+``manager.discovery`` / ``manager.editor`` / ``manager.deployer``.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+import warnings
+from typing import Any, Mapping, Optional, Union
 
+from repro.api.config import PlatformConfig
+from repro.api.platform import Platform
 from repro.deployment.deployer import CompositeDeployment, Deployer
 from repro.deployment.placement import PlacementPolicy
 from repro.discovery.engine import ServiceDiscoveryEngine
@@ -36,7 +44,7 @@ from repro.services.elementary import ElementaryService
 
 
 class ServiceManager:
-    """Facade wiring editor, deployer and discovery over one transport."""
+    """Deprecated v1 facade delegating to :class:`repro.api.Platform`."""
 
     def __init__(
         self,
@@ -44,15 +52,42 @@ class ServiceManager:
         registry: Optional[FunctionRegistry] = None,
         placement: Optional[PlacementPolicy] = None,
     ) -> None:
-        self.transport = transport
-        self.directory = ServiceDirectory()
-        self.deployer = Deployer(
-            transport, self.directory, registry=registry,
-            placement=placement,
+        warnings.warn(
+            "ServiceManager is deprecated; use repro.api.Platform "
+            "(sessions with submit()/ExecutionHandle replace blocking "
+            "client calls)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.discovery = ServiceDiscoveryEngine(transport, self.directory)
-        self.editor = ServiceEditor()
-        self._clients: Dict[str, RuntimeClient] = {}
+        # trace=False keeps the v1 behaviour: no observer attached, no
+        # per-execution timelines retained.
+        self.platform = Platform(
+            PlatformConfig(registry=registry, placement=placement,
+                           trace=False),
+            transport=transport,
+        )
+
+    # v1 attribute surface ---------------------------------------------------
+
+    @property
+    def transport(self) -> Transport:
+        return self.platform.transport
+
+    @property
+    def directory(self) -> ServiceDirectory:
+        return self.platform.directory
+
+    @property
+    def deployer(self) -> Deployer:
+        return self.platform.deployer
+
+    @property
+    def discovery(self) -> ServiceDiscoveryEngine:
+        return self.platform.discovery
+
+    @property
+    def editor(self) -> ServiceEditor:
+        return self.platform.editor
 
     # Provider flows ---------------------------------------------------------
 
@@ -65,10 +100,9 @@ class ServiceManager:
         rng: Optional[random.Random] = None,
     ) -> ServiceWrapperRuntime:
         """Deploy an elementary service and (by default) publish it."""
-        wrapper = self.deployer.deploy_elementary(service, host, rng=rng)
-        if publish:
-            self.discovery.publish(service.description, category=category)
-        return wrapper
+        return self.platform.register_elementary(
+            service, host, category=category, publish=publish, rng=rng,
+        )
 
     def register_community(
         self,
@@ -80,12 +114,10 @@ class ServiceManager:
         timeout_ms: float = 1000.0,
     ) -> CommunityWrapperRuntime:
         """Deploy a community wrapper and (by default) publish it."""
-        wrapper = self.deployer.deploy_community(
-            community, host, policy=policy, timeout_ms=timeout_ms,
+        return self.platform.register_community(
+            community, host, policy=policy, category=category,
+            publish=publish, timeout_ms=timeout_ms,
         )
-        if publish:
-            self.discovery.publish(community.description, category=category)
-        return wrapper
 
     # Composer flows --------------------------------------------------------------
 
@@ -93,7 +125,7 @@ class ServiceManager:
         self, name: str, provider: str = "", documentation: str = ""
     ) -> CompositeDraft:
         """Open the editor on a new composite draft."""
-        return self.editor.new_draft(name, provider, documentation)
+        return self.platform.editor.new_draft(name, provider, documentation)
 
     def deploy_composite(
         self,
@@ -104,29 +136,21 @@ class ServiceManager:
         default_timeout_ms: Optional[float] = None,
     ) -> CompositeDeployment:
         """Deploy (and by default publish) a composite service."""
-        if isinstance(composite, CompositeDraft):
-            composite = composite.build()
-        deployment = self.deployer.deploy_composite(
-            composite, host, default_timeout_ms=default_timeout_ms,
+        return self.platform.deploy_composite(
+            composite, host, category=category, publish=publish,
+            default_timeout_ms=default_timeout_ms,
         )
-        if publish:
-            self.discovery.publish(
-                composite.description, category=category,
-            )
-        return deployment
 
     # End-user flows ----------------------------------------------------------------
 
     def client(self, name: str, host: str) -> RuntimeClient:
-        """Get (or create) a named end-user client on ``host``."""
-        client = self._clients.get(name)
-        if client is None:
-            if not self.transport.has_node(host):
-                self.transport.add_node(host)
-            client = RuntimeClient(name, host, self.transport)
-            client.install()
-            self._clients[name] = client
-        return client
+        """Get (or create) a named end-user client on ``host``.
+
+        Raises :class:`~repro.exceptions.SelfServError` when ``name``
+        already exists on a different host — the v1 facade used to
+        silently hand back the old client, hiding the mistake.
+        """
+        return self.platform.session(name, host).client
 
     def locate_and_execute(
         self,
@@ -138,8 +162,6 @@ class ServiceManager:
         timeout_ms: Optional[float] = 60_000.0,
     ) -> ExecutionResult:
         """The full Figure 3 flow: search UDDI, resolve binding, execute."""
-        client = self.client(client_name, client_host)
-        return self.discovery.execute(
-            client, service_name, operation, arguments,
-            timeout_ms=timeout_ms,
-        )
+        session = self.platform.session(client_name, client_host)
+        return session.execute(service_name, operation, arguments,
+                               timeout_ms=timeout_ms)

@@ -9,7 +9,8 @@ on the simulator, wall-clock polling on threads.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Mapping, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.exceptions import ExecutionError, ExecutionTimeoutError
 from repro.net.message import Message
@@ -26,6 +27,10 @@ _request_ids = itertools.count(1)
 class RuntimeClient:
     """A client able to execute composite (or any wrapped) services."""
 
+    #: How many completed request keys are remembered for duplicate-result
+    #: protection; old keys age out so long-lived clients stay bounded.
+    COMPLETED_HISTORY = 4096
+
     def __init__(
         self,
         name: str,
@@ -37,6 +42,14 @@ class RuntimeClient:
         self.transport = transport
         self._results: Dict[str, ExecutionResult] = {}
         self._acks: Dict[str, str] = {}  # request_key -> execution_id
+        # Non-blocking completion path: request_key -> callback.  Results
+        # whose request key is registered here are routed to the callback
+        # instead of the shared results pool; consumed keys move to
+        # ``_completed`` (bounded, oldest aged out) so late duplicate
+        # deliveries are dropped.
+        self._callbacks: "Dict[str, Callable[[ExecutionResult], None]]" = {}
+        self._completed: "set[str]" = set()
+        self._completed_order: "deque[str]" = deque()
         self._installed = False
 
     @property
@@ -60,13 +73,36 @@ class RuntimeClient:
         if message.kind != MessageKinds.EXECUTE_RESULT:
             return
         execution_id = body.get("execution_id", "")
-        self._results[execution_id] = ExecutionResult(
+        request_key = body.get("request_key", "")
+        if request_key:
+            # The ack mapping has served its purpose once the result is
+            # here (the result itself carries the execution id); dropping
+            # it keeps long-lived clients bounded.
+            self._acks.pop(request_key, None)
+        result = ExecutionResult(
             execution_id=execution_id,
             status=body.get("status", "fault"),
             outputs=dict(body.get("outputs", {})),
             fault=body.get("fault", ""),
             finished_ms=self.transport.now_ms(),
+            request_key=request_key,
         )
+        if request_key in self._callbacks:
+            # One completion per submission: the callback is consumed on
+            # first delivery, so a duplicated result cannot fire it twice.
+            callback = self._callbacks.pop(request_key)
+            self._mark_completed(request_key)
+            callback(result)
+            return
+        if request_key and request_key in self._completed:
+            return  # duplicate delivery of an already-completed request
+        self._results[execution_id] = result
+
+    def _mark_completed(self, request_key: str) -> None:
+        self._completed.add(request_key)
+        self._completed_order.append(request_key)
+        while len(self._completed_order) > self.COMPLETED_HISTORY:
+            self._completed.discard(self._completed_order.popleft())
 
     # Asynchronous API -----------------------------------------------------
 
@@ -77,6 +113,7 @@ class RuntimeClient:
         operation: str,
         arguments: Optional[Mapping[str, Any]] = None,
         deadline_ms: Optional[float] = None,
+        on_result: "Optional[Callable[[ExecutionResult], None]]" = None,
     ) -> str:
         """Fire an execute request; returns a request key for result().
 
@@ -86,9 +123,16 @@ class RuntimeClient:
         :meth:`execute`.  The composite wrapper assigns the real execution
         id, so the local key is provisional until the result arrives;
         ``wait_all`` and ``execute`` hide this bookkeeping.
+
+        When ``on_result`` is given, the request's result is delivered to
+        that callback (exactly once, on the message-handling path) instead
+        of the shared pool read by :meth:`take_results`/:meth:`wait_all` —
+        the correlation path behind :class:`repro.api.ExecutionHandle`.
         """
         self.install()
         request_key = f"{self.name}-req{next(_request_ids)}"
+        if on_result is not None:
+            self._callbacks[request_key] = on_result
         body: Dict[str, Any] = {
             "operation": operation,
             "arguments": dict(arguments or {}),
@@ -105,6 +149,10 @@ class RuntimeClient:
             body=body,
         ))
         return request_key
+
+    def ack_for(self, request_key: str) -> str:
+        """The acked execution id of a request, or ``""`` — never blocks."""
+        return self._acks.get(request_key, "")
 
     def execution_id_for(
         self, request_key: str, timeout_ms: Optional[float] = 10_000.0
@@ -177,25 +225,31 @@ class RuntimeClient:
         (not even a fault) arrives within ``timeout_ms`` — e.g. the
         composite host is down.
         """
-        before = len(self._results)
         started = self.transport.now_ms()
-        self.submit(target_node, target_endpoint, operation, arguments,
-                    deadline_ms=deadline_ms)
+        # Ride the correlation path: the result is matched to this call by
+        # request key (and duplicates dropped), never fished out of the
+        # shared pool by arrival time.
+        delivered: "list[ExecutionResult]" = []
+        request_key = self.submit(
+            target_node, target_endpoint, operation, arguments,
+            deadline_ms=deadline_ms, on_result=delivered.append,
+        )
         arrived = self.transport.wait_for(
-            lambda: len(self._results) > before, timeout_ms=timeout_ms
+            lambda: bool(delivered), timeout_ms=timeout_ms
         )
         if not arrived:
+            # The caller is abandoning the request: retire its callback
+            # (no leak on repeated retries against a dead host) and mark
+            # it completed so a straggling result is dropped, not left as
+            # a ghost in the shared pool.
+            self._callbacks.pop(request_key, None)
+            self._acks.pop(request_key, None)
+            self._mark_completed(request_key)
             raise ExecutionTimeoutError(
                 f"no result for {operation!r} within {timeout_ms} ms "
                 f"(target {target_node!r} unreachable?)"
             )
-        # The newest result is ours: this client is single-threaded per
-        # synchronous call.
-        execution_id = max(
-            self._results,
-            key=lambda eid: self._results[eid].finished_ms,
-        )
-        result = self._results.pop(execution_id)
+        result = delivered[0]
         result.started_ms = started
         return result
 

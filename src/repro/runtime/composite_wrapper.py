@@ -45,6 +45,7 @@ class ExecutionRecord:
     status: str = "running"  # running | success | fault | timeout
     outputs: Dict[str, Any] = field(default_factory=dict)
     fault: str = ""
+    request_key: str = ""
     started_ms: float = 0.0
     finished_ms: float = 0.0
     cancel_deadline: Optional[Callable[[], None]] = None
@@ -138,6 +139,7 @@ class CompositeWrapperRuntime:
             client_node=client_node,
             client_endpoint=client_endpoint,
             started_ms=self.transport.now_ms(),
+            request_key=body.get("request_key", ""),
         )
         self._executions[execution_id] = record
 
@@ -268,6 +270,7 @@ class CompositeWrapperRuntime:
                 "status": record.status,
                 "outputs": record.outputs,
                 "fault": record.fault,
+                "request_key": record.request_key,
             },
         ))
         if self.gc_finished_executions:

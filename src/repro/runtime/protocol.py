@@ -8,7 +8,7 @@ and every endpoint naming rule is defined here and nowhere else.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 
 class MessageKinds:
@@ -80,6 +80,11 @@ class ExecutionResult:
     fault: str = ""
     started_ms: float = 0.0
     finished_ms: float = 0.0
+    #: Client-side correlation key of the originating ``execute`` request.
+    #: Echoed by the wrapper so results can be matched to submissions
+    #: without waiting for the ``execute_ack`` (acks and results may
+    #: reorder under random latency).
+    request_key: str = ""
 
     @property
     def ok(self) -> bool:
@@ -88,6 +93,33 @@ class ExecutionResult:
     @property
     def duration_ms(self) -> float:
         return self.finished_ms - self.started_ms
+
+
+@dataclass(frozen=True)
+class ResolvedBinding:
+    """A located service: the typed address ``submit``/``execute`` accept.
+
+    Produced by :meth:`~repro.discovery.engine.ServiceDiscoveryEngine.locate`
+    from the service's UDDI binding, so holding one proves the service was
+    published.  ``operations`` (when known from the WSDL) lets the client
+    reject a bad operation name before any message is sent.
+    """
+
+    service: str
+    node: str
+    endpoint: str
+    operations: "Tuple[str, ...]" = ()
+    access_point: str = ""
+    wsdl_url: str = ""
+
+    @property
+    def address(self) -> "Tuple[str, str]":
+        """The ``(node, endpoint)`` pair the runtime sends to."""
+        return self.node, self.endpoint
+
+    def supports(self, operation: str) -> bool:
+        """Whether ``operation`` is advertised (vacuously true if unknown)."""
+        return not self.operations or operation in self.operations
 
 
 def notify_body(

@@ -1,0 +1,325 @@
+"""Handle-based execution tests: lifecycle, timeouts, batching."""
+
+import pytest
+
+from repro import Platform, PlatformConfig
+from repro.demo.travel import deploy_travel_scenario
+from repro.exceptions import (
+    DiscoveryError,
+    ExecutionTimeoutError,
+    SelfServError,
+)
+from repro.net.latency import FixedLatency
+from repro.net.message import Message
+from repro.runtime.protocol import MessageKinds
+
+from tests.conftest import travel_args
+
+
+@pytest.fixture
+def platform():
+    return Platform(PlatformConfig(
+        latency=FixedLatency(remote_ms=5.0),
+    ))
+
+
+@pytest.fixture
+def travel(platform):
+    """Deployed travel scenario plus an open session."""
+    deployed = deploy_travel_scenario(platform.deployer)
+    platform.discovery.publish(
+        deployed.scenario.composite.description, category="composite",
+    )
+    session = platform.session("tester", "tester-host")
+    return platform, deployed, session
+
+
+class TestHandleLifecycle:
+    def test_submit_returns_pending_handle(self, travel):
+        _platform, deployed, session = travel
+        handle = session.submit(deployed.address, "arrangeTrip",
+                                travel_args())
+        assert not handle.done()
+        assert handle.status() == "pending"
+        assert handle.peek() is None
+        assert session.pending() == [handle]
+
+    def test_result_blocks_and_resolves(self, travel):
+        _platform, deployed, session = travel
+        handle = session.submit(deployed.address, "arrangeTrip",
+                                travel_args())
+        result = handle.result()
+        assert result.ok
+        assert result.outputs["flight_ref"].startswith("DFB-")
+        assert handle.done()
+        assert handle.status() == "success"
+        assert handle.peek() is result
+        assert session.pending() == []
+
+    def test_result_timestamps_span_submission(self, travel):
+        _platform, deployed, session = travel
+        handle = session.submit(deployed.address, "arrangeTrip",
+                                travel_args())
+        result = handle.result()
+        assert result.started_ms == handle.submitted_ms
+        assert result.duration_ms > 0
+
+    def test_result_is_idempotent(self, travel):
+        _platform, deployed, session = travel
+        handle = session.submit(deployed.address, "arrangeTrip",
+                                travel_args())
+        assert handle.result() is handle.result()
+
+    def test_execution_id_available_before_completion(self, travel):
+        _platform, deployed, session = travel
+        handle = session.submit(deployed.address, "arrangeTrip",
+                                travel_args())
+        execution_id = handle.execution_id()
+        assert execution_id.startswith("TravelArrangement:arrangeTrip:")
+        assert not handle.done()  # the ack resolves before the result
+        assert handle.result().execution_id == execution_id
+
+    def test_trace_returns_timeline(self, travel):
+        _platform, deployed, session = travel
+        handle = session.submit(deployed.address, "arrangeTrip",
+                                travel_args())
+        handle.result()
+        timeline = handle.trace()
+        assert timeline.outcome == "success"
+        assert "bookFlight" in timeline.services_invoked()
+
+    def test_trace_raises_when_tracing_disabled(self):
+        platform = Platform(PlatformConfig(trace=False))
+        deployed = deploy_travel_scenario(platform.deployer)
+        session = platform.session("t", "t-host")
+        handle = session.submit(deployed.address, "arrangeTrip",
+                                travel_args())
+        with pytest.raises(SelfServError, match="tracing is disabled"):
+            handle.trace()
+
+    def test_submit_by_service_name_locates(self, travel):
+        _platform, _deployed, session = travel
+        handle = session.submit("TravelArrangement", "arrangeTrip",
+                                travel_args())
+        assert handle.binding.service == "TravelArrangement"
+        assert handle.result().ok
+
+    def test_submit_rejects_unadvertised_operation(self, travel):
+        platform, _deployed, session = travel
+        binding = platform.locate("TravelArrangement")
+        with pytest.raises(DiscoveryError, match="does not advertise"):
+            session.submit(binding, "teleport", {})
+
+    def test_submit_rejects_unresolvable_target(self, travel):
+        _platform, _deployed, session = travel
+        with pytest.raises(SelfServError, match="cannot resolve"):
+            session.submit(object(), "arrangeTrip", travel_args())
+
+
+class TestTimeoutsAndFailures:
+    def test_result_timeout_when_host_down(self, travel):
+        platform, deployed, session = travel
+        platform.transport.fail_node(deployed.deployment.host)
+        handle = session.submit(deployed.address, "arrangeTrip",
+                                travel_args())
+        with pytest.raises(ExecutionTimeoutError, match="no result"):
+            handle.result(timeout_ms=2_000.0)
+        assert not handle.done()
+
+    def test_fault_propagates_into_result(self, travel):
+        _platform, deployed, session = travel
+        # A raw (node, endpoint) target skips the advertised-operation
+        # check, so the wrapper itself faults the unknown operation.
+        handle = session.submit(deployed.address, "noSuchOperation", {})
+        result = handle.result()
+        assert not result.ok
+        assert result.status == "fault"
+        assert "noSuchOperation" in result.fault
+        assert handle.status() == "fault"
+
+    def test_execution_deadline_propagates_as_timeout(self, travel):
+        _platform, deployed, session = travel
+        handle = session.submit(deployed.address, "arrangeTrip",
+                                travel_args(), deadline_ms=1.0)
+        result = handle.result()
+        assert result.status == "timeout"
+
+    def test_default_deadline_comes_from_config(self):
+        platform = Platform(PlatformConfig(
+            latency=FixedLatency(remote_ms=5.0),
+            default_deadline_ms=1.0,
+        ))
+        deployed = deploy_travel_scenario(platform.deployer)
+        session = platform.session("t", "t-host")
+        result = session.submit(deployed.address, "arrangeTrip",
+                                travel_args()).result()
+        assert result.status == "timeout"
+
+    def test_batch_explicit_none_deadline_disables_default(self):
+        platform = Platform(PlatformConfig(
+            latency=FixedLatency(remote_ms=5.0),
+            default_deadline_ms=1.0,
+        ))
+        deployed = deploy_travel_scenario(platform.deployer)
+        session = platform.session("t", "t-host")
+        # A 4-element request with an explicit None deadline must mean
+        # "no deadline", not "fall back to the 1ms config default".
+        [handle] = session.submit_many([
+            (deployed.address, "arrangeTrip", travel_args(), None),
+        ])
+        assert handle.result().ok
+
+
+class TestDuplicateResultProtection:
+    def _duplicate_of(self, platform, deployed, session, handle):
+        """Re-send the wrapper's execute_result for ``handle`` verbatim."""
+        record = deployed.deployment.wrapper.record(
+            handle.result().execution_id
+        )
+        return Message(
+            kind=MessageKinds.EXECUTE_RESULT,
+            source=deployed.deployment.host,
+            source_endpoint=deployed.deployment.wrapper.endpoint_name,
+            target=session.host,
+            target_endpoint=session.client.endpoint_name,
+            body={
+                "execution_id": record.execution_id,
+                "status": record.status,
+                "outputs": {"flight_ref": "FORGED"},
+                "fault": "",
+                "request_key": record.request_key,
+            },
+        )
+
+    def test_duplicate_result_is_dropped(self, travel):
+        platform, deployed, session = travel
+        handle = session.submit(deployed.address, "arrangeTrip",
+                                travel_args())
+        first = handle.result()
+        duplicate = self._duplicate_of(platform, deployed, session, handle)
+        platform.transport.send(duplicate)
+        platform.transport.wait_for(lambda: False, timeout_ms=100.0)
+        # The handle keeps the first result and the duplicate does not
+        # leak into the client's shared results pool either.
+        assert handle.result() is first
+        assert handle.result().outputs["flight_ref"] != "FORGED"
+        assert session.client.results_received() == 0
+
+    def test_blocking_execute_also_protected(self, travel):
+        platform, deployed, session = travel
+        # The blocking convenience path rides the same correlation
+        # machinery, so a duplicated result is dropped there too instead
+        # of leaking into the client's shared results pool.
+        result = session.client.execute(*deployed.address, "arrangeTrip",
+                                        travel_args())
+        assert result.ok
+        record = deployed.deployment.wrapper.record(result.execution_id)
+        duplicate = Message(
+            kind=MessageKinds.EXECUTE_RESULT,
+            source=deployed.deployment.host,
+            source_endpoint=deployed.deployment.wrapper.endpoint_name,
+            target=session.host,
+            target_endpoint=session.client.endpoint_name,
+            body={
+                "execution_id": record.execution_id,
+                "status": record.status,
+                "outputs": {"flight_ref": "FORGED"},
+                "fault": "",
+                "request_key": record.request_key,
+            },
+        )
+        platform.transport.send(duplicate)
+        platform.transport.wait_for(lambda: False, timeout_ms=100.0)
+        assert session.client.results_received() == 0
+
+
+class TestBatchSubmission:
+    DESTINATIONS = ("sydney", "cairns", "paris", "tokyo")
+
+    def test_gather_preserves_submission_order(self, travel):
+        _platform, deployed, session = travel
+        handles = session.submit_many([
+            (deployed.address, "arrangeTrip", travel_args(dest))
+            for dest in self.DESTINATIONS
+        ])
+        results = session.gather(handles)
+        assert [r.ok for r in results] == [True] * 4
+        # Order matches submissions, not completion: cairns/tokyo rent a
+        # car (longer path) yet stay at their submitted positions.
+        assert [bool(r.outputs.get("car_ref")) for r in results] == (
+            [False, True, False, True]
+        )
+
+    def test_batch_overlaps_in_time(self, travel):
+        platform, deployed, session = travel
+        handles = session.submit_many([
+            (deployed.address, "arrangeTrip", travel_args("sydney"))
+            for _ in range(8)
+        ])
+        results = session.gather(handles)
+        durations = [r.duration_ms for r in results]
+        makespan = max(r.finished_ms for r in results) - min(
+            r.started_ms for r in results
+        )
+        # Concurrent fan-out: the batch finishes in far less virtual time
+        # than the sum of its per-execution latencies.
+        assert makespan < 0.5 * sum(durations)
+
+    def test_submit_many_accepts_mappings(self, travel):
+        _platform, deployed, session = travel
+        handles = session.submit_many([
+            {"target": deployed.address, "operation": "arrangeTrip",
+             "arguments": travel_args("paris")},
+        ])
+        [result] = session.gather(handles)
+        assert result.ok and result.outputs["insurance_ref"]
+
+    def test_submit_many_locates_each_service_name_once(self, travel):
+        platform, _deployed, session = travel
+        calls = []
+        original = platform.locate
+        platform.locate = lambda name: (calls.append(name),
+                                        original(name))[1]
+        handles = session.submit_many([
+            ("TravelArrangement", "arrangeTrip", travel_args())
+            for _ in range(5)
+        ])
+        assert calls == ["TravelArrangement"]  # one UDDI lookup, not 5
+        assert all(r.ok for r in session.gather(handles))
+
+    def test_execute_timeout_retires_request_state(self, travel):
+        platform, deployed, session = travel
+        platform.transport.fail_node(deployed.deployment.host)
+        client = session.client
+        for _ in range(3):
+            with pytest.raises(ExecutionTimeoutError):
+                client.execute(*deployed.address, "arrangeTrip",
+                               travel_args(), timeout_ms=200.0)
+        # Abandoned requests must not accumulate correlation state.
+        assert client._callbacks == {}
+        assert client._acks == {}
+
+    def test_submit_many_rejects_malformed_request(self, travel):
+        _platform, deployed, session = travel
+        with pytest.raises(SelfServError, match="batch request"):
+            session.submit_many([(deployed.address,)])
+
+    def test_gather_timeout_reports_unresolved(self, travel):
+        platform, deployed, session = travel
+        handles = session.submit_many([
+            (deployed.address, "arrangeTrip", travel_args())
+            for _ in range(3)
+        ])
+        platform.transport.fail_node(deployed.deployment.host)
+        with pytest.raises(ExecutionTimeoutError, match="3/3"):
+            session.gather(handles, timeout_ms=2_000.0)
+
+    def test_gather_tolerates_mixed_outcomes(self, travel):
+        _platform, deployed, session = travel
+        handles = session.submit_many([
+            (deployed.address, "arrangeTrip", travel_args()),
+            (deployed.address, "noSuchOperation", {}),
+        ])
+        good, bad = session.gather(handles)
+        assert good.ok
+        assert bad.status == "fault"
