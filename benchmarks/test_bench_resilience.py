@@ -1,0 +1,287 @@
+"""CLAIM-RESILIENCE — self-healing execution vs. the reactive baseline.
+
+Three injected-failure experiments compare the platform with the
+``repro.resilience`` subsystem enabled against the identical deployment
+without it:
+
+1. **Flaky providers** (injected unreliability): a provider faulting a
+   third of its invocations caps the baseline's success rate at its raw
+   reliability; session-level retries with exponential backoff push
+   request success >= 99%.
+2. **Dead provider host** (injected ``fail_node``): community failover
+   keeps both variants at 100% success, but the baseline re-tries the
+   dead member request after request, paying the delegation timeout
+   every rotation; the circuit breaker remembers, skips it, and cuts
+   mean and tail latency.
+3. **Latency spikes** (one slow community member): hedged requests
+   duplicate the straggler past a latency threshold and the community
+   routes the hedge to the fast member, collapsing p99.
+
+Everything runs on the deterministic simulated network: the numbers in
+``benchmarks/results/CLAIM-RESILIENCE.txt`` reproduce exactly.
+"""
+
+import random
+
+from repro.api import Platform, PlatformConfig
+from repro.net.latency import FixedLatency
+from repro.resilience import (
+    BreakerConfig,
+    EventKinds,
+    HedgePolicy,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.services.community import ServiceCommunity
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    ServiceDescription,
+    simple_description,
+)
+from repro.services.elementary import ElementaryService
+from repro.services.profile import ServiceProfile
+from repro.statecharts.builder import linear_chart
+
+from _utils import write_result
+
+REQUESTS = 300
+COMMUNITY_TIMEOUT_MS = 100.0
+
+
+def percentile(values, quantile):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(quantile * len(ordered)))
+    return ordered[index]
+
+
+def make_service(name, latency_ms=8.0, reliability=1.0):
+    desc = simple_description(name, f"{name}-co", [("op", [], ["r"])])
+    service = ElementaryService(desc, ServiceProfile(
+        latency_mean_ms=latency_ms, reliability=reliability))
+    service.bind("op", lambda inputs, name=name: {"r": name})
+    return service
+
+
+def one_task_composite(target):
+    composite = CompositeService(ServiceDescription("C"))
+    composite.define_operation(
+        OperationSpec("run"), linear_chart("c", [("a", target, "op")]),
+    )
+    return composite
+
+
+def run_requests(platform, deployment, count=REQUESTS):
+    """Sequential executions; returns (success, per-request ms, msgs/req).
+
+    The message cost rides ``TrafficStats.snapshot()``/``diff()``: the
+    window isolates the request phase from deployment traffic, and its
+    ``sent_total`` exposes what retries/hedges/failover cost on the
+    wire.
+    """
+    session = platform.session("bench", "bench-host")
+    before = platform.transport.stats.snapshot()
+    ok = 0
+    durations = []
+    for _ in range(count):
+        started = platform.transport.now_ms()
+        result = session.submit(deployment.address, "run", {}).result(
+            timeout_ms=None)
+        durations.append(platform.transport.now_ms() - started)
+        ok += 1 if result.ok else 0
+    window = platform.transport.stats.diff(before)
+    return ok / count, durations, window.sent_total / count
+
+
+# Experiment 1: flaky provider, retries vs raw reliability ------------------
+
+def run_flaky(resilient):
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=6, base_delay_ms=20.0,
+                          jitter_fraction=0.1),
+    ) if resilient else None
+    platform = Platform(PlatformConfig(
+        latency=FixedLatency(remote_ms=5.0), trace=False,
+        resilience=resilience,
+    ))
+    flaky = make_service("Charge", reliability=0.7)
+    platform.provider("p-host").elementary(flaky, rng=random.Random(42))
+    deployment = platform.deployer.deploy_composite(
+        one_task_composite("Charge"), "c-host",
+        default_timeout_ms=30_000.0,
+    )
+    return run_requests(platform, deployment)
+
+
+# Experiment 2: dead member host, breaker memory vs blind failover ----------
+
+def run_dead_member(resilient):
+    resilience = ResilienceConfig(
+        retry=None,
+        breaker=BreakerConfig(failure_threshold=2,
+                              reset_timeout_ms=60_000.0),
+    ) if resilient else None
+    platform = Platform(PlatformConfig(
+        latency=FixedLatency(remote_ms=5.0), trace=False,
+        resilience=resilience,
+    ))
+    community = ServiceCommunity(
+        simple_description("Pool", "alliance", [("op", [], ["r"])]))
+    for index in range(3):
+        name = f"M{index}"
+        platform.provider(f"mh{index}").elementary(make_service(name))
+        community.join(name)
+    platform.provider("pool-host").community(
+        community, policy="round-robin", timeout_ms=COMMUNITY_TIMEOUT_MS,
+    )
+    deployment = platform.deployer.deploy_composite(
+        one_task_composite("Pool"), "c-host", default_timeout_ms=30_000.0,
+    )
+    platform.transport.fail_node("mh0")
+    return run_requests(platform, deployment)
+
+
+# Experiment 3: latency spikes, hedging vs waiting out the straggler --------
+
+def run_spiky(resilient):
+    resilience = ResilienceConfig(
+        retry=None,
+        hedge=HedgePolicy(fixed_delay_ms=30.0),
+    ) if resilient else None
+    platform = Platform(PlatformConfig(
+        latency=FixedLatency(remote_ms=5.0), trace=False,
+        resilience=resilience,
+    ))
+    platform.provider("slow-host").elementary(
+        make_service("A-slow", latency_ms=150.0))
+    platform.provider("fast-host").elementary(
+        make_service("B-fast", latency_ms=8.0))
+    community = ServiceCommunity(
+        simple_description("Quote", "alliance", [("op", [], ["r"])]))
+    community.join("A-slow")
+    community.join("B-fast")
+    platform.provider("pool-host").community(
+        community, policy="round-robin", timeout_ms=5_000.0,
+    )
+    deployment = platform.deployer.deploy_composite(
+        one_task_composite("Quote"), "c-host", default_timeout_ms=30_000.0,
+    )
+    success, durations, msgs = run_requests(platform, deployment)
+    hedges = (
+        len(platform.resilience.events.events(kind=EventKinds.HEDGE_FIRED))
+        if platform.resilience is not None else 0
+    )
+    return success, durations, msgs, hedges
+
+
+def test_bench_resilience(benchmark):
+    rows = []
+
+    def row(experiment, variant, success, durations, msgs, note=""):
+        rows.append((
+            experiment, variant, f"{success:.3f}",
+            round(sum(durations) / len(durations), 1),
+            round(percentile(durations, 0.50), 1),
+            round(percentile(durations, 0.99), 1),
+            round(msgs, 1),
+            note,
+        ))
+
+    # 1 — flaky provider
+    base_success, base_durations, base_msgs = run_flaky(resilient=False)
+    res_success, res_durations, res_msgs = run_flaky(resilient=True)
+    row("flaky-provider", "baseline", base_success, base_durations,
+        base_msgs)
+    row("flaky-provider", "resilience", res_success, res_durations,
+        res_msgs, "retry x6, backoff 20ms")
+    # Shape: the baseline is capped by raw reliability (~0.7); retries
+    # lift request success above the 99% availability bar — at a
+    # visible but bounded extra wire cost.
+    assert 0.5 < base_success < 0.9
+    assert res_success >= 0.99
+    assert res_msgs > base_msgs
+
+    # 2 — dead member host
+    dead_base_success, dead_base, dead_base_msgs = run_dead_member(
+        resilient=False)
+    dead_res_success, dead_res, dead_res_msgs = run_dead_member(
+        resilient=True)
+    row("dead-member", "baseline", dead_base_success, dead_base,
+        dead_base_msgs)
+    row("dead-member", "resilience", dead_res_success, dead_res,
+        dead_res_msgs, "breaker threshold 2")
+    # Shape: failover keeps both fully available, but only the breaker
+    # stops paying the dead member's timeout on every rotation.
+    assert dead_base_success == 1.0
+    assert dead_res_success == 1.0
+    base_mean = sum(dead_base) / len(dead_base)
+    res_mean = sum(dead_res) / len(dead_res)
+    assert percentile(dead_base, 0.99) > COMMUNITY_TIMEOUT_MS
+    assert percentile(dead_res, 0.99) < COMMUNITY_TIMEOUT_MS
+    assert res_mean < 0.6 * base_mean
+
+    # 3 — latency spikes
+    spiky_base_success, spiky_base, spiky_base_msgs, _ = run_spiky(
+        resilient=False)
+    spiky_res_success, spiky_res, spiky_res_msgs, hedges = run_spiky(
+        resilient=True)
+    row("latency-spike", "baseline", spiky_base_success, spiky_base,
+        spiky_base_msgs)
+    row("latency-spike", "resilience", spiky_res_success, spiky_res,
+        spiky_res_msgs, f"hedge @30ms ({hedges} fired)")
+    assert spiky_base_success == 1.0 and spiky_res_success == 1.0
+    assert hedges > 0
+    assert percentile(spiky_res, 0.99) < 0.7 * percentile(spiky_base, 0.99)
+    assert (sum(spiky_res) / len(spiky_res)
+            < sum(spiky_base) / len(spiky_base))
+
+    write_result(
+        "CLAIM-RESILIENCE",
+        "injected failures: resilience subsystem vs reactive baseline "
+        f"({REQUESTS} requests each, deterministic sim)",
+        ["experiment", "variant", "success", "mean ms", "p50 ms",
+         "p99 ms", "msgs/req", "notes"],
+        rows,
+        notes=(
+            "Shape: (1) flaky provider — baseline success is capped by "
+            "raw reliability; retries push it >= 0.99. "
+            "(2) dead member host — community failover keeps both at "
+            "1.0 success, but the baseline pays the delegation timeout "
+            "every time round-robin reaches the dead member, while the "
+            "circuit breaker skips it after two failures (lower mean "
+            "and p99). "
+            "(3) latency spikes — hedged duplicates fire 30 ms in, land "
+            "on the fast member, and collapse p99 at the cost of "
+            "bounded duplicate work."
+        ),
+    )
+
+    benchmark.pedantic(run_dead_member, args=(True,), rounds=3,
+                       iterations=1)
+
+
+def test_bench_resilience_overhead(benchmark):
+    """The subsystem must be ~free when nothing fails."""
+
+    def run(resilient):
+        resilience = ResilienceConfig() if resilient else None
+        platform = Platform(PlatformConfig(
+            latency=FixedLatency(remote_ms=5.0), trace=False,
+            resilience=resilience,
+        ))
+        platform.provider("p-host").elementary(make_service("Solid"))
+        deployment = platform.deployer.deploy_composite(
+            one_task_composite("Solid"), "c-host",
+            default_timeout_ms=30_000.0,
+        )
+        return run_requests(platform, deployment, count=50)
+
+    base_success, base_durations, base_msgs = run(resilient=False)
+    res_success, res_durations, res_msgs = run(resilient=True)
+    assert base_success == res_success == 1.0
+    # Identical wire protocol on the happy path: no extra messages, no
+    # extra virtual latency.
+    assert res_msgs == base_msgs
+    assert sum(res_durations) == sum(base_durations)
+
+    benchmark.pedantic(run, args=(True,), rounds=3, iterations=1)

@@ -48,6 +48,7 @@ from repro.api import (
 from repro.exceptions import SelfServError
 from repro.manager import ServiceManager
 from repro.monitoring import ExecutionTracer
+from repro.resilience import HedgePolicy, ResilienceConfig, RetryPolicy
 from repro.net.inproc import InProcTransport
 from repro.net.simnet import SimTransport
 from repro.runtime.client import RuntimeClient
@@ -68,6 +69,10 @@ __all__ = [
     "ResolvedBinding",
     "Composition",
     "ProviderSite",
+    # resilience
+    "HedgePolicy",
+    "ResilienceConfig",
+    "RetryPolicy",
     # building blocks
     "CompositeService",
     "ElementaryService",

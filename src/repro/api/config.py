@@ -24,6 +24,7 @@ from repro.net.inproc import InProcTransport
 from repro.net.latency import LatencyModel
 from repro.net.simnet import SimTransport
 from repro.net.transport import Transport
+from repro.resilience.config import ResilienceConfig
 from repro.selection.policies import SelectionPolicy
 
 #: Transport registry names accepted by :attr:`PlatformConfig.transport`.
@@ -74,6 +75,12 @@ class PlatformConfig:
     #: Attach an :class:`~repro.monitoring.ExecutionTracer` so that
     #: :meth:`~repro.api.handles.ExecutionHandle.trace` works.
     trace: bool = True
+    #: Health-aware self-healing execution: a
+    #: :class:`~repro.resilience.ResilienceConfig` enables the health
+    #: registry + per-endpoint circuit breakers and (per its fields)
+    #: session-level retries and hedging.  ``None`` (the default)
+    #: disables the subsystem entirely.
+    resilience: Optional[ResilienceConfig] = None
 
     def _check_sim_only_fields(self) -> None:
         """Reject sim-tuning fields on a transport that cannot honour them.

@@ -217,6 +217,24 @@ class Session:
         with self._inflight_lock:
             self._inflight.pop(request_key, None)
 
+    def _rekey(self, handle: "ExecutionHandle", new_key: str) -> None:
+        """Point a handle (and its in-flight entry) at a new request key.
+
+        Used by the resilience runtime when a retry (or a hedge that
+        outlived an abandoned primary) becomes the handle's live
+        attempt, so session bookkeeping — and the handle's
+        ``execution_id``/``signal``/``trace`` correlation — follow the
+        request that can still answer.  The key assignment happens
+        under the in-flight lock: on the threaded transport a retarget
+        can race ``submit``'s own registration, and both sides must
+        agree on which key the handle lives under.
+        """
+        with self._inflight_lock:
+            old_key = handle.request_key
+            handle.request_key = new_key
+            if self._inflight.pop(old_key, None) is not None:
+                self._inflight[new_key] = handle
+
     def resolve(self, target: Target) -> ResolvedBinding:
         """Normalise any accepted target into a :class:`ResolvedBinding`."""
         if isinstance(target, ResolvedBinding):
@@ -249,7 +267,16 @@ class Session:
         arguments: Optional[Mapping[str, Any]] = None,
         deadline_ms: Any = _UNSET,
     ) -> ExecutionHandle:
-        """Fire one execution and return its handle immediately."""
+        """Fire one execution and return its handle immediately.
+
+        When the platform runs with a
+        :class:`~repro.resilience.ResilienceConfig` that enables retries
+        or hedging, the submission is driven by the resilience runtime:
+        the handle still completes exactly once, but behind it the
+        request may be retried with backoff after transient failures and
+        hedged with a speculative duplicate past the latency tail —
+        losers are cancelled through the request-key correlation layer.
+        """
         binding = self.resolve(target)
         if not binding.supports(operation):
             raise DiscoveryError(
@@ -259,14 +286,21 @@ class Session:
         handle = ExecutionHandle(
             self, binding, operation, submitted_ms=self.transport.now_ms()
         )
-        handle.request_key = self.client.submit(
-            binding.node,
-            binding.endpoint,
-            operation,
-            arguments,
-            deadline_ms=self._deadline(deadline_ms),
-            on_result=handle._deliver,
-        )
+        resilience = self.platform.resilience
+        if resilience is not None and resilience.manages_sessions:
+            resilience.launch(
+                self, handle, binding, operation, arguments,
+                deadline_ms=self._deadline(deadline_ms),
+            )
+        else:
+            handle.request_key = self.client.submit(
+                binding.node,
+                binding.endpoint,
+                operation,
+                arguments,
+                deadline_ms=self._deadline(deadline_ms),
+                on_result=handle._deliver,
+            )
         with self._inflight_lock:
             if not handle.done():
                 self._inflight[handle.request_key] = handle

@@ -29,6 +29,7 @@ from repro.exceptions import SelfServError
 from repro.monitoring.tracer import ExecutionTracer
 from repro.net.node import Node
 from repro.net.transport import Transport
+from repro.resilience.runtime import ResilienceRuntime
 from repro.runtime.community_wrapper import CommunityWrapperRuntime
 from repro.runtime.directory import ServiceDirectory
 from repro.runtime.protocol import ResolvedBinding
@@ -58,11 +59,17 @@ class Platform:
             else self.config.build_transport()
         )
         self.directory = ServiceDirectory()
+        self.resilience: Optional[ResilienceRuntime] = (
+            ResilienceRuntime(self.transport, self.config.resilience,
+                              seed=self.config.seed)
+            if self.config.resilience is not None else None
+        )
         self.deployer = Deployer(
             self.transport,
             self.directory,
             registry=self.config.registry,
             placement=self.config.build_placement(),
+            resilience=self.resilience,
         )
         self.discovery = ServiceDiscoveryEngine(self.transport,
                                                 self.directory)
@@ -71,6 +78,8 @@ class Platform:
             ExecutionTracer(self.transport).attach()
             if self.config.trace else None
         )
+        if self.tracer is not None and self.resilience is not None:
+            self.tracer.resilience = self.resilience.events
         self._sessions: Dict[str, Session] = {}
 
     @classmethod

@@ -16,6 +16,7 @@ from repro.routing.tables import (
     Postprocessing,
     RoutingTable,
 )
+from repro.resilience.runtime import ResilienceRuntime
 from repro.runtime.community_wrapper import CommunityWrapperRuntime
 from repro.runtime.composite_wrapper import CompositeWrapperRuntime
 from repro.runtime.coordinator import Coordinator
@@ -96,11 +97,15 @@ class Deployer:
         directory: Optional[ServiceDirectory] = None,
         registry: Optional[FunctionRegistry] = None,
         placement: Optional[PlacementPolicy] = None,
+        resilience: "Optional[ResilienceRuntime]" = None,
     ) -> None:
         self.transport = transport
         self.directory = directory or ServiceDirectory()
         self.registry = registry
         self.placement = placement or CompositeHostPlacement()
+        #: When set, community wrappers deploy health-aware (breaker
+        #: gating, status-ordered failover, resilience events).
+        self.resilience = resilience
 
     def _ensure_node(self, host: str):
         if not self.transport.has_node(host):
@@ -142,6 +147,7 @@ class Deployer:
         self._ensure_node(host)
         if isinstance(policy, str):
             policy = policy_by_name(policy)
+        resilience = self.resilience
         wrapper = CommunityWrapperRuntime(
             community=community,
             policy=policy,
@@ -150,6 +156,9 @@ class Deployer:
             directory=self.directory,
             timeout_ms=timeout_ms,
             max_attempts=max_attempts,
+            health=resilience.health if resilience else None,
+            breakers=resilience.breakers if resilience else None,
+            events=resilience.events if resilience else None,
         )
         wrapper.install()
         self.directory.register(community.name, host, wrapper.endpoint_name)

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.net.message import Message
 from repro.net.transport import Transport
+from repro.resilience.events import ResilienceEvent, ResilienceEventLog
 from repro.runtime.protocol import MessageKinds
 
 
@@ -134,6 +135,11 @@ class ExecutionTracer:
         self.transport = transport
         self._timelines: Dict[str, ExecutionTimeline] = {}
         self._attached = False
+        #: The platform's resilience event log (retry, hedge_fired,
+        #: breaker_open, failover, ...), attached by the platform when
+        #: resilience is enabled — the monitoring console shows these
+        #: next to the per-execution message timelines.
+        self.resilience: Optional[ResilienceEventLog] = None
 
     def attach(self) -> "ExecutionTracer":
         if not self._attached:
@@ -181,6 +187,16 @@ class ExecutionTracer:
     def running(self) -> "List[ExecutionTimeline]":
         return [t for t in self._timelines.values()
                 if t.outcome == "running"]
+
+    def resilience_events(
+        self,
+        kind: Optional[str] = None,
+        subject: Optional[str] = None,
+    ) -> "List[ResilienceEvent]":
+        """Recorded resilience decisions (``[]`` without resilience)."""
+        if self.resilience is None:
+            return []
+        return self.resilience.events(kind=kind, subject=subject)
 
     def clear(self) -> None:
         self._timelines.clear()

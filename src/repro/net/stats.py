@@ -28,13 +28,16 @@ class TrafficStats:
     sent_by_node: Counter = field(default_factory=Counter)
     received_by_node: Counter = field(default_factory=Counter)
     by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
     by_pair: Counter = field(default_factory=Counter)
 
     def record_sent(self, message: Message) -> None:
         self.sent_total += 1
-        self.bytes_total += message.size_bytes()
+        size = message.size_bytes()
+        self.bytes_total += size
         self.sent_by_node[message.source] += 1
         self.by_kind[message.kind] += 1
+        self.bytes_by_kind[message.kind] += size
         self.by_pair[(message.source, message.target)] += 1
         if message.is_local:
             self.local_total += 1
@@ -87,6 +90,54 @@ class TrafficStats:
         ranked = sorted(loads.items(), key=lambda kv: kv[1], reverse=True)
         return ranked[:count]
 
+    # Windowing --------------------------------------------------------------
+
+    def snapshot(self) -> "TrafficStats":
+        """An immutable-by-convention copy of every counter, taken now.
+
+        Pair with :meth:`diff` to window a monotonically growing stats
+        object over one experiment phase or health-sampling interval
+        without hand-copying dicts::
+
+            before = transport.stats.snapshot()
+            ...  # run the phase
+            window = transport.stats.diff(before)
+        """
+        return TrafficStats(
+            sent_total=self.sent_total,
+            delivered_total=self.delivered_total,
+            dropped_total=self.dropped_total,
+            local_total=self.local_total,
+            remote_total=self.remote_total,
+            bytes_total=self.bytes_total,
+            sent_by_node=Counter(self.sent_by_node),
+            received_by_node=Counter(self.received_by_node),
+            by_kind=Counter(self.by_kind),
+            bytes_by_kind=Counter(self.bytes_by_kind),
+            by_pair=Counter(self.by_pair),
+        )
+
+    def diff(self, since: "TrafficStats") -> "TrafficStats":
+        """Counters accumulated since an earlier :meth:`snapshot`.
+
+        Counter entries that did not change are dropped from the per-key
+        counters (``Counter`` subtraction keeps positives only), which is
+        exactly the "what happened in this window" view callers want.
+        """
+        return TrafficStats(
+            sent_total=self.sent_total - since.sent_total,
+            delivered_total=self.delivered_total - since.delivered_total,
+            dropped_total=self.dropped_total - since.dropped_total,
+            local_total=self.local_total - since.local_total,
+            remote_total=self.remote_total - since.remote_total,
+            bytes_total=self.bytes_total - since.bytes_total,
+            sent_by_node=self.sent_by_node - since.sent_by_node,
+            received_by_node=self.received_by_node - since.received_by_node,
+            by_kind=self.by_kind - since.by_kind,
+            bytes_by_kind=self.bytes_by_kind - since.bytes_by_kind,
+            by_pair=self.by_pair - since.by_pair,
+        )
+
     def reset(self) -> None:
         """Zero every counter (between benchmark repetitions)."""
         self.sent_total = 0
@@ -98,4 +149,5 @@ class TrafficStats:
         self.sent_by_node.clear()
         self.received_by_node.clear()
         self.by_kind.clear()
+        self.bytes_by_kind.clear()
         self.by_pair.clear()

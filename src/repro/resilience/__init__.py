@@ -1,0 +1,66 @@
+"""``repro.resilience`` — health-aware, self-healing execution.
+
+The paper's communities promise dynamic membership: providers come and
+go, and delegation routes around them.  This package turns that promise
+from a per-request, timeout-driven reaction into a platform subsystem
+with memory:
+
+* :class:`HealthRegistry` — per-provider EWMA latency, outcome counters
+  and UP/DEGRADED/DOWN status, fed by a passive transport tap plus
+  active outcome reports (including timeouts),
+* :class:`CircuitBreaker` / :class:`BreakerRegistry` — per-endpoint
+  closed/open/half-open gates with clock-driven probe recovery,
+* :class:`RetryPolicy` — declarative attempts/backoff/jitter plus
+  retryable-outcome classification,
+* :class:`HedgePolicy` — latency-percentile-triggered speculative
+  duplicates whose losers are cancelled by request-key correlation,
+* :class:`ResilienceConfig` / :class:`ResilienceRuntime` — the
+  declarative bundle a :class:`~repro.api.PlatformConfig` carries and
+  the per-platform wiring that executes it,
+* :class:`ResilienceEventLog` — the audit trail (retry, hedge_fired,
+  breaker_open, failover, ...) surfaced through the execution tracer.
+
+Everything runs on the transport clock, so the full state machine is
+deterministic on the simulated network.
+"""
+
+from repro.resilience.breaker import (
+    BreakerConfig,
+    BreakerRegistry,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.events import (
+    EventKinds,
+    ResilienceEvent,
+    ResilienceEventLog,
+)
+from repro.resilience.health import (
+    HealthConfig,
+    HealthRegistry,
+    ProviderHealth,
+    ProviderStatus,
+)
+from repro.resilience.hedge import HedgePolicy
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.runtime import ResilienceRuntime, ResilientCall
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerRegistry",
+    "BreakerState",
+    "CircuitBreaker",
+    "EventKinds",
+    "HealthConfig",
+    "HealthRegistry",
+    "HedgePolicy",
+    "ProviderHealth",
+    "ProviderStatus",
+    "ResilienceConfig",
+    "ResilienceEvent",
+    "ResilienceEventLog",
+    "ResilienceRuntime",
+    "ResilientCall",
+    "RetryPolicy",
+]

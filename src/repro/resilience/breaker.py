@@ -1,0 +1,157 @@
+"""Circuit breakers: stop hammering endpoints that are known-dead.
+
+One :class:`CircuitBreaker` guards one provider endpoint.  The state
+machine is the classic three-state design, driven entirely by explicit
+``now_ms`` arguments so that it is deterministic on the simulated clock
+(and trivially unit-testable without any transport):
+
+* **closed** — requests flow; ``failure_threshold`` *consecutive*
+  failures trip it open,
+* **open** — requests are refused outright (the caller skips the
+  endpoint instead of paying a timeout); after ``reset_timeout_ms`` the
+  next ``allow`` transitions to half-open,
+* **half-open** — up to ``half_open_probes`` probe requests are let
+  through; a probe success closes the breaker, a probe failure (or
+  probe timeout, reported the same way) re-opens it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.resilience.events import EventKinds, ResilienceEventLog
+
+
+class BreakerState:
+    """The three breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass
+class BreakerConfig:
+    """Shared tuning of every breaker in one registry."""
+
+    failure_threshold: int = 3
+    reset_timeout_ms: float = 5_000.0
+    half_open_probes: int = 1
+
+
+class CircuitBreaker:
+    """Per-endpoint breaker; see the module docstring for semantics."""
+
+    def __init__(
+        self,
+        key: str,
+        config: Optional[BreakerConfig] = None,
+        events: Optional[ResilienceEventLog] = None,
+    ) -> None:
+        self.key = key
+        self.config = config or BreakerConfig()
+        self.events = events
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at_ms = 0.0
+        self._probes_in_flight = 0
+        self.opened_count = 0
+        self.refused_count = 0
+
+    # Gate -------------------------------------------------------------------
+
+    def allow(self, now_ms: float) -> bool:
+        """Whether a request may go to this endpoint *right now*.
+
+        Mutating by design: an open breaker whose reset timeout elapsed
+        transitions to half-open here, and half-open consumes one probe
+        slot per allowed request — the caller must report the probe's
+        outcome via :meth:`record_success`/:meth:`record_failure`.
+        """
+        if self.state == BreakerState.OPEN:
+            if now_ms - self._opened_at_ms >= self.config.reset_timeout_ms:
+                self._transition(BreakerState.HALF_OPEN, now_ms)
+                self._probes_in_flight = 0
+            else:
+                self.refused_count += 1
+                return False
+        if self.state == BreakerState.HALF_OPEN:
+            if self._probes_in_flight >= self.config.half_open_probes:
+                self.refused_count += 1
+                return False
+            self._probes_in_flight += 1
+        return True
+
+    def would_allow(self, now_ms: float) -> bool:
+        """Non-mutating preview of :meth:`allow` (for candidate ordering)."""
+        if self.state == BreakerState.OPEN:
+            return now_ms - self._opened_at_ms >= self.config.reset_timeout_ms
+        if self.state == BreakerState.HALF_OPEN:
+            return self._probes_in_flight < self.config.half_open_probes
+        return True
+
+    # Outcome reporting ------------------------------------------------------
+
+    def record_success(self, now_ms: float) -> None:
+        self._consecutive_failures = 0
+        if self.state != BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED, now_ms)
+
+    def record_failure(self, now_ms: float) -> None:
+        if self.state == BreakerState.HALF_OPEN:
+            self._open(now_ms)
+            return
+        self._consecutive_failures += 1
+        if (
+            self.state == BreakerState.CLOSED
+            and self._consecutive_failures >= self.config.failure_threshold
+        ):
+            self._open(now_ms)
+
+    # Transitions ------------------------------------------------------------
+
+    def _open(self, now_ms: float) -> None:
+        self._opened_at_ms = now_ms
+        self._consecutive_failures = 0
+        self.opened_count += 1
+        self._transition(BreakerState.OPEN, now_ms)
+
+    def _transition(self, state: str, now_ms: float) -> None:
+        self.state = state
+        if self.events is not None:
+            kind = {
+                BreakerState.OPEN: EventKinds.BREAKER_OPEN,
+                BreakerState.HALF_OPEN: EventKinds.BREAKER_HALF_OPEN,
+                BreakerState.CLOSED: EventKinds.BREAKER_CLOSED,
+            }[state]
+            self.events.record(now_ms, kind, self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CircuitBreaker {self.key!r} {self.state}>"
+
+
+class BreakerRegistry:
+    """Lazily-created breaker per endpoint key, sharing one config."""
+
+    def __init__(
+        self,
+        config: Optional[BreakerConfig] = None,
+        events: Optional[ResilienceEventLog] = None,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self.events = events
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, key: str) -> CircuitBreaker:
+        found = self._breakers.get(key)
+        if found is None:
+            found = CircuitBreaker(key, self.config, self.events)
+            self._breakers[key] = found
+        return found
+
+    def known_keys(self) -> "List[str]":
+        return sorted(self._breakers)
+
+    def states(self) -> "Dict[str, str]":
+        return {key: b.state for key, b in sorted(self._breakers.items())}

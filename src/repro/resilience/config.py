@@ -1,0 +1,38 @@
+"""Declarative configuration of the resilience subsystem.
+
+A :class:`ResilienceConfig` is to self-healing what
+:class:`~repro.api.config.PlatformConfig` is to the environment: one
+value object that says *how* the platform watches provider health, trips
+breakers, retries and hedges — attached to the platform config's
+``resilience`` field.  ``ResilienceConfig()`` gives sensible defaults
+(health tracking + breakers + a 3-attempt retry, no hedging); ``None``
+on the platform config disables the subsystem entirely, preserving the
+pre-resilience behaviour bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.resilience.breaker import BreakerConfig
+from repro.resilience.health import HealthConfig
+from repro.resilience.hedge import HedgePolicy
+from repro.resilience.retry import RetryPolicy
+
+
+@dataclass
+class ResilienceConfig:
+    """Everything the resilience runtime is built from.
+
+    * ``health`` — EWMA/status thresholds of the
+      :class:`~repro.resilience.health.HealthRegistry`,
+    * ``breaker`` — shared tuning of the per-endpoint circuit breakers,
+    * ``retry`` — session-level retry policy (``None`` disables retries),
+    * ``hedge`` — session-level hedging policy (``None`` disables it).
+    """
+
+    health: HealthConfig = field(default_factory=HealthConfig)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    retry: Optional[RetryPolicy] = field(default_factory=RetryPolicy)
+    hedge: Optional[HedgePolicy] = None

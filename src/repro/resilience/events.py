@@ -1,0 +1,78 @@
+"""Resilience event records: the audit trail of self-healing decisions.
+
+Every proactive decision the resilience layer takes — a retry scheduled,
+a hedge fired, a breaker tripping open, a community failing over past an
+unhealthy member — is recorded here so that operators (and tests) can
+reconstruct *why* a request took the path it did.  The log is bounded,
+append-only, and shared by every resilience component of one platform;
+:class:`~repro.monitoring.tracer.ExecutionTracer` exposes it next to the
+per-execution message timelines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+
+class EventKinds:
+    """Vocabulary of resilience events."""
+
+    RETRY = "retry"
+    ATTEMPT_TIMEOUT = "attempt_timeout"
+    HEDGE_FIRED = "hedge_fired"
+    HEDGE_WON = "hedge_won"
+    BREAKER_OPEN = "breaker_open"
+    BREAKER_HALF_OPEN = "breaker_half_open"
+    BREAKER_CLOSED = "breaker_closed"
+    FAILOVER = "failover"
+    MEMBER_SKIPPED = "member_skipped"
+    STATUS_CHANGE = "status_change"
+
+
+@dataclass(frozen=True)
+class ResilienceEvent:
+    """One recorded resilience decision."""
+
+    time_ms: float
+    kind: str      # one of :class:`EventKinds`
+    subject: str   # the provider/service/member the decision is about
+    detail: str = ""
+
+
+class ResilienceEventLog:
+    """Bounded, append-only log of :class:`ResilienceEvent` records."""
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._events: "Deque[ResilienceEvent]" = deque(maxlen=maxlen)
+
+    def record(
+        self, time_ms: float, kind: str, subject: str, detail: str = ""
+    ) -> ResilienceEvent:
+        event = ResilienceEvent(time_ms=time_ms, kind=kind,
+                                subject=subject, detail=detail)
+        self._events.append(event)
+        return event
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        subject: Optional[str] = None,
+    ) -> "List[ResilienceEvent]":
+        """Events in record order, optionally filtered."""
+        return [
+            e for e in self._events
+            if (kind is None or e.kind == kind)
+            and (subject is None or e.subject == subject)
+        ]
+
+    def counts(self) -> Counter:
+        """Event counts by kind (the resilience dashboard numbers)."""
+        return Counter(e.kind for e in self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

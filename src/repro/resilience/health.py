@@ -1,0 +1,271 @@
+"""Continuous provider-health tracking.
+
+The paper's communities promise dynamic membership — providers come and
+go — yet reacting to a provider's death one timeout at a time, per
+request, wastes a full timeout budget on every request.  The
+:class:`HealthRegistry` keeps a *persistent* per-provider view (EWMA
+latency, success/failure counters, UP/DEGRADED/DOWN status) fed from two
+sources:
+
+* **passively**, as a transport observer: it correlates each delivered
+  ``invoke`` with its ``invoke_result`` by invocation id, so every
+  member invocation anywhere on the platform contributes a latency and
+  an outcome sample without touching the runtime hot path (the same tap
+  the execution tracer uses);
+* **actively**, from invocation outcomes reported by the session retry
+  layer and the community wrapper — crucially including *timeouts*,
+  which the passive tap cannot see (a dead host never answers).
+
+Community failover, health-weighted selection and hedging all read this
+registry instead of rediscovering failures request by request.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.net.message import Message
+from repro.net.transport import Transport
+from repro.resilience.events import EventKinds, ResilienceEventLog
+from repro.runtime.protocol import MessageKinds
+
+#: Prefix of wrapper endpoint names (see
+#: :func:`repro.runtime.protocol.wrapper_endpoint`); the passive tap
+#: derives the provider key from it.
+_WRAPPER_PREFIX = "wrapper:"
+
+
+class ProviderStatus:
+    """Discrete health states, ordered best to worst."""
+
+    UP = "up"
+    DEGRADED = "degraded"
+    DOWN = "down"
+
+    #: Sort rank used by candidate ordering (lower is healthier).
+    RANK = {UP: 0, DEGRADED: 1, DOWN: 2}
+
+
+@dataclass
+class HealthConfig:
+    """Thresholds of the health state machine.
+
+    * ``ewma_alpha`` — weight of the newest latency sample,
+    * ``degraded_after`` — consecutive failures before DEGRADED,
+    * ``down_after`` — consecutive failures before DOWN,
+    * ``latency_window`` — completed-latency samples kept per provider
+      (the basis of hedge-delay percentiles).
+    """
+
+    ewma_alpha: float = 0.3
+    degraded_after: int = 1
+    down_after: int = 3
+    latency_window: int = 128
+
+
+@dataclass
+class ProviderHealth:
+    """Everything known about one provider's recent behaviour."""
+
+    provider: str
+    ewma_latency_ms: Optional[float] = None
+    successes: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    last_seen_ms: float = 0.0
+    latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=128)
+    )
+
+    @property
+    def attempts(self) -> int:
+        return self.successes + self.failures
+
+    def success_rate(self) -> float:
+        if self.attempts == 0:
+            return 1.0
+        return self.successes / self.attempts
+
+
+class HealthRegistry:
+    """Per-provider EWMA latency, outcome counters and status.
+
+    Providers are keyed by *service name* (the unit community members
+    and session targets are addressed by).  Unknown providers read as
+    UP — absence of evidence is not evidence of sickness.
+    """
+
+    #: Bound on the invoke-correlation table of the passive tap; entries
+    #: whose result never arrives (dropped messages) age out oldest-first.
+    PENDING_INVOKE_CAP = 4096
+
+    def __init__(
+        self,
+        config: Optional[HealthConfig] = None,
+        events: Optional[ResilienceEventLog] = None,
+    ) -> None:
+        self.config = config or HealthConfig()
+        self.events = events
+        self._providers: Dict[str, ProviderHealth] = {}
+        self._pending_invokes: "OrderedDict[str, Tuple[str, float]]" = (
+            OrderedDict()
+        )
+        self._attached_to: Optional[Transport] = None
+
+    # Passive transport tap --------------------------------------------------
+
+    def attach(self, transport: Transport) -> "HealthRegistry":
+        """Start consuming the transport's delivery observer stream."""
+        if self._attached_to is None:
+            transport.add_observer(self.observe)
+            self._attached_to = transport
+        return self
+
+    def detach(self) -> None:
+        if self._attached_to is not None:
+            self._attached_to.remove_observer(self.observe)
+            self._attached_to = None
+
+    def observe(self, message: Message, time_ms: float) -> None:
+        """Transport observer: correlate invoke -> invoke_result pairs."""
+        if message.kind == MessageKinds.INVOKE:
+            provider = self._provider_of(message.target_endpoint)
+            invocation_id = message.body.get("invocation_id", "")
+            if not provider or not invocation_id:
+                return
+            self._pending_invokes[invocation_id] = (provider, time_ms)
+            while len(self._pending_invokes) > self.PENDING_INVOKE_CAP:
+                self._pending_invokes.popitem(last=False)
+        elif message.kind == MessageKinds.INVOKE_RESULT:
+            entry = self._pending_invokes.pop(
+                message.body.get("invocation_id", ""), None
+            )
+            if entry is None:
+                return
+            provider, started_ms = entry
+            self.record(
+                provider,
+                ok=message.body.get("status") == "success",
+                latency_ms=time_ms - started_ms,
+                now_ms=time_ms,
+            )
+
+    @staticmethod
+    def _provider_of(endpoint: str) -> str:
+        if endpoint.startswith(_WRAPPER_PREFIX):
+            return endpoint[len(_WRAPPER_PREFIX):]
+        return ""
+
+    def forget_invocation(self, invocation_id: str) -> None:
+        """Drop a pending invoke whose outcome was reported out-of-band.
+
+        The community wrapper calls this when it reports a delegation
+        *timeout*: the verdict for that invocation is settled, so a
+        straggling ``invoke_result`` must not be double-counted as a
+        success — otherwise a member that always answers just past the
+        timeout would flap UP/DEGRADED forever instead of going DOWN.
+        """
+        self._pending_invokes.pop(invocation_id, None)
+
+    # Recording --------------------------------------------------------------
+
+    def record(
+        self, provider: str, ok: bool, latency_ms: float, now_ms: float
+    ) -> None:
+        """Fold one invocation outcome into the provider's health."""
+        health = self.health(provider)
+        before = self._status_of(health)
+        health.last_seen_ms = now_ms
+        if ok:
+            health.successes += 1
+            health.consecutive_failures = 0
+        else:
+            health.failures += 1
+            health.consecutive_failures += 1
+        if latency_ms >= 0:
+            alpha = self.config.ewma_alpha
+            health.ewma_latency_ms = (
+                latency_ms if health.ewma_latency_ms is None
+                else alpha * latency_ms + (1 - alpha) * health.ewma_latency_ms
+            )
+            health.latencies.append(latency_ms)
+        after = self._status_of(health)
+        if after != before and self.events is not None:
+            self.events.record(
+                now_ms, EventKinds.STATUS_CHANGE, provider,
+                f"{before}->{after}",
+            )
+
+    def record_success(
+        self, provider: str, latency_ms: float, now_ms: float
+    ) -> None:
+        self.record(provider, True, latency_ms, now_ms)
+
+    def record_failure(
+        self, provider: str, latency_ms: float, now_ms: float
+    ) -> None:
+        self.record(provider, False, latency_ms, now_ms)
+
+    # Queries ----------------------------------------------------------------
+
+    def health(self, provider: str) -> ProviderHealth:
+        found = self._providers.get(provider)
+        if found is None:
+            found = ProviderHealth(
+                provider=provider,
+                latencies=deque(maxlen=self.config.latency_window),
+            )
+            self._providers[provider] = found
+        return found
+
+    def _status_of(self, health: ProviderHealth) -> str:
+        if health.consecutive_failures >= self.config.down_after:
+            return ProviderStatus.DOWN
+        if health.consecutive_failures >= self.config.degraded_after:
+            return ProviderStatus.DEGRADED
+        return ProviderStatus.UP
+
+    def status(self, provider: str) -> str:
+        found = self._providers.get(provider)
+        if found is None:
+            return ProviderStatus.UP
+        return self._status_of(found)
+
+    def rank(self, provider: str) -> int:
+        """Numeric status rank: 0 UP, 1 DEGRADED, 2 DOWN."""
+        return ProviderStatus.RANK[self.status(provider)]
+
+    def ewma_ms(self, provider: str, default: float = 0.0) -> float:
+        found = self._providers.get(provider)
+        if found is None or found.ewma_latency_ms is None:
+            return default
+        return found.ewma_latency_ms
+
+    def percentile_ms(
+        self, provider: str, quantile: float, default: float = 0.0
+    ) -> float:
+        """The ``quantile`` of the provider's recent completed latencies."""
+        found = self._providers.get(provider)
+        if found is None or not found.latencies:
+            return default
+        ordered = sorted(found.latencies)
+        index = min(len(ordered) - 1, max(0, int(quantile * len(ordered))))
+        return ordered[index]
+
+    def known_providers(self) -> "List[str]":
+        return sorted(self._providers)
+
+    def snapshot(self) -> "Dict[str, Dict[str, object]]":
+        """Plain-dict view for reports and benchmarks."""
+        return {
+            provider: {
+                "status": self._status_of(health),
+                "ewma_latency_ms": health.ewma_latency_ms,
+                "successes": health.successes,
+                "failures": health.failures,
+                "consecutive_failures": health.consecutive_failures,
+            }
+            for provider, health in sorted(self._providers.items())
+        }

@@ -1,0 +1,66 @@
+"""Hedged requests: trade a little duplicate work for the tail.
+
+When a request has waited past the target's typical completion time,
+the slow path is usually a straggler (an overloaded or spiky community
+member), not the common case.  A :class:`HedgePolicy` fires one (or a
+few) speculative duplicate submissions once the wait crosses a latency
+percentile of the target's *observed* completions — tracked by the
+:class:`~repro.resilience.health.HealthRegistry` — and the first result
+wins; the loser is cancelled through the request-key correlation layer,
+so its late result is dropped instead of corrupting the handle.
+
+On a community target the duplicate re-runs member selection, and since
+selection is health/load-aware (or simply rotates), the hedge lands on a
+*different* member than the straggler — exactly the paper's dynamic
+delegation, applied to the latency tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.resilience.health import HealthRegistry
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When to fire a speculative duplicate submission.
+
+    * ``delay_percentile`` — hedge once the wait exceeds this percentile
+      of the target's recently observed completion latencies,
+    * ``min_delay_ms`` — floor under the percentile (and the delay used
+      while the registry has no samples yet),
+    * ``fixed_delay_ms`` — when set, overrides the percentile entirely,
+    * ``max_hedges`` — speculative duplicates per logical request.
+    """
+
+    delay_percentile: float = 0.95
+    min_delay_ms: float = 10.0
+    fixed_delay_ms: Optional[float] = None
+    max_hedges: int = 1
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.delay_percentile <= 1.0):
+            raise ValueError("delay_percentile must be in (0, 1]")
+        if self.min_delay_ms < 0:
+            raise ValueError("min_delay_ms must be >= 0")
+        if self.fixed_delay_ms is not None and self.fixed_delay_ms < 0:
+            raise ValueError("fixed_delay_ms must be >= 0")
+        if self.max_hedges < 1:
+            raise ValueError("max_hedges must be >= 1")
+
+    def delay_ms(
+        self,
+        health: "Optional[HealthRegistry]",
+        provider: str,
+    ) -> float:
+        """The wait before hedging a request against ``provider``."""
+        if self.fixed_delay_ms is not None:
+            return self.fixed_delay_ms
+        if health is None:
+            return self.min_delay_ms
+        percentile = health.percentile_ms(
+            provider, self.delay_percentile, default=self.min_delay_ms
+        )
+        return max(self.min_delay_ms, percentile)

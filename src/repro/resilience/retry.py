@@ -1,0 +1,116 @@
+"""Declarative retry policies: attempts, backoff, error classification.
+
+A :class:`RetryPolicy` is pure data plus pure functions — the *schedule*
+(exponential backoff with bounded jitter) and the *classification*
+(which outcomes are worth retrying) — so it can be unit-tested and
+audited without any transport.  The session layer executes the policy
+on the transport clock; jitter is drawn from a named
+:class:`~repro.sim.random_streams.RandomStreams` stream, so retry
+timing is deterministic per platform seed and immune to unrelated
+subsystems consuming random numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.runtime.protocol import ExecutionResult
+
+#: Fault-message fragments that indicate a *transient* condition — the
+#: provider (or a peer) may well answer on the next attempt.  Faults not
+#: matching any marker are treated as deterministic (a bad operation
+#: name fails identically every time) and are not retried.
+DEFAULT_RETRYABLE_FAULT_MARKERS = (
+    "timed out",
+    "timeout",
+    "unreliability",
+    "unreachable",
+    "member(s) failed",
+    "no member able",
+    # Community exhaustion with zero attempts: every member was
+    # suspended, constraint-excluded or breaker-open — breakers reset
+    # and members resume, so backing off and retrying can succeed.
+    "no healthy member",
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, how long to wait, and what to retry.
+
+    * ``max_attempts`` — total submissions (the first attempt included),
+    * ``base_delay_ms``/``multiplier``/``max_delay_ms`` — exponential
+      backoff: retry *k* waits ``base * multiplier**(k-1)`` ms, capped,
+    * ``jitter_fraction`` — symmetric jitter as a fraction of the delay,
+    * ``attempt_timeout_ms`` — per-attempt silence budget: when set, an
+      attempt with *no* response at all (dead host) is abandoned and
+      classified retryable after this long, instead of stalling the
+      whole call,
+    * ``retryable_statuses``/``retryable_fault_markers`` — outcome
+      classification (see :meth:`is_retryable`).
+    """
+
+    max_attempts: int = 3
+    base_delay_ms: float = 25.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 2_000.0
+    jitter_fraction: float = 0.1
+    attempt_timeout_ms: Optional[float] = None
+    retryable_statuses: Tuple[str, ...] = ("timeout",)
+    retryable_fault_markers: Tuple[str, ...] = (
+        DEFAULT_RETRYABLE_FAULT_MARKERS
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if not (0.0 <= self.jitter_fraction < 1.0):
+            raise ValueError("jitter_fraction must be in [0, 1)")
+
+    # Schedule ---------------------------------------------------------------
+
+    def backoff_ms(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = min(
+            self.base_delay_ms * self.multiplier ** (attempt - 1),
+            self.max_delay_ms,
+        )
+        if rng is None or self.jitter_fraction <= 0:
+            return base
+        spread = base * self.jitter_fraction
+        return max(0.0, base + rng.uniform(-spread, spread))
+
+    def schedule_ms(
+        self, rng: Optional[random.Random] = None
+    ) -> "List[float]":
+        """The full backoff schedule (one delay per possible retry)."""
+        return [
+            self.backoff_ms(attempt, rng)
+            for attempt in range(1, self.max_attempts)
+        ]
+
+    # Classification ---------------------------------------------------------
+
+    def is_retryable(self, result: "Optional[ExecutionResult]") -> bool:
+        """Whether an attempt's outcome is worth retrying.
+
+        ``None`` means the attempt produced *nothing* within its timeout
+        (host down, message lost) — always retryable.  Successes never
+        are; faults only when the fault text matches a transient marker.
+        """
+        if result is None:
+            return True
+        if result.ok:
+            return False
+        if result.status in self.retryable_statuses:
+            return True
+        fault = result.fault.lower()
+        return any(marker in fault for marker in self.retryable_fault_markers)

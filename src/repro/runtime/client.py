@@ -67,7 +67,9 @@ class RuntimeClient:
         body = message.body
         if message.kind == MessageKinds.EXECUTE_ACK:
             request_key = body.get("request_key", "")
-            if request_key:
+            if request_key and request_key not in self._completed:
+                # Acks of abandoned requests (retry/hedge losers, timed-out
+                # calls) are dropped so they cannot accumulate.
                 self._acks[request_key] = body.get("execution_id", "")
             return
         if message.kind != MessageKinds.EXECUTE_RESULT:
@@ -149,6 +151,20 @@ class RuntimeClient:
             body=body,
         ))
         return request_key
+
+    def abandon(self, request_key: str) -> None:
+        """Retire an in-flight request the caller no longer wants.
+
+        Drops its callback and ack, and marks the key completed so a
+        straggling (or duplicated) result is discarded instead of
+        leaking into the shared results pool.  This is how the
+        resilience layer cancels the losers of a hedged or retried
+        submission — the request-key correlation makes cancellation a
+        local bookkeeping operation, no extra wire messages.
+        """
+        self._callbacks.pop(request_key, None)
+        self._acks.pop(request_key, None)
+        self._mark_completed(request_key)
 
     def ack_for(self, request_key: str) -> str:
         """The acked execution id of a request, or ``""`` — never blocks."""
@@ -238,13 +254,11 @@ class RuntimeClient:
             lambda: bool(delivered), timeout_ms=timeout_ms
         )
         if not arrived:
-            # The caller is abandoning the request: retire its callback
-            # (no leak on repeated retries against a dead host) and mark
-            # it completed so a straggling result is dropped, not left as
-            # a ghost in the shared pool.
-            self._callbacks.pop(request_key, None)
-            self._acks.pop(request_key, None)
-            self._mark_completed(request_key)
+            # The caller is abandoning the request: retire its state so
+            # a straggling result is dropped, not left as a ghost in the
+            # shared pool (no leak on repeated retries against a dead
+            # host).
+            self.abandon(request_key)
             raise ExecutionTimeoutError(
                 f"no result for {operation!r} within {timeout_ms} ms "
                 f"(target {target_node!r} unreachable?)"

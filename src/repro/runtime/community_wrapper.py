@@ -6,6 +6,16 @@ fault *or timeout* fails over to the next one.  It records every outcome
 in the community's execution history, closing the feedback loop the paper
 describes ("the history of past executions and the status of ongoing
 executions").
+
+When deployed by a platform with resilience enabled, the wrapper also
+consults the shared :class:`~repro.resilience.HealthRegistry` and
+per-member circuit breakers: candidates are re-ordered so DOWN members
+sink to the back of the failover list, members whose breaker is open are
+skipped outright (no timeout paid — the breaker's half-open probes are
+the path back into rotation), and every delegation outcome — including
+timeouts, which only the wrapper can see — feeds the registry.  Failover
+additionally re-validates each candidate at attempt time, so a member
+suspended or constraint-excluded *after* ranking is never invoked.
 """
 
 from __future__ import annotations
@@ -17,6 +27,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.exceptions import NoMemberAvailableError
 from repro.net.message import Message
 from repro.net.transport import Transport
+from repro.resilience.breaker import BreakerRegistry, BreakerState
+from repro.resilience.events import EventKinds, ResilienceEventLog
+from repro.resilience.health import HealthRegistry, ProviderStatus
 from repro.runtime.directory import ServiceDirectory
 from repro.runtime.protocol import (
     MessageKinds,
@@ -63,6 +76,9 @@ class CommunityWrapperRuntime:
         history: Optional[ExecutionHistory] = None,
         timeout_ms: float = 1000.0,
         max_attempts: Optional[int] = None,
+        health: Optional[HealthRegistry] = None,
+        breakers: Optional[BreakerRegistry] = None,
+        events: Optional[ResilienceEventLog] = None,
     ) -> None:
         self.community = community
         self.policy = policy
@@ -72,10 +88,16 @@ class CommunityWrapperRuntime:
         self.history = history or ExecutionHistory()
         self.timeout_ms = timeout_ms
         self.max_attempts = max_attempts
+        self.health = health
+        self.breakers = breakers
+        self.events = events
+        if health is not None and hasattr(policy, "bind_health"):
+            policy.bind_health(health)
         self._delegations: Dict[str, _Delegation] = {}
         self._by_member_invocation: Dict[str, str] = {}
         self.delegated = 0
         self.failovers = 0
+        self.skipped = 0
 
     @property
     def endpoint_name(self) -> str:
@@ -116,6 +138,8 @@ class CommunityWrapperRuntime:
             SelectionRequest(operation=operation, arguments=arguments),
             self.history,
         )
+        if self.health is not None or self.breakers is not None:
+            ranked = self._order_candidates(ranked)
         delegation = _Delegation(
             invocation_id=body.get("invocation_id", ""),
             execution_id=body.get("execution_id", ""),
@@ -129,31 +153,104 @@ class CommunityWrapperRuntime:
         self._delegations[key] = delegation
         self._try_next_member(key)
 
+    def _order_candidates(
+        self, ranked: "List[MemberRecord]"
+    ) -> "List[MemberRecord]":
+        """Health veto over the policy's preference (stable per band).
+
+        DOWN members sink to the back of the failover list, so a dead
+        provider is the last resort instead of the first timeout;
+        breaker-refused members sink even further (the attempt loop will
+        skip them outright).  A non-closed breaker that *would* admit a
+        request right now resurfaces its member instead: that is the
+        half-open probe finding its way back into rotation — without it,
+        a recovered provider demoted to the back would never be
+        re-tried.
+        """
+        now = self.transport.now_ms()
+
+        def band(member: MemberRecord) -> int:
+            if self.breakers is not None:
+                breaker = self.breakers.breaker(member.service_name)
+                if breaker.state != BreakerState.CLOSED:
+                    return 0 if breaker.would_allow(now) else 3
+            if (
+                self.health is not None
+                and self.health.status(member.service_name)
+                == ProviderStatus.DOWN
+            ):
+                return 2
+            return 0
+
+        return sorted(ranked, key=band)
+
+    def _skip_reason(self, delegation: _Delegation,
+                     member: MemberRecord) -> str:
+        """Why ``member`` must not be attempted right now ("" = attempt).
+
+        Candidates were validated when the delegation was ranked, but
+        membership is dynamic: a member suspended (or whose constraint
+        stopped admitting the request) *after* ranking must not be
+        re-tried on failover.  A member whose circuit breaker refuses the
+        request is skipped too — no timeout paid for a known-dead
+        endpoint; ``allow`` lets half-open probes through.
+        """
+        if not member.active:
+            return "suspended"
+        if delegation.arguments is not None and not member.serves(
+            delegation.arguments
+        ):
+            return "constraint-excluded"
+        if self.breakers is not None:
+            breaker = self.breakers.breaker(member.service_name)
+            if not breaker.allow(self.transport.now_ms()):
+                return "breaker-open"
+        return ""
+
     def _try_next_member(self, key: str) -> None:
         delegation = self._delegations.get(key)
         if delegation is None or delegation.settled:
             return
         budget = self.max_attempts or len(delegation.candidates)
-        if (
-            delegation.next_index >= len(delegation.candidates)
-            or delegation.attempts >= budget
-        ):
+        member: Optional[MemberRecord] = None
+        while delegation.next_index < len(delegation.candidates):
+            if delegation.attempts >= budget:
+                break
+            candidate = delegation.candidates[delegation.next_index]
+            delegation.next_index += 1
+            reason = self._skip_reason(delegation, candidate)
+            if not reason:
+                member = candidate
+                break
+            self.skipped += 1
+            if self.events is not None:
+                self.events.record(
+                    self.transport.now_ms(), EventKinds.MEMBER_SKIPPED,
+                    candidate.service_name,
+                    f"{self.community.name}.{delegation.operation}: "
+                    f"{reason}",
+                )
+        if member is None:
+            reason = (
+                "no healthy member available (all suspended, "
+                "constraint-excluded or breaker-open)"
+                if delegation.attempts == 0
+                else f"all {delegation.attempts} attempted member(s) failed"
+            )
             self._settle_fault(
                 key,
-                f"community {self.community.name!r}: all "
-                f"{delegation.attempts} attempted member(s) failed for "
+                f"community {self.community.name!r}: {reason} for "
                 f"operation {delegation.operation!r}",
             )
             return
-        member = delegation.candidates[delegation.next_index]
-        delegation.next_index += 1
         delegation.attempts += 1
         delegation.current_member = member.service_name
         delegation.started_ms = self.transport.now_ms()
 
         if not self.directory.knows(member.service_name):
             # Member never deployed — treat as an instant failure and move on.
-            self.history.record_end(member.service_name, False, 0.0)
+            self._record_outcome(member.service_name, False, 0.0,
+                                 on_wire=False)
             self._try_next_member(key)
             return
 
@@ -166,6 +263,13 @@ class CommunityWrapperRuntime:
         self.delegated += 1
         if delegation.attempts > 1:
             self.failovers += 1
+            if self.events is not None:
+                self.events.record(
+                    self.transport.now_ms(), EventKinds.FAILOVER,
+                    member.service_name,
+                    f"{self.community.name}.{delegation.operation}: "
+                    f"attempt {delegation.attempts}",
+                )
 
         self.transport.send(Message(
             kind=MessageKinds.INVOKE,
@@ -188,6 +292,35 @@ class CommunityWrapperRuntime:
             self.host, self.timeout_ms, on_timeout
         )
 
+    def _record_outcome(
+        self,
+        member: str,
+        ok: bool,
+        duration_ms: float,
+        on_wire: bool = True,
+    ) -> None:
+        """Feed one delegation outcome to history, health and breakers.
+
+        Breakers are driven entirely from here (nothing else watches
+        per-member outcomes).  The health registry's passive transport
+        tap already samples every *answered* invocation, so the wrapper
+        reports to it only what the tap cannot see — timeouts and
+        never-deployed members (``on_wire=False``); a dead provider
+        never answers, and reporting its silence is what lets
+        health-aware ordering demote it before the next request pays
+        the same timeout.
+        """
+        self.history.record_end(member, ok, duration_ms)
+        now = self.transport.now_ms()
+        if self.health is not None and not on_wire:
+            self.health.record(member, ok, duration_ms, now)
+        if self.breakers is not None:
+            breaker = self.breakers.breaker(member)
+            if ok:
+                breaker.record_success(now)
+            else:
+                breaker.record_failure(now)
+
     def _on_member_result(self, message: Message) -> None:
         body = message.body
         member_invocation = body.get("invocation_id", "")
@@ -202,7 +335,7 @@ class CommunityWrapperRuntime:
             delegation.cancel_timeout = None
         duration = self.transport.now_ms() - delegation.started_ms
         ok = body.get("status") == "success"
-        self.history.record_end(delegation.current_member, ok, duration)
+        self._record_outcome(delegation.current_member, ok, duration)
         if ok:
             self._settle_success(key, body.get("outputs", {}))
         else:
@@ -215,7 +348,12 @@ class CommunityWrapperRuntime:
         if delegation is None or delegation.settled:
             return
         duration = self.transport.now_ms() - delegation.started_ms
-        self.history.record_end(delegation.current_member, False, duration)
+        if self.health is not None:
+            # The timeout verdict stands: a result straggling in after
+            # it must not be re-counted as a success by the passive tap.
+            self.health.forget_invocation(member_invocation)
+        self._record_outcome(delegation.current_member, False, duration,
+                             on_wire=False)
         self._try_next_member(key)
 
     # Settling ------------------------------------------------------------------

@@ -145,12 +145,59 @@ class MultiAttributePolicy(SelectionPolicy):
         )
 
 
+class HealthWeightedPolicy(SelectionPolicy):
+    """Prefer healthy members, then the lowest observed EWMA latency.
+
+    The health-weighted mode of selection: candidates are ordered by
+    live status (UP before DEGRADED before DOWN) from the platform's
+    :class:`~repro.resilience.HealthRegistry`, then by EWMA latency
+    (falling back to the advertised profile latency while a member has
+    no observations), then by name for determinism.  Without a bound
+    registry it degrades to advertised-latency order — deployment binds
+    the registry via :meth:`bind_health`.
+    """
+
+    name = "health-weighted"
+
+    def __init__(self, health: Optional[Any] = None) -> None:
+        #: A :class:`~repro.resilience.HealthRegistry` (kept as ``Any``
+        #: to leave this module import-light).
+        self.health = health
+
+    def bind_health(self, health: Any) -> None:
+        """Late-bind the platform's health registry (deploy-time hook)."""
+        if self.health is None:
+            self.health = health
+
+    def rank(
+        self,
+        candidates: "List[MemberRecord]",
+        request: SelectionRequest,
+        history: ExecutionHistory,
+    ) -> "List[MemberRecord]":
+        health = self.health
+
+        def key(member: MemberRecord) -> "tuple[int, float, str]":
+            if health is None:
+                return (0, member.profile.latency_mean_ms,
+                        member.service_name)
+            return (
+                health.rank(member.service_name),
+                health.ewma_ms(member.service_name,
+                               default=member.profile.latency_mean_ms),
+                member.service_name,
+            )
+
+        return sorted(candidates, key=key)
+
+
 _POLICIES = {
     RandomPolicy.name: RandomPolicy,
     RoundRobinPolicy.name: RoundRobinPolicy,
     LeastLoadedPolicy.name: LeastLoadedPolicy,
     HistoryQualityPolicy.name: HistoryQualityPolicy,
     MultiAttributePolicy.name: MultiAttributePolicy,
+    HealthWeightedPolicy.name: HealthWeightedPolicy,
 }
 
 

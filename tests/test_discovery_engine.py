@@ -169,3 +169,72 @@ class TestExecuteFlow:
         )
         assert result.ok
         assert result.outputs["insurance_ref"]
+
+
+class TestLocateErrorPaths:
+    """locate() is the half of locate-and-execute that can go stale."""
+
+    def test_locate_unknown_service_raises(self, manager):
+        with pytest.raises(DiscoveryError, match="not published"):
+            manager.discovery.locate("Ghost")
+
+    def test_locate_service_without_binding_raises(self, manager):
+        # A UDDI service record can exist without any binding template
+        # (e.g. a provider registered the entry but never uploaded the
+        # access point); locate must refuse it, not return a half-built
+        # binding.
+        soap = manager.discovery._soap
+        business = soap.call("save_business", {"name": "HalfCo"})
+        soap.call("save_service", {
+            "businessKey": business["businessKey"],
+            "name": "Bindingless",
+        })
+        listing = manager.discovery.service_detail("Bindingless")
+        assert listing.access_point == ""
+        with pytest.raises(DiscoveryError, match="no access point"):
+            manager.discovery.locate("Bindingless")
+
+    def test_locate_foreign_access_scheme_raises(self, manager):
+        soap = manager.discovery._soap
+        business = soap.call("save_business", {"name": "LegacyCo"})
+        record = soap.call("save_service", {
+            "businessKey": business["businessKey"],
+            "name": "LegacySoap",
+        })
+        soap.call("save_binding", {
+            "serviceKey": record["serviceKey"],
+            "accessPoint": "http://legacy.example/soap",
+        })
+        with pytest.raises(DiscoveryError, match="unsupported"):
+            manager.discovery.locate("LegacySoap")
+
+    def test_locate_unadvertised_operation_rejected_at_submit(self, manager):
+        from repro.demo.providers import make_car_rental
+
+        manager.register_elementary(make_car_rental(), "h-cars")
+        binding = manager.discovery.locate("CarRental")
+        assert binding.operations == ("rentCar",)
+        session = manager.platform.session("u", "u-host")
+        with pytest.raises(DiscoveryError, match="does not advertise"):
+            session.submit(binding, "fly", {})
+
+    def test_stale_binding_resolves_but_execution_times_out(self, manager):
+        from repro.demo.providers import make_car_rental
+        from repro.exceptions import ExecutionTimeoutError
+
+        wrapper = manager.register_elementary(make_car_rental(), "h-cars")
+        before = manager.discovery.locate("CarRental")
+        # Provider crashes: the endpoint goes away, UDDI keeps the entry
+        # (no liveness in the registry), so locate still resolves ...
+        wrapper.uninstall()
+        manager.transport.fail_node("h-cars")
+        stale = manager.discovery.locate("CarRental")
+        assert stale.access_point == before.access_point
+        # ... and the staleness only surfaces as an execution timeout.
+        client = manager.client("u2", "u2-host")
+        with pytest.raises(ExecutionTimeoutError):
+            manager.discovery.execute(
+                client, "CarRental", "rentCar",
+                {"destination": "sydney", "days": 2},
+                timeout_ms=200.0,
+            )

@@ -91,3 +91,16 @@ class TestClients:
     def test_client_node_created_on_demand(self, manager):
         manager.client("carol", "brand-new-host")
         assert manager.transport.has_node("brand-new-host")
+
+
+class TestDeprecation:
+    def test_constructing_servicemanager_warns(self):
+        from repro.manager import ServiceManager
+        from repro.net.simnet import SimTransport
+
+        with pytest.warns(DeprecationWarning,
+                          match="ServiceManager is deprecated"):
+            manager = ServiceManager(SimTransport())
+        # The shim stays fully functional after warning.
+        assert manager.platform is not None
+        assert manager.transport is manager.platform.transport

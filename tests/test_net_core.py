@@ -175,3 +175,40 @@ class TestTrafficStats:
         stats.reset()
         assert stats.sent_total == 0
         assert stats.load_by_node() == {}
+        assert stats.bytes_by_kind == {}
+
+    def test_bytes_by_kind_tracks_payload_volume(self):
+        stats = TrafficStats()
+        big = msg(kind="invoke", body={"payload": "x" * 100})
+        small = msg(kind="notify")
+        stats.record_sent(big)
+        stats.record_sent(small)
+        assert stats.bytes_by_kind["invoke"] == big.size_bytes()
+        assert stats.bytes_by_kind["notify"] == small.size_bytes()
+        assert (stats.bytes_total
+                == big.size_bytes() + small.size_bytes())
+
+    def test_snapshot_is_decoupled_from_live_counters(self):
+        stats = TrafficStats()
+        stats.record_sent(msg("a", "b", kind="invoke"))
+        frozen = stats.snapshot()
+        stats.record_sent(msg("a", "b", kind="invoke"))
+        assert frozen.sent_total == 1
+        assert frozen.sent_by_node["a"] == 1
+        assert stats.sent_by_node["a"] == 2
+
+    def test_diff_windows_counters(self):
+        stats = TrafficStats()
+        stats.record_sent(msg("a", "b", kind="invoke"))
+        before = stats.snapshot()
+        m = msg("c", "d", kind="notify", body={"k": "v"})
+        stats.record_sent(m)
+        stats.record_delivered(m)
+        window = stats.diff(before)
+        assert window.sent_total == 1
+        assert window.delivered_total == 1
+        assert window.bytes_total == m.size_bytes()
+        # Unchanged keys drop out of the per-key counters entirely.
+        assert window.by_kind == {"notify": 1}
+        assert window.sent_by_node == {"c": 1}
+        assert window.bytes_by_kind == {"notify": m.size_bytes()}

@@ -1,0 +1,165 @@
+"""Circuit-breaker state machine tests.
+
+The breaker is driven by explicit ``now_ms`` values, so the full
+closed -> open -> half-open -> {closed | open} cycle is asserted here
+deterministically without any transport; the integration with the sim
+clock is covered by the community-failover tests.
+"""
+
+import pytest
+
+from repro.resilience import (
+    BreakerConfig,
+    BreakerRegistry,
+    BreakerState,
+    CircuitBreaker,
+    EventKinds,
+    ResilienceEventLog,
+)
+
+CONFIG = BreakerConfig(failure_threshold=3, reset_timeout_ms=1_000.0,
+                       half_open_probes=1)
+
+
+def make_breaker(events=None):
+    return CircuitBreaker("M0", CONFIG, events)
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow(0.0)
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker = make_breaker()
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow(3.0)
+
+    def test_success_resets_consecutive_count(self):
+        breaker = make_breaker()
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        breaker.record_success(3.0)
+        breaker.record_failure(4.0)
+        breaker.record_failure(5.0)
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_threshold_consecutive_failures_open(self):
+        breaker = make_breaker()
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.opened_count == 1
+
+
+class TestOpenState:
+    def _opened(self, events=None):
+        breaker = make_breaker(events)
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        return breaker
+
+    def test_open_refuses_until_reset_timeout(self):
+        breaker = self._opened()
+        assert not breaker.allow(3.0)
+        assert not breaker.allow(1_002.9)  # opened at 3.0, reset at 1003
+        assert breaker.refused_count == 2
+
+    def test_reset_timeout_transitions_to_half_open(self):
+        breaker = self._opened()
+        assert breaker.allow(1_003.0)
+        assert breaker.state == BreakerState.HALF_OPEN
+
+    def test_would_allow_is_non_mutating(self):
+        breaker = self._opened()
+        assert not breaker.would_allow(500.0)
+        assert breaker.would_allow(1_003.0)
+        assert breaker.state == BreakerState.OPEN  # unchanged
+
+
+class TestHalfOpenState:
+    def _half_open(self, events=None):
+        breaker = make_breaker(events)
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert breaker.allow(1_003.0)  # consumes the single probe slot
+        return breaker
+
+    def test_probe_budget_enforced(self):
+        breaker = self._half_open()
+        assert not breaker.allow(1_004.0)  # only one probe in flight
+        assert not breaker.would_allow(1_004.0)
+
+    def test_probe_success_closes(self):
+        breaker = self._half_open()
+        breaker.record_success(1_010.0)
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow(1_011.0)
+
+    def test_probe_failure_reopens(self):
+        breaker = self._half_open()
+        breaker.record_failure(1_010.0)
+        assert breaker.state == BreakerState.OPEN
+        assert not breaker.allow(1_011.0)
+        # The reopen restarts the reset clock from the failure time.
+        assert breaker.allow(2_010.0)
+        assert breaker.state == BreakerState.HALF_OPEN
+
+
+class TestFullCycleAndEvents:
+    def test_full_cycle_emits_events(self):
+        events = ResilienceEventLog()
+        breaker = make_breaker(events)
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert breaker.allow(1_003.0)
+        breaker.record_success(1_010.0)
+        assert [e.kind for e in events.events()] == [
+            EventKinds.BREAKER_OPEN,
+            EventKinds.BREAKER_HALF_OPEN,
+            EventKinds.BREAKER_CLOSED,
+        ]
+        assert all(e.subject == "M0" for e in events.events())
+
+    def test_cycle_is_deterministic(self):
+        """Identical inputs produce identical state trajectories."""
+        def trajectory():
+            breaker = make_breaker()
+            states = []
+            for t in (1.0, 2.0, 3.0):
+                breaker.record_failure(t)
+                states.append(breaker.state)
+            breaker.allow(1_003.0)
+            states.append(breaker.state)
+            breaker.record_failure(1_050.0)
+            states.append(breaker.state)
+            breaker.allow(2_050.0)
+            breaker.record_success(2_060.0)
+            states.append(breaker.state)
+            return states
+
+        assert trajectory() == trajectory() == [
+            BreakerState.CLOSED, BreakerState.CLOSED, BreakerState.OPEN,
+            BreakerState.HALF_OPEN, BreakerState.OPEN, BreakerState.CLOSED,
+        ]
+
+
+class TestRegistry:
+    def test_breakers_created_lazily_and_cached(self):
+        registry = BreakerRegistry(CONFIG)
+        a = registry.breaker("M0")
+        assert registry.breaker("M0") is a
+        registry.breaker("M1")
+        assert registry.known_keys() == ["M0", "M1"]
+        assert registry.states() == {"M0": "closed", "M1": "closed"}
+
+    def test_registry_shares_config_and_events(self):
+        events = ResilienceEventLog()
+        registry = BreakerRegistry(BreakerConfig(failure_threshold=1),
+                                   events)
+        registry.breaker("M9").record_failure(5.0)
+        assert registry.states()["M9"] == BreakerState.OPEN
+        assert events.counts()[EventKinds.BREAKER_OPEN] == 1

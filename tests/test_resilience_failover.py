@@ -1,0 +1,266 @@
+"""Health-aware community failover tests.
+
+Covers the failover fix (suspended/constraint-excluded members are
+re-validated at attempt time, never re-tried on timeout), breaker
+gating with half-open probe recovery on the sim clock, and the
+health-ordered candidate list.
+"""
+
+import pytest
+
+from repro import Platform, PlatformConfig
+from repro.net.latency import FixedLatency
+from repro.resilience import (
+    BreakerConfig,
+    BreakerState,
+    EventKinds,
+    ResilienceConfig,
+)
+from repro.selection.policies import HealthWeightedPolicy, SelectionPolicy
+from repro.services.community import ServiceCommunity
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    ServiceDescription,
+    simple_description,
+)
+from repro.services.elementary import ElementaryService
+from repro.services.profile import ServiceProfile
+from repro.statecharts.builder import linear_chart
+
+TIMEOUT_MS = 100.0
+
+
+class NamedOrderPolicy(SelectionPolicy):
+    """Static name-order ranking — no learning, so tests can isolate
+    what the *breaker* layer contributes on top of selection."""
+
+    name = "named-order"
+
+    def rank(self, candidates, request, history):
+        return sorted(candidates, key=lambda m: m.service_name)
+
+
+def advance(platform, delay_ms):
+    """Advance virtual time by ``delay_ms`` (the sim only moves on events)."""
+    platform.transport.schedule("u-host", delay_ms, lambda: None)
+    platform.transport.run_until_idle()
+
+
+def make_member(name, latency_ms=5.0):
+    desc = simple_description(name, f"{name}-co", [("op", [], ["r"])])
+    service = ElementaryService(
+        desc, ServiceProfile(latency_mean_ms=latency_ms))
+    service.bind("op", lambda inputs, name=name: {"r": name})
+    return service
+
+
+def build_platform(members=3, resilience=None, policy="multi-attribute",
+                   constraints=None, breaker=None):
+    config = resilience
+    if config is None and breaker is not None:
+        config = ResilienceConfig(retry=None, breaker=breaker)
+    platform = Platform(PlatformConfig(
+        latency=FixedLatency(remote_ms=5.0),
+        resilience=config,
+    ))
+    community = ServiceCommunity(
+        simple_description("Pool", "alliance", [("op", [], ["r"])]))
+    for index in range(members):
+        name = f"M{index}"
+        platform.provider(f"mh{index}").elementary(make_member(name))
+        community.join(name, constraint=(constraints or {}).get(name, ""))
+    platform.provider("pool-host").community(
+        community, policy=policy, timeout_ms=TIMEOUT_MS,
+    )
+    composite = CompositeService(ServiceDescription("C"))
+    composite.define_operation(
+        OperationSpec("run"), linear_chart("c", [("a", "Pool", "op")]),
+    )
+    deployment = platform.deployer.deploy_composite(
+        composite, "c-host", default_timeout_ms=30_000.0,
+    )
+    session = platform.session("u", "u-host")
+    return platform, community, deployment, session
+
+
+class TestMidFlightRevalidation:
+    """The failover fix: candidates are re-checked at attempt time."""
+
+    def test_suspended_member_is_not_retried_on_timeout(self):
+        platform, community, deployment, session = build_platform(
+            resilience=ResilienceConfig(retry=None),
+        )
+        # M0 ranks first (multi-attribute ties break by name) and its
+        # host dies, so the delegation will time out and fail over.
+        platform.transport.fail_node("mh0")
+        handle = session.submit(deployment.address, "run", {})
+        # Let the delegation start (invoke to M0 is in flight), then
+        # suspend M1 *mid-flight* — after ranking, before failover.
+        platform.transport.wait_for(lambda: False, timeout_ms=30.0)
+        community.suspend("M1")
+        result = handle.result()
+        assert result.ok
+        history = platform.resilience.health.snapshot()
+        # M1 was never attempted: no health record, no invocation.
+        assert "M1" not in history
+        skipped = platform.tracer.resilience_events(
+            kind=EventKinds.MEMBER_SKIPPED, subject="M1")
+        assert len(skipped) == 1
+        assert "suspended" in skipped[0].detail
+
+    def test_constraint_excluded_member_is_not_retried_on_timeout(self):
+        platform, community, deployment, session = build_platform(
+            resilience=ResilienceConfig(retry=None),
+        )
+        platform.transport.fail_node("mh0")
+        handle = session.submit(deployment.address, "run", {})
+        platform.transport.wait_for(lambda: False, timeout_ms=30.0)
+        # The provider tightens M1's constraint mid-flight: it no longer
+        # admits this request, so failover must skip it.
+        record = community.member("M1")
+        record.constraint = "false"
+        record._compiled_constraint = None
+        result = handle.result()
+        assert result.ok
+        skipped = platform.tracer.resilience_events(
+            kind=EventKinds.MEMBER_SKIPPED, subject="M1")
+        assert len(skipped) == 1
+        assert "constraint-excluded" in skipped[0].detail
+
+    def test_all_members_unavailable_settles_a_fault(self):
+        platform, community, deployment, session = build_platform(
+            members=2, resilience=ResilienceConfig(retry=None),
+        )
+        platform.transport.fail_node("mh0")
+        handle = session.submit(deployment.address, "run", {})
+        platform.transport.wait_for(lambda: False, timeout_ms=30.0)
+        community.suspend("M1")
+        result = handle.result()
+        assert not result.ok
+        assert "member" in result.fault
+
+
+class TestBreakerGatedFailover:
+    BREAKER = BreakerConfig(failure_threshold=2,
+                            reset_timeout_ms=10_000.0,
+                            half_open_probes=1)
+
+    def _run(self, session, deployment):
+        started = session.transport.now_ms()
+        result = session.submit(deployment.address, "run", {}).result()
+        return result, session.transport.now_ms() - started
+
+    def test_breaker_opens_and_skips_the_dead_member(self):
+        platform, _community, deployment, session = build_platform(
+            breaker=self.BREAKER, policy=NamedOrderPolicy(),
+        )
+        platform.transport.fail_node("mh0")
+        durations = []
+        for _ in range(5):
+            result, took = self._run(session, deployment)
+            assert result.ok
+            durations.append(took)
+        # First two requests pay M0's timeout; once the breaker opens,
+        # M0 is skipped outright and requests drop under the timeout.
+        assert durations[0] > TIMEOUT_MS
+        assert durations[1] > TIMEOUT_MS
+        assert all(d < TIMEOUT_MS for d in durations[2:])
+        breakers = platform.resilience.breakers
+        assert breakers.states()["M0"] == BreakerState.OPEN
+        assert platform.tracer.resilience_events(
+            kind=EventKinds.BREAKER_OPEN, subject="M0")
+        # The first two requests failed over past the dead member.
+        assert platform.tracer.resilience_events(kind=EventKinds.FAILOVER)
+
+    def test_half_open_probe_recovers_a_revived_member(self):
+        platform, _community, deployment, session = build_platform(
+            breaker=self.BREAKER, policy=NamedOrderPolicy(),
+        )
+        platform.transport.fail_node("mh0")
+        for _ in range(3):
+            assert self._run(session, deployment)[0].ok
+        assert platform.resilience.breakers.states()["M0"] == (
+            BreakerState.OPEN)
+        # The provider comes back; once the reset timeout elapses on the
+        # sim clock, the next request probes M0 (half-open) and the
+        # probe's success closes the breaker.
+        platform.transport.recover_node("mh0")
+        advance(platform, 10_000.0)
+        result, _took = self._run(session, deployment)
+        assert result.ok
+        assert platform.resilience.breakers.states()["M0"] == (
+            BreakerState.CLOSED)
+        kinds = [e.kind for e in platform.tracer.resilience_events(
+            subject="M0")]
+        assert EventKinds.BREAKER_HALF_OPEN in kinds
+        assert EventKinds.BREAKER_CLOSED in kinds
+
+    def test_probe_failure_reopens_on_the_sim_clock(self):
+        platform, _community, deployment, session = build_platform(
+            breaker=self.BREAKER, policy=NamedOrderPolicy(),
+        )
+        platform.transport.fail_node("mh0")
+        for _ in range(3):
+            assert self._run(session, deployment)[0].ok
+        # Host still dead when the probe fires: the breaker re-opens and
+        # the *next* request skips M0 again without paying a timeout.
+        advance(platform, 10_000.0)
+        result, took = self._run(session, deployment)
+        assert result.ok
+        assert took > TIMEOUT_MS  # the probe paid one timeout
+        assert platform.resilience.breakers.states()["M0"] == (
+            BreakerState.OPEN)
+        result, took = self._run(session, deployment)
+        assert result.ok
+        assert took < TIMEOUT_MS
+
+
+class TestHealthOrderedSelection:
+    def test_down_member_sinks_to_the_back_of_the_candidates(self):
+        platform, _community, deployment, session = build_platform(
+            resilience=ResilienceConfig(retry=None),
+            policy="health-weighted",
+        )
+        platform.transport.fail_node("mh0")
+        # Pay the timeout once; the registry marks M0 DEGRADED/DOWN.
+        assert session.submit(deployment.address, "run", {}).result().ok
+        before = platform.transport.now_ms()
+        assert session.submit(deployment.address, "run", {}).result().ok
+        took = platform.transport.now_ms() - before
+        # Health-weighted ranking now starts at a live member: no
+        # timeout paid even without any breaker.
+        assert took < TIMEOUT_MS
+
+    def test_health_weighted_policy_orders_by_status_then_ewma(self):
+        from repro.resilience import HealthConfig, HealthRegistry
+        from repro.selection.history import ExecutionHistory
+        from repro.selection.policies import SelectionRequest
+        from repro.services.community import MemberRecord
+
+        health = HealthRegistry(HealthConfig(degraded_after=1,
+                                             down_after=2))
+        health.record_failure("M0", 100.0, now_ms=1.0)
+        health.record_failure("M0", 100.0, now_ms=2.0)   # M0 DOWN
+        health.record_success("M1", 40.0, now_ms=3.0)
+        health.record_success("M2", 10.0, now_ms=4.0)    # M2 fastest
+        policy = HealthWeightedPolicy()
+        policy.bind_health(health)
+        members = [MemberRecord(service_name=f"M{i}") for i in range(3)]
+        ranked = policy.rank(
+            members, SelectionRequest(operation="op"), ExecutionHistory())
+        assert [m.service_name for m in ranked] == ["M2", "M1", "M0"]
+
+    def test_policy_without_registry_falls_back_to_profile_latency(self):
+        from repro.selection.history import ExecutionHistory
+        from repro.selection.policies import SelectionRequest
+        from repro.services.community import MemberRecord
+
+        slow = MemberRecord(service_name="A",
+                            profile=ServiceProfile(latency_mean_ms=50.0))
+        fast = MemberRecord(service_name="B",
+                            profile=ServiceProfile(latency_mean_ms=5.0))
+        ranked = HealthWeightedPolicy().rank(
+            [slow, fast], SelectionRequest(operation="op"),
+            ExecutionHistory())
+        assert [m.service_name for m in ranked] == ["B", "A"]

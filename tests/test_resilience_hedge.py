@@ -1,0 +1,189 @@
+"""Hedging tests: speculative duplicates, loser cancellation, delays."""
+
+import pytest
+
+from repro import Platform, PlatformConfig
+from repro.net.latency import FixedLatency
+from repro.resilience import (
+    EventKinds,
+    HealthConfig,
+    HealthRegistry,
+    HedgePolicy,
+    ResilienceConfig,
+)
+from repro.services.community import ServiceCommunity
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    ServiceDescription,
+    simple_description,
+)
+from repro.services.description import Parameter, ParameterType
+from repro.services.elementary import ElementaryService
+from repro.services.profile import ServiceProfile
+from repro.statecharts.builder import StatechartBuilder
+
+
+class TestHedgeDelay:
+    def test_fixed_delay_overrides_percentile(self):
+        policy = HedgePolicy(fixed_delay_ms=40.0, min_delay_ms=5.0)
+        assert policy.delay_ms(None, "S") == 40.0
+
+    def test_percentile_delay_from_observed_latencies(self):
+        health = HealthRegistry(HealthConfig())
+        for index in range(1, 101):
+            health.record_success("S", float(index), now_ms=index)
+        policy = HedgePolicy(delay_percentile=0.9, min_delay_ms=5.0)
+        assert policy.delay_ms(health, "S") == 91.0
+
+    def test_min_delay_floors_the_percentile(self):
+        health = HealthRegistry(HealthConfig())
+        health.record_success("S", 1.0, now_ms=1.0)
+        policy = HedgePolicy(delay_percentile=0.95, min_delay_ms=25.0)
+        assert policy.delay_ms(health, "S") == 25.0
+        # And it is the fallback while there are no samples at all.
+        assert policy.delay_ms(health, "unseen") == 25.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(delay_percentile=0.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(max_hedges=0)
+
+
+def make_member(name, latency_ms):
+    desc = simple_description(name, f"{name}-co", [("op", [], ["r"])])
+    service = ElementaryService(
+        desc, ServiceProfile(latency_mean_ms=latency_ms))
+    service.bind("op", lambda inputs: {"r": name})
+    return service
+
+
+def build_platform(hedge, slow_ms=400.0):
+    """A community where the *first-ranked* member is the slow one.
+
+    Round-robin ranking starts at ``A-slow`` for the first delegation
+    and at ``B-fast`` for the second, so a hedged re-submission lands on
+    the fast member — the "second community member" hedging targets.
+    """
+    platform = Platform(PlatformConfig(
+        latency=FixedLatency(remote_ms=5.0),
+        resilience=ResilienceConfig(retry=None, hedge=hedge),
+    ))
+    platform.provider("slow-host").elementary(make_member("A-slow", slow_ms))
+    platform.provider("fast-host").elementary(make_member("B-fast", 5.0))
+    community = ServiceCommunity(
+        simple_description("Pool", "alliance", [("op", [], ["r"])]))
+    community.join("A-slow")
+    community.join("B-fast")
+    platform.provider("pool-host").community(
+        community, policy="round-robin", timeout_ms=5_000.0,
+    )
+    composite = CompositeService(ServiceDescription("C"))
+    chart = (StatechartBuilder("c").initial()
+             .task("a", "Pool", "op", outputs={"r": "r"})
+             .final().chain("initial", "a", "final")).build()
+    composite.define_operation(
+        OperationSpec("run",
+                      outputs=(Parameter("r", ParameterType.ANY),)),
+        chart,
+    )
+    deployment = platform.deployer.deploy_composite(composite, "c-host")
+    session = platform.session("u", "u-host")
+    return platform, deployment, session
+
+
+class TestSessionHedging:
+    def test_hedge_beats_the_straggler(self):
+        platform, deployment, session = build_platform(
+            HedgePolicy(fixed_delay_ms=50.0))
+        handle = session.submit(deployment.address, "run", {})
+        result = handle.result()
+        assert result.ok
+        assert result.outputs["r"] == "B-fast"  # the hedge won
+        makespan = result.finished_ms - handle.submitted_ms
+        assert makespan < 150.0  # nowhere near the 400 ms straggler
+        events = platform.tracer.resilience_events()
+        kinds = [e.kind for e in events]
+        assert EventKinds.HEDGE_FIRED in kinds
+        assert EventKinds.HEDGE_WON in kinds
+
+    def test_loser_is_cancelled_not_delivered(self):
+        platform, deployment, session = build_platform(
+            HedgePolicy(fixed_delay_ms=50.0))
+        handle = session.submit(deployment.address, "run", {})
+        first = handle.result()
+        # Drain past the straggler's completion: its late result must
+        # neither replace the winner nor leak into the shared pool.
+        platform.transport.wait_for(lambda: False, timeout_ms=1_000.0)
+        assert handle.result() is first
+        assert handle.result().outputs["r"] == "B-fast"
+        assert session.client.results_received() == 0
+        assert session.client._callbacks == {}
+
+    def test_fast_primary_never_hedges(self):
+        platform, deployment, session = build_platform(
+            HedgePolicy(fixed_delay_ms=50.0), slow_ms=5.0)
+        result = session.submit(deployment.address, "run", {}).result()
+        assert result.ok
+        assert platform.tracer.resilience_events(
+            kind=EventKinds.HEDGE_FIRED) == []
+
+    def test_max_hedges_bounds_duplicates(self):
+        platform, deployment, session = build_platform(
+            HedgePolicy(fixed_delay_ms=20.0, max_hedges=3),
+            slow_ms=400.0)
+        result = session.submit(deployment.address, "run", {}).result()
+        assert result.ok
+        fired = platform.tracer.resilience_events(
+            kind=EventKinds.HEDGE_FIRED)
+        # The first hedge (to the fast member) wins long before the
+        # third could fire; the cap and re-arming are both honoured.
+        assert 1 <= len(fired) <= 3
+
+    def test_hedge_survives_a_retry_backoff_gap(self):
+        """A hedge timer firing while nothing is in flight re-arms.
+
+        Primary times out at t=100, the retry waits until t=400; the
+        hedge timer (every 150 ms) crosses that gap with nothing
+        pending and must re-arm so the *retry* attempt still gets
+        hedged once it is on the wire.
+        """
+        from repro.resilience import RetryPolicy
+
+        platform = Platform(PlatformConfig(
+            latency=FixedLatency(remote_ms=5.0),
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=2, base_delay_ms=300.0,
+                                  jitter_fraction=0.0,
+                                  attempt_timeout_ms=100.0),
+                hedge=HedgePolicy(fixed_delay_ms=150.0),
+            ),
+        ))
+        platform.provider("p-host").elementary(make_member("Solo", 5.0))
+        composite = CompositeService(ServiceDescription("C2"))
+        chart = (StatechartBuilder("c").initial()
+                 .task("a", "Solo", "op")
+                 .final().chain("initial", "a", "final")).build()
+        composite.define_operation(OperationSpec("run"), chart)
+        deployment = platform.deployer.deploy_composite(composite,
+                                                        "dead-host")
+        platform.transport.fail_node("dead-host")
+        session = platform.session("u", "u-host")
+        result = session.submit(deployment.address, "run", {}).result(
+            timeout_ms=None)
+        assert result.status == "timeout"
+        # The retry attempt (fired at t=400, silent until its t=500
+        # timeout) was hedged at t=450 — the timer crossed the gap.
+        assert len(platform.tracer.resilience_events(
+            kind=EventKinds.HEDGE_FIRED)) == 1
+
+    def test_batch_submissions_hedge_independently(self):
+        platform, deployment, session = build_platform(
+            HedgePolicy(fixed_delay_ms=50.0))
+        handles = session.submit_many([
+            (deployment.address, "run", {}) for _ in range(4)
+        ])
+        results = session.gather(handles)
+        assert all(r.ok for r in results)
+        assert session.pending() == []

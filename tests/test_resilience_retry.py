@@ -1,0 +1,270 @@
+"""RetryPolicy tests: schedule, classification, session-level execution."""
+
+import pytest
+
+from repro import Platform, PlatformConfig
+from repro.exceptions import InvocationError
+from repro.net.latency import FixedLatency
+from repro.resilience import (
+    EventKinds,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.runtime.protocol import ExecutionResult
+from repro.services.community import ServiceCommunity
+from repro.services.composite import CompositeService
+from repro.services.description import (
+    OperationSpec,
+    ServiceDescription,
+    simple_description,
+)
+from repro.services.elementary import ElementaryService
+from repro.services.profile import ServiceProfile
+from repro.sim.random_streams import RandomStreams
+from repro.statecharts.builder import linear_chart
+
+
+def result(status="fault", fault="", ok=False):
+    return ExecutionResult(execution_id="e", status="success" if ok
+                           else status, fault=fault)
+
+
+class TestBackoffSchedule:
+    def test_exponential_schedule_without_jitter(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_ms=50.0,
+                             multiplier=2.0, jitter_fraction=0.0)
+        assert policy.schedule_ms() == [50.0, 100.0, 200.0]
+
+    def test_schedule_is_capped(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_ms=100.0,
+                             multiplier=10.0, max_delay_ms=500.0,
+                             jitter_fraction=0.0)
+        assert policy.schedule_ms() == [100.0, 500.0, 500.0, 500.0]
+
+    def test_jitter_is_bounded_and_deterministic_per_stream(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_ms=100.0,
+                             multiplier=1.0, jitter_fraction=0.2)
+        schedule_a = policy.schedule_ms(
+            RandomStreams(7).stream("resilience.retry-jitter"))
+        schedule_b = policy.schedule_ms(
+            RandomStreams(7).stream("resilience.retry-jitter"))
+        # Deterministic: same master seed, same named stream, same delays.
+        assert schedule_a == schedule_b
+        assert all(80.0 <= d <= 120.0 for d in schedule_a)
+        assert schedule_a != [100.0] * 5  # jitter actually applied
+        # A different seed yields a different (still bounded) schedule.
+        other = policy.schedule_ms(
+            RandomStreams(8).stream("resilience.retry-jitter"))
+        assert other != schedule_a
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_ms(0)
+
+
+class TestClassification:
+    POLICY = RetryPolicy()
+
+    def test_silence_is_retryable(self):
+        assert self.POLICY.is_retryable(None)
+
+    def test_success_is_not(self):
+        assert not self.POLICY.is_retryable(result(ok=True))
+
+    def test_timeout_status_is_retryable(self):
+        assert self.POLICY.is_retryable(
+            result(status="timeout", fault="execution exceeded deadline"))
+
+    def test_transient_fault_markers(self):
+        assert self.POLICY.is_retryable(result(
+            fault="service 'M0' failed (simulated unreliability)"))
+        assert self.POLICY.is_retryable(result(
+            fault="invocation of X timed out after 100 ms"))
+        assert self.POLICY.is_retryable(result(
+            fault="community 'Pool': all 3 attempted member(s) failed "
+                  "for operation 'op'"))
+
+    def test_deterministic_faults_are_not_retried(self):
+        assert not self.POLICY.is_retryable(result(
+            fault="composite 'C' has no operation 'teleport'"))
+
+
+def make_flaky(name, fail_first):
+    """A service whose first ``fail_first`` invocations fault transiently."""
+    desc = simple_description(name, f"{name}-co", [("op", [], ["r"])])
+    service = ElementaryService(desc, ServiceProfile(latency_mean_ms=5.0))
+    calls = {"count": 0}
+
+    def op(inputs):
+        calls["count"] += 1
+        if calls["count"] <= fail_first:
+            raise InvocationError("transient glitch: backend timed out")
+        return {"r": name}
+
+    service.bind("op", op)
+    return service, calls
+
+
+def build_platform(retry, target="Flaky", fail_first=2):
+    platform = Platform(PlatformConfig(
+        latency=FixedLatency(remote_ms=5.0),
+        resilience=ResilienceConfig(retry=retry),
+    ))
+    service, calls = make_flaky(target, fail_first)
+    platform.provider("p-host").elementary(service)
+    composite = CompositeService(ServiceDescription("C"))
+    composite.define_operation(
+        OperationSpec("run"), linear_chart("c", [("a", target, "op")]),
+    )
+    deployment = platform.deployer.deploy_composite(
+        composite, "c-host", default_timeout_ms=60_000.0,
+    )
+    session = platform.session("u", "u-host")
+    return platform, deployment, session, calls
+
+
+class TestSessionRetries:
+    def test_transient_faults_are_retried_to_success(self):
+        retry = RetryPolicy(max_attempts=3, base_delay_ms=20.0,
+                            jitter_fraction=0.0)
+        platform, deployment, session, calls = build_platform(retry)
+        handle = session.submit(deployment.address, "run", {})
+        result = handle.result()
+        assert result.ok
+        assert calls["count"] == 3  # two faults + the winning attempt
+        retries = platform.tracer.resilience_events(kind=EventKinds.RETRY)
+        assert len(retries) == 2
+        assert all(e.subject == "C" for e in retries)
+
+    def test_backoff_spaces_attempts_on_the_sim_clock(self):
+        retry = RetryPolicy(max_attempts=3, base_delay_ms=500.0,
+                            multiplier=2.0, jitter_fraction=0.0)
+        platform, deployment, session, _calls = build_platform(retry)
+        handle = session.submit(deployment.address, "run", {})
+        result = handle.result()
+        assert result.ok
+        # Two backoffs (500 + 1000 ms) dominate the virtual makespan.
+        makespan = result.finished_ms - handle.submitted_ms
+        assert makespan > 1_500.0
+
+    def test_exhausted_attempts_settle_with_the_failure(self):
+        retry = RetryPolicy(max_attempts=2, base_delay_ms=10.0,
+                            jitter_fraction=0.0)
+        platform, deployment, session, calls = build_platform(
+            retry, fail_first=10)
+        result = session.submit(deployment.address, "run", {}).result()
+        assert not result.ok
+        assert "timed out" in result.fault
+        assert calls["count"] == 2
+        assert session.pending() == []
+
+    def test_deterministic_faults_fail_fast(self):
+        retry = RetryPolicy(max_attempts=5, base_delay_ms=10.0,
+                            jitter_fraction=0.0)
+        platform, deployment, session, calls = build_platform(retry)
+        result = session.submit(deployment.address, "noSuchOp", {}).result()
+        assert not result.ok
+        assert calls["count"] == 0  # faulted at the wrapper, not the service
+        assert platform.tracer.resilience_events(
+            kind=EventKinds.RETRY) == []
+
+    def test_attempt_timeout_retries_through_a_dead_host(self):
+        """Silence (a dead host) is converted into retryable failures."""
+        retry = RetryPolicy(max_attempts=3, base_delay_ms=50.0,
+                            jitter_fraction=0.0, attempt_timeout_ms=200.0)
+        platform, deployment, session, _calls = build_platform(retry)
+        platform.transport.fail_node("c-host")
+        handle = session.submit(deployment.address, "run", {})
+        result = handle.result(timeout_ms=10_000.0)
+        assert result.status == "timeout"
+        assert "no response" in result.fault
+        assert "3 attempt(s)" in result.fault
+        timeouts = platform.tracer.resilience_events(
+            kind=EventKinds.ATTEMPT_TIMEOUT)
+        assert len(timeouts) == 3
+        # Abandoned attempts leave no correlation garbage behind.
+        assert session.client._callbacks == {}
+        assert session.client._acks == {}
+
+    def test_handle_correlation_follows_the_winning_retry(self):
+        """After the primary is abandoned, the handle re-keys.
+
+        The primary attempt dies with the host; the host recovers
+        before the retry fires, so the retry succeeds — and
+        ``execution_id()`` must answer from the *retry's* correlation
+        state, not block on the abandoned primary's ack.
+        """
+        retry = RetryPolicy(max_attempts=2, base_delay_ms=100.0,
+                            jitter_fraction=0.0, attempt_timeout_ms=100.0)
+        platform, deployment, session, _calls = build_platform(
+            retry, fail_first=0)
+        platform.transport.fail_node("c-host")
+        platform.transport.schedule(
+            "u-host", 150.0,
+            lambda: platform.transport.recover_node("c-host"))
+        handle = session.submit(deployment.address, "run", {})
+        primary_key = handle.request_key
+        result = handle.result(timeout_ms=10_000.0)
+        assert result.ok
+        assert handle.request_key != primary_key  # re-keyed to the retry
+        assert handle.execution_id() == result.execution_id
+        assert session.pending() == []
+
+    def test_health_registry_sees_session_outcomes(self):
+        retry = RetryPolicy(max_attempts=3, base_delay_ms=10.0,
+                            jitter_fraction=0.0)
+        platform, deployment, session, _calls = build_platform(retry)
+        assert session.submit(deployment.address, "run", {}).result().ok
+        snap = platform.resilience.health.snapshot()
+        assert snap["C"]["failures"] == 2
+        assert snap["C"]["successes"] >= 1
+
+    def test_resilience_disabled_keeps_v2_semantics(self):
+        platform = Platform(PlatformConfig(
+            latency=FixedLatency(remote_ms=5.0),
+        ))
+        assert platform.resilience is None
+        service, calls = make_flaky("Flaky", 1)
+        platform.provider("p-host").elementary(service)
+        composite = CompositeService(ServiceDescription("C"))
+        composite.define_operation(
+            OperationSpec("run"), linear_chart("c", [("a", "Flaky", "op")]),
+        )
+        deployment = platform.deployer.deploy_composite(composite, "c-host")
+        result = platform.session("u", "u-host").submit(
+            deployment.address, "run", {}).result()
+        assert not result.ok  # no retry: the first fault is the answer
+        assert calls["count"] == 1
+
+
+class TestCommunityFaultRetry:
+    def test_community_exhaustion_is_retryable_at_the_session(self):
+        """A community that briefly has no healthy member recovers."""
+        retry = RetryPolicy(max_attempts=3, base_delay_ms=100.0,
+                            jitter_fraction=0.0)
+        platform = Platform(PlatformConfig(
+            latency=FixedLatency(remote_ms=5.0),
+            resilience=ResilienceConfig(retry=retry),
+        ))
+        service, _calls = make_flaky("M0", 1)
+        platform.provider("m-host").elementary(service)
+        community = ServiceCommunity(
+            simple_description("Pool", "alliance", [("op", [], ["r"])]))
+        community.join("M0")
+        platform.provider("pool-host").community(
+            community, policy="health-weighted", timeout_ms=400.0,
+        )
+        composite = CompositeService(ServiceDescription("C"))
+        composite.define_operation(
+            OperationSpec("run"), linear_chart("c", [("a", "Pool", "op")]),
+        )
+        deployment = platform.deployer.deploy_composite(composite, "c-host")
+        session = platform.session("u", "u-host")
+        result = session.submit(deployment.address, "run", {}).result()
+        assert result.ok
+        assert len(platform.tracer.resilience_events(
+            kind=EventKinds.RETRY)) == 1
