@@ -5,14 +5,14 @@ SELF-SERV operations carry "consumed and produced events"; a
 transition's ECA rule may wait for an event.  This example composes a
 purchasing workflow where the execution *pauses* after quoting until a
 manager signals ``approve`` or ``reject`` — the E part of
-Event-Condition-Action — and shows the monitoring tracer watching the
-execution while it waits.
+Event-Condition-Action — delivered through the v2 handle API
+(``handle.signal``), with the monitoring tracer watching the execution
+while it waits.
 
 Run:  python examples/approval_workflow.py
 """
 
-from repro import ServiceManager, SimTransport, StatechartBuilder
-from repro.monitoring import ExecutionTracer
+from repro import Platform, StatechartBuilder
 from repro.services.composite import CompositeService
 from repro.services.description import (
     OperationSpec,
@@ -102,50 +102,46 @@ def build_workflow() -> CompositeService:
     return composite
 
 
-def run_case(manager, deployment, client, label, item, quantity,
+def run_case(platform, deployment, session, label, item, quantity,
              event, payload):
-    node, endpoint = deployment.address
-    request_key = client.submit(node, endpoint, "purchase",
-                                {"item": item, "quantity": quantity})
-    execution_id = client.execution_id_for(request_key)
-    manager.transport.run_until_idle()     # quote runs, then waits
+    handle = session.submit(deployment, "purchase",
+                            {"item": item, "quantity": quantity})
+    platform.transport.run_until_idle()    # quote runs, then waits
     print(f"{label}: quoted, execution parked awaiting the manager...")
-    client.signal(node, endpoint, execution_id, event, payload)
-    manager.transport.run_until_idle()
-    result = client.take_results()[execution_id]
+    handle.signal(event, payload)          # the manager's decision
+    result = handle.result()
     order = result.outputs.get("order_ref") or "(no order placed)"
     print(f"  manager said {event!r} {payload} -> {result.status}; "
           f"total={result.outputs['total']}, order={order}")
     print()
-    return result
+    return handle, result
 
 
 def main() -> None:
-    transport = SimTransport()
-    manager = ServiceManager(transport)
-    manager.register_elementary(make_quoting_service(), "supplyco-quotes")
-    manager.register_elementary(make_ordering_service(), "supplyco-orders")
-    deployment = manager.deploy_composite(build_workflow(), "demo-host")
-    client = manager.client("requester", "laptop")
-    tracer = ExecutionTracer(transport).attach()
+    platform = Platform()
+    platform.provider("supplyco-quotes").elementary(make_quoting_service())
+    platform.provider("supplyco-orders").elementary(make_ordering_service())
+    deployment = platform.deploy_composite(build_workflow(), "demo-host")
+    session = platform.session("requester", "laptop")
 
-    approved = run_case(manager, deployment, client,
-                        "case 1 (approved, within budget)",
-                        "chair", 4, "approve", {"budget": 2000.0})
+    first_handle, approved = run_case(
+        platform, deployment, session,
+        "case 1 (approved, within budget)",
+        "chair", 4, "approve", {"budget": 2000.0})
     assert approved.outputs["order_ref"]
 
-    too_dear = run_case(manager, deployment, client,
-                        "case 2 (approved, but over budget)",
-                        "laptop", 10, "approve", {"budget": 2000.0})
+    _, too_dear = run_case(platform, deployment, session,
+                           "case 2 (approved, but over budget)",
+                           "laptop", 10, "approve", {"budget": 2000.0})
     assert too_dear.outputs["order_ref"] is None
 
-    rejected = run_case(manager, deployment, client,
-                        "case 3 (rejected outright)",
-                        "desk", 2, "reject", {})
+    _, rejected = run_case(platform, deployment, session,
+                           "case 3 (rejected outright)",
+                           "desk", 2, "reject", {})
     assert rejected.outputs["order_ref"] is None
 
     print("monitoring view of case 1 (note the gap at the event wait):")
-    print(tracer.timelines()[0].render())
+    print(first_handle.trace().render())
 
 
 if __name__ == "__main__":

@@ -1,15 +1,15 @@
 #!/usr/bin/env python
 """A tour of the SELF-SERV architecture (paper Figure 1).
 
-Walks every box of the architecture diagram: the Service Manager's three
-modules (discovery engine, editor, deployer), the UDDI registry, and the
-pool of services (elementary services, a community, and a composite) —
-showing the artefact each step produces.
+Walks every box of the architecture diagram on the v2 ``Platform``
+facade: its three modules (discovery engine, editor, deployer), the
+UDDI registry, and the pool of services (elementary services, a
+community, and a composite) — showing the artefact each step produces.
 
 Run:  python examples/architecture_tour.py
 """
 
-from repro import ServiceManager, SimTransport
+from repro import Platform
 from repro.demo.providers import (
     make_attractions_search,
     make_car_rental,
@@ -19,33 +19,30 @@ from repro.xmlio import pretty_xml
 
 
 def main() -> None:
-    transport = SimTransport()
-    manager = ServiceManager(transport)
+    platform = Platform()  # deterministic simulated network
 
-    print("┌─ SELF-SERV Service Manager ──────────────────────────────┐")
+    print("┌─ SELF-SERV Platform ─────────────────────────────────────┐")
     print("│  service discovery engine · service editor · deployer   │")
     print("└──────────────────────────────────────────────────────────┘")
     print()
 
     # --- Pool of services: providers register elementary services -----
     print("[pool] providers deploy + publish elementary services")
-    attractions = make_attractions_search()
-    cars = make_car_rental()
-    manager.register_elementary(attractions, "host-sightseer",
-                                category="travel")
-    manager.register_elementary(cars, "host-roadrunner",
-                                category="travel")
+    (platform.provider("host-sightseer")
+             .elementary(make_attractions_search(), category="travel"))
+    (platform.provider("host-roadrunner")
+             .elementary(make_car_rental(), category="travel"))
     for name in ("AttractionsSearch", "CarRental"):
-        listing = manager.discovery.service_detail(name)
+        listing = platform.discovery.service_detail(name)
         print(f"  {listing.name:<18} provider={listing.provider:<11} "
               f"access={listing.access_point}")
     print()
 
     # --- Service editor: a composer defines a composite ----------------
     print("[editor] composer draws a 'day trip' composite")
-    draft = manager.new_draft("DayTrip", provider="MicroTours",
-                              documentation="attractions then a car")
-    canvas = draft.operation(
+    trip = platform.compose("DayTrip", provider="MicroTours",
+                            documentation="attractions then a car")
+    canvas = trip.operation(
         "plan",
         inputs=["customer", "destination"],
         outputs=["major_attraction", ("car_ref", ParameterType.STRING)],
@@ -60,19 +57,23 @@ def main() -> None:
                  outputs={"car_ref": "car_ref"})
            .final()
            .chain("initial", "AS", "CR", "final"))
-    errors, warnings = draft.check()
+    errors, warnings = trip.check()
     print(f"  editor validation: {len(errors)} errors, "
           f"{len(warnings)} warnings")
     print("  statechart:")
-    for line in draft.render("plan").splitlines():
+    for line in trip.draft().render("plan").splitlines():
         print(f"    {line}")
     print()
 
     # --- Service deployer: routing tables + coordinators ---------------
     print("[deployer] generating routing tables, installing coordinators")
-    deployment = manager.deploy_composite(draft, host="host-microtours")
+    deployment = trip.deploy(host="host-microtours")
     for line in deployment.describe().splitlines():
         print(f"  {line}")
+    plan = deployment.plans["plan"]
+    if plan is not None:
+        for line in plan.describe().splitlines():
+            print(f"  {line}")
     print()
     print("  routing-table XML uploaded to each host (excerpt):")
     xml_text = pretty_xml(deployment.tables_xml("plan"))
@@ -82,17 +83,17 @@ def main() -> None:
     print()
 
     # --- UDDI registry ----------------------------------------------------
-    stats = manager.discovery.registry.statistics()
+    stats = platform.discovery.registry.statistics()
     print(f"[registry] UDDI now holds {stats['businesses']} businesses, "
           f"{stats['services']} services, {stats['bindings']} bindings")
     print()
 
     # --- End user ---------------------------------------------------------
     print("[end user] locate and execute the composite")
-    result = manager.locate_and_execute(
-        "tourist", "tourist-phone", "DayTrip", "plan",
-        {"customer": "Tim", "destination": "cairns"},
-    )
+    session = platform.session("tourist", "tourist-phone")
+    binding = platform.locate("DayTrip")
+    result = session.execute(binding, "plan",
+                             {"customer": "Tim", "destination": "cairns"})
     print(f"  status : {result.status}")
     print(f"  outputs: {result.outputs}")
     assert result.ok

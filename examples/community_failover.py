@@ -10,7 +10,7 @@ degrade, fail and recover — and shows the selection policy reacting.
 Run:  python examples/community_failover.py
 """
 
-from repro import ServiceManager, SimTransport
+from repro import Platform
 from repro.demo.travel import deploy_travel_scenario
 
 
@@ -18,21 +18,21 @@ ARGS = {"customer": "Dana", "destination": "melbourne",
         "departure_date": "2026-08-01", "return_date": "2026-08-05"}
 
 
-def book(client, deployed, label):
-    result = client.execute(*deployed.address, "arrangeTrip", dict(ARGS),
-                            timeout_ms=600_000)
+def book(session, deployed, label):
+    result = session.execute(deployed.address, "arrangeTrip", dict(ARGS),
+                             timeout_ms=600_000)
     picked = (result.outputs.get("accommodation_ref") or "?").split("-")[0]
     print(f"  {label:<36} -> {result.status:<8} via {picked}")
     return result
 
 
 def main() -> None:
-    transport = SimTransport()
-    manager = ServiceManager(transport)
+    platform = Platform()
+    transport = platform.transport
     deployed = deploy_travel_scenario(
-        manager.deployer, community_policy="multi-attribute",
+        platform.deployer, community_policy="multi-attribute",
     )
-    client = manager.client("dana", "dana-laptop")
+    session = platform.session("dana", "dana-laptop")
     community = deployed.scenario.community
     wrapper = deployed.community_wrapper
 
@@ -46,23 +46,23 @@ def main() -> None:
 
     print("1) normal operation (multi-attribute selection):")
     for attempt in range(3):
-        book(client, deployed, f"booking #{attempt + 1}")
+        book(session, deployed, f"booking #{attempt + 1}")
     print()
 
     print("2) the fast member's host dies — timeout-driven failover:")
     transport.fail_node("host-globalstay")
-    book(client, deployed, "booking with GlobalStay down")
+    book(session, deployed, "booking with GlobalStay down")
     print(f"  failovers so far: {wrapper.failovers}")
     print()
 
     print("3) a second host dies — only BudgetBeds remains:")
     transport.fail_node("host-sunlodge")
-    book(client, deployed, "booking with two members down")
+    book(session, deployed, "booking with two members down")
     print()
 
     print("4) membership is dynamic — suspend the last member:")
     community.suspend("BudgetBedsBooking")
-    result = book(client, deployed, "booking with no active members")
+    result = book(session, deployed, "booking with no active members")
     assert result.status == "fault"
     print()
 
@@ -70,7 +70,7 @@ def main() -> None:
     community.resume("BudgetBedsBooking")
     transport.recover_node("host-globalstay")
     transport.recover_node("host-sunlodge")
-    result = book(client, deployed, "booking after recovery")
+    result = book(session, deployed, "booking after recovery")
     assert result.ok
     print()
 

@@ -1,34 +1,35 @@
 #!/usr/bin/env python
 """Locating and executing services (paper §4, Figure 3).
 
-Walks the Search panel flows: search the UDDI registry by provider, by
-service name and by operation; browse providers -> services ->
-operations; view a service's detail (WSDL-derived); then hit Execute on
-the travel composite, exactly as the demo's end user does.
+Walks the Search panel flows on the v2 ``Platform`` API: search the
+UDDI registry by provider, by service name and by operation; browse
+providers -> services -> operations; view a service's detail
+(WSDL-derived); then hit Execute on the travel composite, exactly as
+the demo's end user does — with the ``locate()`` fast path visible at
+the end.
 
 Run:  python examples/locate_and_execute.py
 """
 
-from repro import ServiceManager, SimTransport
+from repro import Platform
 from repro.demo.travel import deploy_travel_scenario
 
 
 def main() -> None:
-    transport = SimTransport()
-    manager = ServiceManager(transport)
+    platform = Platform()
 
     # Providers deploy; then every service is published in the UDDI
     # registry (WSDL placed at a public URL + business/service/binding).
-    deployed = deploy_travel_scenario(manager.deployer)
+    deployed = deploy_travel_scenario(platform.deployer)
     for service in deployed.scenario.all_services():
-        manager.discovery.publish(service.description, category="travel")
-    manager.discovery.publish(
+        platform.discovery.publish(service.description, category="travel")
+    platform.discovery.publish(
         deployed.scenario.community.description, category="travel",
     )
-    manager.discovery.publish(
+    platform.discovery.publish(
         deployed.scenario.composite.description, category="composite",
     )
-    stats = manager.discovery.registry.statistics()
+    stats = platform.discovery.registry.statistics()
     print(f"UDDI registry: {stats['businesses']} businesses, "
           f"{stats['services']} services, {stats['bindings']} bindings")
     print()
@@ -36,43 +37,44 @@ def main() -> None:
     print("=" * 68)
     print("SEARCH by service name: 'flight'")
     print("=" * 68)
-    print(manager.discovery.search(service_name="flight").render())
+    print(platform.discovery.search(service_name="flight").render())
     print()
 
     print("=" * 68)
     print("SEARCH by provider: 'EasyTrips'")
     print("=" * 68)
-    print(manager.discovery.search(provider="EasyTrips").render())
+    print(platform.discovery.search(provider="EasyTrips").render())
     print()
 
     print("=" * 68)
     print("SEARCH by operation: 'bookAccommodation'")
     print("=" * 68)
-    print(manager.discovery.search(operation="bookAccommodation").render())
+    print(platform.discovery.search(operation="bookAccommodation").render())
     print()
 
     print("=" * 68)
     print("SERVICE DETAIL panel: TravelArrangement")
     print("=" * 68)
-    listing = manager.discovery.service_detail("TravelArrangement")
+    listing = platform.discovery.service_detail("TravelArrangement")
     print(f"name        : {listing.name}")
     print(f"provider    : {listing.provider}")
     print(f"category    : {listing.category}")
     print(f"operations  : {', '.join(listing.operations)}")
     print(f"access point: {listing.access_point}")
     print(f"WSDL URL    : {listing.wsdl_url}")
-    document = manager.discovery.fetch_wsdl("TravelArrangement")
+    document = platform.discovery.fetch_wsdl("TravelArrangement")
     operation = document.operations[0]
     print(f"WSDL inputs : "
           f"{', '.join(name for name, _t in operation.inputs)}")
     print()
 
     print("=" * 68)
-    print("EXECUTE — supply parameter values and press Run")
+    print("EXECUTE — locate a typed binding, then press Run")
     print("=" * 68)
-    client = manager.client("enduser", "end-host")
-    result = manager.discovery.execute(
-        client, "TravelArrangement", "arrangeTrip",
+    session = platform.session("enduser", "end-host")
+    binding = platform.locate("TravelArrangement")   # SOAP/UDDI round trip
+    result = session.execute(
+        binding, "arrangeTrip",
         {"customer": "Carol", "destination": "tokyo",
          "departure_date": "2026-09-10", "return_date": "2026-09-24"},
     )
@@ -81,6 +83,15 @@ def main() -> None:
     for key, value in sorted(result.outputs.items()):
         print(f"  {key}: {value}")
     assert result.ok
+    print()
+
+    # Repeated locates ride the perf fast path (docs/PERF.md): the
+    # second resolution is a generation-checked cache hit, no SOAP.
+    platform.locate("TravelArrangement")
+    cache = platform.discovery.locate_cache
+    print(f"locate cache: {cache.stats.hits} hit(s), "
+          f"{cache.stats.misses} miss(es), "
+          f"hit rate {cache.stats.hit_rate():.0%}")
 
 
 if __name__ == "__main__":

@@ -31,6 +31,13 @@ Quickstart::
     result = handle.result()
     assert result.ok and result.outputs["car_ref"]  # Cairns reef is far!
 
+Under heavy traffic the platform runs on the ``repro.perf`` fast path
+(on by default, tuned via :class:`PerfConfig`): routing plans compiled
+once at deploy time, ``locate()`` served from a generation-invalidated
+cache over an indexed UDDI registry, and optional transport delivery
+batching — see ``docs/PERF.md`` and
+``benchmarks/results/CLAIM-FASTPATH.txt``.
+
 The v1 :class:`ServiceManager` facade and blocking
 :class:`RuntimeClient` calls keep working as a compatibility layer.
 """
@@ -48,6 +55,7 @@ from repro.api import (
 from repro.exceptions import SelfServError
 from repro.manager import ServiceManager
 from repro.monitoring import ExecutionTracer
+from repro.perf import PerfConfig
 from repro.resilience import HedgePolicy, ResilienceConfig, RetryPolicy
 from repro.net.inproc import InProcTransport
 from repro.net.simnet import SimTransport
@@ -73,6 +81,8 @@ __all__ = [
     "HedgePolicy",
     "ResilienceConfig",
     "RetryPolicy",
+    # perf fast path
+    "PerfConfig",
     # building blocks
     "CompositeService",
     "ElementaryService",

@@ -14,6 +14,10 @@ peer-to-peer runtime:
 * :class:`ResolvedBinding` — the typed address ``locate`` produces and
   ``submit`` accepts.
 
+``PlatformConfig.perf`` (a :class:`~repro.perf.PerfConfig`) tunes the
+fast path: routing-plan compilation, the ``locate()`` cache and
+transport delivery batching (``docs/PERF.md``).
+
 The v1 :class:`~repro.manager.ServiceManager` remains as a deprecated
 compatibility shim delegating here.
 """

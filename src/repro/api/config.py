@@ -10,7 +10,7 @@ to, and the default timeout budget — so that application code describes
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.deployment.placement import (
@@ -24,6 +24,7 @@ from repro.net.inproc import InProcTransport
 from repro.net.latency import LatencyModel
 from repro.net.simnet import SimTransport
 from repro.net.transport import Transport
+from repro.perf.config import PerfConfig
 from repro.resilience.config import ResilienceConfig
 from repro.selection.policies import SelectionPolicy
 
@@ -81,6 +82,11 @@ class PlatformConfig:
     #: session-level retries and hedging.  ``None`` (the default)
     #: disables the subsystem entirely.
     resilience: Optional[ResilienceConfig] = None
+    #: Fast-path tuning (``repro.perf``): routing-plan compilation, the
+    #: ``locate()`` cache, and transport delivery batching.  The default
+    #: enables compilation and the cache; ``PerfConfig.disabled()``
+    #: restores the seed path end to end (the benchmark baseline).
+    perf: PerfConfig = field(default_factory=PerfConfig)
 
     def _check_sim_only_fields(self) -> None:
         """Reject sim-tuning fields on a transport that cannot honour them.
@@ -97,6 +103,11 @@ class PlatformConfig:
             ignored.append("processing_ms")
         if self.seed != 0:
             ignored.append("seed")
+        # Coalescing windows need a clock to hold messages against; the
+        # threaded transport only drain-batches (perf.batch_max_messages)
+        # and a pre-built instance is configured directly.
+        if self.perf.batch_window_ms != 0.0:
+            ignored.append("perf.batch_window_ms")
         if ignored:
             raise SelfServError(
                 f"config field(s) {ignored} only apply to the simulated "
@@ -115,10 +126,15 @@ class PlatformConfig:
                 loss_rate=self.loss_rate,
                 rng=random.Random(self.seed),
                 processing_ms=self.processing_ms,
+                batch_window_ms=self.perf.batch_window_ms,
+                batch_max=self.perf.batch_max_messages,
             )
         if self.transport == "inproc":
             self._check_sim_only_fields()
-            return InProcTransport()
+            # Queue-drain batching has no window to wait for — already
+            # queued messages are simply drained together — so it is
+            # governed by the cap alone.
+            return InProcTransport(batch_max=self.perf.batch_max_messages)
         raise SelfServError(
             f"unknown transport {self.transport!r}; expected one of "
             f"{list(TRANSPORTS)} or a Transport instance"

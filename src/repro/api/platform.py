@@ -29,6 +29,7 @@ from repro.exceptions import SelfServError
 from repro.monitoring.tracer import ExecutionTracer
 from repro.net.node import Node
 from repro.net.transport import Transport
+from repro.perf.events import PerfEventLog
 from repro.resilience.runtime import ResilienceRuntime
 from repro.runtime.community_wrapper import CommunityWrapperRuntime
 from repro.runtime.directory import ServiceDirectory
@@ -70,9 +71,17 @@ class Platform:
             registry=self.config.registry,
             placement=self.config.build_placement(),
             resilience=self.resilience,
+            compile_plans=self.config.perf.compile_plans,
         )
-        self.discovery = ServiceDiscoveryEngine(self.transport,
-                                                self.directory)
+        #: Fast-path audit trail (cache hits/misses/invalidations),
+        #: surfaced through ``tracer.perf_events()``.
+        self.perf_events = PerfEventLog()
+        self.discovery = ServiceDiscoveryEngine(
+            self.transport,
+            self.directory,
+            perf=self.config.perf,
+            perf_events=self.perf_events,
+        )
         self.editor = ServiceEditor()
         self.tracer: Optional[ExecutionTracer] = (
             ExecutionTracer(self.transport).attach()
@@ -80,6 +89,8 @@ class Platform:
         )
         if self.tracer is not None and self.resilience is not None:
             self.tracer.resilience = self.resilience.events
+        if self.tracer is not None:
+            self.tracer.perf = self.perf_events
         self._sessions: Dict[str, Session] = {}
 
     @classmethod
@@ -148,6 +159,13 @@ class Platform:
             timeout_ms=(timeout_ms if timeout_ms is not None
                         else self.config.community_timeout_ms),
             max_attempts=max_attempts,
+        )
+        # Membership churn does not pass through the UDDI registry, so
+        # it must invalidate the locate() fast path explicitly.
+        community.add_membership_listener(
+            lambda name=community.name: self.discovery.invalidate_locates(
+                name, reason="community membership change"
+            )
         )
         if publish:
             self.discovery.publish(community.description, category=category)

@@ -10,6 +10,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.exceptions import DeploymentError
 from repro.expr import FunctionRegistry
 from repro.net.transport import Transport
+from repro.perf.plan import CompiledRoutingPlan, compile_routing_plan
 from repro.routing.generation import generate_routing_tables
 from repro.routing.serialization import routing_tables_to_xml
 from repro.routing.tables import (
@@ -44,6 +45,12 @@ class CompositeDeployment:
     )  # operation -> node_id -> coordinator
     tables: Dict[str, "Dict[str, RoutingTable]"] = field(default_factory=dict)
     graphs: Dict[str, FlatGraph] = field(default_factory=dict)
+    #: operation -> the deploy-time compiled dispatch plan shared by that
+    #: operation's coordinators (``None`` entries when the deployer runs
+    #: with ``compile_plans=False``).
+    plans: Dict[str, "Optional[CompiledRoutingPlan]"] = field(
+        default_factory=dict
+    )
 
     @property
     def address(self) -> "Tuple[str, str]":
@@ -98,6 +105,7 @@ class Deployer:
         registry: Optional[FunctionRegistry] = None,
         placement: Optional[PlacementPolicy] = None,
         resilience: "Optional[ResilienceRuntime]" = None,
+        compile_plans: bool = True,
     ) -> None:
         self.transport = transport
         self.directory = directory or ServiceDirectory()
@@ -106,6 +114,11 @@ class Deployer:
         #: When set, community wrappers deploy health-aware (breaker
         #: gating, status-ordered failover, resilience events).
         self.resilience = resilience
+        #: Compile each operation's routing tables into one shared
+        #: :class:`~repro.perf.CompiledRoutingPlan` at deploy time
+        #: (``False`` = seed behaviour: coordinators re-derive their
+        #: dispatch structures per firing).
+        self.compile_plans = compile_plans
 
     def _ensure_node(self, host: str):
         if not self.transport.has_node(host):
@@ -194,6 +207,7 @@ class Deployer:
         entry_points: Dict[str, Tuple[str, str]] = {}
         all_tables: Dict[str, Dict[str, RoutingTable]] = {}
         all_graphs: Dict[str, FlatGraph] = {}
+        all_plans: Dict[str, Optional[CompiledRoutingPlan]] = {}
         placed_tables: Dict[str, Dict[str, RoutingTable]] = {}
         event_targets: Dict[str, Dict[str, list]] = {}
         coordinator_locations: Dict[str, list] = {}
@@ -208,6 +222,13 @@ class Deployer:
             placed = self._assign_hosts(tables, hosts)
             all_tables[operation] = placed
             all_graphs[operation] = graph
+            # The plan is compiled once, over the *placed* tables, so the
+            # dispatch structures carry the peers' final host locations.
+            all_plans[operation] = (
+                compile_routing_plan(placed, composite.name, operation,
+                                     self.registry)
+                if self.compile_plans else None
+            )
             placed_tables[operation] = placed
             entry = graph.initial_node()
             entry_points[operation] = (
@@ -248,11 +269,13 @@ class Deployer:
             wrapper=wrapper,
             tables=all_tables,
             graphs=all_graphs,
+            plans=all_plans,
         )
 
         wrapper_address = (host, wrapper.endpoint_name)
         for operation, tables in placed_tables.items():
             installed: Dict[str, Coordinator] = {}
+            plan = all_plans[operation]
             for node_id, table in tables.items():
                 self._ensure_node(table.host)
                 coordinator = Coordinator(
@@ -264,6 +287,8 @@ class Deployer:
                     directory=self.directory,
                     wrapper_address=wrapper_address,
                     registry=self.registry,
+                    dispatch=(plan.dispatch_for(node_id)
+                              if plan is not None else None),
                 )
                 coordinator.install()
                 installed[node_id] = coordinator

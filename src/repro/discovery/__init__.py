@@ -15,8 +15,12 @@ on-the-wire artefacts:
   descriptions, published at URLs in an in-memory web,
 * :mod:`repro.discovery.registry` — the UDDI registry (businesses,
   services, binding templates, tModels) with find/get/save/delete calls,
+  inverted-index-backed inquiry and a mutation ``generation`` counter,
 * :mod:`repro.discovery.engine` — the Service Discovery Engine facade
-  providing the Publish and Search panels' functionality (Figure 3).
+  providing the Publish and Search panels' functionality (Figure 3);
+  its ``locate()`` runs on the ``repro.perf`` fast path: a TTL +
+  generation-invalidated cache that makes repeated resolutions O(1)
+  (see ``docs/PERF.md`` for the invalidation rules).
 """
 
 from repro.discovery.soap import SoapClient, SoapEnvelope, SoapServer

@@ -25,6 +25,9 @@ from repro.discovery.wsdl import (
     wsdl_from_description,
 )
 from repro.net.transport import Transport
+from repro.perf.cache import LocateCache
+from repro.perf.config import PerfConfig
+from repro.perf.events import PerfEventLog
 from repro.runtime.client import RuntimeClient
 from repro.runtime.directory import ServiceDirectory
 from repro.runtime.protocol import (
@@ -112,12 +115,27 @@ class ServiceDiscoveryEngine:
         directory: ServiceDirectory,
         registry: Optional[UddiRegistry] = None,
         resolver: Optional[UrlResolver] = None,
+        perf: Optional[PerfConfig] = None,
+        perf_events: Optional[PerfEventLog] = None,
     ) -> None:
         self.transport = transport
         self.directory = directory
         self.registry = registry or UddiRegistry()
         self.resolver = resolver or UrlResolver()
         self._soap = SoapClient(self.registry.as_soap_server())
+        self.perf = perf or PerfConfig()
+        #: The ``locate()`` fast path: a TTL + generation-invalidated
+        #: LRU cache of resolved bindings (``None`` when disabled via
+        #: ``PerfConfig.locate_cache_size == 0``).
+        self.locate_cache: Optional[LocateCache] = (
+            LocateCache(
+                size=self.perf.locate_cache_size,
+                ttl_ms=self.perf.locate_cache_ttl_ms,
+                now=transport.now_ms,
+                events=perf_events,
+            )
+            if self.perf.locate_cache_size > 0 else None
+        )
 
     # Publish flow ----------------------------------------------------------
 
@@ -275,6 +293,24 @@ class ServiceDiscoveryEngine:
 
     # Execute flow ------------------------------------------------------------------
 
+    def invalidate_locates(
+        self, service_name: Optional[str] = None, reason: str = ""
+    ) -> None:
+        """Flush ``locate()`` cache entries (one service, or all of them).
+
+        Invalidation signals that pass through the registry or the
+        directory are handled automatically by generation checks; this
+        hook is for churn they cannot see — above all community
+        membership changes, which re-point a community *name* at
+        different behaviour without touching its published binding.
+        """
+        if self.locate_cache is not None:
+            self.locate_cache.invalidate(service_name, reason=reason)
+
+    def _generation_token(self) -> "Tuple[int, int]":
+        """The invalidation token ``locate()`` cache entries live under."""
+        return (self.registry.generation, self.directory.generation)
+
     def locate(self, service_name: str) -> ResolvedBinding:
         """Resolve a published service to a typed runtime binding.
 
@@ -283,14 +319,25 @@ class ServiceDiscoveryEngine:
         :class:`DiscoveryError` exactly as the Execute button would fail.
         The returned binding is what :meth:`repro.api.Session.submit`
         accepts as a target.
+
+        Repeated locates are served from :attr:`locate_cache` (when
+        enabled): a hit skips the SOAP/UDDI round trips entirely, and
+        staleness is impossible in-process because every entry is
+        checked against the registry and directory generations (plus an
+        optional TTL) — see ``docs/PERF.md`` for the invalidation rules.
         """
+        token = self._generation_token()
+        if self.locate_cache is not None:
+            cached = self.locate_cache.get(service_name, token)
+            if cached is not None:
+                return cached
         listing = self.service_detail(service_name)
         if not listing.access_point:
             raise DiscoveryError(
                 f"service {service_name!r} has no access point binding"
             )
         node, endpoint = parse_access_point(listing.access_point)
-        return ResolvedBinding(
+        binding = ResolvedBinding(
             service=listing.name,
             node=node,
             endpoint=endpoint,
@@ -298,6 +345,11 @@ class ServiceDiscoveryEngine:
             access_point=listing.access_point,
             wsdl_url=listing.wsdl_url,
         )
+        if self.locate_cache is not None:
+            # Filled under the token observed *before* the resolution:
+            # a concurrent mutation between read and fill re-misses.
+            self.locate_cache.put(service_name, binding, token)
+        return binding
 
     def execute(
         self,

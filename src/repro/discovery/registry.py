@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set
 
 from repro.exceptions import (
     DuplicateRegistrationError,
@@ -101,13 +101,32 @@ class TModel:
 
 
 class UddiRegistry:
-    """The registry proper: storage plus inquiry/publish operations."""
+    """The registry proper: storage plus inquiry/publish operations.
+
+    Inquiry is index-backed (``repro.perf``): inverted indexes over
+    business name, owning business and category are maintained on every
+    publish/delete, so ``find_*`` calls touch only candidate entries
+    instead of scanning the whole registry.  Every mutation bumps
+    :attr:`generation`, the invalidation signal the discovery engine's
+    ``locate()`` cache checks per lookup.
+    """
 
     def __init__(self) -> None:
         self._businesses: Dict[str, BusinessEntity] = {}
         self._services: Dict[str, BusinessService] = {}
         self._bindings: Dict[str, BindingTemplate] = {}
         self._tmodels: Dict[str, TModel] = {}
+        # Inverted indexes (maintained by the publish API).
+        self._business_key_by_name: Dict[str, str] = {}
+        self._services_by_business: "Dict[str, Set[str]]" = {}
+        self._services_by_category: "Dict[str, Set[str]]" = {}
+        self._bindings_by_service: "Dict[str, List[str]]" = {}
+        #: Monotonic mutation counter: bumped by every save/delete, so
+        #: any cache keyed on registry state can invalidate exactly.
+        self.generation = 0
+
+    def _mutated(self) -> None:
+        self.generation += 1
 
     # Publish API ------------------------------------------------------------
 
@@ -126,6 +145,9 @@ class UddiRegistry:
             contact=contact,
         )
         self._businesses[entity.business_key] = entity
+        self._business_key_by_name[name] = entity.business_key
+        self._services_by_business[entity.business_key] = set()
+        self._mutated()
         return entity
 
     def save_service(
@@ -138,8 +160,8 @@ class UddiRegistry:
         if business_key not in self._businesses:
             raise NotRegisteredError(f"unknown business {business_key!r}")
         duplicate = any(
-            s.name == name and s.business_key == business_key
-            for s in self._services.values()
+            self._services[key].name == name
+            for key in self._services_by_business.get(business_key, ())
         )
         if duplicate:
             raise DuplicateRegistrationError(
@@ -154,6 +176,13 @@ class UddiRegistry:
             category=category,
         )
         self._services[service.service_key] = service
+        self._services_by_business[business_key].add(service.service_key)
+        if category:
+            self._services_by_category.setdefault(category, set()).add(
+                service.service_key
+            )
+        self._bindings_by_service[service.service_key] = []
+        self._mutated()
         return service
 
     def save_binding(
@@ -168,6 +197,10 @@ class UddiRegistry:
             wsdl_url=wsdl_url,
         )
         self._bindings[binding.binding_key] = binding
+        self._bindings_by_service.setdefault(service_key, []).append(
+            binding.binding_key
+        )
+        self._mutated()
         return binding
 
     def save_tmodel(self, name: str, overview_url: str = "") -> TModel:
@@ -177,25 +210,32 @@ class UddiRegistry:
             overview_url=overview_url,
         )
         self._tmodels[tmodel.tmodel_key] = tmodel
+        self._mutated()
         return tmodel
 
     def delete_service(self, service_key: str) -> None:
-        if service_key not in self._services:
+        service = self._services.get(service_key)
+        if service is None:
             raise NotRegisteredError(f"unknown service {service_key!r}")
         del self._services[service_key]
-        for binding_key in [
-            k for k, b in self._bindings.items()
-            if b.service_key == service_key
-        ]:
+        self._services_by_business.get(service.business_key, set()).discard(
+            service_key
+        )
+        if service.category:
+            by_category = self._services_by_category.get(service.category)
+            if by_category is not None:
+                by_category.discard(service_key)
+                if not by_category:
+                    del self._services_by_category[service.category]
+        for binding_key in self._bindings_by_service.pop(service_key, []):
             del self._bindings[binding_key]
+        self._mutated()
 
     # Inquiry API -----------------------------------------------------------------
 
     def find_business_by_name(self, name: str) -> Optional[BusinessEntity]:
-        for entity in self._businesses.values():
-            if entity.name == name:
-                return entity
-        return None
+        key = self._business_key_by_name.get(name)
+        return self._businesses[key] if key is not None else None
 
     def find_businesses(self, name_pattern: str = "") -> "List[BusinessEntity]":
         """Case-insensitive substring match, empty pattern matches all."""
@@ -214,16 +254,30 @@ class UddiRegistry:
         business_key: str = "",
         category: str = "",
     ) -> "List[BusinessService]":
+        """Find services, narrowing through the smallest inverted index.
+
+        ``business_key`` and ``category`` are exact attributes with
+        indexes; ``name_pattern`` is a substring match applied to the
+        candidates (only a full scan when it is the sole criterion).
+        """
+        candidates: "Optional[Set[str]]" = None
+        if business_key:
+            candidates = self._services_by_business.get(business_key, set())
+        if category:
+            by_category = self._services_by_category.get(category, set())
+            candidates = (
+                by_category if candidates is None
+                else candidates & by_category
+            )
+        pool = (
+            self._services.values() if candidates is None
+            else (self._services[key] for key in candidates)
+        )
         pattern = name_pattern.lower()
-        found = []
-        for service in self._services.values():
-            if pattern and pattern not in service.name.lower():
-                continue
-            if business_key and service.business_key != business_key:
-                continue
-            if category and service.category != category:
-                continue
-            found.append(service)
+        found = [
+            service for service in pool
+            if not pattern or pattern in service.name.lower()
+        ]
         return sorted(found, key=lambda s: s.name)
 
     def get_business(self, business_key: str) -> BusinessEntity:
@@ -242,8 +296,8 @@ class UddiRegistry:
         self.get_service(service_key)
         return sorted(
             (
-                b for b in self._bindings.values()
-                if b.service_key == service_key
+                self._bindings[key]
+                for key in self._bindings_by_service.get(service_key, ())
             ),
             key=lambda b: b.binding_key,
         )

@@ -5,7 +5,11 @@ the associated state" (paper §2).  This package provides the platform's
 monitoring view: an :class:`ExecutionTracer` observes the transport and
 reconstructs, per execution, the timeline of coordination events — which
 states fired, which services were invoked where and for how long, which
-events were signalled — without touching the runtime's hot path.
+events were signalled — without touching the runtime's hot path.  The
+tracer also surfaces the platform's decision logs: resilience events
+(``tracer.resilience_events()``), fast-path cache events
+(``tracer.perf_events()``) and delivery-batching counters
+(``tracer.batching()``).
 """
 
 from repro.monitoring.tracer import (

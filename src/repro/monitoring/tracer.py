@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.net.message import Message
 from repro.net.transport import Transport
+from repro.perf.events import PerfEvent, PerfEventLog
 from repro.resilience.events import ResilienceEvent, ResilienceEventLog
 from repro.runtime.protocol import MessageKinds
 
@@ -140,6 +141,10 @@ class ExecutionTracer:
         #: resilience is enabled — the monitoring console shows these
         #: next to the per-execution message timelines.
         self.resilience: Optional[ResilienceEventLog] = None
+        #: The platform's perf event log (cache_hit, cache_miss,
+        #: cache_invalidate, ...), attached by the platform — the fast
+        #: path's audit trail, read through :meth:`perf_events`.
+        self.perf: Optional[PerfEventLog] = None
 
     def attach(self) -> "ExecutionTracer":
         if not self._attached:
@@ -197,6 +202,27 @@ class ExecutionTracer:
         if self.resilience is None:
             return []
         return self.resilience.events(kind=kind, subject=subject)
+
+    def perf_events(
+        self,
+        kind: Optional[str] = None,
+        subject: Optional[str] = None,
+    ) -> "List[PerfEvent]":
+        """Recorded fast-path decisions (``[]`` without a perf log)."""
+        if self.perf is None:
+            return []
+        return self.perf.events(kind=kind, subject=subject)
+
+    def batching(self) -> "Dict[str, float]":
+        """The transport's delivery-batching numbers, as monitoring sees
+        them: flush count, batched message count and mean messages per
+        flush (all zero when batching is off)."""
+        stats = self.transport.stats
+        return {
+            "batch_flushes": stats.batch_flushes,
+            "batched_messages": stats.batched_messages,
+            "batch_efficiency": stats.batch_efficiency(),
+        }
 
     def clear(self) -> None:
         self._timelines.clear()

@@ -13,7 +13,11 @@ A *transport* carries :class:`Message` objects between endpoints:
   genuine concurrency; used by concurrency tests.
 
 Both collect :class:`TrafficStats`, the raw material of the paper's
-message-load claims.
+message-load claims, and both support delivery batching (``repro.perf``):
+coalesced delivery windows on the simulated transport
+(``batch_window_ms``), queue-drain batching on the threaded one
+(``batch_max``), measured by ``stats.batch_efficiency()`` and
+``stats.wire_arrivals()``.
 """
 
 from repro.net.latency import (

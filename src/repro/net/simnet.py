@@ -3,12 +3,22 @@
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
 
 from repro.net.latency import FixedLatency, LatencyModel
 from repro.net.message import Message
 from repro.net.transport import Transport
 from repro.sim.simulator import Simulator
+
+
+@dataclass
+class _DeliveryBatch:
+    """One open coalescing window at a target host."""
+
+    opened_at: float    # arrival time of the message that opened it
+    flush_at: float
+    messages: "List[Tuple[float, Message]]" = field(default_factory=list)
 
 
 class SimTransport(Transport):
@@ -26,6 +36,12 @@ class SimTransport(Transport):
       under load — the effect behind the paper's scalability argument.
       Local (same-host) calls skip the network stack and pay nothing.
       Default 0 disables the model.
+    * ``batch_window_ms`` coalesces delivery (``repro.perf``): messages
+      arriving at the same host within the window are held and handed
+      over in one flush event, trading at most one window of added
+      latency for fewer arrivals — ``stats.batch_flushes`` /
+      ``stats.wire_arrivals()`` measure the effect.  Default 0 keeps
+      one delivery event per message.
     """
 
     def __init__(
@@ -35,18 +51,29 @@ class SimTransport(Transport):
         loss_rate: float = 0.0,
         rng: Optional[random.Random] = None,
         processing_ms: float = 0.0,
+        batch_window_ms: float = 0.0,
+        batch_max: int = 64,
     ) -> None:
         super().__init__()
         if not (0.0 <= loss_rate < 1.0):
             raise ValueError("loss_rate must be in [0, 1)")
         if processing_ms < 0:
             raise ValueError("processing_ms must be >= 0")
+        if batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
         self.simulator = simulator or Simulator()
         self.latency = latency or FixedLatency()
         self.loss_rate = loss_rate
         self.rng = rng or random.Random(0)
         self.processing_ms = processing_ms
+        self.batch_window_ms = batch_window_ms
+        self.batch_max = batch_max
         self._busy_until: "dict[str, float]" = {}
+        # Per-target open delivery window (batching only): the newest
+        # batch still accepting messages; flushed batches drop out.
+        self._open_batches: "dict[str, _DeliveryBatch]" = {}
 
     def send(self, message: Message) -> None:
         if not self._precheck_send(message):
@@ -60,16 +87,73 @@ class SimTransport(Transport):
             return
         delay = self.latency.sample_ms(message.source, message.target,
                                        self.rng)
+        if self.batch_window_ms > 0:
+            self._enqueue_batched(message, self.simulator.now + delay)
+            return
         if self.processing_ms > 0 and not message.is_local:
-            # Serial handling at the target: the message is picked up when
-            # the host frees up, then occupies it for processing_ms.
-            arrival = self.simulator.now + delay
-            start = max(arrival, self._busy_until.get(message.target,
-                                                      0.0))
-            done = start + self.processing_ms
-            self._busy_until[message.target] = done
-            delay = done - self.simulator.now
+            delay = self._serial_processing_delay(message.target,
+                                                  self.simulator.now + delay)
         self.simulator.schedule(delay, lambda: self._deliver_now(message))
+
+    def _serial_processing_delay(self, target: str, arrival: float) -> float:
+        """Delay-from-now after serial handling at the target host.
+
+        The message is picked up when the host frees up, then occupies
+        it for ``processing_ms``.
+        """
+        start = max(arrival, self._busy_until.get(target, 0.0))
+        done = start + self.processing_ms
+        self._busy_until[target] = done
+        return done - self.simulator.now
+
+    # Delivery batching ------------------------------------------------------
+
+    def _enqueue_batched(self, message: Message, arrival: float) -> None:
+        """Join the target's open delivery window, or open a new one.
+
+        A window opens at the first message's arrival time and flushes
+        ``batch_window_ms`` later; messages whose own arrival falls
+        *inside* the window — no earlier than the opener (else the
+        flush would hold them longer than one window), no later than
+        the flush — ride the same flush.  Delivery never happens before
+        a message's arrival time, so batching only ever *adds* up to
+        one window of latency, regardless of the latency model.
+        """
+        batch = self._open_batches.get(message.target)
+        if (
+            batch is not None
+            and batch.opened_at <= arrival <= batch.flush_at
+            and len(batch.messages) < self.batch_max
+        ):
+            batch.messages.append((arrival, message))
+            return
+        new_batch = _DeliveryBatch(
+            opened_at=arrival,
+            flush_at=arrival + self.batch_window_ms,
+            messages=[(arrival, message)],
+        )
+        self._open_batches[message.target] = new_batch
+        self.simulator.schedule(
+            new_batch.flush_at - self.simulator.now,
+            lambda: self._flush_batch(message.target, new_batch),
+        )
+
+    def _flush_batch(self, target: str, batch: "_DeliveryBatch") -> None:
+        if self._open_batches.get(target) is batch:
+            del self._open_batches[target]
+        self.stats.record_batch_flush(len(batch.messages))
+        # Arrival order within the flush mirrors the unbatched schedule.
+        ordered = sorted(enumerate(batch.messages),
+                         key=lambda item: (item[1][0], item[0]))
+        for _, (arrival, message) in ordered:
+            if self.processing_ms > 0 and not message.is_local:
+                delay = self._serial_processing_delay(target,
+                                                      self.simulator.now)
+                self.simulator.schedule(
+                    delay, lambda m=message: self._deliver_now(m)
+                )
+            else:
+                self._deliver_now(message)
 
     def schedule(
         self, node_id: str, delay_ms: float, callback: Callable[[], None]

@@ -25,6 +25,11 @@ class TrafficStats:
     local_total: int = 0
     remote_total: int = 0
     bytes_total: int = 0
+    #: Coalesced delivery events (``repro.perf`` batching): one flush
+    #: hands a whole window's messages to a host in a single arrival.
+    batch_flushes: int = 0
+    #: Messages that arrived inside those flushes.
+    batched_messages: int = 0
     sent_by_node: Counter = field(default_factory=Counter)
     received_by_node: Counter = field(default_factory=Counter)
     by_kind: Counter = field(default_factory=Counter)
@@ -51,7 +56,34 @@ class TrafficStats:
     def record_dropped(self, message: Message) -> None:
         self.dropped_total += 1
 
+    def record_batch_flush(self, message_count: int) -> None:
+        """One coalesced delivery event carrying ``message_count`` messages."""
+        self.batch_flushes += 1
+        self.batched_messages += message_count
+
     # Analysis helpers ------------------------------------------------------
+
+    def batch_efficiency(self) -> float:
+        """Mean messages per coalesced flush (0.0 when nothing batched).
+
+        The headline batching number: how many per-message arrival
+        events each delivery window saved.
+        """
+        if self.batch_flushes == 0:
+            return 0.0
+        return self.batched_messages / self.batch_flushes
+
+    def wire_arrivals(self) -> int:
+        """Physical arrival events: flushes plus unbatched deliveries.
+
+        Without batching this equals :attr:`delivered_total`; with a
+        coalescing window it is what the per-execution "message count"
+        of CLAIM-FASTPATH measures — how many times a host was actually
+        woken by the network.
+        """
+        return self.batch_flushes + max(
+            0, self.delivered_total - self.batched_messages
+        )
 
     def node_load(self, node_id: str) -> int:
         """Messages touching ``node_id`` (sent + received)."""
@@ -110,6 +142,8 @@ class TrafficStats:
             local_total=self.local_total,
             remote_total=self.remote_total,
             bytes_total=self.bytes_total,
+            batch_flushes=self.batch_flushes,
+            batched_messages=self.batched_messages,
             sent_by_node=Counter(self.sent_by_node),
             received_by_node=Counter(self.received_by_node),
             by_kind=Counter(self.by_kind),
@@ -131,6 +165,9 @@ class TrafficStats:
             local_total=self.local_total - since.local_total,
             remote_total=self.remote_total - since.remote_total,
             bytes_total=self.bytes_total - since.bytes_total,
+            batch_flushes=self.batch_flushes - since.batch_flushes,
+            batched_messages=(self.batched_messages
+                              - since.batched_messages),
             sent_by_node=self.sent_by_node - since.sent_by_node,
             received_by_node=self.received_by_node - since.received_by_node,
             by_kind=self.by_kind - since.by_kind,
@@ -146,6 +183,8 @@ class TrafficStats:
         self.local_total = 0
         self.remote_total = 0
         self.bytes_total = 0
+        self.batch_flushes = 0
+        self.batched_messages = 0
         self.sent_by_node.clear()
         self.received_by_node.clear()
         self.by_kind.clear()

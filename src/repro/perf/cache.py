@@ -1,0 +1,138 @@
+"""The ``locate()`` cache: TTL + generation invalidation, LRU bounded.
+
+``locate`` is the hottest discovery call — every execution that targets a
+service by name resolves it first, and the seed path pays three SOAP/XML
+round trips per resolution.  This cache serves repeated locates in O(1)
+while staying *provably* fresh:
+
+* every entry stores the **generation token** (registry generation,
+  directory generation) observed when it was filled; a lookup whose
+  current token differs sees the entry discarded — any publish,
+  unpublish, redeploy or directory churn invalidates immediately,
+* an optional **TTL** (on the transport clock) bounds the lifetime of
+  entries even when no generation signal arrives (belt and braces for
+  out-of-process registries),
+* **explicit invalidation** (:meth:`LocateCache.invalidate`) handles
+  churn that does not pass through the registry, e.g. community
+  membership changes, and
+* capacity is bounded by LRU eviction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+from repro.perf.events import PerfEventKinds, PerfEventLog
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache instance (reset with the cache)."""
+
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0          # dropped on generation mismatch or TTL expiry
+    invalidations: int = 0  # entries removed by explicit invalidation
+    evictions: int = 0      # entries removed by LRU capacity pressure
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _Entry:
+    value: Any
+    token: "Tuple[int, ...]"
+    filled_at_ms: float
+
+
+class LocateCache:
+    """A generation-checked, TTL-bounded, LRU-evicting lookup cache."""
+
+    def __init__(
+        self,
+        size: int,
+        ttl_ms: float,
+        now: "Callable[[], float]",
+        events: Optional[PerfEventLog] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("LocateCache size must be >= 1; use no cache "
+                             "instead of a zero-sized one")
+        self.size = size
+        self.ttl_ms = ttl_ms
+        self._now = now
+        self._events = events
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def _record(self, kind: str, subject: str, detail: str = "") -> None:
+        if self._events is not None:
+            self._events.record(self._now(), kind, subject, detail)
+
+    def get(self, key: str, token: "Tuple[int, ...]") -> Optional[Any]:
+        """The cached value, or ``None`` on miss/stale.
+
+        ``token`` is the caller's *current* generation tuple; an entry
+        filled under a different token is stale and dropped on sight.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            self._record(PerfEventKinds.CACHE_MISS, key)
+            return None
+        if entry.token != token:
+            del self._entries[key]
+            self.stats.stale += 1
+            self.stats.misses += 1
+            self._record(PerfEventKinds.CACHE_STALE, key,
+                         "generation changed")
+            return None
+        if self.ttl_ms > 0 and self._now() - entry.filled_at_ms > self.ttl_ms:
+            del self._entries[key]
+            self.stats.stale += 1
+            self.stats.misses += 1
+            self._record(PerfEventKinds.CACHE_STALE, key, "ttl expired")
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self._record(PerfEventKinds.CACHE_HIT, key)
+        return entry.value
+
+    def put(self, key: str, value: Any, token: "Tuple[int, ...]") -> None:
+        """Fill (or refresh) an entry under the caller's current token."""
+        self._entries[key] = _Entry(
+            value=value, token=token, filled_at_ms=self._now()
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.size:
+            evicted, _ = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            self._record(PerfEventKinds.CACHE_EVICT, evicted)
+
+    def invalidate(
+        self, key: Optional[str] = None, reason: str = ""
+    ) -> int:
+        """Drop one entry (or all of them); returns how many were dropped."""
+        if key is not None:
+            dropped = 1 if self._entries.pop(key, None) is not None else 0
+        else:
+            dropped = len(self._entries)
+            self._entries.clear()
+        if dropped:
+            self.stats.invalidations += dropped
+            self._record(PerfEventKinds.CACHE_INVALIDATE,
+                         key or "*", reason)
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries

@@ -1,0 +1,72 @@
+"""Declarative performance knobs of the platform fast path.
+
+A :class:`PerfConfig` travels on :class:`~repro.api.PlatformConfig` and
+controls the three fast-path layers introduced by ``repro.perf``:
+
+* **compiled routing plans** — flatten every routing table into an
+  immutable per-coordinator dispatch structure at deploy time,
+* **indexed discovery** — the TTL+generation-invalidated ``locate()``
+  cache in front of the UDDI registry's inverted indexes,
+* **transport batching** — coalesced delivery windows on the simulated
+  transport and queue-drain batching on the threaded one.
+
+Every knob has an "off" position that restores the seed behaviour, which
+is what the CLAIM-FASTPATH benchmark compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PerfConfig:
+    """Tuning knobs of the ``repro.perf`` fast path.
+
+    The defaults enable the always-safe optimisations (plan compilation
+    and the generation-checked locate cache) and leave delivery batching
+    off, because a coalescing window trades a bounded amount of latency
+    for fewer delivery events and should be an explicit choice.
+    """
+
+    #: Compile each operation's routing tables into shared, immutable
+    #: per-coordinator dispatch structures at deploy time.  ``False``
+    #: restores the seed path where every coordinator re-derives its
+    #: row partitions and peer endpoint names on each firing.
+    compile_plans: bool = True
+    #: Maximum entries of the ``locate()`` cache (LRU).  ``0`` disables
+    #: the cache entirely — every locate round-trips through SOAP/UDDI.
+    locate_cache_size: int = 256
+    #: Time-to-live of a cache entry in transport-clock milliseconds.
+    #: ``0`` (or negative) means entries never expire by age and are
+    #: invalidated only by registry/directory generation bumps and
+    #: membership-change notifications.
+    locate_cache_ttl_ms: float = 60_000.0
+    #: Coalescing window of the simulated transport, in virtual
+    #: milliseconds: messages arriving at the same host within the
+    #: window are delivered in one flush event.  ``0`` disables
+    #: batching (one delivery event per message, the seed behaviour).
+    batch_window_ms: float = 0.0
+    #: Maximum messages carried by one flush (both transports).  On the
+    #: threaded transport this is the queue-drain cap: a dispatcher
+    #: wakeup delivers up to this many already-queued messages.
+    batch_max_messages: int = 64
+
+    def __post_init__(self) -> None:
+        if self.locate_cache_size < 0:
+            raise ValueError("locate_cache_size must be >= 0")
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        if self.batch_max_messages < 1:
+            raise ValueError("batch_max_messages must be >= 1")
+
+    @classmethod
+    def disabled(cls) -> "PerfConfig":
+        """The seed path: no plan compilation, no cache, no batching."""
+        return cls(
+            compile_plans=False,
+            locate_cache_size=0,
+            locate_cache_ttl_ms=0.0,
+            batch_window_ms=0.0,
+            batch_max_messages=1,
+        )

@@ -1,0 +1,74 @@
+"""Performance event records: the audit trail of fast-path decisions.
+
+Mirrors :mod:`repro.resilience.events` for the perf subsystem: every
+cache decision the discovery fast path takes — a ``locate()`` served
+from cache, a miss that fell through to SOAP/UDDI, an invalidation
+caused by registry churn or community membership change — is recorded
+here, so tests and operators can verify *why* a lookup was (or was not)
+fast.  The log is bounded and append-only;
+:class:`~repro.monitoring.tracer.ExecutionTracer` exposes it next to
+the per-execution message timelines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+
+class PerfEventKinds:
+    """Vocabulary of performance events."""
+
+    CACHE_HIT = "cache_hit"
+    CACHE_MISS = "cache_miss"
+    CACHE_STALE = "cache_stale"          # generation or TTL invalidated
+    CACHE_INVALIDATE = "cache_invalidate"  # explicit flush (churn)
+    CACHE_EVICT = "cache_evict"          # LRU capacity pressure
+
+
+@dataclass(frozen=True)
+class PerfEvent:
+    """One recorded fast-path decision."""
+
+    time_ms: float
+    kind: str      # one of :class:`PerfEventKinds`
+    subject: str   # the service name (or cache) the decision is about
+    detail: str = ""
+
+
+class PerfEventLog:
+    """Bounded, append-only log of :class:`PerfEvent` records."""
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._events: "Deque[PerfEvent]" = deque(maxlen=maxlen)
+
+    def record(
+        self, time_ms: float, kind: str, subject: str, detail: str = ""
+    ) -> PerfEvent:
+        event = PerfEvent(time_ms=time_ms, kind=kind,
+                          subject=subject, detail=detail)
+        self._events.append(event)
+        return event
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        subject: Optional[str] = None,
+    ) -> "List[PerfEvent]":
+        """Events in record order, optionally filtered."""
+        return [
+            e for e in self._events
+            if (kind is None or e.kind == kind)
+            and (subject is None or e.subject == subject)
+        ]
+
+    def counts(self) -> Counter:
+        """Event counts by kind (the cache dashboard numbers)."""
+        return Counter(e.kind for e in self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

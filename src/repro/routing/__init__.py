@@ -16,6 +16,11 @@ Routing tables contain preconditions and postprocessings."
   the flattened statechart.
 * XML round-trip (:func:`routing_table_to_xml` and friends): tables are
   stored as plain XML files on provider hosts, as in the original.
+
+At deploy time the tables are further compiled into immutable
+per-coordinator dispatch structures by :mod:`repro.perf.plan` — the
+runtime fast path that finishes the paper's "all reasoning happens at
+deployment" claim.
 """
 
 from repro.routing.tables import (

@@ -28,13 +28,16 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
 
 from repro.exceptions import EvaluationError, ExpressionError
 from repro.expr import CompiledExpression, FunctionRegistry
 from repro.net.message import Message
 from repro.net.transport import Transport
 from repro.routing.tables import FiringMode, PostprocessingRow, RoutingTable
+
+if TYPE_CHECKING:  # import would cycle through repro.runtime's package init
+    from repro.perf.plan import CoordinatorDispatch
 from repro.runtime.directory import ServiceDirectory
 from repro.runtime.protocol import (
     MessageKinds,
@@ -78,6 +81,7 @@ class Coordinator:
         directory: ServiceDirectory,
         wrapper_address: "Tuple[str, str]",
         registry: Optional[FunctionRegistry] = None,
+        dispatch: "Optional[CoordinatorDispatch]" = None,
     ) -> None:
         self.table = table
         self.composite = composite
@@ -87,6 +91,12 @@ class Coordinator:
         self.directory = directory
         self.wrapper_address = wrapper_address
         self._registry = registry
+        #: Deploy-time compiled dispatch structure (``repro.perf``): when
+        #: present, the hot paths below use its precomputed row
+        #: partitions, join edge sets and interned peer endpoints instead
+        #: of re-deriving them per notification.  ``None`` keeps the
+        #: seed's derive-per-firing behaviour (the benchmark baseline).
+        self._dispatch = dispatch
         self._executions: Dict[str, _ExecutionState] = {}
         self._waiting_tokens: "Dict[str, list]" = {}
         # Signals that arrived before any token was parked to consume
@@ -95,34 +105,25 @@ class Coordinator:
         # an event before its consumer's task completes.
         self._buffered_signals: "Dict[str, list]" = {}
         self._pending_invocations: Dict[str, "Tuple[str, Dict[str, Any]]"] = {}
-        self._compiled_guards: Dict[str, Optional[CompiledExpression]] = {}
-        self._compiled_actions: Dict[
-            str, "Tuple[Tuple[str, CompiledExpression], ...]"
-        ] = {}
-        self._compiled_inputs: "Dict[str, CompiledExpression]" = {}
-        self._compile_table()
-
-    # Static compilation (deployment-time work) ---------------------------
-
-    def _compile_table(self) -> None:
-        """Compile guards, actions and input mappings once, up front."""
-        for row in self.table.postprocessing.rows:
-            if row.fire_always or row.guard.strip() in ("", "true"):
-                self._compiled_guards[row.edge_id] = None
-            else:
-                self._compiled_guards[row.edge_id] = CompiledExpression(
-                    row.guard, self._registry
-                )
-            self._compiled_actions[row.edge_id] = tuple(
-                (action.target,
-                 CompiledExpression(action.expression, self._registry))
-                for action in row.actions
-            )
-        if self.table.binding is not None:
-            for parameter, expr in self.table.binding.input_mapping.items():
-                self._compiled_inputs[parameter] = CompiledExpression(
-                    expr, self._registry
-                )
+        self._compiled_guards: "Mapping[str, Optional[CompiledExpression]]"
+        self._compiled_actions: (
+            "Mapping[str, Tuple[Tuple[str, CompiledExpression], ...]]"
+        )
+        self._compiled_inputs: "Mapping[str, CompiledExpression]"
+        if dispatch is None:
+            # One source of truth for guard/action/input compilation:
+            # the seed path differs from the compiled one only in the
+            # hot-path structures it re-derives per firing, never in
+            # how expressions are classified and compiled.
+            from repro.perf.plan import compile_dispatch  # import here:
+            # a module-level import would cycle through repro.runtime's
+            # package init.  self._dispatch stays None, so the hot path
+            # keeps deriving its structures per firing (seed baseline).
+            dispatch = compile_dispatch(table, composite, operation,
+                                        registry)
+        self._compiled_guards = dispatch.guards
+        self._compiled_actions = dispatch.actions
+        self._compiled_inputs = dispatch.input_exprs
 
     # Wiring ------------------------------------------------------------------
 
@@ -172,7 +173,10 @@ class Coordinator:
     def _try_fire_join(
         self, execution_id: str, state: _ExecutionState
     ) -> None:
-        expected = [e.edge_id for e in self.table.precondition.entries]
+        expected = (
+            self._dispatch.expected_edges if self._dispatch is not None
+            else [e.edge_id for e in self.table.precondition.entries]
+        )
         if not expected:
             self._fire(execution_id, dict(state.env))
             state.firings += 1
@@ -261,12 +265,16 @@ class Coordinator:
         ECA rule.  A completion transition that is enabled wins over
         waiting for events, the usual statechart priority.
         """
-        immediate = [
-            row for row in self.table.postprocessing.rows if not row.event
-        ]
-        event_rows = [
-            row for row in self.table.postprocessing.rows if row.event
-        ]
+        if self._dispatch is not None:
+            immediate = self._dispatch.immediate_rows
+            event_rows = self._dispatch.event_rows
+        else:
+            immediate = [
+                row for row in self.table.postprocessing.rows if not row.event
+            ]
+            event_rows = [
+                row for row in self.table.postprocessing.rows if row.event
+            ]
         fired = 0
         for row in immediate:
             try:
@@ -330,7 +338,10 @@ class Coordinator:
         execution_id = body.get("execution_id", "")
         event = body.get("event", "")
         payload = body.get("payload", {})
-        if not any(
+        if self._dispatch is not None:
+            if event not in self._dispatch.consumed_events:
+                return
+        elif not any(
             row.event == event for row in self.table.postprocessing.rows
         ):
             return
@@ -344,10 +355,13 @@ class Coordinator:
     ) -> bool:
         """Wake parked tokens with ``event``; returns whether any fired."""
         tokens = self._waiting_tokens.get(execution_id, [])
-        event_rows = [
-            row for row in self.table.postprocessing.rows
-            if row.event == event
-        ]
+        if self._dispatch is not None:
+            event_rows = self._dispatch.rows_by_event.get(event, ())
+        else:
+            event_rows = [
+                row for row in self.table.postprocessing.rows
+                if row.event == event
+            ]
         consumed_any = False
         for token in tokens:
             if token.consumed:
@@ -419,15 +433,22 @@ class Coordinator:
         row: PostprocessingRow,
         env: "Dict[str, Any]",
     ) -> None:
-        target_host = row.target_host or self.host
+        if self._dispatch is not None:
+            target_host, target_endpoint = (
+                self._dispatch.notify_targets[row.edge_id]
+            )
+            target_host = target_host or self.host
+        else:
+            target_host = row.target_host or self.host
+            target_endpoint = coordinator_endpoint(
+                self.composite, self.operation, row.target_node
+            )
         self.transport.send(Message(
             kind=MessageKinds.NOTIFY,
             source=self.host,
             source_endpoint=self.endpoint_name,
             target=target_host,
-            target_endpoint=coordinator_endpoint(
-                self.composite, self.operation, row.target_node
-            ),
+            target_endpoint=target_endpoint,
             body=notify_body(
                 execution_id, row.edge_id, self.table.node_id, env
             ),

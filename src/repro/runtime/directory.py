@@ -20,6 +20,11 @@ class ServiceDirectory:
 
     def __init__(self) -> None:
         self._locations: Dict[str, Tuple[str, str]] = {}
+        #: Monotonic mutation counter: bumped by every (re)registration
+        #: and unregistration.  The discovery engine's ``locate()`` cache
+        #: checks it per lookup, so a redeployed service is never served
+        #: from a stale cached binding.
+        self.generation = 0
 
     def register(
         self, service: str, node_id: str, endpoint: str = ""
@@ -32,6 +37,7 @@ class ServiceDirectory:
         self._locations[service] = (
             node_id, endpoint or wrapper_endpoint(service)
         )
+        self.generation += 1
 
     def unregister(self, service: str) -> None:
         if service not in self._locations:
@@ -39,6 +45,7 @@ class ServiceDirectory:
                 f"service {service!r} is not in the directory"
             )
         del self._locations[service]
+        self.generation += 1
 
     def resolve(self, service: str) -> "Tuple[str, str]":
         """Return ``(node_id, endpoint)`` for ``service``; raise if absent."""

@@ -11,7 +11,7 @@ members" phrasing — membership is dynamic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.exceptions import (
     CommunityError,
@@ -84,6 +84,35 @@ class ServiceCommunity:
     def __init__(self, description: ServiceDescription) -> None:
         self.description = description
         self._members: Dict[str, MemberRecord] = {}
+        #: Monotonic membership mutation counter (join/leave/suspend/
+        #: resume) — the community-side half of the discovery cache's
+        #: generation invalidation.
+        self.membership_generation = 0
+        self._membership_listeners: "List[Callable[[], None]]" = []
+
+    # Membership-change observation ----------------------------------------
+
+    def add_membership_listener(
+        self, callback: "Callable[[], None]"
+    ) -> None:
+        """Call ``callback`` after every membership mutation.
+
+        The platform hooks the discovery engine's locate-cache
+        invalidation here: membership churn does not pass through the
+        UDDI registry, so without this signal a cached community binding
+        could outlive the membership it was resolved under.
+        """
+        self._membership_listeners.append(callback)
+
+    def remove_membership_listener(
+        self, callback: "Callable[[], None]"
+    ) -> None:
+        self._membership_listeners.remove(callback)
+
+    def _membership_changed(self) -> None:
+        self.membership_generation += 1
+        for callback in list(self._membership_listeners):
+            callback()
 
     @property
     def name(self) -> str:
@@ -139,6 +168,7 @@ class ServiceCommunity:
             constraint=constraint,
         )
         self._members[service_name] = record
+        self._membership_changed()
         return record
 
     def leave(self, service_name: str) -> None:
@@ -149,14 +179,17 @@ class ServiceCommunity:
                 f"{self.name!r}"
             )
         del self._members[service_name]
+        self._membership_changed()
 
     def suspend(self, service_name: str) -> None:
         """Take a member out of rotation without removing it."""
         self._record(service_name).active = False
+        self._membership_changed()
 
     def resume(self, service_name: str) -> None:
         """Return a suspended member to rotation."""
         self._record(service_name).active = True
+        self._membership_changed()
 
     def _record(self, service_name: str) -> MemberRecord:
         record = self._members.get(service_name)

@@ -1,0 +1,207 @@
+"""Locate-cache invalidation: the correctness half of the fast path.
+
+Satellite contract of the perf PR: *registry mutation (register /
+unregister / community membership change) must invalidate ``locate()``
+cache entries and bump the index generation.*  A cache that can serve a
+stale binding is worse than no cache, so these tests attack every
+invalidation edge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Platform, PlatformConfig
+from repro.exceptions import DiscoveryError
+from repro.perf import LocateCache, PerfConfig, PerfEventKinds, PerfEventLog
+from repro.services.community import ServiceCommunity
+from repro.services.description import (
+    OperationSpec,
+    Parameter,
+    ParameterType,
+    ServiceDescription,
+)
+from repro.services.elementary import ElementaryService
+
+
+class TestLocateCacheUnit:
+    def _cache(self, size=4, ttl_ms=100.0):
+        self.now = 0.0
+        self.events = PerfEventLog()
+        return LocateCache(size=size, ttl_ms=ttl_ms,
+                           now=lambda: self.now, events=self.events)
+
+    def test_hit_after_put_under_same_token(self):
+        cache = self._cache()
+        cache.put("svc", "binding", (1, 1))
+        assert cache.get("svc", (1, 1)) == "binding"
+        assert cache.stats.hits == 1 and cache.stats.misses == 0
+
+    def test_miss_on_absent_key(self):
+        cache = self._cache()
+        assert cache.get("svc", (1, 1)) is None
+        assert cache.stats.misses == 1
+
+    def test_generation_change_invalidates(self):
+        cache = self._cache()
+        cache.put("svc", "binding", (1, 1))
+        assert cache.get("svc", (2, 1)) is None
+        assert cache.stats.stale == 1
+        assert "svc" not in cache
+
+    def test_ttl_expiry_invalidates(self):
+        cache = self._cache(ttl_ms=100.0)
+        cache.put("svc", "binding", (1, 1))
+        self.now = 101.0
+        assert cache.get("svc", (1, 1)) is None
+        assert cache.stats.stale == 1
+
+    def test_zero_ttl_means_no_age_expiry(self):
+        cache = self._cache(ttl_ms=0.0)
+        cache.put("svc", "binding", (1, 1))
+        self.now = 1e9
+        assert cache.get("svc", (1, 1)) == "binding"
+
+    def test_lru_eviction_at_capacity(self):
+        cache = self._cache(size=2)
+        cache.put("a", 1, (1,))
+        cache.put("b", 2, (1,))
+        cache.get("a", (1,))          # refresh a; b is now LRU
+        cache.put("c", 3, (1,))
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_one_and_all(self):
+        cache = self._cache()
+        cache.put("a", 1, (1,))
+        cache.put("b", 2, (1,))
+        assert cache.invalidate("a") == 1
+        assert cache.invalidate() == 1      # only b left
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+    def test_events_recorded(self):
+        cache = self._cache()
+        cache.get("svc", (1,))
+        cache.put("svc", 1, (1,))
+        cache.get("svc", (1,))
+        cache.invalidate("svc", reason="test")
+        kinds = [e.kind for e in self.events.events()]
+        assert PerfEventKinds.CACHE_MISS in kinds
+        assert PerfEventKinds.CACHE_HIT in kinds
+        assert PerfEventKinds.CACHE_INVALIDATE in kinds
+
+    def test_zero_size_is_rejected(self):
+        with pytest.raises(ValueError):
+            LocateCache(size=0, ttl_ms=0.0, now=lambda: 0.0)
+
+
+def _service(name: str, provider: str = "TestCo") -> ElementaryService:
+    description = ServiceDescription(name=name, provider=provider)
+    description.add_operation(OperationSpec(
+        name="ping",
+        inputs=(Parameter("x", ParameterType.STRING),),
+        outputs=(Parameter("y", ParameterType.STRING),),
+    ))
+    service = ElementaryService(description)
+    service.bind("ping", lambda args: {"y": args["x"]})
+    return service
+
+
+class TestEngineLocateCaching:
+    def _platform(self, **perf_overrides) -> Platform:
+        return Platform(PlatformConfig(perf=PerfConfig(**perf_overrides)))
+
+    def test_repeated_locate_skips_soap(self):
+        platform = self._platform()
+        platform.provider("host-a").elementary(_service("Echo"))
+        engine = platform.discovery
+        engine.locate("Echo")
+        calls_after_first = engine._soap.calls_made
+        binding = engine.locate("Echo")
+        assert engine._soap.calls_made == calls_after_first
+        assert binding.node == "host-a"
+        assert engine.locate_cache.stats.hits == 1
+
+    def test_cache_disabled_round_trips_every_time(self):
+        platform = self._platform(locate_cache_size=0)
+        platform.provider("host-a").elementary(_service("Echo"))
+        engine = platform.discovery
+        assert engine.locate_cache is None
+        engine.locate("Echo")
+        calls_after_first = engine._soap.calls_made
+        engine.locate("Echo")
+        assert engine._soap.calls_made > calls_after_first
+
+    def test_registry_mutation_bumps_generation_and_invalidates(self):
+        platform = self._platform()
+        platform.provider("host-a").elementary(_service("Echo"))
+        engine = platform.discovery
+        engine.locate("Echo")
+        generation = engine.registry.generation
+        # A new publish is a registry mutation: the index generation
+        # moves and the cached entry no longer validates.
+        platform.provider("host-b").elementary(_service("Other", "OtherCo"))
+        assert engine.registry.generation > generation
+        calls_before = engine._soap.calls_made
+        engine.locate("Echo")
+        assert engine._soap.calls_made > calls_before  # re-resolved
+        assert engine.locate_cache.stats.stale >= 1
+
+    def test_unpublish_means_locate_raises_not_stale_hit(self):
+        platform = self._platform()
+        platform.provider("host-a").elementary(_service("Echo"))
+        engine = platform.discovery
+        engine.locate("Echo")
+        engine.unpublish("Echo")
+        with pytest.raises(DiscoveryError):
+            engine.locate("Echo")
+
+    def test_directory_churn_invalidates(self):
+        platform = self._platform()
+        platform.provider("host-a").elementary(_service("Echo"))
+        engine = platform.discovery
+        engine.locate("Echo")
+        generation = platform.directory.generation
+        platform.directory.register("Echo", "host-b")   # redeploy
+        assert platform.directory.generation == generation + 1
+        calls_before = engine._soap.calls_made
+        engine.locate("Echo")
+        assert engine._soap.calls_made > calls_before
+
+    def test_directory_unregister_bumps_generation(self):
+        platform = self._platform()
+        platform.provider("host-a").elementary(_service("Echo"))
+        generation = platform.directory.generation
+        platform.directory.unregister("Echo")
+        assert platform.directory.generation == generation + 1
+
+    def test_community_membership_change_invalidates(self):
+        platform = self._platform()
+        platform.provider("host-m").elementary(_service("Member1"))
+        community = ServiceCommunity(_service("Pool").description)
+        community.join("Member1")
+        platform.provider("host-c").community(community)
+        engine = platform.discovery
+        engine.locate("Pool")
+        assert "Pool" in engine.locate_cache
+        membership_generation = community.membership_generation
+        community.suspend("Member1")
+        assert community.membership_generation == membership_generation + 1
+        assert "Pool" not in engine.locate_cache
+        invalidations = engine.locate_cache.stats.invalidations
+        community.resume("Member1")
+        engine.locate("Pool")
+        community.leave("Member1")
+        assert engine.locate_cache.stats.invalidations > invalidations
+
+    def test_perf_events_surface_through_tracer(self):
+        platform = self._platform()
+        platform.provider("host-a").elementary(_service("Echo"))
+        platform.locate("Echo")
+        platform.locate("Echo")
+        kinds = {e.kind for e in platform.tracer.perf_events()}
+        assert PerfEventKinds.CACHE_MISS in kinds
+        assert PerfEventKinds.CACHE_HIT in kinds
+        hits = platform.tracer.perf_events(kind=PerfEventKinds.CACHE_HIT)
+        assert all(e.subject == "Echo" for e in hits)

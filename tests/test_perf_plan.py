@@ -1,0 +1,143 @@
+"""Compiled routing plans: structure, deployer wiring, and equivalence.
+
+The fast path must be *invisible* semantically: a composite deployed
+with compiled dispatch structures executes identically to one deployed
+on the seed derive-per-firing path — same results, same message counts,
+same traces.  These tests pin that equivalence plus the structural
+contract of :func:`repro.perf.compile_routing_plan`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Platform, PlatformConfig
+from repro.demo.travel import deploy_travel_scenario
+from repro.exceptions import RoutingError
+from repro.perf import PerfConfig, compile_dispatch, compile_routing_plan
+from repro.routing.generation import generate_routing_tables
+from repro.statecharts.builder import StatechartBuilder
+
+
+def _branching_chart():
+    """initial -> A -> (guarded split) -> B | C -> D -> final."""
+    builder = StatechartBuilder("branchy")
+    builder.initial()
+    builder.task("A", service="svc", operation="op")
+    builder.task("B", service="svc", operation="op")
+    builder.task("C", service="svc", operation="op")
+    builder.task("D", service="svc", operation="op")
+    builder.final()
+    builder.arc("initial", "A")
+    builder.arc("A", "B", condition="x > 1")
+    builder.arc("A", "C", condition="x <= 1")
+    builder.arc("B", "D")
+    builder.arc("C", "D")
+    builder.arc("D", "final")
+    return builder.build()
+
+
+class TestCompileRoutingPlan:
+    def _tables(self):
+        return generate_routing_tables(_branching_chart())
+
+    def test_plan_covers_every_coordinator(self):
+        tables = self._tables()
+        plan = compile_routing_plan(tables, "branchy", "op")
+        assert set(plan.dispatches) == set(tables)
+
+    def test_dispatch_partitions_rows(self):
+        tables = self._tables()
+        plan = compile_routing_plan(tables, "branchy", "op")
+        for node_id, table in tables.items():
+            dispatch = plan.dispatch_for(node_id)
+            rows = set(table.postprocessing.rows)
+            assert set(dispatch.immediate_rows) | set(dispatch.event_rows) \
+                == rows
+            assert not (set(dispatch.immediate_rows)
+                        & set(dispatch.event_rows))
+
+    def test_guarded_rows_compile_unguarded_rows_do_not(self):
+        tables = self._tables()
+        plan = compile_routing_plan(tables, "branchy", "op")
+        a = next(
+            plan.dispatch_for(n) for n, t in tables.items()
+            if any(r.guard == "x > 1" for r in t.postprocessing.rows)
+        )
+        guards = list(a.guards.values())
+        assert any(g is not None for g in guards)
+        d_rows_sources = [
+            plan.dispatch_for(n) for n, t in tables.items()
+            if all(r.guard in ("", "true") for r in t.postprocessing.rows)
+        ]
+        assert all(
+            g is None
+            for dispatch in d_rows_sources
+            for g in dispatch.guards.values()
+        )
+
+    def test_notify_targets_carry_rendered_endpoints(self):
+        tables = self._tables()
+        plan = compile_routing_plan(tables, "branchy", "op")
+        for node_id, table in tables.items():
+            dispatch = plan.dispatch_for(node_id)
+            for row in table.postprocessing.rows:
+                _, endpoint = dispatch.notify_targets[row.edge_id]
+                assert endpoint == f"coord:branchy:op:{row.target_node}"
+
+    def test_unknown_coordinator_raises(self):
+        plan = compile_routing_plan(self._tables(), "branchy", "op")
+        with pytest.raises(RoutingError):
+            plan.dispatch_for("nope")
+
+    def test_statistics_shape(self):
+        plan = compile_routing_plan(self._tables(), "branchy", "op")
+        stats = plan.statistics()
+        assert stats["coordinators"] == len(plan.dispatches)
+        assert stats["compiled_guards"] >= 2
+        assert stats["interned_endpoints"] >= 1
+        assert "compiled plan branchy.op" in plan.describe()
+
+
+class TestDeployerIntegration:
+    def test_deployment_stores_one_plan_per_operation(self):
+        platform = Platform.simulated()
+        deployed = deploy_travel_scenario(platform.deployer)
+        deployment = deployed.deployment
+        assert set(deployment.plans) == set(
+            deployment.composite.operations()
+        )
+        for operation, plan in deployment.plans.items():
+            assert plan is not None
+            assert set(plan.dispatches) == set(deployment.tables[operation])
+
+    def test_compile_plans_off_leaves_no_plans(self):
+        config = PlatformConfig(perf=PerfConfig.disabled())
+        platform = Platform(config)
+        deployed = deploy_travel_scenario(platform.deployer)
+        assert all(
+            plan is None for plan in deployed.deployment.plans.values()
+        )
+
+    def test_compiled_and_seed_paths_execute_identically(self):
+        """Same scenario, same seed: identical outputs and traffic."""
+        outcomes = []
+        for perf in (PerfConfig(), PerfConfig.disabled()):
+            platform = Platform(PlatformConfig(perf=perf))
+            deployed = deploy_travel_scenario(platform.deployer)
+            session = platform.session("alice", "alice-laptop")
+            results = session.gather(session.submit_many([
+                (deployed.deployment, "arrangeTrip", {
+                    "customer": "Alice", "destination": destination,
+                    "departure_date": "2026-08-01",
+                    "return_date": "2026-08-08",
+                })
+                for destination in ("sydney", "cairns", "paris", "tokyo")
+            ]))
+            assert all(r.ok for r in results)
+            outcomes.append((
+                [tuple(sorted(r.outputs.items())) for r in results],
+                platform.transport.stats.sent_total,
+                platform.transport.stats.delivered_total,
+            ))
+        assert outcomes[0] == outcomes[1]

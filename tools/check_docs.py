@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Docs checker: keep docs/*.md and README.md from silently rotting.
+
+Three checks over every Markdown file it is pointed at:
+
+1. **Fenced Python blocks compile** — every ```` ```python ```` block
+   must be syntactically valid (``compile(..., "exec")``); ``text``
+   fences are exempt.
+2. **Relative links resolve** — every ``[text](target)`` whose target
+   is not an URL/anchor must exist on disk, resolved against the
+   document's directory.
+3. **`repro.*` dotted references import** — every backticked
+   ``repro.something[.more]`` name must resolve to an importable
+   module, or an attribute chain on one.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status 0 when clean; 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FENCE_RE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+DOTTED_RE = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)`")
+
+
+def default_documents() -> "List[Path]":
+    documents = [REPO_ROOT / "README.md"]
+    documents.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [d for d in documents if d.exists()]
+
+
+def check_fences(path: Path, text: str) -> "List[str]":
+    problems = []
+    for match in FENCE_RE.finditer(text):
+        language, source = match.group(1), match.group(2)
+        if language not in ("python", "py"):
+            continue
+        line = text.count("\n", 0, match.start()) + 1
+        try:
+            compile(source, f"{path.name}:{line}", "exec")
+        except SyntaxError as exc:
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{line}: python fence does "
+                f"not compile: {exc.msg}"
+            )
+    return problems
+
+
+def check_links(path: Path, text: str) -> "List[str]":
+    problems = []
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{line}: broken link "
+                f"{match.group(1)!r}"
+            )
+    return problems
+
+
+def _resolves(dotted: str) -> bool:
+    parts = dotted.split(".")
+    for split in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        obj = module
+        try:
+            for attribute in parts[split:]:
+                obj = getattr(obj, attribute)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def check_references(path: Path, text: str) -> "List[str]":
+    problems = []
+    for match in DOTTED_RE.finditer(text):
+        dotted = match.group(1)
+        if not _resolves(dotted):
+            line = text.count("\n", 0, match.start()) + 1
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{line}: unresolvable "
+                f"reference `{dotted}`"
+            )
+    return problems
+
+
+def check_document(path: Path) -> "List[str]":
+    text = path.read_text(encoding="utf-8")
+    return (
+        check_fences(path, text)
+        + check_links(path, text)
+        + check_references(path, text)
+    )
+
+
+def main(argv: "List[str]") -> int:
+    documents = (
+        [Path(a).resolve() for a in argv] if argv else default_documents()
+    )
+    problems: "List[str]" = []
+    for document in documents:
+        problems.extend(check_document(document))
+    for problem in problems:
+        print(problem)
+    checked = ", ".join(str(d.relative_to(REPO_ROOT)) for d in documents)
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s) in {checked}")
+        return 1
+    print(f"docs-check: OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
