@@ -35,7 +35,12 @@ from repro.routing.tables import (
 )
 from repro.runtime.coordinator import Coordinator
 from repro.runtime.directory import ServiceDirectory
-from repro.runtime.protocol import MessageKinds, notify_body
+from repro.runtime.protocol import (
+    MessageKinds,
+    coordinator_endpoint,
+    notify_body,
+    wrapper_endpoint,
+)
 from repro.net.message import Message
 from repro.services.description import (
     OperationSpec,
@@ -161,9 +166,9 @@ def _time_firings(compiled):
     transport.add_node("h")
     node = transport.node("h")
     sink = lambda message: None  # noqa: E731 - peer/wrapper endpoints
-    node.register("wrapper:w", sink)
+    node.register(wrapper_endpoint("w"), sink)
     for i in range(FAN_OUT):
-        node.register(f"coord:c:op:t{i}", sink)
+        node.register(coordinator_endpoint("c", "op", f"t{i}"), sink)
     coordinator = Coordinator(
         table=table,
         composite="c",
@@ -171,13 +176,13 @@ def _time_firings(compiled):
         host="h",
         transport=transport,
         directory=ServiceDirectory(),
-        wrapper_address=("h", "wrapper:w"),
+        wrapper_address=("h", wrapper_endpoint("w")),
         dispatch=compile_dispatch(table, "c", "op") if compiled else None,
     )
     coordinator.install()
     notify = Message(
         kind=MessageKinds.NOTIFY,
-        source="h", source_endpoint="coord:c:op:src",
+        source="h", source_endpoint=coordinator_endpoint("c", "op", "src"),
         target="h", target_endpoint=coordinator.endpoint_name,
         body=notify_body("x", "in", "src", {}),
     )

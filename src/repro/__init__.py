@@ -53,6 +53,7 @@ from repro.api import (
     Session,
 )
 from repro.exceptions import SelfServError
+from repro.kernel import Actor, ActorKernel
 from repro.manager import ServiceManager
 from repro.monitoring import ExecutionTracer
 from repro.perf import PerfConfig
@@ -83,6 +84,9 @@ __all__ = [
     "RetryPolicy",
     # perf fast path
     "PerfConfig",
+    # actor kernel
+    "Actor",
+    "ActorKernel",
     # building blocks
     "CompositeService",
     "ElementaryService",

@@ -184,7 +184,8 @@ class Session:
         self.name = name
         self.host = host
         platform.ensure_node(host)
-        self.client = RuntimeClient(name, host, platform.transport)
+        self.client = RuntimeClient(name, host, platform.transport,
+                                    kernel=platform.kernel)
         self.client.install()
         # In-flight handles only: entries leave on result delivery, so a
         # long-lived session does not accumulate finished executions.

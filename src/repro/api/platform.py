@@ -26,6 +26,7 @@ from repro.deployment.deployer import CompositeDeployment, Deployer
 from repro.discovery.engine import ServiceDiscoveryEngine
 from repro.editor.drafts import CompositeDraft, ServiceEditor
 from repro.exceptions import SelfServError
+from repro.kernel.actor import ActorKernel
 from repro.monitoring.tracer import ExecutionTracer
 from repro.net.node import Node
 from repro.net.transport import Transport
@@ -60,9 +61,15 @@ class Platform:
             else self.config.build_transport()
         )
         self.directory = ServiceDirectory()
+        #: The actor substrate every runtime participant runs on.  The
+        #: kernel owns the middleware chain (per-actor counters by
+        #: default) and the delivery-tap fan-out the passive subsystems
+        #: (tracer, health registry) observe through — one transport
+        #: observer for all of them.
+        self.kernel = ActorKernel(self.transport)
         self.resilience: Optional[ResilienceRuntime] = (
             ResilienceRuntime(self.transport, self.config.resilience,
-                              seed=self.config.seed)
+                              seed=self.config.seed, kernel=self.kernel)
             if self.config.resilience is not None else None
         )
         self.deployer = Deployer(
@@ -72,6 +79,7 @@ class Platform:
             placement=self.config.build_placement(),
             resilience=self.resilience,
             compile_plans=self.config.perf.compile_plans,
+            kernel=self.kernel,
         )
         #: Fast-path audit trail (cache hits/misses/invalidations),
         #: surfaced through ``tracer.perf_events()``.
@@ -84,7 +92,7 @@ class Platform:
         )
         self.editor = ServiceEditor()
         self.tracer: Optional[ExecutionTracer] = (
-            ExecutionTracer(self.transport).attach()
+            ExecutionTracer(self.transport).attach(via=self.kernel)
             if self.config.trace else None
         )
         if self.tracer is not None and self.resilience is not None:

@@ -15,17 +15,22 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import DeploymentError
 from repro.expr import CompiledExpression, FunctionRegistry
+from repro.kernel.actor import Actor, ActorKernel, handles
+from repro.kernel.envelopes import (
+    Execute,
+    ExecuteAck,
+    ExecuteResult,
+    Invoke,
+    InvokeResult,
+    Signal,
+)
 from repro.net.message import Message
 from repro.net.transport import Transport
 from repro.routing.tables import FiringMode
 from repro.routing.generation import generate_routing_tables
 from repro.routing.tables import RoutingTable
 from repro.runtime.directory import ServiceDirectory
-from repro.runtime.protocol import (
-    MessageKinds,
-    central_endpoint,
-    invoke_body,
-)
+from repro.runtime.protocol import central_endpoint
 from repro.services.composite import CompositeService
 from repro.statecharts.flatten import FlatGraph, NodeKind, flatten
 from repro.statecharts.validation import validate
@@ -58,13 +63,15 @@ class _CentralExecution:
     request_key: str = ""
 
 
-class CentralOrchestrator:
+class CentralOrchestrator(Actor):
     """A classic central workflow engine over the same service pool.
 
     It reuses the routing-table *data* (generated from the same flattened
     graph) purely as its internal representation — the difference from the
     P2P runtime is architectural: every decision and every message goes
-    through this one host.
+    through this one host.  It runs on the same kernel actor substrate
+    as the P2P participants, so message-count comparisons measure the
+    coordination model, not the plumbing.
     """
 
     def __init__(
@@ -76,10 +83,10 @@ class CentralOrchestrator:
         registry: Optional[FunctionRegistry] = None,
         default_timeout_ms: Optional[float] = None,
         validate_charts: bool = True,
+        kernel: Optional[ActorKernel] = None,
     ) -> None:
+        super().__init__(host, transport, kernel)
         self.composite = composite
-        self.host = host
-        self.transport = transport
         self.directory = directory
         self.default_timeout_ms = default_timeout_ms
         self._registry = registry
@@ -140,27 +147,11 @@ class CentralOrchestrator:
     def address(self) -> "Tuple[str, str]":
         return self.host, self.endpoint_name
 
-    def install(self) -> None:
-        self.transport.node(self.host).register(
-            self.endpoint_name, self.on_message
-        )
-
-    def uninstall(self) -> None:
-        self.transport.node(self.host).unregister(self.endpoint_name)
-
     # Message handling -----------------------------------------------------------
 
-    def on_message(self, message: Message) -> None:
-        if message.kind == MessageKinds.EXECUTE:
-            self._on_execute(message)
-        elif message.kind == MessageKinds.INVOKE_RESULT:
-            self._on_invoke_result(message)
-        elif message.kind == MessageKinds.SIGNAL:
-            self._on_signal(message)
-
-    def _on_execute(self, message: Message) -> None:
-        body = message.body
-        operation = body.get("operation", "")
+    @handles(Execute)
+    def _on_execute(self, execute: Execute, message: Message) -> None:
+        operation = execute.operation
         client_node, client_endpoint = message.reply_address()
         execution_id = (
             f"{self.composite.name}:{operation}:c{next(self._counter)}"
@@ -168,30 +159,26 @@ class CentralOrchestrator:
         execution = _CentralExecution(
             execution_id=execution_id,
             operation=operation,
-            env=dict(body.get("arguments", {})),
+            env=dict(execute.arguments),
             client_node=client_node,
             client_endpoint=client_endpoint,
             started_ms=self.transport.now_ms(),
-            request_key=body.get("request_key", ""),
+            request_key=execute.request_key,
         )
         self._executions[execution_id] = execution
-        self.transport.send(Message(
-            kind=MessageKinds.EXECUTE_ACK,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=client_node,
-            target_endpoint=client_endpoint,
-            body={
-                "execution_id": execution_id,
-                "request_key": body.get("request_key", ""),
-            },
+        self.send(client_node, client_endpoint, ExecuteAck(
+            execution_id=execution_id,
+            request_key=execute.request_key,
         ))
         graph = self._graphs.get(operation)
         if graph is None:
             self._finish(execution, "fault",
                          fault=f"no operation {operation!r}")
             return
-        timeout_ms = body.get("timeout_ms", self.default_timeout_ms)
+        timeout_ms = (
+            execute.timeout_ms if execute.timeout_ms is not None
+            else self.default_timeout_ms
+        )
         if timeout_ms is not None:
             execution.cancel_deadline = self.transport.schedule(
                 self.host, float(timeout_ms),
@@ -258,21 +245,18 @@ class CentralOrchestrator:
         # The central engine snapshots the env per invocation, like the
         # P2P coordinators do per token.
         self._pending_envs[invocation_id] = env
-        self.transport.send(Message(
-            kind=MessageKinds.INVOKE,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=target_node,
-            target_endpoint=target_endpoint,
-            body=invoke_body(
-                invocation_id, execution.execution_id,
-                binding.operation, arguments,
-            ),
+        self.send(target_node, target_endpoint, Invoke(
+            invocation_id=invocation_id,
+            execution_id=execution.execution_id,
+            operation=binding.operation,
+            arguments=arguments,
         ))
 
-    def _on_invoke_result(self, message: Message) -> None:
-        body = message.body
-        invocation_id = body.get("invocation_id", "")
+    @handles(InvokeResult)
+    def _on_invoke_result(
+        self, result: InvokeResult, message: Message
+    ) -> None:
+        invocation_id = result.invocation_id
         pending = self._pending.pop(invocation_id, None)
         env = self._pending_envs.pop(invocation_id, None)
         if pending is None or env is None:
@@ -281,17 +265,17 @@ class CentralOrchestrator:
         execution = self._executions.get(execution_id)
         if execution is None or execution.status != "running":
             return
-        if body.get("status") != "success":
+        if not result.ok:
             self._finish(
                 execution, "fault",
                 fault=f"invocation of {service!r} at {node_id!r} failed: "
-                      f"{body.get('fault', 'unknown fault')}",
+                      f"{result.fault or 'unknown fault'}",
             )
             return
         table = self._tables[execution.operation][node_id]
         binding = table.binding
         assert binding is not None
-        outputs = body.get("outputs", {})
+        outputs = result.outputs
         for variable, parameter in binding.output_mapping.items():
             env[variable] = outputs.get(parameter)
         self._postprocess(execution, node_id, env)
@@ -345,15 +329,12 @@ class CentralOrchestrator:
         for event in row.emits:
             self._handle_event(execution, event, {})
 
-    def _on_signal(self, message: Message) -> None:
-        body = message.body
-        execution = self._executions.get(body.get("execution_id", ""))
+    @handles(Signal)
+    def _on_signal(self, signal: Signal, message: Message) -> None:
+        execution = self._executions.get(signal.execution_id)
         if execution is None or execution.status != "running":
             return
-        self._handle_event(
-            execution, body.get("event", ""),
-            dict(body.get("payload", {})),
-        )
+        self._handle_event(execution, signal.event, dict(signal.payload))
 
     def _handle_event(
         self,
@@ -449,20 +430,14 @@ class CentralOrchestrator:
             }
         else:
             projected = dict(outputs or {})
-        self.transport.send(Message(
-            kind=MessageKinds.EXECUTE_RESULT,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=execution.client_node,
-            target_endpoint=execution.client_endpoint,
-            body={
-                "execution_id": execution.execution_id,
-                "status": status,
-                "outputs": projected,
-                "fault": fault,
-                "request_key": execution.request_key,
-            },
-        ))
+        self.send(execution.client_node, execution.client_endpoint,
+                  ExecuteResult(
+                      execution_id=execution.execution_id,
+                      status=status,
+                      outputs=projected,
+                      fault=fault,
+                      request_key=execution.request_key,
+                  ))
 
     # Introspection -----------------------------------------------------------
 
@@ -496,6 +471,7 @@ def deploy_central(
     directory: ServiceDirectory,
     registry: Optional[FunctionRegistry] = None,
     default_timeout_ms: Optional[float] = None,
+    kernel: Optional[ActorKernel] = None,
 ) -> CentralDeployment:
     """Install the central orchestrator for ``composite`` on ``host``."""
     missing = [
@@ -512,6 +488,7 @@ def deploy_central(
     orchestrator = CentralOrchestrator(
         composite, host, transport, directory,
         registry=registry, default_timeout_ms=default_timeout_ms,
+        kernel=kernel,
     )
-    orchestrator.install()
+    orchestrator.start()
     return CentralDeployment(orchestrator=orchestrator)

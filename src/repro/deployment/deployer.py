@@ -9,6 +9,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import DeploymentError
 from repro.expr import FunctionRegistry
+from repro.kernel.actor import ActorKernel
 from repro.net.transport import Transport
 from repro.perf.plan import CompiledRoutingPlan, compile_routing_plan
 from repro.routing.generation import generate_routing_tables
@@ -22,7 +23,6 @@ from repro.runtime.community_wrapper import CommunityWrapperRuntime
 from repro.runtime.composite_wrapper import CompositeWrapperRuntime
 from repro.runtime.coordinator import Coordinator
 from repro.runtime.directory import ServiceDirectory
-from repro.runtime.protocol import wrapper_endpoint
 from repro.runtime.service_wrapper import ServiceWrapperRuntime
 from repro.selection.policies import SelectionPolicy, policy_by_name
 from repro.services.community import ServiceCommunity
@@ -106,11 +106,17 @@ class Deployer:
         placement: Optional[PlacementPolicy] = None,
         resilience: "Optional[ResilienceRuntime]" = None,
         compile_plans: bool = True,
+        kernel: Optional[ActorKernel] = None,
     ) -> None:
         self.transport = transport
         self.directory = directory or ServiceDirectory()
         self.registry = registry
         self.placement = placement or CompositeHostPlacement()
+        #: The actor substrate every deployed participant runs on: one
+        #: shared middleware chain and actor registry per deployer (the
+        #: platform passes its own so all subsystems observe the same
+        #: kernel).
+        self.kernel = kernel if kernel is not None else ActorKernel(transport)
         #: When set, community wrappers deploy health-aware (breaker
         #: gating, status-ordered failover, resilience events).
         self.resilience = resilience
@@ -136,8 +142,8 @@ class Deployer:
         """Install ``service``'s wrapper on ``host`` and register it."""
         self._ensure_node(host)
         wrapper = ServiceWrapperRuntime(service, host, self.transport,
-                                        rng=rng)
-        wrapper.install()
+                                        rng=rng, kernel=self.kernel)
+        wrapper.start()
         self.directory.register(service.name, host, wrapper.endpoint_name)
         return wrapper
 
@@ -172,8 +178,9 @@ class Deployer:
             health=resilience.health if resilience else None,
             breakers=resilience.breakers if resilience else None,
             events=resilience.events if resilience else None,
+            kernel=self.kernel,
         )
-        wrapper.install()
+        wrapper.start()
         self.directory.register(community.name, host, wrapper.endpoint_name)
         return wrapper
 
@@ -261,8 +268,9 @@ class Deployer:
             event_targets=event_targets,
             coordinator_locations=coordinator_locations,
             gc_finished_executions=gc_finished_executions,
+            kernel=self.kernel,
         )
-        wrapper.install()
+        wrapper.start()
         deployment = CompositeDeployment(
             composite=composite,
             host=host,
@@ -289,8 +297,9 @@ class Deployer:
                     registry=self.registry,
                     dispatch=(plan.dispatch_for(node_id)
                               if plan is not None else None),
+                    kernel=self.kernel,
                 )
-                coordinator.install()
+                coordinator.start()
                 installed[node_id] = coordinator
             deployment.coordinators[operation] = installed
 

@@ -136,6 +136,27 @@ class SoapFault(DiscoveryError):
         self.faultstring = faultstring
 
 
+class ProtocolError(SelfServError):
+    """Base class for wire-protocol (message envelope) errors."""
+
+
+class EnvelopeError(ProtocolError):
+    """Raised when a message body cannot be decoded into its envelope.
+
+    Unknown body fields, missing structure and wrongly typed values all
+    fail here — at the boundary — instead of surfacing as ``KeyError``
+    or silent defaults deep inside a handler.
+    """
+
+
+class UnknownVerbError(ProtocolError):
+    """Raised when no envelope type exists for a message kind."""
+
+    def __init__(self, kind: str) -> None:
+        super().__init__(f"no envelope registered for message kind {kind!r}")
+        self.kind = kind
+
+
 class TransportError(SelfServError):
     """Base class for messaging-substrate errors."""
 

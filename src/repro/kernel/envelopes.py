@@ -1,0 +1,333 @@
+"""Typed message envelopes: one frozen dataclass per protocol verb.
+
+The seed runtime passed raw dict bodies around, so a misspelled field
+(``"execution_id "`` with a stray space, ``"reqest_key"``) travelled the
+wire silently and surfaced — if ever — as a default value deep inside a
+handler.  Envelopes close that hole: every verb of
+:class:`~repro.runtime.protocol.MessageKinds` has exactly one dataclass
+here, and the ``to_body()``/``from_body()`` codecs are the *only* places
+a protocol body is built or taken apart.  ``from_body`` rejects unknown
+fields and wrongly typed values with :class:`~repro.exceptions.EnvelopeError`
+— malformed traffic fails loudly at the boundary, not in a handler.
+
+The catalogue (mirror of the ``MessageKinds`` table):
+
+======================  ===================================================
+envelope                carried by
+======================  ===================================================
+:class:`Execute`        client -> composite wrapper: start an execution
+:class:`ExecuteAck`     composite wrapper -> client: execution id
+:class:`ExecuteResult`  composite wrapper -> client: outcome
+:class:`Notify`         coordinator -> coordinator: control-flow token
+:class:`Invoke`         coordinator/orchestrator -> wrapper: call operation
+:class:`InvokeResult`   wrapper -> caller: operation outcome
+:class:`Complete`       final coordinator -> composite wrapper
+:class:`ExecutionFault` any coordinator -> composite wrapper: abort
+:class:`Signal`         client/coordinator -> wrapper -> coordinators: event
+:class:`Discard`        composite wrapper -> coordinator: drop exec state
+======================  ===================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple, Type
+
+from repro.exceptions import EnvelopeError, UnknownVerbError
+from repro.runtime.protocol import MessageKinds
+
+#: Envelope fields carrying open mappings (variable environments,
+#: operation arguments/outputs, event payloads).  Codecs copy them on
+#: both encode and decode, so neither side can mutate the other's state
+#: through a shared dict.
+_MAPPING_FIELDS = frozenset({"env", "arguments", "outputs", "payload"})
+
+#: Envelope fields carrying optional numbers; ``None`` values are
+#: omitted from the wire body (the seed protocol never sent them).
+_NUMERIC_FIELDS = frozenset({"timeout_ms"})
+
+#: kind -> envelope type; populated by :func:`_register`.
+ENVELOPE_TYPES: "Dict[str, Type[Envelope]]" = {}
+
+
+def _register(cls: "Type[Envelope]") -> "Type[Envelope]":
+    """Finalise an envelope class: cache field metadata, index by kind.
+
+    The per-category field sets let :meth:`Envelope.from_body` classify
+    each body key with one membership test — the decode runs on the
+    coordinator hot path, so it is a single pass over the body.
+    """
+    names = tuple(f.name for f in fields(cls))
+    cls._FIELD_NAMES = names
+    cls._FIELD_SET = frozenset(names)
+    cls._MAPPING_SET = frozenset(n for n in names if n in _MAPPING_FIELDS)
+    cls._NUMERIC_SET = frozenset(n for n in names if n in _NUMERIC_FIELDS)
+    cls._SCALAR_SET = (
+        cls._FIELD_SET - cls._MAPPING_SET - cls._NUMERIC_SET
+    )
+    ENVELOPE_TYPES[cls.KIND] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Base of all protocol envelopes: the shared codec machinery.
+
+    Subclasses only declare their fields and ``KIND``; encoding and
+    decoding are generic.  All scalar fields are strings, mapping
+    fields are listed in ``_MAPPING_FIELDS`` and numeric fields in
+    ``_NUMERIC_FIELDS`` — the protocol vocabulary is deliberately that
+    small (see ``repro.runtime.protocol``).
+    """
+
+    KIND: ClassVar[str] = ""
+    #: Identity fields a wire body must carry: decoding without them is
+    #: an :class:`EnvelopeError`, not a silent default.  (Other fields
+    #: stay optional — the seed protocol tolerated sparse bodies and
+    #: handled them gracefully; only identities were ever strict.)
+    REQUIRED: ClassVar["Tuple[str, ...]"] = ()
+    _FIELD_NAMES: ClassVar["Tuple[str, ...]"] = ()
+    _FIELD_SET: ClassVar["frozenset"] = frozenset()
+    _MAPPING_SET: ClassVar["frozenset"] = frozenset()
+    _NUMERIC_SET: ClassVar["frozenset"] = frozenset()
+    _SCALAR_SET: ClassVar["frozenset"] = frozenset()
+
+    def to_body(self) -> "Dict[str, Any]":
+        """Encode into the wire body (mappings copied, ``None`` omitted)."""
+        body: Dict[str, Any] = {}
+        for name in self._FIELD_NAMES:
+            value = getattr(self, name)
+            if name in _MAPPING_FIELDS:
+                value = dict(value)
+            elif value is None and name in _NUMERIC_FIELDS:
+                continue
+            body[name] = value
+        return body
+
+    @classmethod
+    def from_body(cls, body: "Mapping[str, Any]") -> "Envelope":
+        """Decode a wire body; raises :class:`EnvelopeError` when malformed.
+
+        Unknown fields are rejected outright (the silent-typo failure
+        mode of dict bodies); absent fields fall back to the envelope's
+        declared defaults, preserving the seed protocol's tolerance of
+        sparse bodies from older peers.
+        """
+        if not isinstance(body, Mapping):
+            raise EnvelopeError(
+                f"{cls.KIND} body must be a mapping, got "
+                f"{type(body).__name__}"
+            )
+        kwargs: Dict[str, Any] = {}
+        scalar = cls._SCALAR_SET
+        for key, value in body.items():
+            if key in scalar:
+                if not isinstance(value, str):
+                    raise EnvelopeError(
+                        f"{cls.KIND}.{key} must be a string, got "
+                        f"{type(value).__name__}"
+                    )
+            elif key in cls._MAPPING_SET:
+                if not isinstance(value, Mapping):
+                    raise EnvelopeError(
+                        f"{cls.KIND}.{key} must be a mapping, got "
+                        f"{type(value).__name__}"
+                    )
+                value = dict(value)
+            elif key in cls._NUMERIC_SET:
+                if value is not None and (
+                    isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                ):
+                    raise EnvelopeError(
+                        f"{cls.KIND}.{key} must be a number or None, got "
+                        f"{type(value).__name__}"
+                    )
+            else:
+                raise EnvelopeError(
+                    f"{cls.KIND} envelope does not accept field {key!r} "
+                    f"(accepted: {sorted(cls._FIELD_SET)})"
+                )
+            kwargs[key] = value
+        for name in cls.REQUIRED:
+            if name not in kwargs:
+                raise EnvelopeError(
+                    f"{cls.KIND} envelope requires field {name!r}"
+                )
+        return cls(**kwargs)
+
+
+@_register
+@dataclass(frozen=True)
+class Execute(Envelope):
+    """Start one composite (or any wrapped) execution."""
+
+    KIND: ClassVar[str] = MessageKinds.EXECUTE
+
+    operation: str = ""
+    arguments: "Mapping[str, Any]" = field(default_factory=dict)
+    request_key: str = ""
+    #: Execution deadline enforced by the composite wrapper; ``None``
+    #: (omitted on the wire) means the deployment default applies.
+    timeout_ms: Optional[float] = None
+
+
+@_register
+@dataclass(frozen=True)
+class ExecuteAck(Envelope):
+    """The wrapper's immediate acknowledgement carrying the execution id."""
+
+    KIND: ClassVar[str] = MessageKinds.EXECUTE_ACK
+
+    execution_id: str = ""
+    request_key: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class ExecuteResult(Envelope):
+    """Final outcome of one execution, addressed back to the client."""
+
+    KIND: ClassVar[str] = MessageKinds.EXECUTE_RESULT
+
+    execution_id: str = ""
+    status: str = "fault"  # "success" | "fault" | "timeout"
+    outputs: "Mapping[str, Any]" = field(default_factory=dict)
+    fault: str = ""
+    request_key: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "success"
+
+
+@_register
+@dataclass(frozen=True)
+class Notify(Envelope):
+    """A peer-to-peer control-flow token along one routing-table edge.
+
+    The two identity fields are required on the wire: a notify without
+    them would create phantom execution state at the receiving
+    coordinator (and the seed runtime treated them as strict too).
+    """
+
+    KIND: ClassVar[str] = MessageKinds.NOTIFY
+    REQUIRED: ClassVar["Tuple[str, ...]"] = ("execution_id", "edge_id")
+
+    execution_id: str = ""
+    edge_id: str = ""
+    from_node: str = ""
+    env: "Mapping[str, Any]" = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class Invoke(Envelope):
+    """Call one operation on a service through its wrapper."""
+
+    KIND: ClassVar[str] = MessageKinds.INVOKE
+
+    invocation_id: str = ""
+    execution_id: str = ""
+    operation: str = ""
+    arguments: "Mapping[str, Any]" = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class InvokeResult(Envelope):
+    """Outcome of one service invocation, addressed back to the caller."""
+
+    KIND: ClassVar[str] = MessageKinds.INVOKE_RESULT
+
+    invocation_id: str = ""
+    execution_id: str = ""
+    status: str = "fault"  # "success" | "fault"
+    outputs: "Mapping[str, Any]" = field(default_factory=dict)
+    fault: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "success"
+
+    @classmethod
+    def outcome(
+        cls,
+        invocation_id: str,
+        execution_id: str,
+        ok: bool,
+        outputs: "Optional[Mapping[str, Any]]" = None,
+        fault: str = "",
+    ) -> "InvokeResult":
+        """The reply every wrapper builds: status derived from ``ok``."""
+        return cls(
+            invocation_id=invocation_id,
+            execution_id=execution_id,
+            status="success" if ok else "fault",
+            outputs=dict(outputs or {}),
+            fault=fault,
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class Complete(Envelope):
+    """A FINAL coordinator's termination report to the composite wrapper."""
+
+    KIND: ClassVar[str] = MessageKinds.COMPLETE
+
+    execution_id: str = ""
+    final_node: str = ""
+    env: "Mapping[str, Any]" = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class ExecutionFault(Envelope):
+    """Any coordinator's abort report to the composite wrapper."""
+
+    KIND: ClassVar[str] = MessageKinds.EXECUTION_FAULT
+
+    execution_id: str = ""
+    node: str = ""
+    reason: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class Signal(Envelope):
+    """An ECA event aimed at a running execution."""
+
+    KIND: ClassVar[str] = MessageKinds.SIGNAL
+
+    execution_id: str = ""
+    event: str = ""
+    payload: "Mapping[str, Any]" = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class Discard(Envelope):
+    """Garbage-collection broadcast: drop one execution's local state."""
+
+    KIND: ClassVar[str] = MessageKinds.DISCARD
+
+    execution_id: str = ""
+
+
+def envelope_type(kind: str) -> "Type[Envelope]":
+    """The envelope class of ``kind``; raises :class:`UnknownVerbError`."""
+    cls = ENVELOPE_TYPES.get(kind)
+    if cls is None:
+        raise UnknownVerbError(kind)
+    return cls
+
+
+def decode(kind: str, body: "Mapping[str, Any]") -> Envelope:
+    """Decode one wire body into its typed envelope."""
+    return envelope_type(kind).from_body(body)
+
+
+def decode_message(message: Any) -> Envelope:
+    """Decode a :class:`~repro.net.message.Message` into its envelope."""
+    return decode(message.kind, message.body)

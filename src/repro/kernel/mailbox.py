@@ -1,0 +1,84 @@
+"""The kernel's delivery layer: one :class:`Mailbox` per actor.
+
+A mailbox is what the transport actually delivers to.  It owns the full
+inbound pipeline — decode the body into its typed envelope, drop unknown
+verbs (as a socket server would) and malformed bodies (counted, and
+reported through the middleware chain), run the middleware hooks, then
+dispatch to the handler the actor's verb table names.  Because the
+pipeline lives here and not in each actor, the exact same actor code
+runs unchanged on :class:`~repro.net.simnet.SimTransport` and
+:class:`~repro.net.inproc.InProcTransport`; per-coordinator *decision*
+structures (the PR 3 :class:`~repro.perf.CoordinatorDispatch` fast path)
+remain a dispatch strategy plugged in beneath the handler, untouched by
+this layer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.exceptions import ProtocolError
+from repro.kernel.envelopes import ENVELOPE_TYPES
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.actor import Actor
+
+
+class Mailbox:
+    """Inbound pipeline of one actor: decode -> middleware -> dispatch."""
+
+    __slots__ = ("actor", "delivered", "handled", "unknown_verbs",
+                 "malformed")
+
+    def __init__(self, actor: "Actor") -> None:
+        self.actor = actor
+        #: Messages the transport handed to this mailbox.
+        self.delivered = 0
+        #: Messages that reached a handler (and did not raise).
+        self.handled = 0
+        #: Messages dropped because no handler claims their verb.
+        self.unknown_verbs = 0
+        #: Messages dropped because their body failed envelope decoding.
+        self.malformed = 0
+
+    def deliver(self, message: Message) -> None:
+        """Process one delivered message end to end."""
+        self.delivered += 1
+        actor = self.actor
+        handler = actor._handlers.get(message.kind)
+        if handler is None:
+            # Unknown verbs are dropped silently, as a socket server
+            # would drop an unrecognised request — but counted, so a
+            # misconfigured peer is visible in diagnostics.
+            self.unknown_verbs += 1
+            return
+        kernel = actor.kernel
+        try:
+            # A claimed verb always has an envelope (the dispatch table
+            # is keyed by envelope KINDs), so index the registry directly.
+            envelope = ENVELOPE_TYPES[message.kind].from_body(message.body)
+        except ProtocolError as exc:
+            self.malformed += 1
+            for hook in kernel.malformed_hooks:
+                hook(actor, message, exc)
+            return
+        # Hook lists hold only the middlewares that override each hook
+        # (see ActorKernel._rebuild_hooks); after_hooks is pre-reversed.
+        before = kernel.before_hooks
+        after = kernel.after_hooks
+        if before or after:
+            for hook in before:
+                hook(actor, envelope, message)
+            error: Optional[BaseException] = None
+            try:
+                handler(envelope, message)
+            except BaseException as exc:
+                error = exc
+                raise
+            finally:
+                for hook in after:
+                    hook(actor, envelope, message, error)
+        else:
+            handler(envelope, message)
+        self.handled += 1

@@ -1,10 +1,11 @@
-"""The v1 ``ServiceManager`` facade — now a shim over :class:`Platform`.
+"""The v1 ``ServiceManager`` facade — now a pure shim over :class:`Platform`.
 
 .. deprecated:: 2.0
    ``ServiceManager`` is kept for compatibility with v1 call sites and
-   delegates everything to :class:`repro.api.Platform`.  New code should
-   construct a ``Platform`` (declaratively, from a
-   :class:`~repro.api.PlatformConfig`) and use handle-based sessions::
+   delegates *everything* to :class:`repro.api.Platform` — it owns no
+   wiring of its own.  New code should construct a ``Platform``
+   (declaratively, from a :class:`~repro.api.PlatformConfig`) and use
+   handle-based sessions::
 
        platform = Platform()
        platform.provider("host").elementary(service)
@@ -12,35 +13,44 @@
        handle = session.submit("ServiceName", "operation", {...})
        result = handle.result()
 
-The blocking one-call-per-execution semantics of ``locate_and_execute``
-are preserved exactly (it runs on the same correlation path the handles
-use); the three architecture modules remain reachable as
-``manager.discovery`` / ``manager.editor`` / ``manager.deployer``.
+The module surfaces (``manager.discovery`` / ``manager.editor`` /
+``manager.deployer`` / ``manager.directory`` / ``manager.transport``)
+and the provider/composer registration methods are the platform's own,
+reached through attribute delegation; only the three v1-specific entry
+points (:meth:`~ServiceManager.client`, :meth:`~ServiceManager.new_draft`
+and :meth:`~ServiceManager.locate_and_execute`) are defined here, because
+their names or semantics differ from the v2 surface.  The blocking
+one-call-per-execution semantics of ``locate_and_execute`` are preserved
+exactly (it runs on the same correlation path the handles use).
 """
 
 from __future__ import annotations
 
-import random
 import warnings
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Mapping, Optional
 
 from repro.api.config import PlatformConfig
 from repro.api.platform import Platform
-from repro.deployment.deployer import CompositeDeployment, Deployer
 from repro.deployment.placement import PlacementPolicy
-from repro.discovery.engine import ServiceDiscoveryEngine
-from repro.editor.drafts import CompositeDraft, ServiceEditor
+from repro.editor.drafts import CompositeDraft
 from repro.expr import FunctionRegistry
 from repro.net.transport import Transport
 from repro.runtime.client import RuntimeClient
-from repro.runtime.community_wrapper import CommunityWrapperRuntime
-from repro.runtime.directory import ServiceDirectory
 from repro.runtime.protocol import ExecutionResult
-from repro.runtime.service_wrapper import ServiceWrapperRuntime
-from repro.selection.policies import SelectionPolicy
-from repro.services.community import ServiceCommunity
-from repro.services.composite import CompositeService
-from repro.services.elementary import ElementaryService
+
+#: Platform attributes the shim re-exports verbatim.  Everything v1
+#: exposed is here; anything else raises ``AttributeError`` as usual.
+_DELEGATED = frozenset({
+    "transport",
+    "directory",
+    "deployer",
+    "discovery",
+    "editor",
+    "kernel",
+    "register_elementary",
+    "register_community",
+    "deploy_composite",
+})
 
 
 class ServiceManager:
@@ -67,81 +77,25 @@ class ServiceManager:
             transport=transport,
         )
 
-    # v1 attribute surface ---------------------------------------------------
-
-    @property
-    def transport(self) -> Transport:
-        return self.platform.transport
-
-    @property
-    def directory(self) -> ServiceDirectory:
-        return self.platform.directory
-
-    @property
-    def deployer(self) -> Deployer:
-        return self.platform.deployer
-
-    @property
-    def discovery(self) -> ServiceDiscoveryEngine:
-        return self.platform.discovery
-
-    @property
-    def editor(self) -> ServiceEditor:
-        return self.platform.editor
-
-    # Provider flows ---------------------------------------------------------
-
-    def register_elementary(
-        self,
-        service: ElementaryService,
-        host: str,
-        category: str = "",
-        publish: bool = True,
-        rng: Optional[random.Random] = None,
-    ) -> ServiceWrapperRuntime:
-        """Deploy an elementary service and (by default) publish it."""
-        return self.platform.register_elementary(
-            service, host, category=category, publish=publish, rng=rng,
+    def __getattr__(self, name: str) -> Any:
+        # Only reached when normal lookup fails: the delegated surface
+        # is the platform's own — no duplicated wiring in the shim.
+        if name in _DELEGATED:
+            return getattr(self.platform, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
         )
 
-    def register_community(
-        self,
-        community: ServiceCommunity,
-        host: str,
-        policy: "Union[SelectionPolicy, str]" = "multi-attribute",
-        category: str = "",
-        publish: bool = True,
-        timeout_ms: float = 1000.0,
-    ) -> CommunityWrapperRuntime:
-        """Deploy a community wrapper and (by default) publish it."""
-        return self.platform.register_community(
-            community, host, policy=policy, category=category,
-            publish=publish, timeout_ms=timeout_ms,
-        )
+    def __dir__(self) -> "list[str]":
+        return sorted(set(super().__dir__()) | _DELEGATED)
 
-    # Composer flows --------------------------------------------------------------
+    # v1-specific entry points ----------------------------------------------
 
     def new_draft(
         self, name: str, provider: str = "", documentation: str = ""
     ) -> CompositeDraft:
-        """Open the editor on a new composite draft."""
+        """Open the editor on a new composite draft (v1 name)."""
         return self.platform.editor.new_draft(name, provider, documentation)
-
-    def deploy_composite(
-        self,
-        composite: "Union[CompositeService, CompositeDraft]",
-        host: str,
-        category: str = "composite",
-        publish: bool = True,
-        default_timeout_ms: Optional[float] = None,
-    ) -> CompositeDeployment:
-        """Deploy (and by default publish) a composite service."""
-        return self.platform.deploy_composite(
-            composite, host, category=category, publish=publish,
-            default_timeout_ms=default_timeout_ms,
-        )
-
-    # End-user flows ----------------------------------------------------------------
 
     def client(self, name: str, host: str) -> RuntimeClient:
         """Get (or create) a named end-user client on ``host``.

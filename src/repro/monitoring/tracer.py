@@ -9,8 +9,9 @@ of a network tap on the original platform's sockets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro.kernel.actor import subscribe_deliveries
 from repro.net.message import Message
 from repro.net.transport import Transport
 from repro.perf.events import PerfEvent, PerfEventLog
@@ -136,6 +137,7 @@ class ExecutionTracer:
         self.transport = transport
         self._timelines: Dict[str, ExecutionTimeline] = {}
         self._attached = False
+        self._detach: "Callable[[], None]" = lambda: None
         #: The platform's resilience event log (retry, hedge_fired,
         #: breaker_open, failover, ...), attached by the platform when
         #: resilience is enabled — the monitoring console shows these
@@ -146,15 +148,25 @@ class ExecutionTracer:
         #: path's audit trail, read through :meth:`perf_events`.
         self.perf: Optional[PerfEventLog] = None
 
-    def attach(self) -> "ExecutionTracer":
+    def attach(self, via: Optional[object] = None) -> "ExecutionTracer":
+        """Start observing deliveries.
+
+        ``via`` is an :class:`~repro.kernel.ActorKernel`: the tracer
+        then rides the kernel's delivery-tap chain (one shared transport
+        observer for all passive subsystems) instead of attaching its
+        own observer.  Without it, the standalone transport-observer
+        path is used, as in v1.
+        """
         if not self._attached:
-            self.transport.add_observer(self._observe)
+            self._detach = subscribe_deliveries(
+                via if via is not None else self.transport, self._observe
+            )
             self._attached = True
         return self
 
     def detach(self) -> None:
         if self._attached:
-            self.transport.remove_observer(self._observe)
+            self._detach()
             self._attached = False
 
     def __enter__(self) -> "ExecutionTracer":

@@ -24,6 +24,9 @@ _SHUTDOWN = object()
 class InProcTransport(Transport):
     """Transport backed by one dispatcher thread per node.
 
+    Handlers on different nodes run concurrently, so shared consumers
+    must synchronise (``concurrent_delivery`` is True here).
+
     ``batch_max`` (> 1) enables queue-drain batching (``repro.perf``):
     a dispatcher wakeup drains up to that many already-queued messages
     in one go instead of paying one condition-variable wakeup per
@@ -31,6 +34,8 @@ class InProcTransport(Transport):
     coalesced delivery windows, with zero added latency (only messages
     that are *already* waiting are drained).
     """
+
+    concurrent_delivery = True
 
     def __init__(
         self, latency_scale: float = 0.0, batch_max: int = 1

@@ -19,6 +19,11 @@ from repro.net.stats import TrafficStats
 class Transport:
     """Base transport: node registry, failure injection, statistics."""
 
+    #: Whether message handlers may run on multiple threads at once.
+    #: Consumers that keep shared mutable state (e.g. the kernel's
+    #: counters middleware) synchronise only when this is True.
+    concurrent_delivery = False
+
     def __init__(self) -> None:
         self._nodes: Dict[str, Node] = {}
         self.stats = TrafficStats()

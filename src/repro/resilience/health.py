@@ -24,17 +24,17 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.kernel.actor import subscribe_deliveries
 from repro.net.message import Message
-from repro.net.transport import Transport
 from repro.resilience.events import EventKinds, ResilienceEventLog
-from repro.runtime.protocol import MessageKinds
+from repro.runtime.protocol import MessageKinds, wrapper_endpoint
 
-#: Prefix of wrapper endpoint names (see
-#: :func:`repro.runtime.protocol.wrapper_endpoint`); the passive tap
-#: derives the provider key from it.
-_WRAPPER_PREFIX = "wrapper:"
+#: Prefix of wrapper endpoint names, derived from the canonical
+#: :func:`repro.runtime.protocol.wrapper_endpoint` helper; the passive
+#: tap derives the provider key from it.
+_WRAPPER_PREFIX = wrapper_endpoint("")
 
 
 class ProviderStatus:
@@ -112,21 +112,30 @@ class HealthRegistry:
         self._pending_invokes: "OrderedDict[str, Tuple[str, float]]" = (
             OrderedDict()
         )
-        self._attached_to: Optional[Transport] = None
+        # Undoes the attach (kernel tap or transport observer); None
+        # while detached — the same pattern the tracer uses.
+        self._detach: "Optional[Callable[[], None]]" = None
 
     # Passive transport tap --------------------------------------------------
 
-    def attach(self, transport: Transport) -> "HealthRegistry":
-        """Start consuming the transport's delivery observer stream."""
-        if self._attached_to is None:
-            transport.add_observer(self.observe)
-            self._attached_to = transport
+    def attach(self, target: object) -> "HealthRegistry":
+        """Start consuming the delivery stream of ``target``.
+
+        ``target`` is either a :class:`~repro.net.transport.Transport`
+        (v1 behaviour: the registry attaches its own observer) or an
+        :class:`~repro.kernel.ActorKernel`, in which case the registry
+        rides the kernel's delivery-tap chain — the platform wires it
+        this way so every passive subsystem shares the kernel's single
+        transport observer.
+        """
+        if self._detach is None:
+            self._detach = subscribe_deliveries(target, self.observe)
         return self
 
     def detach(self) -> None:
-        if self._attached_to is not None:
-            self._attached_to.remove_observer(self.observe)
-            self._attached_to = None
+        if self._detach is not None:
+            self._detach()
+            self._detach = None
 
     def observe(self, message: Message, time_ms: float) -> None:
         """Transport observer: correlate invoke -> invoke_result pairs."""

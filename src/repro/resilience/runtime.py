@@ -42,13 +42,17 @@ class ResilienceRuntime:
         transport: Transport,
         config: Optional[ResilienceConfig] = None,
         seed: int = 0,
+        kernel: Optional[Any] = None,
     ) -> None:
         self.transport = transport
         self.config = config or ResilienceConfig()
         self.events = ResilienceEventLog()
+        # With a kernel (the platform always passes one), the passive
+        # health tap rides the kernel's delivery-tap chain instead of
+        # attaching its own transport observer.
         self.health = HealthRegistry(
             self.config.health, events=self.events
-        ).attach(transport)
+        ).attach(kernel if kernel is not None else transport)
         self.breakers = BreakerRegistry(
             self.config.breaker, events=self.events
         )

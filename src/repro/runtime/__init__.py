@@ -2,7 +2,11 @@
 
 This package implements the paper's execution model: "the orchestration of
 the composite service execution is carried out through peer-to-peer
-message exchanges between the coordinators" (paper §4).  The pieces:
+message exchanges between the coordinators" (paper §4).  Every
+participant here is an :class:`~repro.kernel.Actor` on the shared
+``repro.kernel`` substrate — typed envelopes, declarative verb dispatch,
+kernel-owned mailboxes and one middleware chain — so the classes below
+contain only their *own* protocol logic.  The pieces:
 
 * :class:`Coordinator` — one per state/flat-node, installed on a provider
   host; matches notifications against its routing-table precondition,

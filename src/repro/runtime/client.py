@@ -1,30 +1,29 @@
 """End-user client: the runtime behind Figure 3's Execute button.
 
-A client registers its own endpoint on a node (the end user's machine),
-sends ``execute`` to a composite wrapper, and waits for the
-``execute_result`` using the transport's blocking primitive — virtual time
-on the simulator, wall-clock polling on threads.
+A client is a kernel :class:`~repro.kernel.Actor` on the end user's own
+node: it sends ``execute`` envelopes to a composite wrapper, handles the
+``execute_ack``/``execute_result`` replies, and waits with the
+transport's blocking primitive — virtual time on the simulator,
+wall-clock polling on threads.
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.exceptions import ExecutionError, ExecutionTimeoutError
+from repro.kernel.actor import Actor, ActorKernel, handles
+from repro.kernel.envelopes import Execute, ExecuteAck, ExecuteResult, Signal
 from repro.net.message import Message
 from repro.net.transport import Transport
-from repro.runtime.protocol import (
-    ExecutionResult,
-    MessageKinds,
-    client_endpoint,
-)
+from repro.runtime.protocol import ExecutionResult, client_endpoint
 
 _request_ids = itertools.count(1)
 
 
-class RuntimeClient:
+class RuntimeClient(Actor):
     """A client able to execute composite (or any wrapped) services."""
 
     #: How many completed request keys are remembered for duplicate-result
@@ -36,10 +35,10 @@ class RuntimeClient:
         name: str,
         host: str,
         transport: Transport,
+        kernel: Optional[ActorKernel] = None,
     ) -> None:
+        super().__init__(host, transport, kernel)
         self.name = name
-        self.host = host
-        self.transport = transport
         self._results: Dict[str, ExecutionResult] = {}
         self._acks: Dict[str, str] = {}  # request_key -> execution_id
         # Non-blocking completion path: request_key -> callback.  Results
@@ -50,42 +49,33 @@ class RuntimeClient:
         self._callbacks: "Dict[str, Callable[[ExecutionResult], None]]" = {}
         self._completed: "set[str]" = set()
         self._completed_order: "deque[str]" = deque()
-        self._installed = False
 
     @property
     def endpoint_name(self) -> str:
         return client_endpoint(self.name)
 
-    def install(self) -> None:
-        if not self._installed:
-            self.transport.node(self.host).register(
-                self.endpoint_name, self.on_message
-            )
-            self._installed = True
+    @handles(ExecuteAck)
+    def _on_ack(self, ack: ExecuteAck, message: Message) -> None:
+        if ack.request_key and ack.request_key not in self._completed:
+            # Acks of abandoned requests (retry/hedge losers, timed-out
+            # calls) are dropped so they cannot accumulate.
+            self._acks[ack.request_key] = ack.execution_id
 
-    def on_message(self, message: Message) -> None:
-        body = message.body
-        if message.kind == MessageKinds.EXECUTE_ACK:
-            request_key = body.get("request_key", "")
-            if request_key and request_key not in self._completed:
-                # Acks of abandoned requests (retry/hedge losers, timed-out
-                # calls) are dropped so they cannot accumulate.
-                self._acks[request_key] = body.get("execution_id", "")
-            return
-        if message.kind != MessageKinds.EXECUTE_RESULT:
-            return
-        execution_id = body.get("execution_id", "")
-        request_key = body.get("request_key", "")
+    @handles(ExecuteResult)
+    def _on_execute_result(
+        self, outcome: ExecuteResult, message: Message
+    ) -> None:
+        request_key = outcome.request_key
         if request_key:
             # The ack mapping has served its purpose once the result is
             # here (the result itself carries the execution id); dropping
             # it keeps long-lived clients bounded.
             self._acks.pop(request_key, None)
         result = ExecutionResult(
-            execution_id=execution_id,
-            status=body.get("status", "fault"),
-            outputs=dict(body.get("outputs", {})),
-            fault=body.get("fault", ""),
+            execution_id=outcome.execution_id,
+            status=outcome.status,
+            outputs=dict(outcome.outputs),
+            fault=outcome.fault,
             finished_ms=self.transport.now_ms(),
             request_key=request_key,
         )
@@ -98,7 +88,7 @@ class RuntimeClient:
             return
         if request_key and request_key in self._completed:
             return  # duplicate delivery of an already-completed request
-        self._results[execution_id] = result
+        self._results[result.execution_id] = result
 
     def _mark_completed(self, request_key: str) -> None:
         self._completed.add(request_key)
@@ -135,20 +125,11 @@ class RuntimeClient:
         request_key = f"{self.name}-req{next(_request_ids)}"
         if on_result is not None:
             self._callbacks[request_key] = on_result
-        body: Dict[str, Any] = {
-            "operation": operation,
-            "arguments": dict(arguments or {}),
-            "request_key": request_key,
-        }
-        if deadline_ms is not None:
-            body["timeout_ms"] = deadline_ms
-        self.transport.send(Message(
-            kind=MessageKinds.EXECUTE,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=target_node,
-            target_endpoint=target_endpoint,
-            body=body,
+        self.send(target_node, target_endpoint, Execute(
+            operation=operation,
+            arguments=dict(arguments or {}),
+            request_key=request_key,
+            timeout_ms=deadline_ms,
         ))
         return request_key
 
@@ -200,17 +181,10 @@ class RuntimeClient:
         environment before its guards are evaluated.
         """
         self.install()
-        self.transport.send(Message(
-            kind=MessageKinds.SIGNAL,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=target_node,
-            target_endpoint=target_endpoint,
-            body={
-                "execution_id": execution_id,
-                "event": event,
-                "payload": dict(payload or {}),
-            },
+        self.send(target_node, target_endpoint, Signal(
+            execution_id=execution_id,
+            event=event,
+            payload=dict(payload or {}),
         ))
 
     def results_received(self) -> int:

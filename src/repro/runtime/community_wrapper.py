@@ -1,6 +1,6 @@
 """The wrapper variant for service communities.
 
-A community's wrapper intercepts ``invoke`` messages, ranks the current
+A community's wrapper intercepts ``invoke`` envelopes, ranks the current
 members with a selection policy, delegates to the best candidate, and on
 fault *or timeout* fails over to the next one.  It records every outcome
 in the community's execution history, closing the feedback loop the paper
@@ -16,27 +16,29 @@ the path back into rotation), and every delegation outcome — including
 timeouts, which only the wrapper can see — feeds the registry.  Failover
 additionally re-validates each candidate at attempt time, so a member
 suspended or constraint-excluded *after* ranking is never invoked.
+
+Like every runtime participant it is a kernel
+:class:`~repro.kernel.Actor`: the health registry's *passive* sampling
+happens in the kernel's delivery taps, not here — the wrapper reports
+only what no tap can see (timeouts, never-deployed members).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.exceptions import NoMemberAvailableError
+from repro.kernel.actor import Actor, ActorKernel, handles
+from repro.kernel.envelopes import Invoke, InvokeResult
 from repro.net.message import Message
 from repro.net.transport import Transport
 from repro.resilience.breaker import BreakerRegistry, BreakerState
 from repro.resilience.events import EventKinds, ResilienceEventLog
 from repro.resilience.health import HealthRegistry, ProviderStatus
 from repro.runtime.directory import ServiceDirectory
-from repro.runtime.protocol import (
-    MessageKinds,
-    invoke_body,
-    invoke_result_body,
-    wrapper_endpoint,
-)
+from repro.runtime.protocol import wrapper_endpoint
 from repro.selection.history import ExecutionHistory
 from repro.selection.policies import SelectionPolicy, SelectionRequest
 from repro.services.community import MemberRecord, ServiceCommunity
@@ -63,7 +65,7 @@ class _Delegation:
     settled: bool = False
 
 
-class CommunityWrapperRuntime:
+class CommunityWrapperRuntime(Actor):
     """Runtime wrapper around one service community."""
 
     def __init__(
@@ -79,11 +81,11 @@ class CommunityWrapperRuntime:
         health: Optional[HealthRegistry] = None,
         breakers: Optional[BreakerRegistry] = None,
         events: Optional[ResilienceEventLog] = None,
+        kernel: Optional[ActorKernel] = None,
     ) -> None:
+        super().__init__(host, transport, kernel)
         self.community = community
         self.policy = policy
-        self.host = host
-        self.transport = transport
         self.directory = directory
         self.history = history or ExecutionHistory()
         self.timeout_ms = timeout_ms
@@ -103,33 +105,19 @@ class CommunityWrapperRuntime:
     def endpoint_name(self) -> str:
         return wrapper_endpoint(self.community.name)
 
-    def install(self) -> None:
-        self.transport.node(self.host).register(
-            self.endpoint_name, self.on_message
-        )
-
-    def uninstall(self) -> None:
-        self.transport.node(self.host).unregister(self.endpoint_name)
-
     # Message handling ------------------------------------------------------
 
-    def on_message(self, message: Message) -> None:
-        if message.kind == MessageKinds.INVOKE:
-            self._on_invoke(message)
-        elif message.kind == MessageKinds.INVOKE_RESULT:
-            self._on_member_result(message)
-
-    def _on_invoke(self, message: Message) -> None:
-        body = message.body
+    @handles(Invoke)
+    def _on_invoke(self, invoke: Invoke, message: Message) -> None:
         reply_node, reply_endpoint = message.reply_address()
-        operation = body.get("operation", "")
-        arguments = dict(body.get("arguments", {}))
+        operation = invoke.operation
+        arguments = dict(invoke.arguments)
         try:
             candidates = self.community.candidates(operation, arguments)
         except NoMemberAvailableError as exc:
             self._reply_fault(
                 reply_node, reply_endpoint,
-                body.get("invocation_id", ""), body.get("execution_id", ""),
+                invoke.invocation_id, invoke.execution_id,
                 str(exc),
             )
             return
@@ -141,8 +129,8 @@ class CommunityWrapperRuntime:
         if self.health is not None or self.breakers is not None:
             ranked = self._order_candidates(ranked)
         delegation = _Delegation(
-            invocation_id=body.get("invocation_id", ""),
-            execution_id=body.get("execution_id", ""),
+            invocation_id=invoke.invocation_id,
+            execution_id=invoke.execution_id,
             operation=operation,
             arguments=arguments,
             reply_node=reply_node,
@@ -271,18 +259,11 @@ class CommunityWrapperRuntime:
                     f"attempt {delegation.attempts}",
                 )
 
-        self.transport.send(Message(
-            kind=MessageKinds.INVOKE,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=member_node,
-            target_endpoint=member_endpoint,
-            body=invoke_body(
-                member_invocation,
-                delegation.execution_id,
-                member.member_operation(delegation.operation),
-                delegation.arguments,
-            ),
+        self.send(member_node, member_endpoint, Invoke(
+            invocation_id=member_invocation,
+            execution_id=delegation.execution_id,
+            operation=member.member_operation(delegation.operation),
+            arguments=delegation.arguments,
         ))
 
         def on_timeout() -> None:
@@ -302,7 +283,7 @@ class CommunityWrapperRuntime:
         """Feed one delegation outcome to history, health and breakers.
 
         Breakers are driven entirely from here (nothing else watches
-        per-member outcomes).  The health registry's passive transport
+        per-member outcomes).  The health registry's passive delivery
         tap already samples every *answered* invocation, so the wrapper
         reports to it only what the tap cannot see — timeouts and
         never-deployed members (``on_wire=False``); a dead provider
@@ -321,9 +302,11 @@ class CommunityWrapperRuntime:
             else:
                 breaker.record_failure(now)
 
-    def _on_member_result(self, message: Message) -> None:
-        body = message.body
-        member_invocation = body.get("invocation_id", "")
+    @handles(InvokeResult)
+    def _on_member_result(
+        self, result: InvokeResult, message: Message
+    ) -> None:
+        member_invocation = result.invocation_id
         key = self._by_member_invocation.pop(member_invocation, None)
         if key is None:
             return  # late reply after timeout-driven failover
@@ -334,10 +317,9 @@ class CommunityWrapperRuntime:
             delegation.cancel_timeout()
             delegation.cancel_timeout = None
         duration = self.transport.now_ms() - delegation.started_ms
-        ok = body.get("status") == "success"
-        self._record_outcome(delegation.current_member, ok, duration)
-        if ok:
-            self._settle_success(key, body.get("outputs", {}))
+        self._record_outcome(delegation.current_member, result.ok, duration)
+        if result.ok:
+            self._settle_success(key, result.outputs)
         else:
             self._try_next_member(key)
 
@@ -361,17 +343,13 @@ class CommunityWrapperRuntime:
     def _settle_success(self, key: str, outputs: "Dict[str, Any]") -> None:
         delegation = self._delegations.pop(key)
         delegation.settled = True
-        self.transport.send(Message(
-            kind=MessageKinds.INVOKE_RESULT,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=delegation.reply_node,
-            target_endpoint=delegation.reply_endpoint,
-            body=invoke_result_body(
+        self.send(
+            delegation.reply_node, delegation.reply_endpoint,
+            InvokeResult.outcome(
                 delegation.invocation_id, delegation.execution_id,
                 ok=True, outputs=outputs,
             ),
-        ))
+        )
 
     def _settle_fault(self, key: str, reason: str) -> None:
         delegation = self._delegations.pop(key)
@@ -389,13 +367,6 @@ class CommunityWrapperRuntime:
         execution_id: str,
         reason: str,
     ) -> None:
-        self.transport.send(Message(
-            kind=MessageKinds.INVOKE_RESULT,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=node,
-            target_endpoint=endpoint,
-            body=invoke_result_body(
-                invocation_id, execution_id, ok=False, fault=reason,
-            ),
+        self.send(node, endpoint, InvokeResult.outcome(
+            invocation_id, execution_id, ok=False, fault=reason,
         ))

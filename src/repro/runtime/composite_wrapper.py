@@ -7,10 +7,11 @@ coordinators of the states which are exited in the last place send their
 notification of termination back to the composite service wrapper."
 (paper §4)
 
-The composite wrapper therefore: accepts ``execute`` requests, seeds the
-entry coordinator with a start token, waits for ``complete`` (or
-``execution_fault``), enforces an optional execution deadline, and answers
-the client with ``execute_result``.  It also keeps an execution log that
+The composite wrapper is a kernel :class:`~repro.kernel.Actor` that:
+accepts ``execute`` envelopes, seeds the entry coordinator with a start
+token, waits for ``complete`` (or ``execution_fault``), enforces an
+optional execution deadline, and answers the client with
+``execute_result``.  It also keeps an execution log that
 examples/benchmarks read.
 """
 
@@ -20,14 +21,23 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.kernel.actor import Actor, ActorKernel, handles
+from repro.kernel.envelopes import (
+    Complete,
+    Discard,
+    Execute,
+    ExecuteAck,
+    ExecuteResult,
+    ExecutionFault,
+    Notify,
+    Signal,
+)
 from repro.net.message import Message
 from repro.net.transport import Transport
 from repro.runtime.protocol import (
-    MessageKinds,
     START_EDGE,
     WRAPPER_NODE,
     coordinator_endpoint,
-    notify_body,
     wrapper_endpoint,
 )
 from repro.services.description import OperationSpec
@@ -59,7 +69,7 @@ class ExecutionRecord:
         return self.finished_ms - self.started_ms
 
 
-class CompositeWrapperRuntime:
+class CompositeWrapperRuntime(Actor):
     """Runtime wrapper of a deployed composite-service operation set.
 
     ``entry_points`` maps each operation name to the ``(entry_node_id,
@@ -83,10 +93,10 @@ class CompositeWrapperRuntime:
             "Dict[str, List[Tuple[str, str]]]"
         ] = None,
         gc_finished_executions: bool = False,
+        kernel: Optional[ActorKernel] = None,
     ) -> None:
+        super().__init__(host, transport, kernel)
         self.composite = composite
-        self.host = host
-        self.transport = transport
         self.entry_points = dict(entry_points)
         self.output_specs = dict(output_specs)
         self.default_timeout_ms = default_timeout_ms
@@ -105,30 +115,12 @@ class CompositeWrapperRuntime:
     def endpoint_name(self) -> str:
         return wrapper_endpoint(self.composite)
 
-    def install(self) -> None:
-        self.transport.node(self.host).register(
-            self.endpoint_name, self.on_message
-        )
-
-    def uninstall(self) -> None:
-        self.transport.node(self.host).unregister(self.endpoint_name)
-
     # Message handling ---------------------------------------------------------
 
-    def on_message(self, message: Message) -> None:
-        if message.kind == MessageKinds.EXECUTE:
-            self._on_execute(message)
-        elif message.kind == MessageKinds.COMPLETE:
-            self._on_complete(message)
-        elif message.kind == MessageKinds.EXECUTION_FAULT:
-            self._on_fault(message)
-        elif message.kind == MessageKinds.SIGNAL:
-            self._on_signal(message)
-
-    def _on_execute(self, message: Message) -> None:
-        body = message.body
-        operation = body.get("operation", "")
-        arguments = dict(body.get("arguments", {}))
+    @handles(Execute)
+    def _on_execute(self, execute: Execute, message: Message) -> None:
+        operation = execute.operation
+        arguments = dict(execute.arguments)
         client_node, client_endpoint = message.reply_address()
         execution_id = f"{self.composite}:{operation}:{next(self._counter)}"
 
@@ -139,22 +131,15 @@ class CompositeWrapperRuntime:
             client_node=client_node,
             client_endpoint=client_endpoint,
             started_ms=self.transport.now_ms(),
-            request_key=body.get("request_key", ""),
+            request_key=execute.request_key,
         )
         self._executions[execution_id] = record
 
         # Acknowledge immediately so the client learns the execution id
         # and can signal ECA events while the execution runs.
-        self.transport.send(Message(
-            kind=MessageKinds.EXECUTE_ACK,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=client_node,
-            target_endpoint=client_endpoint,
-            body={
-                "execution_id": execution_id,
-                "request_key": body.get("request_key", ""),
-            },
+        self.send(client_node, client_endpoint, ExecuteAck(
+            execution_id=execution_id,
+            request_key=execute.request_key,
         ))
 
         entry = self.entry_points.get(operation)
@@ -164,7 +149,10 @@ class CompositeWrapperRuntime:
                                f"operation {operation!r}")
             return
 
-        timeout_ms = body.get("timeout_ms", self.default_timeout_ms)
+        timeout_ms = (
+            execute.timeout_ms if execute.timeout_ms is not None
+            else self.default_timeout_ms
+        )
         if timeout_ms is not None:
             def on_deadline() -> None:
                 self._on_deadline(execution_id)
@@ -176,24 +164,23 @@ class CompositeWrapperRuntime:
         entry_node, entry_host = entry
         # Seed the entry coordinator: the start token carries the request
         # arguments as the initial variable environment.
-        self.transport.send(Message(
-            kind=MessageKinds.NOTIFY,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=entry_host,
-            target_endpoint=coordinator_endpoint(
-                self.composite, operation, entry_node
+        self.send(
+            entry_host,
+            coordinator_endpoint(self.composite, operation, entry_node),
+            Notify(
+                execution_id=execution_id,
+                edge_id=START_EDGE,
+                from_node=WRAPPER_NODE,
+                env=arguments,
             ),
-            body=notify_body(execution_id, START_EDGE, WRAPPER_NODE,
-                             arguments),
-        ))
+        )
 
-    def _on_complete(self, message: Message) -> None:
-        body = message.body
-        record = self._executions.get(body.get("execution_id", ""))
+    @handles(Complete)
+    def _on_complete(self, complete: Complete, message: Message) -> None:
+        record = self._executions.get(complete.execution_id)
         if record is None or record.finished:
             return
-        env = body.get("env", {})
+        env = complete.env
         spec = self.output_specs.get(record.operation)
         if spec is not None and spec.outputs:
             outputs = {p.name: env.get(p.name) for p in spec.outputs}
@@ -201,49 +188,46 @@ class CompositeWrapperRuntime:
             outputs = dict(env)
         self._finish(record, "success", outputs=outputs)
 
-    def _on_fault(self, message: Message) -> None:
-        body = message.body
-        record = self._executions.get(body.get("execution_id", ""))
+    @handles(ExecutionFault)
+    def _on_fault(self, fault: ExecutionFault, message: Message) -> None:
+        record = self._executions.get(fault.execution_id)
         if record is None or record.finished:
             return
         self._finish(record, "fault",
-                     fault=body.get("reason", "unknown fault"))
+                     fault=fault.reason or "unknown fault")
 
-    def _on_signal(self, message: Message) -> None:
+    @handles(Signal)
+    def _on_signal(self, signal: Signal, message: Message) -> None:
         """Fan an ECA event out to the coordinators that consume it.
 
         The fan-out set is static deployment knowledge (which routing
         tables carry which event names), so an event touches only the
         hosts that can react to it.
         """
-        body = message.body
-        record = self._executions.get(body.get("execution_id", ""))
+        record = self._executions.get(signal.execution_id)
         if record is None or record.finished:
             return
-        event = body.get("event", "")
+        event = signal.event
         targets = self.event_targets.get(record.operation, {}).get(event, [])
         for node_id, host in targets:
-            self.transport.send(Message(
-                kind=MessageKinds.SIGNAL,
-                source=self.host,
-                source_endpoint=self.endpoint_name,
-                target=host,
-                target_endpoint=coordinator_endpoint(
+            self.send(
+                host,
+                coordinator_endpoint(
                     self.composite, record.operation, node_id
                 ),
-                body={
-                    "execution_id": record.execution_id,
-                    "event": event,
-                    "payload": dict(body.get("payload", {})),
-                },
-            ))
+                Signal(
+                    execution_id=record.execution_id,
+                    event=event,
+                    payload=signal.payload,
+                ),
+            )
 
     def _on_deadline(self, execution_id: str) -> None:
         record = self._executions.get(execution_id)
         if record is None or record.finished:
             return
         self._finish(record, "timeout",
-                     fault=f"execution exceeded its deadline")
+                     fault="execution exceeded its deadline")
 
     def _finish(
         self,
@@ -259,19 +243,12 @@ class CompositeWrapperRuntime:
         if record.cancel_deadline is not None:
             record.cancel_deadline()
             record.cancel_deadline = None
-        self.transport.send(Message(
-            kind=MessageKinds.EXECUTE_RESULT,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=record.client_node,
-            target_endpoint=record.client_endpoint,
-            body={
-                "execution_id": record.execution_id,
-                "status": record.status,
-                "outputs": record.outputs,
-                "fault": record.fault,
-                "request_key": record.request_key,
-            },
+        self.send(record.client_node, record.client_endpoint, ExecuteResult(
+            execution_id=record.execution_id,
+            status=record.status,
+            outputs=record.outputs,
+            fault=record.fault,
+            request_key=record.request_key,
         ))
         if self.gc_finished_executions:
             self._broadcast_discard(record)
@@ -286,16 +263,13 @@ class CompositeWrapperRuntime:
         for node_id, host in self.coordinator_locations.get(
             record.operation, []
         ):
-            self.transport.send(Message(
-                kind=MessageKinds.DISCARD,
-                source=self.host,
-                source_endpoint=self.endpoint_name,
-                target=host,
-                target_endpoint=coordinator_endpoint(
+            self.send(
+                host,
+                coordinator_endpoint(
                     self.composite, record.operation, node_id
                 ),
-                body={"execution_id": record.execution_id},
-            ))
+                Discard(execution_id=record.execution_id),
+            )
 
     # Introspection ---------------------------------------------------------------
 

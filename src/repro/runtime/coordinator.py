@@ -21,7 +21,10 @@ A coordinator's entire runtime logic is:
 
 There is deliberately *no* scheduling algorithm here — everything the
 coordinator consults was precomputed into the routing table, which is the
-paper's central design claim.
+paper's central design claim.  The coordinator is a kernel
+:class:`~repro.kernel.Actor`: message handling, envelope decoding and
+the middleware taps are kernel machinery; only the three steps above are
+coordinator code.
 """
 
 from __future__ import annotations
@@ -30,8 +33,18 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
 
-from repro.exceptions import EvaluationError, ExpressionError
+from repro.exceptions import ExpressionError
 from repro.expr import CompiledExpression, FunctionRegistry
+from repro.kernel.actor import Actor, ActorKernel, handles
+from repro.kernel.envelopes import (
+    Complete,
+    Discard,
+    ExecutionFault,
+    Invoke,
+    InvokeResult,
+    Notify,
+    Signal,
+)
 from repro.net.message import Message
 from repro.net.transport import Transport
 from repro.routing.tables import FiringMode, PostprocessingRow, RoutingTable
@@ -39,12 +52,7 @@ from repro.routing.tables import FiringMode, PostprocessingRow, RoutingTable
 if TYPE_CHECKING:  # import would cycle through repro.runtime's package init
     from repro.perf.plan import CoordinatorDispatch
 from repro.runtime.directory import ServiceDirectory
-from repro.runtime.protocol import (
-    MessageKinds,
-    coordinator_endpoint,
-    invoke_body,
-    notify_body,
-)
+from repro.runtime.protocol import coordinator_endpoint
 from repro.statecharts.flatten import NodeKind
 
 _invocation_ids = itertools.count(1)
@@ -68,7 +76,7 @@ class _WaitingToken:
     consumed: bool = False
 
 
-class Coordinator:
+class Coordinator(Actor):
     """The runtime agent of one flat-graph node."""
 
     def __init__(
@@ -82,12 +90,12 @@ class Coordinator:
         wrapper_address: "Tuple[str, str]",
         registry: Optional[FunctionRegistry] = None,
         dispatch: "Optional[CoordinatorDispatch]" = None,
+        kernel: Optional[ActorKernel] = None,
     ) -> None:
+        super().__init__(host, transport, kernel)
         self.table = table
         self.composite = composite
         self.operation = operation
-        self.host = host
-        self.transport = transport
         self.directory = directory
         self.wrapper_address = wrapper_address
         self._registry = registry
@@ -133,35 +141,16 @@ class Coordinator:
             self.composite, self.operation, self.table.node_id
         )
 
-    def install(self) -> None:
-        """Register this coordinator's endpoint on its host node."""
-        self.transport.node(self.host).register(
-            self.endpoint_name, self.on_message
-        )
-
-    def uninstall(self) -> None:
-        self.transport.node(self.host).unregister(self.endpoint_name)
-
     # Message handling -----------------------------------------------------------
 
-    def on_message(self, message: Message) -> None:
-        if message.kind == MessageKinds.NOTIFY:
-            self._on_notify(message)
-        elif message.kind == MessageKinds.INVOKE_RESULT:
-            self._on_invoke_result(message)
-        elif message.kind == MessageKinds.SIGNAL:
-            self._on_signal(message)
-        elif message.kind == MessageKinds.DISCARD:
-            self.discard_execution(message.body.get("execution_id", ""))
-        # Unknown kinds are dropped silently, as a socket server would.
-
-    def _on_notify(self, message: Message) -> None:
-        body = message.body
-        execution_id = body["execution_id"]
-        edge_id = body["edge_id"]
+    @handles(Notify)
+    def _on_notify(self, notify: Notify, message: Message) -> None:
+        execution_id = notify.execution_id
         state = self._executions.setdefault(execution_id, _ExecutionState())
-        state.env.update(body.get("env", {}))
-        state.edge_counts[edge_id] = state.edge_counts.get(edge_id, 0) + 1
+        state.env.update(notify.env)
+        state.edge_counts[notify.edge_id] = (
+            state.edge_counts.get(notify.edge_id, 0) + 1
+        )
 
         if self.table.precondition.mode is FiringMode.ANY:
             # Each notification is one token: fire once per arrival.
@@ -222,36 +211,33 @@ class Coordinator:
             return
         invocation_id = f"{self.table.node_id}-{next(_invocation_ids)}"
         self._pending_invocations[invocation_id] = (execution_id, env)
-        self.transport.send(Message(
-            kind=MessageKinds.INVOKE,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=target_node,
-            target_endpoint=target_endpoint,
-            body=invoke_body(
-                invocation_id, execution_id, binding.operation, arguments
-            ),
+        self.send(target_node, target_endpoint, Invoke(
+            invocation_id=invocation_id,
+            execution_id=execution_id,
+            operation=binding.operation,
+            arguments=arguments,
         ))
 
-    def _on_invoke_result(self, message: Message) -> None:
-        body = message.body
-        invocation_id = body.get("invocation_id", "")
-        pending = self._pending_invocations.pop(invocation_id, None)
+    @handles(InvokeResult)
+    def _on_invoke_result(
+        self, result: InvokeResult, message: Message
+    ) -> None:
+        pending = self._pending_invocations.pop(result.invocation_id, None)
         if pending is None:
             return  # stale/duplicate result
         execution_id, env = pending
-        if body.get("status") != "success":
+        if not result.ok:
             binding = self.table.binding
             service = binding.service if binding else "?"
             self._report_fault(
                 execution_id,
                 f"invocation of {service!r} at {self.table.node_id!r} "
-                f"failed: {body.get('fault', 'unknown fault')}",
+                f"failed: {result.fault or 'unknown fault'}",
             )
             return
         binding = self.table.binding
         assert binding is not None
-        outputs = body.get("outputs", {})
+        outputs = result.outputs
         for variable, parameter in binding.output_mapping.items():
             env[variable] = outputs.get(parameter)
         self._postprocess(execution_id, env)
@@ -314,30 +300,20 @@ class Coordinator:
             return
         node, endpoint = self.wrapper_address
         for event in row.emits:
-            self.transport.send(Message(
-                kind=MessageKinds.SIGNAL,
-                source=self.host,
-                source_endpoint=self.endpoint_name,
-                target=node,
-                target_endpoint=endpoint,
-                body={
-                    "execution_id": execution_id,
-                    "event": event,
-                    "payload": {},
-                },
+            self.send(node, endpoint, Signal(
+                execution_id=execution_id, event=event, payload={},
             ))
 
-    def _on_signal(self, message: Message) -> None:
+    @handles(Signal)
+    def _on_signal(self, signal: Signal, message: Message) -> None:
         """Consume an ECA event: wake matching parked tokens.
 
         A signal that finds no parked token (yet) is buffered and
         replayed when one parks — emissions and completions race freely
         across the network.
         """
-        body = message.body
-        execution_id = body.get("execution_id", "")
-        event = body.get("event", "")
-        payload = body.get("payload", {})
+        execution_id = signal.execution_id
+        event = signal.event
         if self._dispatch is not None:
             if event not in self._dispatch.consumed_events:
                 return
@@ -345,9 +321,9 @@ class Coordinator:
             row.event == event for row in self.table.postprocessing.rows
         ):
             return
-        if not self._try_consume(execution_id, event, payload):
+        if not self._try_consume(execution_id, event, signal.payload):
             self._buffered_signals.setdefault(execution_id, []).append(
-                (event, dict(payload))
+                (event, dict(signal.payload))
             )
 
     def _try_consume(
@@ -443,15 +419,11 @@ class Coordinator:
             target_endpoint = coordinator_endpoint(
                 self.composite, self.operation, row.target_node
             )
-        self.transport.send(Message(
-            kind=MessageKinds.NOTIFY,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=target_host,
-            target_endpoint=target_endpoint,
-            body=notify_body(
-                execution_id, row.edge_id, self.table.node_id, env
-            ),
+        self.send(target_host, target_endpoint, Notify(
+            execution_id=execution_id,
+            edge_id=row.edge_id,
+            from_node=self.table.node_id,
+            env=env,
         ))
 
     # Reporting back to the composite wrapper ------------------------------------
@@ -460,38 +432,28 @@ class Coordinator:
         self, execution_id: str, env: "Dict[str, Any]"
     ) -> None:
         node, endpoint = self.wrapper_address
-        self.transport.send(Message(
-            kind=MessageKinds.COMPLETE,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=node,
-            target_endpoint=endpoint,
-            body={
-                "execution_id": execution_id,
-                "final_node": self.table.node_id,
-                "env": dict(env),
-            },
+        self.send(node, endpoint, Complete(
+            execution_id=execution_id,
+            final_node=self.table.node_id,
+            env=env,
         ))
 
     def _report_fault(self, execution_id: str, reason: str) -> None:
         node, endpoint = self.wrapper_address
-        self.transport.send(Message(
-            kind=MessageKinds.EXECUTION_FAULT,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=node,
-            target_endpoint=endpoint,
-            body={
-                "execution_id": execution_id,
-                "node": self.table.node_id,
-                "reason": reason,
-            },
+        self.send(node, endpoint, ExecutionFault(
+            execution_id=execution_id,
+            node=self.table.node_id,
+            reason=reason,
         ))
 
     # Diagnostics -----------------------------------------------------------------
 
     def executions_seen(self) -> int:
         return len(self._executions)
+
+    @handles(Discard)
+    def _on_discard(self, discard: Discard, message: Message) -> None:
+        self.discard_execution(discard.execution_id)
 
     def discard_execution(self, execution_id: str) -> None:
         """Drop per-execution state (wrapper-driven garbage collection)."""

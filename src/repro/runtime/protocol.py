@@ -1,8 +1,12 @@
 """Wire protocol: message kinds, endpoint naming, result types.
 
 All runtime components speak this small vocabulary.  Keeping it in one
-module makes the protocol auditable: every message kind, every body field
-and every endpoint naming rule is defined here and nowhere else.
+module makes the protocol auditable: every message kind and every
+endpoint naming rule is defined here and nowhere else; the body *shape*
+of each kind is its typed envelope in :mod:`repro.kernel.envelopes`
+(one frozen dataclass per verb, with the only codecs that build or
+parse wire bodies).  The ``*_body`` helpers below survive from v1 and
+delegate to those codecs.
 """
 
 from __future__ import annotations
@@ -128,12 +132,15 @@ def notify_body(
     from_node: str,
     env: Mapping[str, Any],
 ) -> "Dict[str, Any]":
-    return {
-        "execution_id": execution_id,
-        "edge_id": edge_id,
-        "from_node": from_node,
-        "env": dict(env),
-    }
+    """A ``notify`` body via its envelope codec (v1-compat helper)."""
+    from repro.kernel.envelopes import Notify  # cycle: kernel uses MessageKinds
+
+    return Notify(
+        execution_id=execution_id,
+        edge_id=edge_id,
+        from_node=from_node,
+        env=env,
+    ).to_body()
 
 
 def invoke_body(
@@ -142,12 +149,15 @@ def invoke_body(
     operation: str,
     arguments: Mapping[str, Any],
 ) -> "Dict[str, Any]":
-    return {
-        "invocation_id": invocation_id,
-        "execution_id": execution_id,
-        "operation": operation,
-        "arguments": dict(arguments),
-    }
+    """An ``invoke`` body via its envelope codec (v1-compat helper)."""
+    from repro.kernel.envelopes import Invoke  # cycle: kernel uses MessageKinds
+
+    return Invoke(
+        invocation_id=invocation_id,
+        execution_id=execution_id,
+        operation=operation,
+        arguments=arguments,
+    ).to_body()
 
 
 def invoke_result_body(
@@ -157,10 +167,9 @@ def invoke_result_body(
     outputs: Optional[Mapping[str, Any]] = None,
     fault: str = "",
 ) -> "Dict[str, Any]":
-    return {
-        "invocation_id": invocation_id,
-        "execution_id": execution_id,
-        "status": "success" if ok else "fault",
-        "outputs": dict(outputs or {}),
-        "fault": fault,
-    }
+    """An ``invoke_result`` body via its envelope codec (v1-compat helper)."""
+    from repro.kernel.envelopes import InvokeResult  # cycle: see above
+
+    return InvokeResult.outcome(
+        invocation_id, execution_id, ok, outputs, fault
+    ).to_body()

@@ -4,7 +4,8 @@
 downloading and configuring a class Wrapper provided by the SELF-SERV
 platform." (paper §3)
 
-The wrapper receives ``invoke`` messages, runs the operation against the
+The wrapper is a kernel :class:`~repro.kernel.Actor` with exactly one
+verb: it receives ``invoke`` envelopes, runs the operation against the
 local service implementation, and replies with ``invoke_result``.  Work
 time and reliability come from the service's QoS profile, sampled on the
 transport clock so the simulated testbed stays deterministic.
@@ -16,17 +17,15 @@ import random
 from typing import Optional
 
 from repro.exceptions import ServiceError
+from repro.kernel.actor import Actor, ActorKernel, handles
+from repro.kernel.envelopes import Invoke, InvokeResult
 from repro.net.message import Message
 from repro.net.transport import Transport
-from repro.runtime.protocol import (
-    MessageKinds,
-    invoke_result_body,
-    wrapper_endpoint,
-)
+from repro.runtime.protocol import wrapper_endpoint
 from repro.services.elementary import ElementaryService
 
 
-class ServiceWrapperRuntime:
+class ServiceWrapperRuntime(Actor):
     """Runtime wrapper around one elementary service."""
 
     def __init__(
@@ -35,10 +34,10 @@ class ServiceWrapperRuntime:
         host: str,
         transport: Transport,
         rng: Optional[random.Random] = None,
+        kernel: Optional[ActorKernel] = None,
     ) -> None:
+        super().__init__(host, transport, kernel)
         self.service = service
-        self.host = host
-        self.transport = transport
         self.rng = rng or random.Random(0)
         self.in_flight = 0
         self.completed = 0
@@ -48,23 +47,13 @@ class ServiceWrapperRuntime:
     def endpoint_name(self) -> str:
         return wrapper_endpoint(self.service.name)
 
-    def install(self) -> None:
-        self.transport.node(self.host).register(
-            self.endpoint_name, self.on_message
-        )
-
-    def uninstall(self) -> None:
-        self.transport.node(self.host).unregister(self.endpoint_name)
-
-    def on_message(self, message: Message) -> None:
-        if message.kind != MessageKinds.INVOKE:
-            return
-        body = message.body
+    @handles(Invoke)
+    def _on_invoke(self, invoke: Invoke, message: Message) -> None:
         reply_node, reply_endpoint = message.reply_address()
-        invocation_id = body.get("invocation_id", "")
-        execution_id = body.get("execution_id", "")
-        operation = body.get("operation", "")
-        arguments = body.get("arguments", {})
+        invocation_id = invoke.invocation_id
+        execution_id = invoke.execution_id
+        operation = invoke.operation
+        arguments = invoke.arguments
 
         work_ms = self.service.profile.sample_latency_ms(self.rng)
         self.in_flight += 1
@@ -108,13 +97,6 @@ class ServiceWrapperRuntime:
         outputs: Optional[dict] = None,
         fault: str = "",
     ) -> None:
-        self.transport.send(Message(
-            kind=MessageKinds.INVOKE_RESULT,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=node,
-            target_endpoint=endpoint,
-            body=invoke_result_body(
-                invocation_id, execution_id, ok, outputs, fault
-            ),
+        self.send(node, endpoint, InvokeResult.outcome(
+            invocation_id, execution_id, ok, outputs, fault,
         ))

@@ -45,7 +45,8 @@ class SimEnvironment:
             return existing
         if not self.transport.has_node(host):
             self.transport.add_node(host)
-        client = RuntimeClient(name, host, self.transport)
+        client = RuntimeClient(name, host, self.transport,
+                               kernel=self.deployer.kernel)
         client.install()
         self._clients[key] = client
         return client
@@ -266,7 +267,7 @@ def run_central(
     """Deploy the central baseline, run the batch, undeploy, report."""
     deployment = deploy_central(
         composite, central_host, env.transport, env.directory,
-        default_timeout_ms=timeout_ms,
+        default_timeout_ms=timeout_ms, kernel=env.deployer.kernel,
     )
     try:
         report = _run_batch(

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.exceptions import DeploymentError
+from repro.runtime.protocol import wrapper_endpoint
 from repro.deployment.placement import (
     AdjacentPlacement,
     CompositeHostPlacement,
@@ -37,15 +38,15 @@ class TestElementaryDeployment:
     def test_creates_node_installs_wrapper_registers(self, env):
         wrapper = env.deployer.deploy_elementary(make_service("S"), "h1")
         assert env.transport.has_node("h1")
-        assert env.transport.node("h1").has_endpoint("wrapper:S")
-        assert env.directory.resolve("S") == ("h1", "wrapper:S")
+        assert env.transport.node("h1").has_endpoint(wrapper_endpoint("S"))
+        assert env.directory.resolve("S") == ("h1", wrapper_endpoint("S"))
         assert wrapper.service.name == "S"
 
     def test_reuses_existing_node(self, env):
         env.deployer.deploy_elementary(make_service("S1"), "h1")
         env.deployer.deploy_elementary(make_service("S2"), "h1")
-        assert env.transport.node("h1").has_endpoint("wrapper:S1")
-        assert env.transport.node("h1").has_endpoint("wrapper:S2")
+        assert env.transport.node("h1").has_endpoint(wrapper_endpoint("S1"))
+        assert env.transport.node("h1").has_endpoint(wrapper_endpoint("S2"))
 
 
 class TestCompositeDeployment:
@@ -102,7 +103,7 @@ class TestCompositeDeployment:
         env.deployer.deploy_elementary(make_service("B"), "hb")
         env.deployer.deploy_composite(make_composite(self.chart()),
                                       "c-host")
-        assert env.directory.resolve("C") == ("c-host", "wrapper:C")
+        assert env.directory.resolve("C") == ("c-host", wrapper_endpoint("C"))
 
     def test_tables_xml_artifact_parses(self, env):
         env.deployer.deploy_elementary(make_service("A"), "ha")
@@ -123,13 +124,13 @@ class TestCompositeDeployment:
             make_composite(self.chart()), "c-host"
         )
         deployment.undeploy()
-        assert not env.transport.node("c-host").has_endpoint("wrapper:C")
+        assert not env.transport.node("c-host").has_endpoint(wrapper_endpoint("C"))
         # and execution now times out at the client
         client = env.client()
         from repro.exceptions import ExecutionTimeoutError
 
         with pytest.raises(ExecutionTimeoutError):
-            client.execute("c-host", "wrapper:C", "run", {},
+            client.execute("c-host", wrapper_endpoint("C"), "run", {},
                            timeout_ms=100.0)
 
     def test_describe_lists_coordinators(self, env):

@@ -8,6 +8,7 @@ from repro.discovery.engine import (
     parse_access_point,
 )
 from repro.demo.travel import deploy_travel_scenario
+from repro.runtime.protocol import wrapper_endpoint
 
 
 @pytest.fixture
@@ -27,8 +28,8 @@ def published(manager):
 
 class TestAccessPoints:
     def test_roundtrip(self):
-        ap = make_access_point("host-1", "wrapper:S")
-        assert parse_access_point(ap) == ("host-1", "wrapper:S")
+        ap = make_access_point("host-1", wrapper_endpoint("S"))
+        assert parse_access_point(ap) == ("host-1", wrapper_endpoint("S"))
 
     def test_bad_scheme_rejected(self):
         with pytest.raises(DiscoveryError, match="unsupported"):

@@ -104,3 +104,89 @@ class TestDeprecation:
         # The shim stays fully functional after warning.
         assert manager.platform is not None
         assert manager.transport is manager.platform.transport
+
+    def test_shim_surfaces_are_the_platforms_own(self):
+        """Pure delegation: every module surface IS the platform's."""
+        from repro.manager import ServiceManager
+        from repro.net.simnet import SimTransport
+
+        with pytest.warns(DeprecationWarning):
+            manager = ServiceManager(SimTransport())
+        for surface in ("transport", "directory", "deployer",
+                        "discovery", "editor", "kernel"):
+            assert getattr(manager, surface) is (
+                getattr(manager.platform, surface)
+            ), f"shim must not duplicate the {surface} wiring"
+        with pytest.raises(AttributeError):
+            manager.not_a_surface
+
+    @staticmethod
+    def _deploy_small_composite(facade, new_draft, deploy):
+        """Build + deploy the same two-task composite on any facade."""
+        from repro.demo.providers import (
+            make_attractions_search,
+            make_car_rental,
+        )
+
+        facade.register_elementary(make_attractions_search(), "h-sights")
+        facade.register_elementary(make_car_rental(), "h-cars")
+        draft = new_draft("ParityTrip")
+        canvas = draft.operation(
+            "plan",
+            inputs=["customer", "destination"],
+            outputs=[("major_attraction", ParameterType.RECORD),
+                     ("car_ref", ParameterType.STRING)],
+        )
+        (canvas.initial()
+               .task("AS", "AttractionsSearch", "searchAttractions",
+                     inputs={"destination": "destination"},
+                     outputs={"major_attraction": "major_attraction"})
+               .task("CR", "CarRental", "rentCar",
+                     inputs={"customer": "customer",
+                             "destination": "destination"},
+                     outputs={"car_ref": "car_ref"})
+               .final()
+               .chain("initial", "AS", "CR", "final"))
+        return deploy(draft, "h-tours")
+
+    def test_shim_behavioural_parity_with_platform(self):
+        """The v1 shim and the v2 Platform produce identical outcomes
+        for the same composite — same outputs, same topology."""
+        from repro.api import Platform, PlatformConfig
+        from repro.manager import ServiceManager
+        from repro.net.latency import FixedLatency
+        from repro.net.simnet import SimTransport
+
+        def fresh_transport():
+            return SimTransport(latency=FixedLatency(remote_ms=5.0))
+
+        with pytest.warns(DeprecationWarning):
+            shim = ServiceManager(fresh_transport())
+        shim_deployment = self._deploy_small_composite(
+            shim, shim.new_draft, shim.deploy_composite,
+        )
+        shim_result = shim.locate_and_execute(
+            "u", "u-host", "ParityTrip", "plan",
+            {"customer": "Alice", "destination": "paris"},
+        )
+
+        platform = Platform(PlatformConfig(
+            latency=FixedLatency(remote_ms=5.0), trace=False,
+        ))
+        platform_deployment = self._deploy_small_composite(
+            platform,
+            lambda name: platform.editor.new_draft(name),
+            platform.deploy_composite,
+        )
+        platform_result = platform.session("u", "u-host").execute(
+            "ParityTrip", "plan",
+            {"customer": "Alice", "destination": "paris"},
+        )
+
+        assert shim_result.ok and platform_result.ok
+        assert shim_result.outputs == platform_result.outputs
+        assert shim_result.status == platform_result.status
+        assert (shim_deployment.coordinator_count()
+                == platform_deployment.coordinator_count())
+        assert (sorted(shim_deployment.hosts_used())
+                == sorted(platform_deployment.hosts_used()))

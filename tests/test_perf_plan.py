@@ -16,6 +16,7 @@ from repro.demo.travel import deploy_travel_scenario
 from repro.exceptions import RoutingError
 from repro.perf import PerfConfig, compile_dispatch, compile_routing_plan
 from repro.routing.generation import generate_routing_tables
+from repro.runtime.protocol import coordinator_endpoint
 from repro.statecharts.builder import StatechartBuilder
 
 
@@ -83,7 +84,7 @@ class TestCompileRoutingPlan:
             dispatch = plan.dispatch_for(node_id)
             for row in table.postprocessing.rows:
                 _, endpoint = dispatch.notify_targets[row.edge_id]
-                assert endpoint == f"coord:branchy:op:{row.target_node}"
+                assert endpoint == coordinator_endpoint("branchy", "op", row.target_node)
 
     def test_unknown_coordinator_raises(self):
         plan = compile_routing_plan(self._tables(), "branchy", "op")

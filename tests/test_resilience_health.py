@@ -13,8 +13,10 @@ from repro.resilience import (
 )
 from repro.runtime.protocol import (
     MessageKinds,
+    client_endpoint,
     invoke_body,
     invoke_result_body,
+    wrapper_endpoint,
 )
 
 
@@ -114,8 +116,8 @@ class TestPercentilesAndOrdering:
         from repro.runtime.protocol import invoke_result_body
         health.observe(Message(
             kind=MessageKinds.INVOKE_RESULT,
-            source="m", source_endpoint="wrapper:M0",
-            target="c", target_endpoint="wrapper:Pool",
+            source="m", source_endpoint=wrapper_endpoint("M0"),
+            target="c", target_endpoint=wrapper_endpoint("Pool"),
             body=invoke_result_body("i1", "e1", ok=True),
         ), 150.0)
         stats = health.health("M0")
@@ -128,8 +130,8 @@ class TestPassiveTransportTap:
         transport = SimTransport()
         for node in ("caller", "provider"):
             transport.add_node(node)
-        transport.node("provider").register("wrapper:M0", lambda m: None)
-        transport.node("caller").register("wrapper:Community",
+        transport.node("provider").register(wrapper_endpoint("M0"), lambda m: None)
+        transport.node("caller").register(wrapper_endpoint("Community"),
                                           lambda m: None)
         return transport
 
@@ -137,16 +139,16 @@ class TestPassiveTransportTap:
                 ok=True):
         transport.send(Message(
             kind=MessageKinds.INVOKE,
-            source="caller", source_endpoint="wrapper:Community",
-            target="provider", target_endpoint="wrapper:M0",
+            source="caller", source_endpoint=wrapper_endpoint("Community"),
+            target="provider", target_endpoint=wrapper_endpoint("M0"),
             body=invoke_body(invocation_id, "e1", "op", {}),
         ))
 
         def reply():
             transport.send(Message(
                 kind=MessageKinds.INVOKE_RESULT,
-                source="provider", source_endpoint="wrapper:M0",
-                target="caller", target_endpoint="wrapper:Community",
+                source="provider", source_endpoint=wrapper_endpoint("M0"),
+                target="caller", target_endpoint=wrapper_endpoint("Community"),
                 body=invoke_result_body(invocation_id, "e1", ok=ok),
             ))
 
@@ -171,16 +173,16 @@ class TestPassiveTransportTap:
         # An invoke whose result never comes leaves no outcome sample.
         transport.send(Message(
             kind=MessageKinds.INVOKE,
-            source="caller", source_endpoint="wrapper:Community",
-            target="provider", target_endpoint="wrapper:M0",
+            source="caller", source_endpoint=wrapper_endpoint("Community"),
+            target="provider", target_endpoint=wrapper_endpoint("M0"),
             body=invoke_body("lost", "e9", "op", {}),
         ))
         # A non-wrapper endpoint contributes nothing.
-        transport.node("provider").register("client:u", lambda m: None)
+        transport.node("provider").register(client_endpoint("u"), lambda m: None)
         transport.send(Message(
             kind=MessageKinds.INVOKE,
-            source="caller", source_endpoint="wrapper:Community",
-            target="provider", target_endpoint="client:u",
+            source="caller", source_endpoint=wrapper_endpoint("Community"),
+            target="provider", target_endpoint=client_endpoint("u"),
             body=invoke_body("i3", "e3", "op", {}),
         ))
         transport.run_until_idle()

@@ -8,7 +8,7 @@ import pytest
 
 from repro.net.message import Message
 from repro.net.latency import ZoneLatency
-from repro.runtime.protocol import MessageKinds
+from repro.runtime.protocol import MessageKinds, wrapper_endpoint
 from repro.services.composite import CompositeService
 from repro.services.description import (
     OperationSpec,
@@ -49,7 +49,7 @@ class TestStaleAndDuplicateMessages:
         coordinator = deployment.coordinators["run"]["a"]
         env.transport.send(Message(
             kind=MessageKinds.INVOKE_RESULT,
-            source="ha", source_endpoint="wrapper:A",
+            source="ha", source_endpoint=wrapper_endpoint("A"),
             target="ha", target_endpoint=coordinator.endpoint_name,
             body={"invocation_id": "a-1", "execution_id": "C:run:1",
                   "status": "success", "outputs": {"r": "dup"},
@@ -77,7 +77,7 @@ class TestStaleAndDuplicateMessages:
         env.transport.send(Message(
             kind="mystery",
             source="x", source_endpoint="x",
-            target="c-host", target_endpoint="wrapper:C",
+            target="c-host", target_endpoint=wrapper_endpoint("C"),
             body={},
         ))
         env.transport.run_until_idle()
@@ -88,7 +88,7 @@ class TestStaleAndDuplicateMessages:
         env.transport.send(Message(
             kind=MessageKinds.COMPLETE,
             source="x", source_endpoint="x",
-            target="c-host", target_endpoint="wrapper:C",
+            target="c-host", target_endpoint=wrapper_endpoint("C"),
             body={"execution_id": "C:run:999", "env": {},
                   "final_node": "final"},
         ))
@@ -104,7 +104,7 @@ class TestStaleAndDuplicateMessages:
         env.transport.send(Message(
             kind=MessageKinds.EXECUTION_FAULT,
             source="x", source_endpoint="x",
-            target="c-host", target_endpoint="wrapper:C",
+            target="c-host", target_endpoint=wrapper_endpoint("C"),
             body={"execution_id": record.execution_id,
                   "node": "a", "reason": "too late"},
         ))
