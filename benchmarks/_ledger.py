@@ -1,0 +1,124 @@
+"""Machine-readable benchmark ledger: ``BENCH_*.json`` results.
+
+The human-readable ``benchmarks/results/*.txt`` tables tell the story;
+the ledger makes the same claims *checkable by machines*.  A benchmark
+module calls :func:`write_ledger` with
+
+* ``metrics`` — the headline numbers, each a :func:`metric` dict
+  carrying a ``direction``: ``"higher"`` (throughput-like, a drop is a
+  regression), ``"lower"`` (latency-like, a rise is a regression) or
+  ``"info"`` (recorded but never gated — e.g. wall-clock seconds,
+  which depend on the machine),
+* ``rows`` — the full parameter-sweep table for trend analysis,
+* ``meta`` — the sweep parameters, so a ledger is self-describing,
+* ``source`` — the emitting module, so the CI gate can verify the
+  module is still in the benchmark manifest (a bench file that drops
+  out of the manifest can no longer silently stop producing numbers).
+
+``tools/check_bench.py`` compares every fresh ledger under
+``benchmarks/results/`` against the committed baseline under
+``benchmarks/baselines/`` and fails CI on regressions beyond its
+threshold (default 25%).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+
+try:
+    from benchmarks._utils import RESULTS_DIR
+except ImportError:  # imported as top-level `_ledger` from benchmarks/
+    from _utils import RESULTS_DIR  # type: ignore[no-redef]
+
+SCHEMA_VERSION = 1
+
+#: Directions the regression gate enforces; anything else is recorded
+#: but ignored by the gate.
+GATED_DIRECTIONS = ("higher", "lower")
+
+_DIRECTIONS = ("higher", "lower", "info")
+
+
+def metric(
+    value: float, unit: str = "", direction: str = "higher"
+) -> "Dict[str, Any]":
+    """One ledger metric: a value with its unit and gate direction."""
+    if direction not in _DIRECTIONS:
+        raise ValueError(
+            f"direction must be one of {_DIRECTIONS}, got {direction!r}"
+        )
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"metric value must be a number, got {value!r}")
+    return {"value": value, "unit": unit, "direction": direction}
+
+
+def ledger_path(experiment: str, directory: Optional[str] = None) -> str:
+    """Where ``experiment``'s ledger lives (default: results dir)."""
+    return os.path.join(directory or RESULTS_DIR, f"{experiment}.json")
+
+
+def write_ledger(
+    experiment: str,
+    title: str,
+    source: str,
+    metrics: "Mapping[str, Mapping[str, Any]]",
+    rows: "Optional[Iterable[Mapping[str, Any]]]" = None,
+    meta: "Optional[Mapping[str, Any]]" = None,
+) -> "Dict[str, Any]":
+    """Persist one experiment's machine-readable ledger; returns it."""
+    for name, entry in metrics.items():
+        if "value" not in entry or "direction" not in entry:
+            raise ValueError(
+                f"metric {name!r} must come from ledger.metric() "
+                f"(missing value/direction): {entry!r}"
+            )
+    ledger: "Dict[str, Any]" = {
+        "experiment": experiment,
+        "schema": SCHEMA_VERSION,
+        "title": title,
+        "source": source,
+        "meta": dict(meta or {}),
+        "metrics": {name: dict(entry) for name, entry in metrics.items()},
+        "rows": [dict(row) for row in (rows or [])],
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(ledger_path(experiment), "w", encoding="utf-8") as handle:
+        json.dump(ledger, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return ledger
+
+
+def load_ledger(path: str) -> "Dict[str, Any]":
+    """Read a ledger back; raises ``ValueError`` on schema mismatch."""
+    with open(path, "r", encoding="utf-8") as handle:
+        ledger = json.load(handle)
+    if ledger.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: ledger schema {ledger.get('schema')!r} != "
+            f"{SCHEMA_VERSION} (regenerate the baseline)"
+        )
+    return ledger
+
+
+def gated_metrics(
+    ledger: "Mapping[str, Any]",
+) -> "Dict[str, Dict[str, Any]]":
+    """The subset of a ledger's metrics the regression gate enforces."""
+    return {
+        name: dict(entry)
+        for name, entry in ledger.get("metrics", {}).items()
+        if entry.get("direction") in GATED_DIRECTIONS
+    }
+
+
+def experiments_in(directory: str) -> "Sequence[str]":
+    """Every ledger experiment name found in ``directory``, sorted."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        name[: -len(".json")]
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )

@@ -12,7 +12,26 @@ from __future__ import annotations
 import os
 from typing import Iterable, List, Sequence
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCH_DIR = os.path.dirname(__file__)
+RESULTS_DIR = os.path.join(BENCH_DIR, "results")
+#: Committed regression-gate baselines (``tools/check_bench.py``).
+BASELINES_DIR = os.path.join(BENCH_DIR, "baselines")
+
+
+def bench_modules() -> "List[str]":
+    """The benchmark manifest: every bench module, repo-root-relative.
+
+    CI's ``benchmark-smoke`` and ``bench-gate`` jobs and
+    ``tools/check_bench.py`` all discover benchmark modules through
+    this one function instead of ad-hoc ``-k`` expressions or file
+    lists, so a newly added ``test_bench_*.py`` cannot be silently
+    skipped by any of them.
+    """
+    return sorted(
+        f"benchmarks/{name}"
+        for name in os.listdir(BENCH_DIR)
+        if name.startswith("test_bench_") and name.endswith(".py")
+    )
 
 
 def format_table(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional, TYPE_CHECKING, Union
 
 from repro.deployment.placement import (
     AdjacentPlacement,
@@ -27,6 +27,9 @@ from repro.net.transport import Transport
 from repro.perf.config import PerfConfig
 from repro.resilience.config import ResilienceConfig
 from repro.selection.policies import SelectionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.config import FleetConfig
 
 #: Transport registry names accepted by :attr:`PlatformConfig.transport`.
 TRANSPORTS = ("sim", "inproc")
@@ -87,6 +90,17 @@ class PlatformConfig:
     #: enables compilation and the cache; ``PerfConfig.disabled()``
     #: restores the seed path end to end (the benchmark baseline).
     perf: PerfConfig = field(default_factory=PerfConfig)
+    #: Sharded scale-out (``repro.fleet``): a
+    #: :class:`~repro.fleet.FleetConfig` partitions the platform into
+    #: share-nothing shards (per-shard transports, directories,
+    #: registries and kernels) behind the same Platform/Session API.
+    #: ``None`` (the default) keeps the classic single-shard platform.
+    #: Fleet mode requires the simulated transport and is mutually
+    #: exclusive with ``resilience`` (both validated at build time);
+    #: the execution tracer binds to a single transport, so in fleet
+    #: mode ``Platform.tracer`` is ``None`` and ``handle.trace()``
+    #: raises with a fleet-specific message.
+    fleet: "Optional[FleetConfig]" = None
 
     def _check_sim_only_fields(self) -> None:
         """Reject sim-tuning fields on a transport that cannot honour them.

@@ -66,7 +66,15 @@ class ExecutionHandle:
         self.operation = operation
         self.submitted_ms = submitted_ms
         self.request_key = ""  # assigned by Session.submit
+        #: The runtime client the submission rode (fleet mode: the
+        #: client on the target's shard).  ``None`` falls back to the
+        #: session's own client.
+        self.client: Optional[RuntimeClient] = None
         self._result: Optional[ExecutionResult] = None
+
+    @property
+    def _client(self) -> RuntimeClient:
+        return self.client if self.client is not None else self._session.client
 
     # Completion path (called by the runtime client) ------------------------
 
@@ -110,8 +118,7 @@ class ExecutionHandle:
         if self._result is not None:
             return self._result
         budget = self._session._timeout(timeout_ms)
-        arrived = self._session.transport.wait_for(self.done,
-                                                   timeout_ms=budget)
+        arrived = self._session.wait_for(self.done, timeout_ms=budget)
         if not arrived or self._result is None:
             raise ExecutionTimeoutError(
                 f"no result for {self.operation!r} on "
@@ -124,7 +131,7 @@ class ExecutionHandle:
         """The wrapper-assigned execution id (waits for the ack)."""
         if self._result is not None:
             return self._result.execution_id
-        return self._session.client.execution_id_for(
+        return self._client.execution_id_for(
             self.request_key, timeout_ms=timeout_ms
         )
 
@@ -137,13 +144,19 @@ class ExecutionHandle:
         """
         tracer = self._session.tracer
         if tracer is None:
+            if self._session.platform.fleet is not None:
+                raise SelfServError(
+                    "execution tracing is not available in fleet mode: "
+                    "the tracer taps one transport and a fleet has one "
+                    "per shard (per-shard tracing is future work)"
+                )
             raise SelfServError(
                 "execution tracing is disabled; construct the Platform "
                 "with PlatformConfig(trace=True) to use handle.trace()"
             )
         execution_id = (
             self._result.execution_id if self._result is not None
-            else self._session.client.ack_for(self.request_key)
+            else self._client.ack_for(self.request_key)
         )
         if not execution_id:
             return None
@@ -156,7 +169,7 @@ class ExecutionHandle:
         ack_timeout_ms: Optional[float] = 10_000.0,
     ) -> None:
         """Send an ECA event to this running execution."""
-        self._session.client.signal(
+        self._client.signal(
             self.binding.node,
             self.binding.endpoint,
             self.execution_id(timeout_ms=ack_timeout_ms),
@@ -183,10 +196,21 @@ class Session:
         self.platform = platform
         self.name = name
         self.host = host
-        platform.ensure_node(host)
-        self.client = RuntimeClient(name, host, platform.transport,
-                                    kernel=platform.kernel)
-        self.client.install()
+        # Fleet mode: one client endpoint per shard the session talks
+        # to, created lazily by route() — there is no fleet-wide
+        # transport to install a single client on.  The lock covers
+        # concurrent first-use from shard pump threads (open-loop
+        # harnesses submit from scheduled callbacks).
+        self._shard_clients: Dict[int, RuntimeClient] = {}
+        self._shard_clients_lock = threading.Lock()
+        if platform.fleet is None:
+            platform.ensure_node(host)
+            self.client: Optional[RuntimeClient] = RuntimeClient(
+                name, host, platform.transport, kernel=platform.kernel
+            )
+            self.client.install()
+        else:
+            self.client = None
         # In-flight handles only: entries leave on result delivery, so a
         # long-lived session does not accumulate finished executions.
         # The lock covers the register/complete race on the threaded
@@ -203,6 +227,37 @@ class Session:
     @property
     def tracer(self):
         return self.platform.tracer
+
+    def wait_for(
+        self, predicate: Any, timeout_ms: Optional[float] = None
+    ) -> bool:
+        """Block (or pump the fleet) until ``predicate()`` holds."""
+        return self.platform.wait_for(predicate, timeout_ms=timeout_ms)
+
+    def route(self, target: Target) -> RuntimeClient:
+        """The runtime client a submission to ``target`` would ride.
+
+        On the classic platform this is the session's one client; in
+        fleet mode it is the client endpoint on the shard hosting the
+        target service, created (and its host node ensured on that
+        shard) on first use.
+        """
+        return self._client_for(self.resolve(target))
+
+    def _client_for(self, binding: ResolvedBinding) -> RuntimeClient:
+        fleet = self.platform.fleet
+        if fleet is None:
+            return self.client
+        shard = fleet.shard_of_service(binding.service)
+        with self._shard_clients_lock:
+            client = self._shard_clients.get(shard.shard_id)
+            if client is None:
+                shard.ensure_node(self.host)
+                client = RuntimeClient(self.name, self.host,
+                                       shard.transport, kernel=shard.kernel)
+                client.install()
+                self._shard_clients[shard.shard_id] = client
+            return client
 
     def _timeout(self, timeout_ms: Any) -> Optional[float]:
         if timeout_ms is _UNSET:
@@ -284,9 +339,15 @@ class Session:
                 f"service {binding.service!r} does not advertise operation "
                 f"{operation!r}; advertised: {list(binding.operations)}"
             )
+        client = self._client_for(binding)
+        # The submission timestamp lives on the clock of the shard the
+        # request actually runs on (fleet shards tick independently, so
+        # the fleet-wide max clock would skew cross-shard durations).
         handle = ExecutionHandle(
-            self, binding, operation, submitted_ms=self.transport.now_ms()
+            self, binding, operation,
+            submitted_ms=client.transport.now_ms(),
         )
+        handle.client = client
         resilience = self.platform.resilience
         if resilience is not None and resilience.manages_sessions:
             resilience.launch(
@@ -294,7 +355,7 @@ class Session:
                 deadline_ms=self._deadline(deadline_ms),
             )
         else:
-            handle.request_key = self.client.submit(
+            handle.request_key = handle.client.submit(
                 binding.node,
                 binding.endpoint,
                 operation,
@@ -369,7 +430,7 @@ class Session:
         """
         handles = list(handles)
         budget = self._timeout(timeout_ms)
-        arrived = self.transport.wait_for(
+        arrived = self.wait_for(
             lambda: all(h.done() for h in handles), timeout_ms=budget
         )
         if not arrived:

@@ -56,6 +56,15 @@ class Platform:
         transport: Optional[Transport] = None,
     ) -> None:
         self.config = config or PlatformConfig()
+        #: The sharded scale-out runtime (``repro.fleet``), present when
+        #: the config carries a ``FleetConfig``.  In fleet mode the
+        #: platform has *no* single transport/kernel — each shard owns
+        #: its own — and ``deployer``/``directory``/``discovery`` are
+        #: the fleet's shard-routing facades.
+        self.fleet = None
+        if self.config.fleet is not None:
+            self._init_fleet(transport)
+            return
         self.transport = (
             transport if transport is not None
             else self.config.build_transport()
@@ -101,6 +110,44 @@ class Platform:
             self.tracer.perf = self.perf_events
         self._sessions: Dict[str, Session] = {}
 
+    def _init_fleet(self, transport: Optional[Transport]) -> None:
+        """Build the sharded variant of the platform (fleet mode)."""
+        # Imported lazily: repro.fleet's harness layers on the Platform
+        # API, so a module-level import would be circular.
+        from repro.fleet.runtime import FleetRuntime
+
+        if transport is not None:
+            raise SelfServError(
+                "fleet mode builds one transport per shard; a pre-built "
+                "transport instance cannot be sharded — drop transport= "
+                "or drop PlatformConfig.fleet"
+            )
+        if self.config.transport != "sim":
+            raise SelfServError(
+                f"fleet mode requires the simulated transport, got "
+                f"transport={self.config.transport!r}"
+            )
+        if self.config.resilience is not None:
+            raise SelfServError(
+                "resilience and fleet are mutually exclusive for now: "
+                "the resilience runtime binds to a single transport "
+                "(per-shard resilience is future work)"
+            )
+        self.fleet = FleetRuntime(self.config)
+        self.transport = None  # no fleet-wide transport by design
+        self.kernel = None
+        self.resilience = None
+        self.directory = self.fleet.directory
+        self.deployer = self.fleet.deployer
+        self.perf_events = self.fleet.perf_events
+        self.discovery = self.fleet.discovery
+        self.editor = ServiceEditor()
+        # The execution tracer taps a single transport's delivery
+        # stream; fleet mode has N of them, so tracing is off (the
+        # per-shard kernels still count per-actor deliveries).
+        self.tracer = None
+        self._sessions: Dict[str, Session] = {}
+
     @classmethod
     def simulated(cls, **overrides: object) -> "Platform":
         """A platform on the deterministic simulated network.
@@ -118,11 +165,37 @@ class Platform:
 
     # Plumbing --------------------------------------------------------------
 
-    def ensure_node(self, host: str) -> Node:
-        """Get ``host``'s node, creating it on first use."""
+    def ensure_node(self, host: str) -> Optional[Node]:
+        """Get ``host``'s node, creating it on first use.
+
+        In fleet mode the host is ensured on *every* shard (host
+        namespaces are per-shard) and ``None`` is returned — there is
+        no single node object to hand back.
+        """
+        if self.fleet is not None:
+            self.fleet.ensure_node(host)
+            return None
         if not self.transport.has_node(host):
             return self.transport.add_node(host)
         return self.transport.node(host)
+
+    def now_ms(self) -> float:
+        """The platform clock (fleet mode: the furthest-ahead shard)."""
+        if self.fleet is not None:
+            return self.fleet.now_ms()
+        return self.transport.now_ms()
+
+    def wait_for(self, predicate, timeout_ms: Optional[float] = None) -> bool:
+        """Drive the platform until ``predicate()`` holds.
+
+        The single blocking primitive sessions and handles use: on the
+        classic platform it delegates to the transport; in fleet mode
+        it pumps every shard through the
+        :class:`~repro.fleet.FleetScheduler` worker threads.
+        """
+        if self.fleet is not None:
+            return self.fleet.wait_for(predicate, timeout_ms=timeout_ms)
+        return self.transport.wait_for(predicate, timeout_ms=timeout_ms)
 
     # Provider flows --------------------------------------------------------
 

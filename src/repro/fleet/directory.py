@@ -1,0 +1,139 @@
+"""The fleet's name-to-location layer: shard-local directories, fanned out.
+
+Each shard owns a plain :class:`~repro.runtime.directory.ServiceDirectory`
+(the deployer on that shard registers into it directly, coordinators on
+that shard resolve through it locally — nothing on the per-message hot
+path changes).  The :class:`FleetDirectory` is the *control-plane* view
+over all of them: it exposes the same resolve/knows/services surface, so
+code written against one directory works against a fleet, and answers
+the routing question the single-shard world never had — *which shard is
+this service actually on?*
+
+Lookups try the consistent-hash home shard first (the overwhelmingly
+common case: the fleet deployer places by the same hash) and only then
+fan out across the remaining shards, which covers services deployed
+with an explicit shard override or an affinity key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import DeploymentError
+from repro.fleet.shardmap import ShardMap
+from repro.runtime.directory import ServiceDirectory
+
+
+class FleetDirectory:
+    """A :class:`ServiceDirectory`-shaped view over per-shard directories."""
+
+    def __init__(
+        self, shard_map: ShardMap, directories: "List[ServiceDirectory]"
+    ) -> None:
+        if len(shard_map.shard_ids) != len(directories):
+            raise ValueError(
+                f"shard map has {len(shard_map.shard_ids)} shards but "
+                f"{len(directories)} directories were given"
+            )
+        self.shard_map = shard_map
+        self._directories = list(directories)
+        self._index = {
+            shard_id: position
+            for position, shard_id in enumerate(shard_map.shard_ids)
+        }
+
+    # Shard routing ----------------------------------------------------------
+
+    def directory_of(self, shard_id: int) -> ServiceDirectory:
+        """The shard-local directory behind one shard id."""
+        return self._directories[self._index[shard_id]]
+
+    def home_shard(self, service: str) -> int:
+        """Where the hash ring says ``service`` belongs (placement-time)."""
+        return self.shard_map.shard_for(service)
+
+    def shard_of(self, service: str) -> int:
+        """Where ``service`` actually lives (lookup-time, home-first).
+
+        The home shard answers in O(1); a service deployed elsewhere
+        (explicit shard or affinity override) is found by scanning the
+        remaining shard directories — in-process dictionary probes, not
+        network calls.  Raises :class:`DeploymentError` when no shard
+        knows the name.
+        """
+        home = self.home_shard(service)
+        if self.directory_of(home).knows(service):
+            return home
+        for shard_id in self.shard_map.shard_ids:
+            if shard_id != home and self.directory_of(shard_id).knows(service):
+                return shard_id
+        raise DeploymentError(
+            f"service {service!r} has no registered location on any of "
+            f"{len(self._directories)} shard(s); was it deployed?"
+        )
+
+    # ServiceDirectory surface ----------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Fleet-wide mutation counter: the sum over shard generations.
+
+        Any registration churn on any shard bumps it, so generation
+        tokens built from it invalidate exactly as the single-directory
+        token does.
+        """
+        return sum(d.generation for d in self._directories)
+
+    def register(
+        self,
+        service: str,
+        node_id: str,
+        endpoint: str = "",
+        shard: Optional[int] = None,
+    ) -> int:
+        """Record a location on ``shard`` (default: the home shard).
+
+        Returns the shard id the registration landed on.  The fleet
+        deployer registers through the shard's own deployer instead;
+        this entry point exists for directory-level tooling and tests.
+        """
+        target = shard if shard is not None else self.home_shard(service)
+        self.directory_of(target).register(service, node_id, endpoint)
+        return target
+
+    def unregister(self, service: str) -> None:
+        self.directory_of(self.shard_of(service)).unregister(service)
+
+    def resolve(self, service: str) -> "Tuple[str, str]":
+        """``(node_id, endpoint)`` on whichever shard hosts the service."""
+        return self.directory_of(self.shard_of(service)).resolve(service)
+
+    def knows(self, service: str) -> bool:
+        try:
+            self.shard_of(service)
+        except DeploymentError:
+            return False
+        return True
+
+    def node_of(self, service: str) -> str:
+        return self.resolve(service)[0]
+
+    def services(self) -> "List[str]":
+        """Every registered service name, fleet-wide, sorted."""
+        names = set()
+        for directory in self._directories:
+            names.update(directory.services())
+        return sorted(names)
+
+    def services_by_shard(self) -> "Dict[int, List[str]]":
+        """Shard id -> its registered services (placement diagnostic)."""
+        return {
+            shard_id: self.directory_of(shard_id).services()
+            for shard_id in self.shard_map.shard_ids
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FleetDirectory {len(self._directories)} shards, "
+            f"{len(self.services())} services>"
+        )

@@ -1,0 +1,246 @@
+"""The fleet runtime: shard slices, routing, and the shard-aware deployer.
+
+Built by the :class:`~repro.api.platform.Platform` when its config
+carries a :class:`~repro.fleet.config.FleetConfig`.  The runtime owns
+
+* the :class:`~repro.fleet.shardmap.ShardMap` (consistent hashing of
+  placement keys to shards),
+* one :class:`~repro.fleet.scheduler.ShardSlice` per shard (transport,
+  directory, registry, kernel, deployer — share-nothing),
+* the :class:`~repro.fleet.scheduler.FleetScheduler` pumping them on
+  worker threads,
+* the :class:`~repro.fleet.directory.FleetDirectory` and
+  :class:`~repro.fleet.discovery.FleetDiscovery` control-plane views,
+* the :class:`FleetDeployer`, which routes every deployment to the
+  shard the hash ring (or an explicit ``shard``/``affinity`` override)
+  assigns and otherwise behaves exactly like a
+  :class:`~repro.deployment.deployer.Deployer`.
+
+Shards are share-nothing at the message layer: a composite and all of
+its component services must live on one shard (the deployer enforces
+this — use ``affinity`` to co-locate), and cross-shard interaction
+happens only at the control plane (deploy, discovery) and at the
+session layer, where the client router picks the right shard per
+submission.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.deployment.deployer import CompositeDeployment
+from repro.exceptions import DeploymentError
+from repro.fleet.directory import FleetDirectory
+from repro.fleet.discovery import FleetDiscovery
+from repro.fleet.scheduler import (
+    FleetScheduler,
+    ShardSlice,
+    build_shard_slice,
+)
+from repro.fleet.shardmap import ShardMap
+from repro.perf.events import PerfEventLog
+from repro.runtime.community_wrapper import CommunityWrapperRuntime
+from repro.runtime.service_wrapper import ServiceWrapperRuntime
+from repro.selection.policies import SelectionPolicy
+from repro.services.community import ServiceCommunity
+from repro.services.composite import CompositeService
+from repro.services.elementary import ElementaryService
+from repro.sim.random_streams import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.config import PlatformConfig
+
+
+class FleetRuntime:
+    """Everything a sharded platform runs on."""
+
+    def __init__(self, config: "PlatformConfig") -> None:
+        fleet_config = config.fleet
+        if fleet_config is None:
+            raise ValueError("FleetRuntime needs PlatformConfig.fleet")
+        self.platform_config = config
+        self.config = fleet_config
+        self.shard_map = ShardMap(
+            fleet_config.shards, virtual_nodes=fleet_config.virtual_nodes
+        )
+        streams = RandomStreams(config.seed)
+        self.shards: "List[ShardSlice]" = [
+            build_shard_slice(shard_id, config,
+                              streams.fork(f"shard-{shard_id}"))
+            for shard_id in self.shard_map.shard_ids
+        ]
+        self._by_id: "Dict[int, ShardSlice]" = {
+            shard.shard_id: shard for shard in self.shards
+        }
+        self.scheduler = FleetScheduler(
+            self.shards, parallel=fleet_config.parallel
+        )
+        self.directory = FleetDirectory(
+            self.shard_map, [shard.directory for shard in self.shards]
+        )
+        #: Fleet-level fast-path audit trail (locate cache events).
+        self.perf_events = PerfEventLog()
+        self.discovery = FleetDiscovery(self)
+        self.deployer = FleetDeployer(self)
+
+    # Shard access -----------------------------------------------------------
+
+    def shard(self, shard_id: int) -> ShardSlice:
+        return self._by_id[shard_id]
+
+    def shard_of_service(self, service: str) -> ShardSlice:
+        """The slice actually hosting a deployed service."""
+        return self.shard(self.directory.shard_of(service))
+
+    # Platform plumbing ------------------------------------------------------
+
+    def ensure_node(self, host: str) -> None:
+        """Make ``host`` exist on every shard.
+
+        Host namespaces are per-shard (each slice has its own
+        transport); ensuring fleet-wide keeps provider registration
+        order-independent from shard assignment.
+        """
+        for shard in self.shards:
+            shard.ensure_node(host)
+
+    def now_ms(self) -> float:
+        return self.scheduler.now_ms()
+
+    def wait_for(self, predicate, timeout_ms: Optional[float] = None) -> bool:
+        return self.scheduler.wait_for(predicate, timeout_ms=timeout_ms)
+
+    def message_counts(self) -> "Dict[int, int]":
+        """Shard id -> messages sent on that shard's transport."""
+        return {
+            shard.shard_id: shard.transport.stats.sent_total
+            for shard in self.shards
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FleetRuntime {len(self.shards)} shards, "
+            f"{len(self.directory.services())} services>"
+        )
+
+
+class FleetDeployer:
+    """Routes deployments onto shards; the deployer surface of a fleet.
+
+    Accepts the same calls as a single-shard
+    :class:`~repro.deployment.deployer.Deployer` plus two routing
+    knobs on every method:
+
+    * ``shard=`` — pin the deployment to an explicit shard id,
+    * ``affinity=`` — hash this key instead of the service's own name.
+
+    ``affinity`` is how a composite and its components co-locate: deploy
+    every component with ``affinity=<composite name>`` and the hash ring
+    sends them all to the composite's shard.
+    """
+
+    def __init__(self, fleet: FleetRuntime) -> None:
+        self.fleet = fleet
+
+    def _route(
+        self, name: str, shard: Optional[int], affinity: Optional[str]
+    ) -> ShardSlice:
+        if shard is not None:
+            if shard not in self.fleet._by_id:
+                raise DeploymentError(
+                    f"unknown shard {shard!r}; fleet has shards "
+                    f"{sorted(self.fleet._by_id)}"
+                )
+            return self.fleet.shard(shard)
+        return self.fleet.shard(
+            self.fleet.shard_map.shard_for(affinity or name)
+        )
+
+    def shard_for(self, key: str) -> int:
+        """Where the hash ring places ``key`` (no deployment)."""
+        return self.fleet.shard_map.shard_for(key)
+
+    # Deployer surface -------------------------------------------------------
+
+    def deploy_elementary(
+        self,
+        service: ElementaryService,
+        host: str,
+        rng: Optional[random.Random] = None,
+        shard: Optional[int] = None,
+        affinity: Optional[str] = None,
+    ) -> ServiceWrapperRuntime:
+        slice_ = self._route(service.name, shard, affinity)
+        return slice_.deployer.deploy_elementary(
+            service,
+            host,
+            rng=rng or slice_.streams.stream(f"svc-{service.name}"),
+        )
+
+    def deploy_community(
+        self,
+        community: ServiceCommunity,
+        host: str,
+        policy: "SelectionPolicy | str" = "multi-attribute",
+        timeout_ms: float = 1000.0,
+        max_attempts: Optional[int] = None,
+        shard: Optional[int] = None,
+        affinity: Optional[str] = None,
+    ) -> CommunityWrapperRuntime:
+        """Deploy a community wrapper on its shard.
+
+        Members delegate through the shard-local directory, so they must
+        live on the same shard — deploy them with
+        ``affinity=<community name>``.
+        """
+        slice_ = self._route(community.name, shard, affinity)
+        return slice_.deployer.deploy_community(
+            community,
+            host,
+            policy=policy,
+            timeout_ms=timeout_ms,
+            max_attempts=max_attempts,
+        )
+
+    def deploy_composite(
+        self,
+        composite: CompositeService,
+        host: str,
+        default_timeout_ms: Optional[float] = None,
+        validate_charts: bool = True,
+        gc_finished_executions: bool = False,
+        shard: Optional[int] = None,
+        affinity: Optional[str] = None,
+    ) -> CompositeDeployment:
+        """Deploy a composite (and its coordinators) on one shard.
+
+        Component services must already be deployed *on that shard* —
+        coordination messages never cross shard boundaries.  A missing
+        component that exists on another shard produces a routing hint
+        instead of the bare not-deployed error.
+        """
+        slice_ = self._route(composite.name, shard, affinity)
+        misplaced = [
+            name for name in composite.component_services()
+            if not slice_.directory.knows(name)
+            and self.fleet.directory.knows(name)
+        ]
+        if misplaced:
+            raise DeploymentError(
+                f"cannot deploy composite {composite.name!r} on shard "
+                f"{slice_.shard_id}: component service(s) "
+                f"{sorted(misplaced)!r} live on other shards — deploy "
+                f"them with affinity={composite.name!r} (or an explicit "
+                f"shard=) so the composite and its components co-locate"
+            )
+        return slice_.deployer.deploy_composite(
+            composite,
+            host,
+            default_timeout_ms=default_timeout_ms,
+            validate_charts=validate_charts,
+            gc_finished_executions=gc_finished_executions,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FleetDeployer over {len(self.fleet.shards)} shards>"

@@ -1,0 +1,117 @@
+"""Consistent hashing of services and communities onto shards.
+
+A :class:`ShardMap` answers exactly one question — *which shard owns
+this name?* — in a way that is
+
+* **deterministic** across processes and platforms (SHA-256, no
+  ``hash()`` randomisation),
+* **balanced** (each shard contributes many virtual nodes to the ring,
+  so key ownership splits near-evenly), and
+* **stable under membership changes**: adding or removing one shard
+  only moves the keys that fall into the ring arcs that shard owned —
+  roughly ``1/n`` of the key space — while every other key keeps its
+  shard.  That stability is what lets a fleet grow without re-homing
+  (and re-deploying) the whole platform.
+
+The map hashes *placement keys*, which default to service names; the
+fleet deployer passes an explicit affinity key when a composite and its
+component services must land on the same shard (shards are
+share-nothing: coordination messages never cross a shard boundary).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+
+def _ring_hash(value: str) -> int:
+    """Position of ``value`` on the ring (stable across processes)."""
+    digest = hashlib.sha256(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardMap:
+    """A consistent-hash ring mapping placement keys to shard ids.
+
+    Construct with a shard count (ids ``0..n-1``) or an explicit id
+    sequence; derive changed memberships with :meth:`with_shard` /
+    :meth:`without_shard` (maps are immutable once built).
+    """
+
+    def __init__(
+        self,
+        shards: "int | Sequence[int]",
+        virtual_nodes: int = 64,
+    ) -> None:
+        if isinstance(shards, int):
+            if shards < 1:
+                raise ValueError("a fleet needs at least one shard")
+            shard_ids: Tuple[int, ...] = tuple(range(shards))
+        else:
+            shard_ids = tuple(shards)
+            if not shard_ids:
+                raise ValueError("a fleet needs at least one shard")
+            if len(set(shard_ids)) != len(shard_ids):
+                raise ValueError(f"duplicate shard ids in {shard_ids!r}")
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.shard_ids = shard_ids
+        self.virtual_nodes = virtual_nodes
+        points: "List[Tuple[int, int]]" = []
+        for shard_id in shard_ids:
+            for replica in range(virtual_nodes):
+                points.append(
+                    (_ring_hash(f"shard:{shard_id}:vn:{replica}"), shard_id)
+                )
+        # Ties between distinct shards at the same ring position are
+        # broken by shard id, so iteration order never matters.
+        points.sort()
+        self._points = points
+        self._positions = [position for position, _ in points]
+
+    # Lookup -----------------------------------------------------------------
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key``: first ring point at/after its hash."""
+        position = _ring_hash(f"key:{key}")
+        index = bisect.bisect_right(self._positions, position)
+        if index == len(self._points):  # wrap around the ring
+            index = 0
+        return self._points[index][1]
+
+    def assignment(self, keys: "Sequence[str]") -> "Dict[str, int]":
+        """Map every key to its shard (bulk :meth:`shard_for`)."""
+        return {key: self.shard_for(key) for key in keys}
+
+    def spread(self, keys: "Sequence[str]") -> "Dict[int, int]":
+        """How many of ``keys`` land on each shard (balance diagnostic)."""
+        counts: Dict[int, int] = {shard_id: 0 for shard_id in self.shard_ids}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts
+
+    # Membership changes -----------------------------------------------------
+
+    def with_shard(self, shard_id: int) -> "ShardMap":
+        """A new map with ``shard_id`` added to the membership."""
+        if shard_id in self.shard_ids:
+            raise ValueError(f"shard {shard_id!r} is already a member")
+        return ShardMap(self.shard_ids + (shard_id,), self.virtual_nodes)
+
+    def without_shard(self, shard_id: int) -> "ShardMap":
+        """A new map with ``shard_id`` removed from the membership."""
+        if shard_id not in self.shard_ids:
+            raise ValueError(f"shard {shard_id!r} is not a member")
+        remaining = tuple(s for s in self.shard_ids if s != shard_id)
+        return ShardMap(remaining, self.virtual_nodes)
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardMap {len(self.shard_ids)} shards x "
+            f"{self.virtual_nodes} vnodes>"
+        )

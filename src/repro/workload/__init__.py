@@ -6,9 +6,18 @@ produces random-but-seeded statecharts (sequences, XOR choices, AND
 parallelism, optional compound nesting) plus matching synthetic services;
 :mod:`repro.workload.harness` builds simulated environments, deploys
 either architecture, drives executions and reports latency/traffic
-metrics.
+metrics; :mod:`repro.workload.arrivals` adds *open-loop* arrival
+processes (Poisson, bursty, diurnal) that model millions of independent
+users whose request rate does not back off when the platform slows —
+the load shape the fleet benchmarks inject.
 """
 
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
 from repro.workload.generator import (
     SyntheticWorkload,
     make_chain_workload,
@@ -24,6 +33,10 @@ from repro.workload.harness import (
 )
 
 __all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
     "RunReport",
     "SimEnvironment",
     "SyntheticWorkload",

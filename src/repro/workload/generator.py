@@ -55,6 +55,10 @@ class GeneratorParams:
     service_jitter_ms: float = 5.0
     service_reliability: float = 1.0
     seed: int = 0
+    #: Service-name prefix; give each workload of a multi-workload run
+    #: (e.g. one per fleet shard) its own so names never collide in a
+    #: shared directory.
+    service_prefix: str = "SynthService"
 
 
 def _make_service(
@@ -62,10 +66,10 @@ def _make_service(
     params: GeneratorParams,
 ) -> ElementaryService:
     """One synthetic provider: operation ``work`` echoes a step marker."""
-    name = f"SynthService{index:03d}"
+    name = f"{params.service_prefix}{index:03d}"
     description = ServiceDescription(
         name=name,
-        provider=f"SynthProvider{index:03d}",
+        provider=f"{params.service_prefix}Provider{index:03d}",
         description="synthetic benchmark service",
     )
     description.add_operation(OperationSpec(
@@ -219,6 +223,7 @@ def make_chain_workload(
     seed: int = 0,
     service_latency_ms: float = 20.0,
     service_reliability: float = 1.0,
+    service_prefix: str = "SynthService",
 ) -> SyntheticWorkload:
     """A pure sequential pipeline of ``tasks`` services."""
     return make_workload(GeneratorParams(
@@ -226,6 +231,7 @@ def make_chain_workload(
         service_latency_ms=service_latency_ms,
         service_jitter_ms=0.0,
         service_reliability=service_reliability,
+        service_prefix=service_prefix,
     ))
 
 

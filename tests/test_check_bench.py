@@ -1,0 +1,193 @@
+"""The benchmark regression gate, exercised from tier-1.
+
+Satellite contract of the fleet PR: CI's ``bench-gate`` job must pass
+against the committed baselines and *demonstrably fail* on an injected
+2x slowdown — both directions are pinned here, against synthetic
+ledgers and against the real committed baseline set.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_bench  # noqa: E402
+from benchmarks._ledger import (  # noqa: E402
+    SCHEMA_VERSION,
+    gated_metrics,
+    metric,
+)
+from benchmarks._utils import bench_modules  # noqa: E402
+
+
+def make_ledger(throughput: float, p99: float, wall: float = 1.0) -> dict:
+    return {
+        "experiment": "BENCH_X",
+        "schema": SCHEMA_VERSION,
+        "title": "synthetic",
+        "source": "benchmarks/test_bench_fleet.py",
+        "meta": {},
+        "rows": [],
+        "metrics": {
+            "throughput": metric(throughput, "req/s", "higher"),
+            "p99": metric(p99, "ms", "lower"),
+            "wall": metric(wall, "s", "info"),
+        },
+    }
+
+
+def write(path: Path, ledger: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(ledger))
+
+
+class TestCompare:
+    def test_identical_ledgers_pass(self):
+        base = make_ledger(1000.0, 50.0)
+        assert check_bench.compare_ledgers(
+            "BENCH_X", base, base, 0.25, set()) == []
+
+    def test_small_drift_passes(self):
+        base = make_ledger(1000.0, 50.0)
+        fresh = make_ledger(900.0, 55.0)  # 10% slower: inside 25%
+        assert check_bench.compare_ledgers(
+            "BENCH_X", base, fresh, 0.25, set()) == []
+
+    def test_2x_slowdown_fails_both_directions(self):
+        base = make_ledger(1000.0, 50.0)
+        fresh = make_ledger(500.0, 100.0)  # halved throughput, doubled p99
+        problems = check_bench.compare_ledgers(
+            "BENCH_X", base, fresh, 0.25, set())
+        assert len(problems) == 2
+        assert any("throughput" in p for p in problems)
+        assert any("p99" in p for p in problems)
+
+    def test_improvement_never_fails(self):
+        base = make_ledger(1000.0, 50.0)
+        fresh = make_ledger(4000.0, 10.0)
+        assert check_bench.compare_ledgers(
+            "BENCH_X", base, fresh, 0.25, set()) == []
+
+    def test_info_metrics_are_never_gated(self):
+        base = make_ledger(1000.0, 50.0, wall=1.0)
+        fresh = make_ledger(1000.0, 50.0, wall=100.0)
+        assert check_bench.compare_ledgers(
+            "BENCH_X", base, fresh, 0.25, set()) == []
+        assert "wall" not in gated_metrics(base)
+
+    def test_missing_fresh_metric_fails(self):
+        base = make_ledger(1000.0, 50.0)
+        fresh = make_ledger(1000.0, 50.0)
+        del fresh["metrics"]["p99"]
+        problems = check_bench.compare_ledgers(
+            "BENCH_X", base, fresh, 0.25, set())
+        assert any("missing" in p for p in problems)
+
+    def test_allowlist_waives_metric_and_experiment(self):
+        base = make_ledger(1000.0, 50.0)
+        fresh = make_ledger(500.0, 100.0)
+        only_p99 = check_bench.compare_ledgers(
+            "BENCH_X", base, fresh, 0.25, {"BENCH_X.throughput"})
+        assert len(only_p99) == 1 and "p99" in only_p99[0]
+        assert check_bench.compare_ledgers(
+            "BENCH_X", base, fresh, 0.25, {"BENCH_X"}) == []
+
+
+class TestCheckEndToEnd:
+    def test_missing_fresh_ledger_fails(self, tmp_path):
+        write(tmp_path / "baselines" / "BENCH_X.json",
+              make_ledger(1000.0, 50.0))
+        problems = check_bench.check(
+            baselines_dir=str(tmp_path / "baselines"),
+            results_dir=str(tmp_path / "results"),
+        )
+        assert any("no fresh ledger" in p for p in problems)
+
+    def test_unknown_source_module_fails(self, tmp_path):
+        ledger = make_ledger(1000.0, 50.0)
+        ledger["source"] = "benchmarks/test_bench_deleted.py"
+        write(tmp_path / "baselines" / "BENCH_X.json", ledger)
+        write(tmp_path / "results" / "BENCH_X.json", ledger)
+        problems = check_bench.check(
+            baselines_dir=str(tmp_path / "baselines"),
+            results_dir=str(tmp_path / "results"),
+        )
+        assert any("manifest" in p for p in problems)
+
+    def test_empty_baseline_dir_fails(self, tmp_path):
+        problems = check_bench.check(
+            baselines_dir=str(tmp_path / "nowhere"),
+            results_dir=str(tmp_path / "results"),
+        )
+        assert any("no baseline ledgers" in p for p in problems)
+
+    def test_clean_pair_passes(self, tmp_path):
+        ledger = make_ledger(1000.0, 50.0)
+        write(tmp_path / "baselines" / "BENCH_X.json", ledger)
+        write(tmp_path / "results" / "BENCH_X.json",
+              make_ledger(950.0, 52.0))
+        assert check_bench.check(
+            baselines_dir=str(tmp_path / "baselines"),
+            results_dir=str(tmp_path / "results"),
+        ) == []
+
+
+class TestCommittedBaselines:
+    """The real baseline set, as CI's bench-gate job sees it."""
+
+    def test_baselines_exist_and_load(self):
+        from benchmarks._ledger import experiments_in, ledger_path, \
+            load_ledger
+        from benchmarks._utils import BASELINES_DIR
+        experiments = experiments_in(BASELINES_DIR)
+        assert "BENCH_FLEET" in experiments
+        for experiment in experiments:
+            ledger = load_ledger(ledger_path(experiment, BASELINES_DIR))
+            assert gated_metrics(ledger), experiment
+            assert ledger["source"] in bench_modules()
+
+    def test_self_test_rejects_2x_slowdown_of_real_baselines(self):
+        assert check_bench.self_test() == []
+
+    def test_fleet_baseline_records_the_scaleout_claim(self):
+        from benchmarks._ledger import ledger_path, load_ledger
+        from benchmarks._utils import BASELINES_DIR
+        ledger = load_ledger(ledger_path("BENCH_FLEET", BASELINES_DIR))
+        speedup = ledger["metrics"]["speedup_4shards_vs_1"]["value"]
+        assert speedup >= 2.0
+
+    def test_manifest_contains_every_bench_file_on_disk(self):
+        on_disk = sorted(
+            f"benchmarks/{p.name}"
+            for p in (REPO_ROOT / "benchmarks").glob("test_bench_*.py")
+        )
+        assert bench_modules() == on_disk
+        assert "benchmarks/test_bench_fleet.py" in on_disk
+
+
+class TestCli:
+    def test_main_passes_on_committed_state(self, capsys):
+        assert check_bench.main([]) == 0
+        assert "bench-gate ok" in capsys.readouterr().out
+
+    def test_main_self_test_flag(self, capsys):
+        assert check_bench.main(["--self-test"]) == 0
+        assert "self-test ok" in capsys.readouterr().out
+
+    def test_main_fails_on_regression(self, tmp_path, capsys):
+        write(tmp_path / "baselines" / "BENCH_X.json",
+              make_ledger(1000.0, 50.0))
+        write(tmp_path / "results" / "BENCH_X.json",
+              make_ledger(400.0, 50.0))
+        code = check_bench.main([
+            "--baselines", str(tmp_path / "baselines"),
+            "--results", str(tmp_path / "results"),
+        ])
+        assert code == 1
+        assert "BENCH-GATE FAIL" in capsys.readouterr().out

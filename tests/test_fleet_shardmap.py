@@ -1,0 +1,95 @@
+"""ShardMap: deterministic, balanced, stable under membership changes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import ShardMap
+
+KEYS = [f"Service{i:04d}" for i in range(2000)]
+
+
+class TestLookup:
+    def test_deterministic_across_instances(self):
+        first = ShardMap(8)
+        second = ShardMap(8)
+        assert first.assignment(KEYS) == second.assignment(KEYS)
+
+    def test_all_keys_land_on_member_shards(self):
+        shard_map = ShardMap(5)
+        assert set(shard_map.spread(KEYS)) == {0, 1, 2, 3, 4}
+        for key in KEYS[:100]:
+            assert shard_map.shard_for(key) in shard_map.shard_ids
+
+    def test_single_shard_owns_everything(self):
+        shard_map = ShardMap(1)
+        assert set(shard_map.assignment(KEYS).values()) == {0}
+
+    def test_balance_is_reasonable(self):
+        """With 64 vnodes each shard carries a sane share of keys."""
+        shard_map = ShardMap(8)
+        spread = shard_map.spread(KEYS)
+        expected = len(KEYS) / len(shard_map)
+        for shard_id, count in spread.items():
+            assert count > expected / 4, (shard_id, spread)
+            assert count < expected * 3, (shard_id, spread)
+
+    def test_explicit_shard_ids(self):
+        shard_map = ShardMap([3, 7, 11])
+        assert set(shard_map.assignment(KEYS).values()) <= {3, 7, 11}
+
+
+class TestMembershipStability:
+    def test_growing_moves_only_a_fraction(self):
+        """Adding one shard re-homes ~1/(n+1) of keys, not everything."""
+        before = ShardMap(4).assignment(KEYS)
+        after = ShardMap(4).with_shard(4).assignment(KEYS)
+        moved = [key for key in KEYS if before[key] != after[key]]
+        # Expected ~20%; generous bound to stay hash-shape agnostic.
+        assert 0 < len(moved) < len(KEYS) * 0.4
+
+    def test_moved_keys_move_to_the_new_shard(self):
+        """Consistent hashing never shuffles keys between old shards."""
+        before = ShardMap(4).assignment(KEYS)
+        after = ShardMap(4).with_shard(4).assignment(KEYS)
+        for key in KEYS:
+            if before[key] != after[key]:
+                assert after[key] == 4, key
+
+    def test_shrinking_keeps_surviving_assignments(self):
+        """Removing a shard only re-homes that shard's keys."""
+        before = ShardMap(5).assignment(KEYS)
+        after = ShardMap(5).without_shard(2).assignment(KEYS)
+        for key in KEYS:
+            if before[key] != 2:
+                assert after[key] == before[key], key
+            else:
+                assert after[key] != 2, key
+
+    def test_grow_then_shrink_round_trips(self):
+        base = ShardMap(4)
+        round_tripped = base.with_shard(9).without_shard(9)
+        assert base.assignment(KEYS) == round_tripped.assignment(KEYS)
+
+
+class TestValidation:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardMap(0)
+        with pytest.raises(ValueError):
+            ShardMap([])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            ShardMap([1, 1, 2])
+
+    def test_rejects_bad_vnodes(self):
+        with pytest.raises(ValueError):
+            ShardMap(2, virtual_nodes=0)
+
+    def test_rejects_duplicate_membership_changes(self):
+        shard_map = ShardMap(3)
+        with pytest.raises(ValueError):
+            shard_map.with_shard(1)
+        with pytest.raises(ValueError):
+            shard_map.without_shard(99)

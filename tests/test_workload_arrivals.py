@@ -1,0 +1,99 @@
+"""Open-loop arrival processes: seeded, shaped, statistically sane."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.random_streams import RandomStreams
+from repro.workload import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+
+
+def rng(seed: int = 0) -> random.Random:
+    return RandomStreams(seed).stream("arrivals")
+
+
+class TestPoisson:
+    def test_deterministic_given_seed(self):
+        process = PoissonArrivals(rate_per_s=500)
+        assert (process.times_ms(1000.0, rng(3))
+                == process.times_ms(1000.0, rng(3)))
+        assert (process.times_ms(1000.0, rng(3))
+                != process.times_ms(1000.0, rng(4)))
+
+    def test_times_are_increasing_within_horizon(self):
+        times = PoissonArrivals(rate_per_s=500).times_ms(1000.0, rng())
+        assert all(0.0 <= t < 1000.0 for t in times)
+        assert times == sorted(times)
+        assert len(times) == len(set(times))
+
+    def test_count_tracks_rate(self):
+        """~rate * horizon arrivals (within a generous Poisson bound)."""
+        times = PoissonArrivals(rate_per_s=1000).times_ms(5000.0, rng())
+        assert 4200 < len(times) < 5800  # expectation 5000
+
+    def test_zero_rate_is_empty(self):
+        assert PoissonArrivals(rate_per_s=0).times_ms(1000.0, rng()) == []
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate_per_s=-1)
+
+
+class TestBursty:
+    def test_bursts_are_denser_than_the_base(self):
+        process = BurstyArrivals(
+            base_rate_per_s=100, burst_rate_per_s=2000,
+            burst_every_ms=1000.0, burst_len_ms=200.0,
+        )
+        times = process.times_ms(10_000.0, rng())
+        in_burst = [t for t in times if (t % 1000.0) < 200.0]
+        outside = [t for t in times if (t % 1000.0) >= 200.0]
+        # Rates 2000/s over 2s vs 100/s over 8s: ~4000 vs ~800.
+        assert len(in_burst) > len(outside) * 2
+
+    def test_deterministic_given_seed(self):
+        process = BurstyArrivals(
+            base_rate_per_s=50, burst_rate_per_s=500,
+            burst_every_ms=100.0, burst_len_ms=20.0,
+        )
+        assert (process.times_ms(500.0, rng(1))
+                == process.times_ms(500.0, rng(1)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(-1, 10, 100.0, 10.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(1, 10, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(1, 10, 100.0, 200.0)  # burst longer than period
+
+
+class TestDiurnal:
+    def test_peak_half_is_denser_than_trough_half(self):
+        process = DiurnalArrivals(
+            mean_rate_per_s=1000, amplitude=0.9, period_ms=1000.0
+        )
+        times = process.times_ms(10_000.0, rng())
+        peak = [t for t in times if (t % 1000.0) < 500.0]    # sin > 0
+        trough = [t for t in times if (t % 1000.0) >= 500.0]  # sin < 0
+        assert len(peak) > len(trough) * 2
+
+    def test_amplitude_zero_is_plain_poisson_rate(self):
+        times = DiurnalArrivals(
+            mean_rate_per_s=1000, amplitude=0.0, period_ms=1000.0
+        ).times_ms(5000.0, rng())
+        assert 4200 < len(times) < 5800
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(-1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(10.0, amplitude=1.5)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(10.0, period_ms=0.0)

@@ -1,0 +1,239 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: fresh ``BENCH_*.json`` vs. baselines.
+
+For every committed baseline ledger under ``benchmarks/baselines/``:
+
+1. a **fresh** ledger with the same experiment name must exist under
+   ``benchmarks/results/`` — a benchmark module that stopped running
+   (dropped from the manifest, renamed, collection error) fails the
+   gate instead of silently freezing its numbers,
+2. the baseline's ``source`` module must be in the shared benchmark
+   manifest (``benchmarks._utils.bench_modules``) and exist on disk,
+3. every **gated** metric (direction ``higher`` or ``lower``) is
+   compared: a regression beyond ``--threshold`` (default 25%) fails.
+   ``info`` metrics (wall-clock and other machine-dependent numbers)
+   are never compared.  Improvements never fail.
+
+Waivers: ``--allow EXPERIMENT`` skips a whole experiment,
+``--allow EXPERIMENT.metric`` one metric — the knob for landing a
+deliberate trade-off together with its refreshed baseline.
+
+``--self-test`` proves the gate has teeth: it synthesises a 2x
+slowdown (half of every higher-is-better metric, double of every
+lower-is-better one) against each baseline and fails unless the gate
+rejects every gated metric.
+
+Run from the repository root (CI's ``bench-gate`` job does)::
+
+    python -m pytest -q $(python -c "from benchmarks._utils import \
+bench_modules; print(' '.join(bench_modules()))")
+    python tools/check_bench.py
+
+Exit status 0 when clean; 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Mapping, Optional, Set
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, REPO_ROOT)
+
+from benchmarks._ledger import (  # noqa: E402
+    experiments_in,
+    gated_metrics,
+    ledger_path,
+    load_ledger,
+)
+from benchmarks._utils import (  # noqa: E402
+    BASELINES_DIR,
+    RESULTS_DIR,
+    bench_modules,
+)
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def regression_of(
+    baseline: "Mapping[str, object]", fresh: "Mapping[str, object]"
+) -> "Optional[float]":
+    """The regression fraction of one metric (``None`` = not comparable).
+
+    Positive means *worse* (lower throughput / higher latency),
+    negative means improved.
+    """
+    base = float(baseline["value"])  # type: ignore[arg-type]
+    new = float(fresh["value"])  # type: ignore[arg-type]
+    if base == 0:
+        return None
+    if baseline["direction"] == "higher":
+        return (base - new) / abs(base)
+    return (new - base) / abs(base)
+
+
+def compare_ledgers(
+    experiment: str,
+    baseline: "Mapping[str, object]",
+    fresh: "Mapping[str, object]",
+    threshold: float,
+    allowed: "Set[str]",
+) -> "List[str]":
+    """All gate failures of one experiment (empty = clean)."""
+    problems: "List[str]" = []
+    base_metrics = gated_metrics(baseline)
+    fresh_metrics = dict(fresh.get("metrics", {}))  # type: ignore[arg-type]
+    for name, base_entry in sorted(base_metrics.items()):
+        waiver = f"{experiment}.{name}"
+        if experiment in allowed or waiver in allowed:
+            continue
+        fresh_entry = fresh_metrics.get(name)
+        if fresh_entry is None:
+            problems.append(
+                f"{experiment}: metric {name!r} is in the baseline but "
+                f"missing from the fresh ledger"
+            )
+            continue
+        regression = regression_of(base_entry, fresh_entry)
+        if regression is None:
+            continue
+        if regression > threshold:
+            direction = base_entry["direction"]
+            problems.append(
+                f"{experiment}.{name}: {base_entry['value']} -> "
+                f"{fresh_entry['value']} {base_entry.get('unit', '')} "
+                f"({direction} is better) regressed "
+                f"{regression * 100.0:.1f}% > {threshold * 100.0:.0f}%"
+            )
+    return problems
+
+
+def check(
+    baselines_dir: str = BASELINES_DIR,
+    results_dir: str = RESULTS_DIR,
+    threshold: float = DEFAULT_THRESHOLD,
+    allowed: "Optional[Set[str]]" = None,
+) -> "List[str]":
+    """Run the whole gate; returns the list of problems (empty = pass)."""
+    allowed = allowed or set()
+    problems: "List[str]" = []
+    experiments = experiments_in(baselines_dir)
+    if not experiments:
+        problems.append(
+            f"no baseline ledgers found under {baselines_dir}; commit at "
+            f"least one BENCH_*.json baseline"
+        )
+        return problems
+    manifest = set(bench_modules())
+    for experiment in experiments:
+        if experiment in allowed:
+            continue
+        try:
+            baseline = load_ledger(ledger_path(experiment, baselines_dir))
+        except ValueError as error:
+            problems.append(str(error))
+            continue
+        source = str(baseline.get("source", ""))
+        if source and source not in manifest:
+            problems.append(
+                f"{experiment}: source module {source!r} is not in the "
+                f"benchmark manifest (benchmarks._utils.bench_modules) — "
+                f"renamed or deleted without refreshing the baseline?"
+            )
+        fresh_path = ledger_path(experiment, results_dir)
+        if not os.path.exists(fresh_path):
+            problems.append(
+                f"{experiment}: no fresh ledger at {fresh_path} — did the "
+                f"benchmark run?  (the gate runs the manifest first; a "
+                f"module that stopped emitting its ledger fails here)"
+            )
+            continue
+        try:
+            fresh = load_ledger(fresh_path)
+        except ValueError as error:
+            problems.append(str(error))
+            continue
+        problems.extend(
+            compare_ledgers(experiment, baseline, fresh, threshold, allowed)
+        )
+    return problems
+
+
+def self_test(
+    baselines_dir: str = BASELINES_DIR,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> "List[str]":
+    """Prove the gate fails on an injected 2x slowdown of every baseline."""
+    problems: "List[str]" = []
+    for experiment in experiments_in(baselines_dir):
+        baseline = load_ledger(ledger_path(experiment, baselines_dir))
+        slowed: "Dict[str, Dict[str, object]]" = {}
+        for name, entry in gated_metrics(baseline).items():
+            entry = dict(entry)
+            factor = 0.5 if entry["direction"] == "higher" else 2.0
+            entry["value"] = float(entry["value"]) * factor  # type: ignore[arg-type]
+            slowed[name] = entry
+        if not slowed:
+            problems.append(f"{experiment}: baseline has no gated metrics")
+            continue
+        caught = compare_ledgers(
+            experiment, baseline, {"metrics": slowed}, threshold, set()
+        )
+        if len(caught) != len(slowed):
+            problems.append(
+                f"{experiment}: injected 2x slowdown on {len(slowed)} "
+                f"metrics but the gate only caught {len(caught)}"
+            )
+    return problems
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="max tolerated regression fraction "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--allow", action="append", default=[],
+                        metavar="EXPERIMENT[.metric]",
+                        help="waive one experiment or one metric "
+                             "(repeatable)")
+    parser.add_argument("--baselines", default=BASELINES_DIR,
+                        help="committed baseline directory")
+    parser.add_argument("--results", default=RESULTS_DIR,
+                        help="fresh results directory")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate rejects a synthetic 2x "
+                             "slowdown of every baseline")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        failures = self_test(args.baselines, args.threshold)
+        if failures:
+            for line in failures:
+                print(f"SELF-TEST FAIL: {line}")
+            return 1
+        print(f"self-test ok: gate rejects a 2x slowdown of every "
+              f"baseline in {args.baselines}")
+        return 0
+
+    problems = check(
+        baselines_dir=args.baselines,
+        results_dir=args.results,
+        threshold=args.threshold,
+        allowed=set(args.allow),
+    )
+    if problems:
+        for line in problems:
+            print(f"BENCH-GATE FAIL: {line}")
+        return 1
+    experiments = experiments_in(args.baselines)
+    print(f"bench-gate ok: {len(experiments)} experiment(s) within "
+          f"{args.threshold * 100.0:.0f}% of baseline "
+          f"({', '.join(experiments)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
