@@ -63,24 +63,46 @@ def write_ledger(
     experiment: str,
     title: str,
     source: str,
-    metrics: "Mapping[str, Mapping[str, Any]]",
+    metrics: "Mapping[str, Mapping[str, Any]] | Iterable[tuple]",
     rows: "Optional[Iterable[Mapping[str, Any]]]" = None,
     meta: "Optional[Mapping[str, Any]]" = None,
 ) -> "Dict[str, Any]":
-    """Persist one experiment's machine-readable ledger; returns it."""
-    for name, entry in metrics.items():
+    """Persist one experiment's machine-readable ledger; returns it.
+
+    ``metrics`` is a mapping (or iterable of ``(name, entry)`` pairs —
+    the form that lets a sweep emit the same metric name more than
+    once).  Re-emitting a name with the *same* direction keeps the last
+    value; re-emitting it with a conflicting ``direction`` raises —
+    a metric that is simultaneously higher- and lower-is-better would
+    make the regression gate's comparison meaningless.
+    """
+    pairs = metrics.items() if isinstance(metrics, Mapping) else metrics
+    collected: "Dict[str, Dict[str, Any]]" = {}
+    for name, entry in pairs:
         if "value" not in entry or "direction" not in entry:
             raise ValueError(
                 f"metric {name!r} must come from ledger.metric() "
                 f"(missing value/direction): {entry!r}"
             )
+        previous = collected.get(name)
+        if (
+            previous is not None
+            and previous["direction"] != entry["direction"]
+        ):
+            raise ValueError(
+                f"metric {name!r} emitted twice with conflicting "
+                f"directions {previous['direction']!r} and "
+                f"{entry['direction']!r}; a gated metric must have one "
+                f"unambiguous better-direction"
+            )
+        collected[name] = dict(entry)
     ledger: "Dict[str, Any]" = {
         "experiment": experiment,
         "schema": SCHEMA_VERSION,
         "title": title,
         "source": source,
         "meta": dict(meta or {}),
-        "metrics": {name: dict(entry) for name, entry in metrics.items()},
+        "metrics": collected,
         "rows": [dict(row) for row in (rows or [])],
     }
     os.makedirs(RESULTS_DIR, exist_ok=True)

@@ -29,6 +29,7 @@ from repro.resilience.config import ResilienceConfig
 from repro.selection.policies import SelectionPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.durability.config import DurabilityConfig
     from repro.fleet.config import FleetConfig
 
 #: Transport registry names accepted by :attr:`PlatformConfig.transport`.
@@ -101,6 +102,16 @@ class PlatformConfig:
     #: mode ``Platform.tracer`` is ``None`` and ``handle.trace()``
     #: raises with a fleet-specific message.
     fleet: "Optional[FleetConfig]" = None
+    #: Crash durability (``repro.durability``): a
+    #: :class:`~repro.durability.DurabilityConfig` adds a write-ahead
+    #: envelope log, quiescent-barrier snapshots and deterministic
+    #: crash recovery.  On the classic platform this wires one
+    #: :class:`~repro.durability.ShardDurability` bundle (recover with
+    #: :func:`repro.durability.recover_platform`); in fleet mode every
+    #: shard gets its own bundle under ``<dir>/shard-<id>/`` and the
+    #: runtime gains ``kill_shard()``/``recover_shard()``.  ``None``
+    #: (the default) keeps the platform purely in-memory.
+    durability: "Optional[DurabilityConfig]" = None
 
     def _check_sim_only_fields(self) -> None:
         """Reject sim-tuning fields on a transport that cannot honour them.

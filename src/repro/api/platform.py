@@ -108,6 +108,22 @@ class Platform:
             self.tracer.resilience = self.resilience.events
         if self.tracer is not None:
             self.tracer.perf = self.perf_events
+        #: Crash durability (``repro.durability``), present when the
+        #: config carries a ``DurabilityConfig``: deliveries are logged
+        #: through the kernel middleware, deployments journaled, and
+        #: :func:`repro.durability.recover_platform` rebuilds a crashed
+        #: platform from the log.
+        self.durability = None
+        if self.config.durability is not None:
+            from repro.durability.runtime import ShardDurability
+
+            self.durability = ShardDurability(self.config.durability)
+            self.durability.attach(
+                transport=self.transport,
+                kernel=self.kernel,
+                deployer=self.deployer,
+                engine=self.discovery,
+            )
         self._sessions: Dict[str, Session] = {}
 
     def _init_fleet(self, transport: Optional[Transport]) -> None:
@@ -134,6 +150,11 @@ class Platform:
                 "(per-shard resilience is future work)"
             )
         self.fleet = FleetRuntime(self.config)
+        self.fleet.platform = self  # recovery rebinds sessions through it
+        #: Durability is per-shard in fleet mode: the bundles live in
+        #: ``fleet.durability`` and kill/recover is the fleet runtime's
+        #: ``kill_shard()``/``recover_shard()`` API.
+        self.durability = None
         self.transport = None  # no fleet-wide transport by design
         self.kernel = None
         self.resilience = None

@@ -125,6 +125,11 @@ class Deployer:
         #: (``False`` = seed behaviour: coordinators re-derive their
         #: dispatch structures per firing).
         self.compile_plans = compile_plans
+        #: The shard's :class:`~repro.durability.ShardDurability`, when
+        #: durability is configured.  The deployer journals every
+        #: deployment through it (so recovery can rebuild the topology)
+        #: and hands service wrappers the effect ledger.
+        self.durability = None
 
     def _ensure_node(self, host: str):
         if not self.transport.has_node(host):
@@ -145,6 +150,16 @@ class Deployer:
                                         rng=rng, kernel=self.kernel)
         wrapper.start()
         self.directory.register(service.name, host, wrapper.endpoint_name)
+        dur = self.durability
+        if dur is not None:
+            wrapper.effects = dur.effects
+            if not dur.suspended:
+                # RNG state is captured *at deploy time*: redeploy hands
+                # the wrapper a generator in exactly this state, and the
+                # snapshot/replay path advances it from there.
+                dur.journal.record_elementary(
+                    service, host, wrapper.rng.getstate()
+                )
         return wrapper
 
     # Communities ---------------------------------------------------------------
@@ -182,6 +197,13 @@ class Deployer:
         )
         wrapper.start()
         self.directory.register(community.name, host, wrapper.endpoint_name)
+        dur = self.durability
+        if dur is not None and not dur.suspended:
+            dur.journal.record_community(community, host, {
+                "policy": policy,
+                "timeout_ms": timeout_ms,
+                "max_attempts": max_attempts,
+            })
         return wrapper
 
     # Composite services ------------------------------------------------------------
@@ -304,6 +326,13 @@ class Deployer:
             deployment.coordinators[operation] = installed
 
         self.directory.register(composite.name, host, wrapper.endpoint_name)
+        dur = self.durability
+        if dur is not None and not dur.suspended:
+            dur.journal.record_composite(composite, host, {
+                "default_timeout_ms": default_timeout_ms,
+                "validate_charts": validate_charts,
+                "gc_finished_executions": gc_finished_executions,
+            })
         return deployment
 
     @staticmethod

@@ -136,6 +136,10 @@ class ServiceDiscoveryEngine:
             )
             if self.perf.locate_cache_size > 0 else None
         )
+        #: Optional callback ``(description, category, contact)`` fired
+        #: after a successful publish; the durability layer journals
+        #: publishes through it so recovery can replay them.
+        self.on_publish = None
 
     # Publish flow ----------------------------------------------------------
 
@@ -187,7 +191,10 @@ class ServiceDiscoveryEngine:
             "accessPoint": access_point,
             "wsdlUrl": wsdl_url,
         })
-        return self._listing_for(service_record, provider)
+        listing = self._listing_for(service_record, provider)
+        if self.on_publish is not None:
+            self.on_publish(description, category, contact)
+        return listing
 
     def unpublish(self, service_name: str) -> None:
         """Remove a service's UDDI entries (keeps the WSDL page)."""

@@ -1,0 +1,65 @@
+"""``repro.durability`` — write-ahead logging, snapshots and recovery.
+
+The platform scales out (``repro.fleet``) and self-heals around live
+failures (``repro.resilience``), but a killed shard used to lose every
+in-flight composition.  This package is the missing database half:
+
+* :mod:`~repro.durability.segments` — CRC/length-framed log segments
+  with an explicit fsync policy (``always``/``interval``/``never``),
+* :mod:`~repro.durability.wal` — the write-ahead log of kernel
+  envelopes, tapped at the single mailbox choke point through an
+  :class:`~repro.kernel.middleware.ActorMiddleware` so the logged
+  order *is* the execution order,
+* :mod:`~repro.durability.snapshot` — per-shard snapshots at quiescent
+  barriers, with log truncation,
+* :mod:`~repro.durability.dedup` — the effect ledger giving provider
+  invocations exactly-once semantics across a crash, correlated by the
+  ``(execution_id, invocation_id)`` pair riding the PR 1 request-key
+  machinery,
+* :mod:`~repro.durability.replay` — deterministic replay: rebuild a
+  killed shard, re-deliver the log, swallow regenerated duplicates,
+  resume mid-composition,
+* :mod:`~repro.durability.runtime` — :class:`ShardDurability`, the
+  per-shard (or per-platform) bundle the config wires in.
+
+Wired through :attr:`repro.api.PlatformConfig.durability`: the classic
+platform gains ``platform.durability`` + :func:`recover_platform`; the
+fleet gains ``kill_shard()``/``recover_shard()`` on its runtime.
+"""
+
+from repro.durability.config import DurabilityConfig, FSYNC_POLICIES
+from repro.durability.dedup import EffectLedger, canonical_send_key
+from repro.durability.replay import (
+    ReplayReport,
+    SendGate,
+    recover_attached,
+    recover_platform,
+)
+from repro.durability.runtime import DeploymentJournal, ShardDurability
+from repro.durability.segments import (
+    SegmentStore,
+    SegmentWriter,
+    read_segment,
+)
+from repro.durability.snapshot import SnapshotStore, capture_state
+from repro.durability.wal import DurabilityMiddleware, WriteAheadLog
+
+__all__ = [
+    "DurabilityConfig",
+    "FSYNC_POLICIES",
+    "EffectLedger",
+    "canonical_send_key",
+    "ReplayReport",
+    "SendGate",
+    "recover_attached",
+    "recover_platform",
+    "DeploymentJournal",
+    "ShardDurability",
+    "SegmentStore",
+    "SegmentWriter",
+    "read_segment",
+    "SnapshotStore",
+    "capture_state",
+    "DurabilityMiddleware",
+    "WriteAheadLog",
+]

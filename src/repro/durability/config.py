@@ -1,0 +1,66 @@
+"""Durability configuration (:class:`DurabilityConfig`).
+
+Frozen, like :class:`repro.fleet.config.FleetConfig`: the knobs are
+decided before the platform is built, and recovery re-derives the same
+paths from the same config, so mutation mid-run would only create
+aliasing bugs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.exceptions import DurabilityError
+
+#: Supported fsync policies for the WAL segment writer.
+#:
+#: ``always``   — write+flush+fsync every record (crash loses nothing),
+#: ``interval`` — fsync every ``fsync_interval_records`` records (crash
+#:                loses at most one interval's tail),
+#: ``never``    — fsync only on clean close/segment roll (crash loses
+#:                everything since the last roll).
+FSYNC_POLICIES = ("always", "interval", "never")
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Where and how hard to persist the write-ahead log and snapshots.
+
+    ``dir`` is the root directory; each shard of a fleet gets its own
+    ``shard-<id>/`` subdirectory (see :meth:`for_shard`) holding a
+    ``wal/`` segment directory and a ``snapshots/`` directory.
+    """
+
+    dir: str
+    fsync: str = "interval"
+    fsync_interval_records: int = 64
+    segment_max_bytes: int = 1 << 20
+    snapshot_keep: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.dir:
+            raise DurabilityError("DurabilityConfig.dir must be a path")
+        if self.fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown fsync policy {self.fsync!r}; "
+                f"expected one of {FSYNC_POLICIES}"
+            )
+        if self.fsync_interval_records < 1:
+            raise DurabilityError(
+                f"fsync_interval_records must be >= 1, got "
+                f"{self.fsync_interval_records}"
+            )
+        if self.segment_max_bytes < 1024:
+            raise DurabilityError(
+                f"segment_max_bytes must be >= 1024, got "
+                f"{self.segment_max_bytes}"
+            )
+        if self.snapshot_keep < 1:
+            raise DurabilityError(
+                f"snapshot_keep must be >= 1, got {self.snapshot_keep}"
+            )
+
+    def for_shard(self, shard_id: int) -> "DurabilityConfig":
+        """The same config rooted at this shard's subdirectory."""
+        return replace(self, dir=os.path.join(self.dir, f"shard-{shard_id}"))

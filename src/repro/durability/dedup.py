@@ -1,0 +1,122 @@
+"""Exactly-once provider effects (:class:`EffectLedger`).
+
+A replayed ``Invoke`` delivery must not re-run the provider's side
+effect.  The ledger keys every completed invocation by the
+``(execution_id, invocation_id)`` pair — the same correlation that the
+PR 1 ``request_key`` machinery threads end-to-end — records the outcome
+in the WAL *before* the reply is sent, and answers replayed duplicates
+from the ledger instead of re-invoking the service.
+
+Because the simulator only crashes at event boundaries, the
+record-then-reply sequence inside a single ``do_work`` event is atomic
+with respect to a crash; under ``fsync="always"`` a logged
+``InvokeResult`` delivery therefore implies its effect record is
+durable.  A real system would widen this with an intent record before
+the side effect — see docs/ARCHITECTURE.md.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.message import Message
+
+EffectKey = Tuple[str, str]
+
+
+def canonical_send_key(message: Message) -> str:
+    """A stable identity for an outbound message, ignoring message_id.
+
+    ``message_id`` is freshly allocated per process, so replay-regenerated
+    sends never share one with the original; identity for dedup is the
+    (target, target_endpoint, kind, body) tuple instead.  Source is
+    deliberately excluded: a recovered wrapper lives on the same node
+    either way, and bodies carry the real correlation ids.
+    """
+    return json.dumps(
+        [message.target, message.target_endpoint, message.kind, message.body],
+        sort_keys=True,
+        separators=(",", ":"),
+        default=repr,
+    )
+
+
+class EffectLedger:
+    """Completed provider invocations, durable via the WAL."""
+
+    def __init__(self, wal=None) -> None:
+        self.wal = wal
+        self._entries: "Dict[EffectKey, Dict[str, Any]]" = {}
+        #: During replay, effect records re-discovered by re-running
+        #: ``do_work`` are queued instead of appended (the WAL is
+        #: suspended); ``flush_pending`` writes them once recovery ends
+        #: so a *second* crash still finds them.
+        self.suspended = False
+        self._pending: "List[Tuple[str, str, Dict[str, Any]]]" = []
+        self.hits = 0
+        self.recorded = 0
+
+    def lookup(
+        self, execution_id: str, invocation_id: str
+    ) -> "Optional[Dict[str, Any]]":
+        entry = self._entries.get((execution_id, invocation_id))
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def record(
+        self,
+        execution_id: str,
+        invocation_id: str,
+        ok: bool,
+        outputs: "Optional[Dict[str, Any]]",
+        fault: str,
+    ) -> "Dict[str, Any]":
+        entry = {"ok": ok, "outputs": outputs, "fault": fault}
+        self._entries[(execution_id, invocation_id)] = entry
+        self.recorded += 1
+        if self.wal is not None:
+            if self.suspended:
+                self._pending.append((execution_id, invocation_id, entry))
+            else:
+                self.wal.append_effect(execution_id, invocation_id, entry)
+        return entry
+
+    def restore(
+        self,
+        execution_id: str,
+        invocation_id: str,
+        entry: "Dict[str, Any]",
+    ) -> None:
+        """Re-admit an entry read back from the WAL or a snapshot."""
+        self._entries[(execution_id, invocation_id)] = dict(entry)
+
+    def flush_pending(self) -> int:
+        """Append queued replay-time effects to the (resumed) WAL.
+
+        Ledger restore is position-independent, so end-of-log placement
+        is fine for a second crash.
+        """
+        flushed = 0
+        if self.wal is not None:
+            for execution_id, invocation_id, entry in self._pending:
+                self.wal.append_effect(execution_id, invocation_id, entry)
+                flushed += 1
+        self._pending.clear()
+        return flushed
+
+    def export(self) -> "List[List[Any]]":
+        """JSON-friendly dump for snapshots, sorted for determinism."""
+        return [
+            [key[0], key[1], dict(entry)]
+            for key, entry in sorted(self._entries.items())
+        ]
+
+    def clear(self) -> None:
+        """Drop in-memory state (a crash); disk records are the truth."""
+        self._entries.clear()
+        self._pending.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

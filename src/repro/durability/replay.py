@@ -1,0 +1,301 @@
+"""Deterministic replay of the write-ahead log.
+
+Recovery rebuilds a killed shard in four moves:
+
+1. **Redeploy** — the deployment journal re-creates every wrapper,
+   community and coordinator on a fresh kernel (code + topology).
+2. **Restore** — the newest valid snapshot re-applies wrapper RNG
+   states, execution tables and the effect ledger; effect records in
+   the log (written after the snapshot barrier) are re-admitted too.
+3. **Replay** — each logged ``deliver`` record is re-handled at its
+   original virtual time: the simulator clock is advanced record by
+   record (timers scheduled by replayed handlers fire in between,
+   exactly as they originally did), the message is decoded through the
+   same envelope codecs, and handlers run for real.
+4. **Resume** — sends regenerated during replay are swallowed when the
+   log shows their delivery was already handled (they would be
+   duplicates) and *held* when it does not (they were in flight when
+   the shard died); held sends are re-injected into the live transport
+   once replay ends, which is what resumes a mid-flight composition.
+
+Provider side effects stay exactly-once throughout: replayed ``Invoke``
+handling consults the effect ledger before touching the service (see
+:mod:`repro.durability.dedup`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter, deque
+from typing import Callable, List, Optional
+
+from repro.durability.dedup import canonical_send_key
+from repro.durability.snapshot import restore_state
+from repro.exceptions import DurabilityError
+from repro.net.message import Message
+from repro.runtime.client import RuntimeClient
+
+
+@dataclasses.dataclass
+class ReplayReport:
+    """What one recovery actually did (diagnostics + bench metrics)."""
+
+    clean_tail: bool = True
+    snapshot_id: Optional[int] = None
+    records_total: int = 0
+    deliveries_replayed: int = 0
+    effects_restored: int = 0
+    quarantined: int = 0
+    missing_actors: int = 0
+    swallowed_sends: int = 0
+    held_resent: int = 0
+    redeployed: int = 0
+
+
+class SendGate:
+    """Shadows ``transport.send`` during (and after) replay.
+
+    ``expected`` counts the canonical keys of every delivery the log
+    already contains.  A send matching an expected key is a replay
+    regeneration of traffic that was already handled — swallowed.  A
+    send with no expected match while replaying was in flight at the
+    crash — held, then re-injected by :meth:`finish`.  After ``finish``
+    the gate stays installed and passes unmatched sends straight
+    through; leftover expected keys can only be consumed by exact
+    duplicates of already-handled messages (client retries carry fresh
+    ``request_key``s, so genuine new traffic never matches).
+    """
+
+    def __init__(self, transport, expected: "Counter[str]") -> None:
+        self.transport = transport
+        self.expected = Counter(expected)
+        self.replaying = True
+        self.swallowed = 0
+        self.held: "deque[Message]" = deque()
+        self._inner = transport.send
+
+    def install(self) -> None:
+        # Instance attribute shadows the bound method: every caller that
+        # resolved ``transport.send`` dynamically now goes through us.
+        self.transport.send = self._on_send
+
+    def _on_send(self, message: Message) -> None:
+        key = canonical_send_key(message)
+        if self.expected.get(key, 0) > 0:
+            self.expected[key] -= 1
+            self.swallowed += 1
+            return
+        if self.replaying:
+            self.held.append(message)
+            return
+        self._inner(message)
+
+    def finish(self) -> int:
+        """End replay; re-inject held in-flight sends.  Returns count."""
+        self.replaying = False
+        resent = 0
+        while self.held:
+            self._inner(self.held.popleft())
+            resent += 1
+        return resent
+
+
+def _noop() -> None:
+    return None
+
+
+def replay_wal(dur, transport, kernel, report: ReplayReport) -> SendGate:
+    """Steps 3+4 of recovery: replay ``deliver`` records, resume sends."""
+    records, clean = dur.wal.read()
+    report.clean_tail = clean
+    report.records_total = len(records)
+    for record in records:
+        if record["t"] == "effect":
+            dur.effects.restore(
+                record["eid"],
+                record["iid"],
+                {
+                    "ok": record["ok"],
+                    "outputs": record["outputs"],
+                    "fault": record["fault"],
+                },
+            )
+            report.effects_restored += 1
+        elif record["t"] == "quarantine":
+            report.quarantined += 1
+    deliveries = [r for r in records if r["t"] == "deliver"]
+    expected: "Counter[str]" = Counter()
+    for record in deliveries:
+        expected[_record_key(record)] += 1
+    gate = SendGate(transport, expected)
+    gate.install()
+    simulator = getattr(transport, "simulator", None)
+    for record in deliveries:
+        time_ms = record["ms"]
+        if simulator is not None and time_ms > simulator.now:
+            # run(until=t) alone does not advance an empty queue; the
+            # noop pins the clock, and timers scheduled by earlier
+            # replayed handlers fire on the way, as they originally did.
+            simulator.schedule_at(time_ms, _noop)
+            simulator.run(until=time_ms)
+        actor = kernel._actors.get(f"{record['dst']}/{record['dep']}")
+        if actor is None:
+            report.missing_actors += 1
+            continue
+        message = Message(
+            kind=record["kind"],
+            source=record["src"],
+            source_endpoint=record["sep"],
+            target=record["dst"],
+            target_endpoint=record["dep"],
+            body=record["body"],
+        )
+        # Feed the kernel taps first so observers (the tracer) rebuild
+        # the same event stream, then hand the message to the mailbox
+        # pipeline — full codec decode, middleware, handler.
+        kernel._on_delivery(message, time_ms)
+        actor.on_message(message)
+        report.deliveries_replayed += 1
+    report.held_resent = gate.finish()
+    report.swallowed_sends = gate.swallowed
+    return gate
+
+
+def _record_key(record) -> str:
+    return canonical_send_key(Message(
+        kind=record["kind"],
+        source=record["src"],
+        source_endpoint=record["sep"],
+        target=record["dst"],
+        target_endpoint=record["dep"],
+        body=record["body"],
+    ))
+
+
+def recover_attached(
+    dur,
+    transport,
+    kernel,
+    rebind: "Optional[Callable[[], None]]" = None,
+) -> ReplayReport:
+    """Run a full recovery against an already-attached fresh runtime.
+
+    ``rebind`` runs after redeploy+restore and before replay: session
+    clients must exist on the fresh kernel so replayed ``ExecuteResult``
+    deliveries complete their handles.
+    """
+    report = ReplayReport()
+    dur.begin_recovery()
+    try:
+        report.redeployed = dur.journal.redeploy(dur.deployer, dur.engine)
+        snapshot = dur.snapshots.latest()
+        if snapshot is not None:
+            snapshot_id, state = snapshot
+            directory = (
+                dur.deployer.directory if dur.deployer is not None else None
+            )
+            registry = dur.engine.registry if dur.engine is not None else None
+            restore_state(
+                kernel, dur.effects, state,
+                directory=directory, registry=registry,
+            )
+            report.snapshot_id = snapshot_id
+        if rebind is not None:
+            rebind()
+        replay_wal(dur, transport, kernel, report)
+    finally:
+        dur.finish_recovery()
+    return report
+
+
+def migrate_client(old, new, sessions) -> int:
+    """Move completed-set and in-flight callbacks from a dead client.
+
+    Handles bound to ``old`` are re-pointed at ``new`` and their
+    result callbacks re-registered, so a composition that finishes
+    after recovery still completes the original handle.
+    """
+    moved = 0
+    if old is None:
+        return moved
+    new._completed = set(old._completed)
+    new._completed_order = deque(old._completed_order)
+    for session in sessions:
+        with session._inflight_lock:
+            for key, handle in session._inflight.items():
+                if handle._client is old:
+                    new._callbacks[key] = handle._deliver
+                    handle.client = new
+                    moved += 1
+    return moved
+
+
+def rebind_fleet_sessions(sessions, shard_id: int, slice_) -> int:
+    """Re-point every session's client for ``shard_id`` at a new slice."""
+    moved = 0
+    for session in sessions:
+        with session._shard_clients_lock:
+            old = session._shard_clients.get(shard_id)
+            if old is None:
+                continue
+            new = RuntimeClient(
+                session.name, session.host,
+                slice_.transport, kernel=slice_.kernel,
+            )
+            slice_.ensure_node(session.host)
+            new.install()
+            session._shard_clients[shard_id] = new
+        moved += migrate_client(old, new, [session])
+    return moved
+
+
+def recover_platform(crashed):
+    """Rebuild a crashed *classic* platform; returns ``(fresh, report)``.
+
+    The crashed platform's sessions are adopted by the fresh one (same
+    objects, new transport underneath), so existing handles resolve
+    after recovery.
+    """
+    dur = getattr(crashed, "durability", None)
+    if dur is None:
+        raise DurabilityError(
+            "platform has no durability configured "
+            "(set PlatformConfig.durability)"
+        )
+    if getattr(crashed, "fleet", None) is not None:
+        raise DurabilityError(
+            "use FleetRuntime.kill_shard()/recover_shard() for fleet "
+            "platforms"
+        )
+    if not dur.crashed:
+        dur.crash()
+    from repro.api.platform import Platform  # local: api imports us
+
+    config = dataclasses.replace(crashed.config, durability=None)
+    fresh = Platform(config)
+    fresh.config = crashed.config
+    dur.attach(
+        transport=fresh.transport,
+        kernel=fresh.kernel,
+        deployer=fresh.deployer,
+        engine=fresh.discovery,
+    )
+    fresh.durability = dur
+
+    def rebind() -> None:
+        for session in list(crashed._sessions.values()):
+            old = session.client
+            session.platform = fresh
+            fresh.ensure_node(session.host)
+            new = RuntimeClient(
+                session.name, session.host,
+                fresh.transport, kernel=fresh.kernel,
+            )
+            new.install()
+            migrate_client(old, new, [session])
+            session.client = new
+            fresh._sessions[session.name] = session
+
+    report = recover_attached(dur, fresh.transport, fresh.kernel,
+                              rebind=rebind)
+    return fresh, report

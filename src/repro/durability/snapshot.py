@@ -1,0 +1,324 @@
+"""Per-shard snapshots with log truncation.
+
+A snapshot captures the recoverable state of one shard (or one classic
+platform) at a **quiescent barrier**: no live simulator events, no
+running composite executions, no in-flight provider work.  Barriers
+are where the WAL can be truncated — everything before the snapshot is
+re-derivable from the snapshot alone, so replay after a crash is
+``snapshot + (log since snapshot)`` instead of the whole history.
+
+What is captured (JSON, checksummed, written atomically):
+
+* per-service-wrapper RNG state and completed/faulted counters,
+* per-composite-wrapper :class:`ExecutionRecord` table and execution
+  counter,
+* per-coordinator invocation and per-community delegation sequence
+  positions (replay of the post-barrier log tail must re-generate the
+  very same invocation ids),
+* the effect ledger,
+* an audit of the service directory and UDDI registry generation —
+  *not* restored directly (the deployment journal rebuilds real actors
+  and registry entries); the audit is verified after redeploy so a
+  journal that drifted from reality fails loudly instead of replaying
+  onto the wrong topology.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.durability.dedup import EffectLedger
+from repro.exceptions import DurabilityError
+from repro.kernel.actor import ActorKernel
+from repro.net.transport import Transport
+from repro.runtime.community_wrapper import CommunityWrapperRuntime
+from repro.runtime.composite_wrapper import (
+    CompositeWrapperRuntime,
+    ExecutionRecord,
+)
+from repro.runtime.coordinator import Coordinator
+from repro.runtime.service_wrapper import ServiceWrapperRuntime
+
+_SNAPSHOT_RE = re.compile(r"^snap-(\d{6})\.json$")
+
+
+def _rng_state_to_json(state: "Tuple[Any, ...]") -> "List[Any]":
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def _rng_state_from_json(state: "List[Any]") -> "Tuple[Any, ...]":
+    version, internal, gauss_next = state
+    return (version, tuple(internal), gauss_next)
+
+
+def _execution_suffix(execution_id: str) -> int:
+    return int(execution_id.rsplit(":", 1)[1])
+
+
+def quiescent(
+    transport: Transport, kernel: ActorKernel
+) -> "Tuple[bool, str]":
+    """Whether this shard is at a snapshot barrier, and why not if not."""
+    simulator = getattr(transport, "simulator", None)
+    if simulator is not None:
+        live = sum(1 for e in simulator._queue if not e.cancelled)
+        if live:
+            return False, f"{live} live simulator event(s) pending"
+    for actor in kernel.actors():
+        if isinstance(actor, ServiceWrapperRuntime) and actor.in_flight:
+            return False, (
+                f"service {actor.service.name!r} has "
+                f"{actor.in_flight} invocation(s) in flight"
+            )
+        if isinstance(actor, CompositeWrapperRuntime):
+            running = actor.running_count()
+            if running:
+                return False, (
+                    f"composite {actor.composite!r} has "
+                    f"{running} running execution(s)"
+                )
+    return True, ""
+
+
+def capture_state(
+    kernel: ActorKernel,
+    effects: EffectLedger,
+    directory=None,
+    registry=None,
+) -> "Dict[str, Any]":
+    """Serialize the recoverable shard state (call only when quiescent)."""
+    wrappers = []
+    composites = []
+    # Invocation/delegation sequence positions: the WAL tail after this
+    # barrier carries ids generated *past* these positions, so a
+    # rebuilt coordinator must resume counting here or its re-issued
+    # invokes will never match the logged ones during replay.
+    sequences = []
+    for actor in kernel.actors():
+        if isinstance(actor, Coordinator) and actor.invocation_seq:
+            sequences.append(
+                [f"{actor.host}/{actor.endpoint_name}",
+                 actor.invocation_seq]
+            )
+        elif isinstance(actor, CommunityWrapperRuntime):
+            if actor.delegation_seq:
+                sequences.append(
+                    [f"{actor.host}/{actor.endpoint_name}",
+                     actor.delegation_seq]
+                )
+        if isinstance(actor, ServiceWrapperRuntime):
+            wrappers.append({
+                "service": actor.service.name,
+                "rng": _rng_state_to_json(actor.rng.getstate()),
+                "completed": actor.completed,
+                "faulted": actor.faulted,
+            })
+        elif isinstance(actor, CompositeWrapperRuntime):
+            records = []
+            max_suffix = 0
+            for record in actor.records():
+                max_suffix = max(
+                    max_suffix, _execution_suffix(record.execution_id)
+                )
+                records.append({
+                    "execution_id": record.execution_id,
+                    "operation": record.operation,
+                    "arguments": record.arguments,
+                    "client_node": record.client_node,
+                    "client_endpoint": record.client_endpoint,
+                    "status": record.status,
+                    "outputs": record.outputs,
+                    "fault": record.fault,
+                    "request_key": record.request_key,
+                    "started_ms": record.started_ms,
+                    "finished_ms": record.finished_ms,
+                    # cancel_deadline is always None at a quiescent
+                    # barrier (finished executions cleared it).
+                })
+            composites.append({
+                "composite": actor.composite,
+                "next_execution": max_suffix + 1,
+                "records": records,
+            })
+    wrappers.sort(key=lambda entry: entry["service"])
+    composites.sort(key=lambda entry: entry["composite"])
+    sequences.sort()
+    state: "Dict[str, Any]" = {
+        "wrappers": wrappers,
+        "composites": composites,
+        "sequences": sequences,
+        "effects": effects.export(),
+        "audit": {
+            "directory": sorted(directory.services()) if directory else [],
+            "registry_generation": (
+                registry.generation if registry is not None else 0
+            ),
+        },
+    }
+    return state
+
+
+def restore_state(
+    kernel: ActorKernel,
+    effects: EffectLedger,
+    state: "Dict[str, Any]",
+    directory=None,
+    registry=None,
+) -> None:
+    """Apply a captured state onto journal-rebuilt actors.
+
+    The kernel must already hold the redeployed wrappers; this restores
+    their mutable state and verifies the audit section.
+    """
+    # The journal may legitimately hold *more* than the snapshot saw —
+    # deployments and publishes after the barrier replay from the
+    # journal too — so the audit checks containment, not equality:
+    # everything the snapshot captured must have been rebuilt.
+    audit = state.get("audit", {})
+    expected_services = audit.get("directory", [])
+    if directory is not None and expected_services:
+        missing = sorted(set(expected_services) - set(directory.services()))
+        if missing:
+            raise DurabilityError(
+                f"deployment journal did not rebuild service(s) "
+                f"{missing} the snapshot captured — the journal is "
+                f"incomplete or stale"
+            )
+    expected_generation = audit.get("registry_generation", 0)
+    if registry is not None and expected_generation:
+        if registry.generation < expected_generation:
+            raise DurabilityError(
+                f"journal-rebuilt UDDI registry is at generation "
+                f"{registry.generation}, snapshot expects at least "
+                f"{expected_generation}"
+            )
+    wrappers_by_service: "Dict[str, ServiceWrapperRuntime]" = {}
+    composites_by_name: "Dict[str, CompositeWrapperRuntime]" = {}
+    for actor in kernel.actors():
+        if isinstance(actor, ServiceWrapperRuntime):
+            wrappers_by_service[actor.service.name] = actor
+        elif isinstance(actor, CompositeWrapperRuntime):
+            composites_by_name[actor.composite] = actor
+    for entry in state.get("wrappers", []):
+        wrapper = wrappers_by_service.get(entry["service"])
+        if wrapper is None:
+            raise DurabilityError(
+                f"snapshot names service {entry['service']!r} but the "
+                f"deployment journal did not rebuild it"
+            )
+        wrapper.rng.setstate(_rng_state_from_json(entry["rng"]))
+        wrapper.completed = entry["completed"]
+        wrapper.faulted = entry["faulted"]
+    for entry in state.get("composites", []):
+        wrapper = composites_by_name.get(entry["composite"])
+        if wrapper is None:
+            raise DurabilityError(
+                f"snapshot names composite {entry['composite']!r} but the "
+                f"deployment journal did not rebuild it"
+            )
+        wrapper._executions = {
+            record["execution_id"]: ExecutionRecord(**record)
+            for record in entry["records"]
+        }
+        wrapper._counter = itertools.count(entry["next_execution"])
+    for address, seq in state.get("sequences", []):
+        actor = kernel._actors.get(address)
+        if actor is None:
+            raise DurabilityError(
+                f"snapshot holds a sequence position for {address!r} but "
+                f"the deployment journal did not rebuild that actor"
+            )
+        if isinstance(actor, Coordinator):
+            actor.invocation_seq = seq
+        elif isinstance(actor, CommunityWrapperRuntime):
+            actor.delegation_seq = seq
+        else:
+            raise DurabilityError(
+                f"snapshot sequence position for {address!r} names "
+                f"a {type(actor).__name__}, not a coordinator or "
+                f"community wrapper"
+            )
+    for execution_id, invocation_id, entry in state.get("effects", []):
+        effects.restore(execution_id, invocation_id, entry)
+
+
+class SnapshotStore:
+    """Numbered, checksummed snapshot files with atomic writes.
+
+    ``snap-<n>.json`` holds ``{"snapshot_id", "sha256", "state"}``;
+    the checksum covers the canonical JSON of ``state``.  ``latest()``
+    falls back to the newest snapshot that verifies, so a torn snapshot
+    write degrades to the previous barrier instead of poisoning
+    recovery.
+    """
+
+    def __init__(self, directory: str, keep: int = 2) -> None:
+        self.directory = directory
+        self.keep = keep
+        os.makedirs(directory, exist_ok=True)
+        existing = self._indices()
+        self._next_id = (existing[-1] + 1) if existing else 1
+
+    def _indices(self) -> "List[int]":
+        indices = []
+        for name in os.listdir(self.directory):
+            match = _SNAPSHOT_RE.match(name)
+            if match:
+                indices.append(int(match.group(1)))
+        return sorted(indices)
+
+    def _path(self, snapshot_id: int) -> str:
+        return os.path.join(self.directory, f"snap-{snapshot_id:06d}.json")
+
+    @staticmethod
+    def _checksum(state: "Dict[str, Any]") -> str:
+        canonical = json.dumps(
+            state, sort_keys=True, separators=(",", ":"), default=repr
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def take(self, state: "Dict[str, Any]") -> int:
+        """Durably write a new snapshot; returns its id."""
+        snapshot_id = self._next_id
+        self._next_id += 1
+        document = {
+            "snapshot_id": snapshot_id,
+            "sha256": self._checksum(state),
+            "state": state,
+        }
+        path = self._path(snapshot_id)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True, default=repr)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        self._prune()
+        return snapshot_id
+
+    def _prune(self) -> None:
+        indices = self._indices()
+        for stale in indices[:-self.keep] if self.keep else indices:
+            try:
+                os.remove(self._path(stale))
+            except OSError:
+                pass
+
+    def latest(self) -> "Optional[Tuple[int, Dict[str, Any]]]":
+        """Newest snapshot that passes its checksum, or ``None``."""
+        for snapshot_id in reversed(self._indices()):
+            try:
+                with open(self._path(snapshot_id), encoding="utf-8") as f:
+                    document = json.load(f)
+                state = document["state"]
+                if document["sha256"] == self._checksum(state):
+                    return document["snapshot_id"], state
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        return None

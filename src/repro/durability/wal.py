@@ -1,0 +1,136 @@
+"""The write-ahead log of kernel envelopes.
+
+Every message a kernel actor *handles* is logged at the single mailbox
+choke point, via :class:`DurabilityMiddleware` riding the
+:class:`~repro.kernel.middleware.ActorMiddleware` ``before_handle``
+hook.  That hook fires after envelope decode and before the handler —
+exactly the serialization point where the PR 4 ``to_body()/from_body()``
+codecs define the record format, so a logged ``body`` replays through
+the same codec path as a live delivery.
+
+Record types (JSON, one per frame):
+
+* ``deliver`` — a handled delivery: virtual time, kind, source/target
+  node+endpoint, and the envelope body.
+* ``effect`` — a provider side effect keyed ``(execution_id,
+  invocation_id)``; written by the effect ledger *before* the reply is
+  sent, which is what makes replayed invocations exactly-once.
+* ``quarantine`` — a malformed envelope, with the offending verb and
+  sender surfaced by the ``on_malformed`` hook; quarantined rather
+  than silently skipped so forensics survive the crash.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.durability.segments import SegmentStore
+from repro.kernel.middleware import ActorMiddleware
+from repro.net.message import Message
+
+
+def _encode(record: "Dict[str, Any]") -> bytes:
+    # default=repr keeps forensic records (quarantine bodies) loggable
+    # even when a handler was fed something non-JSON.
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":"), default=repr
+    ).encode("utf-8")
+
+
+class WriteAheadLog:
+    """Typed records over a :class:`SegmentStore`."""
+
+    def __init__(self, store: SegmentStore) -> None:
+        self.store = store
+        #: While True (during replay) nothing is appended — replayed
+        #: deliveries must not re-log themselves.
+        self.suspended = False
+        self.deliveries_logged = 0
+        self.effects_logged = 0
+        self.quarantined = 0
+
+    def append_delivery(self, message: Message, time_ms: float) -> None:
+        if self.suspended:
+            return
+        self.store.append(_encode({
+            "t": "deliver",
+            "ms": time_ms,
+            "kind": message.kind,
+            "src": message.source,
+            "sep": message.source_endpoint,
+            "dst": message.target,
+            "dep": message.target_endpoint,
+            "body": message.body,
+        }))
+        self.deliveries_logged += 1
+
+    def append_effect(
+        self,
+        execution_id: str,
+        invocation_id: str,
+        entry: "Dict[str, Any]",
+    ) -> None:
+        if self.suspended:
+            return
+        self.store.append(_encode({
+            "t": "effect",
+            "eid": execution_id,
+            "iid": invocation_id,
+            "ok": entry["ok"],
+            "outputs": entry["outputs"],
+            "fault": entry["fault"],
+        }))
+        self.effects_logged += 1
+
+    def append_quarantine(
+        self, message: Message, error: Exception, time_ms: float
+    ) -> None:
+        if self.suspended:
+            return
+        self.store.append(_encode({
+            "t": "quarantine",
+            "ms": time_ms,
+            "kind": message.kind,
+            "src": message.source,
+            "sep": message.source_endpoint,
+            "dst": message.target,
+            "dep": message.target_endpoint,
+            "error": str(error),
+            "body": message.body,
+        }))
+        self.quarantined += 1
+
+    def read(self) -> "Tuple[List[Dict[str, Any]], bool]":
+        """All decodable records, oldest first, plus tail cleanliness."""
+        payloads, clean = self.store.read_all()
+        return [json.loads(payload) for payload in payloads], clean
+
+    def sync(self) -> None:
+        self.store.sync()
+
+    def truncate(self) -> int:
+        return self.store.truncate()
+
+    def crash(self) -> int:
+        return self.store.crash()
+
+    def close(self) -> None:
+        self.store.close()
+
+
+class DurabilityMiddleware(ActorMiddleware):
+    """Taps the mailbox pipeline into the WAL.
+
+    Only ``before_handle`` and ``on_malformed`` are overridden, so the
+    kernel's hook-rebuild keeps the other stages off the hot path.
+    """
+
+    def __init__(self, wal: WriteAheadLog) -> None:
+        self.wal = wal
+
+    def before_handle(self, actor, envelope, message) -> None:
+        self.wal.append_delivery(message, actor.transport.now_ms())
+
+    def on_malformed(self, actor, message, error) -> None:
+        self.wal.append_quarantine(message, error, actor.transport.now_ms())

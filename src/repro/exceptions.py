@@ -187,3 +187,7 @@ class ExecutionTimeoutError(ExecutionError):
 
 class SimulationError(SelfServError):
     """Raised on misuse of the discrete-event simulation substrate."""
+
+
+class DurabilityError(SelfServError):
+    """Raised on WAL/snapshot/recovery failures (``repro.durability``)."""

@@ -48,6 +48,12 @@ class FleetDirectory:
         """The shard-local directory behind one shard id."""
         return self._directories[self._index[shard_id]]
 
+    def replace_directory(
+        self, shard_id: int, directory: ServiceDirectory
+    ) -> None:
+        """Swap one shard's directory (kill: empty; recover: rebuilt)."""
+        self._directories[self._index[shard_id]] = directory
+
     def home_shard(self, service: str) -> int:
         """Where the hash ring says ``service`` belongs (placement-time)."""
         return self.shard_map.shard_for(service)

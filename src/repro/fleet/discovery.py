@@ -47,6 +47,10 @@ class FleetRegistry:
     def registry_of(self, position: int) -> UddiRegistry:
         return self._registries[position]
 
+    def replace(self, position: int, registry: UddiRegistry) -> None:
+        """Swap one shard's registry (kill: empty; recover: rebuilt)."""
+        self._registries[position] = registry
+
     def __len__(self) -> int:
         return len(self._registries)
 
@@ -85,6 +89,16 @@ class FleetDiscovery:
         """The engine of the shard hosting ``service_name`` (deployed)."""
         shard_id = self.fleet.directory.shard_of(service_name)
         return self.fleet.shard(shard_id).engine
+
+    def replace_shard_registry(
+        self, shard_id: int, registry: UddiRegistry
+    ) -> None:
+        """Swap the registry view of one shard after a kill/recover."""
+        positions = {
+            sid: position
+            for position, sid in enumerate(self.fleet.shard_map.shard_ids)
+        }
+        self.registry.replace(positions[shard_id], registry)
 
     # Publish flow -----------------------------------------------------------
 
@@ -164,9 +178,15 @@ class FleetDiscovery:
     # Locate flow ------------------------------------------------------------
 
     def _engines_home_first(self, service_name: str):
-        """Every shard engine, the consistent-hash home shard first."""
+        """Every *live* shard engine, the consistent-hash home first.
+
+        A killed shard simply drops out of the iteration — its services
+        are unreachable until ``recover_shard`` swaps the slice back in.
+        """
         home = self.fleet.shard_map.shard_for(service_name)
-        yield self.fleet.shard(home).engine
+        home_slice = self.fleet._by_id.get(home)
+        if home_slice is not None:
+            yield home_slice.engine
         for shard in self.fleet.shards:
             if shard.shard_id != home:
                 yield shard.engine

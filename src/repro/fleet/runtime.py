@@ -30,7 +30,8 @@ import random
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.deployment.deployer import CompositeDeployment
-from repro.exceptions import DeploymentError
+from repro.discovery.registry import UddiRegistry
+from repro.exceptions import DeploymentError, DurabilityError
 from repro.fleet.directory import FleetDirectory
 from repro.fleet.discovery import FleetDiscovery
 from repro.fleet.scheduler import (
@@ -41,6 +42,7 @@ from repro.fleet.scheduler import (
 from repro.fleet.shardmap import ShardMap
 from repro.perf.events import PerfEventLog
 from repro.runtime.community_wrapper import CommunityWrapperRuntime
+from repro.runtime.directory import ServiceDirectory
 from repro.runtime.service_wrapper import ServiceWrapperRuntime
 from repro.selection.policies import SelectionPolicy
 from repro.services.community import ServiceCommunity
@@ -64,10 +66,26 @@ class FleetRuntime:
         self.shard_map = ShardMap(
             fleet_config.shards, virtual_nodes=fleet_config.virtual_nodes
         )
+        #: Per-shard durability bundles (empty when
+        #: ``PlatformConfig.durability`` is unset).  A bundle survives
+        #: its slice: ``kill_shard`` drops the slice, ``recover_shard``
+        #: re-attaches the bundle to a fresh one.
+        self.durability: "Dict[int, object]" = {}
+        if config.durability is not None:
+            from repro.durability.runtime import ShardDurability
+
+            self.durability = {
+                shard_id: ShardDurability(
+                    config.durability.for_shard(shard_id),
+                    shard_id=shard_id,
+                )
+                for shard_id in self.shard_map.shard_ids
+            }
         streams = RandomStreams(config.seed)
         self.shards: "List[ShardSlice]" = [
             build_shard_slice(shard_id, config,
-                              streams.fork(f"shard-{shard_id}"))
+                              streams.fork(f"shard-{shard_id}"),
+                              durability=self.durability.get(shard_id))
             for shard_id in self.shard_map.shard_ids
         ]
         self._by_id: "Dict[int, ShardSlice]" = {
@@ -83,6 +101,9 @@ class FleetRuntime:
         self.perf_events = PerfEventLog()
         self.discovery = FleetDiscovery(self)
         self.deployer = FleetDeployer(self)
+        #: Back-reference set by the owning Platform; recovery uses it
+        #: to rebind session clients onto a rebuilt shard.
+        self.platform = None
 
     # Shard access -----------------------------------------------------------
 
@@ -92,6 +113,80 @@ class FleetRuntime:
     def shard_of_service(self, service: str) -> ShardSlice:
         """The slice actually hosting a deployed service."""
         return self.shard(self.directory.shard_of(service))
+
+    # Crash & recovery -------------------------------------------------------
+
+    def kill_shard(self, shard_id: int) -> int:
+        """Crash one shard: drop its slice, unsynced WAL tail included.
+
+        The fleet keeps running degraded — the dead shard's services
+        vanish from the fleet directory/registry until
+        :meth:`recover_shard`.  Returns the number of WAL records lost
+        to the crash (0 under ``fsync="always"``).
+        """
+        slice_ = self._by_id.pop(shard_id, None)
+        if slice_ is None:
+            raise DurabilityError(f"shard {shard_id} is not running")
+        self.shards = [s for s in self.shards if s.shard_id != shard_id]
+        self.scheduler.remove_shard(shard_id)
+        self.directory.replace_directory(shard_id, ServiceDirectory())
+        self.discovery.replace_shard_registry(shard_id, UddiRegistry())
+        self.discovery.invalidate_locates(
+            reason=f"shard {shard_id} killed"
+        )
+        dur = self.durability.get(shard_id)
+        return dur.crash() if dur is not None else 0
+
+    def recover_shard(self, shard_id: int):
+        """Rebuild a killed shard from its WAL + snapshot; resume work.
+
+        Returns the :class:`~repro.durability.ReplayReport`.  Session
+        clients previously bound to the dead slice are migrated onto
+        the fresh one, so handles that were in flight at the kill
+        complete once the recovered shard finishes their compositions.
+        """
+        from repro.durability.replay import (
+            recover_attached,
+            rebind_fleet_sessions,
+        )
+
+        if shard_id in self._by_id:
+            raise DurabilityError(f"shard {shard_id} is already running")
+        dur = self.durability.get(shard_id)
+        if dur is None:
+            raise DurabilityError(
+                f"shard {shard_id} has no durability bundle — set "
+                f"PlatformConfig.durability to make shards recoverable"
+            )
+        streams = RandomStreams(self.platform_config.seed).fork(
+            f"shard-{shard_id}"
+        )
+        slice_ = build_shard_slice(
+            shard_id, self.platform_config, streams, durability=dur
+        )
+        sessions = (
+            list(self.platform.sessions())
+            if self.platform is not None else []
+        )
+
+        def rebind() -> None:
+            rebind_fleet_sessions(sessions, shard_id, slice_)
+
+        report = recover_attached(
+            dur, slice_.transport, slice_.kernel, rebind=rebind
+        )
+        self._by_id[shard_id] = slice_
+        self.shards.append(slice_)
+        self.shards.sort(key=lambda shard: shard.shard_id)
+        self.scheduler.add_shard(slice_)
+        self.directory.replace_directory(shard_id, slice_.directory)
+        self.discovery.replace_shard_registry(
+            shard_id, slice_.engine.registry
+        )
+        self.discovery.invalidate_locates(
+            reason=f"shard {shard_id} recovered"
+        )
+        return report
 
     # Platform plumbing ------------------------------------------------------
 

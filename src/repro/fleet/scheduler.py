@@ -49,6 +49,11 @@ class ShardSlice:
     #: Guards the simulator: at most one thread pumps this shard at a
     #: time, preserving the deterministic event order within the shard.
     lock: threading.Lock
+    #: The shard's :class:`~repro.durability.ShardDurability` bundle
+    #: (``None`` when ``PlatformConfig.durability`` is unset).  The
+    #: bundle outlives the slice: ``recover_shard`` re-attaches it to a
+    #: fresh slice after a crash.
+    durability: Optional[object] = None
 
     def ensure_node(self, host: str):
         if not self.transport.has_node(host):
@@ -64,7 +69,10 @@ class ShardSlice:
 
 
 def build_shard_slice(
-    shard_id: int, config: "PlatformConfig", streams: RandomStreams
+    shard_id: int,
+    config: "PlatformConfig",
+    streams: RandomStreams,
+    durability=None,
 ) -> ShardSlice:
     """Materialise one shard from the owning platform config.
 
@@ -95,6 +103,9 @@ def build_shard_slice(
         directory,
         perf=replace(config.perf, locate_cache_size=0),
     )
+    if durability is not None:
+        durability.attach(transport=transport, kernel=kernel,
+                          deployer=deployer, engine=engine)
     return ShardSlice(
         shard_id=shard_id,
         transport=transport,
@@ -104,6 +115,7 @@ def build_shard_slice(
         engine=engine,
         streams=streams,
         lock=threading.Lock(),
+        durability=durability,
     )
 
 
@@ -125,6 +137,20 @@ class FleetScheduler:
         self.shards = list(shards)
         self.parallel = parallel
 
+    # Membership -------------------------------------------------------------
+
+    def remove_shard(self, shard_id: int) -> Optional[ShardSlice]:
+        """Stop pumping one shard (killed); returns its slice if present."""
+        for index, shard in enumerate(self.shards):
+            if shard.shard_id == shard_id:
+                return self.shards.pop(index)
+        return None
+
+    def add_shard(self, slice_: ShardSlice) -> None:
+        """(Re-)admit a shard to the pump set, keeping shard-id order."""
+        self.shards.append(slice_)
+        self.shards.sort(key=lambda shard: shard.shard_id)
+
     # Clock ------------------------------------------------------------------
 
     def now_ms(self) -> float:
@@ -132,8 +158,10 @@ class FleetScheduler:
 
         Shard clocks advance independently (an idle shard's clock
         lags), so the max is the only value that never runs backwards.
+        The empty-fleet default covers the window while every shard is
+        killed awaiting recovery.
         """
-        return max(s.transport.now_ms() for s in self.shards)
+        return max((s.transport.now_ms() for s in self.shards), default=0.0)
 
     def processed_events(self) -> int:
         """Total simulator events executed across all shards."""

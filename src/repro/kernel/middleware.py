@@ -77,6 +77,11 @@ class KernelCounters(ActorMiddleware):
         self.sent: "Dict[Tuple[str, str], int]" = {}
         self.errors: "Dict[Tuple[str, str], int]" = {}
         self.malformed: "Dict[str, int]" = {}
+        # Malformed envelopes keyed (endpoint, verb, "sender_node/
+        # sender_endpoint"): the per-endpoint total above loses exactly
+        # the context a quarantine path needs — *which* verb from *whom*
+        # failed to decode.
+        self.malformed_detail: "Dict[Tuple[str, str, str], int]" = {}
         # One kernel's counters are shared by every actor on it.  On a
         # transport with concurrent delivery (one dispatcher thread per
         # node), two nodes' increments race — a plain dict
@@ -124,12 +129,23 @@ class KernelCounters(ActorMiddleware):
         self, actor: Any, message: Message, error: BaseException
     ) -> None:
         endpoint = actor.endpoint_name
+        detail = (
+            endpoint,
+            message.kind,
+            f"{message.source}/{message.source_endpoint}",
+        )
         lock = self._lock
         if lock is None:
             self.malformed[endpoint] = self.malformed.get(endpoint, 0) + 1
+            self.malformed_detail[detail] = (
+                self.malformed_detail.get(detail, 0) + 1
+            )
             return
         with lock:
             self.malformed[endpoint] = self.malformed.get(endpoint, 0) + 1
+            self.malformed_detail[detail] = (
+                self.malformed_detail.get(detail, 0) + 1
+            )
 
     # Queries ----------------------------------------------------------------
 
@@ -157,3 +173,4 @@ class KernelCounters(ActorMiddleware):
         self.sent.clear()
         self.errors.clear()
         self.malformed.clear()
+        self.malformed_detail.clear()

@@ -25,7 +25,6 @@ only what no tap can see (timeouts, never-deployed members).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -42,8 +41,6 @@ from repro.runtime.protocol import wrapper_endpoint
 from repro.selection.history import ExecutionHistory
 from repro.selection.policies import SelectionPolicy, SelectionRequest
 from repro.services.community import MemberRecord, ServiceCommunity
-
-_delegation_ids = itertools.count(1)
 
 
 @dataclass
@@ -95,6 +92,14 @@ class CommunityWrapperRuntime(Actor):
         self.events = events
         if health is not None and hasattr(policy, "bind_health"):
             policy.bind_health(health)
+        # Per-wrapper, not module-global: delegation keys must replay
+        # identically after crash recovery rebuilds the wrapper, and a
+        # process-wide counter depends on unrelated platforms.  A plain
+        # int (not itertools.count) so snapshots can capture and restore
+        # the position.  The community name prefixes the key (below) so
+        # member invocation ids stay unique across communities sharing
+        # one execution.
+        self.delegation_seq = 0
         self._delegations: Dict[str, _Delegation] = {}
         self._by_member_invocation: Dict[str, str] = {}
         self.delegated = 0
@@ -137,7 +142,8 @@ class CommunityWrapperRuntime(Actor):
             reply_endpoint=reply_endpoint,
             candidates=ranked,
         )
-        key = f"d{next(_delegation_ids)}"
+        self.delegation_seq += 1
+        key = f"{self.community.name}:d{self.delegation_seq}"
         self._delegations[key] = delegation
         self._try_next_member(key)
 

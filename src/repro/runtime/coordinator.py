@@ -29,7 +29,6 @@ coordinator code.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
 
@@ -54,8 +53,6 @@ if TYPE_CHECKING:  # import would cycle through repro.runtime's package init
 from repro.runtime.directory import ServiceDirectory
 from repro.runtime.protocol import coordinator_endpoint
 from repro.statecharts.flatten import NodeKind
-
-_invocation_ids = itertools.count(1)
 
 
 @dataclass
@@ -105,6 +102,15 @@ class Coordinator(Actor):
         #: of re-deriving them per notification.  ``None`` keeps the
         #: seed's derive-per-firing behaviour (the benchmark baseline).
         self._dispatch = dispatch
+        # Per-coordinator, not module-global: invocation ids must come
+        # out identical when a recovered coordinator re-runs the same
+        # deliveries (durability replay), and a process-wide counter
+        # depends on every other platform in the process.  A plain int
+        # (not itertools.count) so snapshots can capture and restore the
+        # position.  Uniqueness holds because the id is prefixed with
+        # the node id and one execution only ever crosses one
+        # composite's coordinators.
+        self.invocation_seq = 0
         self._executions: Dict[str, _ExecutionState] = {}
         self._waiting_tokens: "Dict[str, list]" = {}
         # Signals that arrived before any token was parked to consume
@@ -209,7 +215,8 @@ class Coordinator(Actor):
         except Exception as exc:  # DeploymentError
             self._report_fault(execution_id, str(exc))
             return
-        invocation_id = f"{self.table.node_id}-{next(_invocation_ids)}"
+        self.invocation_seq += 1
+        invocation_id = f"{self.table.node_id}-{self.invocation_seq}"
         self._pending_invocations[invocation_id] = (execution_id, env)
         self.send(target_node, target_endpoint, Invoke(
             invocation_id=invocation_id,

@@ -42,6 +42,10 @@ class ServiceWrapperRuntime(Actor):
         self.in_flight = 0
         self.completed = 0
         self.faulted = 0
+        #: Effect ledger (``repro.durability``) giving invocations
+        #: exactly-once semantics across crash recovery; set by the
+        #: deployer when durability is configured, ``None`` otherwise.
+        self.effects = None
 
     @property
     def endpoint_name(self) -> str:
@@ -60,25 +64,58 @@ class ServiceWrapperRuntime(Actor):
 
         def do_work() -> None:
             self.in_flight -= 1
+            recorded = (
+                self.effects.lookup(execution_id, invocation_id)
+                if self.effects is not None else None
+            )
+            if recorded is not None:
+                # Replayed duplicate of an invocation whose side effect
+                # already ran: draw-and-discard keeps the RNG aligned
+                # with the original schedule, the service is NOT
+                # re-invoked, and the recorded outcome is re-sent.
+                self.service.profile.sample_success(self.rng)
+                if recorded["ok"]:
+                    self.completed += 1
+                else:
+                    self.faulted += 1
+                self._reply(
+                    reply_node, reply_endpoint, invocation_id, execution_id,
+                    ok=recorded["ok"],
+                    outputs=recorded["outputs"],
+                    fault=recorded["fault"],
+                )
+                return
             ok = self.service.profile.sample_success(self.rng)
             if not ok:
+                fault = (
+                    f"service {self.service.name!r} failed "
+                    f"(simulated unreliability)"
+                )
+                self._record_effect(execution_id, invocation_id,
+                                    ok=False, outputs=None, fault=fault)
                 self.faulted += 1
                 self._reply(
                     reply_node, reply_endpoint, invocation_id, execution_id,
-                    ok=False,
-                    fault=f"service {self.service.name!r} failed "
-                          f"(simulated unreliability)",
+                    ok=False, fault=fault,
                 )
                 return
             try:
                 outputs = self.service.invoke(operation, arguments)
             except ServiceError as exc:
+                self._record_effect(execution_id, invocation_id,
+                                    ok=False, outputs=None, fault=str(exc))
                 self.faulted += 1
                 self._reply(
                     reply_node, reply_endpoint, invocation_id, execution_id,
                     ok=False, fault=str(exc),
                 )
                 return
+            # The effect record reaches the WAL *before* the reply is
+            # sent: a logged InvokeResult delivery therefore implies the
+            # effect record survived the crash too (only tail loss is
+            # possible), which is what keeps replay exactly-once.
+            self._record_effect(execution_id, invocation_id,
+                                ok=True, outputs=outputs, fault="")
             self.completed += 1
             self._reply(
                 reply_node, reply_endpoint, invocation_id, execution_id,
@@ -86,6 +123,18 @@ class ServiceWrapperRuntime(Actor):
             )
 
         self.transport.schedule(self.host, work_ms, do_work)
+
+    def _record_effect(
+        self,
+        execution_id: str,
+        invocation_id: str,
+        ok: bool,
+        outputs: Optional[dict],
+        fault: str,
+    ) -> None:
+        if self.effects is not None:
+            self.effects.record(execution_id, invocation_id,
+                                ok=ok, outputs=outputs, fault=fault)
 
     def _reply(
         self,

@@ -99,6 +99,52 @@ class TestCompare:
             "BENCH_X", base, fresh, 0.25, {"BENCH_X"}) == []
 
 
+class TestLedgerWrite:
+    """``write_ledger`` input validation (pair form and conflicts)."""
+
+    def test_pair_form_keeps_the_last_same_direction_value(
+        self, tmp_path, monkeypatch
+    ):
+        import benchmarks._ledger as ledger_module
+
+        monkeypatch.setattr(ledger_module, "RESULTS_DIR", str(tmp_path))
+        ledger = ledger_module.write_ledger(
+            "BENCH_DUP", "dup", "benchmarks/test_bench_fleet.py",
+            [
+                ("rate", metric(10.0, "req/s", "higher")),
+                ("rate", metric(20.0, "req/s", "higher")),
+            ],
+        )
+        assert ledger["metrics"]["rate"]["value"] == 20.0
+
+    def test_conflicting_directions_for_one_metric_raise(
+        self, tmp_path, monkeypatch
+    ):
+        import benchmarks._ledger as ledger_module
+
+        monkeypatch.setattr(ledger_module, "RESULTS_DIR", str(tmp_path))
+        with pytest.raises(ValueError, match="conflicting"):
+            ledger_module.write_ledger(
+                "BENCH_DUP", "dup", "benchmarks/test_bench_fleet.py",
+                [
+                    ("rate", metric(10.0, "req/s", "higher")),
+                    ("rate", metric(20.0, "ms", "lower")),
+                ],
+            )
+
+    def test_entry_not_from_metric_helper_raises(
+        self, tmp_path, monkeypatch
+    ):
+        import benchmarks._ledger as ledger_module
+
+        monkeypatch.setattr(ledger_module, "RESULTS_DIR", str(tmp_path))
+        with pytest.raises(ValueError, match="metric"):
+            ledger_module.write_ledger(
+                "BENCH_DUP", "dup", "benchmarks/test_bench_fleet.py",
+                [("rate", {"value": 10.0})],  # no direction
+            )
+
+
 class TestCheckEndToEnd:
     def test_missing_fresh_ledger_fails(self, tmp_path):
         write(tmp_path / "baselines" / "BENCH_X.json",

@@ -1,0 +1,284 @@
+"""Deterministic crash recovery: replay, resume, and exactly-once.
+
+The contract under test: with ``fsync="always"`` a crashed platform
+rebuilt by :func:`recover_platform` is *indistinguishable* from one
+that never crashed — same tracer timelines, same provider counters,
+same RNG stream positions — and an in-flight composition resumes and
+completes with every provider effect applied exactly once.
+"""
+
+import pytest
+
+from repro.api import PlatformConfig
+from repro.api.platform import Platform
+from repro.durability import DurabilityConfig, recover_platform
+from repro.net.message import Message
+from repro.workload.generator import make_chain_workload
+from repro.workload.harness import composite_for_workload
+
+SEED = 13
+
+
+def _trace_dump(tracer):
+    out = []
+    for timeline in sorted(tracer.timelines(),
+                           key=lambda t: t.execution_id):
+        out.append((timeline.execution_id, [
+            (e.time_ms, e.kind, e.source, e.target, e.detail)
+            for e in timeline.events
+        ]))
+    return out
+
+
+def _wrapper_counts(platform):
+    return {
+        a.service.name: (a.completed, a.faulted)
+        for a in platform.kernel.actors()
+        if type(a).__name__ == "ServiceWrapperRuntime"
+    }
+
+
+def _build(tmp_path, fsync="always", tasks=3, reliability=1.0,
+           counting=None):
+    platform = Platform(PlatformConfig(
+        seed=SEED,
+        durability=DurabilityConfig(dir=str(tmp_path), fsync=fsync),
+    ))
+    workload = make_chain_workload(
+        tasks=tasks, seed=21, service_latency_ms=8.0,
+        service_reliability=reliability,
+    )
+    for index, service in enumerate(workload.services):
+        if counting is not None:
+            original = service.handler_for("work")
+            name = service.name
+
+            def counted(inputs, _original=original, _name=name):
+                counting[_name] = counting.get(_name, 0) + 1
+                return _original(inputs)
+
+            service.bind("work", counted)
+        platform.register_elementary(service, f"replay-host-{index}")
+    deployment = platform.deploy_composite(
+        composite_for_workload(workload, name="ReplayChain"),
+        "replay-host",
+    )
+    return platform, deployment
+
+
+class TestQuiescentReplay:
+    def test_rebuilds_identical_trace_and_counters(self, tmp_path):
+        platform, deployment = _build(tmp_path)
+        session = platform.session("u", "u-host")
+        results = session.gather(
+            session.submit_many([(deployment, "run", {})] * 4)
+        )
+        assert all(r.ok for r in results)
+        before_trace = _trace_dump(platform.tracer)
+        before_counts = _wrapper_counts(platform)
+
+        platform.durability.crash()
+        fresh, report = recover_platform(platform)
+        assert report.clean_tail
+        assert report.held_resent == 0
+        assert report.missing_actors == 0
+        assert _trace_dump(fresh.tracer) == before_trace
+        assert _wrapper_counts(fresh) == before_counts
+
+    def test_recovered_platform_matches_an_uncrashed_twin(
+        self, tmp_path
+    ):
+        """Replayed-vs-fresh equivalence: a recovered platform and a
+        twin that never crashed produce byte-identical traces."""
+        crashed, dep_a = _build(tmp_path / "a")
+        twin, dep_b = _build(tmp_path / "b")
+        for platform, deployment in ((crashed, dep_a), (twin, dep_b)):
+            session = platform.session("u", "u-host")
+            results = session.gather(
+                session.submit_many([(deployment, "run", {})] * 3)
+            )
+            assert all(r.ok for r in results)
+        crashed.durability.crash()
+        fresh, _ = recover_platform(crashed)
+        assert _trace_dump(fresh.tracer) == _trace_dump(twin.tracer)
+        # ...and both continue identically after the divergence point.
+        for platform, deployment in ((fresh, dep_a), (twin, dep_b)):
+            handle = platform.session("u", "u-host").submit(
+                deployment, "run", {}
+            )
+            assert handle.result().ok
+        assert _trace_dump(fresh.tracer) == _trace_dump(twin.tracer)
+
+    def test_rng_streams_stay_aligned_through_recovery(self, tmp_path):
+        """Unreliable services: the recovered platform's fault pattern
+        continues exactly where the uncrashed twin's does — ledger hits
+        draw-and-discard, so replay consumes the same stream."""
+        crashed, dep_a = _build(tmp_path / "a", reliability=0.6, tasks=2)
+        twin, dep_b = _build(tmp_path / "b", reliability=0.6, tasks=2)
+
+        def run_batch(platform, deployment, count):
+            session = platform.session("u", "u-host")
+            return [
+                r.ok for r in session.gather(
+                    session.submit_many([(deployment, "run", {})] * count)
+                )
+            ]
+
+        assert run_batch(crashed, dep_a, 5) == run_batch(twin, dep_b, 5)
+        crashed.durability.crash()
+        fresh, _ = recover_platform(crashed)
+        assert run_batch(fresh, dep_a, 5) == run_batch(twin, dep_b, 5)
+
+
+class TestMidFlightResume:
+    def test_inflight_composition_completes_after_recovery(
+        self, tmp_path
+    ):
+        calls = {}
+        platform, deployment = _build(tmp_path, counting=calls)
+        session = platform.session("u", "u-host")
+        handle = session.submit(deployment, "run", {})
+        platform.transport.simulator.run(until=20.0)
+        assert not handle.done()
+        assert calls  # the chain got partway
+
+        platform.durability.crash()
+        fresh, report = recover_platform(platform)
+        assert fresh.wait_for(handle.done, timeout_ms=60_000)
+        assert handle.result().ok
+        # Exactly-once: every provider handler ran once, replay hits
+        # the effect ledger instead of re-executing.
+        assert all(count == 1 for count in calls.values()), calls
+        assert all(c == (1, 0) for c in _wrapper_counts(fresh).values())
+        assert fresh.durability.effects.hits >= 1
+
+    def test_second_crash_after_recovery_also_recovers(self, tmp_path):
+        platform, deployment = _build(tmp_path)
+        session = platform.session("u", "u-host")
+        assert session.submit(deployment, "run", {}).result().ok
+        platform.durability.crash()
+        fresh, _ = recover_platform(platform)
+        assert fresh.session("u", "u-host").submit(
+            deployment, "run", {}
+        ).result().ok
+        fresh.durability.crash()
+        freshest, report = recover_platform(fresh)
+        assert report.clean_tail
+        counts = _wrapper_counts(freshest)
+        assert all(c == (2, 0) for c in counts.values()), counts
+        assert freshest.session("u", "u-host").submit(
+            deployment, "run", {}
+        ).result().ok
+
+
+class TestExactlyOnce:
+    def test_invoke_double_delivery_hits_the_ledger(self, tmp_path):
+        calls = {}
+        platform, deployment = _build(tmp_path, counting=calls)
+        session = platform.session("u", "u-host")
+        assert session.submit(deployment, "run", {}).result().ok
+        assert all(count == 1 for count in calls.values())
+        records, _ = platform.durability.wal.read()
+        invoke = next(
+            r for r in records
+            if r["t"] == "deliver" and r["kind"] == "invoke"
+        )
+        hits_before = platform.durability.effects.hits
+        # An at-least-once network redelivers the same invoke verbatim.
+        platform.transport.send(Message(
+            kind=invoke["kind"],
+            source=invoke["src"], source_endpoint=invoke["sep"],
+            target=invoke["dst"], target_endpoint=invoke["dep"],
+            body=dict(invoke["body"]),
+        ))
+        platform.transport.run_until_idle()
+        assert all(count == 1 for count in calls.values()), calls
+        assert platform.durability.effects.hits == hits_before + 1
+
+    def test_duplicate_invoke_replies_the_recorded_outcome(
+        self, tmp_path
+    ):
+        platform, deployment = _build(tmp_path)
+        session = platform.session("u", "u-host")
+        assert session.submit(deployment, "run", {}).result().ok
+        records, _ = platform.durability.wal.read()
+        invoke = next(
+            r for r in records
+            if r["t"] == "deliver" and r["kind"] == "invoke"
+        )
+        effect = next(
+            r for r in records
+            if r["t"] == "effect"
+            and r["iid"] == invoke["body"]["invocation_id"]
+        )
+        replies = []
+        platform.ensure_node("probe-host")
+        platform.transport.node("probe-host").register(
+            "test:probe", lambda message: replies.append(message)
+        )
+        platform.transport.send(Message(
+            kind="invoke",
+            source="probe-host", source_endpoint="test:probe",
+            target=invoke["dst"], target_endpoint=invoke["dep"],
+            body=dict(invoke["body"]),
+        ))
+        platform.transport.run_until_idle()
+        assert len(replies) == 1
+        assert replies[0].body["outputs"] == effect["outputs"]
+        assert replies[0].body["status"] == "success"
+
+    def test_execute_result_double_delivery_is_dropped(self, tmp_path):
+        platform, deployment = _build(tmp_path)
+        session = platform.session("u", "u-host")
+        handle = session.submit(deployment, "run", {})
+        assert handle.result().ok
+        records, _ = platform.durability.wal.read()
+        outcome = next(
+            r for r in records
+            if r["t"] == "deliver" and r["kind"] == "execute_result"
+        )
+        client = session.client
+        pooled_before = dict(client._results)
+        # Redeliver the final result: the request key was consumed on
+        # first delivery, so the duplicate must vanish without firing
+        # anything or polluting the shared results pool.
+        platform.transport.send(Message(
+            kind=outcome["kind"],
+            source=outcome["src"], source_endpoint=outcome["sep"],
+            target=outcome["dst"], target_endpoint=outcome["dep"],
+            body=dict(outcome["body"]),
+        ))
+        platform.transport.run_until_idle()
+        assert dict(client._results) == pooled_before
+        assert handle.result().ok  # original result untouched
+
+
+class TestRelaxedFsync:
+    def test_fsync_never_loses_the_tail_but_stays_usable(self, tmp_path):
+        platform, deployment = _build(tmp_path, fsync="never")
+        session = platform.session("u", "u-host")
+        assert session.submit(deployment, "run", {}).result().ok
+        lost = platform.durability.crash()
+        assert lost > 0  # the whole unsynced run
+        fresh, report = recover_platform(platform)
+        assert report.records_total == 0
+        # The deployment journal still rebuilds the topology, so the
+        # platform keeps working — only the unsynced history is gone.
+        assert fresh.session("u", "u-host").submit(
+            deployment, "run", {}
+        ).result().ok
+
+    def test_fsync_interval_bounds_the_loss(self, tmp_path):
+        platform, deployment = _build(tmp_path, fsync="interval")
+        config = platform.config.durability
+        assert config.fsync_interval_records == 64
+        session = platform.session("u", "u-host")
+        results = session.gather(
+            session.submit_many([(deployment, "run", {})] * 6)
+        )
+        assert all(r.ok for r in results)
+        appended = platform.durability.store.records_appended
+        lost = platform.durability.crash()
+        assert 0 < lost < config.fsync_interval_records
+        assert platform.durability.store.records_durable == \
+            appended - lost

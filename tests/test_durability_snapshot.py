@@ -1,0 +1,244 @@
+"""Quiescent-barrier snapshots: capture, restore, truncation, fallback."""
+
+import json
+import os
+
+import pytest
+
+from repro.api import PlatformConfig
+from repro.api.platform import Platform
+from repro.durability import DurabilityConfig, SnapshotStore, recover_platform
+from repro.exceptions import DurabilityError
+from repro.workload.generator import make_chain_workload
+from repro.workload.harness import composite_for_workload
+
+
+def _build_platform(tmp_path, tasks=3, fsync="always"):
+    platform = Platform(PlatformConfig(
+        seed=11,
+        durability=DurabilityConfig(dir=str(tmp_path), fsync=fsync),
+    ))
+    workload = make_chain_workload(tasks=tasks, seed=2,
+                                   service_latency_ms=6.0)
+    for index, service in enumerate(workload.services):
+        platform.register_elementary(service, f"snap-host-{index}")
+    deployment = platform.deploy_composite(
+        composite_for_workload(workload, name="SnapChain"), "snap-host"
+    )
+    return platform, deployment
+
+
+class TestQuiescence:
+    def test_idle_platform_is_quiescent(self, tmp_path):
+        platform, _ = _build_platform(tmp_path)
+        ok, reason = platform.durability.quiescent()
+        assert ok and reason == ""
+
+    def test_mid_composition_refuses_a_snapshot(self, tmp_path):
+        platform, deployment = _build_platform(tmp_path)
+        session = platform.session("u", "u-host")
+        handle = session.submit(deployment, "run", {})
+        platform.transport.simulator.run(until=10.0)
+        assert not handle.done()
+        ok, reason = platform.durability.quiescent()
+        assert not ok and reason
+        with pytest.raises(DurabilityError):
+            platform.durability.take_snapshot()
+        # Drain, then the barrier opens.
+        assert handle.result().ok
+        ok, _ = platform.durability.quiescent()
+        assert ok
+
+
+class TestSnapshotRoundTrip:
+    def test_snapshot_truncates_the_wal(self, tmp_path):
+        platform, deployment = _build_platform(tmp_path)
+        session = platform.session("u", "u-host")
+        results = session.gather(
+            session.submit_many([(deployment, "run", {})] * 3)
+        )
+        assert all(r.ok for r in results)
+        assert platform.durability.store.segment_paths()
+        snapshot_id = platform.durability.take_snapshot()
+        assert snapshot_id == 1
+        assert platform.durability.store.segment_paths() == []
+        records, clean = platform.durability.wal.read()
+        assert records == [] and clean
+
+    def test_recovery_from_snapshot_alone(self, tmp_path):
+        """Crash right at the barrier: no log tail, pure restore."""
+        platform, deployment = _build_platform(tmp_path)
+        session = platform.session("u", "u-host")
+        results = session.gather(
+            session.submit_many([(deployment, "run", {})] * 2)
+        )
+        assert all(r.ok for r in results)
+
+        def counters(pl):
+            return {
+                a.service.name: (a.completed, a.faulted)
+                for a in pl.kernel.actors()
+                if type(a).__name__ == "ServiceWrapperRuntime"
+            }
+
+        before = counters(platform)
+        platform.durability.take_snapshot()
+        platform.durability.crash()
+        fresh, report = recover_platform(platform)
+        assert report.snapshot_id == 1
+        assert report.records_total == 0
+        assert counters(fresh) == before
+        # Snapshot-restored state composes with new work.
+        again = fresh.session("u", "u-host").submit(deployment, "run", {})
+        assert again.result().ok
+
+    def test_recovery_replays_the_post_snapshot_tail(self, tmp_path):
+        platform, deployment = _build_platform(tmp_path)
+        session = platform.session("u", "u-host")
+        assert session.submit(deployment, "run", {}).result().ok
+        platform.durability.take_snapshot()
+        # Post-barrier work lands in the (now empty) log.
+        assert session.submit(deployment, "run", {}).result().ok
+        platform.durability.crash()
+        fresh, report = recover_platform(platform)
+        assert report.snapshot_id == 1
+        assert report.deliveries_replayed > 0
+        assert report.held_resent == 0  # quiescent tail replays closed
+        counts = {
+            a.service.name: a.completed
+            for a in fresh.kernel.actors()
+            if type(a).__name__ == "ServiceWrapperRuntime"
+        }
+        assert all(count == 2 for count in counts.values()), counts
+
+    def test_execution_ids_continue_after_restore(self, tmp_path):
+        """The restored execution counter never re-mints an old id."""
+        platform, deployment = _build_platform(tmp_path)
+        session = platform.session("u", "u-host")
+        handle = session.submit(deployment, "run", {})
+        assert handle.result().ok
+        platform.durability.take_snapshot()
+        platform.durability.crash()
+        fresh, _ = recover_platform(platform)
+        composite = next(
+            a for a in fresh.kernel.actors()
+            if type(a).__name__ == "CompositeWrapperRuntime"
+        )
+        old_ids = {record.execution_id for record in composite.records()}
+        new_handle = fresh.session("u", "u-host").submit(
+            deployment, "run", {}
+        )
+        assert new_handle.result().ok
+        new_ids = {
+            record.execution_id for record in composite.records()
+        } - old_ids
+        assert new_ids and not (new_ids & old_ids)
+
+    def test_coordinator_sequences_survive_the_barrier(self, tmp_path):
+        """Invocation ids in the log tail must replay identically, so
+        the snapshot carries each coordinator's sequence position."""
+        platform, deployment = _build_platform(tmp_path)
+        session = platform.session("u", "u-host")
+        results = session.gather(
+            session.submit_many([(deployment, "run", {})] * 2)
+        )
+        assert all(r.ok for r in results)
+        snapshot_id = platform.durability.take_snapshot()
+        state = platform.durability.snapshots.latest()[1]
+        assert state["sequences"], "coordinator sequences not captured"
+        assert all(seq == 2 for _, seq in state["sequences"])
+        # Tail work beyond the barrier, then crash.
+        assert session.submit(deployment, "run", {}).result().ok
+        platform.durability.crash()
+        fresh, report = recover_platform(platform)
+        assert report.snapshot_id == snapshot_id
+        assert report.held_resent == 0
+        counts = {
+            a.service.name: a.completed
+            for a in fresh.kernel.actors()
+            if type(a).__name__ == "ServiceWrapperRuntime"
+        }
+        assert all(count == 3 for count in counts.values()), counts
+
+
+class TestSnapshotStore:
+    def test_prunes_to_keep(self, tmp_path):
+        store = SnapshotStore(str(tmp_path), keep=2)
+        for n in range(4):
+            store.take({"n": n})
+        snapshot_id, state = store.latest()
+        assert snapshot_id == 4 and state == {"n": 3}
+        names = sorted(os.listdir(str(tmp_path)))
+        assert names == ["snap-000003.json", "snap-000004.json"]
+
+    def test_corrupt_latest_falls_back_to_previous(self, tmp_path):
+        store = SnapshotStore(str(tmp_path), keep=3)
+        store.take({"n": 1})
+        store.take({"n": 2})
+        newest = os.path.join(str(tmp_path), "snap-000002.json")
+        document = json.load(open(newest))
+        document["state"]["n"] = 999  # breaks the checksum
+        with open(newest, "w") as handle:
+            json.dump(document, handle)
+        snapshot_id, state = store.latest()
+        assert snapshot_id == 1 and state == {"n": 1}
+
+    def test_torn_snapshot_file_falls_back(self, tmp_path):
+        store = SnapshotStore(str(tmp_path), keep=3)
+        store.take({"n": 1})
+        store.take({"n": 2})
+        newest = os.path.join(str(tmp_path), "snap-000002.json")
+        data = open(newest, "rb").read()
+        with open(newest, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        snapshot_id, state = store.latest()
+        assert snapshot_id == 1 and state == {"n": 1}
+
+    def test_empty_store_has_no_latest(self, tmp_path):
+        assert SnapshotStore(str(tmp_path)).latest() is None
+
+    def test_numbering_resumes_after_reopen(self, tmp_path):
+        store = SnapshotStore(str(tmp_path), keep=2)
+        store.take({"n": 1})
+        reopened = SnapshotStore(str(tmp_path), keep=2)
+        assert reopened.take({"n": 2}) == 2
+
+
+class TestAuditChecks:
+    def _extra_service(self):
+        from repro.workload.generator import make_chain_workload
+
+        return make_chain_workload(
+            tasks=1, seed=99, service_prefix="Standalone"
+        ).services[0]
+
+    def test_missing_service_in_journal_fails_loudly(self, tmp_path):
+        platform, deployment = _build_platform(tmp_path)
+        # A service the composite does not reference: stripping it from
+        # the journal leaves redeploy "successful" on the wrong
+        # topology, which only the snapshot audit can catch.
+        platform.register_elementary(self._extra_service(), "lone-host")
+        session = platform.session("u", "u-host")
+        assert session.submit(deployment, "run", {}).result().ok
+        platform.durability.take_snapshot()
+        journal = platform.durability.journal
+        journal._entries = [
+            entry for entry in journal._entries
+            if getattr(entry[1][0], "name", "") != "Standalone000"
+        ]
+        platform.durability.crash()
+        with pytest.raises(DurabilityError):
+            recover_platform(platform)
+
+    def test_deployment_after_the_barrier_recovers(self, tmp_path):
+        """The journal legitimately outgrows the snapshot: services
+        deployed after the barrier rebuild from the journal alone."""
+        platform, deployment = _build_platform(tmp_path)
+        session = platform.session("u", "u-host")
+        assert session.submit(deployment, "run", {}).result().ok
+        platform.durability.take_snapshot()
+        platform.register_elementary(self._extra_service(), "lone-host")
+        platform.durability.crash()
+        fresh, report = recover_platform(platform)
+        assert report.snapshot_id == 1
+        assert "Standalone000" in fresh.directory.services()
