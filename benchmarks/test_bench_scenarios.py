@@ -1,0 +1,193 @@
+"""BENCH_SCENARIOS / CLAIM-SCENARIOS — the scenario corpus, measured.
+
+The scenario-corpus PR's acceptance claims as gated numbers:
+
+* **Differential equivalence** — a pinned mini-corpus of generated
+  topologies runs through the classic platform, the central baseline
+  and the fleet runtime; the fraction of seeds on which all three agree
+  (statuses, outputs, per-logical-service invocation counts, zero lost
+  executions) is gated at 1.0-or-bust.
+* **Library scenarios** — flash-sale, noisy-neighbor and
+  marketplace-churn each run on the simulated clock and emit their SLA
+  ledgers: premium attainment and p99, shed counts, completed totals.
+  Everything is drawn from seeded streams, so every gated number is
+  bit-stable; wall-clock seconds are recorded as info only.
+
+Results land as ``benchmarks/results/CLAIM-SCENARIOS.txt`` (human) and
+``benchmarks/results/BENCH_SCENARIOS.json`` (machine, compared against
+``benchmarks/baselines/`` by ``tools/check_bench.py``).
+"""
+
+import time
+from functools import lru_cache
+
+from repro.scenarios.differential import differential
+from repro.scenarios.generator import ScenarioParams, generate_scenario
+from repro.scenarios.library import LIBRARY, library_scenario, run_library_scenario
+
+from _ledger import metric, write_ledger
+from _utils import write_result
+
+#: The pinned differential mini-corpus (CI's full sweep lives in
+#: tests/test_scenarios_differential.py; this gates a fixed sample).
+CORPUS_SEEDS = tuple(range(24))
+CORPUS_PARAMS = ScenarioParams(
+    tasks_min=3, tasks_max=8,
+    p_xor=0.3, p_and=0.25,
+    community_rate=0.4,
+    slow_rate=0.25,
+    requests_min=1, requests_max=3,
+)
+
+
+@lru_cache(maxsize=1)
+def run_differential_corpus():
+    """Every pinned seed through all three runtimes."""
+    start = time.perf_counter()
+    reports = [
+        differential(generate_scenario(seed, CORPUS_PARAMS))
+        for seed in CORPUS_SEEDS
+    ]
+    wall_ms = (time.perf_counter() - start) * 1e3
+    return reports, wall_ms
+
+
+@lru_cache(maxsize=1)
+def run_library_sweep():
+    """Every library scenario once, with its SLA ledger."""
+    reports = {}
+    walls = {}
+    for name in sorted(LIBRARY):
+        start = time.perf_counter()
+        reports[name] = run_library_scenario(library_scenario(name))
+        walls[name] = (time.perf_counter() - start) * 1e3
+    return reports, walls
+
+
+def test_differential_corpus_is_equivalent():
+    reports, _ = run_differential_corpus()
+    failed = [r.describe() for r in reports if not r.equivalent]
+    assert not failed, failed
+
+
+def test_corpus_exercises_communities_and_branches():
+    """The pinned sample is not degenerate."""
+    scenarios = [
+        generate_scenario(seed, CORPUS_PARAMS) for seed in CORPUS_SEEDS
+    ]
+    assert sum(s.community_count for s in scenarios) > 0
+    assert sum(s.xor_count for s in scenarios) > 0
+    assert sum(s.and_count for s in scenarios) > 0
+
+
+def test_library_scenarios_hold_their_invariants():
+    reports, _ = run_library_sweep()
+    for name, report in reports.items():
+        assert report.check_invariants() == [], name
+        assert report.completed_total > 0, name
+
+
+def test_premium_slas_are_met():
+    reports, _ = run_library_sweep()
+    flash = {r["tenant"]: r for r in reports["flash-sale"].rows()}
+    noisy = {r["tenant"]: r for r in reports["noisy-neighbor"].rows()}
+    assert flash["shoppers"]["sla_met"]
+    assert noisy["tenant-a"]["sla_met"]
+
+
+def test_emit_ledger_and_claim():
+    """Persist CLAIM-SCENARIOS.txt and the gated ledger."""
+    diff_reports, diff_wall = run_differential_corpus()
+    library_reports, library_walls = run_library_sweep()
+
+    equivalent = sum(1 for r in diff_reports if r.equivalent)
+    diff_row = {
+        "kind": "differential",
+        "scenario": f"corpus[{len(CORPUS_SEEDS)} seeds]",
+        "tenant": "-",
+        "tier": "-",
+        "offered": sum(
+            len(r.scenario.requests) for r in diff_reports
+        ),
+        "admitted": "-",
+        "throttled": "-",
+        "ok": equivalent,
+        "p99_ms": "-",
+        "attainment": round(equivalent / len(diff_reports), 4),
+        "sla_met": equivalent == len(diff_reports),
+    }
+    library_rows = [
+        dict(row, kind="library", scenario=name)
+        for name, report in sorted(library_reports.items())
+        for row in report.rows()
+    ]
+    all_rows = [diff_row] + [
+        {key: row.get(key, "-") for key in diff_row}
+        for row in library_rows
+    ]
+
+    write_result(
+        "CLAIM-SCENARIOS",
+        f"Differential corpus ({len(CORPUS_SEEDS)} generated seeds x 3 "
+        "runtimes) and the library scenarios' SLA ledgers",
+        headers=list(diff_row.keys()),
+        rows=[list(row.values()) for row in all_rows],
+        notes=(
+            "Differential: classic, central-baseline and fleet runs of "
+            "every generated scenario must agree on statuses, outputs "
+            "and invocation counts with zero lost executions "
+            "(equivalent_fraction gated at 1.0).  Library: every "
+            "scenario's admission accounting conserves "
+            "(offered == admitted + throttled + rejected) and premium "
+            "SLAs hold under burst/noisy-neighbor load.  Wall-clock "
+            "milliseconds are machine-dependent and never gated."
+        ),
+    )
+
+    metrics = [
+        ("differential.equivalent_fraction", metric(
+            round(equivalent / len(diff_reports), 4), "frac", "higher")),
+        ("differential.seeds", metric(
+            float(len(CORPUS_SEEDS)), "seeds", "higher")),
+        # 1.0-or-bust: fraction of runs with zero lost executions (a
+        # zero-baselined "lost" count would be invisible to the gate's
+        # ratio compare and its self-test).
+        ("differential.conservation", metric(
+            round(sum(
+                1 for r in diff_reports
+                for run in r.runs.values() if run.lost == 0
+            ) / (len(diff_reports) * 3), 4), "frac", "higher")),
+        ("differential.wall_ms", metric(
+            round(diff_wall, 1), "ms", "info")),
+    ]
+    for name, report in sorted(library_reports.items()):
+        for metric_name, value, unit, direction in report.metrics():
+            metrics.append((metric_name, metric(value, unit, direction)))
+        metrics.append((
+            f"{name.replace('-', '_')}.wall_ms",
+            metric(round(library_walls[name], 1), "ms", "info"),
+        ))
+
+    write_ledger(
+        "BENCH_SCENARIOS",
+        title="Differential scenario corpus + library SLA workloads",
+        source="benchmarks/test_bench_scenarios.py",
+        meta={
+            "corpus_seeds": len(CORPUS_SEEDS),
+            "corpus_params": {
+                "tasks": [CORPUS_PARAMS.tasks_min, CORPUS_PARAMS.tasks_max],
+                "p_xor": CORPUS_PARAMS.p_xor,
+                "p_and": CORPUS_PARAMS.p_and,
+                "community_rate": CORPUS_PARAMS.community_rate,
+                "slow_rate": CORPUS_PARAMS.slow_rate,
+            },
+            "library": sorted(LIBRARY),
+        },
+        rows=all_rows,
+        metrics=metrics,
+    )
+
+
+def test_bench_scenario_generation_unit(benchmark):
+    """Representative unit: generating one mid-size scenario spec."""
+    benchmark(lambda: generate_scenario(17, CORPUS_PARAMS))

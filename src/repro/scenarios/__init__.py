@@ -1,0 +1,93 @@
+"""Scenario corpus: generated topologies, tenants, differential suite.
+
+The test surface for "handles as many scenarios as you can imagine":
+
+* :mod:`repro.scenarios.generator` — seed-deterministic random
+  composition topologies (depth, fan-out, join density, community
+  sizes, fault mix) drawn from :mod:`repro.sim.random_streams`,
+* :mod:`repro.scenarios.differential` — every generated scenario runs
+  through the classic platform, the central baseline and the fleet
+  runtime, and the three must agree,
+* :mod:`repro.scenarios.tenants` — multi-tenant SLA workloads
+  (priority tiers, rate limits, quotas) whose targets drive the
+  selection/hedging policies,
+* :mod:`repro.scenarios.library` — the curated named scenarios
+  (flash-sale, noisy-neighbor, marketplace-churn) behind
+  ``BENCH_SCENARIOS.json``.
+"""
+
+from repro.scenarios.differential import (
+    RUNTIMES,
+    DifferentialReport,
+    ScenarioRun,
+    differential,
+    run_central,
+    run_classic,
+    run_fleet,
+    scenario_composite,
+)
+from repro.scenarios.generator import (
+    GeneratedScenario,
+    MemberSpec,
+    ScenarioParams,
+    SlotSpec,
+    generate_scenario,
+    scenario_corpus,
+    scenario_prefix,
+)
+from repro.scenarios.library import (
+    LIBRARY,
+    ChurnEvent,
+    LibraryReport,
+    LibraryScenario,
+    flash_sale,
+    library_scenario,
+    marketplace_churn,
+    noisy_neighbor,
+    run_library_scenario,
+)
+from repro.scenarios.tenants import (
+    TIERS,
+    SlaLedger,
+    SlaTarget,
+    TenantGovernor,
+    TenantSpec,
+    TokenBucket,
+    resilience_for,
+    selection_policy_for,
+)
+
+__all__ = [
+    "RUNTIMES",
+    "TIERS",
+    "LIBRARY",
+    "ChurnEvent",
+    "DifferentialReport",
+    "GeneratedScenario",
+    "LibraryReport",
+    "LibraryScenario",
+    "MemberSpec",
+    "ScenarioParams",
+    "ScenarioRun",
+    "SlaLedger",
+    "SlaTarget",
+    "SlotSpec",
+    "TenantGovernor",
+    "TenantSpec",
+    "TokenBucket",
+    "differential",
+    "flash_sale",
+    "generate_scenario",
+    "library_scenario",
+    "marketplace_churn",
+    "noisy_neighbor",
+    "resilience_for",
+    "run_central",
+    "run_classic",
+    "run_fleet",
+    "run_library_scenario",
+    "scenario_composite",
+    "scenario_corpus",
+    "scenario_prefix",
+    "selection_policy_for",
+]

@@ -1,0 +1,406 @@
+"""The named scenario library: curated multi-tenant SLA workloads.
+
+Three production shapes, each a :class:`LibraryScenario` built from a
+pinned generator seed and a tenant roster, runnable with one call:
+
+* ``flash-sale`` — a premium tenant under a flash-crowd burst
+  (:class:`~repro.workload.arrivals.BurstyArrivals`) with a token-bucket
+  shedding the worst of the spike; communities ride the
+  ``health-weighted`` selection policy and SLA-derived hedging,
+* ``noisy-neighbor`` — a premium tenant sharing the platform with a
+  batch tenant offering ~6x its admitted rate; the governor's rate
+  limit and quota keep the premium SLA intact,
+* ``marketplace-churn`` — every slot is a community and the membership
+  churns mid-run (join / leave / suspend / resume) while buyers keep
+  arriving; the run must complete every admitted request anyway.
+
+Each run returns a :class:`LibraryReport` whose ``metrics()`` rows feed
+the ``BENCH_SCENARIOS.json`` ledger (``benchmarks/_ledger.py``), which
+``tools/check_bench.py`` regression-gates in CI.  Everything runs on
+the simulated clock from seeded streams, so every number is
+bit-stable across runs and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.api.config import PlatformConfig
+from repro.api.platform import Platform
+from repro.scenarios.differential import scenario_composite
+from repro.scenarios.generator import (
+    GeneratedScenario,
+    MemberSpec,
+    ScenarioParams,
+    _member_service,
+    generate_scenario,
+)
+from repro.scenarios.tenants import (
+    TIERS,
+    SlaLedger,
+    SlaTarget,
+    TenantGovernor,
+    TenantSpec,
+    resilience_for,
+    selection_policy_for,
+)
+from repro.services.community import ServiceCommunity
+from repro.sim.random_streams import RandomStreams
+from repro.workload.arrivals import BurstyArrivals, PoissonArrivals
+
+
+@dataclass
+class ChurnEvent:
+    """One scheduled membership change of a named community."""
+
+    at_ms: float
+    #: ``join`` | ``leave`` | ``suspend`` | ``resume``
+    action: str
+    #: For ``join``: the member spec to deploy and enrol.  For the
+    #: others: the member name to act on.
+    member: "MemberSpec | str"
+
+
+@dataclass
+class LibraryScenario:
+    """A curated scenario: topology + tenant roster + churn schedule."""
+
+    name: str
+    scenario: GeneratedScenario
+    tenants: "List[TenantSpec]"
+    horizon_ms: float
+    #: Per-host serial handling cost — the knob that makes overload
+    #: visible as queueing (0 would hide the bursts entirely).
+    processing_ms: float = 1.0
+    seed: int = 0
+    churn: "List[ChurnEvent]" = field(default_factory=list)
+    with_resilience: bool = True
+
+
+@dataclass
+class LibraryReport:
+    """Everything one library-scenario run measured."""
+
+    name: str
+    ledger: SlaLedger
+    makespan_ms: float
+    requests_total: int
+    completed_total: int
+    churn_applied: int = 0
+
+    def rows(self) -> "List[Dict[str, Any]]":
+        return [
+            self.ledger.row(tenant)
+            for tenant in sorted(self.ledger.governor.tenants)
+        ]
+
+    def check_invariants(self) -> "List[str]":
+        """Accounting conservation violations (empty = clean)."""
+        return self.ledger.check_sums()
+
+    def metrics(self) -> "List[Tuple[str, float, str, str]]":
+        """Ledger rows: ``(name, value, unit, direction)`` per metric."""
+        out: "List[Tuple[str, float, str, str]]" = []
+        prefix = self.name.replace("-", "_")
+        total_ok = sum(
+            account.completed_ok
+            for account in self.ledger.accounts.values()
+        )
+        out.append((f"{prefix}.completed_ok", float(total_ok), "requests",
+                    "higher"))
+        for tenant in sorted(self.ledger.governor.tenants):
+            row = self.ledger.row(tenant)
+            spec = self.ledger.governor.tenants[tenant]
+            out.append((
+                f"{prefix}.{tenant}.attainment",
+                float(row["attainment"]), "fraction", "higher",
+            ))
+            if spec.tier == "premium":
+                out.append((
+                    f"{prefix}.{tenant}.p99_ms",
+                    float(row["p99_ms"]), "ms", "lower",
+                ))
+            if row["throttled"] or row["rejected"]:
+                out.append((
+                    f"{prefix}.{tenant}.shed",
+                    float(row["throttled"] + row["rejected"]),
+                    "requests", "info",
+                ))
+        return out
+
+
+def _deploy_library(
+    platform: Platform,
+    scenario: GeneratedScenario,
+    policy: str,
+) -> "Tuple[Any, Dict[str, ServiceCommunity]]":
+    """Deploy the scenario's slots and composite; return communities."""
+    communities: "Dict[str, ServiceCommunity]" = {}
+    for slot in scenario.materialize():
+        for service in slot.services:
+            platform.register_elementary(
+                service, f"{service.name}-host", publish=False,
+            )
+        if slot.community is not None:
+            platform.register_community(
+                slot.community, f"{slot.spec.logical}-chost",
+                policy=policy, publish=False,
+            )
+            communities[slot.spec.logical] = slot.community
+    deployment = platform.deploy_composite(
+        scenario_composite(scenario), "composite-host", publish=False,
+    )
+    return deployment, communities
+
+
+def _apply_churn(
+    platform: Platform,
+    communities: "Dict[str, ServiceCommunity]",
+    event: ChurnEvent,
+    community_name: str,
+) -> None:
+    community = communities[community_name]
+    if event.action == "join":
+        member = event.member
+        assert isinstance(member, MemberSpec)
+        service = _member_service(member, provider=f"{community_name}Late")
+        platform.register_elementary(
+            service, f"{member.name}-host", publish=False,
+        )
+        community.join(member.name, profile=member.profile())
+    elif event.action == "leave":
+        community.leave(str(event.member))
+    elif event.action == "suspend":
+        community.suspend(str(event.member))
+    elif event.action == "resume":
+        community.resume(str(event.member))
+    else:
+        raise ValueError(f"unknown churn action {event.action!r}")
+
+
+def run_library_scenario(
+    library: LibraryScenario,
+    horizon_ms: Optional[float] = None,
+) -> LibraryReport:
+    """Stand the scenario up, drive every tenant's arrivals, account.
+
+    Arrival schedules are drawn up front from per-tenant seeded streams
+    and injected open-loop on the simulator clock; the governor admits
+    or sheds each arrival at its modelled instant, and every admitted
+    request's response time is measured arrival-to-result.
+    """
+    horizon = horizon_ms if horizon_ms is not None else library.horizon_ms
+    # The community selection policy follows the best-served tier on the
+    # platform (TIERS is ordered best-first).
+    present = {t.tier for t in library.tenants}
+    dominant = next(tier for tier in TIERS if tier in present)
+    platform = Platform(PlatformConfig(
+        seed=library.seed,
+        processing_ms=library.processing_ms,
+        resilience=(
+            resilience_for(library.tenants)
+            if library.with_resilience else None
+        ),
+    ))
+    deployment, communities = _deploy_library(
+        platform, library.scenario, policy=selection_policy_for(dominant),
+    )
+    governor = TenantGovernor(library.tenants)
+    ledger = SlaLedger(governor)
+    session = platform.session("tenants", "edge")
+    streams = RandomStreams(library.seed).fork(f"library:{library.name}")
+
+    # (tenant, arrival_ms, handle) triples, appended at modelled time.
+    submissions: "List[Tuple[str, float, Any]]" = []
+    fired = [0]
+    expected = 0
+    request = dict(library.scenario.requests[0])
+    simulator = platform.transport.simulator
+
+    for spec in library.tenants:
+        times = spec.arrivals.times_ms(
+            horizon, streams.stream(f"tenant:{spec.name}")
+        )
+        expected += len(times)
+
+        def arrival(now: float, tenant: str = spec.name) -> None:
+            fired[0] += 1
+            if governor.admit(tenant, now):
+                handle = session.submit(deployment, "run", request)
+                submissions.append((tenant, now, handle))
+
+        for at_ms in times:
+            simulator.schedule(at_ms, lambda t=at_ms, fn=arrival: fn(t))
+
+    churn_applied = 0
+    if library.churn:
+        first_community = sorted(communities)[0]
+
+        def churned(event: ChurnEvent) -> None:
+            nonlocal churn_applied
+            _apply_churn(platform, communities, event, first_community)
+            churn_applied += 1
+
+        for event in library.churn:
+            simulator.schedule(
+                event.at_ms, lambda e=event: churned(e)
+            )
+
+    platform.wait_for(
+        lambda: fired[0] == expected
+        and all(h.done() for _, _, h in submissions),
+        timeout_ms=None,
+    )
+    for tenant, arrival_ms, handle in submissions:
+        result = handle.peek()
+        if result is None:
+            ledger.record_lost(tenant)
+            continue
+        ledger.record(
+            tenant, result.ok,
+            latency_ms=result.finished_ms - arrival_ms,
+        )
+    return LibraryReport(
+        name=library.name,
+        ledger=ledger,
+        makespan_ms=platform.now_ms(),
+        requests_total=expected,
+        completed_total=sum(
+            a.completed for a in ledger.accounts.values()
+        ),
+        churn_applied=churn_applied,
+    )
+
+
+# The curated scenarios ------------------------------------------------------
+
+
+def flash_sale() -> LibraryScenario:
+    """A premium storefront under a periodic flash-crowd burst."""
+    scenario = generate_scenario(101, ScenarioParams(
+        tasks_min=4, tasks_max=4,
+        p_xor=0.2, p_and=0.2,
+        community_rate=0.6,
+        slow_rate=0.25, flaky_rate=0.25,
+        service_latency_ms=3.0,
+        requests_min=1, requests_max=1,
+    ))
+    shoppers = TenantSpec(
+        name="shoppers",
+        tier="premium",
+        arrivals=BurstyArrivals(
+            base_rate_per_s=30.0,
+            burst_rate_per_s=240.0,
+            burst_every_ms=500.0,
+            burst_len_ms=120.0,
+        ),
+        rate_limit_rps=120.0,
+        burst=16,
+        sla=SlaTarget(latency_ms=150.0, attainment=0.9),
+    )
+    return LibraryScenario(
+        name="flash-sale",
+        scenario=scenario,
+        tenants=[shoppers],
+        horizon_ms=1500.0,
+        seed=11,
+    )
+
+
+def noisy_neighbor() -> LibraryScenario:
+    """A batch tenant floods the platform a premium tenant lives on."""
+    scenario = generate_scenario(202, ScenarioParams(
+        tasks_min=3, tasks_max=3,
+        p_xor=0.0, p_and=0.2,
+        community_rate=0.5,
+        slow_rate=0.2, flaky_rate=0.2,
+        service_latency_ms=3.0,
+        requests_min=1, requests_max=1,
+    ))
+    tenant_a = TenantSpec(
+        name="tenant-a",
+        tier="premium",
+        arrivals=PoissonArrivals(rate_per_s=40.0),
+        sla=SlaTarget(latency_ms=120.0, attainment=0.9),
+    )
+    neighbor = TenantSpec(
+        name="neighbor",
+        tier="batch",
+        arrivals=PoissonArrivals(rate_per_s=250.0),
+        rate_limit_rps=60.0,
+        burst=8,
+        quota=80,
+        sla=SlaTarget(latency_ms=1000.0, attainment=0.5),
+    )
+    return LibraryScenario(
+        name="noisy-neighbor",
+        scenario=scenario,
+        tenants=[tenant_a, neighbor],
+        horizon_ms=1200.0,
+        seed=13,
+    )
+
+
+def marketplace_churn() -> LibraryScenario:
+    """Buyers keep arriving while the seller communities churn."""
+    scenario = generate_scenario(303, ScenarioParams(
+        tasks_min=3, tasks_max=3,
+        p_xor=0.0, p_and=0.0,
+        community_rate=1.0,
+        community_min=3, community_max=4,
+        slow_rate=0.3, flaky_rate=0.3,
+        service_latency_ms=3.0,
+        requests_min=1, requests_max=1,
+    ))
+    # The churn targets the (deterministic) first community's members.
+    communities = sorted(
+        (slot for slot in scenario.slots if slot.is_community),
+        key=lambda slot: slot.logical,
+    )
+    assert communities, "marketplace scenario must have communities"
+    first = communities[0]
+    churn = [
+        ChurnEvent(at_ms=300.0, action="join", member=MemberSpec(
+            name=f"{first.logical}late0", latency_ms=3.0,
+        )),
+        ChurnEvent(at_ms=600.0, action="leave",
+                   member=first.members[1].name),
+        ChurnEvent(at_ms=900.0, action="suspend",
+                   member=first.members[0].name),
+        ChurnEvent(at_ms=1200.0, action="resume",
+                   member=first.members[0].name),
+    ]
+    buyers = TenantSpec(
+        name="buyers",
+        tier="standard",
+        arrivals=PoissonArrivals(rate_per_s=60.0),
+        sla=SlaTarget(latency_ms=200.0, attainment=0.8),
+    )
+    return LibraryScenario(
+        name="marketplace-churn",
+        scenario=scenario,
+        tenants=[buyers],
+        horizon_ms=1500.0,
+        seed=17,
+        churn=churn,
+    )
+
+
+#: Name -> factory of every library scenario.
+LIBRARY: "Dict[str, Callable[[], LibraryScenario]]" = {
+    "flash-sale": flash_sale,
+    "noisy-neighbor": noisy_neighbor,
+    "marketplace-churn": marketplace_churn,
+}
+
+
+def library_scenario(name: str) -> LibraryScenario:
+    """Build one library scenario by name."""
+    factory = LIBRARY.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown library scenario {name!r}; available: "
+            f"{sorted(LIBRARY)}"
+        )
+    return factory()

@@ -1,0 +1,288 @@
+"""Multi-tenant SLA workloads: priority classes, quotas, rate limits.
+
+One platform, many tenants: each :class:`TenantSpec` names a priority
+tier, an open-loop arrival process (:mod:`repro.workload.arrivals`), a
+token-bucket rate limit, an admission quota and an :class:`SlaTarget`.
+The :class:`TenantGovernor` admits or throttles every arrival on the
+simulated clock, and the :class:`SlaLedger` accounts for every admitted
+request — with a conservation invariant (``offered == admitted +
+throttled + rejected`` and ``admitted == completed + pending``) that the
+scenario suite checks after every run: traffic can be shed, but it can
+never silently vanish.
+
+SLA targets *feed the execution policies*: :func:`selection_policy_for`
+maps a tenant tier to the community selection policy its requests
+deserve (premium rides the resilience layer's ``health-weighted``
+ranking), and :func:`resilience_for` derives a hedging policy from the
+tightest premium latency target, so the PR 2 hedge/selection machinery
+is driven by declared SLAs instead of hand-tuned constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.hedge import HedgePolicy
+from repro.resilience.retry import RetryPolicy
+from repro.workload.arrivals import ArrivalProcess
+
+#: Priority tiers, best-served first.
+TIERS = ("premium", "standard", "batch")
+
+
+@dataclass(frozen=True)
+class SlaTarget:
+    """A tenant's latency objective.
+
+    ``latency_ms`` is the per-request response-time bound (arrival to
+    result, open-loop) and ``attainment`` the fraction of completed
+    requests that must meet it for the SLA to count as met.
+    """
+
+    latency_ms: float
+    attainment: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.latency_ms <= 0:
+            raise ValueError("latency_ms must be > 0")
+        if not 0.0 < self.attainment <= 1.0:
+            raise ValueError("attainment must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic contract."""
+
+    name: str
+    arrivals: ArrivalProcess
+    sla: SlaTarget
+    tier: str = "standard"
+    #: Token-bucket refill rate; ``None`` = unlimited.
+    rate_limit_rps: Optional[float] = None
+    #: Token-bucket capacity (burst tolerance).
+    burst: int = 8
+    #: Hard cap on admitted requests per run; ``None`` = unlimited.
+    quota: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.tier not in TIERS:
+            raise ValueError(
+                f"tier must be one of {TIERS}, got {self.tier!r}"
+            )
+        if self.rate_limit_rps is not None and self.rate_limit_rps <= 0:
+            raise ValueError("rate_limit_rps must be > 0")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.quota is not None and self.quota < 0:
+            raise ValueError("quota must be >= 0")
+
+
+class TokenBucket:
+    """A continuous-refill token bucket on the simulated clock."""
+
+    def __init__(self, rate_per_s: float, burst: int) -> None:
+        self.rate_per_ms = rate_per_s / 1000.0
+        self.capacity = float(burst)
+        self.tokens = float(burst)
+        self._last_ms = 0.0
+
+    def allow(self, now_ms: float) -> bool:
+        elapsed = max(0.0, now_ms - self._last_ms)
+        self._last_ms = now_ms
+        self.tokens = min(
+            self.capacity, self.tokens + elapsed * self.rate_per_ms
+        )
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class TenantCounters:
+    """Admission accounting of one tenant (the conservation ledger)."""
+
+    offered: int = 0
+    admitted: int = 0
+    throttled: int = 0   # shed by the rate limiter
+    rejected: int = 0    # shed by the quota
+
+    def conserved(self) -> bool:
+        return self.offered == self.admitted + self.throttled + self.rejected
+
+
+class TenantGovernor:
+    """Admission control: per-tenant token buckets and quotas."""
+
+    def __init__(self, tenants: "List[TenantSpec]") -> None:
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names!r}")
+        self.tenants: "Dict[str, TenantSpec]" = {t.name: t for t in tenants}
+        self.counters: "Dict[str, TenantCounters]" = {
+            t.name: TenantCounters() for t in tenants
+        }
+        self._buckets: "Dict[str, TokenBucket]" = {
+            t.name: TokenBucket(t.rate_limit_rps, t.burst)
+            for t in tenants if t.rate_limit_rps is not None
+        }
+
+    def admit(self, tenant: str, now_ms: float) -> bool:
+        """Admit or shed one arrival of ``tenant`` at ``now_ms``."""
+        spec = self.tenants.get(tenant)
+        if spec is None:
+            raise KeyError(f"unknown tenant {tenant!r}")
+        counters = self.counters[tenant]
+        counters.offered += 1
+        if spec.quota is not None and counters.admitted >= spec.quota:
+            counters.rejected += 1
+            return False
+        bucket = self._buckets.get(tenant)
+        if bucket is not None and not bucket.allow(now_ms):
+            counters.throttled += 1
+            return False
+        counters.admitted += 1
+        return True
+
+    def conserved(self) -> bool:
+        """Every tenant's admission accounting sums up exactly."""
+        return all(c.conserved() for c in self.counters.values())
+
+
+@dataclass
+class TenantAccount:
+    """Outcome accounting of one tenant's admitted requests."""
+
+    completed_ok: int = 0
+    completed_fault: int = 0
+    lost: int = 0
+    latencies_ms: "List[float]" = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return self.completed_ok + self.completed_fault
+
+    def p99_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return ordered[index]
+
+    def attainment(self, target: SlaTarget) -> float:
+        """Fraction of completed requests inside the latency bound."""
+        if not self.latencies_ms:
+            return 1.0
+        met = sum(
+            1 for latency in self.latencies_ms
+            if latency <= target.latency_ms
+        )
+        return met / len(self.latencies_ms)
+
+
+class SlaLedger:
+    """Per-tenant SLA accounting over one run."""
+
+    def __init__(self, governor: TenantGovernor) -> None:
+        self.governor = governor
+        self.accounts: "Dict[str, TenantAccount]" = {
+            name: TenantAccount() for name in governor.tenants
+        }
+
+    def record(self, tenant: str, ok: bool, latency_ms: float) -> None:
+        account = self.accounts[tenant]
+        if ok:
+            account.completed_ok += 1
+            account.latencies_ms.append(latency_ms)
+        else:
+            account.completed_fault += 1
+
+    def record_lost(self, tenant: str) -> None:
+        self.accounts[tenant].lost += 1
+
+    def sla_met(self, tenant: str) -> bool:
+        spec = self.governor.tenants[tenant]
+        return (
+            self.accounts[tenant].attainment(spec.sla) >= spec.sla.attainment
+        )
+
+    def check_sums(self) -> "List[str]":
+        """Every conservation violation (empty = accounting is exact).
+
+        ``offered == admitted + throttled + rejected`` per tenant, and
+        every admitted request is accounted for as completed or lost.
+        """
+        problems: List[str] = []
+        for name, counters in self.governor.counters.items():
+            if not counters.conserved():
+                problems.append(
+                    f"{name}: offered {counters.offered} != admitted "
+                    f"{counters.admitted} + throttled {counters.throttled} "
+                    f"+ rejected {counters.rejected}"
+                )
+            account = self.accounts[name]
+            if counters.admitted != account.completed + account.lost:
+                problems.append(
+                    f"{name}: admitted {counters.admitted} != completed "
+                    f"{account.completed} + lost {account.lost}"
+                )
+            if account.lost:
+                problems.append(f"{name}: {account.lost} lost execution(s)")
+        return problems
+
+    def row(self, tenant: str) -> "Dict[str, object]":
+        """Flat per-tenant summary for tables and ledgers."""
+        spec = self.governor.tenants[tenant]
+        counters = self.governor.counters[tenant]
+        account = self.accounts[tenant]
+        return {
+            "tenant": tenant,
+            "tier": spec.tier,
+            "offered": counters.offered,
+            "admitted": counters.admitted,
+            "throttled": counters.throttled,
+            "rejected": counters.rejected,
+            "ok": account.completed_ok,
+            "fault": account.completed_fault,
+            "p99_ms": round(account.p99_ms(), 2),
+            "attainment": round(account.attainment(spec.sla), 4),
+            "sla_met": self.sla_met(tenant),
+        }
+
+
+def selection_policy_for(tier: str) -> str:
+    """The community selection policy a tenant tier's traffic deserves.
+
+    Premium traffic rides the resilience layer's ``health-weighted``
+    ranking (live health status + EWMA latency); standard keeps the
+    paper's multi-attribute QoS scoring; batch spreads round-robin.
+    """
+    if tier == "premium":
+        return "health-weighted"
+    if tier == "batch":
+        return "round-robin"
+    return "multi-attribute"
+
+
+def resilience_for(tenants: "List[TenantSpec]") -> ResilienceConfig:
+    """A resilience config derived from the declared SLA targets.
+
+    The hedge delay comes from the tightest premium latency target:
+    fire the speculative duplicate once half the latency budget is
+    spent (floored at 1 ms), instead of a hand-tuned constant.  Without
+    premium tenants, hedging stays off and the defaults (health +
+    breakers + retry) stand.
+    """
+    premium = [t.sla.latency_ms for t in tenants if t.tier == "premium"]
+    if not premium:
+        return ResilienceConfig()
+    budget = min(premium)
+    return ResilienceConfig(
+        retry=RetryPolicy(),
+        hedge=HedgePolicy(
+            delay_percentile=0.95,
+            min_delay_ms=max(1.0, budget / 2.0),
+        ),
+    )

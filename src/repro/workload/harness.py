@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from repro.baselines.central import deploy_central
 from repro.deployment.deployer import Deployer
 from repro.deployment.placement import PlacementPolicy
+from repro.exceptions import DeploymentError
 from repro.expr import FunctionRegistry
 from repro.net.latency import FixedLatency, LatencyModel
 from repro.net.simnet import SimTransport
@@ -87,7 +88,25 @@ def build_sim_environment(
 def deploy_workload_services(
     env: SimEnvironment, workload: SyntheticWorkload
 ) -> "Dict[str, str]":
-    """Deploy each synthetic service on its own host; returns hosts map."""
+    """Deploy each synthetic service on its own host; returns hosts map.
+
+    Raises :class:`~repro.exceptions.DeploymentError` when a generated
+    service name is already registered in the environment — two
+    workloads sharing a ``service_prefix`` would otherwise silently
+    re-point each other's names (the directory is latest-wins by
+    design), corrupting every composition still referring to the first
+    workload's providers.
+    """
+    collisions = [
+        service.name for service in workload.services
+        if env.directory.knows(service.name)
+    ]
+    if collisions:
+        raise DeploymentError(
+            f"workload service name(s) {collisions} already deployed in "
+            f"this environment; give each workload a distinct "
+            f"GeneratorParams.service_prefix"
+        )
     hosts: Dict[str, str] = {}
     for index, service in enumerate(workload.services):
         host = f"svc-host-{index:03d}"

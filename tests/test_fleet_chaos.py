@@ -15,6 +15,8 @@ from repro.api.platform import Platform
 from repro.durability import DurabilityConfig
 from repro.exceptions import DiscoveryError, DurabilityError
 from repro.fleet.config import FleetConfig
+from repro.scenarios.differential import scenario_composite
+from repro.scenarios.generator import ScenarioParams, generate_scenario
 from repro.workload.generator import make_chain_workload
 from repro.workload.harness import composite_for_workload
 
@@ -150,3 +152,112 @@ class TestKillRecover:
         handle = session.submit(survivor_deployment, "run", {})
         assert handle.result().ok
         platform.fleet.recover_shard(home)
+
+
+# Durability under generated topologies --------------------------------------
+
+
+def _chaos_scenario(seed):
+    """A generated topology slow enough to be killed mid-flight."""
+    return generate_scenario(seed, ScenarioParams(
+        tasks_min=4, tasks_max=6,
+        p_xor=0.25, p_and=0.25,
+        community_rate=0.5,
+        slow_rate=0.3,
+        service_latency_ms=8.0,
+        requests_min=2, requests_max=2,
+    ))
+
+
+def _run_fleet_counted(scenario, durability_dir=None, kill=False):
+    """The scenario on a 2-shard fleet with counted provider handlers.
+
+    With ``kill=True`` the composition's home shard is killed mid-run
+    and recovered from its WAL before the handles are drained.  Returns
+    ``(statuses, outputs, calls)`` for replay-equivalence comparison.
+    """
+    calls = {}
+    platform = Platform(PlatformConfig(
+        seed=7,
+        fleet=FleetConfig(shards=2, parallel=False),
+        durability=(
+            DurabilityConfig(dir=str(durability_dir), fsync="always")
+            if durability_dir is not None else None
+        ),
+    ))
+    affinity = scenario.composite_name
+    for slot in scenario.materialize():
+        for service in slot.services:
+            original = service.handler_for("work")
+
+            def counted(inputs, _original=original, _name=service.name):
+                calls[_name] = calls.get(_name, 0) + 1
+                return _original(inputs)
+
+            service.bind("work", counted)
+            platform.fleet.deployer.deploy_elementary(
+                service, f"{service.name}-host", affinity=affinity,
+            )
+        if slot.community is not None:
+            platform.fleet.deployer.deploy_community(
+                slot.community, f"{slot.spec.logical}-chost",
+                policy=platform.config.default_selection_policy,
+                timeout_ms=platform.config.community_timeout_ms,
+                affinity=affinity,
+            )
+    deployment = platform.fleet.deployer.deploy_composite(
+        scenario_composite(scenario), "chaos-host",
+    )
+    session = platform.session("user", "laptop")
+    handles = [
+        session.submit(deployment, "run", dict(request))
+        for request in scenario.requests
+    ]
+    if kill:
+        home = platform.fleet.directory.shard_of(affinity)
+        home_slice = platform.fleet.shard(home)
+        platform.fleet.scheduler.pump_shard(
+            home_slice, until=home_slice.transport.now_ms() + 15.0
+        )
+        lost = platform.fleet.kill_shard(home)
+        assert lost == 0  # fsync="always" loses nothing
+        report = platform.fleet.recover_shard(home)
+        assert report.clean_tail
+    assert platform.wait_for(
+        lambda: all(h.done() for h in handles), timeout_ms=60_000,
+    )
+    statuses = [h.result().status for h in handles]
+    outputs = [dict(h.result().outputs) for h in handles]
+    return statuses, outputs, calls
+
+
+class TestGeneratedTopologyChaos:
+    """Kill/recover mid-scenario over sampled generated seeds.
+
+    Replay equivalence: a run that loses (and recovers) the
+    composition's home shard must end with exactly the statuses,
+    outputs and per-provider effect counts of an undisturbed twin —
+    the WAL replay neither drops nor duplicates any provider effect,
+    on topologies nobody hand-picked.
+    """
+
+    SEEDS = (3, 11, 27)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_kill_recover_replays_equivalently(self, seed, tmp_path):
+        scenario = _chaos_scenario(seed)
+        plain = _run_fleet_counted(scenario)
+        chaos = _run_fleet_counted(
+            scenario, durability_dir=tmp_path, kill=True,
+        )
+        assert chaos[0] == plain[0]  # statuses
+        assert chaos[1] == plain[1]  # outputs
+        assert chaos[2] == plain[2]  # exactly-once provider effects
+        assert all(s == "success" for s in chaos[0])
+
+    def test_sampled_scenarios_are_nontrivial(self):
+        """The sampled seeds must actually exercise communities."""
+        assert any(
+            _chaos_scenario(seed).community_count > 0
+            for seed in self.SEEDS
+        )

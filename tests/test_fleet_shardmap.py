@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.fleet import ShardMap
 
@@ -70,6 +71,106 @@ class TestMembershipStability:
         base = ShardMap(4)
         round_tripped = base.with_shard(9).without_shard(9)
         assert base.assignment(KEYS) == round_tripped.assignment(KEYS)
+
+
+_shard_ids = st.lists(
+    st.integers(min_value=0, max_value=999),
+    min_size=2, max_size=12, unique=True,
+)
+_key_seed = st.integers(min_value=0, max_value=10_000)
+
+
+def _keys(seed: int, count: int = 600) -> "list[str]":
+    return [f"K{seed:05d}x{i:04d}" for i in range(count)]
+
+
+class TestProperties:
+    """Seed-sweep properties over arbitrary memberships and key sets.
+
+    The example-based tests above pin one membership shape; these sweep
+    random shard-id sets and key families so the consistent-hashing
+    guarantees hold for *every* fleet the deployer could build, not just
+    ``range(n)``.
+    """
+
+    @given(_shard_ids, _key_seed)
+    @settings(max_examples=40, deadline=None)
+    def test_balance_within_bound(self, shard_ids, seed):
+        """No shard owns a wildly disproportionate share of keys.
+
+        The bound is generous (4x the fair share, and never zero with
+        enough keys per shard) to stay agnostic of the hash shape while
+        still catching a broken ring (e.g. all keys on one shard).
+        """
+        shard_map = ShardMap(shard_ids)
+        keys = _keys(seed)
+        spread = shard_map.spread(keys)
+        fair = len(keys) / len(shard_map)
+        assert sum(spread.values()) == len(keys)
+        for shard_id, count in spread.items():
+            assert count < fair * 4, (shard_id, spread)
+
+    @given(_shard_ids, _key_seed)
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_deterministic_and_member_bound(self, shard_ids, seed):
+        keys = _keys(seed, count=200)
+        first = ShardMap(shard_ids).assignment(keys)
+        second = ShardMap(list(shard_ids)).assignment(keys)
+        assert first == second
+        assert set(first.values()) <= set(shard_ids)
+
+    @given(
+        _shard_ids, _key_seed,
+        st.integers(min_value=1000, max_value=1999),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_join_remaps_only_to_the_new_shard(
+        self, shard_ids, seed, joiner
+    ):
+        """Membership stability: a join never shuffles old shards' keys."""
+        keys = _keys(seed)
+        before = ShardMap(shard_ids).assignment(keys)
+        after = ShardMap(shard_ids).with_shard(joiner).assignment(keys)
+        moved = [key for key in keys if before[key] != after[key]]
+        for key in moved:
+            assert after[key] == joiner, key
+        # The newcomer takes roughly 1/(n+1); generous upper bound.
+        assert len(moved) <= len(keys) * (3.0 / (len(shard_ids) + 1))
+
+    @given(_shard_ids, _key_seed, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_leave_remaps_only_the_left_shards_keys(
+        self, shard_ids, seed, data
+    ):
+        """Keys not owned by the leaver keep their shard exactly."""
+        leaver = data.draw(st.sampled_from(shard_ids))
+        keys = _keys(seed)
+        before = ShardMap(shard_ids).assignment(keys)
+        after = ShardMap(shard_ids).without_shard(leaver).assignment(keys)
+        for key in keys:
+            if before[key] == leaver:
+                assert after[key] != leaver, key
+            else:
+                assert after[key] == before[key], key
+
+    @given(_shard_ids, _key_seed, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_join_leave_sequences_round_trip(self, shard_ids, seed, data):
+        """Any join/leave sequence that restores the membership restores
+        the assignment (the map is a pure function of its membership)."""
+        churners = data.draw(st.lists(
+            st.integers(min_value=1000, max_value=1999),
+            min_size=1, max_size=4, unique=True,
+        ))
+        keys = _keys(seed, count=200)
+        base = ShardMap(shard_ids)
+        grown = base
+        for shard_id in churners:
+            grown = grown.with_shard(shard_id)
+        shrunk = grown
+        for shard_id in churners:
+            shrunk = shrunk.without_shard(shard_id)
+        assert shrunk.assignment(keys) == base.assignment(keys)
 
 
 class TestValidation:

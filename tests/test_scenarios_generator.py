@@ -1,0 +1,145 @@
+"""Scenario generator: seed determinism, parameter effects, validation."""
+
+import pytest
+
+from repro.scenarios.generator import (
+    ScenarioParams,
+    generate_scenario,
+    scenario_corpus,
+    scenario_prefix,
+)
+from repro.statecharts.validation import validate
+
+
+class TestDeterminism:
+    def test_same_seed_same_scenario(self):
+        assert (generate_scenario(42).structure()
+                == generate_scenario(42).structure())
+
+    def test_different_seeds_differ(self):
+        structures = {
+            generate_scenario(seed).structure() for seed in range(10)
+        }
+        assert len(structures) == 10
+
+    def test_corpus_is_reproducible(self):
+        first = scenario_corpus(range(5))
+        second = scenario_corpus(range(5))
+        assert ([s.structure() for s in first]
+                == [s.structure() for s in second])
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_charts_always_validate(self, seed):
+        scenario = generate_scenario(seed)
+        assert validate(scenario.chart) == []
+
+
+class TestStructure:
+    def test_task_budget_respected(self):
+        params = ScenarioParams(tasks_min=3, tasks_max=7)
+        for seed in range(15):
+            scenario = generate_scenario(seed, params)
+            assert 3 <= scenario.task_count <= 7
+
+    def test_names_are_seed_prefixed(self):
+        scenario = generate_scenario(9)
+        assert scenario.composite_name == "Scenario00009"
+        for slot in scenario.slots:
+            assert slot.logical.startswith(scenario_prefix(9))
+
+    def test_community_rate_zero_means_no_communities(self):
+        params = ScenarioParams(community_rate=0.0)
+        for seed in range(8):
+            assert generate_scenario(seed, params).community_count == 0
+
+    def test_community_rate_one_promotes_every_slot(self):
+        params = ScenarioParams(community_rate=1.0)
+        scenario = generate_scenario(4, params)
+        assert scenario.community_count == len(scenario.slots)
+        for slot in scenario.slots:
+            size = len(slot.members)
+            assert (params.community_min <= size <= params.community_max)
+            # Members carry the logical name plus a member suffix.
+            for index, member in enumerate(slot.members):
+                assert member.name == f"{slot.logical}m{index}"
+
+    def test_flaky_members_never_first_and_never_plain(self):
+        """Determinism guard: faults only where failover absorbs them."""
+        params = ScenarioParams(community_rate=0.6, flaky_rate=1.0)
+        saw_flaky = False
+        for seed in range(10):
+            scenario = generate_scenario(seed, params)
+            for slot in scenario.slots:
+                assert slot.members[0].reliability == 1.0
+                if not slot.is_community:
+                    continue
+                for member in slot.members[1:]:
+                    if member.reliability < 1.0:
+                        saw_flaky = True
+        assert saw_flaky
+
+    def test_slow_rate_produces_degraded_profiles(self):
+        params = ScenarioParams(slow_rate=1.0, slow_factor=4.0,
+                                service_latency_ms=4.0)
+        scenario = generate_scenario(2, params)
+        for slot in scenario.slots:
+            for member in slot.members:
+                assert member.latency_ms == pytest.approx(16.0)
+
+    def test_requests_redraw_branch_variables(self):
+        params = ScenarioParams(
+            tasks_min=9, tasks_max=9, p_xor=0.9, p_and=0.0,
+            requests_min=4, requests_max=4,
+        )
+        scenario = generate_scenario(6, params)
+        assert scenario.xor_count > 0
+        assert len(scenario.requests) == 4
+        assert len({tuple(sorted(r.items()))
+                    for r in scenario.requests}) > 1
+
+    def test_logical_of_folds_members(self):
+        params = ScenarioParams(community_rate=1.0)
+        scenario = generate_scenario(3, params)
+        mapping = scenario.logical_of()
+        for slot in scenario.slots:
+            for member in slot.members:
+                assert mapping[member.name] == slot.logical
+
+
+class TestMaterialize:
+    def test_materialize_builds_fresh_objects(self):
+        scenario = generate_scenario(1, ScenarioParams(community_rate=1.0))
+        first = scenario.materialize()
+        second = scenario.materialize()
+        assert first[0].services[0] is not second[0].services[0]
+        assert first[0].community is not second[0].community
+
+    def test_materialized_communities_enrol_every_member(self):
+        scenario = generate_scenario(1, ScenarioParams(community_rate=1.0))
+        for slot in scenario.materialize():
+            assert slot.community is not None
+            assert len(slot.community.members()) == len(slot.spec.members)
+
+
+class TestValidation:
+    def test_rejects_bad_task_range(self):
+        with pytest.raises(ValueError):
+            ScenarioParams(tasks_min=5, tasks_max=3)
+
+    def test_rejects_bad_community_range(self):
+        with pytest.raises(ValueError):
+            ScenarioParams(community_min=1)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            ScenarioParams(community_rate=1.5)
+        with pytest.raises(ValueError):
+            ScenarioParams(flaky_rate=-0.1)
+
+    def test_rejects_bad_flaky_reliability(self):
+        with pytest.raises(ValueError):
+            ScenarioParams(flaky_reliability=0.0)
+
+    def test_rejects_bad_slow_factor(self):
+        with pytest.raises(ValueError):
+            ScenarioParams(slow_factor=0.5)

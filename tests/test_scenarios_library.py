@@ -1,0 +1,80 @@
+"""The named scenario library: each curated scenario runs and holds."""
+
+import pytest
+
+from repro.scenarios.library import (
+    LIBRARY,
+    library_scenario,
+    run_library_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """Run every library scenario once (module-scoped: they're not free)."""
+    return {
+        name: run_library_scenario(library_scenario(name))
+        for name in LIBRARY
+    }
+
+
+class TestLibraryRuns:
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_scenario_completes_with_clean_accounting(self, reports, name):
+        report = reports[name]
+        assert report.requests_total > 0
+        assert report.completed_total > 0
+        assert report.check_invariants() == [], name
+
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_scenario_emits_ledger_metrics(self, reports, name):
+        metrics = reports[name].metrics()
+        assert metrics
+        for metric_name, value, unit, direction in metrics:
+            assert metric_name.startswith(name.replace("-", "_"))
+            assert isinstance(value, float)
+            assert direction in ("higher", "lower", "info")
+            assert unit
+
+    def test_runs_are_deterministic(self):
+        first = run_library_scenario(library_scenario("flash-sale"))
+        second = run_library_scenario(library_scenario("flash-sale"))
+        assert first.metrics() == second.metrics()
+        assert first.rows() == second.rows()
+
+
+class TestFlashSale:
+    def test_burst_is_shed_but_sla_holds(self, reports):
+        row = reports["flash-sale"].rows()[0]
+        assert row["tier"] == "premium"
+        assert row["throttled"] > 0      # the bucket sheds the spike
+        assert row["sla_met"], row
+
+
+class TestNoisyNeighbor:
+    def test_neighbor_throttled_premium_protected(self, reports):
+        rows = {r["tenant"]: r for r in reports["noisy-neighbor"].rows()}
+        neighbor, premium = rows["neighbor"], rows["tenant-a"]
+        # The batch tenant offers far more than it is allowed to land.
+        assert neighbor["throttled"] > neighbor["admitted"]
+        assert premium["throttled"] == 0
+        assert premium["sla_met"], premium
+
+    def test_quota_caps_the_neighbor(self, reports):
+        rows = {r["tenant"]: r for r in reports["noisy-neighbor"].rows()}
+        assert rows["neighbor"]["admitted"] <= 80  # the configured quota
+
+
+class TestMarketplaceChurn:
+    def test_churn_applied_and_everything_completes(self, reports):
+        report = reports["marketplace-churn"]
+        assert report.churn_applied == 4  # join, leave, suspend, resume
+        row = report.rows()[0]
+        assert row["fault"] == 0
+        assert row["admitted"] == row["ok"]
+
+
+class TestLookup:
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="flash-sale"):
+            library_scenario("black-friday")

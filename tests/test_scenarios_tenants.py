@@ -1,0 +1,179 @@
+"""Multi-tenant layer: buckets, quotas, conservation, SLA-driven policy."""
+
+import pytest
+
+from repro.resilience.config import ResilienceConfig
+from repro.scenarios.tenants import (
+    SlaLedger,
+    SlaTarget,
+    TenantGovernor,
+    TenantSpec,
+    TokenBucket,
+    resilience_for,
+    selection_policy_for,
+)
+from repro.workload.arrivals import PoissonArrivals
+
+
+def _tenant(name="acme", **overrides):
+    defaults = dict(
+        arrivals=PoissonArrivals(rate_per_s=10.0),
+        sla=SlaTarget(latency_ms=100.0),
+    )
+    defaults.update(overrides)
+    return TenantSpec(name=name, **defaults)
+
+
+class TestTokenBucket:
+    def test_burst_then_starvation(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=3)
+        assert [bucket.allow(0.0) for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_continuous_refill(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=1)  # 1 token/ms
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.5)   # half a token back: not enough
+        assert bucket.allow(2.0)       # refilled (and capped at 1)
+
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=2)
+        assert bucket.allow(0.0) and bucket.allow(0.0)
+        # A long idle period refills to capacity, not beyond it.
+        results = [bucket.allow(10_000.0) for _ in range(3)]
+        assert results == [True, True, False]
+
+    def test_sustained_rate_is_the_refill_rate(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=1)  # 0.1 token/ms
+        admitted = sum(
+            1 for t in range(1000) if bucket.allow(float(t))
+        )
+        # ~1 admit per 10 ms; float accumulation may cost a tick each.
+        assert 85 <= admitted <= 105
+
+
+class TestGovernor:
+    def test_unlimited_tenant_admits_everything(self):
+        governor = TenantGovernor([_tenant()])
+        assert all(governor.admit("acme", float(t)) for t in range(50))
+        assert governor.counters["acme"].admitted == 50
+
+    def test_rate_limit_throttles(self):
+        governor = TenantGovernor([
+            _tenant(rate_limit_rps=1000.0, burst=2),
+        ])
+        results = [governor.admit("acme", 0.0) for _ in range(5)]
+        assert results == [True, True, False, False, False]
+        counters = governor.counters["acme"]
+        assert counters.throttled == 3
+        assert counters.conserved()
+
+    def test_quota_rejects_after_cap(self):
+        governor = TenantGovernor([_tenant(quota=3)])
+        results = [governor.admit("acme", float(t)) for t in range(5)]
+        assert results == [True, True, True, False, False]
+        assert governor.counters["acme"].rejected == 2
+        assert governor.conserved()
+
+    def test_unknown_tenant_raises(self):
+        governor = TenantGovernor([_tenant()])
+        with pytest.raises(KeyError):
+            governor.admit("nobody", 0.0)
+
+    def test_duplicate_tenant_names_rejected(self):
+        with pytest.raises(ValueError):
+            TenantGovernor([_tenant(), _tenant()])
+
+
+class TestLedger:
+    def test_sums_check_clean_run(self):
+        governor = TenantGovernor([_tenant(rate_limit_rps=1000.0,
+                                           burst=2)])
+        ledger = SlaLedger(governor)
+        for t in range(4):
+            if governor.admit("acme", 0.0):
+                ledger.record("acme", ok=True, latency_ms=10.0)
+        assert ledger.check_sums() == []
+
+    def test_lost_executions_are_flagged(self):
+        governor = TenantGovernor([_tenant()])
+        ledger = SlaLedger(governor)
+        governor.admit("acme", 0.0)
+        ledger.record_lost("acme")
+        problems = ledger.check_sums()
+        assert any("lost" in p for p in problems)
+
+    def test_unaccounted_admissions_are_flagged(self):
+        governor = TenantGovernor([_tenant()])
+        ledger = SlaLedger(governor)
+        governor.admit("acme", 0.0)  # admitted but never recorded
+        assert any("admitted" in p for p in ledger.check_sums())
+
+    def test_attainment_and_sla(self):
+        governor = TenantGovernor([
+            _tenant(sla=SlaTarget(latency_ms=50.0, attainment=0.75)),
+        ])
+        ledger = SlaLedger(governor)
+        for latency in (10.0, 20.0, 30.0, 100.0):
+            governor.admit("acme", 0.0)
+            ledger.record("acme", ok=True, latency_ms=latency)
+        assert ledger.accounts["acme"].attainment(
+            governor.tenants["acme"].sla
+        ) == pytest.approx(0.75)
+        assert ledger.sla_met("acme")
+
+    def test_row_shape(self):
+        governor = TenantGovernor([_tenant(tier="premium")])
+        ledger = SlaLedger(governor)
+        governor.admit("acme", 0.0)
+        ledger.record("acme", ok=True, latency_ms=5.0)
+        row = ledger.row("acme")
+        assert row["tenant"] == "acme"
+        assert row["tier"] == "premium"
+        assert row["admitted"] == 1
+        assert row["sla_met"] is True
+
+
+class TestSpecValidation:
+    def test_rejects_unknown_tier(self):
+        with pytest.raises(ValueError):
+            _tenant(tier="platinum")
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            _tenant(rate_limit_rps=0.0)
+        with pytest.raises(ValueError):
+            _tenant(burst=0)
+        with pytest.raises(ValueError):
+            _tenant(quota=-1)
+
+    def test_rejects_bad_sla(self):
+        with pytest.raises(ValueError):
+            SlaTarget(latency_ms=0.0)
+        with pytest.raises(ValueError):
+            SlaTarget(latency_ms=10.0, attainment=0.0)
+
+
+class TestPolicyDerivation:
+    def test_tier_to_selection_policy(self):
+        assert selection_policy_for("premium") == "health-weighted"
+        assert selection_policy_for("standard") == "multi-attribute"
+        assert selection_policy_for("batch") == "round-robin"
+
+    def test_premium_sla_drives_hedge_delay(self):
+        config = resilience_for([
+            _tenant("a", tier="premium",
+                    sla=SlaTarget(latency_ms=120.0)),
+            _tenant("b", tier="premium",
+                    sla=SlaTarget(latency_ms=80.0)),
+        ])
+        assert config.hedge is not None
+        # Tightest premium budget (80 ms) halved.
+        assert config.hedge.min_delay_ms == pytest.approx(40.0)
+        assert config.retry is not None
+
+    def test_no_premium_means_no_hedging(self):
+        config = resilience_for([_tenant(tier="batch")])
+        assert isinstance(config, ResilienceConfig)
+        assert config.hedge is None

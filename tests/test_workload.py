@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.exceptions import DeploymentError
 from repro.statecharts.analysis import analyze
 from repro.statecharts.validation import validate
 from repro.workload.generator import (
@@ -138,3 +139,23 @@ class TestHarness:
         one = run_p2p(env, composite, [dict(workload.request_args)])
         two = run_p2p(env, composite, [dict(workload.request_args)])
         assert abs(one.messages_total - two.messages_total) <= 2
+
+    def test_shared_service_prefix_collision_rejected(self):
+        """Two workloads sharing a service_prefix must not silently
+        re-point each other's provider names (latest-wins directory)."""
+        env = build_sim_environment(seed=0)
+        first = make_workload(GeneratorParams(tasks=4, seed=1))
+        second = make_workload(GeneratorParams(tasks=6, seed=2))
+        deploy_workload_services(env, first)
+        with pytest.raises(DeploymentError, match="service_prefix"):
+            deploy_workload_services(env, second)
+
+    def test_distinct_service_prefixes_coexist(self):
+        env = build_sim_environment(seed=0)
+        first = make_workload(GeneratorParams(tasks=4, seed=1))
+        second = make_workload(GeneratorParams(
+            tasks=4, seed=1, service_prefix="OtherSvc",
+        ))
+        deploy_workload_services(env, first)
+        deploy_workload_services(env, second)  # must not raise
+        assert env.directory.knows("OtherSvc000")
