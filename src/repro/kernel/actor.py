@@ -102,9 +102,22 @@ class ActorKernel:
         transport: Optional[Transport] = None,
         middleware: "Optional[List[ActorMiddleware]]" = None,
         counters: bool = True,
+        zero_copy: bool = False,
     ) -> None:
         self.transport = transport
         self.middleware: "List[ActorMiddleware]" = list(middleware or ())
+        #: Opt-in in-proc fast path (``repro.perf``): sends whose target
+        #: address is an actor started on *this* kernel attach the typed
+        #: envelope to the message instead of encoding it, and the
+        #: receiving mailbox dispatches it without decoding.  The wire
+        #: body stays available lazily (observers, durability logging
+        #: and traffic stats see the identical encoding), and any
+        #: address not on this kernel — another shard, a real socket —
+        #: takes the full codec path.
+        self.zero_copy = zero_copy
+        #: ``(host, endpoint)`` addresses of actors started here; the
+        #: zero-copy guard at send time.
+        self._local_addresses: "set" = set()
         #: The default perf tap: uniform per-actor/per-verb counters.
         self.counters: Optional[KernelCounters] = None
         if counters:
@@ -153,6 +166,19 @@ class ActorKernel:
         self.after_hooks = list(reversed(overriding("after_handle")))
         self.send_hooks = overriding("on_send")
         self.malformed_hooks = overriding("on_malformed")
+        # Batch drain (see Mailbox.deliver_batch): batch-aware
+        # middlewares get one after_handle_batch call per drain window;
+        # the rest keep their per-message after_handle calls there too.
+        self.batch_after_hooks = overriding("after_handle_batch")
+        batch_aware = {
+            id(mw) for mw in self.middleware
+            if type(mw).after_handle_batch is not base.after_handle_batch
+        }
+        self.unbatched_after_hooks = list(reversed([
+            mw.after_handle for mw in self.middleware
+            if type(mw).after_handle is not base.after_handle
+            and id(mw) not in batch_aware
+        ]))
 
     # Delivery taps ----------------------------------------------------------
 
@@ -194,9 +220,11 @@ class ActorKernel:
 
     def actor_started(self, actor: "Actor") -> None:
         self._actors[f"{actor.host}/{actor.endpoint_name}"] = actor
+        self._local_addresses.add((actor.host, actor.endpoint_name))
 
     def actor_stopped(self, actor: "Actor") -> None:
         self._actors.pop(f"{actor.host}/{actor.endpoint_name}", None)
+        self._local_addresses.discard((actor.host, actor.endpoint_name))
 
     def actors(self) -> "List[Actor]":
         """Every actor currently started on this kernel."""
@@ -266,8 +294,10 @@ class Actor:
     def start(self) -> "Actor":
         """Register this actor's mailbox on its host node (idempotent)."""
         if not self._started:
+            # The mailbox object itself (callable) is the handler, so
+            # the transport's batch path can discover deliver_batch.
             self.transport.node(self.host).register(
-                self.endpoint_name, self.mailbox.deliver
+                self.endpoint_name, self.mailbox
             )
             self.kernel.actor_started(self)
             self._started = True
@@ -297,16 +327,37 @@ class Actor:
     def send(
         self, target: str, target_endpoint: str, envelope: Envelope
     ) -> None:
-        """Encode ``envelope`` and put it on the wire from this actor."""
-        message = Message(
-            kind=envelope.KIND,
-            source=self.host,
-            source_endpoint=self.endpoint_name,
-            target=target,
-            target_endpoint=target_endpoint,
-            body=envelope.to_body(),
-        )
-        for hook in self.kernel.send_hooks:
+        """Encode ``envelope`` and put it on the wire from this actor.
+
+        With the kernel's zero-copy fast path on and the target started
+        on this same kernel, the frozen envelope rides the message
+        as-is and no body dict is built; anything that later asks for
+        ``message.body`` (WAL, observers) gets the identical encoding,
+        materialised lazily.
+        """
+        kernel = self.kernel
+        if (
+            kernel.zero_copy
+            and (target, target_endpoint) in kernel._local_addresses
+        ):
+            message = Message(
+                kind=envelope.KIND,
+                source=self.host,
+                source_endpoint=self.endpoint_name,
+                target=target,
+                target_endpoint=target_endpoint,
+                envelope=envelope,
+            )
+        else:
+            message = Message(
+                kind=envelope.KIND,
+                source=self.host,
+                source_endpoint=self.endpoint_name,
+                target=target,
+                target_endpoint=target_endpoint,
+                body=envelope.to_body(),
+            )
+        for hook in kernel.send_hooks:
             hook(self, envelope, message)
         self.transport.send(message)
 

@@ -62,6 +62,21 @@ class ActorMiddleware:
     ) -> None:
         """A delivered body failed envelope decoding and was dropped."""
 
+    def after_handle_batch(
+        self, actor: Any, endpoint: str, tallies: "Dict[str, list]"
+    ) -> None:
+        """One mailbox drain window finished at ``endpoint``.
+
+        ``tallies`` maps each verb handled in the window to a
+        ``[handled, errored]`` pair.  A middleware that overrides this
+        hook is *batch-aware*: on the batch drain path it receives one
+        aggregated call per window **instead of** its per-message
+        :meth:`after_handle` calls (which still fire on the unbatched
+        path).  Middlewares that need per-message ordering — the
+        durability log, tracers — simply don't override this and keep
+        their exact per-message hooks on both paths.
+        """
+
 
 class KernelCounters(ActorMiddleware):
     """Uniform per-actor, per-verb counters — the kernel's perf tap.
@@ -146,6 +161,34 @@ class KernelCounters(ActorMiddleware):
             self.malformed_detail[detail] = (
                 self.malformed_detail.get(detail, 0) + 1
             )
+
+    def after_handle_batch(
+        self, actor: Any, endpoint: str, tallies: "Dict[str, list]"
+    ) -> None:
+        """Batch-aggregated increments: one lock, one dict hit per verb.
+
+        This is what kills the per-message counters tax on drained
+        windows — a window of N notifies costs two increments total
+        instead of N lock/increment round-trips.
+        """
+        handled = self.handled
+        errors = self.errors
+        lock = self._lock
+        if lock is None:
+            for kind, (ok, err) in tallies.items():
+                key = (endpoint, kind)
+                if ok:
+                    handled[key] = handled.get(key, 0) + ok
+                if err:
+                    errors[key] = errors.get(key, 0) + err
+            return
+        with lock:
+            for kind, (ok, err) in tallies.items():
+                key = (endpoint, kind)
+                if ok:
+                    handled[key] = handled.get(key, 0) + ok
+                if err:
+                    errors[key] = errors.get(key, 0) + err
 
     # Queries ----------------------------------------------------------------
 

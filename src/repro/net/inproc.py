@@ -200,6 +200,8 @@ class InProcTransport(Transport):
 class _TimerMessage(Message):
     """Internal: a timer callback routed through the node's queue."""
 
+    __slots__ = ("callback",)
+
     def __init__(self, node_id: str, callback: Callable[[], None]) -> None:
         super().__init__(
             kind="__timer__",

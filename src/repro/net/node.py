@@ -11,14 +11,32 @@ EndpointHandler = Callable[[Message], None]
 
 
 class Endpoint:
-    """A named message sink on a node (a wrapper or a coordinator)."""
+    """A named message sink on a node (a wrapper or a coordinator).
+
+    A handler object exposing ``deliver_batch`` (the kernel's
+    :class:`~repro.kernel.mailbox.Mailbox`) gets whole drain windows
+    handed over in one call on the transport's batch path; plain
+    callables are looped transparently.
+    """
+
+    __slots__ = ("name", "handler", "_batch_handler")
 
     def __init__(self, name: str, handler: EndpointHandler) -> None:
         self.name = name
         self.handler = handler
+        self._batch_handler = getattr(handler, "deliver_batch", None)
 
     def deliver(self, message: Message) -> None:
         self.handler(message)
+
+    def deliver_batch(self, messages: "List[Message]") -> None:
+        batch_handler = self._batch_handler
+        if batch_handler is not None:
+            batch_handler(messages)
+            return
+        handler = self.handler
+        for message in messages:
+            handler(message)
 
 
 class Node:

@@ -144,3 +144,53 @@ class Transport:
             for observer in self._observers:
                 observer(message, now)
         target.endpoint(message.target_endpoint).deliver(message)
+
+    def _deliver_batch_now(self, messages: "List[Message]") -> None:
+        """Deliver one flushed window, handing same-endpoint runs over
+        in single :meth:`Endpoint.deliver_batch` calls.
+
+        Per-message semantics are preserved: each message is validated
+        (target up, endpoint registered), recorded and shown to the
+        observers individually, in order, exactly as a
+        :meth:`_deliver_now` loop would.  Only *consecutive* messages
+        to the same endpoint are grouped, and the group is formed
+        before its handlers run — so a handler that takes its own node
+        down mid-run still receives the rest of that run, like a
+        socket server draining bytes it has already read off the wire.
+        Messages to a different endpoint re-validate from scratch.
+        """
+        nodes = self._nodes
+        stats = self.stats
+        observers = self._observers
+        i = 0
+        n = len(messages)
+        while i < n:
+            message = messages[i]
+            target_id = message.target
+            endpoint_name = message.target_endpoint
+            target = nodes[target_id]
+            if not target.up or not target.has_endpoint(endpoint_name):
+                stats.record_dropped(message)
+                i += 1
+                continue
+            run = [message]
+            i += 1
+            while i < n:
+                nxt = messages[i]
+                if (
+                    nxt.target != target_id
+                    or nxt.target_endpoint != endpoint_name
+                ):
+                    break
+                run.append(nxt)
+                i += 1
+            if observers:
+                now = self.now_ms()
+                for msg in run:
+                    stats.record_delivered(msg)
+                    for observer in observers:
+                        observer(msg, now)
+            else:
+                for msg in run:
+                    stats.record_delivered(msg)
+            target.endpoint(endpoint_name).deliver_batch(run)

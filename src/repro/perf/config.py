@@ -51,6 +51,15 @@ class PerfConfig:
     #: threaded transport this is the queue-drain cap: a dispatcher
     #: wakeup delivers up to this many already-queued messages.
     batch_max_messages: int = 64
+    #: Zero-copy in-proc dispatch: a send whose target actor is started
+    #: on the same :class:`~repro.kernel.ActorKernel` carries its typed
+    #: envelope instead of an encoded body, skipping the codec round
+    #: trip; the body stays available lazily (stats/WAL/observers see
+    #: the identical encoding).  Off by default so the wire format is
+    #: exercised everywhere unless explicitly opted in; fleet shards
+    #: each have their own kernel, so cross-shard traffic always
+    #: encodes regardless.
+    zero_copy_local: bool = False
 
     def __post_init__(self) -> None:
         if self.locate_cache_size < 0:
@@ -69,4 +78,5 @@ class PerfConfig:
             locate_cache_ttl_ms=0.0,
             batch_window_ms=0.0,
             batch_max_messages=1,
+            zero_copy_local=False,
         )

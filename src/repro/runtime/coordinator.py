@@ -138,6 +138,26 @@ class Coordinator(Actor):
         self._compiled_guards = dispatch.guards
         self._compiled_actions = dispatch.actions
         self._compiled_inputs = dispatch.input_exprs
+        #: Fused immediate-row plan (compiled path only): one tuple per
+        #: immediate row carrying everything a firing needs — the row,
+        #: its guard (``None`` when it always fires), its action list
+        #: and the fully resolved peer address — so the hot loop in
+        #: :meth:`_postprocess` runs without per-firing mapping lookups.
+        #: ``None`` on the seed path keeps that branch byte-identical.
+        self._fused_immediate = None
+        if self._dispatch is not None:
+            self._fused_immediate = tuple(
+                (
+                    row,
+                    None
+                    if row.fire_always or dispatch.guards[row.edge_id] is None
+                    else dispatch.guards[row.edge_id],
+                    dispatch.actions[row.edge_id],
+                    dispatch.notify_targets[row.edge_id][0] or host,
+                    dispatch.notify_targets[row.edge_id][1],
+                )
+                for row in dispatch.immediate_rows
+            )
 
     # Wiring ------------------------------------------------------------------
 
@@ -258,16 +278,55 @@ class Coordinator(Actor):
         ECA rule.  A completion transition that is enabled wins over
         waiting for events, the usual statechart priority.
         """
-        if self._dispatch is not None:
-            immediate = self._dispatch.immediate_rows
+        fused = self._fused_immediate
+        if fused is not None:
             event_rows = self._dispatch.event_rows
-        else:
-            immediate = [
-                row for row in self.table.postprocessing.rows if not row.event
-            ]
-            event_rows = [
-                row for row in self.table.postprocessing.rows if row.event
-            ]
+            node_id = self.table.node_id
+            fired = 0
+            for row, guard, actions, peer_host, peer_endpoint in fused:
+                try:
+                    if guard is not None and not guard(env):
+                        continue
+                    if actions:
+                        out_env = dict(env)
+                        for target, compiled in actions:
+                            out_env[target] = compiled.value(env)
+                    else:
+                        out_env = env
+                except ExpressionError as exc:
+                    self._report_fault(
+                        execution_id,
+                        f"routing at {node_id!r} edge "
+                        f"{row.edge_id!r} failed: {exc}",
+                    )
+                    return
+                fired += 1
+                self.send(peer_host, peer_endpoint, Notify(
+                    execution_id=execution_id,
+                    edge_id=row.edge_id,
+                    from_node=node_id,
+                    env=out_env,
+                ))
+                if row.emits:
+                    self._emit_events(execution_id, row)
+            if fired == 0 and event_rows:
+                self._waiting_tokens.setdefault(execution_id, []).append(
+                    _WaitingToken(execution_id=execution_id, env=dict(env))
+                )
+                self._replay_buffered(execution_id)
+                return
+            if fired == 0 and self.table.postprocessing.rows:
+                self._report_fault(
+                    execution_id,
+                    f"no routing guard matched at {node_id!r}",
+                )
+            return
+        immediate = [
+            row for row in self.table.postprocessing.rows if not row.event
+        ]
+        event_rows = [
+            row for row in self.table.postprocessing.rows if row.event
+        ]
         fired = 0
         for row in immediate:
             try:

@@ -25,6 +25,7 @@ from repro.api.config import PlatformConfig
 from repro.api.platform import Platform
 from repro.baselines.central import deploy_central
 from repro.fleet.config import FleetConfig
+from repro.perf import PerfConfig
 from repro.scenarios.generator import GeneratedScenario, MaterializedSlot
 from repro.services.composite import CompositeService
 from repro.services.description import OperationSpec, ServiceDescription
@@ -147,13 +148,21 @@ def _deploy_slots(platform: Platform,
             )
 
 
+def _platform_config(seed: int, perf: "Optional[PerfConfig]",
+                     **extra: Any) -> PlatformConfig:
+    if perf is not None:
+        extra["perf"] = perf
+    return PlatformConfig(seed=seed, **extra)
+
+
 def run_classic(
     scenario: GeneratedScenario,
     seed: int = 0,
     deadline_ms: Optional[float] = None,
+    perf: "Optional[PerfConfig]" = None,
 ) -> ScenarioRun:
     """The scenario on the classic platform (P2P coordinators)."""
-    platform = Platform(PlatformConfig(seed=seed, trace=False))
+    platform = Platform(_platform_config(seed, perf, trace=False))
     _deploy_slots(platform, scenario.materialize())
     deployment = platform.deploy_composite(
         scenario_composite(scenario), "composite-host", publish=False,
@@ -166,13 +175,14 @@ def run_central(
     scenario: GeneratedScenario,
     seed: int = 0,
     deadline_ms: Optional[float] = None,
+    perf: "Optional[PerfConfig]" = None,
 ) -> ScenarioRun:
     """The scenario under the centralised orchestrator baseline.
 
     The service substrate (providers, communities) is identical to the
     classic run; only the coordination layer differs.
     """
-    platform = Platform(PlatformConfig(seed=seed, trace=False))
+    platform = Platform(_platform_config(seed, perf, trace=False))
     _deploy_slots(platform, scenario.materialize())
     deployment = deploy_central(
         scenario_composite(scenario),
@@ -191,10 +201,11 @@ def run_fleet(
     seed: int = 0,
     shards: int = 2,
     deadline_ms: Optional[float] = None,
+    perf: "Optional[PerfConfig]" = None,
 ) -> ScenarioRun:
     """The scenario on a sharded fleet (composition co-located by shard)."""
-    platform = Platform(PlatformConfig(
-        seed=seed, fleet=FleetConfig(shards=shards, parallel=False),
+    platform = Platform(_platform_config(
+        seed, perf, fleet=FleetConfig(shards=shards, parallel=False),
     ))
     affinity = scenario.composite_name
     for slot in scenario.materialize():
@@ -266,6 +277,7 @@ def differential(
     scenario: GeneratedScenario,
     seed: int = 0,
     shards: int = 2,
+    perf: "Optional[PerfConfig]" = None,
 ) -> DifferentialReport:
     """Run one scenario through every runtime and compare the outcomes.
 
@@ -277,11 +289,15 @@ def differential(
 
     Cross-runtime equivalence: statuses, outputs and per-logical-service
     invocation counts must agree pairwise against the classic run.
+
+    ``perf`` overrides the fast-path configuration on *all three*
+    platforms — the zero-copy/batching knobs must never change what a
+    composition computes, only how fast the kernel moves it.
     """
     runs = {
-        "classic": run_classic(scenario, seed=seed),
-        "central": run_central(scenario, seed=seed),
-        "fleet": run_fleet(scenario, seed=seed, shards=shards),
+        "classic": run_classic(scenario, seed=seed, perf=perf),
+        "central": run_central(scenario, seed=seed, perf=perf),
+        "fleet": run_fleet(scenario, seed=seed, shards=shards, perf=perf),
     }
     mismatches: List[str] = []
     for name, run in runs.items():

@@ -1,16 +1,30 @@
 """A minimal, fast discrete-event simulator.
 
-Events are ``(time, sequence, callback)`` triples in a binary heap.  The
-sequence number makes ordering total and deterministic: two events at the
-same virtual time fire in scheduling order, which is what makes simulated
-benchmark runs bit-for-bit reproducible across platforms.
+Events are ``(time, sequence, callback)`` triples; the sequence number
+makes ordering total and deterministic: two events at the same virtual
+time fire in scheduling order, which is what makes simulated benchmark
+runs bit-for-bit reproducible across platforms.
+
+Two queues back the one logical timeline (``repro.perf`` hot path):
+
+* a binary **heap** for delayed events (timers, latencies, windows),
+* a plain **FIFO deque** for zero-delay events — the overwhelmingly
+  common case on the message hot path, where every local send schedules
+  its delivery "now".  A deque append/popleft costs a fraction of a
+  heap push/pop with its ``O(log n)`` comparison chain.
+
+The FIFO lane is *order-exact*, not an approximation: a zero-delay
+event's time is the clock at scheduling, and the clock never runs
+backwards, so the deque is always sorted by ``(time, sequence)`` —
+merging it with the heap head by that key reproduces precisely the
+order a single heap would have produced.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from collections import deque
 from typing import Callable, List, Optional
 
 from repro.exceptions import SimulationError
@@ -18,18 +32,40 @@ from repro.exceptions import SimulationError
 EventCallback = Callable[[], None]
 
 
-@dataclass(order=True)
 class ScheduledEvent:
-    """One pending event; orderable by (time, sequence)."""
+    """One pending event; orderable by (time, sequence).
 
-    time: float
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    A hand-written ``__slots__`` class instead of a dataclass: events
+    are created and compared on every message send, and the generated
+    dataclass ``__init__``/``__lt__`` measurably tax that path.
+    """
+
+    __slots__ = ("time", "sequence", "callback", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: EventCallback,
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = cancelled
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.sequence < other.sequence
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped."""
         self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"ScheduledEvent(t={self.time}, seq={self.sequence}{state})"
 
 
 class Simulator:
@@ -37,6 +73,9 @@ class Simulator:
 
     def __init__(self) -> None:
         self._queue: List[ScheduledEvent] = []
+        #: Zero-delay events in scheduling order (always sorted by
+        #: ``(time, sequence)`` because the clock is monotonic).
+        self._fifo: "deque[ScheduledEvent]" = deque()
         self._sequence = itertools.count()
         self._now = 0.0
         self._processed = 0
@@ -55,18 +94,26 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Events still queued (including cancelled ones not yet popped)."""
-        return len(self._queue)
+        return len(self._queue) + len(self._fifo)
+
+    def live_events(self) -> int:
+        """Pending events that are not cancelled (quiescence checks)."""
+        return (
+            sum(1 for e in self._queue if not e.cancelled)
+            + sum(1 for e in self._fifo if not e.cancelled)
+        )
 
     def schedule(self, delay_ms: float, callback: EventCallback) -> ScheduledEvent:
         """Schedule ``callback`` to run ``delay_ms`` after the current time."""
         if delay_ms < 0:
             raise SimulationError(f"cannot schedule in the past: {delay_ms}")
         event = ScheduledEvent(
-            time=self._now + delay_ms,
-            sequence=next(self._sequence),
-            callback=callback,
+            self._now + delay_ms, next(self._sequence), callback
         )
-        heapq.heappush(self._queue, event)
+        if delay_ms == 0.0:
+            self._fifo.append(event)
+        else:
+            heapq.heappush(self._queue, event)
         return event
 
     def schedule_at(self, time_ms: float, callback: EventCallback) -> ScheduledEvent:
@@ -77,17 +124,59 @@ class Simulator:
             )
         return self.schedule(time_ms - self._now, callback)
 
+    def _next_live(self) -> Optional[ScheduledEvent]:
+        """Pop the next live event in (time, sequence) order, or None.
+
+        Merges the FIFO lane with the heap: the FIFO head is the
+        earliest zero-delay event and the heap head the earliest
+        delayed one; whichever sorts first is the next event a single
+        combined heap would have popped.
+        """
+        fifo = self._fifo
+        queue = self._queue
+        while True:
+            head = fifo[0] if fifo else None
+            if head is not None and head.cancelled:
+                fifo.popleft()
+                continue
+            delayed = queue[0] if queue else None
+            if delayed is not None and delayed.cancelled:
+                heapq.heappop(queue)
+                continue
+            if head is None:
+                if delayed is None:
+                    return None
+                return heapq.heappop(queue)
+            if delayed is None or head < delayed:
+                fifo.popleft()
+                return head
+            return heapq.heappop(queue)
+
+    def _peek_live(self) -> Optional[ScheduledEvent]:
+        """The next live event without popping it (deadline checks)."""
+        fifo = self._fifo
+        queue = self._queue
+        while fifo and fifo[0].cancelled:
+            fifo.popleft()
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        head = fifo[0] if fifo else None
+        delayed = queue[0] if queue else None
+        if head is None:
+            return delayed
+        if delayed is None or head < delayed:
+            return head
+        return delayed
+
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._processed += 1
-            event.callback()
-            return True
-        return False
+        event = self._next_live()
+        if event is None:
+            return False
+        self._now = event.time
+        self._processed += 1
+        event.callback()
+        return True
 
     def run(
         self,
@@ -106,13 +195,22 @@ class Simulator:
         self._running = True
         executed = 0
         try:
-            while self._queue:
+            if until is None and max_events is None:
+                # The benchmark/drain hot path: no bound checks, and no
+                # peek-then-pop double scan per event.
+                while True:
+                    event = self._next_live()
+                    if event is None:
+                        return
+                    self._now = event.time
+                    self._processed += 1
+                    event.callback()
+            while True:
                 if max_events is not None and executed >= max_events:
                     return
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
+                head = self._peek_live()
+                if head is None:
+                    return
                 if until is not None and head.time > until:
                     self._now = until
                     return
@@ -135,9 +233,9 @@ class Simulator:
         deadline = None if timeout_ms is None else self._now + timeout_ms
         executed = 0
         while not predicate():
-            if deadline is not None and self._queue:
-                head_time = self._queue[0].time
-                if head_time > deadline:
+            if deadline is not None:
+                head = self._peek_live()
+                if head is not None and head.time > deadline:
                     self._now = deadline
                     return predicate()
             if executed >= max_events:

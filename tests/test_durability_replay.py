@@ -39,11 +39,14 @@ def _wrapper_counts(platform):
 
 
 def _build(tmp_path, fsync="always", tasks=3, reliability=1.0,
-           counting=None):
-    platform = Platform(PlatformConfig(
+           counting=None, perf=None):
+    config = dict(
         seed=SEED,
         durability=DurabilityConfig(dir=str(tmp_path), fsync=fsync),
-    ))
+    )
+    if perf is not None:
+        config["perf"] = perf
+    platform = Platform(PlatformConfig(**config))
     workload = make_chain_workload(
         tasks=tasks, seed=21, service_latency_ms=8.0,
         service_reliability=reliability,
@@ -251,6 +254,99 @@ class TestExactlyOnce:
         platform.transport.run_until_idle()
         assert dict(client._results) == pooled_before
         assert handle.result().ok  # original result untouched
+
+
+class TestZeroCopyComposition:
+    """DurabilityMiddleware and the zero-copy fast path must compose.
+
+    Zero-copy hands the *envelope object* to a co-located mailbox and
+    skips the ``to_body``/``from_body`` round trip — but the WAL's
+    record format *is* the encoded body.  ``Message.body`` materializes
+    lazily from the envelope at the logging tap, so the log must come
+    out byte-identical to the wire path's, and recovery must work the
+    same.  These tests pin all of that."""
+
+    def _zc(self):
+        from repro.perf import PerfConfig
+        return PerfConfig(zero_copy_local=True)
+
+    @staticmethod
+    def _normalized(records):
+        """Records with request keys renumbered by first appearance.
+
+        The client request counter is process-global, so two platforms
+        built in one test see different ``u-reqN`` suffixes; everything
+        else must match exactly."""
+        import json
+        import re
+        seen = {}
+
+        def canon(match):
+            return seen.setdefault(
+                match.group(0), f"-req<{len(seen)}>"
+            )
+
+        return json.loads(
+            re.sub(r"-req\d+", canon, json.dumps(records, sort_keys=True))
+        )
+
+    def test_wal_records_match_the_wire_path(self, tmp_path):
+        """One encoded ``deliver`` record per logical message, with the
+        exact body the wire path would have logged."""
+        wire, dep_w = _build(tmp_path / "wire")
+        fast, dep_f = _build(tmp_path / "fast", perf=self._zc())
+        for platform, deployment in ((wire, dep_w), (fast, dep_f)):
+            session = platform.session("u", "u-host")
+            results = session.gather(
+                session.submit_many([(deployment, "run", {})] * 3)
+            )
+            assert all(r.ok for r in results)
+        assert fast.durability.wal.deliveries_logged == \
+            wire.durability.wal.deliveries_logged > 0
+        fast_records, _ = fast.durability.wal.read()
+        wire_records, _ = wire.durability.wal.read()
+        assert self._normalized(fast_records) == \
+            self._normalized(wire_records)
+
+    def test_crash_recovery_with_zero_copy_matches_wire_twin(
+        self, tmp_path
+    ):
+        """Kill a zero-copy platform mid-history, recover it, and the
+        rebuilt trace equals an uncrashed wire-path twin's."""
+        crashed, dep_a = _build(tmp_path / "a", perf=self._zc())
+        twin, dep_b = _build(tmp_path / "b")
+        for platform, deployment in ((crashed, dep_a), (twin, dep_b)):
+            session = platform.session("u", "u-host")
+            results = session.gather(
+                session.submit_many([(deployment, "run", {})] * 3)
+            )
+            assert all(r.ok for r in results)
+        crashed.durability.crash()
+        fresh, report = recover_platform(crashed)
+        assert report.clean_tail
+        assert report.missing_actors == 0
+        assert _trace_dump(fresh.tracer) == _trace_dump(twin.tracer)
+        assert _wrapper_counts(fresh) == _wrapper_counts(twin)
+
+    def test_inflight_crash_with_zero_copy_is_exactly_once(
+        self, tmp_path
+    ):
+        calls = {}
+        platform, deployment = _build(
+            tmp_path, counting=calls, perf=self._zc(),
+        )
+        session = platform.session("u", "u-host")
+        handle = session.submit(deployment, "run", {})
+        platform.transport.simulator.run(until=20.0)
+        assert not handle.done()
+        assert calls  # partway through the chain
+
+        platform.durability.crash()
+        fresh, _ = recover_platform(platform)
+        assert fresh.wait_for(handle.done, timeout_ms=60_000)
+        assert handle.result().ok
+        assert all(count == 1 for count in calls.values()), calls
+        assert all(c == (1, 0) for c in _wrapper_counts(fresh).values())
 
 
 class TestRelaxedFsync:

@@ -1,0 +1,344 @@
+"""Kernel hot-path machinery: batch drain, zero-copy, the FIFO lane.
+
+Unit coverage for the three mechanisms behind the BENCH_HOTPATH
+numbers — each pinned at the layer it lives in, so a semantics
+regression is caught here (cheaply) before the differential suite or a
+benchmark notices:
+
+* :meth:`~repro.kernel.mailbox.Mailbox.deliver_batch` — identical
+  per-message semantics to ``deliver``, with batch-aware middlewares
+  aggregated per window (run-length tallies, exception flushing);
+* the zero-copy in-proc path — envelope rides the message, body and
+  wire size materialise lazily and identically, the local-address
+  guard keeps every non-local send on the codec path;
+* the simulator's zero-delay FIFO lane — order-exact merge with the
+  heap, cancellation, quiescence accounting.
+"""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.kernel import (
+    Actor,
+    ActorKernel,
+    ActorMiddleware,
+    Invoke,
+    Notify,
+    handles,
+)
+from repro.net.message import Message, _estimate_size
+from repro.net.node import Endpoint
+from repro.net.simnet import SimTransport
+from repro.runtime.protocol import wrapper_endpoint
+from repro.sim.simulator import Simulator
+
+
+class SinkActor(Actor):
+    """Counts invokes and notifies; ``boom`` arguments raise."""
+
+    def __init__(self, name, host, transport, kernel=None):
+        super().__init__(host, transport, kernel)
+        self.name = name
+        self.invokes = []
+        self.notifies = []
+
+    @property
+    def endpoint_name(self):
+        return wrapper_endpoint(self.name)
+
+    @handles(Invoke)
+    def _on_invoke(self, invoke, message):
+        if invoke.arguments.get("boom"):
+            raise RuntimeError("handler exploded")
+        self.invokes.append(invoke)
+
+    @handles(Notify)
+    def _on_notify(self, notify, message):
+        self.notifies.append(notify)
+
+
+def _message(kind, endpoint, body, envelope=None):
+    return Message(
+        kind=kind, source="peer", source_endpoint="test:src",
+        target="h", target_endpoint=endpoint,
+        body=body, envelope=envelope,
+    )
+
+
+def _invoke_message(endpoint, index=0, boom=False):
+    body = {"invocation_id": f"i{index}", "execution_id": "e",
+            "operation": "op", "arguments": {"boom": True} if boom else {}}
+    return _message("invoke", endpoint, body)
+
+
+def _notify_message(endpoint, index=0):
+    return _message(
+        "notify", endpoint,
+        {"execution_id": "e", "edge_id": f"edge{index}",
+         "from_node": "n", "env": {}},
+    )
+
+
+@pytest.fixture
+def rig():
+    transport = SimTransport()
+    transport.add_node("h")
+    kernel = ActorKernel(transport=transport)
+    actor = SinkActor("sink", "h", transport, kernel).start()
+    return transport, kernel, actor
+
+
+class TestBatchDrain:
+    def test_mixed_kind_window_tallies_per_run(self, rig):
+        """Run-length tallying must come out exact on a mixed window:
+        kind runs of length 2, 1, 3 fold into per-verb totals."""
+        transport, kernel, actor = rig
+        endpoint = actor.endpoint_name
+        window = (
+            [_invoke_message(endpoint, i) for i in range(2)]
+            + [_notify_message(endpoint)]
+            + [_invoke_message(endpoint, 2 + i) for i in range(3)]
+        )
+        actor.mailbox.deliver_batch(window)
+        counters = kernel.counters
+        assert counters.handled[(endpoint, "invoke")] == 5
+        assert counters.handled[(endpoint, "notify")] == 1
+        assert len(actor.invokes) == 5 and len(actor.notifies) == 1
+        assert actor.mailbox.delivered == 6
+        assert actor.mailbox.handled == 6
+
+    def test_batch_semantics_match_per_message_path(self, rig):
+        """The same window through deliver() one by one and through
+        deliver_batch() leaves identical counter and mailbox state."""
+        transport, _, batched = rig
+        kernel_b = batched.kernel
+        kernel_u = ActorKernel(transport=transport)
+        unbatched = SinkActor("sink2", "h", transport, kernel_u).start()
+
+        def window(endpoint):
+            return ([_invoke_message(endpoint, i) for i in range(3)]
+                    + [_notify_message(endpoint)]
+                    + [_message("no_such_verb", endpoint, {})]
+                    + [_message("invoke", endpoint, {"bogus_field": 1})])
+
+        batched.mailbox.deliver_batch(window(batched.endpoint_name))
+        for message in window(unbatched.endpoint_name):
+            unbatched.mailbox.deliver(message)
+
+        def state(actor):
+            mailbox = actor.mailbox
+            counters = actor.kernel.counters
+            return (
+                mailbox.delivered, mailbox.handled,
+                mailbox.unknown_verbs, mailbox.malformed,
+                {k: v for (_, k), v in counters.handled.items()},
+                sorted(counters.malformed.values()),
+            )
+
+        assert state(batched) == state(unbatched)
+
+    def test_handler_exception_flushes_partial_tallies(self, rig):
+        """An exploding handler mid-window propagates, and the window's
+        completed work (plus the failure) still reaches the counters."""
+        transport, kernel, actor = rig
+        endpoint = actor.endpoint_name
+        window = (
+            [_invoke_message(endpoint, i) for i in range(3)]
+            + [_invoke_message(endpoint, 3, boom=True)]
+            + [_invoke_message(endpoint, 4)]  # never reached
+        )
+        with pytest.raises(RuntimeError, match="handler exploded"):
+            actor.mailbox.deliver_batch(window)
+        counters = kernel.counters
+        assert counters.handled[(endpoint, "invoke")] == 3
+        assert counters.errors[(endpoint, "invoke")] == 1
+        assert actor.mailbox.handled == 3
+        assert len(actor.invokes) == 3
+
+    def test_per_message_hooks_keep_order_on_batch_path(self, rig):
+        """A non-batch-aware middleware (the durability/tracer shape)
+        sees one before/after pair per message, in delivery order."""
+        transport, kernel, actor = rig
+        log = []
+
+        class PerMessage(ActorMiddleware):
+            def before_handle(self, actor, envelope, message):
+                log.append(("before", message.kind))
+
+            def after_handle(self, actor, envelope, message, error=None):
+                log.append(("after", message.kind, error))
+
+        kernel.add_middleware(PerMessage())
+        endpoint = actor.endpoint_name
+        actor.mailbox.deliver_batch(
+            [_invoke_message(endpoint), _notify_message(endpoint)]
+        )
+        assert log == [
+            ("before", "invoke"), ("after", "invoke", None),
+            ("before", "notify"), ("after", "notify", None),
+        ]
+
+    def test_batch_aware_middleware_called_once_per_window(self, rig):
+        transport, kernel, actor = rig
+        calls = []
+
+        class BatchAware(ActorMiddleware):
+            def after_handle_batch(self, actor, endpoint, tallies):
+                calls.append((endpoint, {
+                    kind: tuple(tally) for kind, tally in tallies.items()
+                }))
+
+        kernel.add_middleware(BatchAware())
+        endpoint = actor.endpoint_name
+        actor.mailbox.deliver_batch(
+            [_invoke_message(endpoint, i) for i in range(4)]
+        )
+        assert calls == [(endpoint, {"invoke": (4, 0)})]
+
+    def test_endpoint_falls_back_to_looping_plain_callables(self):
+        """Only handlers exposing ``deliver_batch`` (mailboxes) get the
+        window; a plain callable endpoint is looped transparently."""
+        seen = []
+        endpoint = Endpoint("test:plain", seen.append)
+        window = [_invoke_message("test:plain", i) for i in range(3)]
+        endpoint.deliver_batch(window)
+        assert seen == window
+
+
+class TestZeroCopy:
+    def _pair(self, zero_copy):
+        transport = SimTransport()
+        transport.add_node("h")
+        kernel = ActorKernel(transport=transport, zero_copy=zero_copy)
+        sender = SinkActor("sender", "h", transport, kernel).start()
+        receiver = SinkActor("receiver", "h", transport, kernel).start()
+        return transport, kernel, sender, receiver
+
+    def test_local_send_carries_the_envelope(self):
+        transport, _, sender, receiver = self._pair(zero_copy=True)
+        captured = []
+        transport.add_observer(lambda m, t: captured.append(m))
+        envelope = Invoke(invocation_id="i1", execution_id="e1",
+                          operation="op", arguments={"x": 1})
+        sender.send("h", receiver.endpoint_name, envelope)
+        transport.run_until_idle()
+        assert receiver.invokes == [envelope]
+        # The very object, not a decoded copy: no codec ran.
+        assert receiver.invokes[0] is envelope
+        [message] = captured
+        assert message.envelope is envelope
+
+    def test_lazy_body_and_size_match_the_wire_encoding(self):
+        _, _, sender, receiver = self._pair(zero_copy=True)
+        envelope = Invoke(invocation_id="i1", execution_id="e1",
+                          operation="op", arguments={"x": [1, 2]})
+        message = Message(
+            kind=envelope.KIND, source="h",
+            source_endpoint=sender.endpoint_name,
+            target="h", target_endpoint=receiver.endpoint_name,
+            envelope=envelope,
+        )
+        # size first: must answer from _wire_size without materialising.
+        lazy_size = message.size_bytes()
+        body = message.body
+        assert body == envelope.to_body()
+        assert lazy_size == 96 + _estimate_size(body)
+
+    def test_non_local_targets_take_the_codec_path(self):
+        transport, kernel, sender, receiver = self._pair(zero_copy=True)
+        transport.add_node("elsewhere")
+        remote_sink = []
+        transport.node("elsewhere").register(
+            "test:remote", remote_sink.append
+        )
+        captured = []
+        transport.add_observer(lambda m, t: captured.append(m))
+        envelope = Invoke(invocation_id="i", execution_id="e",
+                          operation="op")
+        # Not an actor on this kernel: encoded body, no envelope ref.
+        sender.send("elsewhere", "test:remote", envelope)
+        transport.run_until_idle()
+        assert captured[-1].envelope is None
+        assert captured[-1].body == envelope.to_body()
+        # Stopping the receiver withdraws its zero-copy eligibility.
+        receiver.stop()
+        assert ("h", receiver.endpoint_name) not in \
+            kernel._local_addresses
+
+    def test_disabled_kernel_always_encodes(self):
+        transport, _, sender, receiver = self._pair(zero_copy=False)
+        captured = []
+        transport.add_observer(lambda m, t: captured.append(m))
+        sender.send("h", receiver.endpoint_name,
+                    Invoke(invocation_id="i", execution_id="e",
+                           operation="op"))
+        transport.run_until_idle()
+        assert captured[-1].envelope is None
+        assert len(receiver.invokes) == 1
+
+    def test_mailbox_decodes_on_kind_mismatch(self, rig):
+        """A stale/mismatched envelope is not trusted: when its KIND
+        disagrees with the message verb the body is decoded afresh."""
+        transport, _, actor = rig
+        wrong = Notify(execution_id="e", edge_id="g")
+        message = _message(
+            "invoke", actor.endpoint_name,
+            {"invocation_id": "i9", "execution_id": "e",
+             "operation": "op", "arguments": {}},
+            envelope=wrong,
+        )
+        actor.mailbox.deliver(message)
+        assert len(actor.invokes) == 1
+        assert actor.invokes[0].invocation_id == "i9"
+
+
+class TestFifoLane:
+    def test_zero_delay_events_take_the_fifo(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        assert len(sim._fifo) == 1 and len(sim._queue) == 1
+
+    def test_merge_reproduces_single_heap_order(self):
+        """Interleaved zero-delay and delayed events fire exactly in
+        (time, sequence) order — the FIFO lane is order-exact."""
+        sim = Simulator()
+        fired = []
+
+        def at_5():
+            fired.append("t5")
+            # Zero-delay events scheduled *at* t=5 join the FIFO behind
+            # earlier-scheduled ones but fire before the t=7 timer.
+            sim.schedule(0.0, lambda: fired.append("t5-now"))
+
+        sim.schedule(0.0, lambda: fired.append("now-a"))
+        sim.schedule(5.0, at_5)
+        sim.schedule(0.0, lambda: fired.append("now-b"))
+        sim.schedule(7.0, lambda: fired.append("t7"))
+        sim.run()
+        assert fired == ["now-a", "now-b", "t5", "t5-now", "t7"]
+
+    def test_cancelled_fifo_events_are_skipped_and_uncounted(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(0.0, lambda: fired.append("keep"))
+        drop = sim.schedule(0.0, lambda: fired.append("drop"))
+        drop.cancel()
+        assert sim.pending_events == 2
+        assert sim.live_events() == 1
+        sim.run()
+        assert fired == ["keep"]
+        assert keep.time == 0.0
+
+    def test_peek_live_sees_across_both_lanes(self):
+        sim = Simulator()
+        delayed = sim.schedule(3.0, lambda: None)
+        assert sim._peek_live() is delayed
+        immediate = sim.schedule(0.0, lambda: None)
+        assert sim._peek_live() is immediate
+        immediate.cancel()
+        assert sim._peek_live() is delayed
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)

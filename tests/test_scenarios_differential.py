@@ -13,6 +13,7 @@ import os
 
 import pytest
 
+from repro.perf import PerfConfig
 from repro.scenarios.differential import (
     RUNTIMES,
     differential,
@@ -90,6 +91,40 @@ class TestHarnessMechanics:
         from repro.scenarios.differential import _compare
         _compare(report.runs["classic"], doctored, mismatches)
         assert mismatches and "invocation counts" in mismatches[0]
+
+
+class TestZeroCopyDifferential:
+    """The zero-copy in-proc fast path is an optimisation, not a
+    semantics change: with ``zero_copy_local=True`` every runtime must
+    still agree, and each must match its own wire-path twin exactly."""
+
+    ZC_SEEDS = range(8)
+
+    @pytest.mark.parametrize("seed", ZC_SEEDS)
+    def test_runtimes_agree_with_zero_copy(self, seed):
+        scenario = generate_scenario(seed, CORPUS_PARAMS)
+        report = differential(
+            scenario, perf=PerfConfig(zero_copy_local=True),
+        )
+        assert report.equivalent, report.describe()
+        for run in report.runs.values():
+            assert run.ok, (run.runtime, run.statuses)
+
+    @pytest.mark.parametrize("seed", ZC_SEEDS)
+    def test_zero_copy_matches_wire_path(self, seed):
+        """Same scenario, zero-copy on vs. off: statuses, outputs,
+        invocation counts and even virtual makespan are identical —
+        skipping the encode/decode round trip is invisible above the
+        kernel."""
+        scenario = generate_scenario(seed, CORPUS_PARAMS)
+        wire = run_classic(generate_scenario(seed, CORPUS_PARAMS))
+        fast = run_classic(
+            scenario, perf=PerfConfig(zero_copy_local=True),
+        )
+        assert fast.statuses == wire.statuses
+        assert fast.outputs == wire.outputs
+        assert fast.invocations == wire.invocations
+        assert fast.makespan_ms == wire.makespan_ms
 
 
 class TestFaultMix:

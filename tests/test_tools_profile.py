@@ -1,0 +1,54 @@
+"""Smoke tests for ``tools/profile_hotpath.py``.
+
+The CLI is CI machinery (the ``bench-gate`` job uploads its output as
+the profile-breakdown artifact), so tier-1 pins that both scenarios and
+both modes run end to end and produce the report shape the artifact
+consumers expect — with unit counts small enough to stay instant.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT / "tools", REPO_ROOT / "benchmarks"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+import profile_hotpath  # noqa: E402
+
+
+def run_cli(capsys, *argv):
+    assert profile_hotpath.main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_time_mode_drain(capsys):
+    out = run_cli(capsys, "--units", "256", "--rounds", "1")
+    assert "scenario: drain" in out
+    assert "messages/sec" in out
+    assert "codec: encode" in out
+
+
+def test_time_mode_firing(capsys):
+    out = run_cli(capsys, "--scenario", "firing", "--units", "20",
+                  "--rounds", "1")
+    assert "scenario: firing" in out
+    assert "firings/sec" in out
+
+
+def test_profile_mode_lists_pipeline_functions(capsys):
+    out = run_cli(capsys, "--scenario", "firing", "--mode", "profile",
+                  "--units", "20", "--top", "25")
+    # The anatomy view must surface the pipeline layers by name.
+    assert "mailbox.py" in out
+    assert "cumulative" in out
+
+
+def test_output_file(tmp_path, capsys):
+    target = tmp_path / "profile.txt"
+    out = run_cli(capsys, "--units", "256", "--rounds", "1",
+                  "--output", str(target))
+    assert target.read_text() == out
+    assert "scenario: drain" in out

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Profile the kernel hot path: where one message's microseconds go.
+
+Companion to ``benchmarks/test_bench_hotpath.py`` — the benchmark gates
+the numbers, this tool explains them.  Two scenarios:
+
+* ``drain`` — messages through the mailbox batch pipeline (verb table
+  -> envelope acceptance -> hooks -> handler), zero-copy envelopes.
+* ``firing`` — whole FORK firings through a coordinator hub (compiled
+  dispatch + fused routing plan + zero-copy + counters): the end-to-end
+  shape the PR 4 figure was measured on.
+
+Two modes:
+
+* ``--mode time`` (default) — best-of-N wall-clock per unit, plus the
+  per-component codec/middleware split.  Cheap enough for CI.
+* ``--mode profile`` — cProfile over the scenario, top functions by
+  cumulative time: the "anatomy of a message" view (see docs/PERF.md).
+
+Run from the repository root::
+
+    PYTHONPATH=src:benchmarks python tools/profile_hotpath.py
+    PYTHONPATH=src:benchmarks python tools/profile_hotpath.py \
+        --scenario firing --mode profile --top 20
+
+CI's ``bench-gate`` job uploads the profile output as the
+``profile-breakdown`` artifact next to the benchmark ledgers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import os
+import pstats
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for entry in (os.path.join(REPO_ROOT, "src"),
+              os.path.join(REPO_ROOT, "benchmarks")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+SCENARIOS = ("drain", "firing")
+MODES = ("time", "profile")
+
+
+def _drain_workload(messages: int):
+    """Returns ``run()`` pushing ``messages`` through a batch drain."""
+    from test_bench_hotpath import DRAIN_WINDOW, _drain_fixture
+
+    mailbox, window = _drain_fixture(counters=True, zero_copy=True)
+    windows = max(1, messages // DRAIN_WINDOW)
+    deliver_batch = mailbox.deliver_batch
+
+    def run() -> int:
+        for _ in range(windows):
+            deliver_batch(window)
+        return windows * DRAIN_WINDOW
+
+    return run
+
+
+def _firing_workload(firings: int):
+    """Returns ``run()`` driving ``firings`` hub firings end to end."""
+    from test_bench_hotpath import _build_hub
+
+    transport, coordinator, notify, _sinks = _build_hub(zero_copy=True)
+    on_message = coordinator.on_message
+    run_until_idle = transport.run_until_idle
+
+    def run() -> int:
+        for _ in range(firings):
+            on_message(notify)
+            run_until_idle()
+        return firings
+
+    return run
+
+
+def _build(scenario: str, units: int):
+    if scenario == "drain":
+        return _drain_workload(units)
+    return _firing_workload(units)
+
+
+def _time_mode(scenario: str, units: int, rounds: int, out) -> None:
+    from test_bench_hotpath import _time_codec
+
+    unit = "message" if scenario == "drain" else "firing"
+    best = None
+    for _ in range(rounds):
+        run = _build(scenario, units)
+        started = time.perf_counter()
+        done = run()
+        elapsed = time.perf_counter() - started
+        per_unit = elapsed / done
+        best = per_unit if best is None else min(best, per_unit)
+    encode_us, decode_us = _time_codec()
+    print(f"scenario: {scenario} ({units} {unit}s, best of {rounds})",
+          file=out)
+    print(f"  {unit}: {best * 1e6:.2f} us "
+          f"({1.0 / best:,.0f} {unit}s/sec)", file=out)
+    print(f"  codec: encode {encode_us:.2f} us, decode {decode_us:.2f} us "
+          f"(skipped on the zero-copy path)", file=out)
+
+
+def _profile_mode(scenario: str, units: int, top: int, out) -> None:
+    run = _build(scenario, units)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.strip_dirs().sort_stats("cumulative")
+    print(f"scenario: {scenario} ({units} units), top {top} by "
+          f"cumulative time", file=out)
+    stats.print_stats(top)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="profile the kernel hot path"
+    )
+    parser.add_argument("--scenario", choices=SCENARIOS, default="drain")
+    parser.add_argument("--mode", choices=MODES, default="time")
+    parser.add_argument(
+        "--units", type=int, default=None,
+        help="messages (drain) or firings (firing) per run "
+             "(default: 65536 / 2000)",
+    )
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="best-of rounds in time mode")
+    parser.add_argument("--top", type=int, default=15,
+                        help="functions shown in profile mode")
+    parser.add_argument(
+        "--output", default=None,
+        help="write the report to this file instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    units = args.units
+    if units is None:
+        units = 65_536 if args.scenario == "drain" else 2_000
+    buffer = io.StringIO()
+    if args.mode == "time":
+        _time_mode(args.scenario, units, args.rounds, buffer)
+    else:
+        _profile_mode(args.scenario, units, args.top, buffer)
+    report = buffer.getvalue()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
