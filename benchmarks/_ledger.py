@@ -7,8 +7,10 @@ module calls :func:`write_ledger` with
 * ``metrics`` — the headline numbers, each a :func:`metric` dict
   carrying a ``direction``: ``"higher"`` (throughput-like, a drop is a
   regression), ``"lower"`` (latency-like, a rise is a regression) or
-  ``"info"`` (recorded but never gated — e.g. wall-clock seconds,
-  which depend on the machine),
+  ``"info"`` (recorded but never gated).  A gated metric may
+  additionally be marked ``wall_clock=True`` — measured on the real
+  clock, so compared against the gate's wider wall-clock tolerance
+  instead of being exempted altogether,
 * ``rows`` — the full parameter-sweep table for trend analysis,
 * ``meta`` — the sweep parameters, so a ledger is self-describing,
 * ``source`` — the emitting module, so the CI gate can verify the
@@ -42,16 +44,32 @@ _DIRECTIONS = ("higher", "lower", "info")
 
 
 def metric(
-    value: float, unit: str = "", direction: str = "higher"
+    value: float,
+    unit: str = "",
+    direction: str = "higher",
+    wall_clock: bool = False,
 ) -> "Dict[str, Any]":
-    """One ledger metric: a value with its unit and gate direction."""
+    """One ledger metric: a value with its unit and gate direction.
+
+    ``wall_clock=True`` declares the value was measured on the real
+    clock (socket round trips, thread scheduling) rather than the
+    simulated one.  Such metrics are still *gated* — unlike ``info``
+    metrics, which are never compared — but against the gate's wider
+    wall-clock tolerance band (``--wall-threshold``), because CI
+    machines are noisy in a way the virtual clock is not.
+    """
     if direction not in _DIRECTIONS:
         raise ValueError(
             f"direction must be one of {_DIRECTIONS}, got {direction!r}"
         )
     if not isinstance(value, (int, float)) or isinstance(value, bool):
         raise TypeError(f"metric value must be a number, got {value!r}")
-    return {"value": value, "unit": unit, "direction": direction}
+    entry: "Dict[str, Any]" = {
+        "value": value, "unit": unit, "direction": direction,
+    }
+    if wall_clock:
+        entry["wall_clock"] = True
+    return entry
 
 
 def ledger_path(experiment: str, directory: Optional[str] = None) -> str:

@@ -33,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fleet.config import FleetConfig
 
 #: Transport registry names accepted by :attr:`PlatformConfig.transport`.
-TRANSPORTS = ("sim", "inproc")
+TRANSPORTS = ("sim", "inproc", "wire")
 
 #: Placement registry names accepted by :attr:`PlatformConfig.placement`.
 PLACEMENTS = {
@@ -52,7 +52,8 @@ class PlatformConfig:
     control.
     """
 
-    #: ``"sim"``, ``"inproc"`` or a ready :class:`Transport` instance.
+    #: ``"sim"``, ``"inproc"``, ``"wire"`` (real TCP sockets, see
+    #: :mod:`repro.net.wire`) or a ready :class:`Transport` instance.
     transport: "Union[str, Transport]" = "sim"
     #: Seed of the simulated transport's random streams (latency, loss).
     seed: int = 0
@@ -160,6 +161,13 @@ class PlatformConfig:
             # queued messages are simply drained together — so it is
             # governed by the cap alone.
             return InProcTransport(batch_max=self.perf.batch_max_messages)
+        if self.transport == "wire":
+            self._check_sim_only_fields()
+            # Imported lazily: the wire package layers on the kernel
+            # codecs, which sit above this config module.
+            from repro.net.wire.transport import WireTransport
+
+            return WireTransport(batch_max=self.perf.batch_max_messages)
         raise SelfServError(
             f"unknown transport {self.transport!r}; expected one of "
             f"{list(TRANSPORTS)} or a Transport instance"

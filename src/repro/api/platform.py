@@ -143,7 +143,9 @@ class Platform:
         if self.config.transport != "sim":
             raise SelfServError(
                 f"fleet mode requires the simulated transport, got "
-                f"transport={self.config.transport!r}"
+                f"transport={self.config.transport!r} — for a fleet of "
+                f"real shard processes over sockets use "
+                f"repro.fleet.wire.WireFleet instead"
             )
         if self.config.resilience is not None:
             raise SelfServError(

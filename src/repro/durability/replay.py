@@ -99,6 +99,22 @@ class SendGate:
             resent += 1
         return resent
 
+    def seal(self) -> int:
+        """Drop leftover expected keys; returns how many were pending.
+
+        Leftover keys exist to absorb late regenerations from handler
+        work still in flight when :meth:`finish` ran.  Once the shard
+        has been pumped to quiescence nothing can regenerate any more —
+        but a *new process incarnation* restarts the client's request-key
+        counter, so genuinely new submissions can collide with leftover
+        keys and vanish.  Cross-process recovery must therefore seal the
+        gate at quiescence; same-process recovery may, its keys only
+        ever match true duplicates.
+        """
+        leftover = sum(self.expected.values())
+        self.expected.clear()
+        return leftover
+
 
 def _noop() -> None:
     return None

@@ -169,6 +169,22 @@ class NodeUnreachableError(TransportError):
         self.node = node
 
 
+class WireError(TransportError):
+    """Base class for socket wire-transport errors (``repro.net.wire``)."""
+
+
+class WireProtocolError(WireError):
+    """A byte stream violated the wire framing (bad magic, CRC mismatch,
+    oversized or torn frame).  The connection that produced it can no
+    longer be trusted to be frame-aligned and must be dropped."""
+
+
+class WireCodecError(WireError):
+    """A framed payload could not be encoded/decoded as a message
+    (invalid JSON, missing header fields, or an envelope body the
+    verb's codec rejects)."""
+
+
 class RoutingError(SelfServError):
     """Base class for routing-table generation/consistency errors."""
 

@@ -1,0 +1,131 @@
+"""Message <-> frame-payload codec for the socket wire.
+
+A frame payload is a compact JSON object carrying the message header
+and the envelope body::
+
+    {"k": kind, "s": source, "se": source_endpoint,
+     "t": target, "te": target_endpoint, "i": message_id, "b": body}
+
+The *body* is exactly what the compiled envelope codecs produce:
+``encode_message`` serialises ``message.body`` (materialised from a
+lazy zero-copy envelope if needed, so the bytes are identical either
+way), and ``decode_message`` runs every catalogued protocol verb back
+through ``from_body`` **at the boundary** — malformed traffic is
+rejected with :class:`~repro.exceptions.WireCodecError` before it can
+reach a mailbox, and the validated envelope is attached to the decoded
+:class:`~repro.net.message.Message` so the kernel never decodes twice.
+
+Kinds outside the protocol catalogue are accepted only in the ``__``
+control namespace (``__wire_ping__``, the in-proc ``__timer__`` idiom):
+the process-fleet handshake rides such frames.  Any other uncatalogued
+verb is a peer speaking a different protocol and is rejected.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.exceptions import EnvelopeError, WireCodecError
+from repro.kernel.envelopes import ENVELOPE_TYPES
+from repro.net.message import Message
+
+_HEADER_KEYS = ("k", "s", "se", "t", "te", "i")
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialise one message into a frame payload.
+
+    JSON is the carrier (the repo's XML size model stays the *cost*
+    model; actual bytes are JSON like every service bus this decade),
+    with ``allow_nan=False`` so a NaN smuggled into an argument map
+    fails loudly here instead of decoding as ``null`` on the far side.
+    """
+    record = {
+        "k": message.kind,
+        "s": message.source,
+        "se": message.source_endpoint,
+        "t": message.target,
+        "te": message.target_endpoint,
+        "i": message.message_id,
+        "b": message.body,
+    }
+    try:
+        return json.dumps(
+            record, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise WireCodecError(
+            f"message {message.kind!r} "
+            f"{message.source}->{message.target} cannot be serialised "
+            f"for the wire: {exc}"
+        ) from exc
+
+
+def decode_message(payload: bytes) -> Message:
+    """Parse and validate one frame payload back into a message."""
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireCodecError(
+            f"frame payload is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(record, dict):
+        raise WireCodecError(
+            f"frame payload must be a JSON object, got "
+            f"{type(record).__name__}"
+        )
+    for key in _HEADER_KEYS:
+        if key not in record:
+            raise WireCodecError(
+                f"frame payload is missing header field {key!r}"
+            )
+    kind = record["k"]
+    body = record.get("b")
+    if not isinstance(kind, str) or not kind:
+        raise WireCodecError(f"message kind must be a string, got {kind!r}")
+    if not isinstance(body, dict):
+        raise WireCodecError(
+            f"message body must be a JSON object, got "
+            f"{type(body).__name__}"
+        )
+    for key in ("s", "se", "t", "te"):
+        if not isinstance(record[key], str) or not record[key]:
+            raise WireCodecError(
+                f"addressing field {key!r} must be a non-empty string, "
+                f"got {record[key]!r}"
+            )
+    message_id = record["i"]
+    if not isinstance(message_id, int) or isinstance(message_id, bool):
+        raise WireCodecError(
+            f"message id must be an integer, got {message_id!r}"
+        )
+    envelope = None
+    envelope_type = ENVELOPE_TYPES.get(kind)
+    if envelope_type is not None:
+        try:
+            envelope = envelope_type.from_body(body)
+        except EnvelopeError as exc:
+            raise WireCodecError(
+                f"rejected {kind!r} frame from {record['s']!r}: {exc}"
+            ) from exc
+    elif not (kind.startswith("__") and kind.endswith("__")):
+        raise WireCodecError(
+            f"unknown wire verb {kind!r} from {record['s']!r} (not in "
+            f"the envelope catalogue and not a __control__ kind)"
+        )
+    return Message(
+        kind=kind,
+        source=record["s"],
+        source_endpoint=record["se"],
+        target=record["t"],
+        target_endpoint=record["te"],
+        body=body,
+        message_id=message_id,
+        envelope=envelope,
+    )
+
+
+def control_body(**fields: Any) -> "Dict[str, Any]":
+    """Convenience for ``__control__``-namespace frame bodies."""
+    return dict(fields)

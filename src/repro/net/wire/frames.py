@@ -1,0 +1,135 @@
+"""Length-prefixed, CRC-checked framing for the socket wire.
+
+On-the-wire frame format (all integers big-endian), deliberately the
+same shape as the durability WAL's segment records — one framing idiom
+across the repo::
+
+    +-------+----------+-----------+-----------------+
+    | magic | length   | crc32     | payload         |
+    | 2 B   | 4 B      | 4 B       | ``length`` B    |
+    +-------+----------+-----------+-----------------+
+
+The stream decoder differs from the segment reader in one essential
+way: a file reader *stops* at the first torn record (everything after a
+crash is garbage by definition), while a socket reader must treat any
+framing violation as evidence the peer — or the network — is feeding it
+bytes it cannot realign with, and hand the connection over to be
+dropped.  :class:`FrameDecoder` therefore raises
+:class:`~repro.exceptions.WireProtocolError` on bad magic, an oversized
+length prefix or a CRC mismatch, and refuses further input afterwards;
+partial frames (split length prefixes, payloads arriving byte by byte)
+are simply buffered until complete.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List
+
+from repro.exceptions import WireProtocolError
+
+MAGIC = b"\x57\x46"  # "WF"
+_HEADER = struct.Struct(">II")  # (payload length, crc32)
+HEADER_SIZE = len(MAGIC) + _HEADER.size  # 10 bytes
+
+#: Ceiling on one frame's payload.  Envelope bodies are small (the
+#: whole protocol vocabulary is scalars and shallow maps); a length
+#: prefix beyond this is a corrupt or hostile stream, not a big
+#: message, and is rejected before any allocation.
+DEFAULT_MAX_FRAME_BYTES = 1 << 20
+
+
+def encode_frame(
+    payload: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> bytes:
+    """One framed payload, ready to write to a socket."""
+    if len(payload) > max_frame_bytes:
+        raise WireProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte frame limit"
+        )
+    return MAGIC + _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary chunking.
+
+    ``feed(data)`` accepts whatever the socket produced — half a magic
+    byte, a length prefix split across reads, three frames glued
+    together — and returns the payloads of every frame completed so
+    far.  Any framing violation raises
+    :class:`~repro.exceptions.WireProtocolError` and poisons the
+    decoder: once the stream has desynchronised there is no honest way
+    to find the next frame boundary, so the owning connection must be
+    closed.
+    """
+
+    __slots__ = ("max_frame_bytes", "_buffer", "_poisoned", "frames_decoded")
+
+    def __init__(
+        self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    ) -> None:
+        if max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be >= 1")
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._poisoned = False
+        self.frames_decoded = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered while waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> "List[bytes]":
+        """Consume one read's worth of bytes; returns completed payloads."""
+        if self._poisoned:
+            raise WireProtocolError(
+                "frame decoder already failed on this stream; the "
+                "connection must be dropped, not fed more bytes"
+            )
+        self._buffer.extend(data)
+        payloads: "List[bytes]" = []
+        buffer = self._buffer
+        offset = 0
+        total = len(buffer)
+        try:
+            while total - offset >= HEADER_SIZE:
+                if buffer[offset:offset + len(MAGIC)] != MAGIC:
+                    raise WireProtocolError(
+                        f"bad frame magic "
+                        f"{bytes(buffer[offset:offset + len(MAGIC)])!r} "
+                        f"at stream offset {offset}"
+                    )
+                length, crc = _HEADER.unpack_from(buffer, offset + len(MAGIC))
+                if length > self.max_frame_bytes:
+                    raise WireProtocolError(
+                        f"frame length prefix {length} exceeds the "
+                        f"{self.max_frame_bytes}-byte frame limit"
+                    )
+                end = offset + HEADER_SIZE + length
+                if end > total:
+                    break  # split frame: wait for the rest
+                payload = bytes(buffer[offset + HEADER_SIZE:end])
+                if zlib.crc32(payload) != crc:
+                    raise WireProtocolError(
+                        f"frame CRC mismatch for {length}-byte payload "
+                        f"at stream offset {offset}"
+                    )
+                payloads.append(payload)
+                self.frames_decoded += 1
+                offset = end
+        except WireProtocolError:
+            self._poisoned = True
+            raise
+        if offset:
+            del buffer[:offset]
+        return payloads
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "poisoned" if self._poisoned else "ok"
+        return (
+            f"<FrameDecoder {state}, {self.frames_decoded} frames, "
+            f"{len(self._buffer)} pending bytes>"
+        )

@@ -1,0 +1,262 @@
+"""Asyncio connection management for the socket wire.
+
+One :class:`ConnectionManager` lives on a :class:`WireTransport`'s
+event loop and owns every TCP connection the transport touches:
+
+* **outbound peers** — one duplex connection per registered peer
+  address, dialled lazily on first send and redialled with exponential
+  backoff when it drops.  The backoff schedule *is* the resilience
+  layer's :class:`~repro.resilience.retry.RetryPolicy` — the same
+  pure ``backoff_ms(attempt, rng)`` curve the session retry path uses,
+  so reconnect pacing is governed by one audited primitive instead of
+  a second ad-hoc implementation;
+* **inbound links** — connections accepted by the transport's
+  listener, adopted for reading so replies can ride the connection a
+  request arrived on (connection-oriented reply routing — the far side
+  of a NAT'd client needs no listener of its own).
+
+Every connection runs one read loop feeding a
+:class:`~repro.net.wire.frames.FrameDecoder`; a framing violation
+closes that connection (the stream cannot be realigned), a clean EOF
+just retires it.  All methods must be called on the owning loop —
+the transport crosses threads via ``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.exceptions import WireProtocolError
+from repro.net.wire.frames import DEFAULT_MAX_FRAME_BYTES, FrameDecoder
+from repro.resilience.retry import RetryPolicy
+
+Address = Tuple[str, int]
+
+#: Default reconnect schedule: 6 dials spanning ~25ms..800ms.  A peer
+#: that stays unreachable past that is treated as down — queued frames
+#: are dropped (counted) exactly like sends to a failed node, and the
+#: next send starts a fresh dial cycle (which is how a recovered shard
+#: process at the same address gets picked back up).
+DEFAULT_RECONNECT_POLICY = RetryPolicy(
+    max_attempts=6,
+    base_delay_ms=25.0,
+    multiplier=2.0,
+    max_delay_ms=800.0,
+    jitter_fraction=0.1,
+    retryable_statuses=(),
+    retryable_fault_markers=(),
+)
+
+_READ_CHUNK = 1 << 16
+
+
+class _Peer:
+    """Outbound state for one registered peer address."""
+
+    __slots__ = ("address", "queue", "task", "writer", "generation")
+
+    def __init__(self, address: Address) -> None:
+        self.address = address
+        self.queue: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
+        self.task: "Optional[asyncio.Task]" = None
+        self.writer: "Optional[asyncio.StreamWriter]" = None
+        self.generation = 0
+
+
+class ConnectionManager:
+    """Owns every socket of one transport; see module docstring."""
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        on_payload: "Callable[[bytes, asyncio.StreamWriter], None]",
+        on_disconnect: "Callable[[asyncio.StreamWriter], None]",
+        counters: "Dict[str, int]",
+        reconnect: "Optional[RetryPolicy]" = None,
+        rng: "Optional[random.Random]" = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.loop = loop
+        self.on_payload = on_payload
+        self.on_disconnect = on_disconnect
+        self.counters = counters
+        self.reconnect = reconnect or DEFAULT_RECONNECT_POLICY
+        self.rng = rng or random.Random(0)
+        self.max_frame_bytes = max_frame_bytes
+        self._peers: "Dict[Address, _Peer]" = {}
+        self._readers: "Dict[asyncio.StreamWriter, asyncio.Task]" = {}
+        self._closed = False
+
+    # Outbound ---------------------------------------------------------------
+
+    def send_to_peer(self, address: Address, data: bytes) -> None:
+        """Queue one frame for ``address``, dialling if necessary."""
+        if self._closed:
+            self.counters["frames_dropped"] += 1
+            return
+        peer = self._peers.get(address)
+        if peer is None:
+            peer = self._peers[address] = _Peer(address)
+        if peer.task is None or peer.task.done():
+            peer.task = self.loop.create_task(self._sender(peer))
+        peer.queue.put_nowait(data)
+
+    def forget_peer(self, address: Address) -> None:
+        """Drop outbound state for a re-registered/removed address."""
+        peer = self._peers.pop(address, None)
+        if peer is not None:
+            peer.generation += 1
+            if peer.task is not None and not peer.task.done():
+                peer.queue.put_nowait(None)
+
+    async def _sender(self, peer: _Peer) -> None:
+        """Drain one peer's queue through a (re)dialled connection."""
+        generation = peer.generation
+        while not self._closed and peer.generation == generation:
+            data = await peer.queue.get()
+            if data is None:
+                return
+            writer = peer.writer
+            if writer is None or writer.is_closing():
+                writer = await self._dial(peer)
+                if writer is None:
+                    # Peer down past the whole backoff schedule: this
+                    # frame (and everything queued behind it) drops,
+                    # like sends to a failed node.
+                    dropped = 1
+                    while not peer.queue.empty():
+                        if peer.queue.get_nowait() is not None:
+                            dropped += 1
+                    self.counters["frames_dropped"] += dropped
+                    continue
+            try:
+                writer.write(data)
+                await writer.drain()
+                self.counters["frames_sent"] += 1
+                self.counters["bytes_sent"] += len(data)
+            except (ConnectionError, OSError):
+                peer.writer = None
+                # Redial once for this frame on the next queue pass.
+                peer.queue.put_nowait(data)
+
+    async def _dial(self, peer: _Peer) -> "Optional[asyncio.StreamWriter]":
+        """Connect with the retry policy's backoff; ``None`` = gave up."""
+        policy = self.reconnect
+        host, port = peer.address
+        for attempt in range(1, policy.max_attempts + 1):
+            if self._closed:
+                return None
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except (ConnectionError, OSError):
+                self.counters["dial_failures"] += 1
+                if attempt == policy.max_attempts:
+                    return None
+                await asyncio.sleep(
+                    policy.backoff_ms(attempt, self.rng) / 1000.0
+                )
+                continue
+            peer.writer = writer
+            self.counters["connects"] += 1
+            if attempt > 1:
+                self.counters["reconnects"] += 1
+            self.adopt(reader, writer)
+            return writer
+        return None
+
+    # Inbound / shared reading ----------------------------------------------
+
+    def adopt(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Start the read loop for one (inbound or outbound) connection."""
+        if self._closed:
+            writer.close()
+            return
+        self._readers[writer] = self.loop.create_task(
+            self._read_loop(reader, writer)
+        )
+
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder(self.max_frame_bytes)
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    return  # clean EOF
+                self.counters["bytes_received"] += len(data)
+                try:
+                    payloads = decoder.feed(data)
+                except WireProtocolError:
+                    self.counters["framing_errors"] += 1
+                    return  # desynchronised stream: drop the connection
+                for payload in payloads:
+                    self.counters["frames_received"] += 1
+                    self.on_payload(payload, writer)
+        except (ConnectionError, OSError):
+            return
+        finally:
+            self._readers.pop(writer, None)
+            for peer in self._peers.values():
+                if peer.writer is writer:
+                    peer.writer = None
+            self.on_disconnect(writer)
+            writer.close()
+
+    def send_via(self, writer: asyncio.StreamWriter, data: bytes) -> bool:
+        """Write a frame on an existing connection (reply routing)."""
+        if self._closed or writer.is_closing():
+            self.counters["frames_dropped"] += 1
+            return False
+        writer.write(data)
+        self.counters["frames_sent"] += 1
+        self.counters["bytes_sent"] += len(data)
+        return True
+
+    # Shutdown ---------------------------------------------------------------
+
+    async def aclose(self, drain_timeout: float = 2.0) -> None:
+        """Flush queued sends (bounded), then close every connection."""
+        self._closed = True
+        senders = [
+            peer.task for peer in self._peers.values()
+            if peer.task is not None and not peer.task.done()
+        ]
+        for peer in self._peers.values():
+            peer.queue.put_nowait(None)
+        if senders:
+            await asyncio.wait(senders, timeout=drain_timeout)
+            for task in senders:
+                if not task.done():
+                    task.cancel()
+        for writer in list(self._readers):
+            writer.close()
+        readers = list(self._readers.values())
+        if readers:
+            await asyncio.wait(readers, timeout=drain_timeout)
+            for task in readers:
+                if not task.done():
+                    task.cancel()
+        self._readers.clear()
+        self._peers.clear()
+
+
+def fresh_counters() -> "Dict[str, int]":
+    """The zeroed wire-level counter block a transport starts with."""
+    return {
+        "frames_sent": 0,
+        "frames_received": 0,
+        "bytes_sent": 0,
+        "bytes_received": 0,
+        "frames_dropped": 0,
+        "framing_errors": 0,
+        "codec_errors": 0,
+        "connects": 0,
+        "reconnects": 0,
+        "dial_failures": 0,
+        "routes_learned": 0,
+    }

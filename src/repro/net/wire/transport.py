@@ -1,0 +1,378 @@
+""":class:`WireTransport` — the :class:`~repro.net.transport.Transport`
+implementation over real asyncio TCP sockets.
+
+Topology model: each *process* runs one ``WireTransport``.  Nodes
+registered on it are **local** — they get the threaded in-proc
+delivery machinery (one dispatcher thread per node, queue-drain
+batching) this class inherits from
+:class:`~repro.net.inproc.InProcTransport`.  Node ids mapped through
+:meth:`register_peer` are **remote**: a send to one is encoded through
+the compiled envelope codecs, framed, and written to the peer
+process's listener by the connection manager (reconnect/backoff on the
+resilience retry schedule).  Incoming frames are decoded — every
+protocol verb is validated at the boundary — and fed into the same
+local dispatcher queues, so a drain window of socket arrivals reaches
+:meth:`~repro.kernel.mailbox.Mailbox.deliver_batch` exactly like an
+in-proc window would.
+
+Reply routing is connection-oriented: when a frame from node ``S``
+arrives on connection ``c`` and ``S`` is neither local nor a
+registered peer, the transport learns ``S -> c`` and later sends to
+``S`` ride that connection back.  A client behind an ephemeral port
+therefore needs no listener: the :mod:`repro.fleet.wire` shard
+processes answer the frontend on the connection its request arrived
+on, exactly like the event-driven service buses this layer is modelled
+on.
+
+``stop()`` is the clean-shutdown contract the test suite's leak
+fixture enforces: close the listener, flush and close every peer
+connection, stop the event loop and join its thread, then tear down
+the inherited dispatcher threads and timers.  Idempotent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue as queue_module
+import random
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import TransportError, WireCodecError
+from repro.net.inproc import _SHUTDOWN, InProcTransport, _TimerMessage
+from repro.net.message import Message
+from repro.net.wire.codec import decode_message, encode_message
+from repro.net.wire.frames import DEFAULT_MAX_FRAME_BYTES, encode_frame
+from repro.net.wire.peers import Address, ConnectionManager, fresh_counters
+from repro.resilience.retry import RetryPolicy
+
+
+class WireTransport(InProcTransport):
+    """Transport whose remote edges are real TCP connections.
+
+    ``listen_port=0`` binds an ephemeral port; read :attr:`address`
+    after :meth:`start` to learn it.  ``batch_max`` governs the local
+    dispatcher drain exactly as on the in-proc transport — and because
+    socket arrivals enter the same queues, it is also the wire-side
+    batch window.
+    """
+
+    concurrent_delivery = True
+
+    def __init__(
+        self,
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+        batch_max: int = 16,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        reconnect: "Optional[RetryPolicy]" = None,
+        reconnect_seed: int = 0,
+    ) -> None:
+        super().__init__(batch_max=batch_max)
+        self.listen_host = listen_host
+        self.listen_port = listen_port
+        self.max_frame_bytes = max_frame_bytes
+        #: Wire-level counters (frames/bytes/reconnects/errors); one
+        #: flat dict so tests and ledgers can snapshot it wholesale.
+        self.wire_counters = fresh_counters()
+        self._reconnect = reconnect
+        self._reconnect_seed = reconnect_seed
+        self._peers: "Dict[str, Address]" = {}
+        #: node id -> live connection a frame from it last arrived on.
+        self._routes: "Dict[str, asyncio.StreamWriter]" = {}
+        self._loop: "Optional[asyncio.AbstractEventLoop]" = None
+        self._loop_thread: "Optional[threading.Thread]" = None
+        self._loop_ready = threading.Event()
+        self._server: "Optional[asyncio.base_events.Server]" = None
+        self._manager: "Optional[ConnectionManager]" = None
+        self._bound: "Optional[Tuple[str, int]]" = None
+        self._wire_started = False
+        self._startup_error: "Optional[BaseException]" = None
+
+    # Lifecycle --------------------------------------------------------------
+
+    @property
+    def address(self) -> "Tuple[str, int]":
+        """The listener's actual ``(host, port)`` (after ``start()``)."""
+        if self._bound is None:
+            raise TransportError(
+                "WireTransport has no bound address before start()"
+            )
+        return self._bound
+
+    def start(self) -> None:
+        super().start()
+        if self._wire_started:
+            return
+        self._wire_started = True
+        self._loop_ready.clear()
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="wire-loop", daemon=True
+        )
+        self._loop_thread.start()
+        if not self._loop_ready.wait(timeout=10.0):
+            raise TransportError("wire event loop failed to start")
+        if self._startup_error is not None:
+            error = self._startup_error
+            self.stop()
+            raise TransportError(
+                f"wire listener failed to bind on "
+                f"{self.listen_host}:{self.listen_port}: {error}"
+            )
+
+    def _run_loop(self) -> None:
+        self._startup_error = None
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self._manager = ConnectionManager(
+            loop,
+            on_payload=self._on_payload,
+            on_disconnect=self._on_disconnect,
+            counters=self.wire_counters,
+            reconnect=self._reconnect,
+            rng=random.Random(self._reconnect_seed),
+            max_frame_bytes=self.max_frame_bytes,
+        )
+
+        async def bring_up() -> None:
+            try:
+                self._server = await asyncio.start_server(
+                    self._on_client, self.listen_host, self.listen_port
+                )
+                sock = self._server.sockets[0]
+                self._bound = sock.getsockname()[:2]
+            except OSError as exc:
+                self._startup_error = exc
+            finally:
+                self._loop_ready.set()
+
+        loop.create_task(bring_up())
+        try:
+            loop.run_forever()
+        finally:
+            # Cancel stragglers so loop.close() never warns.
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+            loop.run_until_complete(
+                loop.shutdown_asyncgens()
+            )
+            loop.close()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._wire_started:
+            self._wire_started = False
+            loop = self._loop
+            if loop is not None and loop.is_running():
+                done = threading.Event()
+
+                async def bring_down() -> None:
+                    try:
+                        if self._server is not None:
+                            self._server.close()
+                            await self._server.wait_closed()
+                        if self._manager is not None:
+                            await self._manager.aclose()
+                    finally:
+                        done.set()
+                        loop.stop()
+
+                loop.call_soon_threadsafe(loop.create_task, bring_down())
+                done.wait(timeout=timeout)
+            if self._loop_thread is not None:
+                self._loop_thread.join(timeout=timeout)
+                self._loop_thread = None
+            self._routes.clear()
+            self._server = None
+            self._manager = None
+            self._loop = None
+            self._bound = None
+        super().stop(timeout=timeout)
+
+    # Peer topology ----------------------------------------------------------
+
+    def register_peer(self, node_id: str, address: "Tuple[str, int]") -> None:
+        """Map a remote node id to its process's listener address.
+
+        Re-registering (a recovered shard process listens on a new
+        port) drops the old connection state; queued frames for the
+        dead incarnation are dropped, as they would be on any failed
+        host.
+        """
+        if self.has_node(node_id):
+            raise TransportError(
+                f"node {node_id!r} is local to this transport; it cannot "
+                f"also be a remote peer"
+            )
+        address = (address[0], int(address[1]))
+        previous = self._peers.get(node_id)
+        self._peers[node_id] = address
+        self._routes.pop(node_id, None)
+        if previous is not None and previous != address:
+            loop, manager = self._loop, self._manager
+            if loop is not None and manager is not None:
+                loop.call_soon_threadsafe(manager.forget_peer, previous)
+
+    def peers(self) -> "Dict[str, Tuple[str, int]]":
+        return dict(self._peers)
+
+    # Sending ----------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        if message.target in self._nodes:
+            super().send(message)
+            return
+        if not self._wire_started:
+            raise TransportError(
+                "WireTransport.send called before start(); use it as a "
+                "context manager or call start()"
+            )
+        route = self._routes.get(message.target)
+        peer = self._peers.get(message.target)
+        if route is None and peer is None:
+            raise TransportError(
+                f"unknown target node {message.target!r} (not local, not "
+                f"a registered peer, no learned route)"
+            )
+        source = self._nodes.get(message.source)
+        if source is not None and not source.up:
+            return  # a dead host sends nothing
+        self.stats.record_sent(message)
+        try:
+            frame = encode_frame(
+                encode_message(message), self.max_frame_bytes
+            )
+        except WireCodecError:
+            self.wire_counters["codec_errors"] += 1
+            raise
+        loop, manager = self._loop, self._manager
+        if loop is None or manager is None:
+            self.wire_counters["frames_dropped"] += 1
+            return
+        if route is not None:
+            loop.call_soon_threadsafe(self._send_routed, message.target,
+                                      route, frame, peer)
+        else:
+            loop.call_soon_threadsafe(manager.send_to_peer, peer, frame)
+
+    def _send_routed(
+        self,
+        node_id: str,
+        writer: "asyncio.StreamWriter",
+        frame: bytes,
+        fallback_peer: "Optional[Address]",
+    ) -> None:
+        """Loop-thread half of a learned-route send, with peer fallback."""
+        manager = self._manager
+        if manager is None:
+            return
+        if manager.send_via(writer, frame):
+            return
+        self._routes.pop(node_id, None)
+        if fallback_peer is not None:
+            manager.send_to_peer(fallback_peer, frame)
+
+    # Receiving (loop thread) ------------------------------------------------
+
+    async def _on_client(
+        self,
+        reader: "asyncio.StreamReader",
+        writer: "asyncio.StreamWriter",
+    ) -> None:
+        manager = self._manager
+        if manager is None:
+            writer.close()
+            return
+        manager.adopt(reader, writer)
+
+    def _on_payload(
+        self, payload: bytes, writer: "asyncio.StreamWriter"
+    ) -> None:
+        try:
+            message = decode_message(payload)
+        except WireCodecError:
+            # One bad message does not poison the connection (framing
+            # is intact); it is counted and dropped, like a malformed
+            # body at the mailbox boundary.
+            self.wire_counters["codec_errors"] += 1
+            return
+        source = message.source
+        if source not in self._nodes and self._routes.get(source) is not writer:
+            self._routes[source] = writer
+            self.wire_counters["routes_learned"] += 1
+        queue = self._queues.get(message.target)
+        if queue is None or not self._started:
+            self.stats.record_dropped(message)
+            return
+        queue.put(message)
+
+    def _on_disconnect(self, writer: "asyncio.StreamWriter") -> None:
+        for node_id in [
+            n for n, w in self._routes.items() if w is writer
+        ]:
+            del self._routes[node_id]
+
+    # Local dispatch ---------------------------------------------------------
+
+    def _dispatch_loop(self, node_id: str) -> None:
+        """Queue drain with *window* delivery.
+
+        The in-proc parent drains up to ``batch_max`` queued messages
+        but still delivers them one at a time; here the drained window
+        is handed to :meth:`Transport._deliver_batch_now` so
+        same-endpoint runs reach ``Mailbox.deliver_batch`` in one call
+        — socket arrivals get the same batch-aggregated counter path
+        the simulator's coalesced windows enjoy.  Timer callbacks
+        (scheduled via ``threading.Timer`` onto the same queue to keep
+        the one-thread-per-node model) split the window.
+        """
+        q = self._queues[node_id]
+        while True:
+            item = q.get()
+            if item is _SHUTDOWN:
+                return
+            batch = [item]
+            shutdown = False
+            while len(batch) < self.batch_max:
+                try:
+                    extra = q.get_nowait()
+                except queue_module.Empty:
+                    break
+                if extra is _SHUTDOWN:
+                    shutdown = True
+                    break
+                batch.append(extra)
+            if len(batch) > 1:
+                self.stats.record_batch_flush(len(batch))
+            window: "List[Message]" = []
+            for message in batch:
+                if isinstance(message, _TimerMessage):
+                    self._flush_window(window)
+                    try:
+                        message.callback()
+                    except Exception:  # noqa: BLE001 - timer bug must
+                        # not kill the dispatcher
+                        self.stats.record_dropped(message)
+                else:
+                    window.append(message)
+            self._flush_window(window)
+            if shutdown:
+                return
+
+    def _flush_window(self, window: "List[Message]") -> None:
+        if not window:
+            return
+        try:
+            self._deliver_batch_now(list(window))
+        except Exception:  # noqa: BLE001 - a handler bug must not kill
+            # the dispatcher; errors surface as timeouts at the caller.
+            for message in window:
+                self.stats.record_dropped(message)
+        window.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        where = self._bound if self._bound else "unbound"
+        return (
+            f"<WireTransport {where} local={list(self._nodes)} "
+            f"peers={list(self._peers)}>"
+        )

@@ -99,6 +99,95 @@ class TestCompare:
             "BENCH_X", base, fresh, 0.25, {"BENCH_X"}) == []
 
 
+class TestWallClockBand:
+    """``wall_clock: true`` metrics get the wider machine-noise band.
+
+    The wire benchmark measures real seconds on shared CI runners, so
+    its rps/p99 numbers ride the ``--wall-threshold`` band (default
+    60%) instead of the deterministic 25% — but a genuine collapse
+    (10x) must still fail, and the band must be per-metric: one ledger
+    can mix exact and wall-clock numbers.
+    """
+
+    def make_mixed(self, rps: float, frames: float) -> dict:
+        return {
+            "experiment": "BENCH_W",
+            "schema": SCHEMA_VERSION,
+            "title": "synthetic wire",
+            "source": "benchmarks/test_bench_wire.py",
+            "meta": {},
+            "rows": [],
+            "metrics": {
+                "wall_rps": metric(rps, "req/s", "higher",
+                                   wall_clock=True),
+                "frames": metric(frames, "frames", "lower"),
+            },
+        }
+
+    def test_metric_helper_marks_wall_clock(self):
+        entry = metric(1.0, "s", "lower", wall_clock=True)
+        assert entry["wall_clock"] is True
+        assert "wall_clock" not in metric(1.0, "s", "lower")
+
+    def test_2x_wall_regression_passes_the_wide_band(self):
+        base = self.make_mixed(1000.0, 2.0)
+        fresh = self.make_mixed(500.0, 2.0)  # noisy runner, not a bug
+        assert check_bench.compare_ledgers(
+            "BENCH_W", base, fresh, 0.25, set()) == []
+
+    def test_10x_wall_collapse_still_fails(self):
+        base = self.make_mixed(1000.0, 2.0)
+        fresh = self.make_mixed(100.0, 2.0)
+        problems = check_bench.compare_ledgers(
+            "BENCH_W", base, fresh, 0.25, set())
+        assert len(problems) == 1
+        assert "wall_rps" in problems[0]
+        assert "wall-clock" in problems[0]
+
+    def test_band_is_per_metric_not_per_ledger(self):
+        """A deterministic metric in the same ledger keeps the tight
+        gate even while its wall-clock neighbour gets slack."""
+        base = self.make_mixed(1000.0, 2.0)
+        fresh = self.make_mixed(600.0, 3.0)  # frames: +50% — a real bug
+        problems = check_bench.compare_ledgers(
+            "BENCH_W", base, fresh, 0.25, set())
+        assert len(problems) == 1
+        assert "frames" in problems[0]
+
+    def test_wall_threshold_is_configurable(self):
+        base = self.make_mixed(1000.0, 2.0)
+        fresh = self.make_mixed(500.0, 2.0)
+        problems = check_bench.compare_ledgers(
+            "BENCH_W", base, fresh, 0.25, set(), wall_threshold=0.25)
+        assert len(problems) == 1 and "wall_rps" in problems[0]
+
+    def test_cli_wall_threshold_flag(self, tmp_path, capsys):
+        write(tmp_path / "baselines" / "BENCH_W.json",
+              self.make_mixed(1000.0, 2.0))
+        write(tmp_path / "results" / "BENCH_W.json",
+              self.make_mixed(550.0, 2.0))
+        argv = [
+            "--baselines", str(tmp_path / "baselines"),
+            "--results", str(tmp_path / "results"),
+        ]
+        assert check_bench.main(argv) == 0
+        capsys.readouterr()
+        assert check_bench.main(argv + ["--wall-threshold", "0.25"]) == 1
+        assert "BENCH-GATE FAIL" in capsys.readouterr().out
+
+    def test_self_test_covers_wall_metrics(self):
+        """The self-test's injected slowdown must trip wall-clock
+        metrics too (it injects 10x for them, 2x for the rest)."""
+        from benchmarks._ledger import ledger_path, load_ledger
+        from benchmarks._utils import BASELINES_DIR
+        wire = load_ledger(ledger_path("BENCH_WIRE", BASELINES_DIR))
+        assert any(
+            entry.get("wall_clock")
+            for entry in wire["metrics"].values()
+        )
+        assert check_bench.self_test() == []
+
+
 class TestLedgerWrite:
     """``write_ledger`` input validation (pair form and conflicts)."""
 

@@ -378,3 +378,56 @@ class TestRelaxedFsync:
         assert 0 < lost < config.fsync_interval_records
         assert platform.durability.store.records_durable == \
             appended - lost
+
+
+class TestSendGateSeal:
+    """Cross-process incarnations and the gate's leftover keys.
+
+    A fresh OS process restarts the client's request-key counter, so a
+    recovered shard's first *new* submission can be byte-identical to a
+    send the dead incarnation already made — and the gate's leftover
+    expected key would swallow it.  ``seal()`` exists for exactly that
+    caller (``repro.net.wire.node_runner``): once the recovered shard
+    is quiescent, leftovers are dropped and new traffic flows.
+    """
+
+    def _gate_with_one_leftover(self):
+        from collections import Counter
+
+        from repro.durability.dedup import canonical_send_key
+        from repro.durability.replay import SendGate
+
+        class FakeTransport:
+            def __init__(self):
+                self.delivered = []
+
+            def send(self, message):
+                self.delivered.append(message)
+
+        def execute():
+            return Message(
+                kind="execute", source="h", source_endpoint="client",
+                target="chain-host", target_endpoint="chain",
+                body={"operation": "run", "request_key": "ingress-0-req0"},
+            )
+
+        transport = FakeTransport()
+        expected = Counter({canonical_send_key(execute()): 1})
+        gate = SendGate(transport, expected)
+        gate.install()
+        gate.finish()
+        return transport, gate, execute
+
+    def test_leftover_key_would_eat_a_new_incarnation_send(self):
+        transport, gate, execute = self._gate_with_one_leftover()
+        transport.send(execute())  # restarted counter: identical bytes
+        assert transport.delivered == []
+        assert gate.swallowed == 1
+
+    def test_seal_lets_identical_new_traffic_through(self):
+        transport, gate, execute = self._gate_with_one_leftover()
+        assert gate.seal() == 1
+        transport.send(execute())
+        assert len(transport.delivered) == 1
+        assert gate.swallowed == 0
+        assert gate.seal() == 0  # idempotent

@@ -1,0 +1,148 @@
+"""Frame-level adversity: the socket framing under hostile chunkings.
+
+A socket hands the decoder arbitrary fragments — half a magic byte, a
+length prefix split across reads, three frames glued together, or
+garbage from a peer speaking a different protocol.  These tests pin
+the :class:`~repro.net.wire.frames.FrameDecoder` contract: partial
+input buffers, complete input yields payloads in order, and any
+framing violation (bad magic, oversized prefix, CRC mismatch) raises
+:class:`~repro.exceptions.WireProtocolError` and poisons the decoder
+for good.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import WireProtocolError
+from repro.net.wire.frames import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HEADER_SIZE,
+    MAGIC,
+    FrameDecoder,
+    encode_frame,
+)
+
+
+def frame_for(payload: bytes) -> bytes:
+    return encode_frame(payload)
+
+
+class TestRoundTrip:
+    def test_one_frame_one_feed(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(frame_for(b"hello")) == [b"hello"]
+        assert decoder.pending_bytes == 0
+        assert decoder.frames_decoded == 1
+
+    def test_empty_payload_frames(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(frame_for(b"")) == [b""]
+
+    def test_many_frames_glued_together(self):
+        payloads = [b"a", b"bb", b"ccc", b"d" * 100]
+        blob = b"".join(frame_for(p) for p in payloads)
+        decoder = FrameDecoder()
+        assert decoder.feed(blob) == payloads
+
+    def test_byte_by_byte_delivery(self):
+        """The cruellest chunking: every byte in its own read."""
+        payloads = [b"first", b"second!", b"\x00\xff" * 7]
+        blob = b"".join(frame_for(p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        for index in range(len(blob)):
+            out.extend(decoder.feed(blob[index:index + 1]))
+        assert out == payloads
+        assert decoder.pending_bytes == 0
+
+    def test_split_length_prefix(self):
+        """A read boundary inside the 10-byte header must just buffer."""
+        frame = frame_for(b"payload")
+        decoder = FrameDecoder()
+        for cut in range(1, HEADER_SIZE):
+            decoder = FrameDecoder()
+            assert decoder.feed(frame[:cut]) == []
+            assert decoder.pending_bytes == cut
+            assert decoder.feed(frame[cut:]) == [b"payload"]
+
+    def test_split_mid_payload(self):
+        frame = frame_for(b"x" * 50)
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:HEADER_SIZE + 10]) == []
+        assert decoder.feed(frame[HEADER_SIZE + 10:]) == [b"x" * 50]
+
+    @given(
+        payloads=st.lists(st.binary(max_size=200), min_size=1, max_size=6),
+        chunk=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_chunking_reassembles(self, payloads, chunk):
+        blob = b"".join(frame_for(p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        for start in range(0, len(blob), chunk):
+            out.extend(decoder.feed(blob[start:start + chunk]))
+        assert out == payloads
+
+
+class TestViolations:
+    def test_garbage_magic_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(WireProtocolError, match="bad frame magic"):
+            decoder.feed(b"GARBAGE-STREAM-NOT-A-FRAME")
+
+    def test_torn_frame_then_garbage(self):
+        """A valid frame followed by desynchronised bytes: the good
+        frame is lost with the connection — decoding already raised."""
+        decoder = FrameDecoder()
+        blob = frame_for(b"good") + b"\xde\xad\xbe\xef" + b"\x00" * 8
+        with pytest.raises(WireProtocolError, match="bad frame magic"):
+            decoder.feed(blob)
+
+    def test_crc_mismatch_rejected(self):
+        frame = bytearray(frame_for(b"payload-bytes"))
+        frame[-1] ^= 0x01  # flip one payload bit
+        decoder = FrameDecoder()
+        with pytest.raises(WireProtocolError, match="CRC mismatch"):
+            decoder.feed(bytes(frame))
+
+    def test_corrupt_length_prefix_rejected(self):
+        huge = MAGIC + struct.Struct(">II").pack(1 << 31, 0) + b""
+        decoder = FrameDecoder()
+        with pytest.raises(WireProtocolError, match="length prefix"):
+            decoder.feed(huge)
+
+    def test_oversized_payload_rejected_before_buffering(self):
+        """A hostile length prefix must fail fast, not allocate."""
+        decoder = FrameDecoder(max_frame_bytes=64)
+        header = MAGIC + struct.Struct(">II").pack(65, zlib.crc32(b""))
+        with pytest.raises(WireProtocolError, match="exceeds the 64-byte"):
+            decoder.feed(header)
+
+    def test_encode_rejects_oversized_payload(self):
+        with pytest.raises(WireProtocolError, match="exceeds"):
+            encode_frame(b"x" * 65, max_frame_bytes=64)
+        # The default ceiling is permissive but real.
+        with pytest.raises(WireProtocolError):
+            encode_frame(b"x" * (DEFAULT_MAX_FRAME_BYTES + 1))
+
+    def test_poisoned_decoder_refuses_more_input(self):
+        decoder = FrameDecoder()
+        with pytest.raises(WireProtocolError):
+            decoder.feed(b"not a frame at all!!")
+        with pytest.raises(WireProtocolError, match="already failed"):
+            decoder.feed(frame_for(b"valid"))
+
+    def test_violation_after_good_frames(self):
+        """Frames completed before the violation are already out; the
+        violation only burns what follows."""
+        decoder = FrameDecoder()
+        assert decoder.feed(frame_for(b"ok")) == [b"ok"]
+        with pytest.raises(WireProtocolError):
+            decoder.feed(b"????????????")
+        assert decoder.frames_decoded == 1

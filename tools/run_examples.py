@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Run every ``examples/*.py`` script; CI's ``examples`` job driver.
+
+The old job hand-listed two scripts, so five of the seven examples ran
+nowhere and could rot silently.  This driver globs the directory —
+a new example is exercised the moment it lands — and supports an
+explicit skip-list for scripts that genuinely cannot run in CI.  The
+skip-list is *validated*: naming a file that does not exist fails the
+run, so a skip cannot outlive (or typo) the script it was written for.
+
+Usage::
+
+    python tools/run_examples.py [--skip NAME.py ...] [--timeout SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from typing import List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+#: Examples that must not run in CI, with the reason on record.  Empty
+#: today — every example runs — but the mechanism is validated so the
+#: first real entry cannot silently skip the wrong file.
+DEFAULT_SKIP: "List[str]" = []
+
+
+def discover() -> "List[str]":
+    """Every example script, sorted for a stable run order."""
+    return sorted(
+        name for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py") and not name.startswith("_")
+    )
+
+
+def validate_skips(skips: "List[str]", available: "List[str]") -> "List[str]":
+    """A skip naming a nonexistent script is a failure, not a no-op."""
+    missing = sorted(set(skips) - set(available))
+    if missing:
+        raise SystemExit(
+            f"skip-list names scripts that do not exist: {missing}; "
+            f"examples/ has {available}"
+        )
+    return [name for name in available if name not in set(skips)]
+
+
+def run_example(name: str, timeout: float) -> int:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=timeout,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    return process.returncode
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--skip", action="append", default=list(DEFAULT_SKIP),
+        metavar="NAME.py",
+        help="example filename to skip (must exist; repeatable)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="per-example wall-clock budget in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    available = discover()
+    if not available:
+        print("no examples found — examples/ is empty?")
+        return 1
+    to_run = validate_skips(args.skip, available)
+    failures = []
+    for name in to_run:
+        print(f"-- examples/{name}", flush=True)
+        try:
+            code = run_example(name, timeout=args.timeout)
+        except subprocess.TimeoutExpired:
+            print(f"   TIMEOUT after {args.timeout:.0f}s")
+            failures.append(name)
+            continue
+        if code != 0:
+            print(f"   FAILED (exit {code})")
+            failures.append(name)
+        else:
+            print("   ok")
+    skipped = sorted(set(args.skip))
+    print(
+        f"examples: {len(to_run) - len(failures)}/{len(to_run)} passed"
+        + (f", skipped {skipped}" if skipped else "")
+    )
+    if failures:
+        print(f"failing examples: {failures}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
